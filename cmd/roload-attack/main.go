@@ -1,0 +1,81 @@
+// Command roload-attack mounts the security-evaluation attacks against
+// victim programs built with each hardening scheme and reports the
+// outcome matrix (paper Section V-C2).
+//
+// Usage:
+//
+//	roload-attack [-scenario name] [-v]
+//
+// Without -scenario, the full matrix runs. Exit status is nonzero if
+// any ROLoad-hardened victim was hijacked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roload/internal/attack"
+	"roload/internal/core"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "run one scenario by name")
+	verbose := flag.Bool("v", false, "print per-run detail")
+	flag.Parse()
+
+	scenarios := attack.AllScenarios()
+	if *scenario != "" {
+		var filtered []*attack.Scenario
+		for _, sc := range scenarios {
+			if sc.Name == *scenario {
+				filtered = append(filtered, sc)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "roload-attack: unknown scenario %q; available:\n", *scenario)
+			for _, sc := range scenarios {
+				fmt.Fprintf(os.Stderr, "  %-26s %s\n", sc.Name, sc.Description)
+			}
+			os.Exit(2)
+		}
+		scenarios = filtered
+	}
+
+	bad := false
+	for _, sc := range scenarios {
+		fmt.Printf("%s — %s\n", sc.Name, sc.Description)
+		for _, h := range attack.MatrixSchemes {
+			r, err := sc.Mount(h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roload-attack: %s under %v: %v\n", sc.Name, h, err)
+				os.Exit(1)
+			}
+			mark := "  "
+			if r.Outcome == attack.Hijacked {
+				mark = "!!"
+				if sc.Covers(h) {
+					// A scheme whose protection scope includes this
+					// attack failed to stop it: a real defense bug.
+					bad = true
+				}
+			}
+			fmt.Printf(" %s %-6s -> %v\n", mark, schemeName(h), r.Outcome)
+			if *verbose {
+				fmt.Printf("      %s\n", r.Detail)
+			}
+		}
+		fmt.Println()
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "roload-attack: a ROLoad-hardened victim was hijacked")
+		os.Exit(1)
+	}
+}
+
+func schemeName(h core.Hardening) string {
+	if h == core.HardenNone {
+		return "none"
+	}
+	return h.String()
+}

@@ -1,0 +1,178 @@
+// Command roload-bench regenerates every table and figure of the
+// paper's evaluation on the simulated prototype.
+//
+// Usage:
+//
+//	roload-bench [-scale ref|test] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|security]
+//
+// With no -only flag every experiment runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roload/internal/attack"
+	"roload/internal/core"
+	"roload/internal/eval"
+	"roload/internal/hw"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "ref", "workload scale: ref or test")
+	only := flag.String("only", "", "run a single experiment (table1, table2, table3, sysoverhead, fig3, fig4, fig5, retguard, security)")
+	root := flag.String("root", ".", "repository root (for Table I line counting)")
+	flag.Parse()
+
+	scale := eval.ScaleRef
+	if *scaleFlag == "test" {
+		scale = eval.ScaleTest
+	} else if *scaleFlag != "ref" {
+		fmt.Fprintf(os.Stderr, "roload-bench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := eval.TableI(*root)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Lines of code of each ROLoad component (this reproduction):")
+		total := 0
+		for _, r := range rows {
+			fmt.Printf("  %-42s %-4s %6d\n", r.Component, r.Language, r.Lines)
+			total += r.Lines
+		}
+		fmt.Printf("  %-42s %-4s %6d\n", "Total", "-", total)
+		fmt.Println("  (paper: Chisel 59 + C 121 + C++/TableGen 270 = 450 modified lines on")
+		fmt.Println("   top of Rocket/Linux/LLVM; here every substrate is built from scratch)")
+		return nil
+	})
+
+	run("table2", func() error {
+		fmt.Println("Prototype system configuration:")
+		for _, l := range eval.TableII() {
+			fmt.Println("  " + l)
+		}
+		return nil
+	})
+
+	run("table3", func() error {
+		r := hw.Synthesize(hw.DefaultConfig())
+		fmt.Println("Hardware resource cost (structural synthesis model):")
+		fmt.Print(r)
+		fmt.Println("\n  delta breakdown:")
+		for _, b := range r.DeltaBlocks {
+			fmt.Printf("    %-38s +%4d LUT  +%4d FF\n", b.Name, b.Res.LUT, b.Res.FF)
+		}
+		ser := hw.DefaultConfig()
+		ser.SerializeCheck = true
+		rs := hw.Synthesize(ser)
+		fmt.Printf("  ablation — serialized (non-parallel) key check: Fmax %.2f MHz (parallel: %.2f)\n",
+			rs.TimingROLoad.FmaxMHz, r.TimingROLoad.FmaxMHz)
+		return nil
+	})
+
+	run("sysoverhead", func() error {
+		rows, err := eval.SystemOverhead(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Section V-B: unhardened SPEC-like workloads on the three systems")
+		fmt.Printf("  %-16s %14s %14s %14s %8s %8s\n",
+			"benchmark", "base cycles", "proc-mod", "proc+kernel", "Δproc", "Δfull")
+		for _, r := range rows {
+			fmt.Printf("  %-16s %14d %14d %14d %+7.3f%% %+7.3f%%\n",
+				r.Benchmark, r.BaseCycles, r.ProcCycles, r.FullCycles, r.ProcPct(), r.FullPct())
+		}
+		return nil
+	})
+
+	run("fig3", func() error {
+		points, err := eval.Fig3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderOverheads(
+			"Figure 3 (runtime): VCall vs VTint on the C++ workloads", points, true))
+		fmt.Print(eval.RenderOverheads(
+			"Figure 3 (memory): VCall vs VTint on the C++ workloads", points, false))
+		return nil
+	})
+
+	var fig45 []eval.OverheadPoint
+	run("fig4", func() error {
+		var err error
+		fig45, err = eval.Fig4And5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderOverheads(
+			"Figure 4: ICall vs CFI runtime overheads", fig45, true))
+		return nil
+	})
+
+	run("fig5", func() error {
+		if fig45 == nil {
+			var err error
+			fig45, err = eval.Fig4And5(scale)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Print(eval.RenderOverheads(
+			"Figure 5: ICall vs CFI memory overheads", fig45, false))
+		return nil
+	})
+
+	run("retguard", func() error {
+		points, err := eval.ExtensionRetGuard(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderOverheads(
+			"Extension (Section IV-C): RetGuard backward-edge runtime overheads", points, true))
+		return nil
+	})
+
+	run("security", func() error {
+		results, err := attack.Matrix()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Section V-C2: attack outcomes per hardening scheme")
+		var last string
+		for _, r := range results {
+			if r.Scenario != last {
+				fmt.Printf("  %s\n", r.Scenario)
+				last = r.Scenario
+			}
+			mark := " "
+			if r.Outcome == attack.Hijacked {
+				mark = "!"
+			}
+			fmt.Printf("   %s %-6s -> %s\n", mark, hname(r.Hardening), r.Outcome)
+		}
+		return nil
+	})
+}
+
+func hname(h core.Hardening) string {
+	if h == core.HardenNone {
+		return "none"
+	}
+	return h.String()
+}

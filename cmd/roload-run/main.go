@@ -1,0 +1,129 @@
+// Command roload-run compiles (or assembles) a program, optionally
+// hardens it, and executes it on one of the three simulated systems.
+//
+// Usage:
+//
+//	roload-run [-system full|proc|baseline] [-harden scheme] [-stats] prog.mc
+//	roload-run -asm prog.s
+//
+// Exit status mirrors the simulated process: its exit code, or 128 +
+// signal when it was killed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roload/internal/asm"
+	"roload/internal/cc"
+	"roload/internal/cc/harden"
+	"roload/internal/core"
+)
+
+func main() {
+	system := flag.String("system", "full", "system: baseline, proc, or full")
+	hardenFlag := flag.String("harden", "none", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
+	isAsm := flag.Bool("asm", false, "input is assembly, not MiniC")
+	optimize := flag.Bool("O", false, "run the peephole optimizer before hardening")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = unlimited)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	var sys core.SystemKind
+	switch *system {
+	case "baseline":
+		sys = core.SysBaseline
+	case "proc":
+		sys = core.SysProcessorOnly
+	case "full":
+		sys = core.SysFull
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	var img *asm.Image
+	if *isAsm {
+		img, err = asm.Assemble(src, asm.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var h core.Hardening
+		switch *hardenFlag {
+		case "none":
+			h = core.HardenNone
+		case "vcall":
+			h = core.HardenVCall
+		case "vtint":
+			h = core.HardenVTint
+		case "icall":
+			h = core.HardenICall
+		case "cfi":
+			h = core.HardenCFI
+		case "retguard":
+			h = core.HardenRetGuard
+		case "full":
+			h = core.HardenFull
+		default:
+			fatal(fmt.Errorf("unknown hardening scheme %q", *hardenFlag))
+		}
+		unit, err := cc.Compile(src)
+		if err != nil {
+			fatal(err)
+		}
+		if *optimize {
+			cc.Optimize(unit)
+		}
+		if err := harden.Apply(unit, h.Passes()...); err != nil {
+			fatal(err)
+		}
+		img, err = asm.Assemble(unit.Assembly(), asm.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res, _, err := core.Run(img, sys, *maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(res.Stdout)
+	if !strings.HasSuffix(string(res.Stdout), "\n") && len(res.Stdout) > 0 {
+		fmt.Println()
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "system:   %v\n", sys)
+		fmt.Fprintf(os.Stderr, "cycles:   %d\n", res.Cycles)
+		fmt.Fprintf(os.Stderr, "instret:  %d\n", res.Instret)
+		fmt.Fprintf(os.Stderr, "memory:   %d KiB peak\n", res.MemPeakKiB)
+		fmt.Fprintf(os.Stderr, "loads:    %d (%d via ld.ro)\n", res.CPUStats.Loads, res.CPUStats.ROLoads)
+		fmt.Fprintf(os.Stderr, "D-TLB:    %d hits / %d misses\n", res.DMMU.TLBHits, res.DMMU.TLBMisses)
+		fmt.Fprintf(os.Stderr, "D-cache:  %.2f%% miss\n", 100*res.DC.MissRate())
+	}
+	if res.Exited {
+		os.Exit(res.Code & 0xff)
+	}
+	fmt.Fprintf(os.Stderr, "roload-run: killed by %v at %#x", res.Signal, res.FaultVA)
+	if res.ROLoadViolation {
+		fmt.Fprintf(os.Stderr, " (ROLoad violation: want key %d, got key %d)",
+			res.FaultWantKey, res.FaultGotKey)
+	}
+	fmt.Fprintln(os.Stderr)
+	os.Exit(128 + int(res.Signal))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roload-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module roload
+
+go 1.22

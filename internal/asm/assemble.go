@@ -1,0 +1,796 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"roload/internal/isa"
+)
+
+// Options configures assembly.
+type Options struct {
+	// TextBase is the virtual address of .text. Remaining sections are
+	// laid out after it, each page-aligned ("-z separate-code").
+	TextBase uint64
+	// Entry is the entry symbol; defaults to "_start", falling back to
+	// "main".
+	Entry string
+	// Compress, when set, rewrites eligible instructions to their
+	// compressed forms. Layout becomes a two-step fixpoint; only used
+	// by the code-size ablation. Branch targets are re-resolved.
+	Compress bool
+}
+
+// DefaultOptions returns the standard link layout.
+func DefaultOptions() Options {
+	return Options{TextBase: 0x10000, Entry: "_start"}
+}
+
+// Assemble parses and links one assembly source into an Image.
+func Assemble(src string, opts Options) (*Image, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = 0x10000
+	}
+	p := newParser()
+	p.compress = opts.Compress
+	if err := p.parse(src); err != nil {
+		return nil, err
+	}
+	return link(p, opts)
+}
+
+// MustAssemble is Assemble panicking on error, for compiler-generated
+// sources validated upstream and for tests.
+func MustAssemble(src string, opts Options) *Image {
+	img, err := Assemble(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// sectionRank orders sections in the image: text first, then plain
+// rodata, then keyed rodata (each on its own pages), then data, bss.
+func sectionRank(name string) int {
+	switch {
+	case name == ".text":
+		return 0
+	case name == ".rodata":
+		return 1
+	case strings.HasPrefix(name, ".rodata.key."):
+		return 2
+	case strings.HasPrefix(name, ".rodata."):
+		return 1
+	case name == ".data":
+		return 3
+	case name == ".bss":
+		return 4
+	}
+	return 5
+}
+
+func link(p *parser, opts Options) (*Image, error) {
+	names := make([]string, len(p.order))
+	copy(names, p.order)
+	sort.SliceStable(names, func(i, j int) bool {
+		return sectionRank(names[i]) < sectionRank(names[j])
+	})
+
+	// Iterative layout with branch relaxation: compute every statement
+	// start offset, resolve symbols, widen any conditional branch whose
+	// target falls outside the ±4 KiB B-type range to the 8-byte
+	// inverted-branch + jal form, and repeat until stable. Widening is
+	// monotone, so the loop terminates.
+	bases := make(map[string]uint64, len(names))
+	addrs := make(map[string]uint64, len(p.symbols))
+	starts := make(map[string][]uint64, len(names))
+	for iter := 0; ; iter++ {
+		if iter > 1+len(p.symbols) {
+			return nil, fmt.Errorf("asm: branch relaxation did not converge")
+		}
+		base := opts.TextBase
+		sizes := make(map[string]uint64, len(names))
+		for _, n := range names {
+			s := p.sections[n]
+			bases[n] = base
+			off := uint64(0)
+			st := make([]uint64, len(s.stmts))
+			for i := range s.stmts {
+				stm := &s.stmts[i]
+				if stm.align > 0 {
+					pad := (stm.align - off%stm.align) % stm.align
+					stm.size = pad
+					stm.space = pad
+				}
+				st[i] = off
+				off += stm.size
+			}
+			starts[n] = st
+			sizes[n] = off
+			base += pageRound(off)
+			if off == 0 {
+				base += 4096 // keep even empty sections distinct
+			}
+		}
+		for name, sym := range p.symbols {
+			off := sizes[sym.section]
+			if sym.stmtIdx < len(starts[sym.section]) {
+				off = starts[sym.section][sym.stmtIdx]
+			}
+			addrs[name] = bases[sym.section] + off
+		}
+		changed := false
+		for _, n := range names {
+			s := p.sections[n]
+			for i := range s.stmts {
+				b := s.stmts[i].branch
+				if b == nil || b.long || b.target.Sym == "" {
+					continue
+				}
+				taddr, ok := addrs[b.target.Sym]
+				if !ok {
+					continue // undefined symbol: reported at encode time
+				}
+				pc := bases[n] + starts[n][i]
+				delta := int64(taddr) + b.target.Off - int64(pc)
+				if delta < -4096 || delta > 4094 {
+					b.long = true
+					s.stmts[i].size = 8
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	enc := &encoder{symbols: addrs}
+
+	img := &Image{Symbols: addrs}
+	for _, n := range names {
+		s := p.sections[n]
+		data := make([]byte, 0, 256)
+		va := bases[n]
+		for _, st := range s.stmts {
+			enc.line = st.line
+			pc := va + uint64(len(data))
+			switch {
+			case st.isC16:
+				data = append(data, byte(st.c16), byte(st.c16>>8))
+			case st.branch != nil:
+				words, err := enc.encodeBranch(st.branch, pc)
+				if err != nil {
+					return nil, err
+				}
+				for _, w := range words {
+					var buf [4]byte
+					binary.LittleEndian.PutUint32(buf[:], w)
+					data = append(data, buf[:]...)
+				}
+			case st.inst != nil:
+				words, err := enc.encodeInst(st.inst, pc)
+				if err != nil {
+					return nil, err
+				}
+				if uint64(len(words)*4) != st.size {
+					return nil, fmt.Errorf("asm: line %d: internal size mismatch for %s (%d != %d)",
+						st.line, st.inst.op, len(words)*4, st.size)
+				}
+				for _, w := range words {
+					var buf [4]byte
+					binary.LittleEndian.PutUint32(buf[:], w)
+					data = append(data, buf[:]...)
+				}
+			case st.space > 0 || st.align > 0:
+				data = append(data, make([]byte, st.size)...)
+			case st.data != nil:
+				for _, item := range st.data {
+					if item.str != nil {
+						data = append(data, item.str...)
+						continue
+					}
+					v, err := enc.eval(item.val)
+					if err != nil {
+						return nil, err
+					}
+					var buf [8]byte
+					binary.LittleEndian.PutUint64(buf[:], uint64(v))
+					data = append(data, buf[:item.width]...)
+				}
+			}
+		}
+		isBSS := n == ".bss"
+		sec := Section{
+			Name: n,
+			VA:   va,
+			Size: uint64(len(data)),
+			Perm: s.perm,
+			Key:  s.key,
+		}
+		if !isBSS {
+			sec.Data = data
+		}
+		img.Sections = append(img.Sections, sec)
+	}
+
+	entryName := opts.Entry
+	if entryName == "" {
+		entryName = "_start"
+	}
+	entry, ok := addrs[entryName]
+	if !ok {
+		entry, ok = addrs["main"]
+		if !ok {
+			return nil, fmt.Errorf("asm: entry symbol %q not defined", entryName)
+		}
+	}
+	img.Entry = entry
+
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// encoder is pass 2: turns parsed instructions into machine words.
+type encoder struct {
+	symbols map[string]uint64
+	line    int
+}
+
+func (e *encoder) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: e.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *encoder) eval(x expr) (int64, error) {
+	v := x.Off
+	if x.Sym != "" {
+		addr, ok := e.symbols[x.Sym]
+		if !ok {
+			return 0, e.errf("undefined symbol %q", x.Sym)
+		}
+		v += int64(addr)
+	}
+	if x.Hi {
+		return (v + 0x800) &^ 0xfff, nil
+	}
+	if x.Lo {
+		upper := (v + 0x800) &^ 0xfff
+		return v - upper, nil
+	}
+	return v, nil
+}
+
+func (e *encoder) reg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(s))
+	if !ok {
+		return 0, e.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// parseMem parses "off(reg)" with an optionally symbolic offset.
+func (e *encoder) parseMem(s string) (int64, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndex(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, e.errf("bad memory operand %q", s)
+	}
+	r, err := e.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, r, nil
+	}
+	p := &parser{line: e.line}
+	x, err := p.parseExpr(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := e.eval(x)
+	return off, r, err
+}
+
+func mustWord(in isa.Inst) (uint32, error) {
+	return isa.Encode(in)
+}
+
+// encodeInst encodes one mnemonic (real or pseudo) into machine words.
+func (e *encoder) encodeInst(st *instStmt, pc uint64) ([]uint32, error) {
+	op := st.op
+	ops := st.operands
+	need := func(n int) error {
+		if len(ops) != n {
+			return e.errf("%s needs %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	one := func(in isa.Inst) ([]uint32, error) {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, e.errf("%v", err)
+		}
+		return []uint32{w}, nil
+	}
+
+	// Pseudo-instructions first.
+	switch op {
+	case "nop":
+		return one(isa.Inst{Op: isa.ADDI})
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		p := &parser{line: e.line}
+		x, err := p.parseExpr(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.eval(x)
+		if err != nil {
+			return nil, err
+		}
+		return e.loadImm(rd, v, x.Sym != "")
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		p := &parser{line: e.line}
+		x, err := p.parseExpr(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.eval(x)
+		if err != nil {
+			return nil, err
+		}
+		return e.loadImm(rd, v, true)
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs})
+	case "not":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: isa.Zero, Rs2: rs})
+	case "negw":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.SUBW, Rd: rd, Rs1: isa.Zero, Rs2: rs})
+	case "seqz":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: isa.Zero, Rs2: rs})
+	case "sext.w":
+		rd, err1 := e.reg(ops[0])
+		rs, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		return one(isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rs})
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return e.jump(isa.Zero, ops[0], pc)
+	case "jal":
+		if len(ops) == 1 {
+			return e.jump(isa.RA, ops[0], pc)
+		}
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return e.jump(isa.RA, ops[0], pc)
+	case "tail":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return e.jump(isa.Zero, ops[0], pc)
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: rs})
+	case "jalr":
+		if len(ops) == 1 { // jalr rs
+			rs, err := e.reg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: isa.JALR, Rd: isa.RA, Rs1: rs})
+		}
+	case "ret":
+		return one(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA})
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(ops[1], pc)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "beqz":
+			return one(isa.Inst{Op: isa.BEQ, Rs1: rs, Rs2: isa.Zero, Imm: off})
+		case "bnez":
+			return one(isa.Inst{Op: isa.BNE, Rs1: rs, Rs2: isa.Zero, Imm: off})
+		case "blez":
+			return one(isa.Inst{Op: isa.BGE, Rs1: isa.Zero, Rs2: rs, Imm: off})
+		case "bgez":
+			return one(isa.Inst{Op: isa.BGE, Rs1: rs, Rs2: isa.Zero, Imm: off})
+		case "bltz":
+			return one(isa.Inst{Op: isa.BLT, Rs1: rs, Rs2: isa.Zero, Imm: off})
+		case "bgtz":
+			return one(isa.Inst{Op: isa.BLT, Rs1: isa.Zero, Rs2: rs, Imm: off})
+		}
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := e.reg(ops[0])
+		rs2, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		off, err := e.branchOff(ops[2], pc)
+		if err != nil {
+			return nil, err
+		}
+		swap := map[string]isa.Op{"bgt": isa.BLT, "ble": isa.BGE, "bgtu": isa.BLTU, "bleu": isa.BGEU}
+		return one(isa.Inst{Op: swap[op], Rs1: rs2, Rs2: rs1, Imm: off})
+	}
+
+	// Real instructions.
+	iop, ok := isa.OpByName(op)
+	if !ok {
+		return nil, e.errf("unknown instruction %q", op)
+	}
+	switch {
+	case iop.IsROLoad():
+		// ld.ro rd, (rs1), key
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		addr := strings.TrimSpace(ops[1])
+		if !strings.HasPrefix(addr, "(") || !strings.HasSuffix(addr, ")") {
+			return nil, e.errf("%s address operand must be (reg), got %q", op, ops[1])
+		}
+		rs1, err := e.reg(addr[1 : len(addr)-1])
+		if err != nil {
+			return nil, err
+		}
+		key, err := strconv.ParseUint(strings.TrimSpace(ops[2]), 0, 16)
+		if err != nil || key > isa.MaxKey {
+			return nil, e.errf("bad key %q", ops[2])
+		}
+		return one(isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Key: uint16(key)})
+
+	case iop.IsLoad():
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := e.parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Imm: off})
+
+	case iop.IsStore():
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := e.parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: iop, Rs1: rs1, Rs2: rs2, Imm: off})
+
+	case iop.IsBranch():
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := e.reg(ops[0])
+		rs2, err2 := e.reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return nil, firstErr(err1, err2)
+		}
+		off, err := e.branchOff(ops[2], pc)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: iop, Rs1: rs1, Rs2: rs2, Imm: off})
+
+	case iop == isa.JAL:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return e.jump(rd, ops[1], pc)
+
+	case iop == isa.JALR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := e.parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: off})
+
+	case iop == isa.LUI || iop == isa.AUIPC:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		p := &parser{line: e.line}
+		x, err := p.parseExpr(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.eval(x)
+		if err != nil {
+			return nil, err
+		}
+		// Accept both "lui rd, 0x11" (page number) and %hi() results.
+		if !x.Hi && x.Sym == "" && v >= 0 && v < 1<<20 {
+			v <<= 12
+		}
+		return one(isa.Inst{Op: iop, Rd: rd, Imm: v})
+
+	case iop == isa.ECALL || iop == isa.EBREAK || iop == isa.FENCE:
+		return one(isa.Inst{Op: iop})
+
+	case iop == isa.CSRRW || iop == isa.CSRRS || iop == isa.CSRRC:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		csr, err := strconv.ParseUint(strings.TrimSpace(ops[1]), 0, 12)
+		if err != nil {
+			return nil, e.errf("bad CSR %q", ops[1])
+		}
+		rs1, err := e.reg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Imm: int64(csr)})
+
+	default: // R-type and I-type ALU
+		if len(ops) != 3 {
+			return nil, e.errf("%s needs 3 operands", op)
+		}
+		rd, err := e.reg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := e.reg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if r2, err2 := e.reg(ops[2]); err2 == nil {
+			return one(isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Rs2: r2})
+		}
+		p := &parser{line: e.line}
+		x, err := p.parseExpr(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.eval(x)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Imm: v})
+	}
+}
+
+// materializeImm builds the instruction sequence loading the 64-bit
+// constant v into rd, following the GNU assembler's RV64 expansion:
+// a 32-bit lui/addiw core for the top bits, then slli+addi steps for
+// the remainder. force2 pins the two-instruction lui+addiw form used
+// for (32-bit) symbol addresses so pass-1 sizes stay exact.
+func materializeImm(rd isa.Reg, v int64, force2 bool) []isa.Inst {
+	if !force2 && v >= -2048 && v < 2048 {
+		return []isa.Inst{{Op: isa.ADDI, Rd: rd, Rs1: isa.Zero, Imm: v}}
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		upper := (v + 0x800) &^ 0xfff
+		low := v - upper
+		// lui materializes a sign-extended 32-bit value; values near
+		// the top of the positive range wrap (lui 0x80000 + addiw -1 =
+		// 0x7fffffff).
+		upper = int64(int32(upper))
+		return []isa.Inst{
+			{Op: isa.LUI, Rd: rd, Imm: upper},
+			// addiw sign-extends the 32-bit result, matching GNU as.
+			{Op: isa.ADDIW, Rd: rd, Rs1: rd, Imm: low},
+		}
+	}
+	// 64-bit case: materialize the high part recursively, then shift
+	// in 12-bit chunks.
+	lo12 := v << 52 >> 52
+	hi := (v - lo12) >> 12
+	seq := materializeImm(rd, hi, false)
+	seq = append(seq, isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 12})
+	if lo12 != 0 {
+		seq = append(seq, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo12})
+	}
+	return seq
+}
+
+// loadImm emits the li/la sequence.
+func (e *encoder) loadImm(rd isa.Reg, v int64, force2 bool) ([]uint32, error) {
+	seq := materializeImm(rd, v, force2)
+	words := make([]uint32, len(seq))
+	for i, in := range seq {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, e.errf("%v", err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// invertBranch returns the opposite condition.
+func invertBranch(op isa.Op) isa.Op {
+	switch op {
+	case isa.BEQ:
+		return isa.BNE
+	case isa.BNE:
+		return isa.BEQ
+	case isa.BLT:
+		return isa.BGE
+	case isa.BGE:
+		return isa.BLT
+	case isa.BLTU:
+		return isa.BGEU
+	case isa.BGEU:
+		return isa.BLTU
+	}
+	return op
+}
+
+// encodeBranch emits a conditional branch, using the relaxed
+// inverted-branch + jal form when the linker marked it long.
+func (e *encoder) encodeBranch(b *branchStmt, pc uint64) ([]uint32, error) {
+	off, err := e.eval(b.target)
+	if err != nil {
+		return nil, err
+	}
+	if b.target.Sym != "" {
+		off -= int64(pc)
+	}
+	if !b.long {
+		w, err := isa.Encode(isa.Inst{Op: b.op, Rs1: b.rs1, Rs2: b.rs2, Imm: off})
+		if err != nil {
+			return nil, e.errf("branch target out of range: %v", err)
+		}
+		return []uint32{w}, nil
+	}
+	// Relaxed: "bcc rs1, rs2, target" becomes
+	//   b!cc rs1, rs2, +8
+	//   jal  zero, target
+	w1, err := isa.Encode(isa.Inst{Op: invertBranch(b.op), Rs1: b.rs1, Rs2: b.rs2, Imm: 8})
+	if err != nil {
+		return nil, e.errf("%v", err)
+	}
+	w2, err := isa.Encode(isa.Inst{Op: isa.JAL, Rd: isa.Zero, Imm: off - 4})
+	if err != nil {
+		return nil, e.errf("relaxed branch target out of jal range: %v", err)
+	}
+	return []uint32{w1, w2}, nil
+}
+
+func (e *encoder) branchOff(target string, pc uint64) (int64, error) {
+	p := &parser{line: e.line}
+	x, err := p.parseExpr(target)
+	if err != nil {
+		return 0, err
+	}
+	v, err := e.eval(x)
+	if err != nil {
+		return 0, err
+	}
+	if x.Sym == "" {
+		return v, nil // numeric: already an offset
+	}
+	return v - int64(pc), nil
+}
+
+func (e *encoder) jump(rd isa.Reg, target string, pc uint64) ([]uint32, error) {
+	off, err := e.branchOff(target, pc)
+	if err != nil {
+		return nil, err
+	}
+	w, err := isa.Encode(isa.Inst{Op: isa.JAL, Rd: rd, Imm: off})
+	if err != nil {
+		return nil, e.errf("jump target out of range: %v", err)
+	}
+	return []uint32{w}, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

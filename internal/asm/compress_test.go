@@ -1,0 +1,164 @@
+package asm
+
+import (
+	"testing"
+
+	"roload/internal/isa"
+)
+
+const compressibleSrc = `
+_start:
+	li a0, 5
+	mv a1, a0
+	addi a1, a1, 3
+	add a0, a0, a1
+	sd a0, 0(sp)
+	ld a2, 0(sp)
+	ld.ro a3, (a0), 21
+	slli a2, a2, 4
+	li a7, 93
+	ecall
+`
+
+func TestCompressShrinksText(t *testing.T) {
+	plain, err := Assemble(compressibleSrc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Compress = true
+	small, err := Assemble(compressibleSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CodeSize() >= plain.CodeSize() {
+		t.Fatalf("compressed %d >= plain %d", small.CodeSize(), plain.CodeSize())
+	}
+	// ld.ro with key 21 and C registers must be among the compressed.
+	sec, _ := small.FindSection(".text")
+	found := false
+	for off := 0; off < len(sec.Data); {
+		raw := uint32(sec.Data[off])
+		if off+1 < len(sec.Data) {
+			raw |= uint32(sec.Data[off+1]) << 8
+		}
+		if raw&3 == 3 && off+3 < len(sec.Data) {
+			raw |= uint32(sec.Data[off+2])<<16 | uint32(sec.Data[off+3])<<24
+		}
+		in := isa.Decode(raw)
+		if in.Op == isa.LDRO && in.Size == 2 {
+			found = true
+			if in.Key != 21 {
+				t.Errorf("c.ld.ro key = %d", in.Key)
+			}
+		}
+		off += int(in.Size)
+	}
+	if !found {
+		t.Error("no c.ld.ro emitted")
+	}
+}
+
+// Compression must never change semantics: decode both streams and
+// compare the executed effect via a simple symbolic walk of the text.
+func TestCompressPreservesInstructionSequence(t *testing.T) {
+	plain, err := Assemble(compressibleSrc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Compress = true
+	small, err := Assemble(compressibleSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := decodeAll(t, plain)
+	ds := decodeAll(t, small)
+	if len(dp) != len(ds) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(dp), len(ds))
+	}
+	for i := range dp {
+		a, b := dp[i], ds[i]
+		a.Size, b.Size, a.Raw, b.Raw = 0, 0, 0, 0
+		// c.mv decodes as add rd, zero, rs2 while the plain stream has
+		// addi rd, rs, 0; compare semantics loosely for that pair.
+		if a.Op == isa.ADDI && b.Op == isa.ADD && a.Imm == 0 &&
+			b.Rs1 == isa.Zero && a.Rs1 == b.Rs2 && a.Rd == b.Rd {
+			continue
+		}
+		if a != b {
+			t.Errorf("inst %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func decodeAll(t *testing.T, img *Image) []isa.Inst {
+	t.Helper()
+	sec, ok := img.FindSection(".text")
+	if !ok {
+		t.Fatal("no text")
+	}
+	var out []isa.Inst
+	for off := 0; off < len(sec.Data); {
+		raw := uint32(sec.Data[off])
+		if off+1 < len(sec.Data) {
+			raw |= uint32(sec.Data[off+1]) << 8
+		}
+		if raw&3 == 3 {
+			if off+3 < len(sec.Data) {
+				raw |= uint32(sec.Data[off+2])<<16 | uint32(sec.Data[off+3])<<24
+			}
+		}
+		in := isa.Decode(raw)
+		out = append(out, in)
+		off += int(in.Size)
+	}
+	return out
+}
+
+// Branches across compressed code must still resolve (relaxation and
+// layout interact with 2-byte statements).
+func TestCompressWithBranches(t *testing.T) {
+	src := `
+_start:
+	li a0, 0
+	li a1, 10
+loop:
+	addi a0, a0, 1
+	blt a0, a1, loop
+	li a7, 93
+	ecall
+`
+	opts := DefaultOptions()
+	opts.Compress = true
+	img, err := Assemble(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blt target must land exactly on the addi (which compressed
+	// to 2 bytes). Verify by decoding from the branch and walking back.
+	sec, _ := img.FindSection(".text")
+	loop := img.Symbols["loop"] - sec.VA
+	raw := uint32(sec.Data[loop]) | uint32(sec.Data[loop+1])<<8
+	in := isa.Decode(raw)
+	if in.Op != isa.ADDI || in.Size != 2 {
+		t.Errorf("loop head = %v size %d", in, in.Size)
+	}
+}
+
+func TestLiteralInstRejectsSymbolic(t *testing.T) {
+	cases := [][2]string{
+		{"ld", "a0, sym(a1)"},
+		{"li", "a0, sym"},
+		{"addi", "a0, a1, sym"},
+		{"ld.ro", "a0, (a1), sym"},
+	}
+	for _, c := range cases {
+		if _, ok := literalInst(c[0], splitOperands(c[1])); ok {
+			t.Errorf("literalInst(%s %s) accepted symbolic operand", c[0], c[1])
+		}
+	}
+	if _, ok := literalInst("mul", splitOperands("a0, a1, a2")); ok {
+		t.Error("literalInst accepted unsupported mnemonic")
+	}
+}

@@ -1,0 +1,137 @@
+// Package asm implements the assembler and static linker of the ROLoad
+// toolchain. It accepts RISC-V assembly extended with the ld.ro-family
+// instructions and with keyed read-only sections (.rodata.key.N), and
+// produces loadable images in which each section carries its page
+// permissions and ROLoad key.
+//
+// The section naming convention matches Listing 3 of the paper:
+//
+//	.section .rodata.key.111
+//	gfpt_foo: .quad foo
+//
+// The assembler honours the "-z separate-code" discipline the paper
+// requires of its linker: code and read-only data never share a page,
+// otherwise read-only data would land in executable pages and violate
+// the read-only requirement of ROLoad-family instructions.
+package asm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perm is a section permission bit set.
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Section is one loadable region of an image.
+type Section struct {
+	Name string
+	VA   uint64
+	Data []byte // initialized contents; len(Data) <= Size
+	Size uint64 // total size including zero fill (.bss)
+	Perm Perm
+	Key  uint16 // ROLoad page key (0 = untyped)
+}
+
+// Image is a linked program ready for the kernel loader.
+type Image struct {
+	Sections []Section
+	Entry    uint64
+	Symbols  map[string]uint64
+}
+
+// Symbol returns the address of a defined symbol.
+func (img *Image) Symbol(name string) (uint64, bool) {
+	v, ok := img.Symbols[name]
+	return v, ok
+}
+
+// FindSection returns the section with the given name.
+func (img *Image) FindSection(name string) (*Section, bool) {
+	for i := range img.Sections {
+		if img.Sections[i].Name == name {
+			return &img.Sections[i], true
+		}
+	}
+	return nil, false
+}
+
+// TotalSize returns the loadable byte count (including BSS zero fill),
+// the basis of the evaluation's memory-usage accounting.
+func (img *Image) TotalSize() uint64 {
+	var n uint64
+	for _, s := range img.Sections {
+		n += s.Size
+	}
+	return n
+}
+
+// CodeSize returns the byte count of executable sections.
+func (img *Image) CodeSize() uint64 {
+	var n uint64
+	for _, s := range img.Sections {
+		if s.Perm&PermExec != 0 {
+			n += s.Size
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants the loader relies on:
+// page-aligned sections, no overlap, no writable+executable section,
+// and keys only on read-only sections.
+func (img *Image) Validate() error {
+	secs := make([]Section, len(img.Sections))
+	copy(secs, img.Sections)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].VA < secs[j].VA })
+	for i, s := range secs {
+		if s.VA%4096 != 0 {
+			return fmt.Errorf("asm: section %s at unaligned address %#x", s.Name, s.VA)
+		}
+		if uint64(len(s.Data)) > s.Size {
+			return fmt.Errorf("asm: section %s data exceeds size", s.Name)
+		}
+		if s.Perm&PermWrite != 0 && s.Perm&PermExec != 0 {
+			return fmt.Errorf("asm: section %s is writable and executable (DEP violation)", s.Name)
+		}
+		if s.Key != 0 && (s.Perm&PermWrite != 0 || s.Perm&PermRead == 0) {
+			return fmt.Errorf("asm: keyed section %s must be read-only", s.Name)
+		}
+		if i > 0 {
+			prev := secs[i-1]
+			prevEnd := prev.VA + pageRound(prev.Size)
+			if s.VA < prevEnd {
+				return fmt.Errorf("asm: sections %s and %s overlap", prev.Name, s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func pageRound(n uint64) uint64 {
+	const page = 4096
+	if n%page == 0 {
+		return n
+	}
+	return n + page - n%page
+}

@@ -1,0 +1,623 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"roload/internal/isa"
+)
+
+// SyntaxError reports a problem in the assembly source.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// expr is a symbol-relative constant: Sym == "" means a plain integer.
+type expr struct {
+	Sym string
+	Off int64
+	Hi  bool // %hi(sym)
+	Lo  bool // %lo(sym)
+}
+
+// stmt is one sized unit within a section: an instruction (possibly a
+// pseudo expansion) or a data directive.
+type stmt struct {
+	line int
+	size uint64
+
+	// instruction statements
+	inst   *instStmt
+	branch *branchStmt
+	c16    uint16 // compressed (RVC) encoding; valid when size == 2
+	isC16  bool
+	// data statements
+	data  []dataItem
+	align uint64 // alignment request in bytes (power of two)
+	space uint64 // zero fill
+}
+
+type instStmt struct {
+	op       string // mnemonic as written (pseudo or real)
+	operands []string
+}
+
+// branchStmt is a canonicalized conditional branch, kept separate so
+// the linker can relax out-of-range branches into an inverted branch
+// over a jal (size 4 -> 8). Branch pseudos (beqz, bgt, ...) lower to
+// this form at parse time.
+type branchStmt struct {
+	op       isa.Op
+	rs1, rs2 isa.Reg
+	target   expr
+	long     bool // relaxed to inverted-branch + jal
+}
+
+type dataItem struct {
+	width int // 1,2,4,8
+	val   expr
+	str   []byte // for .asciz, width 0
+}
+
+type section struct {
+	name  string
+	perm  Perm
+	key   uint16
+	stmts []stmt
+}
+
+// symbol points at a statement; its byte offset is computed during
+// layout (which may iterate while branches relax).
+type symbol struct {
+	section string
+	stmtIdx int
+}
+
+// parser accumulates sections and symbols during pass 1.
+type parser struct {
+	sections map[string]*section
+	order    []string
+	symbols  map[string]symbol
+	globals  map[string]bool
+	cur      *section
+	line     int
+	compress bool // attempt RVC encodings for literal instructions
+}
+
+func newParser() *parser {
+	return &parser{
+		sections: make(map[string]*section),
+		symbols:  make(map[string]symbol),
+		globals:  make(map[string]bool),
+	}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) enterSection(name string) error {
+	if s, ok := p.sections[name]; ok {
+		p.cur = s
+		return nil
+	}
+	s := &section{name: name}
+	switch {
+	case name == ".text":
+		s.perm = PermRead | PermExec
+	case name == ".data" || name == ".bss":
+		s.perm = PermRead | PermWrite
+	case name == ".rodata":
+		s.perm = PermRead
+	case strings.HasPrefix(name, ".rodata.key."):
+		s.perm = PermRead
+		keyStr := strings.TrimPrefix(name, ".rodata.key.")
+		key, err := strconv.ParseUint(keyStr, 10, 16)
+		if err != nil || key > isa.MaxKey {
+			return p.errf("invalid section key %q", keyStr)
+		}
+		s.key = uint16(key)
+	case strings.HasPrefix(name, ".rodata."):
+		s.perm = PermRead
+	default:
+		return p.errf("unknown section %q", name)
+	}
+	p.sections[name] = s
+	p.order = append(p.order, name)
+	p.cur = s
+	return nil
+}
+
+// splitOperands splits on top-level commas, respecting parentheses and
+// quoted strings.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		case '/':
+			if !inStr && i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (p *parser) parse(src string) error {
+	p.line = 0
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several on one line).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:idx])
+			if !isIdent(head) {
+				break
+			}
+			if err := p.defineLabel(head); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := p.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.instruction(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' || r == '$' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) defineLabel(name string) error {
+	if p.cur == nil {
+		if err := p.enterSection(".text"); err != nil {
+			return err
+		}
+	}
+	if _, dup := p.symbols[name]; dup {
+		return p.errf("symbol %q redefined", name)
+	}
+	p.symbols[name] = symbol{section: p.cur.name, stmtIdx: len(p.cur.stmts)}
+	return nil
+}
+
+func (p *parser) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	name := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch name {
+	case ".text", ".data", ".bss", ".rodata":
+		return p.enterSection(name)
+	case ".section":
+		return p.enterSection(strings.TrimSpace(rest))
+	case ".globl", ".global":
+		p.globals[rest] = true
+		return nil
+	case ".align", ".p2align":
+		n, err := strconv.ParseUint(rest, 0, 8)
+		if err != nil || n > 12 {
+			return p.errf("bad alignment %q", rest)
+		}
+		return p.addStmt(stmt{line: p.line, align: 1 << n})
+	case ".space", ".zero", ".skip":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return p.errf("bad size %q", rest)
+		}
+		return p.addStmt(stmt{line: p.line, size: n, space: n})
+	case ".byte", ".half", ".word", ".quad", ".dword":
+		width := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".quad": 8, ".dword": 8}[name]
+		var items []dataItem
+		for _, op := range splitOperands(rest) {
+			e, err := p.parseExpr(op)
+			if err != nil {
+				return err
+			}
+			items = append(items, dataItem{width: width, val: e})
+		}
+		if len(items) == 0 {
+			return p.errf("%s needs at least one value", name)
+		}
+		return p.addStmt(stmt{line: p.line, size: uint64(width * len(items)), data: items})
+	case ".asciz", ".string":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return p.errf("bad string %q", rest)
+		}
+		b := append([]byte(s), 0)
+		return p.addStmt(stmt{line: p.line, size: uint64(len(b)),
+			data: []dataItem{{str: b}}})
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return p.errf("bad string %q", rest)
+		}
+		return p.addStmt(stmt{line: p.line, size: uint64(len(s)),
+			data: []dataItem{{str: []byte(s)}}})
+	default:
+		return p.errf("unknown directive %q", name)
+	}
+}
+
+func (p *parser) addStmt(s stmt) error {
+	if p.cur == nil {
+		if err := p.enterSection(".text"); err != nil {
+			return err
+		}
+	}
+	// .align padding is resolved during layout, which knows offsets.
+	p.cur.stmts = append(p.cur.stmts, s)
+	return nil
+}
+
+func (p *parser) instruction(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	op := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	operands := splitOperands(rest)
+	if b, ok, err := p.branchStmt(op, operands); err != nil {
+		return err
+	} else if ok {
+		return p.addStmt(stmt{line: p.line, size: 4, branch: b})
+	}
+	if p.compress {
+		if in, ok := literalInst(op, operands); ok {
+			if raw, ok := isa.TryCompress(in); ok {
+				return p.addStmt(stmt{line: p.line, size: 2, c16: raw, isC16: true})
+			}
+		}
+	}
+	size, err := p.instSize(op, operands)
+	if err != nil {
+		return err
+	}
+	return p.addStmt(stmt{
+		line: p.line,
+		size: size,
+		inst: &instStmt{op: op, operands: operands},
+	})
+}
+
+// literalInst builds an isa.Inst for a mnemonic whose operands are all
+// registers or integer literals (no symbols), the precondition for
+// attempting an RVC encoding at parse time. Only the forms the code
+// generator emits frequently are recognized.
+func literalInst(op string, operands []string) (isa.Inst, bool) {
+	reg := func(s string) (isa.Reg, bool) { return isa.RegByName(strings.TrimSpace(s)) }
+	lit := func(s string) (int64, bool) {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		return v, err == nil
+	}
+	mem := func(s string) (int64, isa.Reg, bool) {
+		s = strings.TrimSpace(s)
+		open := strings.LastIndex(s, "(")
+		if open < 0 || !strings.HasSuffix(s, ")") {
+			return 0, 0, false
+		}
+		r, ok := reg(s[open+1 : len(s)-1])
+		if !ok {
+			return 0, 0, false
+		}
+		if open == 0 {
+			return 0, r, true
+		}
+		off, ok := lit(s[:open])
+		return off, r, ok
+	}
+	switch op {
+	case "ld.ro":
+		if len(operands) != 3 {
+			return isa.Inst{}, false
+		}
+		rd, ok1 := reg(operands[0])
+		off, rs1, ok2 := mem(operands[1])
+		key, ok3 := lit(operands[2])
+		if !ok1 || !ok2 || !ok3 || off != 0 || key < 0 || key > isa.MaxKey {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: isa.LDRO, Rd: rd, Rs1: rs1, Key: uint16(key)}, true
+	case "ld", "lw", "sd", "sw":
+		if len(operands) != 2 {
+			return isa.Inst{}, false
+		}
+		iop, _ := isa.OpByName(op)
+		off, rs1, ok2 := mem(operands[1])
+		r, ok1 := reg(operands[0])
+		if !ok1 || !ok2 {
+			return isa.Inst{}, false
+		}
+		if iop.IsStore() {
+			return isa.Inst{Op: iop, Rs1: rs1, Rs2: r, Imm: off}, true
+		}
+		return isa.Inst{Op: iop, Rd: r, Rs1: rs1, Imm: off}, true
+	case "addi", "addiw", "slli":
+		if len(operands) != 3 {
+			return isa.Inst{}, false
+		}
+		iop, _ := isa.OpByName(op)
+		rd, ok1 := reg(operands[0])
+		rs1, ok2 := reg(operands[1])
+		imm, ok3 := lit(operands[2])
+		if !ok1 || !ok2 || !ok3 {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: iop, Rd: rd, Rs1: rs1, Imm: imm}, true
+	case "add":
+		if len(operands) != 3 {
+			return isa.Inst{}, false
+		}
+		rd, ok1 := reg(operands[0])
+		rs1, ok2 := reg(operands[1])
+		rs2, ok3 := reg(operands[2])
+		if !ok1 || !ok2 || !ok3 {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}, true
+	case "mv":
+		if len(operands) != 2 {
+			return isa.Inst{}, false
+		}
+		rd, ok1 := reg(operands[0])
+		rs2, ok2 := reg(operands[1])
+		if !ok1 || !ok2 {
+			return isa.Inst{}, false
+		}
+		// c.mv encodes as add rd, x0, rs2.
+		return isa.Inst{Op: isa.ADD, Rd: rd, Rs1: isa.Zero, Rs2: rs2}, true
+	case "li":
+		if len(operands) != 2 {
+			return isa.Inst{}, false
+		}
+		rd, ok1 := reg(operands[0])
+		imm, ok2 := lit(operands[1])
+		if !ok1 || !ok2 {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.Zero, Imm: imm}, true
+	case "ret":
+		if len(operands) != 0 {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}, true
+	case "jr":
+		if len(operands) != 1 {
+			return isa.Inst{}, false
+		}
+		rs, ok := reg(operands[0])
+		if !ok {
+			return isa.Inst{}, false
+		}
+		return isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: rs}, true
+	}
+	return isa.Inst{}, false
+}
+
+// branchStmt canonicalizes conditional-branch mnemonics (real and
+// pseudo) so the linker can relax out-of-range ones.
+func (p *parser) branchStmt(op string, operands []string) (*branchStmt, bool, error) {
+	reg := func(s string) (isa.Reg, error) {
+		r, ok := isa.RegByName(strings.TrimSpace(s))
+		if !ok {
+			return 0, p.errf("bad register %q", s)
+		}
+		return r, nil
+	}
+	build := func(iop isa.Op, rs1, rs2 string, target string) (*branchStmt, bool, error) {
+		r1, err := reg(rs1)
+		if err != nil {
+			return nil, false, err
+		}
+		r2, err := reg(rs2)
+		if err != nil {
+			return nil, false, err
+		}
+		tgt, err := p.parseExpr(target)
+		if err != nil {
+			return nil, false, err
+		}
+		return &branchStmt{op: iop, rs1: r1, rs2: r2, target: tgt}, true, nil
+	}
+	need := func(n int) error {
+		if len(operands) != n {
+			return p.errf("%s needs %d operands, got %d", op, n, len(operands))
+		}
+		return nil
+	}
+	switch op {
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := need(3); err != nil {
+			return nil, false, err
+		}
+		iop, _ := isa.OpByName(op)
+		return build(iop, operands[0], operands[1], operands[2])
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, false, err
+		}
+		swap := map[string]isa.Op{"bgt": isa.BLT, "ble": isa.BGE, "bgtu": isa.BLTU, "bleu": isa.BGEU}
+		return build(swap[op], operands[1], operands[0], operands[2])
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, false, err
+		}
+		switch op {
+		case "beqz":
+			return build(isa.BEQ, operands[0], "zero", operands[1])
+		case "bnez":
+			return build(isa.BNE, operands[0], "zero", operands[1])
+		case "blez":
+			return build(isa.BGE, "zero", operands[0], operands[1])
+		case "bgez":
+			return build(isa.BGE, operands[0], "zero", operands[1])
+		case "bltz":
+			return build(isa.BLT, operands[0], "zero", operands[1])
+		case "bgtz":
+			return build(isa.BLT, "zero", operands[0], operands[1])
+		}
+	}
+	return nil, false, nil
+}
+
+// instSize returns the encoded size of an instruction or pseudo. All
+// real instructions are 4 bytes; pseudo-instructions expand to a fixed
+// number of real ones determined here (pass 1 must know final sizes).
+func (p *parser) instSize(op string, operands []string) (uint64, error) {
+	switch op {
+	case "li":
+		if len(operands) != 2 {
+			return 0, p.errf("li needs 2 operands")
+		}
+		e, err := p.parseExpr(operands[1])
+		if err != nil {
+			return 0, err
+		}
+		if e.Sym != "" {
+			return 8, nil // lui+addi
+		}
+		return uint64(4 * len(materializeImm(0, e.Off, false))), nil
+	case "la":
+		return 8, nil // lui+addi
+	case "call", "tail":
+		return 4, nil // jal
+	case "lw.at", "ld.at", "sb.at", "sh.at", "sw.at", "sd.at":
+		return 12, nil // la + access
+	default:
+		return 4, nil
+	}
+}
+
+// parseExpr parses an integer, symbol, symbol+int, symbol-int,
+// %hi(expr) or %lo(expr).
+func (p *parser) parseExpr(s string) (expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return expr{}, p.errf("empty expression")
+	}
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		e, err := p.parseExpr(s[4 : len(s)-1])
+		if err != nil {
+			return expr{}, err
+		}
+		e.Hi = true
+		return e, nil
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		e, err := p.parseExpr(s[4 : len(s)-1])
+		if err != nil {
+			return expr{}, err
+		}
+		e.Lo = true
+		return e, nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return expr{Off: v}, nil
+	}
+	// Unsigned hex like 0xffffffffffffffff.
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return expr{Off: int64(v)}, nil
+	}
+	if s[0] == '\'' { // character literal
+		if uq, err := strconv.Unquote(s); err == nil && len(uq) == 1 {
+			return expr{Off: int64(uq[0])}, nil
+		}
+	}
+	// symbol [+|- offset]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			sym := strings.TrimSpace(s[:i])
+			if !isIdent(sym) {
+				break
+			}
+			off, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 0, 64)
+			if err != nil {
+				return expr{}, p.errf("bad offset in %q", s)
+			}
+			if s[i] == '-' {
+				off = -off
+			}
+			return expr{Sym: sym, Off: off}, nil
+		}
+	}
+	if isIdent(s) {
+		return expr{Sym: s}, nil
+	}
+	return expr{}, p.errf("cannot parse expression %q", s)
+}

@@ -1,0 +1,135 @@
+// Package cache models the prototype's L1 caches for cycle accounting.
+//
+// The paper's system (Table II) has 32 KiB 8-way L1 instruction and
+// data caches in front of a DDR3 SO-DIMM. The performance evaluation
+// only needs hit/miss behaviour — the CPU charges a miss penalty per
+// refill — so the model tracks tags with true LRU and no data array.
+package cache
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size
+}
+
+// DefaultL1 mirrors Table II: 32 KiB, 8-way, 64-byte lines.
+func DefaultL1() Config {
+	return Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+}
+
+// Stats aggregates accesses.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MissRate returns misses / accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative tag store with true LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a cache. The configuration must describe a power-of-two
+// geometry; New panics otherwise, since configurations are
+// compile-time constants in this codebase.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	numLines := cfg.SizeBytes / cfg.LineBytes
+	numSets := numLines / cfg.Ways
+	if numSets == 0 || numSets&(numSets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: geometry must be a power of two")
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numLines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(numSets - 1),
+		lineBits: lineBits,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics without flushing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access touches the line containing physical address pa and reports
+// whether it hit. A miss installs the line.
+func (c *Cache) Access(pa uint64) bool {
+	c.tick++
+	lineAddr := pa >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(popcount(c.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.tick}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

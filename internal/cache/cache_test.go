@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstAccessMisses(t *testing.T) {
+	c := New(DefaultL1())
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1038) { // same 64-byte line
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1040) { // next line
+		t.Error("next-line cold access hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", st.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways x 16-byte lines = 64 bytes total.
+	c := New(Config{SizeBytes: 64, Ways: 2, LineBytes: 16})
+	// Three lines mapping to set 0: line addresses 0, 2, 4 (stride 32).
+	c.Access(0)  // miss, installs A
+	c.Access(32) // miss, installs B
+	c.Access(0)  // hit, A is now MRU
+	c.Access(64) // miss, evicts B (LRU)
+	if !c.Access(0) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(32) {
+		t.Error("B survived despite being LRU victim")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(DefaultL1())
+	c.Access(0x2000)
+	c.Flush()
+	if c.Access(0x2000) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 0, Ways: 1, LineBytes: 16},
+		{SizeBytes: 96, Ways: 2, LineBytes: 16}, // 3 sets: not a power of two
+		{SizeBytes: 64, Ways: 2, LineBytes: 24}, // line not a power of two
+		{SizeBytes: -1, Ways: 1, LineBytes: 16},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: accessing the same address twice in a row always hits the
+// second time, for any address.
+func TestQuickTemporalLocality(t *testing.T) {
+	c := New(DefaultL1())
+	f := func(pa uint64) bool {
+		c.Access(pa)
+		return c.Access(pa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than one set's associativity never
+// conflicts.
+func TestQuickNoConflictWithinWays(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, Ways: 4, LineBytes: 64}
+	f := func(base uint32) bool {
+		c := New(cfg)
+		numSets := uint64(cfg.SizeBytes / cfg.Ways / cfg.LineBytes)
+		stride := numSets * uint64(cfg.LineBytes)
+		addrs := make([]uint64, cfg.Ways)
+		for i := range addrs {
+			addrs[i] = uint64(base) + uint64(i)*stride
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		for _, a := range addrs {
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(DefaultL1())
+	c.Access(0x1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}

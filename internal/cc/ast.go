@@ -1,0 +1,379 @@
+package cc
+
+// Type is a MiniC type. Everything is 8 bytes except arrays and
+// struct/class bodies.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type   // pointer element / array element
+	Len    int64   // array length
+	Name   string  // struct/class name
+	Params []*Type // function params
+	Ret    *Type   // function return (nil = none)
+}
+
+// TypeKind enumerates MiniC types.
+type TypeKind int
+
+const (
+	TypeInt TypeKind = iota
+	TypePointer
+	TypeArray
+	TypeFunc // function signature (only used behind a pointer or as decl)
+	TypeStruct
+	TypeClass
+	TypeVoid
+)
+
+var intType = &Type{Kind: TypeInt}
+var voidType = &Type{Kind: TypeVoid}
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	case TypeVoid:
+		return 0
+	case TypeStruct, TypeClass:
+		// resolved via the checker's layout table; placeholder here
+		return 0
+	default:
+		return 8
+	}
+}
+
+// String renders the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeVoid:
+		return "void"
+	case TypePointer:
+		return "*" + t.Elem.String()
+	case TypeArray:
+		return "[" + itoa(t.Len) + "]" + t.Elem.String()
+	case TypeStruct:
+		return "struct " + t.Name
+	case TypeClass:
+		return "class " + t.Name
+	case TypeFunc:
+		s := "func("
+		for i, p := range t.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += p.String()
+		}
+		s += ")"
+		if t.Ret != nil && t.Ret.Kind != TypeVoid {
+			s += t.Ret.String()
+		}
+		return s
+	}
+	return "?"
+}
+
+// Sig returns the canonical signature string used as a CFI "type key"
+// (the paper's type-based policy groups functions by signature).
+func (t *Type) Sig() string {
+	if t.Kind != TypeFunc {
+		return t.String()
+	}
+	return t.String()
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// --- Declarations ---
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs []*StructDecl
+	Classes []*ClassDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a plain struct.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Line   int
+}
+
+// Field is one struct/class field.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// ClassDecl declares a class with virtual methods.
+type ClassDecl struct {
+	Name    string
+	Base    string // "" for root classes
+	Fields  []Field
+	Methods []*FuncDecl
+	Line    int
+}
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // may be nil
+	Line int
+
+	// frameOffset is the local's distance below the frame pointer,
+	// assigned by the checker (locals only).
+	frameOffset int64
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl declares a function or method.
+type FuncDecl struct {
+	Name    string
+	Class   string // receiver class for methods, "" otherwise
+	Virtual bool
+	Params  []Param
+	Ret     *Type // nil for void
+	Body    *BlockStmt
+	Line    int
+
+	// Filled by the checker:
+	Mangled   string // emitted symbol name
+	Slot      int    // vtable slot for virtual methods
+	frameSize int64  // bytes of locals+params spilled in the frame
+}
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil
+	Post Stmt // may be nil
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// AssignStmt is lhs = rhs (or op=).
+type AssignStmt struct {
+	LHS  Expr
+	Op   string // "=", "+=", ...
+	RHS  Expr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()   {}
+
+// --- Expressions ---
+
+// Expr is an expression node. The checker fills T on every node.
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+	Pos() int
+}
+
+type exprBase struct {
+	T    *Type
+	Line int
+}
+
+func (e *exprBase) TypeOf() *Type { return e.T }
+func (e *exprBase) Pos() int      { return e.Line }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// StrLit is a string literal (typed *int pointing at bytes).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// NullLit is the null pointer.
+type NullLit struct{ exprBase }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	exprBase
+	Name string
+
+	// Checker results:
+	Kind   IdentKind
+	Offset int64 // frame offset for locals/params
+	Func   *FuncDecl
+}
+
+// IdentKind classifies resolved identifiers.
+type IdentKind int
+
+const (
+	IdentLocal IdentKind = iota
+	IdentParam
+	IdentGlobal
+	IdentFunc
+)
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Call is a function call: direct, indirect, virtual or builtin.
+type Call struct {
+	exprBase
+	Fun  Expr // Ident (direct), expression of func-pointer type, or Member (method)
+	Args []Expr
+
+	// Checker results:
+	Direct  *FuncDecl // non-nil for direct calls
+	Builtin string    // print_int, print_str, exit, etc.
+	Virtual bool      // vtable dispatch
+	Slot    int       // vtable slot for virtual calls
+	Class   string    // static class of the receiver
+	FType   *Type     // function type of the callee
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is x.f or x->f (on structs and classes; auto-derefs).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Off   int64 // field offset, filled by the checker
+	Class string
+}
+
+// New allocates a class or struct instance: new T or new T[n].
+type New struct {
+	exprBase
+	TypeName string
+	Count    Expr // nil for single allocation
+	IsArray  bool
+
+	// Checker results:
+	AllocType *Type
+	AllocSize int64 // per-element size
+}
+
+// SizeofExpr is sizeof(T).
+type SizeofExpr struct {
+	exprBase
+	Arg  *Type
+	Size int64
+}
+
+// Cond is c ? a : b — not in the grammar; omitted.
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*NullLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*New) exprNode()        {}
+func (*SizeofExpr) exprNode() {}

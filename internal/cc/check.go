@@ -1,0 +1,678 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassInfo is the checker's view of one class: its layout and vtable.
+type ClassInfo struct {
+	Decl    *ClassDecl
+	Base    *ClassInfo
+	Size    int64            // object size in bytes (including vptr)
+	Fields  map[string]int64 // field name -> byte offset
+	FieldT  map[string]*Type
+	VTable  []*FuncDecl // slot -> implementing method
+	SlotOf  map[string]int
+	Derived []*ClassInfo
+	ID      int // dense class index (used for per-class vtable keys)
+}
+
+// StructInfo is the layout of a plain struct.
+type StructInfo struct {
+	Decl   *StructDecl
+	Size   int64
+	Fields map[string]int64
+	FieldT map[string]*Type
+}
+
+// Checked is a type-checked program plus the symbol information the
+// code generator and hardening passes need.
+type Checked struct {
+	Prog    *Program
+	Classes map[string]*ClassInfo
+	Structs map[string]*StructInfo
+	Globals map[string]*VarDecl
+	Funcs   map[string]*FuncDecl
+
+	// AddressTaken lists functions whose address is taken somewhere
+	// (the candidate set for ICall GFPTs), keyed by mangled name.
+	AddressTaken map[string]*FuncDecl
+	// SigOf maps a mangled function name to its canonical signature.
+	SigOf map[string]string
+	// ClassOrder is the deterministic listing of classes.
+	ClassOrder []string
+}
+
+type checker struct {
+	out    *Checked
+	fn     *FuncDecl // current function
+	locals []map[string]*localVar
+	frame  int64 // next frame offset (positive; codegen flips sign)
+	maxFrm int64
+	loops  int
+}
+
+type localVar struct {
+	decl   *VarDecl
+	offset int64
+	param  bool
+}
+
+// Check resolves and type-checks a parsed program.
+func Check(prog *Program) (*Checked, error) {
+	c := &checker{out: &Checked{
+		Prog:         prog,
+		Classes:      make(map[string]*ClassInfo),
+		Structs:      make(map[string]*StructInfo),
+		Globals:      make(map[string]*VarDecl),
+		Funcs:        make(map[string]*FuncDecl),
+		AddressTaken: make(map[string]*FuncDecl),
+		SigOf:        make(map[string]string),
+	}}
+	if err := c.collect(); err != nil {
+		return nil, err
+	}
+	for _, f := range c.allFuncs() {
+		if err := c.checkFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := c.out.Funcs["main"]; !ok {
+		return nil, errf(1, "no main function")
+	}
+	return c.out, nil
+}
+
+func (c *checker) allFuncs() []*FuncDecl {
+	var out []*FuncDecl
+	out = append(out, c.out.Prog.Funcs...)
+	for _, cd := range c.out.Prog.Classes {
+		out = append(out, cd.Methods...)
+	}
+	return out
+}
+
+// collect builds struct/class layouts, vtables and global tables.
+func (c *checker) collect() error {
+	prog := c.out.Prog
+	for _, sd := range prog.Structs {
+		if _, dup := c.out.Structs[sd.Name]; dup {
+			return errf(sd.Line, "struct %s redefined", sd.Name)
+		}
+		c.out.Structs[sd.Name] = &StructInfo{Decl: sd}
+	}
+	for _, cd := range prog.Classes {
+		if _, dup := c.out.Classes[cd.Name]; dup {
+			return errf(cd.Line, "class %s redefined", cd.Name)
+		}
+		if _, clash := c.out.Structs[cd.Name]; clash {
+			return errf(cd.Line, "%s defined as both struct and class", cd.Name)
+		}
+		c.out.Classes[cd.Name] = &ClassInfo{Decl: cd}
+		c.out.ClassOrder = append(c.out.ClassOrder, cd.Name)
+	}
+
+	// Struct layouts (structs may nest arrays/structs by value).
+	for _, sd := range prog.Structs {
+		info := c.out.Structs[sd.Name]
+		info.Fields = make(map[string]int64)
+		info.FieldT = make(map[string]*Type)
+		var off int64
+		for _, f := range sd.Fields {
+			if err := c.resolveType(f.Type, sd.Line); err != nil {
+				return err
+			}
+			if _, dup := info.Fields[f.Name]; dup {
+				return errf(sd.Line, "field %s.%s redefined", sd.Name, f.Name)
+			}
+			info.Fields[f.Name] = off
+			info.FieldT[f.Name] = f.Type
+			off += c.sizeOf(f.Type)
+		}
+		info.Size = off
+		if info.Size == 0 {
+			info.Size = 8
+		}
+	}
+
+	// Class hierarchies: resolve bases, then layouts in topological
+	// order (parents first).
+	for _, name := range c.out.ClassOrder {
+		info := c.out.Classes[name]
+		if b := info.Decl.Base; b != "" {
+			base, ok := c.out.Classes[b]
+			if !ok {
+				return errf(info.Decl.Line, "class %s extends unknown class %s", name, b)
+			}
+			info.Base = base
+			base.Derived = append(base.Derived, info)
+		}
+	}
+	done := make(map[string]bool)
+	var layout func(info *ClassInfo) error
+	layout = func(info *ClassInfo) error {
+		if done[info.Decl.Name] {
+			return nil
+		}
+		if info.Base != nil {
+			if info.Base == info {
+				return errf(info.Decl.Line, "class %s extends itself", info.Decl.Name)
+			}
+			if err := layout(info.Base); err != nil {
+				return err
+			}
+		}
+		info.Fields = make(map[string]int64)
+		info.FieldT = make(map[string]*Type)
+		info.SlotOf = make(map[string]int)
+		var off int64 = 8 // slot 0: vptr
+		if info.Base != nil {
+			for k, v := range info.Base.Fields {
+				info.Fields[k] = v
+				info.FieldT[k] = info.Base.FieldT[k]
+			}
+			info.VTable = append(info.VTable, info.Base.VTable...)
+			for k, v := range info.Base.SlotOf {
+				info.SlotOf[k] = v
+			}
+			off = info.Base.Size
+		}
+		for _, f := range info.Decl.Fields {
+			if err := c.resolveType(f.Type, info.Decl.Line); err != nil {
+				return err
+			}
+			if _, dup := info.Fields[f.Name]; dup {
+				return errf(info.Decl.Line, "field %s.%s shadows an inherited field", info.Decl.Name, f.Name)
+			}
+			info.Fields[f.Name] = off
+			info.FieldT[f.Name] = f.Type
+			off += c.sizeOf(f.Type)
+		}
+		info.Size = off
+		for _, m := range info.Decl.Methods {
+			m.Mangled = info.Decl.Name + "$" + m.Name
+			for _, p := range m.Params {
+				if err := c.resolveType(p.Type, m.Line); err != nil {
+					return err
+				}
+			}
+			if m.Ret != nil {
+				if err := c.resolveType(m.Ret, m.Line); err != nil {
+					return err
+				}
+			}
+			if slot, override := info.SlotOf[m.Name]; override {
+				// Override must match the base signature.
+				base := info.VTable[slot]
+				if base.Sig() != m.Sig() {
+					return errf(m.Line, "method %s.%s overrides %s.%s with a different signature",
+						info.Decl.Name, m.Name, base.Class, base.Name)
+				}
+				m.Slot = slot
+				info.VTable[slot] = m
+			} else {
+				m.Slot = len(info.VTable)
+				info.SlotOf[m.Name] = m.Slot
+				info.VTable = append(info.VTable, m)
+			}
+			// Virtual methods are address-taken by construction: their
+			// addresses live in vtables.
+			c.out.AddressTaken[m.Mangled] = m
+			c.out.SigOf[m.Mangled] = m.Sig()
+		}
+		done[info.Decl.Name] = true
+		return nil
+	}
+	ordered := make([]string, len(c.out.ClassOrder))
+	copy(ordered, c.out.ClassOrder)
+	sort.Strings(ordered)
+	for i, name := range c.out.ClassOrder {
+		c.out.Classes[name].ID = i + 1
+	}
+	for _, name := range c.out.ClassOrder {
+		if err := layout(c.out.Classes[name]); err != nil {
+			return err
+		}
+	}
+
+	for _, f := range prog.Funcs {
+		if _, dup := c.out.Funcs[f.Name]; dup {
+			return errf(f.Line, "function %s redefined", f.Name)
+		}
+		if builtinFuncs[f.Name] != "" {
+			return errf(f.Line, "function %s shadows a builtin", f.Name)
+		}
+		f.Mangled = f.Name
+		for _, p := range f.Params {
+			if err := c.resolveType(p.Type, f.Line); err != nil {
+				return err
+			}
+		}
+		if f.Ret != nil {
+			if err := c.resolveType(f.Ret, f.Line); err != nil {
+				return err
+			}
+		}
+		c.out.Funcs[f.Name] = f
+		c.out.SigOf[f.Mangled] = f.Sig()
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.out.Globals[g.Name]; dup {
+			return errf(g.Line, "global %s redefined", g.Name)
+		}
+		if err := c.resolveType(g.Type, g.Line); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			if _, ok := constInt(g.Init); !ok {
+				if _, isNull := g.Init.(*NullLit); !isNull {
+					return errf(g.Line, "global %s: initializer must be a constant", g.Name)
+				}
+			}
+		}
+		c.out.Globals[g.Name] = g
+	}
+	return nil
+}
+
+// Sig returns the canonical function type signature (receiver erased,
+// following the paper's type-based CFI policy which groups functions by
+// parameter/return types).
+func (f *FuncDecl) Sig() string {
+	t := &Type{Kind: TypeFunc, Ret: f.Ret}
+	for _, p := range f.Params {
+		t.Params = append(t.Params, p.Type)
+	}
+	return t.Sig()
+}
+
+// FuncType returns the function type of a declaration.
+func (f *FuncDecl) FuncType() *Type {
+	t := &Type{Kind: TypeFunc, Ret: f.Ret}
+	for _, p := range f.Params {
+		t.Params = append(t.Params, p.Type)
+	}
+	return t
+}
+
+// resolveType patches named types to struct or class kind and validates
+// nested types.
+func (c *checker) resolveType(t *Type, line int) error {
+	switch t.Kind {
+	case TypePointer, TypeArray:
+		return c.resolveType(t.Elem, line)
+	case TypeFunc:
+		for _, pt := range t.Params {
+			if err := c.resolveType(pt, line); err != nil {
+				return err
+			}
+		}
+		if t.Ret != nil {
+			return c.resolveType(t.Ret, line)
+		}
+		return nil
+	case TypeStruct, TypeClass:
+		if _, ok := c.out.Structs[t.Name]; ok {
+			t.Kind = TypeStruct
+			return nil
+		}
+		if _, ok := c.out.Classes[t.Name]; ok {
+			t.Kind = TypeClass
+			return nil
+		}
+		return errf(line, "unknown type %q", t.Name)
+	}
+	return nil
+}
+
+// sizeOf computes storage size with struct/class layout awareness.
+func (c *checker) sizeOf(t *Type) int64 {
+	switch t.Kind {
+	case TypeArray:
+		return t.Len * c.sizeOf(t.Elem)
+	case TypeStruct:
+		if info, ok := c.out.Structs[t.Name]; ok {
+			return info.Size
+		}
+		return 8
+	case TypeClass:
+		if info, ok := c.out.Classes[t.Name]; ok {
+			return info.Size
+		}
+		return 8
+	case TypeVoid:
+		return 0
+	default:
+		return 8
+	}
+}
+
+var builtinFuncs = map[string]string{
+	"print_int": "func(int)",
+	"print_str": "func(*int)",
+	"exit":      "func(int)",
+	// attack_point is a test intrinsic: it raises the kernel's attack
+	// hook syscall, giving a harness the chance to corrupt memory at a
+	// deterministic execution point (simulating the memory-corruption
+	// vulnerability of the threat model).
+	"attack_point": "func()",
+}
+
+func (c *checker) pushScope() { c.locals = append(c.locals, make(map[string]*localVar)) }
+func (c *checker) popScope()  { c.locals = c.locals[:len(c.locals)-1] }
+
+func (c *checker) define(d *VarDecl, param bool) (*localVar, error) {
+	top := c.locals[len(c.locals)-1]
+	if _, dup := top[d.Name]; dup {
+		return nil, errf(d.Line, "variable %s redefined in this scope", d.Name)
+	}
+	size := c.sizeOf(d.Type)
+	if size%8 != 0 {
+		size += 8 - size%8
+	}
+	c.frame += size
+	lv := &localVar{decl: d, offset: c.frame, param: param}
+	top[d.Name] = lv
+	if c.frame > c.maxFrm {
+		c.maxFrm = c.frame
+	}
+	return lv, nil
+}
+
+func (c *checker) lookup(name string) *localVar {
+	for i := len(c.locals) - 1; i >= 0; i-- {
+		if lv, ok := c.locals[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+// FrameSizes records each function's local-frame size for codegen.
+var _ = fmt.Sprintf // placate unused import during refactors
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.frame = 0
+	c.maxFrm = 0
+	c.locals = nil
+	c.pushScope()
+	defer c.popScope()
+
+	if f.Class != "" {
+		this := &VarDecl{Name: "this", Line: f.Line,
+			Type: &Type{Kind: TypePointer, Elem: &Type{Kind: TypeClass, Name: f.Class}}}
+		if _, err := c.define(this, true); err != nil {
+			return err
+		}
+	}
+	if isAggregate(f.Ret) {
+		return errf(f.Line, "function %s: aggregates return by pointer in MiniC", f.Name)
+	}
+	maxParams := 7
+	if f.Class != "" {
+		maxParams = 6 // a0 carries the receiver
+	}
+	if len(f.Params) > maxParams {
+		return errf(f.Line, "function %s has more than %d parameters", f.Name, maxParams)
+	}
+	for i := range f.Params {
+		pt := f.Params[i].Type
+		if pt.Kind == TypeStruct || pt.Kind == TypeClass || pt.Kind == TypeArray {
+			return errf(f.Line, "parameter %s: aggregates pass by pointer in MiniC", f.Params[i].Name)
+		}
+		pd := &VarDecl{Name: f.Params[i].Name, Type: pt, Line: f.Line}
+		if _, err := c.define(pd, true); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	f.frameSize = c.maxFrm
+	return nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	saved := c.frame
+	defer func() { c.frame = saved }()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *DeclStmt:
+		d := s.Decl
+		if err := c.resolveType(d.Type, d.Line); err != nil {
+			return err
+		}
+		if d.Init != nil {
+			t, err := c.checkExpr(d.Init)
+			if err != nil {
+				return err
+			}
+			if isAggregate(d.Type) {
+				return errf(d.Line, "cannot initialize aggregate %s by value", d.Name)
+			}
+			if !assignable(d.Type, t) {
+				return errf(d.Line, "cannot initialize %s (%s) with %s", d.Name, d.Type, t)
+			}
+		}
+		lv, err := c.define(d, false)
+		if err != nil {
+			return err
+		}
+		d.frameOffset = lv.offset
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X)
+		return err
+	case *AssignStmt:
+		lt, err := c.checkExpr(s.LHS)
+		if err != nil {
+			return err
+		}
+		if !isLValue(s.LHS) {
+			return errf(s.Line, "left side of assignment is not assignable")
+		}
+		if isAggregate(lt) {
+			return errf(s.Line, "cannot assign %s by value; copy fields or use pointers", lt)
+		}
+		rt, err := c.checkExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if s.Op == "=" {
+			if !assignable(lt, rt) {
+				return errf(s.Line, "cannot assign %s to %s", rt, lt)
+			}
+			return nil
+		}
+		if lt.Kind != TypeInt || rt.Kind != TypeInt {
+			return errf(s.Line, "compound assignment needs int operands, got %s and %s", lt, rt)
+		}
+		return nil
+	case *IfStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		savedFrame := c.frame
+		defer func() { c.frame = savedFrame }()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if _, err := c.checkExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if s.X == nil {
+			if c.fn.Ret != nil && c.fn.Ret.Kind != TypeVoid {
+				return errf(s.Line, "function %s must return %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(s.X)
+		if err != nil {
+			return err
+		}
+		if c.fn.Ret == nil || c.fn.Ret.Kind == TypeVoid {
+			return errf(s.Line, "function %s returns no value", c.fn.Name)
+		}
+		if !assignable(c.fn.Ret, t) {
+			return errf(s.Line, "cannot return %s from function returning %s", t, c.fn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(s.Line, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(s.Line, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+// constInt folds the constant integer expressions permitted in global
+// initializers: literals and unary minus/complement of them.
+func constInt(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *Unary:
+		v, ok := constInt(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		}
+	}
+	return 0, false
+}
+
+func isAggregate(t *Type) bool {
+	return t != nil && (t.Kind == TypeStruct || t.Kind == TypeClass || t.Kind == TypeArray)
+}
+
+func isLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Kind != IdentFunc
+	case *Index, *Member:
+		return true
+	case *Unary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+// assignable implements MiniC's assignment compatibility: exact type
+// match, int<->int, null to any pointer, any pointer to *int (the
+// catch-all "void*"-style pointer), *Derived to *Base.
+func assignable(dst, src *Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if typeEq(dst, src) {
+		return true
+	}
+	if dst.Kind == TypePointer && src.Kind == TypePointer {
+		if dst.Elem.Kind == TypeInt {
+			return true // *int acts as void*
+		}
+		if src.Elem.Kind == TypeInt {
+			return true
+		}
+		// upcast Derived -> Base
+		if dst.Elem.Kind == TypeClass && src.Elem.Kind == TypeClass {
+			return true // runtime layout guarantees prefix compatibility
+		}
+	}
+	if dst.Kind == TypePointer && src.Kind == TypeInt {
+		return false
+	}
+	return false
+}
+
+func typeEq(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TypeInt, TypeVoid:
+		return true
+	case TypePointer:
+		return typeEq(a.Elem, b.Elem)
+	case TypeArray:
+		return a.Len == b.Len && typeEq(a.Elem, b.Elem)
+	case TypeStruct, TypeClass:
+		return a.Name == b.Name
+	case TypeFunc:
+		if len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !typeEq(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		ar, br := a.Ret, b.Ret
+		if ar == nil {
+			ar = voidType
+		}
+		if br == nil {
+			br = voidType
+		}
+		return typeEq(ar, br)
+	}
+	return false
+}

@@ -1,0 +1,364 @@
+package cc
+
+// checkExpr type-checks one expression, annotating the node, and
+// returns its type.
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.T = intType
+		return intType, nil
+
+	case *StrLit:
+		e.T = &Type{Kind: TypePointer, Elem: intType}
+		return e.T, nil
+
+	case *NullLit:
+		e.T = &Type{Kind: TypePointer, Elem: intType}
+		return e.T, nil
+
+	case *SizeofExpr:
+		if err := c.resolveType(e.Arg, e.Line); err != nil {
+			return nil, err
+		}
+		e.Size = c.sizeOf(e.Arg)
+		e.T = intType
+		return intType, nil
+
+	case *Ident:
+		if lv := c.lookup(e.Name); lv != nil {
+			e.Kind = IdentLocal
+			if lv.param {
+				e.Kind = IdentParam
+			}
+			e.Offset = lv.offset
+			e.T = lv.decl.Type
+			return e.T, nil
+		}
+		if g, ok := c.out.Globals[e.Name]; ok {
+			e.Kind = IdentGlobal
+			e.T = g.Type
+			return e.T, nil
+		}
+		if f, ok := c.out.Funcs[e.Name]; ok {
+			e.Kind = IdentFunc
+			e.Func = f
+			e.T = f.FuncType()
+			// A function name used as a value is address-taken (the
+			// candidate set for the ICall GFPTs). Direct-call callees
+			// are resolved in checkCall without reaching this path.
+			c.out.AddressTaken[f.Mangled] = f
+			return e.T, nil
+		}
+		return nil, errf(e.Line, "undefined: %s", e.Name)
+
+	case *Unary:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-", "~", "!":
+			if xt.Kind != TypeInt {
+				return nil, errf(e.Line, "operator %s needs int, got %s", e.Op, xt)
+			}
+			e.T = intType
+		case "*":
+			if xt.Kind != TypePointer {
+				return nil, errf(e.Line, "cannot dereference %s", xt)
+			}
+			if xt.Elem.Kind == TypeStruct || xt.Elem.Kind == TypeClass {
+				return nil, errf(e.Line, "cannot load %s by value; access a field", xt.Elem)
+			}
+			e.T = xt.Elem
+		case "&":
+			if !isLValue(e.X) {
+				// &func is handled by Ident of func type directly.
+				if id, ok := e.X.(*Ident); ok && id.Kind == IdentFunc {
+					c.out.AddressTaken[id.Func.Mangled] = id.Func
+					e.T = &Type{Kind: TypePointer, Elem: id.T}
+					return e.T, nil
+				}
+				return nil, errf(e.Line, "cannot take address of this expression")
+			}
+			e.T = &Type{Kind: TypePointer, Elem: xt}
+		default:
+			return nil, errf(e.Line, "unknown unary operator %s", e.Op)
+		}
+		return e.T, nil
+
+	case *Binary:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "==", "!=":
+			if !(typeEq(xt, yt) || assignable(xt, yt) || assignable(yt, xt)) {
+				return nil, errf(e.Line, "cannot compare %s and %s", xt, yt)
+			}
+			e.T = intType
+		case "+", "-":
+			// pointer arithmetic: ptr ± int scales by element size.
+			if xt.Kind == TypePointer && yt.Kind == TypeInt {
+				e.T = xt
+				return e.T, nil
+			}
+			if xt.Kind == TypeInt && yt.Kind == TypeInt {
+				e.T = intType
+				return e.T, nil
+			}
+			return nil, errf(e.Line, "operator %s on %s and %s", e.Op, xt, yt)
+		default:
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return nil, errf(e.Line, "operator %s needs int operands, got %s and %s", e.Op, xt, yt)
+			}
+			e.T = intType
+		}
+		return e.T, nil
+
+	case *Index:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.checkExpr(e.I)
+		if err != nil {
+			return nil, err
+		}
+		if it.Kind != TypeInt {
+			return nil, errf(e.Line, "array index must be int, got %s", it)
+		}
+		switch xt.Kind {
+		case TypeArray:
+			e.T = xt.Elem
+		case TypePointer:
+			if xt.Elem.Kind == TypeStruct || xt.Elem.Kind == TypeClass {
+				e.T = xt.Elem // p[i] on struct pointers yields the i-th object (rare)
+			} else {
+				e.T = xt.Elem
+			}
+		default:
+			return nil, errf(e.Line, "cannot index %s", xt)
+		}
+		return e.T, nil
+
+	case *Member:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		// Auto-deref one pointer level (x.f and x->f both work).
+		base := xt
+		if base.Kind == TypePointer {
+			base = base.Elem
+		}
+		switch base.Kind {
+		case TypeStruct:
+			info := c.out.Structs[base.Name]
+			off, ok := info.Fields[e.Name]
+			if !ok {
+				return nil, errf(e.Line, "struct %s has no field %s", base.Name, e.Name)
+			}
+			e.Off = off
+			e.T = info.FieldT[e.Name]
+		case TypeClass:
+			info := c.out.Classes[base.Name]
+			if off, ok := info.Fields[e.Name]; ok {
+				e.Off = off
+				e.T = info.FieldT[e.Name]
+				e.Class = base.Name
+				break
+			}
+			if _, ok := info.SlotOf[e.Name]; ok {
+				// Bare method reference: only valid as the callee of a
+				// Call; give it the method's function type.
+				e.Class = base.Name
+				e.T = info.VTable[info.SlotOf[e.Name]].FuncType()
+				break
+			}
+			return nil, errf(e.Line, "class %s has no field or method %s", base.Name, e.Name)
+		default:
+			return nil, errf(e.Line, "cannot select field %s of %s", e.Name, xt)
+		}
+		return e.T, nil
+
+	case *New:
+		if info, ok := c.out.Classes[e.TypeName]; ok {
+			e.AllocType = &Type{Kind: TypeClass, Name: e.TypeName}
+			e.AllocSize = info.Size
+		} else if info, ok := c.out.Structs[e.TypeName]; ok {
+			e.AllocType = &Type{Kind: TypeStruct, Name: e.TypeName}
+			e.AllocSize = info.Size
+		} else if e.TypeName == "int" {
+			e.AllocType = intType
+			e.AllocSize = 8
+		} else {
+			return nil, errf(e.Line, "cannot allocate unknown type %s", e.TypeName)
+		}
+		if e.Count != nil {
+			ct, err := c.checkExpr(e.Count)
+			if err != nil {
+				return nil, err
+			}
+			if ct.Kind != TypeInt {
+				return nil, errf(e.Line, "allocation count must be int")
+			}
+		}
+		e.T = &Type{Kind: TypePointer, Elem: e.AllocType}
+		return e.T, nil
+
+	case *Call:
+		return c.checkCall(e)
+	}
+	return nil, errf(0, "unknown expression")
+}
+
+// checkCall resolves direct calls, builtins, virtual dispatch, and
+// indirect calls through function-pointer values.
+func (c *checker) checkCall(e *Call) (*Type, error) {
+	// Builtins.
+	if id, ok := e.Fun.(*Ident); ok {
+		if _, isBuiltin := builtinFuncs[id.Name]; isBuiltin && c.lookup(id.Name) == nil {
+			if _, g := c.out.Globals[id.Name]; !g {
+				return c.checkBuiltin(e, id.Name)
+			}
+		}
+	}
+
+	// Method call: expr.m(args).
+	if m, ok := e.Fun.(*Member); ok {
+		xt, err := c.checkExpr(m.X)
+		if err != nil {
+			return nil, err
+		}
+		base := xt
+		if base.Kind == TypePointer {
+			base = base.Elem
+		}
+		if base.Kind == TypeClass {
+			info := c.out.Classes[base.Name]
+			slot, ok := info.SlotOf[m.Name]
+			if !ok {
+				return nil, errf(e.Line, "class %s has no method %s", base.Name, m.Name)
+			}
+			target := info.VTable[slot]
+			if err := c.checkArgs(e, target.FuncType()); err != nil {
+				return nil, err
+			}
+			e.Virtual = true
+			e.Slot = slot
+			e.Class = base.Name
+			e.FType = target.FuncType()
+			m.Class = base.Name
+			m.T = e.FType
+			e.T = retOf(e.FType)
+			return e.T, nil
+		}
+		// fall through: struct field of function-pointer type
+	}
+
+	// Direct call of a named function: resolve the identifier here so
+	// callees of direct calls are NOT marked address-taken.
+	if id, ok := e.Fun.(*Ident); ok && c.lookup(id.Name) == nil {
+		if _, isGlobal := c.out.Globals[id.Name]; !isGlobal {
+			if f, isFn := c.out.Funcs[id.Name]; isFn {
+				id.Kind = IdentFunc
+				id.Func = f
+				id.T = f.FuncType()
+				if err := c.checkArgs(e, id.T); err != nil {
+					return nil, err
+				}
+				e.Direct = f
+				e.FType = id.T
+				e.T = retOf(id.T)
+				return e.T, nil
+			}
+		}
+	}
+
+	ft, err := c.checkExpr(e.Fun)
+	if err != nil {
+		return nil, err
+	}
+
+	// Indirect call through a function-pointer value.
+	callee := ft
+	if callee.Kind == TypePointer && callee.Elem.Kind == TypeFunc {
+		callee = callee.Elem
+	}
+	if callee.Kind != TypeFunc {
+		return nil, errf(e.Line, "cannot call value of type %s", ft)
+	}
+	if err := c.checkArgs(e, callee); err != nil {
+		return nil, err
+	}
+	e.FType = callee
+	e.T = retOf(callee)
+	return e.T, nil
+}
+
+func retOf(ft *Type) *Type {
+	if ft.Ret == nil {
+		return voidType
+	}
+	return ft.Ret
+}
+
+func (c *checker) checkArgs(e *Call, ft *Type) error {
+	if len(e.Args) != len(ft.Params) {
+		return errf(e.Line, "call needs %d arguments, got %d", len(ft.Params), len(e.Args))
+	}
+	if len(e.Args) > 7 {
+		return errf(e.Line, "too many arguments (max 7)")
+	}
+	for i, a := range e.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return err
+		}
+		if !assignable(ft.Params[i], at) {
+			return errf(e.Line, "argument %d: cannot use %s as %s", i+1, at, ft.Params[i])
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBuiltin(e *Call, name string) (*Type, error) {
+	e.Builtin = name
+	switch name {
+	case "attack_point":
+		if len(e.Args) != 0 {
+			return nil, errf(e.Line, "attack_point takes no arguments")
+		}
+	case "print_int", "exit":
+		if len(e.Args) != 1 {
+			return nil, errf(e.Line, "%s needs 1 argument", name)
+		}
+		at, err := c.checkExpr(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if at.Kind != TypeInt {
+			return nil, errf(e.Line, "%s needs an int argument, got %s", name, at)
+		}
+	case "print_str":
+		if len(e.Args) != 1 {
+			return nil, errf(e.Line, "%s needs 1 argument", name)
+		}
+		at, err := c.checkExpr(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if at.Kind != TypePointer {
+			return nil, errf(e.Line, "print_str needs a string argument, got %s", at)
+		}
+	default:
+		return nil, errf(e.Line, "unknown builtin %s", name)
+	}
+	e.T = voidType
+	return voidType, nil
+}

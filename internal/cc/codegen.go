@@ -1,0 +1,745 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// codegen translates a checked program into a Unit. The generator is a
+// simple stack machine: every expression leaves its value in t0, with
+// intermediate values spilled to the hardware stack. This keeps the
+// baseline, VCall, ICall, VTint and CFI variants structurally
+// identical except for the instrumentation under study, which is what
+// the paper's relative-overhead measurements require.
+type codegen struct {
+	chk    *Checked
+	unit   *Unit
+	fn     *MFunc
+	decl   *FuncDecl
+	labelN int
+	brk    []string // break label stack
+	cont   []string // continue label stack
+	strs   map[string]string
+}
+
+// Compile parses, checks, and compiles MiniC source into a Unit.
+func Compile(src string) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(chk)
+}
+
+// Generate lowers a checked program.
+func Generate(chk *Checked) (*Unit, error) {
+	g := &codegen{
+		chk:  chk,
+		unit: &Unit{Checked: chk},
+		strs: make(map[string]string),
+	}
+	// vtables (deterministic class order; root computed for keying).
+	for _, name := range chk.ClassOrder {
+		info := chk.Classes[name]
+		root := info
+		for root.Base != nil {
+			root = root.Base
+		}
+		def := VTableDef{
+			Class:   name,
+			Symbol:  "__vt_" + name,
+			ClassID: info.ID,
+			Root:    root.Decl.Name,
+		}
+		for _, m := range info.VTable {
+			def.Slots = append(def.Slots, m.Mangled)
+		}
+		g.unit.VTables = append(g.unit.VTables, def)
+	}
+	// globals
+	for _, gv := range chk.Prog.Globals {
+		size := g.sizeOf(gv.Type)
+		if gv.Init != nil {
+			v, _ := constInt(gv.Init) // null initializer folds to 0
+			g.unit.Data = append(g.unit.Data, L("g_"+gv.Name), I(".quad", itoa(v)))
+		} else {
+			g.unit.Bss = append(g.unit.Bss,
+				L("g_"+gv.Name), I(".space", itoa(align8(size))))
+		}
+	}
+	// functions (top-level then methods, stable order)
+	var fns []*FuncDecl
+	fns = append(fns, chk.Prog.Funcs...)
+	for _, name := range chk.ClassOrder {
+		fns = append(fns, chk.Classes[name].Decl.Methods...)
+	}
+	for _, f := range fns {
+		if err := g.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return g.unit, nil
+}
+
+func (g *codegen) sizeOf(t *Type) int64 {
+	c := &checker{out: g.chk}
+	return c.sizeOf(t)
+}
+
+func align8(n int64) int64 {
+	if n%8 == 0 {
+		return n
+	}
+	return n + 8 - n%8
+}
+
+func align16(n int64) int64 {
+	if n%16 == 0 {
+		return n
+	}
+	return n + 16 - n%16
+}
+
+func (g *codegen) emit(op string, args ...string) *Line {
+	g.fn.Lines = append(g.fn.Lines, I(op, args...))
+	return &g.fn.Lines[len(g.fn.Lines)-1]
+}
+
+func (g *codegen) label(l string) {
+	g.fn.Lines = append(g.fn.Lines, L(l))
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%s_%d", g.fn.Name, hint, g.labelN)
+}
+
+// push spills t0 to the stack.
+func (g *codegen) push() {
+	g.emit("addi", "sp", "sp", "-8")
+	g.emit("sd", "t0", "0(sp)")
+}
+
+// pop restores the most recent spill into reg.
+func (g *codegen) pop(reg string) {
+	g.emit("ld", reg, "0(sp)")
+	g.emit("addi", "sp", "sp", "8")
+}
+
+func (g *codegen) strLabel(s string) string {
+	if l, ok := g.strs[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf("__str_%d", len(g.strs))
+	g.strs[s] = l
+	g.unit.RoData = append(g.unit.RoData, L(l), I(".asciz", strconv.Quote(s)))
+	return l
+}
+
+func (g *codegen) genFunc(f *FuncDecl) error {
+	g.fn = &MFunc{Name: f.Mangled, Sig: f.Sig()}
+	g.decl = f
+	g.unit.Funcs = append(g.unit.Funcs, g.fn)
+
+	frame := align16(16 + f.frameSize)
+	g.emit("addi", "sp", "sp", itoa(-frame))
+	g.emit("sd", "ra", itoa(frame-8)+"(sp)")
+	g.emit("sd", "s0", itoa(frame-16)+"(sp)")
+	g.emit("addi", "s0", "sp", itoa(frame))
+
+	// Spill incoming arguments into their frame slots. The checker
+	// assigned offsets in declaration order ("this" first for methods),
+	// one 8-byte slot per parameter (the checker rejects aggregates).
+	argReg := 0
+	cursor := int64(0)
+	spillNext := func() {
+		cursor += 8
+		g.emit("sd", fmt.Sprintf("a%d", argReg), g.frameAddr(cursor))
+		argReg++
+	}
+	if f.Class != "" {
+		spillNext()
+	}
+	for range f.Params {
+		spillNext()
+	}
+
+	if err := g.genBlock(f.Body); err != nil {
+		return err
+	}
+	// Implicit return (void functions and fall-through).
+	g.genEpilogue()
+	return nil
+}
+
+// frameAddr renders the memory operand for a checker frame offset.
+// The frame below s0 holds [ra][saved s0][locals...]: the first local
+// (checker offset 8) lives at s0-24, below the two saved registers.
+func (g *codegen) frameAddr(off int64) string {
+	return itoa(-(off + 16)) + "(s0)"
+}
+
+func (g *codegen) genEpilogue() {
+	frame := align16(16 + g.decl.frameSize)
+	g.emit("ld", "ra", itoa(frame-8)+"(sp)")
+	g.emit("ld", "s0", itoa(frame-16)+"(sp)")
+	g.emit("addi", "sp", "sp", itoa(frame))
+	g.emit("ret")
+}
+
+func (g *codegen) genBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return g.genBlock(s)
+
+	case *DeclStmt:
+		if s.Decl.Init == nil {
+			// Zero-initialize scalar locals for determinism.
+			if s.Decl.Type.Kind != TypeArray && s.Decl.Type.Kind != TypeStruct && s.Decl.Type.Kind != TypeClass {
+				g.emit("sd", "zero", g.frameAddr(s.Decl.frameOffset))
+			}
+			return nil
+		}
+		if err := g.genExpr(s.Decl.Init); err != nil {
+			return err
+		}
+		g.emit("sd", "t0", g.frameAddr(s.Decl.frameOffset))
+		return nil
+
+	case *ExprStmt:
+		return g.genExpr(s.X)
+
+	case *AssignStmt:
+		return g.genAssign(s)
+
+	case *ReturnStmt:
+		if s.X != nil {
+			if err := g.genExpr(s.X); err != nil {
+				return err
+			}
+			g.emit("mv", "a0", "t0")
+		}
+		g.genEpilogue()
+		return nil
+
+	case *IfStmt:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("beqz", "t0", elseL)
+		if err := g.genBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.emit("j", endL)
+		}
+		g.label(elseL)
+		if s.Else != nil {
+			if err := g.genStmt(s.Else); err != nil {
+				return err
+			}
+			g.label(endL)
+		}
+		return nil
+
+	case *WhileStmt:
+		head := g.newLabel("while")
+		end := g.newLabel("endwhile")
+		g.brk = append(g.brk, end)
+		g.cont = append(g.cont, head)
+		g.label(head)
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("beqz", "t0", end)
+		if err := g.genBlock(s.Body); err != nil {
+			return err
+		}
+		g.emit("j", head)
+		g.label(end)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		return nil
+
+	case *ForStmt:
+		head := g.newLabel("for")
+		post := g.newLabel("forpost")
+		end := g.newLabel("endfor")
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		g.brk = append(g.brk, end)
+		g.cont = append(g.cont, post)
+		g.label(head)
+		if s.Cond != nil {
+			if err := g.genExpr(s.Cond); err != nil {
+				return err
+			}
+			g.emit("beqz", "t0", end)
+		}
+		if err := g.genBlock(s.Body); err != nil {
+			return err
+		}
+		g.label(post)
+		if s.Post != nil {
+			if err := g.genStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("j", head)
+		g.label(end)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		return nil
+
+	case *BreakStmt:
+		g.emit("j", g.brk[len(g.brk)-1])
+		return nil
+
+	case *ContinueStmt:
+		g.emit("j", g.cont[len(g.cont)-1])
+		return nil
+	}
+	return fmt.Errorf("cc: cannot generate statement %T", s)
+}
+
+func (g *codegen) genAssign(s *AssignStmt) error {
+	// Compute the destination address, spill it, evaluate the value.
+	if err := g.genAddr(s.LHS); err != nil {
+		return err
+	}
+	g.push()
+	if s.Op != "=" {
+		// Compound: load current value first.
+		g.emit("ld", "t0", "0(sp)") // address (keep spilled)
+		g.emit("ld", "t0", "0(t0)")
+		g.push() // current value
+		if err := g.genExpr(s.RHS); err != nil {
+			return err
+		}
+		g.emit("mv", "t1", "t0")
+		g.pop("t0") // current value
+		op := map[string]string{
+			"+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "rem",
+			"&=": "and", "|=": "or", "^=": "xor", "<<=": "sll", ">>=": "sra",
+		}[s.Op]
+		g.emit(op, "t0", "t0", "t1")
+	} else {
+		if err := g.genExpr(s.RHS); err != nil {
+			return err
+		}
+	}
+	g.pop("t1") // destination address
+	g.storeTo(s.LHS.TypeOf(), "t1")
+	return nil
+}
+
+// storeTo writes t0 through the address in reg with the width of t.
+func (g *codegen) storeTo(t *Type, reg string) {
+	g.emit("sd", "t0", "0("+reg+")")
+	_ = t // all MiniC scalars are 8 bytes
+}
+
+// genAddr leaves the address of an lvalue in t0.
+func (g *codegen) genAddr(e Expr) error {
+	switch e := e.(type) {
+	case *Ident:
+		switch e.Kind {
+		case IdentLocal, IdentParam:
+			g.emit("addi", "t0", "s0", itoa(-(e.Offset + 16)))
+		case IdentGlobal:
+			g.emit("la", "t0", "g_"+e.Name)
+		default:
+			return errf(e.Line, "cannot take address of function %s here", e.Name)
+		}
+		return nil
+
+	case *Unary:
+		if e.Op != "*" {
+			return errf(e.Line, "not an lvalue")
+		}
+		return g.genExpr(e.X)
+
+	case *Index:
+		// base address/value
+		xt := e.X.TypeOf()
+		if xt.Kind == TypeArray {
+			if err := g.genAddr(e.X); err != nil {
+				return err
+			}
+		} else { // pointer: use its value
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+		}
+		g.push()
+		if err := g.genExpr(e.I); err != nil {
+			return err
+		}
+		size := g.sizeOf(e.TypeOf())
+		if xt.Kind == TypePointer && (xt.Elem.Kind == TypeStruct || xt.Elem.Kind == TypeClass) {
+			size = g.sizeOf(xt.Elem)
+		}
+		g.scaleT0(size)
+		g.pop("t1")
+		g.emit("add", "t0", "t1", "t0")
+		return nil
+
+	case *Member:
+		xt := e.X.TypeOf()
+		if xt.Kind == TypePointer {
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+		} else {
+			if err := g.genAddr(e.X); err != nil {
+				return err
+			}
+		}
+		if e.Off != 0 {
+			g.emit("addi", "t0", "t0", itoa(e.Off))
+		}
+		return nil
+	}
+	return errf(e.Pos(), "expression is not addressable")
+}
+
+// scaleT0 multiplies t0 by size (shift when a power of two).
+func (g *codegen) scaleT0(size int64) {
+	switch size {
+	case 1:
+	case 8:
+		g.emit("slli", "t0", "t0", "3")
+	case 2:
+		g.emit("slli", "t0", "t0", "1")
+	case 4:
+		g.emit("slli", "t0", "t0", "2")
+	default:
+		g.emit("li", "t1", itoa(size))
+		g.emit("mul", "t0", "t0", "t1")
+	}
+}
+
+// genExpr leaves the expression value in t0.
+func (g *codegen) genExpr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		g.emit("li", "t0", itoa(e.Val))
+		return nil
+
+	case *StrLit:
+		g.emit("la", "t0", g.strLabel(e.Val))
+		return nil
+
+	case *NullLit:
+		g.emit("li", "t0", "0")
+		return nil
+
+	case *SizeofExpr:
+		g.emit("li", "t0", itoa(e.Size))
+		return nil
+
+	case *Ident:
+		if e.Kind == IdentFunc {
+			// Function address materialization — the sensitive pattern
+			// the ICall pass rewrites (Listing 2 in the paper).
+			ln := g.emit("la", "t0", e.Func.Mangled)
+			ln.Meta = &Meta{
+				Kind: MetaFPtrMaterialize,
+				Func: e.Func.Mangled,
+				Sig:  e.Func.Sig(),
+				Reg:  "t0",
+			}
+			return nil
+		}
+		if e.TypeOf().Kind == TypeArray {
+			return g.genAddr(e)
+		}
+		if err := g.genAddr(e); err != nil {
+			return err
+		}
+		g.emit("ld", "t0", "0(t0)")
+		return nil
+
+	case *Unary:
+		switch e.Op {
+		case "&":
+			if id, ok := e.X.(*Ident); ok && id.Kind == IdentFunc {
+				ln := g.emit("la", "t0", id.Func.Mangled)
+				ln.Meta = &Meta{Kind: MetaFPtrMaterialize, Func: id.Func.Mangled, Sig: id.Func.Sig(), Reg: "t0"}
+				return nil
+			}
+			return g.genAddr(e.X)
+		case "*":
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+			g.emit("ld", "t0", "0(t0)")
+			return nil
+		case "-":
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+			g.emit("neg", "t0", "t0")
+			return nil
+		case "~":
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+			g.emit("not", "t0", "t0")
+			return nil
+		case "!":
+			if err := g.genExpr(e.X); err != nil {
+				return err
+			}
+			g.emit("seqz", "t0", "t0")
+			return nil
+		}
+		return errf(e.Line, "bad unary %s", e.Op)
+
+	case *Binary:
+		return g.genBinary(e)
+
+	case *Index, *Member:
+		if err := g.genAddr(e); err != nil {
+			return err
+		}
+		// Aggregate-typed member/index expressions evaluate to their
+		// address (like arrays); scalars load through it.
+		t := e.(Expr).TypeOf()
+		if t.Kind != TypeStruct && t.Kind != TypeClass && t.Kind != TypeArray {
+			g.emit("ld", "t0", "0(t0)")
+		}
+		return nil
+
+	case *New:
+		if e.Count != nil {
+			if err := g.genExpr(e.Count); err != nil {
+				return err
+			}
+			g.scaleT0(e.AllocSize)
+		} else {
+			g.emit("li", "t0", itoa(e.AllocSize))
+		}
+		g.emit("mv", "a0", "t0")
+		g.emit("call", "__malloc")
+		if e.AllocType.Kind == TypeClass && !e.IsArray {
+			// Install the vptr (object construction).
+			g.emit("la", "t1", "__vt_"+e.TypeName)
+			g.emit("sd", "t1", "0(a0)")
+		}
+		g.emit("mv", "t0", "a0")
+		return nil
+
+	case *Call:
+		return g.genCall(e)
+	}
+	return errf(e.Pos(), "cannot generate expression")
+}
+
+func (g *codegen) genBinary(e *Binary) error {
+	// Short-circuit logicals.
+	if e.Op == "&&" || e.Op == "||" {
+		done := g.newLabel("sc")
+		if err := g.genExpr(e.X); err != nil {
+			return err
+		}
+		g.emit("snez", "t0", "t0")
+		if e.Op == "&&" {
+			g.emit("beqz", "t0", done)
+		} else {
+			g.emit("bnez", "t0", done)
+		}
+		if err := g.genExpr(e.Y); err != nil {
+			return err
+		}
+		g.emit("snez", "t0", "t0")
+		g.label(done)
+		return nil
+	}
+
+	if err := g.genExpr(e.X); err != nil {
+		return err
+	}
+	g.push()
+	if err := g.genExpr(e.Y); err != nil {
+		return err
+	}
+
+	// Pointer arithmetic scaling.
+	xt, yt := e.X.TypeOf(), e.Y.TypeOf()
+	if (e.Op == "+" || e.Op == "-") && xt.Kind == TypePointer && yt.Kind == TypeInt {
+		g.scaleT0(g.sizeOf(xt.Elem))
+	}
+
+	g.emit("mv", "t1", "t0")
+	g.pop("t0")
+	switch e.Op {
+	case "+":
+		g.emit("add", "t0", "t0", "t1")
+	case "-":
+		g.emit("sub", "t0", "t0", "t1")
+	case "*":
+		g.emit("mul", "t0", "t0", "t1")
+	case "/":
+		g.emit("div", "t0", "t0", "t1")
+	case "%":
+		g.emit("rem", "t0", "t0", "t1")
+	case "&":
+		g.emit("and", "t0", "t0", "t1")
+	case "|":
+		g.emit("or", "t0", "t0", "t1")
+	case "^":
+		g.emit("xor", "t0", "t0", "t1")
+	case "<<":
+		g.emit("sll", "t0", "t0", "t1")
+	case ">>":
+		g.emit("sra", "t0", "t0", "t1")
+	case "==":
+		g.emit("sub", "t0", "t0", "t1")
+		g.emit("seqz", "t0", "t0")
+	case "!=":
+		g.emit("sub", "t0", "t0", "t1")
+		g.emit("snez", "t0", "t0")
+	case "<":
+		g.emit("slt", "t0", "t0", "t1")
+	case ">":
+		g.emit("slt", "t0", "t1", "t0")
+	case "<=":
+		g.emit("slt", "t0", "t1", "t0")
+		g.emit("xori", "t0", "t0", "1")
+	case ">=":
+		g.emit("slt", "t0", "t0", "t1")
+		g.emit("xori", "t0", "t0", "1")
+	default:
+		return errf(e.Line, "bad binary operator %s", e.Op)
+	}
+	return nil
+}
+
+// genCall evaluates arguments onto the stack, moves them into a-regs,
+// and emits the appropriate call form with metadata.
+func (g *codegen) genCall(e *Call) error {
+	if e.Builtin != "" {
+		if len(e.Args) > 0 {
+			if err := g.genExpr(e.Args[0]); err != nil {
+				return err
+			}
+			g.emit("mv", "a0", "t0")
+		}
+		g.emit("call", map[string]string{
+			"print_int":    "__print_int",
+			"print_str":    "__print_str",
+			"exit":         "__exit",
+			"attack_point": "__attack_point",
+		}[e.Builtin])
+		g.emit("mv", "t0", "a0")
+		return nil
+	}
+
+	// Virtual call: receiver, then args.
+	if e.Virtual {
+		m := e.Fun.(*Member)
+		recv := m.X
+		if recv.TypeOf().Kind == TypePointer {
+			if err := g.genExpr(recv); err != nil {
+				return err
+			}
+		} else {
+			if err := g.genAddr(recv); err != nil {
+				return err
+			}
+		}
+		g.push() // receiver
+		for _, a := range e.Args {
+			if err := g.genExpr(a); err != nil {
+				return err
+			}
+			g.push()
+		}
+		for i := len(e.Args) - 1; i >= 0; i-- {
+			g.pop(fmt.Sprintf("a%d", i+1))
+		}
+		g.pop("a0") // this
+
+		// Register choice: when the argument registers leave a4/a5 free
+		// (receiver + up to 3 args), the vtable sequence uses them so
+		// that a rewritten ld.ro is eligible for the compressed c.ld.ro
+		// encoding (the RVC register set is x8..x15); otherwise fall
+		// back to t0/t1.
+		base, target := "t0", "t1"
+		if len(e.Args) <= 3 {
+			base, target = "a5", "a4"
+		}
+		// vptr load (the object is writable memory: a plain ld).
+		g.emit("ld", base, "0(a0)").Comment = "vptr"
+		// vtable slot load — the sensitive load (ROLoad-md metadata).
+		ln := g.emit("ld", target, itoa(int64(e.Slot)*8)+"("+base+")")
+		ln.Meta = &Meta{
+			Kind:  MetaVTableLoad,
+			Class: e.Class,
+			Slot:  e.Slot,
+			Reg:   base,
+			Off:   int64(e.Slot) * 8,
+			Sig:   e.FType.Sig(),
+		}
+		ln.Comment = "vtable slot " + itoa(int64(e.Slot))
+		jump := g.emit("jalr", target)
+		jump.Meta = &Meta{Kind: MetaVCallJump, Class: e.Class, Slot: e.Slot, Reg: target, Sig: e.FType.Sig()}
+		g.emit("mv", "t0", "a0")
+		return nil
+	}
+
+	// Direct call.
+	if e.Direct != nil {
+		for _, a := range e.Args {
+			if err := g.genExpr(a); err != nil {
+				return err
+			}
+			g.push()
+		}
+		for i := len(e.Args) - 1; i >= 0; i-- {
+			g.pop(fmt.Sprintf("a%d", i))
+		}
+		g.emit("call", e.Direct.Mangled)
+		g.emit("mv", "t0", "a0")
+		return nil
+	}
+
+	// Indirect call through a function-pointer value.
+	if err := g.genExpr(e.Fun); err != nil {
+		return err
+	}
+	g.push() // target
+	for _, a := range e.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.push()
+	}
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		g.pop(fmt.Sprintf("a%d", i))
+	}
+	g.pop("t0")
+	jump := g.emit("jalr", "t0")
+	jump.Meta = &Meta{Kind: MetaICallJump, Reg: "t0", Sig: e.FType.Sig()}
+	g.emit("mv", "t0", "a0")
+	return nil
+}

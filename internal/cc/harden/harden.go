@@ -1,0 +1,336 @@
+// Package harden implements the four program-hardening passes
+// evaluated in the paper, operating on the compiler's machine-level
+// Unit via the ROLoad-md-style metadata the code generator attaches:
+//
+//   - VCall  — the paper's virtual-call protection (Section IV-A):
+//     vtables move into read-only pages keyed per class hierarchy, and
+//     each vtable slot load becomes an ld.ro with the hierarchy key.
+//   - ICall  — the paper's type-based forward-edge CFI (Section IV-B):
+//     address-taken functions get GFPT entries in read-only pages keyed
+//     by function type; function-pointer materializations are redirected
+//     to GFPT entries; indirect calls load the real target with ld.ro.
+//     VTables share one unified key (the TLB/cache-locality choice the
+//     paper credits for ICall's ~0% overhead).
+//   - VTint  — the software baseline for VCall: range checks that the
+//     vtable pointer targets read-only memory before every vtable load.
+//   - ClassicCFI — the software baseline for ICall: an ID word (a nop
+//     at ISA level) at each function entry, and a load/compare/branch
+//     check before every indirect transfer.
+package harden
+
+import (
+	"fmt"
+	"sort"
+
+	"roload/internal/cc"
+	"roload/internal/isa"
+)
+
+// Pass transforms a compiled Unit in place.
+type Pass interface {
+	Name() string
+	Apply(u *cc.Unit) error
+}
+
+// Apply runs passes in order, recording them on the unit.
+func Apply(u *cc.Unit, passes ...Pass) error {
+	for _, p := range passes {
+		if err := p.Apply(u); err != nil {
+			return fmt.Errorf("harden: %s: %w", p.Name(), err)
+		}
+		u.HardenedBy = append(u.HardenedBy, p.Name())
+	}
+	return nil
+}
+
+// rewrite runs fn over every function's lines, replacing each line
+// with the returned slice.
+func rewrite(u *cc.Unit, fn func(l cc.Line) []cc.Line) {
+	for _, f := range u.Funcs {
+		out := make([]cc.Line, 0, len(f.Lines))
+		for _, l := range f.Lines {
+			out = append(out, fn(l)...)
+		}
+		f.Lines = out
+	}
+}
+
+// hierarchyKey returns the ROLoad key for a class's vtable under the
+// VCall policy: one key per class hierarchy. A call site whose static
+// receiver is Base must accept any vtable in Base's hierarchy (the
+// runtime object may be any derived class), so keying finer than the
+// hierarchy would fault on legal dispatch.
+func hierarchyKey(u *cc.Unit, class string) (uint16, error) {
+	info, ok := u.Checked.Classes[class]
+	if !ok {
+		return 0, fmt.Errorf("unknown class %q", class)
+	}
+	root := info
+	for root.Base != nil {
+		root = root.Base
+	}
+	key := cc.VTableKeyBase + root.ID
+	if key > isa.MaxKey {
+		return 0, fmt.Errorf("class hierarchy key %d exceeds key space", key)
+	}
+	return uint16(key), nil
+}
+
+// --- VCall -----------------------------------------------------------
+
+type vcallPass struct{}
+
+// VCall returns the paper's virtual-call protection pass.
+func VCall() Pass { return vcallPass{} }
+
+func (vcallPass) Name() string { return "VCall" }
+
+func (vcallPass) Apply(u *cc.Unit) error {
+	// Move every vtable into the keyed section for its hierarchy.
+	for i := range u.VTables {
+		key, err := hierarchyKey(u, u.VTables[i].Class)
+		if err != nil {
+			return err
+		}
+		u.VTables[i].Key = key
+	}
+	// Rewrite tagged vtable loads: ld rd, off(rs) -> [addi rs, rs, off;]
+	// ld.ro rd, (rs), key. The extra addi mirrors the paper's remark
+	// that ld.ro carries no offset immediate.
+	var err error
+	rewrite(u, func(l cc.Line) []cc.Line {
+		if l.Meta == nil || l.Meta.Kind != cc.MetaVTableLoad || err != nil {
+			return []cc.Line{l}
+		}
+		key, kerr := hierarchyKey(u, l.Meta.Class)
+		if kerr != nil {
+			err = kerr
+			return []cc.Line{l}
+		}
+		return roLoadSeq(l, key)
+	})
+	return err
+}
+
+// roLoadSeq rewrites a tagged "ld rd, off(rs)" line into the ld.ro
+// form, preserving the metadata on the ld.ro itself.
+func roLoadSeq(l cc.Line, key uint16) []cc.Line {
+	rd := l.Args[0]
+	rs := l.Meta.Reg
+	var out []cc.Line
+	if l.Meta.Off != 0 {
+		out = append(out, cc.I("addi", rs, rs, fmt.Sprintf("%d", l.Meta.Off)))
+	}
+	ro := cc.I("ld.ro", rd, "("+rs+")", fmt.Sprintf("%d", key))
+	ro.Meta = l.Meta
+	ro.Comment = l.Comment
+	out = append(out, ro)
+	return out
+}
+
+// --- ICall -----------------------------------------------------------
+
+type icallPass struct{}
+
+// ICall returns the paper's type-based forward-edge CFI pass.
+func ICall() Pass { return icallPass{} }
+
+func (icallPass) Name() string { return "ICall" }
+
+// SigKeys computes the deterministic signature->key assignment used by
+// the ICall pass (exported for tests and the attack harness).
+func SigKeys(u *cc.Unit) map[string]uint16 {
+	sigs := make(map[string]bool)
+	for name := range u.Checked.AddressTaken {
+		sigs[u.Checked.SigOf[name]] = true
+	}
+	ordered := make([]string, 0, len(sigs))
+	for s := range sigs {
+		ordered = append(ordered, s)
+	}
+	sort.Strings(ordered)
+	keys := make(map[string]uint16, len(ordered))
+	for i, s := range ordered {
+		keys[s] = uint16(cc.GFPTKeyBase + i)
+	}
+	return keys
+}
+
+// GFPTSymbol names the GFPT entry for a function (exported so attacks
+// and tests can locate entries).
+func GFPTSymbol(fn string) string {
+	out := make([]byte, 0, len(fn)+8)
+	for i := 0; i < len(fn); i++ {
+		c := fn[i]
+		if c == '$' {
+			out = append(out, '_')
+		} else {
+			out = append(out, c)
+		}
+	}
+	return "__gfpt_" + string(out)
+}
+
+func (icallPass) Apply(u *cc.Unit) error {
+	keys := SigKeys(u)
+	for _, k := range keys {
+		if int(k) > isa.MaxKey {
+			return fmt.Errorf("GFPT key %d exceeds key space", k)
+		}
+	}
+
+	// Build GFPT entries for every address-taken function, grouped by
+	// signature key (deterministic order).
+	names := make([]string, 0, len(u.Checked.AddressTaken))
+	for name := range u.Checked.AddressTaken {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sig := u.Checked.SigOf[name]
+		u.GFPTs = append(u.GFPTs, cc.GFPTEntry{
+			Symbol: GFPTSymbol(name),
+			Target: name,
+			Sig:    sig,
+			Key:    keys[sig],
+		})
+	}
+
+	// Unified key for every vtable (paper: "ICall uses a unified key
+	// for all VTables", giving better TLB and cache locality).
+	for i := range u.VTables {
+		u.VTables[i].Key = cc.VTUnifiedKey
+	}
+
+	rewrite(u, func(l cc.Line) []cc.Line {
+		if l.Meta == nil {
+			return []cc.Line{l}
+		}
+		switch l.Meta.Kind {
+		case cc.MetaVTableLoad:
+			return roLoadSeq(l, cc.VTUnifiedKey)
+		case cc.MetaFPtrMaterialize:
+			// la rd, f  ->  la rd, __gfpt_f   (Listing 2 of the paper)
+			nl := cc.I("la", l.Args[0], GFPTSymbol(l.Meta.Func))
+			nl.Meta = l.Meta
+			nl.Comment = "gfpt entry for " + l.Meta.Func
+			return []cc.Line{nl}
+		case cc.MetaICallJump:
+			// Insert the protected load of the real target before the
+			// jump (Listing 3, lines 2 and 5).
+			key := keys[l.Meta.Sig]
+			if key == 0 {
+				// No address-taken function has this signature; the
+				// call can never be valid. Trap deterministically.
+				return []cc.Line{cc.I("ebreak"), l}
+			}
+			ro := cc.I("ld.ro", l.Meta.Reg, "("+l.Meta.Reg+")", fmt.Sprintf("%d", key))
+			ro.Meta = &cc.Meta{Kind: cc.MetaICallJump, Sig: l.Meta.Sig, Reg: l.Meta.Reg}
+			ro.Comment = "icall target via gfpt"
+			return []cc.Line{ro, l}
+		}
+		return []cc.Line{l}
+	})
+	return nil
+}
+
+// --- VTint baseline ---------------------------------------------------
+
+type vtintPass struct{}
+
+// VTint returns the software range-check baseline from NDSS'15, ported
+// exactly as the paper describes: "range-based checks before VTable
+// loading to check whether VTables are loaded from read-only memory".
+func VTint() Pass { return vtintPass{} }
+
+func (vtintPass) Name() string { return "VTint" }
+
+func (vtintPass) Apply(u *cc.Unit) error {
+	used := false
+	n := 0
+	rewrite(u, func(l cc.Line) []cc.Line {
+		if l.Meta == nil || l.Meta.Kind != cc.MetaVTableLoad {
+			return []cc.Line{l}
+		}
+		used = true
+		n++
+		reg := l.Meta.Reg
+		// la expands to 2 instructions; the whole check adds 6.
+		return []cc.Line{
+			cc.I("la", "t2", "__ro_start"),
+			cc.I("bltu", reg, "t2", "__vtint_fail"),
+			cc.I("la", "t2", "__ro_end"),
+			cc.I("bgeu", reg, "t2", "__vtint_fail"),
+			l,
+		}
+	})
+	if used {
+		fail := &cc.MFunc{Name: "__vtint_fail"}
+		fail.Lines = []cc.Line{cc.I("ebreak")}
+		u.Funcs = append(u.Funcs, fail)
+	}
+	return nil
+}
+
+// --- Classic label-based CFI baseline ----------------------------------
+
+// CFIID is the label embedded at function entries by the ClassicCFI
+// baseline. It is encoded inside a "lui zero, CFIID" instruction,
+// which the ISA treats as a nop (writes to x0 are discarded) — exactly
+// the "ID which is equivalent to nop at the ISA level" of Section V-C1.
+const CFIID = 0x7c0de
+
+type cfiPass struct{}
+
+// ClassicCFI returns the label-based CFI baseline the paper ports to
+// RISC-V: one shared ID for all indirect-call targets (coarse-grained,
+// hence the weaker policy the paper contrasts ICall against).
+func ClassicCFI() Pass { return cfiPass{} }
+
+func (cfiPass) Name() string { return "ClassicCFI" }
+
+// cfiIDWord is the raw encoding of "lui zero, CFIID".
+func cfiIDWord() uint32 {
+	return isa.MustEncode(isa.Inst{Op: isa.LUI, Rd: isa.Zero, Imm: int64(CFIID) << 12})
+}
+
+func (cfiPass) Apply(u *cc.Unit) error {
+	idWord := cfiIDWord()
+	used := false
+
+	// Prepend the ID nop to every function that can be an indirect
+	// target (every MiniC function: address-taken sets are a static
+	// under-approximation the classic solutions did not rely on).
+	for _, f := range u.Funcs {
+		f.Lines = append([]cc.Line{func() cc.Line {
+			l := cc.I("lui", "zero", fmt.Sprintf("%#x", CFIID))
+			l.Comment = "CFI ID (nop)"
+			return l
+		}()}, f.Lines...)
+	}
+
+	rewrite(u, func(l cc.Line) []cc.Line {
+		if l.Meta == nil {
+			return []cc.Line{l}
+		}
+		if l.Meta.Kind != cc.MetaICallJump && l.Meta.Kind != cc.MetaVCallJump {
+			return []cc.Line{l}
+		}
+		used = true
+		reg := l.Meta.Reg
+		// lw from the target (text pages are readable), compare with
+		// the expected ID word, trap on mismatch.
+		return []cc.Line{
+			cc.I("lwu", "t2", "0("+reg+")"),
+			cc.I("li", "t3", fmt.Sprintf("%#x", idWord)),
+			cc.I("bne", "t2", "t3", "__cfi_fail"),
+			l,
+		}
+	})
+	if used {
+		fail := &cc.MFunc{Name: "__cfi_fail"}
+		fail.Lines = []cc.Line{cc.I("ebreak")}
+		u.Funcs = append(u.Funcs, fail)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package harden
+
+import (
+	"fmt"
+
+	"roload/internal/cc"
+)
+
+// RetGuard implements the backward-edge application sketched in the
+// paper's Section IV-C: "it can be applied to backward control-flow
+// transfers too, where the allowlists are sets of legitimate return
+// sites".
+//
+// The transformation changes the return-address convention:
+//
+//   - every call site materializes ra as a pointer to a *return-site
+//     table entry* in a read-only page keyed RetKey, instead of the raw
+//     return address:
+//
+//     call f                 la   ra, __retsite_N
+//     ->   j    f
+//     __retret_N:
+//
+//     (and __retsite_N: .quad __retret_N lives in .rodata.key.<RetKey>)
+//
+//   - every return loads the real target through ld.ro, so a smashed
+//     return slot can only ever name a legitimate return site:
+//
+//     ret             ->     ld.ro t6, (ra), RetKey
+//     jr   t6
+//
+// The runtime's own call/return sites are converted too (the kernel
+// loader runs the same binary), so the whole user-mode program obeys
+// the convention. Like the forward-edge schemes, the residual surface
+// is reuse of *other* entries in the same allowlist.
+type retGuardPass struct{}
+
+// RetGuard returns the backward-edge protection pass.
+func RetGuard() Pass { return retGuardPass{} }
+
+func (retGuardPass) Name() string { return "RetGuard" }
+
+// RetKey is the page key of the return-site tables.
+const RetKey = 900
+
+func (retGuardPass) Apply(u *cc.Unit) error {
+	siteN := 0
+	var sites []cc.Line // keyed table entries
+
+	convertCall := func(target string) []cc.Line {
+		siteN++
+		entry := fmt.Sprintf("__retsite_%d", siteN)
+		back := fmt.Sprintf("__retret_%d", siteN)
+		sites = append(sites, cc.L(entry), cc.I(".quad", back))
+		return []cc.Line{
+			cc.I("la", "ra", entry),
+			cc.I("j", target),
+			cc.L(back),
+		}
+	}
+	convertIndirect := func(l cc.Line, reg string) []cc.Line {
+		siteN++
+		entry := fmt.Sprintf("__retsite_%d", siteN)
+		back := fmt.Sprintf("__retret_%d", siteN)
+		sites = append(sites, cc.L(entry), cc.I(".quad", back))
+		jump := cc.I("jr", reg)
+		jump.Meta = l.Meta
+		return []cc.Line{
+			cc.I("la", "ra", entry),
+			jump,
+			cc.L(back),
+		}
+	}
+	retSeq := func() []cc.Line {
+		ro := cc.I("ld.ro", "t6", "(ra)", fmt.Sprintf("%d", RetKey))
+		ro.Comment = "return site via keyed table"
+		return []cc.Line{ro, cc.I("jr", "t6")}
+	}
+
+	rewrite(u, func(l cc.Line) []cc.Line {
+		switch {
+		case l.Op == "call" && len(l.Args) == 1:
+			return convertCall(l.Args[0])
+		case l.Op == "ret":
+			return retSeq()
+		case l.Op == "jalr" && len(l.Args) == 1:
+			// jalr rs (rd=ra implicitly): an indirect or virtual call.
+			return convertIndirect(l, l.Args[0])
+		}
+		return []cc.Line{l}
+	})
+
+	u.RetGuard = &cc.RetGuardInfo{
+		Key:     RetKey,
+		Sites:   sites,
+		NumSite: siteN,
+	}
+	return nil
+}

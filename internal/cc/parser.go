@@ -1,0 +1,716 @@
+package cc
+
+// parser is a recursive-descent parser for MiniC.
+//
+// Grammar sketch:
+//
+//	program   = { structDecl | classDecl | varDecl | funcDecl }
+//	structDecl= "struct" IDENT "{" { field ";" } "}"
+//	classDecl = "class" IDENT [ "extends" IDENT ] "{" { field ";" | method } "}"
+//	method    = "virtual" IDENT "(" params ")" [ type ] block
+//	funcDecl  = "func" IDENT "(" params ")" [ type ] block
+//	varDecl   = "var" IDENT type [ "=" expr ] ";"
+//	type      = "int" | "*" type | "[" INT "]" type
+//	          | "func" "(" [type {"," type}] ")" [ type ] | IDENT
+//	block     = "{" { stmt } "}"
+//	stmt      = varDecl | "if" ... | "while" ... | "for" ... | "return"
+//	          | "break" ";" | "continue" ";" | block
+//	          | expr [assignOp expr] ";"
+//
+// Expressions use standard C precedence; assignment is a statement,
+// not an expression (no chained assignment).
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse builds the AST for one translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		switch {
+		case p.at(TokKeyword, "struct"):
+			d, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, d)
+		case p.at(TokKeyword, "class"):
+			d, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, d)
+		case p.at(TokKeyword, "var"):
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case p.at(TokKeyword, "func"):
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, d)
+		default:
+			return nil, errf(p.cur().Line, "expected declaration, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[TokKind]string{TokIdent: "identifier", TokInt: "integer"}[kind]
+	}
+	return Token{}, errf(p.cur().Line, "expected %q, got %s", want, p.cur())
+}
+
+func (p *parser) ident() (string, int, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return "", 0, err
+	}
+	return t.Text, t.Line, nil
+}
+
+// parseType parses a type.
+func (p *parser) parseType() (*Type, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "int"):
+		return intType, nil
+	case p.accept(TokPunct, "*"):
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TypePointer, Elem: elem}, nil
+	case p.accept(TokPunct, "["):
+		n, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, errf(n.Line, "array length must be positive")
+		}
+		return &Type{Kind: TypeArray, Len: n.Val, Elem: elem}, nil
+	case p.accept(TokKeyword, "func"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		ft := &Type{Kind: TypeFunc}
+		for !p.at(TokPunct, ")") {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ft.Params = append(ft.Params, pt)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if p.typeAhead() {
+			ret, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ft.Ret = ret
+		}
+		return ft, nil
+	case t.Kind == TokIdent:
+		p.next()
+		// Resolved to struct or class by the checker.
+		return &Type{Kind: TypeStruct, Name: t.Text}, nil
+	}
+	return nil, errf(t.Line, "expected type, got %s", t)
+}
+
+// typeAhead reports whether the next token can start a type.
+func (p *parser) typeAhead() bool {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword && (t.Text == "int" || t.Text == "func"):
+		return true
+	case t.Kind == TokPunct && (t.Text == "*" || t.Text == "["):
+		return true
+	case t.Kind == TokIdent:
+		return true
+	}
+	return false
+}
+
+func (p *parser) structDecl() (*StructDecl, error) {
+	start := p.next() // struct
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	d := &StructDecl{Name: name, Line: start.Line}
+	for !p.accept(TokPunct, "}") {
+		fname, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ftype, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, Field{Name: fname, Type: ftype})
+	}
+	return d, nil
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	start := p.next() // class
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &ClassDecl{Name: name, Line: start.Line}
+	if p.accept(TokKeyword, "extends") {
+		base, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Base = base
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokKeyword, "virtual") {
+			vt := p.next()
+			mname, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			m := &FuncDecl{Name: mname, Class: name, Virtual: true, Line: vt.Line}
+			if err := p.funcSignature(m); err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			m.Body = body
+			d.Methods = append(d.Methods, m)
+			continue
+		}
+		fname, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ftype, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, Field{Name: fname, Type: ftype})
+	}
+	return d, nil
+}
+
+func (p *parser) funcSignature(f *FuncDecl) error {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return err
+	}
+	for !p.at(TokPunct, ")") {
+		pname, _, err := p.ident()
+		if err != nil {
+			return err
+		}
+		ptype, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		f.Params = append(f.Params, Param{Name: pname, Type: ptype})
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return err
+	}
+	if p.typeAhead() && !p.at(TokPunct, "{") {
+		ret, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		f.Ret = ret
+	}
+	return nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start := p.next() // func
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name, Line: start.Line}
+	if err := p.funcSignature(f); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	start := p.next() // var
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name, Type: typ, Line: start.Line}
+	if p.accept(TokPunct, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	open, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: open.Line}
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errf(open.Line, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true,
+	"%=": true, "&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokKeyword, "var"):
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+
+	case p.accept(TokKeyword, "if"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.accept(TokKeyword, "else") {
+			if p.at(TokKeyword, "if") {
+				els, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = els
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = els
+			}
+		}
+		return s, nil
+
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+
+	case p.accept(TokKeyword, "for"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &ForStmt{Line: t.Line}
+		switch {
+		case p.at(TokKeyword, "var"):
+			d, err := p.varDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &DeclStmt{Decl: d}
+		case !p.at(TokPunct, ";"):
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		default:
+			p.next() // empty init
+		}
+		if !p.at(TokPunct, ";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = cond
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(TokPunct, ")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case p.accept(TokKeyword, "return"):
+		s := &ReturnStmt{Line: t.Line}
+		if !p.at(TokPunct, ";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+
+	case p.at(TokPunct, "{"):
+		return p.block()
+	}
+
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt is an expression statement, assignment, or ++/--.
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.cur().Line
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct && assignOps[t.Text] {
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, Op: t.Text, RHS: rhs, Line: line}, nil
+	}
+	if t.Kind == TokPunct && (t.Text == "++" || t.Text == "--") {
+		p.next()
+		op := "+="
+		if t.Text == "--" {
+			op = "-="
+		}
+		one := &IntLit{Val: 1}
+		one.Line = line
+		return &AssignStmt{LHS: lhs, Op: op, RHS: one, Line: line}, nil
+	}
+	return &ExprStmt{X: lhs, Line: line}, nil
+}
+
+// --- expressions, standard precedence climbing ---
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.Text]
+		if t.Kind != TokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: t.Text, X: lhs, Y: rhs}
+		b.Line = t.Line
+		lhs = b
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{Op: t.Text, X: x}
+			u.Line = t.Line
+			return u, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(TokPunct, "("):
+			call := &Call{Fun: x}
+			call.Line = t.Line
+			for !p.at(TokPunct, ")") {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case p.accept(TokPunct, "["):
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			ix := &Index{X: x, I: i}
+			ix.Line = t.Line
+			x = ix
+		case p.accept(TokPunct, "."), p.accept(TokPunct, "->"):
+			name, line, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			m := &Member{X: x, Name: name}
+			m.Line = line
+			x = m
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		e := &IntLit{Val: t.Val}
+		e.Line = t.Line
+		return e, nil
+	case t.Kind == TokString:
+		p.next()
+		e := &StrLit{Val: t.Text}
+		e.Line = t.Line
+		return e, nil
+	case p.accept(TokKeyword, "null"):
+		e := &NullLit{}
+		e.Line = t.Line
+		return e, nil
+	case p.accept(TokKeyword, "sizeof"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		e := &SizeofExpr{Arg: typ}
+		e.Line = t.Line
+		return e, nil
+	case p.accept(TokKeyword, "new"):
+		var name string
+		var line int
+		if p.at(TokKeyword, "int") {
+			tk := p.next()
+			name, line = "int", tk.Line
+		} else {
+			var err error
+			name, line, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		}
+		e := &New{TypeName: name}
+		e.Line = line
+		if p.accept(TokPunct, "[") {
+			count, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e.Count = count
+			e.IsArray = true
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		e := &Ident{Name: t.Text}
+		e.Line = t.Line
+		return e, nil
+	case p.accept(TokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Line, "expected expression, got %s", t)
+}

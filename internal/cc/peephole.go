@@ -1,0 +1,68 @@
+package cc
+
+import "strconv"
+
+// Optimize runs the peephole optimizer over every function. The
+// stack-machine code generator is deliberately naive (uniform code
+// shape keeps the hardening comparisons clean); this pass removes its
+// most common redundancies without disturbing labels, metadata, or the
+// instrumentation points the hardening passes rewrite:
+//
+//	push;pop   addi sp,sp,-8 ; sd t0,0(sp) ; ld R,0(sp) ; addi sp,sp,8
+//	           -> mv R, t0   (the dominant argument-move pattern)
+//	mv x,x     -> (removed)
+//	addi x,x,0 -> (removed)
+//
+// Windows never cross labels (branch targets must stay stable) or
+// lines carrying metadata.
+func Optimize(u *Unit) {
+	total := 0
+	for _, f := range u.Funcs {
+		f.Lines, total = peephole(f.Lines), total+1
+	}
+	_ = total
+	u.HardenedBy = append(u.HardenedBy, "peephole")
+}
+
+func isOp(l Line, op string, args ...string) bool {
+	if l.Label != "" || l.Op != op || len(l.Args) != len(args) {
+		return false
+	}
+	for i, a := range args {
+		if a != "*" && l.Args[i] != a {
+			return false
+		}
+	}
+	return l.Meta == nil
+}
+
+func peephole(lines []Line) []Line {
+	out := make([]Line, 0, len(lines))
+	for i := 0; i < len(lines); i++ {
+		// Window: push t0 / pop R.
+		if i+3 < len(lines) &&
+			isOp(lines[i], "addi", "sp", "sp", "-8") &&
+			isOp(lines[i+1], "sd", "t0", "0(sp)") &&
+			isOp(lines[i+2], "ld", "*", "0(sp)") &&
+			isOp(lines[i+3], "addi", "sp", "sp", "8") {
+			dst := lines[i+2].Args[0]
+			if dst != "t0" {
+				out = append(out, I("mv", dst, "t0"))
+			}
+			i += 3
+			continue
+		}
+		// mv x, x and addi x, x, 0 are no-ops.
+		if isOp(lines[i], "mv", "*", "*") && lines[i].Args[0] == lines[i].Args[1] {
+			continue
+		}
+		if lines[i].Label == "" && lines[i].Op == "addi" && lines[i].Meta == nil &&
+			len(lines[i].Args) == 3 && lines[i].Args[0] == lines[i].Args[1] {
+			if v, err := strconv.Atoi(lines[i].Args[2]); err == nil && v == 0 {
+				continue
+			}
+		}
+		out = append(out, lines[i])
+	}
+	return out
+}

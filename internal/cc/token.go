@@ -1,0 +1,69 @@
+// Package cc implements MiniC, the small systems language used to
+// write the evaluation workloads, and its compiler targeting the
+// prototype's RV64 ISA.
+//
+// MiniC deliberately covers exactly the C/C++ feature set the paper's
+// defenses care about: function pointers (indirect calls), classes
+// with virtual methods (vtable dispatch), structs, arrays, pointers,
+// and global/heap/stack data. The compiler plays the role of the
+// paper's modified LLVM: its code generator attaches ROLoad-md-style
+// metadata to sensitive loads and call sites, and the passes in
+// cc/harden rewrite those sites into ld.ro-protected (or
+// baseline-instrumented) sequences.
+package cc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokPunct // operators and delimiters
+	TokKeyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "return": true, "if": true, "else": true,
+	"while": true, "for": true, "break": true, "continue": true,
+	"struct": true, "class": true, "virtual": true, "new": true,
+	"int": true, "null": true, "sizeof": true, "extends": true,
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokInt
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Val)
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

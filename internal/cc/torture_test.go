@@ -1,0 +1,340 @@
+package cc
+
+import "testing"
+
+// Torture tests: deeper language-feature combinations that exercise
+// the checker's layout logic and the stack-machine code generator.
+
+func TestNestedStructs(t *testing.T) {
+	res := compileRun(t, `
+struct Inner { x int; y int; }
+struct Outer { a int; in Inner; b int; }
+func main() int {
+	var o Outer;
+	o.a = 1;
+	o.in.x = 10;
+	o.in.y = 20;
+	o.b = 2;
+	var p *Outer = &o;
+	p.in.y += 5;
+	return o.a + o.in.x + o.in.y + o.b; // 1+10+25+2
+}`)
+	wantExit(t, res, 38)
+}
+
+func TestStructWithArrayField(t *testing.T) {
+	res := compileRun(t, `
+struct Buf { n int; data [8]int; tail int; }
+func main() int {
+	var b Buf;
+	b.n = 3;
+	for (var i int = 0; i < 8; i++) { b.data[i] = i * i; }
+	b.tail = 99;
+	return b.n + b.data[5] + b.tail; // 3 + 25 + 99
+}`)
+	wantExit(t, res, 127)
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	res := compileRun(t, `
+struct P { x int; y int; }
+var pts [4]P;
+func main() int {
+	for (var i int = 0; i < 4; i++) {
+		pts[i].x = i;
+		pts[i].y = i * 10;
+	}
+	var s int = 0;
+	for (var i int = 0; i < 4; i++) { s += pts[i].x + pts[i].y; }
+	return s; // (0+0)+(1+10)+(2+20)+(3+30) = 66
+}`)
+	wantExit(t, res, 66)
+}
+
+func TestStructWithFunctionPointerField(t *testing.T) {
+	res := compileRun(t, `
+struct Handler { id int; fn func(int) int; }
+func twice(x int) int { return 2 * x; }
+func thrice(x int) int { return 3 * x; }
+func main() int {
+	var h Handler;
+	h.id = 1;
+	h.fn = twice;
+	var n int = h.fn(10);
+	h.fn = thrice;
+	n += h.fn(10);
+	return n; // 50
+}`)
+	wantExit(t, res, 50)
+}
+
+func TestShadowing(t *testing.T) {
+	res := compileRun(t, `
+var x int = 100;
+func main() int {
+	var n int = x;     // global: 100
+	{
+		var x int = 5;
+		n += x;          // local: 5
+		{
+			var x int = 7;
+			n += x;        // inner: 7
+		}
+		n += x;          // back to 5
+	}
+	n += x;            // global again
+	return n % 251;    // 100+5+7+5+100 = 217
+}`)
+	wantExit(t, res, 217)
+}
+
+func TestDeepExpression(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	return ((((1+2)*(3+4)) - ((5-6)*(7-8))) * (((9+10)%(11-4)) + ((12/3)&(14|1)))) % 251;
+	// (21 - 1) * ((19%7=5) + (4 & 15 = 4)) = 20*9 = 180
+}`)
+	wantExit(t, res, 180)
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	var n int = 0;
+	if (2 + 3 * 4 == 14) { n += 1; }
+	if ((2 + 3) * 4 == 20) { n += 2; }
+	if (1 << 2 + 1 == 8) { n += 4; }      // shift binds looser than +
+	if ((7 & 3 | 4) == 7) { n += 8; }     // & binds tighter than |
+	if (10 - 4 - 3 == 3) { n += 16; }     // left assoc
+	if (0 - 2 * 3 == 0 - 6) { n += 32; }
+	return n;
+}`)
+	wantExit(t, res, 63)
+}
+
+func TestDeepRecursionStack(t *testing.T) {
+	res := compileRun(t, `
+func down(n int) int {
+	var pad [16]int;
+	pad[0] = n;
+	if (n == 0) { return pad[0]; }
+	return down(n - 1) + 1;
+}
+func main() int { return down(120); }`)
+	wantExit(t, res, 120)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	res := compileRun(t, `
+func isEven(n int) int {
+	if (n == 0) { return 1; }
+	return isOdd(n - 1);
+}
+func isOdd(n int) int {
+	if (n == 0) { return 0; }
+	return isEven(n - 1);
+}
+func main() int { return isEven(10) * 10 + isOdd(7); }`)
+	wantExit(t, res, 11)
+}
+
+func TestWhileFalseAndEmptyBodies(t *testing.T) {
+	res := compileRun(t, `
+func nothing() { }
+func main() int {
+	while (0) { exit(1); }
+	nothing();
+	for (;0;) { exit(2); }
+	return 3;
+}`)
+	wantExit(t, res, 3)
+}
+
+func TestForWithoutInitOrPost(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	var i int = 0;
+	for (; i < 5;) { i++; }
+	return i;
+}`)
+	wantExit(t, res, 5)
+}
+
+func TestNegativeLiteralsAndUnary(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	var a int = -5;
+	var b int = - -3;
+	var c int = ~0;        // -1
+	var d int = !5;        // 0
+	var e int = !0;        // 1
+	print_int(a);
+	return (b + c + d + e) - a; // (3-1+0+1) +5 = 8
+}`)
+	wantExit(t, res, 8)
+	if string(res.Stdout) != "-5\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	res := compileRun(t, `
+struct Pair { a int; b int; }
+func main() int {
+	var xs *int = new int[10];
+	for (var i int = 0; i < 10; i++) { xs[i] = i; }
+	var p *int = xs + 3;
+	var q *int = p + 4;
+	var ps *Pair = new Pair[3];
+	ps[2].a = 5;
+	var pp *Pair = ps + 2;
+	return *p + *q + pp.a; // 3 + 7 + 5
+}`)
+	wantExit(t, res, 15)
+}
+
+func TestCompoundAssignOnFields(t *testing.T) {
+	res := compileRun(t, `
+struct S { v int; }
+var g S;
+func main() int {
+	g.v = 10;
+	g.v += 5;
+	g.v *= 2;
+	g.v -= 3;
+	g.v /= 2;      // 13
+	g.v %= 8;      // 5
+	g.v <<= 3;     // 40
+	g.v >>= 1;     // 20
+	g.v |= 1;      // 21
+	g.v &= 0xFD;   // 21
+	g.v ^= 2;      // 23
+	return g.v;
+}`)
+	wantExit(t, res, 23)
+}
+
+func TestAggregateAssignRejected(t *testing.T) {
+	cases := []string{
+		`struct S { a int; } func main() int { var x S; var y S; x = y; return 0; }`,
+		`struct S { a int; } func main() int { var x S = 0; return 0; }`,
+		`struct S { a int; } func f() S { var x S; return x; }  func main() int { return 0; }`,
+		`func main() int { var a [3]int; var b [3]int; a = b; return 0; }`,
+	}
+	for i, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("case %d compiled", i)
+		}
+	}
+}
+
+func TestClassFieldStruct(t *testing.T) {
+	res := compileRun(t, `
+struct Pos { x int; y int; }
+class Unit {
+	at Pos;
+	hp int;
+	virtual dist() int { return this.at.x + this.at.y; }
+}
+func main() int {
+	var u *Unit = new Unit;
+	u.at.x = 3;
+	u.at.y = 4;
+	u.hp = 10;
+	return u.dist() + u.hp;
+}`)
+	wantExit(t, res, 17)
+}
+
+func TestManyLocals(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	var a int = 1; var b int = 2; var c int = 3; var d int = 4;
+	var e int = 5; var f int = 6; var g int = 7; var h int = 8;
+	var i int = 9; var j int = 10; var k int = 11; var l int = 12;
+	var arr [32]int;
+	for (var z int = 0; z < 32; z++) { arr[z] = z; }
+	return a+b+c+d+e+f+g+h+i+j+k+l + arr[31]; // 78 + 31
+}`)
+	wantExit(t, res, 109)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	res := compileRun(t, `
+var calls int = 0;
+func bump() int { calls++; return 1; }
+func main() int {
+	var n int = 0;
+	if (0 && bump()) { n += 100; }
+	if (1 || bump()) { n += 1; }
+	if (1 && bump()) { n += 2; }
+	if (0 || bump()) { n += 4; }
+	return n * 10 + calls; // 7*10 + 2
+}`)
+	wantExit(t, res, 72)
+}
+
+func TestSevenArgs(t *testing.T) {
+	res := compileRun(t, `
+func sum7(a int, b int, c int, d int, e int, f int, g int) int {
+	return a + b + c + d + e + f + g;
+}
+func main() int { return sum7(1, 2, 3, 4, 5, 6, 7); }`)
+	wantExit(t, res, 28)
+}
+
+func TestEightArgsRejected(t *testing.T) {
+	if _, err := Compile(`
+func f(a int, b int, c int, d int, e int, f int, g int, h int) int { return 0; }
+func main() int { return 0; }`); err == nil {
+		t.Error("8-arg function compiled")
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	res := compileRun(t, `
+func main() int {
+	var c int = 'A';
+	var n int = '\n';
+	return c + n; // 65 + 10
+}`)
+	wantExit(t, res, 75)
+}
+
+func TestBlockComments(t *testing.T) {
+	res := compileRun(t, `
+/* leading
+   block comment */
+func main() int {
+	/* inline */ return /* here */ 9; // trailing
+}`)
+	wantExit(t, res, 9)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	res := compileRun(t, `
+var a int = 42;
+var b int = -7;
+var c int;        // zero
+var p *int;       // null
+func main() int {
+	if (p != null) { return 100; }
+	return a + b + c; // 35
+}`)
+	wantExit(t, res, 35)
+}
+
+func TestVirtualCallOnBaseSlotAddedInDerived(t *testing.T) {
+	res := compileRun(t, `
+class A { virtual f() int { return 1; } }
+class B extends A {
+	virtual f() int { return 2; }
+	virtual g() int { return 3; }
+}
+func main() int {
+	var b *B = new B;
+	var a *A = b;
+	return a.f() * 10 + b.g(); // 2*10 + 3
+}`)
+	wantExit(t, res, 23)
+}

@@ -1,0 +1,189 @@
+// Package core is the public façade of the ROLoad reproduction: it
+// composes the MiniC compiler, the hardening passes, the assembler,
+// and the simulated systems into the build-and-measure pipeline used
+// by the examples, the command-line tools, and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"roload/internal/asm"
+	"roload/internal/cc"
+	"roload/internal/cc/harden"
+	"roload/internal/kernel"
+)
+
+// SystemKind selects one of the paper's three evaluation systems.
+type SystemKind int
+
+const (
+	// SysBaseline is the unmodified processor + unmodified kernel.
+	SysBaseline SystemKind = iota
+	// SysProcessorOnly has ld.ro in hardware but a stock kernel.
+	SysProcessorOnly
+	// SysFull is the processor-and-kernel-modified system.
+	SysFull
+)
+
+func (k SystemKind) String() string {
+	switch k {
+	case SysBaseline:
+		return "baseline"
+	case SysProcessorOnly:
+		return "processor-modified"
+	case SysFull:
+		return "processor+kernel-modified"
+	}
+	return fmt.Sprintf("system(%d)", int(k))
+}
+
+// Config returns the kernel configuration for the system kind.
+func (k SystemKind) Config() kernel.Config {
+	switch k {
+	case SysProcessorOnly:
+		return kernel.ProcessorOnlySystem()
+	case SysFull:
+		return kernel.FullSystem()
+	default:
+		return kernel.BaselineSystem()
+	}
+}
+
+// Hardening selects a program-hardening scheme.
+type Hardening int
+
+const (
+	// HardenNone compiles without instrumentation.
+	HardenNone Hardening = iota
+	// HardenVCall applies the paper's virtual-call protection.
+	HardenVCall
+	// HardenVTint applies the VTint software baseline.
+	HardenVTint
+	// HardenICall applies the paper's type-based forward-edge CFI.
+	HardenICall
+	// HardenCFI applies the classic label-based CFI baseline.
+	HardenCFI
+	// HardenRetGuard applies the backward-edge extension sketched in
+	// the paper's Section IV-C: return addresses become pointers into
+	// keyed read-only return-site tables.
+	HardenRetGuard
+	// HardenFull applies ICall + VCall-strength vtable keys + RetGuard:
+	// both forward and backward edges under pointee integrity.
+	HardenFull
+)
+
+func (h Hardening) String() string {
+	switch h {
+	case HardenNone:
+		return "none"
+	case HardenVCall:
+		return "VCall"
+	case HardenVTint:
+		return "VTint"
+	case HardenICall:
+		return "ICall"
+	case HardenCFI:
+		return "CFI"
+	case HardenRetGuard:
+		return "RetGuard"
+	case HardenFull:
+		return "Full"
+	}
+	return fmt.Sprintf("hardening(%d)", int(h))
+}
+
+// Passes returns the hardening passes for the scheme.
+func (h Hardening) Passes() []harden.Pass {
+	switch h {
+	case HardenVCall:
+		return []harden.Pass{harden.VCall()}
+	case HardenVTint:
+		return []harden.Pass{harden.VTint()}
+	case HardenICall:
+		return []harden.Pass{harden.ICall()}
+	case HardenCFI:
+		return []harden.Pass{harden.ClassicCFI()}
+	case HardenRetGuard:
+		return []harden.Pass{harden.RetGuard()}
+	case HardenFull:
+		return []harden.Pass{harden.ICall(), harden.RetGuard()}
+	default:
+		return nil
+	}
+}
+
+// NeedsROLoad reports whether binaries hardened this way require the
+// fully modified system.
+func (h Hardening) NeedsROLoad() bool {
+	return h == HardenVCall || h == HardenICall || h == HardenRetGuard || h == HardenFull
+}
+
+// Build compiles MiniC source, applies the hardening scheme, and
+// assembles the result. The returned Unit is the post-pass machine
+// program (useful for inspection); the Image is ready for Spawn.
+func Build(src string, h Hardening) (*asm.Image, *cc.Unit, error) {
+	unit, err := cc.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := harden.Apply(unit, h.Passes()...); err != nil {
+		return nil, nil, err
+	}
+	img, err := asm.Assemble(unit.Assembly(), asm.DefaultOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: assembling hardened program: %w", err)
+	}
+	return img, unit, nil
+}
+
+// Run executes an image on the selected system. maxSteps of 0 means
+// effectively unbounded.
+func Run(img *asm.Image, sys SystemKind, maxSteps uint64) (kernel.RunResult, *kernel.Process, error) {
+	cfg := sys.Config()
+	cfg.MaxSteps = maxSteps
+	machine := kernel.NewSystem(cfg)
+	p, err := machine.Spawn(img)
+	if err != nil {
+		return kernel.RunResult{}, nil, err
+	}
+	res, err := machine.Run(p)
+	return res, p, err
+}
+
+// Measurement is one build+run observation.
+type Measurement struct {
+	Hardening Hardening
+	System    SystemKind
+	Result    kernel.RunResult
+	// ImageBytes is the loadable image size (static memory footprint,
+	// the basis of the figures' memory-overhead series).
+	ImageBytes uint64
+	CodeBytes  uint64
+}
+
+// Measure builds src with scheme h and runs it on sys.
+func Measure(src string, h Hardening, sys SystemKind, maxSteps uint64) (Measurement, error) {
+	img, _, err := Build(src, h)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, _, err := Run(img, sys, maxSteps)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Hardening:  h,
+		System:     sys,
+		Result:     res,
+		ImageBytes: img.TotalSize(),
+		CodeBytes:  img.CodeSize(),
+	}, nil
+}
+
+// Overhead returns (m.value - base.value) / base.value in percent for
+// cycles and for peak memory.
+func Overhead(base, m Measurement) (runtimePct, memPct float64) {
+	runtimePct = 100 * (float64(m.Result.Cycles) - float64(base.Result.Cycles)) / float64(base.Result.Cycles)
+	memPct = 100 * (float64(m.Result.MemPeakKiB) - float64(base.Result.MemPeakKiB)) / float64(base.Result.MemPeakKiB)
+	return
+}

@@ -1,0 +1,255 @@
+package cpu
+
+import "roload/internal/isa"
+
+func sext32(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+
+func (c *CPU) execALU(in isa.Inst) {
+	a := c.reg(in.Rs1)
+	b := c.reg(in.Rs2)
+	imm := uint64(in.Imm)
+	var v uint64
+
+	switch in.Op {
+	case isa.ADDI:
+		v = a + imm
+	case isa.SLTI:
+		if int64(a) < in.Imm {
+			v = 1
+		}
+	case isa.SLTIU:
+		if a < imm {
+			v = 1
+		}
+	case isa.XORI:
+		v = a ^ imm
+	case isa.ORI:
+		v = a | imm
+	case isa.ANDI:
+		v = a & imm
+	case isa.SLLI:
+		v = a << (imm & 63)
+	case isa.SRLI:
+		v = a >> (imm & 63)
+	case isa.SRAI:
+		v = uint64(int64(a) >> (imm & 63))
+	case isa.ADD:
+		v = a + b
+	case isa.SUB:
+		v = a - b
+	case isa.SLL:
+		v = a << (b & 63)
+	case isa.SLT:
+		if int64(a) < int64(b) {
+			v = 1
+		}
+	case isa.SLTU:
+		if a < b {
+			v = 1
+		}
+	case isa.XOR:
+		v = a ^ b
+	case isa.SRL:
+		v = a >> (b & 63)
+	case isa.SRA:
+		v = uint64(int64(a) >> (b & 63))
+	case isa.OR:
+		v = a | b
+	case isa.AND:
+		v = a & b
+
+	case isa.ADDIW:
+		v = sext32(a + imm)
+	case isa.SLLIW:
+		v = sext32(a << (imm & 31))
+	case isa.SRLIW:
+		v = sext32(uint64(uint32(a) >> (imm & 31)))
+	case isa.SRAIW:
+		v = uint64(int64(int32(uint32(a)) >> (imm & 31)))
+	case isa.ADDW:
+		v = sext32(a + b)
+	case isa.SUBW:
+		v = sext32(a - b)
+	case isa.SLLW:
+		v = sext32(a << (b & 31))
+	case isa.SRLW:
+		v = sext32(uint64(uint32(a) >> (b & 31)))
+	case isa.SRAW:
+		v = uint64(int64(int32(uint32(a)) >> (b & 31)))
+
+	case isa.MUL:
+		v = a * b
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.MULH:
+		v = mulh(int64(a), int64(b))
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.MULHU:
+		v = mulhu(a, b)
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.MULHSU:
+		v = mulhsu(int64(a), b)
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.DIV:
+		v = div(int64(a), int64(b))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.DIVU:
+		v = divu(a, b)
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.REM:
+		v = rem(int64(a), int64(b))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.REMU:
+		v = remu(a, b)
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.MULW:
+		v = sext32(uint64(uint32(a) * uint32(b)))
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.DIVW:
+		v = sext32(uint64(uint32(divw(int32(uint32(a)), int32(uint32(b))))))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.DIVUW:
+		v = sext32(uint64(divuw(uint32(a), uint32(b))))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.REMW:
+		v = sext32(uint64(uint32(remw(int32(uint32(a)), int32(uint32(b))))))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	case isa.REMUW:
+		v = sext32(uint64(remuw(uint32(a), uint32(b))))
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	}
+	c.setReg(in.Rd, v)
+}
+
+// mulh returns the high 64 bits of the signed 128-bit product.
+func mulh(a, b int64) uint64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi := mulhu(ua, ub)
+	lo := ua * ub
+	if neg {
+		// two's complement negation of the 128-bit value
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}
+
+// mulhu returns the high 64 bits of the unsigned 128-bit product.
+func mulhu(a, b uint64) uint64 {
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & 0xffffffff
+	w2 := t >> 32
+	w1 += aHi * bLo
+	return aHi*bHi + w2 + w1>>32
+}
+
+// mulhsu returns the high 64 bits of signed a times unsigned b.
+func mulhsu(a int64, b uint64) uint64 {
+	if a >= 0 {
+		return mulhu(uint64(a), b)
+	}
+	hi := mulhu(uint64(-a), b)
+	lo := uint64(-a) * b
+	hi = ^hi
+	if lo == 0 {
+		hi++
+	}
+	return hi
+}
+
+// RISC-V division semantics: divide by zero yields all-ones quotient
+// (or the dividend as remainder); signed overflow yields the dividend.
+func div(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return ^uint64(0)
+	case a == -1<<63 && b == -1:
+		return uint64(a)
+	default:
+		return uint64(a / b)
+	}
+}
+
+func divu(a, b uint64) uint64 {
+	if b == 0 {
+		return ^uint64(0)
+	}
+	return a / b
+}
+
+func rem(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return uint64(a)
+	case a == -1<<63 && b == -1:
+		return 0
+	default:
+		return uint64(a % b)
+	}
+}
+
+func remu(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}
+
+func divw(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == -1<<31 && b == -1:
+		return a
+	default:
+		return a / b
+	}
+}
+
+func divuw(a, b uint32) uint32 {
+	if b == 0 {
+		return ^uint32(0)
+	}
+	return a / b
+}
+
+func remw(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == -1<<31 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+func remuw(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

@@ -1,0 +1,535 @@
+// Package cpu implements the in-order RV64IM(+C subset) processor core
+// of the prototype system, including the ROLoad-family instructions.
+//
+// The core is a functional simulator with a cycle-approximate cost
+// model calibrated to a small in-order pipeline like the Rocket core:
+// one instruction per cycle plus penalties for taken branches, cache
+// misses, TLB walks, multiplies, divides and traps. The evaluation in
+// the paper reports *relative* execution-time overheads between
+// instrumentation schemes on identical hardware, which this level of
+// modelling preserves.
+//
+// ROLoad semantics: a decoded ld.ro-family instruction issues a memory
+// operation of the new ROLoadRead type carrying the 10-bit key from its
+// immediate field. The D-side MMU performs the read-only and key checks
+// in parallel with the normal permission check (see internal/mmu);
+// failures surface as load page faults whose auxiliary fault state
+// identifies them as ROLoad faults.
+package cpu
+
+import (
+	"fmt"
+
+	"roload/internal/cache"
+	"roload/internal/isa"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+)
+
+// TrapKind enumerates the events that suspend user execution and hand
+// control to the kernel.
+type TrapKind int
+
+const (
+	TrapNone TrapKind = iota
+	TrapECall
+	TrapEBreak
+	TrapPageFault
+	TrapIllegalInst
+	TrapMisaligned
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapECall:
+		return "ecall"
+	case TrapEBreak:
+		return "ebreak"
+	case TrapPageFault:
+		return "page fault"
+	case TrapIllegalInst:
+		return "illegal instruction"
+	case TrapMisaligned:
+		return "misaligned access"
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
+}
+
+// Trap describes why execution stopped.
+type Trap struct {
+	Kind  TrapKind
+	PC    uint64
+	Inst  isa.Inst
+	Fault *mmu.Fault // non-nil for TrapPageFault
+}
+
+func (t *Trap) Error() string {
+	if t.Fault != nil {
+		return fmt.Sprintf("cpu: %s at pc=%#x (%s): %v", t.Kind, t.PC, t.Inst, t.Fault)
+	}
+	return fmt.Sprintf("cpu: %s at pc=%#x (%s)", t.Kind, t.PC, t.Inst)
+}
+
+// CostModel holds the cycle costs charged by the core.
+type CostModel struct {
+	Base          uint64 // every instruction
+	LoadStore     uint64 // extra cycles for a D-side access that hits
+	TakenBranch   uint64 // extra cycles for a taken branch (flush)
+	Jump          uint64 // extra cycles for jal/jalr
+	Mul           uint64 // extra cycles for multiply
+	Div           uint64 // extra cycles for divide/remainder
+	CacheMiss     uint64 // refill penalty per L1 miss (to DDR3)
+	TLBWalkPerMem uint64 // penalty per page-walk memory access
+	Trap          uint64 // kernel entry/exit overhead per trap
+}
+
+// DefaultCostModel approximates the Rocket core at 125 MHz with DDR3.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Base:          1,
+		LoadStore:     1,
+		TakenBranch:   2,
+		Jump:          2,
+		Mul:           3,
+		Div:           32,
+		CacheMiss:     30,
+		TLBWalkPerMem: 12,
+		Trap:          120,
+	}
+}
+
+// Config parameterizes the core. ROLoadEnabled distinguishes the
+// paper's processor-modified system from the stock baseline: when
+// false, the ld.ro encodings raise illegal-instruction traps exactly
+// as they would on unmodified hardware.
+type Config struct {
+	ROLoadEnabled bool
+	ITLBEntries   int
+	DTLBEntries   int
+	ICache        cache.Config
+	DCache        cache.Config
+	Cost          CostModel
+}
+
+// DefaultConfig mirrors Table II of the paper.
+func DefaultConfig() Config {
+	return Config{
+		ROLoadEnabled: true,
+		ITLBEntries:   32,
+		DTLBEntries:   32,
+		ICache:        cache.DefaultL1(),
+		DCache:        cache.DefaultL1(),
+		Cost:          DefaultCostModel(),
+	}
+}
+
+// Stats counts dynamic instruction mix and memory behaviour.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	ROLoads      uint64
+	Branches     uint64
+	TakenBranch  uint64
+	Jumps        uint64
+	MulDiv       uint64
+	Traps        uint64
+}
+
+// CPU is one hart plus its L1 caches and TLBs.
+type CPU struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+
+	Cycles  uint64
+	Instret uint64
+
+	cfg    Config
+	phys   *mem.Physical
+	imem   *mmu.MMU
+	dmem   *mmu.MMU
+	icache *cache.Cache
+	dcache *cache.Cache
+	stats  Stats
+
+	// Tracer, when non-nil, observes every retired instruction. Used by
+	// tests and the attack harness; nil in benchmark runs.
+	Tracer func(pc uint64, in isa.Inst)
+}
+
+// New builds a core over phys.
+func New(phys *mem.Physical, cfg Config) *CPU {
+	if cfg.ITLBEntries <= 0 {
+		cfg.ITLBEntries = 32
+	}
+	if cfg.DTLBEntries <= 0 {
+		cfg.DTLBEntries = 32
+	}
+	if cfg.ICache.SizeBytes == 0 {
+		cfg.ICache = cache.DefaultL1()
+	}
+	if cfg.DCache.SizeBytes == 0 {
+		cfg.DCache = cache.DefaultL1()
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	return &CPU{
+		cfg:    cfg,
+		phys:   phys,
+		imem:   mmu.New(phys, mmu.Config{TLBEntries: cfg.ITLBEntries, ROLoadEnabled: cfg.ROLoadEnabled}),
+		dmem:   mmu.New(phys, mmu.Config{TLBEntries: cfg.DTLBEntries, ROLoadEnabled: cfg.ROLoadEnabled}),
+		icache: cache.New(cfg.ICache),
+		dcache: cache.New(cfg.DCache),
+	}
+}
+
+// Config returns the core configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// SetPageTableRoot installs the address-space root in both MMUs and
+// flushes the TLBs and caches (context switch / exec).
+func (c *CPU) SetPageTableRoot(root uint64) {
+	c.imem.SetRoot(root)
+	c.dmem.SetRoot(root)
+	c.icache.Flush()
+	c.dcache.Flush()
+}
+
+// FlushTLBPage invalidates both TLBs' entries for va (sfence.vma addr).
+func (c *CPU) FlushTLBPage(va uint64) {
+	c.imem.FlushPage(va)
+	c.dmem.FlushPage(va)
+}
+
+// FlushTLB invalidates both TLBs entirely.
+func (c *CPU) FlushTLB() {
+	c.imem.Flush()
+	c.dmem.Flush()
+}
+
+// Stats returns the dynamic statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// MMUStats returns (I-side, D-side) MMU statistics.
+func (c *CPU) MMUStats() (mmu.Stats, mmu.Stats) { return c.imem.Stats(), c.dmem.Stats() }
+
+// CacheStats returns (I-cache, D-cache) statistics.
+func (c *CPU) CacheStats() (cache.Stats, cache.Stats) { return c.icache.Stats(), c.dcache.Stats() }
+
+// ResetCounters zeroes cycles and statistics (not architectural state).
+func (c *CPU) ResetCounters() {
+	c.Cycles = 0
+	c.Instret = 0
+	c.stats = Stats{}
+	c.imem.ResetStats()
+	c.dmem.ResetStats()
+	c.icache.ResetStats()
+	c.dcache.ResetStats()
+}
+
+// DataMMU exposes the D-side MMU for kernel fault handling tests.
+func (c *CPU) DataMMU() *mmu.MMU { return c.dmem }
+
+func (c *CPU) reg(r isa.Reg) uint64 { return c.Regs[r] }
+
+func (c *CPU) setReg(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		c.Regs[r] = v
+	}
+}
+
+// fetch translates and reads one instruction parcel at pc.
+func (c *CPU) fetch(pc uint64) (uint32, *Trap) {
+	if pc&1 != 0 {
+		return 0, &Trap{Kind: TrapMisaligned, PC: pc}
+	}
+	pa, tlbMiss, fault := c.imem.Translate(pc, mmu.Exec, 0)
+	if fault != nil {
+		return 0, &Trap{Kind: TrapPageFault, PC: pc, Fault: fault}
+	}
+	if tlbMiss {
+		c.Cycles += c.cfg.Cost.TLBWalkPerMem * 3
+	}
+	if !c.icache.Access(pa) {
+		c.Cycles += c.cfg.Cost.CacheMiss
+	}
+	// A 4-byte parcel may straddle a page; fetch low half first.
+	low, err := c.phys.ReadUint(pa, 2)
+	if err != nil {
+		return 0, &Trap{Kind: TrapPageFault, PC: pc, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: pc}}
+	}
+	if low&3 != 3 {
+		return uint32(low), nil
+	}
+	hiPC := pc + 2
+	hiPA := pa + 2
+	if hiPC&(mem.PageSize-1) == 0 {
+		var fault *mmu.Fault
+		hiPA, _, fault = c.imem.Translate(hiPC, mmu.Exec, 0)
+		if fault != nil {
+			return 0, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: fault}
+		}
+	}
+	high, err := c.phys.ReadUint(hiPA, 2)
+	if err != nil {
+		return 0, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: hiPC}}
+	}
+	return uint32(high)<<16 | uint32(low), nil
+}
+
+// dataAccess translates va for a load/store of n bytes and charges the
+// memory-hierarchy costs. Accesses crossing a page boundary translate
+// both pages (both must pass all checks, including the ROLoad check).
+func (c *CPU) dataAccess(va uint64, n int, at mmu.Access, key uint16, pc uint64, in isa.Inst) (uint64, *Trap) {
+	pa, tlbMiss, fault := c.dmem.Translate(va, at, key)
+	if fault != nil {
+		return 0, &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: fault}
+	}
+	if tlbMiss {
+		c.Cycles += c.cfg.Cost.TLBWalkPerMem * 3
+	}
+	if va>>mem.PageShift != (va+uint64(n)-1)>>mem.PageShift {
+		_, tlbMiss2, fault2 := c.dmem.Translate(va+uint64(n)-1, at, key)
+		if fault2 != nil {
+			return 0, &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: fault2}
+		}
+		if tlbMiss2 {
+			c.Cycles += c.cfg.Cost.TLBWalkPerMem * 3
+		}
+	}
+	c.Cycles += c.cfg.Cost.LoadStore
+	if !c.dcache.Access(pa) {
+		c.Cycles += c.cfg.Cost.CacheMiss
+	}
+	return pa, nil
+}
+
+// loadPhys reads an n-byte value whose first byte lives at physical pa
+// and whose virtual address is va; page-straddling bytes are read via a
+// second translation (already validated by dataAccess).
+func (c *CPU) loadVirt(va, pa uint64, n int, at mmu.Access, key uint16) (uint64, error) {
+	if va>>mem.PageShift == (va+uint64(n)-1)>>mem.PageShift {
+		return c.phys.ReadUint(pa, n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		bpa := pa + uint64(i)
+		if (va+uint64(i))&(mem.PageSize-1) == 0 {
+			var fault *mmu.Fault
+			bpa, _, fault = c.dmem.Translate(va+uint64(i), at, key)
+			if fault != nil {
+				return 0, fault
+			}
+			pa = bpa - uint64(i)
+		}
+		b, err := c.phys.ReadUint(bpa, 1)
+		if err != nil {
+			return 0, err
+		}
+		v |= b << (8 * uint(i))
+	}
+	return v, nil
+}
+
+func (c *CPU) storeVirt(va, pa uint64, v uint64, n int) error {
+	if va>>mem.PageShift == (va+uint64(n)-1)>>mem.PageShift {
+		return c.phys.WriteUint(pa, v, n)
+	}
+	for i := 0; i < n; i++ {
+		bpa := pa + uint64(i)
+		if (va+uint64(i))&(mem.PageSize-1) == 0 {
+			var fault *mmu.Fault
+			bpa, _, fault = c.dmem.Translate(va+uint64(i), mmu.Write, 0)
+			if fault != nil {
+				return fault
+			}
+			pa = bpa - uint64(i)
+		}
+		if err := c.phys.WriteUint(bpa, v>>(8*uint(i))&0xff, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction. It returns nil on normal retirement
+// or a Trap describing why control must pass to the kernel. The PC is
+// left at the faulting instruction for traps, and advanced past it for
+// ECALL/EBREAK (sepc handling is the kernel's concern; this interface
+// mirrors what the kernel needs).
+func (c *CPU) Step() *Trap {
+	pc := c.PC
+	raw, trap := c.fetch(pc)
+	if trap != nil {
+		c.stats.Traps++
+		c.Cycles += c.cfg.Cost.Trap
+		return trap
+	}
+	in := isa.Decode(raw)
+	if in.Op == isa.OpInvalid || (in.Op.IsROLoad() && !c.cfg.ROLoadEnabled) {
+		c.stats.Traps++
+		c.Cycles += c.cfg.Cost.Trap
+		return &Trap{Kind: TrapIllegalInst, PC: pc, Inst: in}
+	}
+	if c.Tracer != nil {
+		c.Tracer(pc, in)
+	}
+	c.Cycles += c.cfg.Cost.Base
+	next := pc + uint64(in.Size)
+
+	switch {
+	case in.Op == isa.LUI:
+		c.setReg(in.Rd, uint64(in.Imm))
+	case in.Op == isa.AUIPC:
+		c.setReg(in.Rd, pc+uint64(in.Imm))
+	case in.Op == isa.JAL:
+		c.setReg(in.Rd, next)
+		next = pc + uint64(in.Imm)
+		c.Cycles += c.cfg.Cost.Jump
+		c.stats.Jumps++
+	case in.Op == isa.JALR:
+		t := (c.reg(in.Rs1) + uint64(in.Imm)) &^ 1
+		c.setReg(in.Rd, next)
+		next = t
+		c.Cycles += c.cfg.Cost.Jump
+		c.stats.Jumps++
+	case in.Op.IsBranch():
+		c.stats.Branches++
+		if c.evalBranch(in) {
+			next = pc + uint64(in.Imm)
+			c.Cycles += c.cfg.Cost.TakenBranch
+			c.stats.TakenBranch++
+		}
+	case in.Op.IsLoad():
+		n, unsigned := in.Op.LoadWidth()
+		at := mmu.Read
+		key := uint16(0)
+		va := c.reg(in.Rs1) + uint64(in.Imm)
+		if in.Op.IsROLoad() {
+			at = mmu.ROLoadRead
+			key = in.Key
+			va = c.reg(in.Rs1) // no offset: the immediate is the key
+			c.stats.ROLoads++
+		}
+		c.stats.Loads++
+		pa, trap := c.dataAccess(va, n, at, key, pc, in)
+		if trap != nil {
+			c.stats.Traps++
+			c.Cycles += c.cfg.Cost.Trap
+			return trap
+		}
+		v, err := c.loadVirt(va, pa, n, at, key)
+		if err != nil {
+			c.stats.Traps++
+			c.Cycles += c.cfg.Cost.Trap
+			if f, ok := err.(*mmu.Fault); ok {
+				return &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: f}
+			}
+			return &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
+				Fault: &mmu.Fault{Cause: mmu.FaultLoadPage, VA: va}}
+		}
+		if !unsigned {
+			shift := uint(64 - 8*n)
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		c.setReg(in.Rd, v)
+	case in.Op.IsStore():
+		n, _ := in.Op.LoadWidth()
+		va := c.reg(in.Rs1) + uint64(in.Imm)
+		c.stats.Stores++
+		pa, trap := c.dataAccess(va, n, mmu.Write, 0, pc, in)
+		if trap != nil {
+			c.stats.Traps++
+			c.Cycles += c.cfg.Cost.Trap
+			return trap
+		}
+		if err := c.storeVirt(va, pa, c.reg(in.Rs2), n); err != nil {
+			c.stats.Traps++
+			c.Cycles += c.cfg.Cost.Trap
+			if f, ok := err.(*mmu.Fault); ok {
+				return &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: f}
+			}
+			return &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
+				Fault: &mmu.Fault{Cause: mmu.FaultStorePage, VA: va}}
+		}
+	case in.Op == isa.ECALL:
+		c.Instret++
+		c.stats.Instructions++
+		c.stats.Traps++
+		c.Cycles += c.cfg.Cost.Trap
+		c.PC = next
+		return &Trap{Kind: TrapECall, PC: pc, Inst: in}
+	case in.Op == isa.EBREAK:
+		c.Instret++
+		c.stats.Instructions++
+		c.stats.Traps++
+		c.Cycles += c.cfg.Cost.Trap
+		c.PC = next
+		return &Trap{Kind: TrapEBreak, PC: pc, Inst: in}
+	case in.Op == isa.FENCE:
+		// No-op in a single-hart system.
+	case in.Op == isa.CSRRW || in.Op == isa.CSRRS || in.Op == isa.CSRRC:
+		c.execCSR(in)
+	default:
+		c.execALU(in)
+	}
+
+	c.Instret++
+	c.stats.Instructions++
+	c.PC = next
+	return nil
+}
+
+// Run executes until a trap or until maxInstructions retire; it
+// returns the trap (nil means the budget was exhausted).
+func (c *CPU) Run(maxInstructions uint64) *Trap {
+	end := c.Instret + maxInstructions
+	for c.Instret < end {
+		if trap := c.Step(); trap != nil {
+			return trap
+		}
+	}
+	return nil
+}
+
+func (c *CPU) evalBranch(in isa.Inst) bool {
+	a, b := c.reg(in.Rs1), c.reg(in.Rs2)
+	switch in.Op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	case isa.BLTU:
+		return a < b
+	case isa.BGEU:
+		return a >= b
+	}
+	return false
+}
+
+// CSR numbers implemented by the core (user-level counters).
+const (
+	CSRCycle   = 0xC00
+	CSRTime    = 0xC01
+	CSRInstret = 0xC02
+)
+
+func (c *CPU) execCSR(in isa.Inst) {
+	var v uint64
+	switch in.Imm {
+	case CSRCycle, CSRTime:
+		v = c.Cycles
+	case CSRInstret:
+		v = c.Instret
+	}
+	// The user-level counters are read-only; writes are ignored, reads
+	// (csrrs rd, csr, x0) return the counter.
+	c.setReg(in.Rd, v)
+}

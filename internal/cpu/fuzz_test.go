@@ -1,0 +1,163 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"roload/internal/isa"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+)
+
+// TestFuzzRandomCode executes pages of random bytes as code: every
+// outcome must be either a clean retirement or a well-formed trap —
+// never a panic, never a cycle-counter regression, never execution
+// escaping the mapped address space.
+func TestFuzzRandomCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	phys := mem.NewPhysical(16 << 20)
+	alloc := &bumpAlloc{next: 0x100000}
+	mapper, err := mmu.NewMapper(phys, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const textVA, textPA = 0x10000, 0x400000
+	const dataVA, dataPA = 0x20000, 0x500000
+	const roVA, roPA = 0x30000, 0x600000
+	if err := mapper.Map(textVA, textPA, mmu.PTERead|mmu.PTEExec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapper.Map(dataVA, dataPA, mmu.PTERead|mmu.PTEWrite, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapper.Map(roVA, roPA, mmu.PTERead, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 200; round++ {
+		code := make([]byte, mem.PageSize)
+		rng.Read(code)
+		if err := phys.Write(textPA, code); err != nil {
+			t.Fatal(err)
+		}
+		c := New(phys, DefaultConfig())
+		c.SetPageTableRoot(mapper.Root())
+		c.PC = textVA
+		// Point likely base registers at mapped memory so some memory
+		// ops succeed.
+		c.Regs[isa.SP] = dataVA + 2048
+		c.Regs[isa.A0] = roVA
+		c.Regs[isa.A1] = dataVA
+
+		prevCycles := uint64(0)
+		for step := 0; step < 500; step++ {
+			trap := c.Step()
+			if c.Cycles < prevCycles {
+				t.Fatalf("round %d: cycle counter went backwards", round)
+			}
+			prevCycles = c.Cycles
+			if trap != nil {
+				switch trap.Kind {
+				case TrapECall, TrapEBreak, TrapIllegalInst, TrapPageFault, TrapMisaligned:
+					// well-formed; stop this round
+				default:
+					t.Fatalf("round %d: malformed trap %+v", round, trap)
+				}
+				break
+			}
+			if c.PC < 0x1000 || c.PC > 1<<39 {
+				// Jumps to wild addresses must fault on the next step,
+				// not run forever; just continue and let the fetch trap.
+				continue
+			}
+		}
+	}
+}
+
+// TestFuzzRandomALUSequences builds random but *valid* ALU instruction
+// sequences and checks the register file invariants: x0 stays zero and
+// instret advances exactly once per retired instruction.
+func TestFuzzRandomALUSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []isa.Op{
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL,
+		isa.SRA, isa.SLT, isa.SLTU, isa.MUL, isa.DIV, isa.REM,
+		isa.ADDW, isa.SUBW, isa.MULW, isa.DIVW, isa.REMW,
+	}
+	phys := mem.NewPhysical(16 << 20)
+	alloc := &bumpAlloc{next: 0x100000}
+	mapper, _ := mmu.NewMapper(phys, alloc)
+	_ = mapper.Map(0x10000, 0x400000, mmu.PTERead|mmu.PTEExec, 0)
+
+	for round := 0; round < 100; round++ {
+		n := 50
+		addr := uint64(0x400000)
+		for i := 0; i < n; i++ {
+			in := isa.Inst{
+				Op:  ops[rng.Intn(len(ops))],
+				Rd:  isa.Reg(rng.Intn(32)),
+				Rs1: isa.Reg(rng.Intn(32)),
+				Rs2: isa.Reg(rng.Intn(32)),
+			}
+			if err := phys.WriteUint(addr, uint64(isa.MustEncode(in)), 4); err != nil {
+				t.Fatal(err)
+			}
+			addr += 4
+		}
+		if err := phys.WriteUint(addr, uint64(isa.MustEncode(isa.Inst{Op: isa.ECALL})), 4); err != nil {
+			t.Fatal(err)
+		}
+		c := New(phys, DefaultConfig())
+		c.SetPageTableRoot(mapper.Root())
+		c.PC = 0x10000
+		for i := range c.Regs {
+			c.Regs[i] = rng.Uint64()
+		}
+		c.Regs[0] = 0
+		trap := c.Run(uint64(n + 1))
+		if trap == nil || trap.Kind != TrapECall {
+			t.Fatalf("round %d: trap = %+v", round, trap)
+		}
+		if c.Regs[isa.Zero] != 0 {
+			t.Fatalf("round %d: x0 = %#x", round, c.Regs[isa.Zero])
+		}
+		if c.Instret != uint64(n+1) {
+			t.Fatalf("round %d: instret = %d, want %d", round, c.Instret, n+1)
+		}
+	}
+}
+
+// TestStatsConsistency: the per-kind counters must sum consistently
+// with instret on a mixed program.
+func TestStatsConsistency(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	m.map1(0x30000, 0x700000, mmu.PTERead, 3)
+	m.emit(li(isa.A1, 0x30000)...)
+	m.emit(li(isa.A2, 0x7f000)...)
+	m.emit(
+		isa.Inst{Op: isa.LDRO, Rd: isa.A0, Rs1: isa.A1, Key: 3},
+		isa.Inst{Op: isa.SD, Rs1: isa.A2, Rs2: isa.A0, Imm: 0},
+		isa.Inst{Op: isa.LD, Rd: isa.A3, Rs1: isa.A2, Imm: 0},
+		isa.Inst{Op: isa.MUL, Rd: isa.A4, Rs1: isa.A3, Rs2: isa.A3},
+		isa.Inst{Op: isa.BEQ, Rs1: isa.Zero, Rs2: isa.Zero, Imm: 8},
+		isa.Inst{Op: isa.EBREAK}, // skipped by branch
+		isa.Inst{Op: isa.ECALL},
+	)
+	trap := m.run(20)
+	if trap.Kind != TrapECall {
+		t.Fatalf("trap = %v", trap)
+	}
+	st := m.cpu.Stats()
+	if st.Loads != 2 || st.ROLoads != 1 || st.Stores != 1 {
+		t.Errorf("memory stats = %+v", st)
+	}
+	if st.Branches != 1 || st.TakenBranch != 1 {
+		t.Errorf("branch stats = %+v", st)
+	}
+	if st.MulDiv != 1 {
+		t.Errorf("muldiv = %d", st.MulDiv)
+	}
+	if st.Instructions != m.cpu.Instret {
+		t.Errorf("instr count mismatch: %d vs %d", st.Instructions, m.cpu.Instret)
+	}
+}

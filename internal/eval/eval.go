@@ -1,0 +1,291 @@
+// Package eval contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (Section V):
+//
+//	Table I   — lines of code of each component (this repository's
+//	            analogous components, counted from source).
+//	Table II  — prototype system configuration.
+//	Table III — hardware resource cost (internal/hw model).
+//	§V-B      — system-level overhead of the (unused) ROLoad support.
+//	Figure 3  — VCall vs VTint runtime & memory overheads (3 C++ SPEC-like).
+//	Figure 4  — ICall vs CFI runtime overheads (all 11 SPEC-like).
+//	Figure 5  — ICall vs CFI memory overheads (all 11 SPEC-like).
+//
+// All runs are fully deterministic: the simulator has no randomness,
+// so a single run per (workload, scheme, system) cell suffices.
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"roload/internal/core"
+	"roload/internal/spec"
+)
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// ScaleTest runs small inputs (unit tests, smoke runs).
+	ScaleTest Scale = iota
+	// ScaleRef runs the reference inputs (the benchmark harness).
+	ScaleRef
+)
+
+func src(w spec.Workload, s Scale) string {
+	if s == ScaleRef {
+		return w.RefSource()
+	}
+	return w.TestSource()
+}
+
+const maxSteps = 2_000_000_000
+
+// OverheadPoint is one bar of Figures 3-5.
+type OverheadPoint struct {
+	Benchmark  string
+	Scheme     core.Hardening
+	RuntimePct float64
+	MemPct     float64
+	BaseCycles uint64
+	Cycles     uint64
+	BaseMemKiB uint64
+	MemKiB     uint64
+}
+
+// measureOverheads runs each workload unhardened and under each scheme
+// on the fully modified system (the paper's defense-evaluation
+// baseline is the processor-and-kernel-modified system).
+func measureOverheads(ws []spec.Workload, schemes []core.Hardening, s Scale) ([]OverheadPoint, error) {
+	var out []OverheadPoint
+	for _, w := range ws {
+		source := src(w, s)
+		base, err := core.Measure(source, core.HardenNone, core.SysFull, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s baseline: %w", w.Name, err)
+		}
+		if !base.Result.Exited {
+			return nil, fmt.Errorf("eval: %s baseline killed by %v", w.Name, base.Result.Signal)
+		}
+		for _, h := range schemes {
+			m, err := core.Measure(source, h, core.SysFull, maxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s under %v: %w", w.Name, h, err)
+			}
+			if !m.Result.Exited {
+				return nil, fmt.Errorf("eval: %s under %v killed by %v", w.Name, h, m.Result.Signal)
+			}
+			if string(m.Result.Stdout) != string(base.Result.Stdout) {
+				return nil, fmt.Errorf("eval: %s under %v produced different output", w.Name, h)
+			}
+			rt, mem := core.Overhead(base, m)
+			out = append(out, OverheadPoint{
+				Benchmark:  w.Name,
+				Scheme:     h,
+				RuntimePct: rt,
+				MemPct:     mem,
+				BaseCycles: base.Result.Cycles,
+				Cycles:     m.Result.Cycles,
+				BaseMemKiB: base.Result.MemPeakKiB,
+				MemKiB:     m.Result.MemPeakKiB,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig3 measures VCall and VTint on the three C++-style workloads.
+func Fig3(s Scale) ([]OverheadPoint, error) {
+	return measureOverheads(spec.CXX(), []core.Hardening{core.HardenVCall, core.HardenVTint}, s)
+}
+
+// Fig4And5 measures ICall and CFI on all eleven workloads. Figure 4
+// reads the runtime column; Figure 5 the memory column.
+func Fig4And5(s Scale) ([]OverheadPoint, error) {
+	return measureOverheads(spec.Workloads(), []core.Hardening{core.HardenICall, core.HardenCFI}, s)
+}
+
+// ExtensionRetGuard measures the backward-edge extension on every
+// workload (not a paper figure; the paper sketches the application in
+// Section IV-C and this quantifies it).
+func ExtensionRetGuard(s Scale) ([]OverheadPoint, error) {
+	return measureOverheads(spec.Workloads(), []core.Hardening{core.HardenRetGuard}, s)
+}
+
+// Average returns the mean runtime and memory overhead for one scheme.
+func Average(points []OverheadPoint, h core.Hardening) (rt, mem float64, n int) {
+	for _, p := range points {
+		if p.Scheme == h {
+			rt += p.RuntimePct
+			mem += p.MemPct
+			n++
+		}
+	}
+	if n > 0 {
+		rt /= float64(n)
+		mem /= float64(n)
+	}
+	return
+}
+
+// SysOverheadRow is one benchmark's row of the Section V-B experiment.
+type SysOverheadRow struct {
+	Benchmark string
+	// Cycles per system kind, and memory. Unhardened binaries must
+	// behave identically: the ROLoad logic is inert when unused.
+	BaseCycles, ProcCycles, FullCycles uint64
+	BaseMemKiB, ProcMemKiB, FullMemKiB uint64
+}
+
+// ProcPct returns the processor-modified system's runtime overhead.
+func (r SysOverheadRow) ProcPct() float64 {
+	return 100 * (float64(r.ProcCycles) - float64(r.BaseCycles)) / float64(r.BaseCycles)
+}
+
+// FullPct returns the fully modified system's runtime overhead.
+func (r SysOverheadRow) FullPct() float64 {
+	return 100 * (float64(r.FullCycles) - float64(r.BaseCycles)) / float64(r.BaseCycles)
+}
+
+// SystemOverhead reproduces Section V-B: every unhardened workload on
+// the baseline, processor-modified and processor+kernel-modified
+// systems.
+func SystemOverhead(s Scale) ([]SysOverheadRow, error) {
+	var out []SysOverheadRow
+	for _, w := range spec.Workloads() {
+		source := src(w, s)
+		row := SysOverheadRow{Benchmark: w.Name}
+		var ref []byte
+		for i, sys := range []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull} {
+			m, err := core.Measure(source, core.HardenNone, sys, maxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s on %v: %w", w.Name, sys, err)
+			}
+			if !m.Result.Exited {
+				return nil, fmt.Errorf("eval: %s on %v killed by %v", w.Name, sys, m.Result.Signal)
+			}
+			switch i {
+			case 0:
+				row.BaseCycles, row.BaseMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+				ref = m.Result.Stdout
+			case 1:
+				row.ProcCycles, row.ProcMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+			case 2:
+				row.FullCycles, row.FullMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+			}
+			if i > 0 && string(m.Result.Stdout) != string(ref) {
+				return nil, fmt.Errorf("eval: %s output differs across systems", w.Name)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LoCRow is one row of the Table I reproduction: the size of each
+// component of this reproduction that corresponds to a paper
+// component.
+type LoCRow struct {
+	Component string
+	Language  string
+	Dirs      []string
+	Lines     int
+}
+
+// TableI counts the source lines of the components analogous to the
+// paper's Table I (processor, kernel, compiler back-end). root is the
+// repository root.
+func TableI(root string) ([]LoCRow, error) {
+	rows := []LoCRow{
+		{Component: "RISC-V processor (ISA+core+MMU+caches)", Language: "Go",
+			Dirs: []string{"internal/isa", "internal/cpu", "internal/mmu", "internal/cache", "internal/mem"}},
+		{Component: "Kernel", Language: "Go", Dirs: []string{"internal/kernel"}},
+		{Component: "Compiler back-end (cc+harden+asm)", Language: "Go",
+			Dirs: []string{"internal/cc", "internal/cc/harden", "internal/asm"}},
+	}
+	for i := range rows {
+		n := 0
+		for _, d := range rows[i].Dirs {
+			entries, err := os.ReadDir(filepath.Join(root, d))
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				b, err := os.ReadFile(filepath.Join(root, d, name))
+				if err != nil {
+					return nil, err
+				}
+				n += strings.Count(string(b), "\n")
+			}
+		}
+		rows[i].Lines = n
+	}
+	return rows, nil
+}
+
+// TableII returns the prototype configuration strings (Table II).
+func TableII() []string {
+	return []string{
+		"ISA:          RV64IM + ROLoad extension (ld.ro family, c.ld.ro), M/S/U-equivalent modes",
+		"Caches:       32 KiB 8-way L1 I$, 32 KiB 8-way L1 D$ (64 B lines, true LRU)",
+		"TLBs:         32-entry I-TLB, 32-entry D-TLB (keys in D-TLB entries)",
+		"Memory:       256 MiB simulated DDR3 (4 KiB pages, lazy backing)",
+		"Cost model:   1 IPC base; taken branch +2; mul +3; div +32; L1 miss +30; walk +12/access; trap +120",
+		"Target clock: 125 MHz (timing model in internal/hw)",
+	}
+}
+
+// RenderOverheads renders points as a two-series text figure, sorted
+// by benchmark, with per-scheme averages — the textual equivalent of
+// Figures 3-5.
+func RenderOverheads(title string, points []OverheadPoint, runtime bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	byBench := map[string][]OverheadPoint{}
+	var names []string
+	for _, p := range points {
+		if _, ok := byBench[p.Benchmark]; !ok {
+			names = append(names, p.Benchmark)
+		}
+		byBench[p.Benchmark] = append(byBench[p.Benchmark], p)
+	}
+	sort.Strings(names)
+	schemes := map[core.Hardening]bool{}
+	for _, p := range points {
+		schemes[p.Scheme] = true
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-16s", n)
+		ps := byBench[n]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Scheme < ps[j].Scheme })
+		for _, p := range ps {
+			v := p.RuntimePct
+			if !runtime {
+				v = p.MemPct
+			}
+			fmt.Fprintf(&b, "  %v=%+.3f%%", p.Scheme, v)
+		}
+		b.WriteString("\n")
+	}
+	var hs []core.Hardening
+	for h := range schemes {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		rt, mem, _ := Average(points, h)
+		v := rt
+		if !runtime {
+			v = mem
+		}
+		fmt.Fprintf(&b, "  average %v = %+.3f%%\n", h, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"roload/internal/core"
+)
+
+// The defense-application shapes of Figures 3 and 4, at test scale:
+// VCall must be cheaper than VTint, ICall cheaper than CFI, and the
+// ROLoad-based schemes must stay near zero.
+func TestFig3Shape(t *testing.T) {
+	points, err := Fig3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3*2 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	vcallRT, _, _ := Average(points, core.HardenVCall)
+	vtintRT, _, _ := Average(points, core.HardenVTint)
+	if vcallRT >= vtintRT {
+		t.Errorf("VCall avg %.3f%% must beat VTint %.3f%%", vcallRT, vtintRT)
+	}
+	if vcallRT < 0 || vcallRT > 2.0 {
+		t.Errorf("VCall avg %.3f%% out of the near-zero band", vcallRT)
+	}
+	for _, p := range points {
+		if p.Scheme == core.HardenVTint && p.RuntimePct <= 0 {
+			t.Errorf("%s: VTint overhead %.3f%% should be positive", p.Benchmark, p.RuntimePct)
+		}
+	}
+}
+
+func TestFig4And5Shape(t *testing.T) {
+	points, err := Fig4And5(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 11*2 {
+		t.Fatalf("points = %d, want 22", len(points))
+	}
+	icallRT, icallMem, _ := Average(points, core.HardenICall)
+	cfiRT, cfiMem, _ := Average(points, core.HardenCFI)
+	if icallRT >= cfiRT {
+		t.Errorf("ICall avg %.3f%% must beat CFI %.3f%%", icallRT, cfiRT)
+	}
+	if icallRT > 2.0 {
+		t.Errorf("ICall avg %.3f%% not near zero", icallRT)
+	}
+	// Figure 5's ordering: ICall stores extra pointers in keyed pages,
+	// so its memory overhead exceeds CFI's.
+	if icallMem <= cfiMem {
+		t.Errorf("ICall mem avg %.3f%% should exceed CFI %.3f%% (GFPT pages)", icallMem, cfiMem)
+	}
+}
+
+// Section V-B: unhardened binaries run with ~0% overhead on the
+// modified systems — in this deterministic model, exactly 0%.
+func TestSystemOverheadZero(t *testing.T) {
+	rows, err := SystemOverhead(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ProcPct() != 0 || r.FullPct() != 0 {
+			t.Errorf("%s: overheads %.4f%% / %.4f%%, want 0", r.Benchmark, r.ProcPct(), r.FullPct())
+		}
+		if r.BaseMemKiB != r.ProcMemKiB || r.BaseMemKiB != r.FullMemKiB {
+			t.Errorf("%s: memory differs across systems", r.Benchmark)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Lines < 100 {
+			t.Errorf("%s: %d lines — component missing?", r.Component, r.Lines)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	lines := TableII()
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"32 KiB", "32-entry", "125 MHz", "ld.ro"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestRenderOverheads(t *testing.T) {
+	points := []OverheadPoint{
+		{Benchmark: "x", Scheme: core.HardenVCall, RuntimePct: 0.3, MemPct: 0.1},
+		{Benchmark: "x", Scheme: core.HardenVTint, RuntimePct: 2.7, MemPct: 0.2},
+	}
+	out := RenderOverheads("Fig 3", points, true)
+	if !strings.Contains(out, "VCall=+0.300%") || !strings.Contains(out, "average") {
+		t.Errorf("render:\n%s", out)
+	}
+	out = RenderOverheads("Fig 5", points, false)
+	if !strings.Contains(out, "VTint=+0.200%") {
+		t.Errorf("render mem:\n%s", out)
+	}
+}

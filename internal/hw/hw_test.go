@@ -1,0 +1,137 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	core := CoreBaseline()
+	if core.LUT != 20722 || core.FF != 11855 {
+		t.Errorf("core baseline = %+v, want 20722/11855 (Table III)", core)
+	}
+	sys := SystemBaseline()
+	if sys.LUT != 37428 || sys.FF != 29913 {
+		t.Errorf("system baseline = %+v, want 37428/29913 (Table III)", sys)
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	r := Synthesize(DefaultConfig())
+	// The paper's headline claim: <3.32% FF, <1.45% LUT on the core.
+	if p := r.PctFF(); p <= 0 || p > 3.32 {
+		t.Errorf("core FF overhead = %.3f%%, want (0, 3.32]", p)
+	}
+	if p := r.PctLUT(); p <= 0 || p > 1.45 {
+		t.Errorf("core LUT overhead = %.3f%%, want (0, 1.45]", p)
+	}
+	// System overheads are smaller than core overheads (uncore dilutes).
+	if r.PctSystemLUT() >= r.PctLUT() {
+		t.Errorf("system LUT %% (%.3f) must be below core %% (%.3f)", r.PctSystemLUT(), r.PctLUT())
+	}
+	if r.PctSystemFF() >= r.PctFF() {
+		t.Errorf("system FF %% (%.3f) must be below core %% (%.3f)", r.PctSystemFF(), r.PctFF())
+	}
+	// Fmax essentially unchanged: within 0.5 MHz of baseline, positive
+	// slack retained.
+	df := r.TimingBase.FmaxMHz - r.TimingROLoad.FmaxMHz
+	if df < 0 || df > 0.5 {
+		t.Errorf("Fmax drop = %.3f MHz, want [0, 0.5]", df)
+	}
+	if r.TimingROLoad.WorstSlackNs <= 0 {
+		t.Errorf("slack = %.3f, must stay positive (meets 125 MHz)", r.TimingROLoad.WorstSlackNs)
+	}
+	// Baseline timing matches the paper exactly.
+	if r.TimingBase.WorstSlackNs < 0.118 || r.TimingBase.WorstSlackNs > 0.120 {
+		t.Errorf("baseline slack = %.3f, want 0.119", r.TimingBase.WorstSlackNs)
+	}
+}
+
+func TestSerializedCheckAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SerializeCheck = true
+	serial := Synthesize(cfg)
+	parallel := Synthesize(DefaultConfig())
+	// Serializing the key check after the permission check must cost
+	// measurable Fmax — the design rationale for the parallel AND.
+	if serial.TimingROLoad.FmaxMHz >= parallel.TimingROLoad.FmaxMHz {
+		t.Errorf("serialized Fmax %.2f must be below parallel %.2f",
+			serial.TimingROLoad.FmaxMHz, parallel.TimingROLoad.FmaxMHz)
+	}
+	if serial.TimingROLoad.FmaxMHz > 125.0 {
+		t.Errorf("serialized check still meets 125 MHz (%.2f); ablation should show a miss",
+			serial.TimingROLoad.FmaxMHz)
+	}
+}
+
+func TestDeltaScalesWithTLBSize(t *testing.T) {
+	small := DefaultConfig()
+	small.DTLBEntries = 16
+	big := DefaultConfig()
+	big.DTLBEntries = 128
+	ds := DeltaTotal(small)
+	db := DeltaTotal(big)
+	if db.FF <= ds.FF {
+		t.Errorf("FF delta must grow with TLB entries: %d vs %d", ds.FF, db.FF)
+	}
+	// Key storage dominates: 10 bits per entry.
+	if got := db.FF - ds.FF; got != 10*(128-16) {
+		t.Errorf("FF growth = %d, want %d", got, 10*(128-16))
+	}
+}
+
+func TestCompressedCostsExtraLUTs(t *testing.T) {
+	with := DefaultConfig()
+	without := DefaultConfig()
+	without.Compressed = false
+	if DeltaTotal(with).LUT <= DeltaTotal(without).LUT {
+		t.Error("c.ld.ro expander must cost LUTs")
+	}
+	if DeltaTotal(with).FF != DeltaTotal(without).FF {
+		t.Error("c.ld.ro expander is combinational; FF delta must not change")
+	}
+}
+
+func TestZeroValueConfigGetsDefaults(t *testing.T) {
+	r := Synthesize(Config{})
+	if r.Config.KeyBits != 10 || r.Config.DTLBEntries != 32 {
+		t.Errorf("defaults not applied: %+v", r.Config)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Synthesize(DefaultConfig()).String()
+	for _, want := range []string{"without ld.ro", "with ld.ro", "20722", "37428", "Fmax"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: resource deltas are monotone in every parameter.
+func TestQuickDeltaMonotone(t *testing.T) {
+	f := func(kb, entries, stages uint8) bool {
+		cfg := Config{
+			KeyBits:           int(kb%16) + 1,
+			DTLBEntries:       int(entries%128) + 1,
+			PipelineKeyStages: int(stages%8) + 1,
+		}
+		base := DeltaTotal(cfg)
+		cfg2 := cfg
+		cfg2.KeyBits++
+		cfg2.DTLBEntries++
+		cfg2.PipelineKeyStages++
+		grown := DeltaTotal(cfg2)
+		return grown.LUT >= base.LUT && grown.FF > base.FF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Synthesize(DefaultConfig())
+	}
+}

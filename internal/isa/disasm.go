@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one decoded instruction with its location.
+type DisasmLine struct {
+	Addr uint64
+	Inst Inst
+}
+
+// String renders "addr: encoding  mnemonic".
+func (d DisasmLine) String() string {
+	if d.Inst.Size == 2 {
+		return fmt.Sprintf("%8x:     %04x  %s", d.Addr, uint16(d.Inst.Raw), d.Inst)
+	}
+	return fmt.Sprintf("%8x: %08x  %s", d.Addr, d.Inst.Raw, d.Inst)
+}
+
+// Disassemble decodes the byte stream starting at base, walking
+// variable-length (2/4-byte) encodings. Truncated trailing bytes are
+// ignored.
+func Disassemble(code []byte, base uint64) []DisasmLine {
+	var out []DisasmLine
+	off := 0
+	for off+2 <= len(code) {
+		raw := uint32(binary.LittleEndian.Uint16(code[off:]))
+		size := 2
+		if raw&3 == 3 {
+			if off+4 > len(code) {
+				break
+			}
+			raw = binary.LittleEndian.Uint32(code[off:])
+			size = 4
+		}
+		in := Decode(raw)
+		out = append(out, DisasmLine{Addr: base + uint64(off), Inst: in})
+		off += size
+		_ = size
+	}
+	return out
+}
+
+// DisassembleText renders a code region as one string, annotating
+// branch and jump targets with relative arrows.
+func DisassembleText(code []byte, base uint64) string {
+	lines := Disassemble(code, base)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.String())
+		if l.Inst.Op.IsBranch() || l.Inst.Op == JAL {
+			fmt.Fprintf(&b, "\t-> %#x", l.Addr+uint64(l.Inst.Imm))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

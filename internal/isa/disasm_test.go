@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleMixedWidths(t *testing.T) {
+	var code []byte
+	w32 := func(in Inst) {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], MustEncode(in))
+		code = append(code, buf[:]...)
+	}
+	w16 := func(in Inst) {
+		raw, ok := TryCompress(in)
+		if !ok {
+			t.Fatalf("cannot compress %v", in)
+		}
+		code = append(code, byte(raw), byte(raw>>8))
+	}
+	w32(Inst{Op: ADDI, Rd: A0, Rs1: Zero, Imm: 5})
+	w16(Inst{Op: ADDI, Rd: A0, Rs1: A0, Imm: 1})
+	w16(Inst{Op: LDRO, Rd: A1, Rs1: A0, Key: 9})
+	w32(Inst{Op: JAL, Rd: Zero, Imm: -12})
+	w32(Inst{Op: ECALL})
+
+	lines := Disassemble(code, 0x10000)
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	wantAddrs := []uint64{0x10000, 0x10004, 0x10006, 0x10008, 0x1000c}
+	wantOps := []Op{ADDI, ADDI, LDRO, JAL, ECALL}
+	for i, l := range lines {
+		if l.Addr != wantAddrs[i] {
+			t.Errorf("line %d addr = %#x, want %#x", i, l.Addr, wantAddrs[i])
+		}
+		if l.Inst.Op != wantOps[i] {
+			t.Errorf("line %d op = %v, want %v", i, l.Inst.Op, wantOps[i])
+		}
+	}
+
+	text := DisassembleText(code, 0x10000)
+	if !strings.Contains(text, "ld.ro a1, (a0), 9") {
+		t.Errorf("missing ld.ro rendering:\n%s", text)
+	}
+	if !strings.Contains(text, "-> 0xfffc") {
+		t.Errorf("missing jump target annotation:\n%s", text)
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	// A lone byte and a dangling 32-bit prefix must not panic.
+	if got := Disassemble([]byte{0x13}, 0); got != nil {
+		t.Errorf("single byte decoded: %v", got)
+	}
+	// 0x..03 marks a 4-byte encoding but only 2 bytes remain.
+	if got := Disassemble([]byte{0x03, 0x00}, 0); got != nil {
+		t.Errorf("dangling prefix decoded: %v", got)
+	}
+}
+
+func TestDisassembleInvalid(t *testing.T) {
+	lines := Disassemble([]byte{0xff, 0xff, 0xff, 0xff}, 0)
+	if len(lines) != 1 || lines[0].Inst.Op != OpInvalid {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if !strings.Contains(lines[0].String(), ".word") {
+		t.Errorf("invalid rendering = %q", lines[0].String())
+	}
+}

@@ -1,0 +1,245 @@
+package isa
+
+// Compressed (RVC) support.
+//
+// The ROLoad prototype extends the RISC-V C extension with c.ld.ro, the
+// compressed form of ld.ro (paper Section III-A). We place it in the
+// encoding slot that is reserved in quadrant 0 (funct3 = 100), using a
+// CL-type layout in which the five bits that c.ld spends on its scaled
+// offset carry the page key instead:
+//
+//	[15:13]=100 [12:10]=key[4:2] [9:7]=rs1' [6:5]=key[1:0] [4:2]=rd' [1:0]=00
+//
+// A compressed ROLoad can therefore only name keys 0..31; the compiler
+// falls back to the 32-bit ld.ro for larger keys.
+
+// MaxCompressedKey is the largest key encodable in c.ld.ro.
+const MaxCompressedKey = 31
+
+func creg(v uint16) Reg { return Reg(v&7) + 8 } // x8..x15
+
+func isCReg(r Reg) bool { return r >= 8 && r <= 15 }
+
+func decodeCompressed(raw uint16) Inst {
+	in := Inst{Raw: uint32(raw), Size: 2}
+	f3 := raw >> 13 & 7
+	switch raw & 3 {
+	case 0: // quadrant 0
+		rdP := creg(raw >> 2)
+		rs1P := creg(raw >> 7)
+		switch f3 {
+		case 0b000: // c.addi4spn
+			imm := int64(raw>>7&0xf)<<6 | int64(raw>>11&3)<<4 |
+				int64(raw>>5&1)<<3 | int64(raw>>6&1)<<2
+			if imm != 0 {
+				in.Op, in.Rd, in.Rs1, in.Imm = ADDI, rdP, SP, imm
+			}
+		case 0b010: // c.lw
+			imm := int64(raw>>10&7)<<3 | int64(raw>>6&1)<<2 | int64(raw>>5&1)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LW, rdP, rs1P, imm
+		case 0b011: // c.ld
+			imm := int64(raw>>10&7)<<3 | int64(raw>>5&3)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LD, rdP, rs1P, imm
+		case 0b100: // c.ld.ro (ROLoad extension; reserved slot in base RVC)
+			key := uint16(raw>>10&7)<<2 | uint16(raw>>5&3)
+			in.Op, in.Rd, in.Rs1, in.Key = LDRO, rdP, rs1P, key
+		case 0b110: // c.sw
+			imm := int64(raw>>10&7)<<3 | int64(raw>>6&1)<<2 | int64(raw>>5&1)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SW, rs1P, rdP, imm
+		case 0b111: // c.sd
+			imm := int64(raw>>10&7)<<3 | int64(raw>>5&3)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SD, rs1P, rdP, imm
+		}
+	case 1: // quadrant 1
+		rd := Reg(raw >> 7 & 0x1f)
+		switch f3 {
+		case 0b000: // c.nop / c.addi
+			in.Op, in.Rd, in.Rs1 = ADDI, rd, rd
+			in.Imm = signExtend(uint64(raw>>12&1)<<5|uint64(raw>>2&0x1f), 6)
+		case 0b001: // c.addiw
+			if rd != 0 {
+				in.Op, in.Rd, in.Rs1 = ADDIW, rd, rd
+				in.Imm = signExtend(uint64(raw>>12&1)<<5|uint64(raw>>2&0x1f), 6)
+			}
+		case 0b010: // c.li
+			in.Op, in.Rd, in.Rs1 = ADDI, rd, Zero
+			in.Imm = signExtend(uint64(raw>>12&1)<<5|uint64(raw>>2&0x1f), 6)
+		case 0b011:
+			if rd == SP { // c.addi16sp
+				v := uint64(raw>>12&1)<<9 | uint64(raw>>3&3)<<7 |
+					uint64(raw>>5&1)<<6 | uint64(raw>>2&1)<<5 | uint64(raw>>6&1)<<4
+				if v != 0 {
+					in.Op, in.Rd, in.Rs1, in.Imm = ADDI, SP, SP, signExtend(v, 10)
+				}
+			} else if rd != 0 { // c.lui
+				v := uint64(raw>>12&1)<<17 | uint64(raw>>2&0x1f)<<12
+				if v != 0 {
+					in.Op, in.Rd, in.Imm = LUI, rd, signExtend(v, 18)
+				}
+			}
+		case 0b100: // ALU ops on rd'
+			rdP := creg(raw >> 7)
+			switch raw >> 10 & 3 {
+			case 0: // c.srli
+				in.Op, in.Rd, in.Rs1 = SRLI, rdP, rdP
+				in.Imm = int64(raw>>12&1)<<5 | int64(raw>>2&0x1f)
+			case 1: // c.srai
+				in.Op, in.Rd, in.Rs1 = SRAI, rdP, rdP
+				in.Imm = int64(raw>>12&1)<<5 | int64(raw>>2&0x1f)
+			case 2: // c.andi
+				in.Op, in.Rd, in.Rs1 = ANDI, rdP, rdP
+				in.Imm = signExtend(uint64(raw>>12&1)<<5|uint64(raw>>2&0x1f), 6)
+			case 3:
+				rs2P := creg(raw >> 2)
+				var op Op
+				if raw>>12&1 == 0 {
+					op = [4]Op{SUB, XOR, OR, AND}[raw>>5&3]
+				} else {
+					op = [4]Op{SUBW, ADDW, OpInvalid, OpInvalid}[raw>>5&3]
+				}
+				if op != OpInvalid {
+					in.Op, in.Rd, in.Rs1, in.Rs2 = op, rdP, rdP, rs2P
+				}
+			}
+		case 0b101: // c.j
+			v := uint64(raw>>12&1)<<11 | uint64(raw>>11&1)<<4 |
+				uint64(raw>>9&3)<<8 | uint64(raw>>8&1)<<10 |
+				uint64(raw>>7&1)<<6 | uint64(raw>>6&1)<<7 |
+				uint64(raw>>3&7)<<1 | uint64(raw>>2&1)<<5
+			in.Op, in.Rd, in.Imm = JAL, Zero, signExtend(v, 12)
+		case 0b110, 0b111: // c.beqz / c.bnez
+			rs1P := creg(raw >> 7)
+			v := uint64(raw>>12&1)<<8 | uint64(raw>>10&3)<<3 |
+				uint64(raw>>5&3)<<6 | uint64(raw>>3&3)<<1 | uint64(raw>>2&1)<<5
+			op := BEQ
+			if f3 == 0b111 {
+				op = BNE
+			}
+			in.Op, in.Rs1, in.Rs2, in.Imm = op, rs1P, Zero, signExtend(v, 9)
+		}
+	case 2: // quadrant 2
+		rd := Reg(raw >> 7 & 0x1f)
+		switch f3 {
+		case 0b000: // c.slli
+			if rd != 0 {
+				in.Op, in.Rd, in.Rs1 = SLLI, rd, rd
+				in.Imm = int64(raw>>12&1)<<5 | int64(raw>>2&0x1f)
+			}
+		case 0b010: // c.lwsp
+			if rd != 0 {
+				imm := int64(raw>>12&1)<<5 | int64(raw>>4&7)<<2 | int64(raw>>2&3)<<6
+				in.Op, in.Rd, in.Rs1, in.Imm = LW, rd, SP, imm
+			}
+		case 0b011: // c.ldsp
+			if rd != 0 {
+				imm := int64(raw>>12&1)<<5 | int64(raw>>5&3)<<3 | int64(raw>>2&7)<<6
+				in.Op, in.Rd, in.Rs1, in.Imm = LD, rd, SP, imm
+			}
+		case 0b100:
+			rs2 := Reg(raw >> 2 & 0x1f)
+			switch {
+			case raw>>12&1 == 0 && rs2 == 0 && rd != 0: // c.jr
+				in.Op, in.Rd, in.Rs1 = JALR, Zero, rd
+			case raw>>12&1 == 0 && rs2 != 0 && rd != 0: // c.mv
+				in.Op, in.Rd, in.Rs1, in.Rs2 = ADD, rd, Zero, rs2
+			case raw>>12&1 == 1 && rs2 == 0 && rd == 0: // c.ebreak
+				in.Op = EBREAK
+			case raw>>12&1 == 1 && rs2 == 0 && rd != 0: // c.jalr
+				in.Op, in.Rd, in.Rs1 = JALR, RA, rd
+			case raw>>12&1 == 1 && rs2 != 0 && rd != 0: // c.add
+				in.Op, in.Rd, in.Rs1, in.Rs2 = ADD, rd, rd, rs2
+			}
+		case 0b110: // c.swsp
+			imm := int64(raw>>9&0xf)<<2 | int64(raw>>7&3)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SW, SP, Reg(raw>>2&0x1f), imm
+		case 0b111: // c.sdsp
+			imm := int64(raw>>10&7)<<3 | int64(raw>>7&7)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SD, SP, Reg(raw>>2&0x1f), imm
+		}
+	}
+	return in
+}
+
+// TryCompress attempts to find a 16-bit encoding for in. It returns the
+// compressed encoding and true on success. Only forms used by the code
+// generator's compression pass are implemented; anything else simply
+// reports false and keeps its 32-bit form.
+func TryCompress(in Inst) (uint16, bool) {
+	switch in.Op {
+	case LDRO: // c.ld.ro
+		if isCReg(in.Rd) && isCReg(in.Rs1) && in.Key <= MaxCompressedKey {
+			return uint16(0b100)<<13 |
+				uint16(in.Key>>2&7)<<10 | uint16(in.Rs1-8)<<7 |
+				uint16(in.Key&3)<<5 | uint16(in.Rd-8)<<2, true
+		}
+	case LD: // c.ld / c.ldsp
+		if isCReg(in.Rd) && isCReg(in.Rs1) && in.Imm >= 0 && in.Imm < 256 && in.Imm&7 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b011)<<13 |
+				(u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>6&3)<<5 | uint16(in.Rd-8)<<2, true
+		}
+		if in.Rd != 0 && in.Rs1 == SP && in.Imm >= 0 && in.Imm < 512 && in.Imm&7 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b011)<<13 | (u>>5&1)<<12 | uint16(in.Rd)<<7 |
+				(u>>3&3)<<5 | (u>>6&7)<<2 | 2, true
+		}
+	case SD: // c.sd / c.sdsp
+		if isCReg(in.Rs2) && isCReg(in.Rs1) && in.Imm >= 0 && in.Imm < 256 && in.Imm&7 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b111)<<13 |
+				(u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>6&3)<<5 | uint16(in.Rs2-8)<<2, true
+		}
+		if in.Rs1 == SP && in.Imm >= 0 && in.Imm < 512 && in.Imm&7 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b111)<<13 | (u>>3&7)<<10 | (u>>6&7)<<7 | uint16(in.Rs2)<<2 | 2, true
+		}
+	case LW: // c.lw
+		if isCReg(in.Rd) && isCReg(in.Rs1) && in.Imm >= 0 && in.Imm < 128 && in.Imm&3 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b010)<<13 |
+				(u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>2&1)<<6 | (u>>6&1)<<5 | uint16(in.Rd-8)<<2, true
+		}
+	case SW: // c.sw
+		if isCReg(in.Rs2) && isCReg(in.Rs1) && in.Imm >= 0 && in.Imm < 128 && in.Imm&3 == 0 {
+			u := uint16(in.Imm)
+			return uint16(0b110)<<13 |
+				(u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>2&1)<<6 | (u>>6&1)<<5 | uint16(in.Rs2-8)<<2, true
+		}
+	case ADDI:
+		switch {
+		case in.Rd == in.Rs1 && fitsSigned(in.Imm, 6): // c.addi / c.nop
+			u := uint16(in.Imm) & 0x3f
+			return uint16(0b000)<<13 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u&0x1f)<<2 | 1, true
+		case in.Rs1 == Zero && in.Rd != 0 && fitsSigned(in.Imm, 6): // c.li
+			u := uint16(in.Imm) & 0x3f
+			return uint16(0b010)<<13 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u&0x1f)<<2 | 1, true
+		}
+	case ADDIW:
+		if in.Rd == in.Rs1 && in.Rd != 0 && fitsSigned(in.Imm, 6) {
+			u := uint16(in.Imm) & 0x3f
+			return uint16(0b001)<<13 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u&0x1f)<<2 | 1, true
+		}
+	case ADD:
+		switch {
+		case in.Rd != 0 && in.Rs1 == Zero && in.Rs2 != 0: // c.mv
+			return uint16(0b100)<<13 | uint16(in.Rd)<<7 | uint16(in.Rs2)<<2 | 2, true
+		case in.Rd != 0 && in.Rd == in.Rs1 && in.Rs2 != 0: // c.add
+			return uint16(0b100)<<13 | 1<<12 | uint16(in.Rd)<<7 | uint16(in.Rs2)<<2 | 2, true
+		}
+	case SLLI:
+		if in.Rd == in.Rs1 && in.Rd != 0 && in.Imm > 0 && in.Imm < 64 {
+			u := uint16(in.Imm)
+			return uint16(0b000)<<13 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u&0x1f)<<2 | 2, true
+		}
+	case JALR:
+		if in.Imm == 0 && in.Rs1 != 0 {
+			if in.Rd == Zero { // c.jr
+				return uint16(0b100)<<13 | uint16(in.Rs1)<<7 | 2, true
+			}
+			if in.Rd == RA { // c.jalr
+				return uint16(0b100)<<13 | 1<<12 | uint16(in.Rs1)<<7 | 2, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"roload/internal/asm"
+)
+
+// Failure injection: the kernel must degrade cleanly when resources
+// run out or processes misbehave.
+
+func TestSpawnOutOfPhysicalMemory(t *testing.T) {
+	cfg := FullSystem()
+	cfg.MemBytes = 64 << 10 // 16 pages: not enough for stack + tables
+	sys := NewSystem(cfg)
+	_, err := sys.Spawn(mustImage(t, exitSrc))
+	if err == nil || !strings.Contains(err.Error(), "out of physical memory") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMmapExhaustionReturnsError(t *testing.T) {
+	// Ask for more than physical memory: mmap must return -1 and the
+	// process must be able to observe it and exit cleanly.
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 0
+	li a1, 0x3C00000   # 60 MiB > 64 MiB budget cap? below cap but big
+	li a2, 3
+	li a7, 222
+	ecall
+	li a1, -1
+	beq a0, a1, failed
+	li a0, 0
+	li a7, 93
+	ecall
+failed:
+	li a0, 7
+	li a7, 93
+	ecall
+`)
+	// Either outcome is acceptable on a 256 MiB system (the request is
+	// satisfiable), so instead check the >64 MiB rejection path.
+	if !res.Exited {
+		t.Fatalf("res = %+v", res)
+	}
+
+	res = runSrc(t, FullSystem(), `
+_start:
+	li a0, 0
+	li a1, 0x8000000   # 128 MiB: above the kernel's 64 MiB mmap cap
+	li a2, 3
+	li a7, 222
+	ecall
+	li a1, -1
+	beq a0, a1, failed
+	li a0, 0
+	li a7, 93
+	ecall
+failed:
+	li a0, 7
+	li a7, 93
+	ecall
+`)
+	if !res.Exited || res.Code != 7 {
+		t.Fatalf("oversized mmap: res = %+v", res)
+	}
+}
+
+func TestMmapZeroLengthFails(t *testing.T) {
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 0
+	li a1, 0
+	li a2, 3
+	li a7, 222
+	ecall
+	li a1, -1
+	beq a0, a1, failed
+	li a0, 0
+	li a7, 93
+	ecall
+failed:
+	li a0, 7
+	li a7, 93
+	ecall
+`)
+	if !res.Exited || res.Code != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestStackGuardPage(t *testing.T) {
+	// Touching below the mapped stack must fault, not silently map.
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a1, 0x7f000000
+	li a2, 262144
+	sub a1, a1, a2      # stack low bound
+	ld a3, -8(a1)       # below the stack: unmapped
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	if res.Exited || res.Signal != SIGSEGV {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestBrkBeyondLimitIsRefused(t *testing.T) {
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 0
+	li a7, 214
+	ecall            # current brk
+	mv s0, a0
+	li a1, 0x10000000  # +256 MiB: beyond maxBrkGrowth
+	add a0, a0, a1
+	li a7, 214
+	ecall
+	bne a0, s0, bad  # refused brk returns the old value
+	li a0, 0
+	li a7, 93
+	ecall
+bad:
+	li a0, 1
+	li a7, 93
+	ecall
+`)
+	if !res.Exited || res.Code != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestWriteFromUnmappedBufferFails(t *testing.T) {
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 1
+	li a1, 0x9000000   # unmapped buffer
+	li a2, 4
+	li a7, 64
+	ecall
+	li a1, -1
+	beq a0, a1, ok
+	li a0, 1
+	li a7, 93
+	ecall
+ok:
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	if !res.Exited || res.Code != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 1
+	la a1, msg
+	li a2, 0x200000    # 2 MiB length: above the 1 MiB cap
+	li a7, 64
+	ecall
+	li a1, -1
+	beq a0, a1, ok
+	li a0, 1
+	li a7, 93
+	ecall
+ok:
+	li a0, 0
+	li a7, 93
+	ecall
+	.rodata
+msg: .asciz "x"
+`)
+	if !res.Exited || res.Code != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMprotectUnmappedFails(t *testing.T) {
+	res := runSrc(t, FullSystem(), `
+_start:
+	li a0, 0x9000000
+	li a1, 4096
+	li a2, 1
+	li a7, 226
+	ecall
+	li a1, -1
+	beq a0, a1, ok
+	li a0, 1
+	li a7, 93
+	ecall
+ok:
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	if !res.Exited || res.Code != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunAfterFinishReturnsSameResult(t *testing.T) {
+	sys := NewSystem(FullSystem())
+	p, err := sys.Spawn(mustImage(t, exitSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sys.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Code != r2.Code || r1.Cycles != r2.Cycles {
+		t.Errorf("results differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSpawnEmptySectionsSkipped(t *testing.T) {
+	img := &asm.Image{
+		Sections: []asm.Section{
+			{Name: ".text", VA: 0x10000, Size: 4,
+				Data: []byte{0x73, 0, 0, 0}, Perm: asm.PermRead | asm.PermExec},
+			{Name: ".empty", VA: 0x20000, Size: 0, Perm: asm.PermRead},
+		},
+		Entry:   0x10000,
+		Symbols: map[string]uint64{"_start": 0x10000},
+	}
+	sys := NewSystem(FullSystem())
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(p) // bare ecall with a7=0 -> unknown syscall, continues to unmapped
+	_ = res
+	_ = err // any clean outcome acceptable; the point is Spawn didn't choke
+	_ = p
+}

@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"fmt"
+
+	"roload/internal/asm"
+	"roload/internal/cpu"
+	"roload/internal/isa"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+)
+
+// Address-space layout constants.
+const (
+	stackTopVA   = 0x7f000000
+	stackSize    = 256 << 10
+	mmapBaseVA   = 0x40000000
+	maxBrkGrowth = 64 << 20
+)
+
+func permBits(p asm.Perm) uint64 {
+	var bits uint64 = mmu.PTEUser
+	if p&asm.PermRead != 0 {
+		bits |= mmu.PTERead
+	}
+	if p&asm.PermWrite != 0 {
+		bits |= mmu.PTEWrite
+	}
+	if p&asm.PermExec != 0 {
+		bits |= mmu.PTEExec
+	}
+	return bits
+}
+
+// Spawn loads an image into a fresh address space. Following the
+// paper, the kernel installs the section keys during executable
+// loading — but only when the kernel is ROLoad-aware; the unmodified
+// kernel loads keyed sections as plain read-only data with key 0.
+func (s *System) Spawn(img *asm.Image) (*Process, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	mapper, err := mmu.NewMapper(s.phys, s)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		sys:      s,
+		mapper:   mapper,
+		image:    img,
+		mmapNext: mmapBaseVA,
+	}
+
+	var maxVA uint64
+	for _, sec := range img.Sections {
+		key := sec.Key
+		if !s.cfg.KernelROLoad {
+			key = 0
+		}
+		bits := permBits(sec.Perm)
+		pages := (sec.Size + mem.PageSize - 1) / mem.PageSize
+		if sec.Size == 0 {
+			continue
+		}
+		for i := uint64(0); i < pages; i++ {
+			frame, err := s.AllocFrame()
+			if err != nil {
+				return nil, err
+			}
+			if err := mapper.Map(sec.VA+i*mem.PageSize, frame, bits, key); err != nil {
+				return nil, fmt.Errorf("kernel: mapping %s: %w", sec.Name, err)
+			}
+		}
+		p.notePages(pages)
+		if len(sec.Data) > 0 {
+			if err := p.PokeMem(sec.VA, sec.Data); err != nil {
+				return nil, err
+			}
+		}
+		if end := sec.VA + pageRoundUp(sec.Size); end > maxVA {
+			maxVA = end
+		}
+	}
+
+	// Heap starts one guard page above the highest section.
+	p.brkStart = maxVA + mem.PageSize
+	p.brk = p.brkStart
+
+	// Stack.
+	p.stackHigh = stackTopVA
+	p.stackLow = stackTopVA - stackSize
+	for va := p.stackLow; va < p.stackHigh; va += mem.PageSize {
+		frame, err := s.AllocFrame()
+		if err != nil {
+			return nil, err
+		}
+		if err := mapper.Map(va, frame, mmu.PTERead|mmu.PTEWrite|mmu.PTEUser, 0); err != nil {
+			return nil, err
+		}
+	}
+	p.notePages(stackSize / mem.PageSize)
+
+	// Architectural state.
+	s.cpu.SetPageTableRoot(mapper.Root())
+	for i := range s.cpu.Regs {
+		s.cpu.Regs[i] = 0
+	}
+	s.cpu.PC = img.Entry
+	s.cpu.Regs[isa.SP] = p.stackHigh - 64 // small red zone
+	if gpBase, ok := img.Symbol("__global_pointer$"); ok {
+		s.cpu.Regs[isa.GP] = gpBase
+	}
+	return p, nil
+}
+
+func pageRoundUp(n uint64) uint64 {
+	if n%mem.PageSize == 0 {
+		return n
+	}
+	return n + mem.PageSize - n%mem.PageSize
+}
+
+// Run executes the process until it exits or is killed by a signal.
+func (s *System) Run(p *Process) (RunResult, error) {
+	if p.finished {
+		return p.result, nil
+	}
+	max := s.cfg.MaxSteps
+	if max == 0 {
+		max = 1 << 40
+	}
+	var syscalls uint64
+	deadline := s.cpu.Instret + max
+	for s.cpu.Instret < deadline {
+		trap := s.cpu.Run(deadline - s.cpu.Instret)
+		if trap == nil {
+			break // budget exhausted
+		}
+		switch trap.Kind {
+		case cpu.TrapECall:
+			syscalls++
+			done, res := s.syscall(p)
+			if done {
+				res.SyscallCnt = syscalls
+				return s.finish(p, res), nil
+			}
+		case cpu.TrapPageFault:
+			res := RunResult{Signal: SIGSEGV, FaultVA: trap.Fault.VA}
+			// The modified kernel distinguishes ROLoad faults from
+			// benign load page faults (Section III-B) and reports the
+			// violation; the stock kernel just sees a segfault.
+			if s.cfg.KernelROLoad && trap.Fault.ROLoad {
+				res.ROLoadViolation = true
+				res.FaultWantKey = trap.Fault.WantKey
+				res.FaultGotKey = trap.Fault.GotKey
+			}
+			res.SyscallCnt = syscalls
+			return s.finish(p, res), nil
+		case cpu.TrapIllegalInst:
+			res := RunResult{Signal: SIGILL, FaultVA: trap.PC}
+			res.SyscallCnt = syscalls
+			return s.finish(p, res), nil
+		case cpu.TrapEBreak:
+			res := RunResult{Signal: SIGTRAP, FaultVA: trap.PC}
+			res.SyscallCnt = syscalls
+			return s.finish(p, res), nil
+		case cpu.TrapMisaligned:
+			res := RunResult{Signal: SIGSEGV, FaultVA: trap.PC}
+			res.SyscallCnt = syscalls
+			return s.finish(p, res), nil
+		default:
+			return RunResult{}, fmt.Errorf("kernel: unexpected trap %v", trap)
+		}
+	}
+	return RunResult{}, fmt.Errorf("kernel: instruction budget exhausted (possible runaway program)")
+}
+
+func (s *System) finish(p *Process, res RunResult) RunResult {
+	res.Cycles = s.cpu.Cycles
+	res.Instret = s.cpu.Instret
+	res.MemPeakKiB = p.peakPages * mem.PageSize / 1024
+	res.Stdout = p.stdout.Bytes()
+	res.CPUStats = s.cpu.Stats()
+	res.IMMU, res.DMMU = s.cpu.MMUStats()
+	res.IC, res.DC = s.cpu.CacheStats()
+	p.finished = true
+	p.result = res
+	return res
+}
+
+// syscall dispatches the ecall at the current register state. It
+// returns done=true when the process terminated.
+func (s *System) syscall(p *Process) (bool, RunResult) {
+	c := s.cpu
+	nr := c.Regs[isa.A7]
+	a0, a1, a2 := c.Regs[isa.A0], c.Regs[isa.A1], c.Regs[isa.A2]
+	var ret uint64
+	switch nr {
+	case SysExit:
+		return true, RunResult{Exited: true, Code: int(int64(a0))}
+
+	case SysWrite:
+		if a0 != 1 && a0 != 2 {
+			ret = ^uint64(0) // -1: only stdout/stderr exist
+			break
+		}
+		if a2 > 1<<20 {
+			ret = ^uint64(0)
+			break
+		}
+		data, err := p.PeekMem(a1, int(a2))
+		if err != nil {
+			ret = ^uint64(0)
+			break
+		}
+		p.stdout.Write(data)
+		ret = a2
+
+	case SysBrk:
+		if a0 == 0 || a0 < p.brkStart || a0 > p.brkStart+maxBrkGrowth {
+			ret = p.brk
+			break
+		}
+		newEnd := pageRoundUp(a0)
+		for va := pageRoundUp(p.brk); va < newEnd; va += mem.PageSize {
+			frame, err := s.AllocFrame()
+			if err != nil {
+				ret = p.brk
+				break
+			}
+			if err := p.mapper.Map(va, frame, mmu.PTERead|mmu.PTEWrite|mmu.PTEUser, 0); err != nil {
+				ret = p.brk
+				break
+			}
+			p.notePages(1)
+		}
+		p.brk = a0
+		ret = p.brk
+
+	case SysMmap:
+		length := pageRoundUp(a1)
+		if length == 0 || length > 64<<20 {
+			ret = ^uint64(0)
+			break
+		}
+		prot := a2
+		bits, key := s.decodeProt(prot)
+		base := p.mmapNext
+		ok := true
+		for va := base; va < base+length; va += mem.PageSize {
+			frame, err := s.AllocFrame()
+			if err != nil {
+				ok = false
+				break
+			}
+			if err := p.mapper.Map(va, frame, bits, key); err != nil {
+				ok = false
+				break
+			}
+			p.notePages(1)
+		}
+		if !ok {
+			ret = ^uint64(0)
+			break
+		}
+		p.mmapNext = base + length + mem.PageSize // guard gap
+		ret = base
+
+	case SysMprotect:
+		length := pageRoundUp(a1)
+		prot := a2
+		bits, key := s.decodeProt(prot)
+		ok := true
+		for va := a0 &^ uint64(mem.PageSize-1); va < a0+length; va += mem.PageSize {
+			if err := p.mapper.Protect(va, bits, key); err != nil {
+				ok = false
+				break
+			}
+			c.FlushTLBPage(va)
+		}
+		if ok {
+			ret = 0
+		} else {
+			ret = ^uint64(0)
+		}
+
+	case SysMunmap:
+		length := pageRoundUp(a1)
+		ok := true
+		for va := a0 &^ uint64(mem.PageSize-1); va < a0+length; va += mem.PageSize {
+			if err := p.mapper.Unmap(va); err != nil {
+				ok = false
+				break
+			}
+			c.FlushTLBPage(va)
+			if p.mappedPages > 0 {
+				p.mappedPages--
+			}
+		}
+		if ok {
+			ret = 0
+		} else {
+			ret = ^uint64(0)
+		}
+
+	case SysAttackHook:
+		if s.attackHook != nil {
+			if err := s.attackHook(p); err != nil {
+				// The corruption primitive itself failed (e.g. the page
+				// was not writable): the "vulnerability" cannot fire.
+				ret = ^uint64(0)
+				break
+			}
+		}
+		ret = 0
+
+	default:
+		ret = ^uint64(0) // -ENOSYS
+	}
+	c.Regs[isa.A0] = ret
+	return false, RunResult{}
+}
+
+// decodeProt splits a prot word into PTE bits and a key. The
+// unmodified kernel ignores the key bits entirely — user programs on
+// that system cannot create keyed pages.
+func (s *System) decodeProt(prot uint64) (uint64, uint16) {
+	var bits uint64 = mmu.PTEUser
+	if prot&ProtRead != 0 {
+		bits |= mmu.PTERead
+	}
+	if prot&ProtWrite != 0 {
+		bits |= mmu.PTEWrite
+	}
+	if prot&ProtExec != 0 {
+		bits |= mmu.PTEExec
+	}
+	key := uint16(prot >> ProtKeyShift & isa.MaxKey)
+	if !s.cfg.KernelROLoad {
+		key = 0
+	}
+	return bits, key
+}

@@ -1,0 +1,122 @@
+// Package mem provides the sparse physical memory model backing the
+// prototype system, mirroring the 4 GiB DDR3 SO-DIMM of the paper's
+// FPGA board (Table II) without allocating it eagerly.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the 4 KiB page granularity shared by the physical
+// allocator and the MMU.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Physical is a sparse byte-addressable physical memory. Pages are
+// allocated lazily on first touch. It is not safe for concurrent use;
+// the simulated system is single-core, as was the paper's prototype.
+type Physical struct {
+	size  uint64
+	pages map[uint64][]byte
+}
+
+// NewPhysical returns a physical memory of the given size in bytes,
+// rounded up to a whole number of pages.
+func NewPhysical(size uint64) *Physical {
+	if size%PageSize != 0 {
+		size += PageSize - size%PageSize
+	}
+	return &Physical{size: size, pages: make(map[uint64][]byte)}
+}
+
+// Size returns the memory size in bytes.
+func (p *Physical) Size() uint64 { return p.size }
+
+// AllocatedPages returns the number of pages that have been touched.
+// The mini-kernel uses this for resident-memory accounting (the paper
+// reports memory usage in KiB).
+func (p *Physical) AllocatedPages() int { return len(p.pages) }
+
+// ErrOutOfRange reports a physical access beyond the installed memory.
+type ErrOutOfRange struct {
+	Addr uint64
+	Size uint64
+}
+
+func (e *ErrOutOfRange) Error() string {
+	return fmt.Sprintf("mem: physical address %#x outside %#x-byte memory", e.Addr, e.Size)
+}
+
+func (p *Physical) page(addr uint64) []byte {
+	pn := addr >> PageShift
+	pg, ok := p.pages[pn]
+	if !ok {
+		pg = make([]byte, PageSize)
+		p.pages[pn] = pg
+	}
+	return pg
+}
+
+func (p *Physical) check(addr uint64, n int) error {
+	if addr+uint64(n) > p.size || addr+uint64(n) < addr {
+		return &ErrOutOfRange{Addr: addr, Size: p.size}
+	}
+	return nil
+}
+
+// Read copies len(b) bytes starting at physical address addr into b.
+func (p *Physical) Read(addr uint64, b []byte) error {
+	if err := p.check(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		off := addr & (PageSize - 1)
+		n := copy(b, p.page(addr)[off:])
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Write copies b into physical memory starting at addr.
+func (p *Physical) Write(addr uint64, b []byte) error {
+	if err := p.check(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		off := addr & (PageSize - 1)
+		n := copy(p.page(addr)[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadUint reads an n-byte little-endian unsigned integer (n in
+// {1,2,4,8}). Accesses may straddle page boundaries.
+func (p *Physical) ReadUint(addr uint64, n int) (uint64, error) {
+	var buf [8]byte
+	if err := p.Read(addr, buf[:n]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]) & (^uint64(0) >> (64 - 8*n)), nil
+}
+
+// WriteUint writes an n-byte little-endian unsigned integer.
+func (p *Physical) WriteUint(addr uint64, v uint64, n int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return p.Write(addr, buf[:n])
+}
+
+// ZeroPage clears the page containing addr.
+func (p *Physical) ZeroPage(addr uint64) error {
+	if err := p.check(addr&^uint64(PageSize-1), PageSize); err != nil {
+		return err
+	}
+	delete(p.pages, addr>>PageShift)
+	return nil
+}

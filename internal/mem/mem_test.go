@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeRounding(t *testing.T) {
+	p := NewPhysical(PageSize + 1)
+	if p.Size() != 2*PageSize {
+		t.Errorf("Size() = %d, want %d", p.Size(), 2*PageSize)
+	}
+	p = NewPhysical(4 * PageSize)
+	if p.Size() != 4*PageSize {
+		t.Errorf("Size() = %d, want %d", p.Size(), 4*PageSize)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	data := []byte("pointee integrity")
+	if err := p.Write(0x1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := p.Read(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read %q, want %q", got, data)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Start mid-page so the write straddles three pages.
+	addr := uint64(PageSize / 2)
+	if err := p.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := p.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page roundtrip mismatch")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	p := NewPhysical(PageSize)
+	if err := p.Write(PageSize-1, []byte{1, 2}); err == nil {
+		t.Error("write past end accepted")
+	}
+	if err := p.Read(PageSize, make([]byte, 1)); err == nil {
+		t.Error("read past end accepted")
+	}
+	if _, err := p.ReadUint(PageSize-4, 8); err == nil {
+		t.Error("uint read past end accepted")
+	}
+	var oor *ErrOutOfRange
+	err := p.Write(1<<40, []byte{1})
+	if e, ok := err.(*ErrOutOfRange); !ok {
+		t.Errorf("error type = %T, want %T", err, oor)
+	} else if e.Addr != 1<<40 {
+		t.Errorf("error addr = %#x", e.Addr)
+	}
+}
+
+func TestUintWidths(t *testing.T) {
+	p := NewPhysical(1 << 16)
+	const v = 0x1122334455667788
+	for _, n := range []int{1, 2, 4, 8} {
+		if err := p.WriteUint(0x100, v, n); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.ReadUint(0x100, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(v) & (^uint64(0) >> (64 - 8*n))
+		if got != want {
+			t.Errorf("width %d: got %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestUintCrossPage(t *testing.T) {
+	p := NewPhysical(1 << 16)
+	addr := uint64(PageSize - 4)
+	if err := p.WriteUint(addr, 0xcafebabe12345678, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadUint(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xcafebabe12345678 {
+		t.Errorf("got %#x", got)
+	}
+}
+
+func TestZeroPage(t *testing.T) {
+	p := NewPhysical(1 << 16)
+	if err := p.WriteUint(0x2008, 0xff, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ZeroPage(0x2008); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.ReadUint(0x2008, 8)
+	if got != 0 {
+		t.Errorf("page not zeroed: %#x", got)
+	}
+	if err := p.ZeroPage(1 << 40); err == nil {
+		t.Error("ZeroPage out of range accepted")
+	}
+}
+
+func TestLazyAllocation(t *testing.T) {
+	p := NewPhysical(1 << 30)
+	if p.AllocatedPages() != 0 {
+		t.Error("pages allocated before first touch")
+	}
+	// Reading untouched memory yields zeros but allocates (simplest
+	// model; the kernel tracks residency itself).
+	b := make([]byte, 8)
+	if err := p.Read(0x5000, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, make([]byte, 8)) {
+		t.Error("untouched memory not zero")
+	}
+}
+
+// Property: a write followed by a read at any in-range address returns
+// the written bytes.
+func TestQuickWriteRead(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	f := func(addr uint32, data []byte) bool {
+		a := uint64(addr) % (1<<20 - 4096)
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		if err := p.Write(a, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := p.Read(a, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRead64(b *testing.B) {
+	p := NewPhysical(1 << 20)
+	_ = p.WriteUint(0x1000, 42, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ReadUint(0x1000, 8)
+	}
+}

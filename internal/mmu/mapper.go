@@ -1,0 +1,119 @@
+package mmu
+
+import (
+	"fmt"
+
+	"roload/internal/mem"
+)
+
+// FrameAllocator hands out physical page frames for page tables.
+type FrameAllocator interface {
+	// AllocFrame returns the physical address of a zeroed, page-aligned
+	// frame.
+	AllocFrame() (uint64, error)
+}
+
+// Mapper builds and edits the three-level page tables read by the MMU
+// walker. The kernel uses it to implement mmap/mprotect with keys.
+type Mapper struct {
+	phys  *mem.Physical
+	alloc FrameAllocator
+	root  uint64
+}
+
+// NewMapper creates a Mapper with a fresh root table.
+func NewMapper(phys *mem.Physical, alloc FrameAllocator) (*Mapper, error) {
+	root, err := alloc.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("mmu: allocating root table: %w", err)
+	}
+	return &Mapper{phys: phys, alloc: alloc, root: root}, nil
+}
+
+// Root returns the physical address of the root table, suitable for
+// MMU.SetRoot.
+func (m *Mapper) Root() uint64 { return m.root }
+
+// Map installs a 4 KiB leaf mapping va -> pa with the given permission
+// bits and ROLoad key, creating intermediate tables as needed.
+func (m *Mapper) Map(va, pa uint64, perms uint64, key uint16) error {
+	if va%mem.PageSize != 0 || pa%mem.PageSize != 0 {
+		return fmt.Errorf("mmu: unaligned mapping %#x -> %#x", va, pa)
+	}
+	if sv39Invalid(va) {
+		return fmt.Errorf("mmu: virtual address %#x not canonical for Sv39", va)
+	}
+	if key > pteKeyMask {
+		return fmt.Errorf("mmu: key %d exceeds 10-bit PTE field", key)
+	}
+	table := m.root
+	for level := 2; level >= 1; level-- {
+		vpn := va >> (mem.PageShift + 9*uint(level)) & 0x1ff
+		pteAddr := table + vpn*8
+		pte, err := m.phys.ReadUint(pteAddr, 8)
+		if err != nil {
+			return err
+		}
+		if pte&PTEValid == 0 {
+			frame, err := m.alloc.AllocFrame()
+			if err != nil {
+				return fmt.Errorf("mmu: allocating level-%d table: %w", level-1, err)
+			}
+			pte = MakeNonLeafPTE(frame >> mem.PageShift)
+			if err := m.phys.WriteUint(pteAddr, pte, 8); err != nil {
+				return err
+			}
+		} else if pte&(PTERead|PTEWrite|PTEExec) != 0 {
+			return fmt.Errorf("mmu: %#x already covered by a superpage", va)
+		}
+		table = PTEPPN(pte) << mem.PageShift
+	}
+	vpn0 := va >> mem.PageShift & 0x1ff
+	return m.phys.WriteUint(table+vpn0*8, MakePTE(pa>>mem.PageShift, perms, key), 8)
+}
+
+// Lookup returns the leaf PTE covering va, or ok=false if unmapped.
+func (m *Mapper) Lookup(va uint64) (pte uint64, pteAddr uint64, ok bool) {
+	if sv39Invalid(va) {
+		return 0, 0, false
+	}
+	table := m.root
+	for level := 2; level >= 1; level-- {
+		vpn := va >> (mem.PageShift + 9*uint(level)) & 0x1ff
+		entry, err := m.phys.ReadUint(table+vpn*8, 8)
+		if err != nil || entry&PTEValid == 0 || entry&(PTERead|PTEWrite|PTEExec) != 0 {
+			return 0, 0, false
+		}
+		table = PTEPPN(entry) << mem.PageShift
+	}
+	vpn0 := va >> mem.PageShift & 0x1ff
+	addr := table + vpn0*8
+	pte, err := m.phys.ReadUint(addr, 8)
+	if err != nil || pte&PTEValid == 0 {
+		return 0, 0, false
+	}
+	return pte, addr, true
+}
+
+// Protect rewrites the permissions and key of an existing mapping.
+// This is the mechanism behind the kernel's mprotect-with-key API.
+func (m *Mapper) Protect(va uint64, perms uint64, key uint16) error {
+	if key > pteKeyMask {
+		return fmt.Errorf("mmu: key %d exceeds 10-bit PTE field", key)
+	}
+	pte, pteAddr, ok := m.Lookup(va)
+	if !ok {
+		return fmt.Errorf("mmu: protect of unmapped address %#x", va)
+	}
+	npte := MakePTE(PTEPPN(pte), perms, key)
+	return m.phys.WriteUint(pteAddr, npte, 8)
+}
+
+// Unmap removes the leaf mapping covering va.
+func (m *Mapper) Unmap(va uint64) error {
+	_, pteAddr, ok := m.Lookup(va)
+	if !ok {
+		return fmt.Errorf("mmu: unmap of unmapped address %#x", va)
+	}
+	return m.phys.WriteUint(pteAddr, 0, 8)
+}

@@ -1,0 +1,320 @@
+// Package mmu implements the Sv39-style memory management unit of the
+// prototype, extended with ROLoad page keys.
+//
+// Following the paper (Section III-A), each 64-bit page table entry
+// reuses its reserved top 10 bits to hold a page *key*. The MMU's
+// permission logic gains one extra check that runs in parallel with the
+// conventional permission check: a ROLoad memory operation succeeds only
+// if the accessed leaf page is readable, NOT writable, and its key
+// equals the key carried by the requesting instruction. The result of
+// this extra logic is ANDed with the conventional permission output, so
+// the check adds no serial delay (see internal/hw for the timing model).
+package mmu
+
+import (
+	"fmt"
+
+	"roload/internal/mem"
+)
+
+// PTE permission and status bits (Sv39 layout).
+const (
+	PTEValid  uint64 = 1 << 0
+	PTERead   uint64 = 1 << 1
+	PTEWrite  uint64 = 1 << 2
+	PTEExec   uint64 = 1 << 3
+	PTEUser   uint64 = 1 << 4
+	PTEGlobal uint64 = 1 << 5
+	PTEAcc    uint64 = 1 << 6
+	PTEDirty  uint64 = 1 << 7
+
+	pteKeyShift = 54 // reserved bits [63:54] hold the ROLoad key
+	pteKeyMask  = 0x3ff
+	ptePPNShift = 10
+	ptePPNMask  = (1 << 44) - 1
+)
+
+// Access distinguishes the kinds of memory operation presented to the
+// MMU. ROLoadRead is the new memory-op type issued by decoded
+// ld.ro-family instructions (MemoryOpConstants in the paper's Rocket
+// changes).
+type Access int
+
+const (
+	Read Access = iota
+	Write
+	Exec
+	ROLoadRead
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Exec:
+		return "exec"
+	case ROLoadRead:
+		return "roload"
+	}
+	return fmt.Sprintf("access(%d)", int(a))
+}
+
+// FaultCause mirrors the RISC-V page-fault exception causes.
+type FaultCause int
+
+const (
+	FaultNone FaultCause = iota
+	FaultLoadPage
+	FaultStorePage
+	FaultInstPage
+)
+
+func (c FaultCause) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultLoadPage:
+		return "load page fault"
+	case FaultStorePage:
+		return "store page fault"
+	case FaultInstPage:
+		return "instruction page fault"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Fault describes a failed translation. Hardware raises a plain load
+// page fault for a failed ROLoad check; the ROLoad, WantKey, GotKey and
+// NotReadOnly fields model the auxiliary state the kernel reads to
+// distinguish ROLoad faults from benign ones (paper Section III-B).
+type Fault struct {
+	Cause       FaultCause
+	VA          uint64
+	ROLoad      bool   // raised by a ROLoad-family instruction
+	WantKey     uint16 // key demanded by the instruction
+	GotKey      uint16 // key of the accessed page (valid pages only)
+	NotReadOnly bool   // the page was writable or not readable
+	Unmapped    bool   // no valid leaf PTE
+}
+
+func (f *Fault) Error() string {
+	if f.ROLoad {
+		return fmt.Sprintf("mmu: ROLoad fault at %#x (want key %d, got key %d, notRO=%v, unmapped=%v)",
+			f.VA, f.WantKey, f.GotKey, f.NotReadOnly, f.Unmapped)
+	}
+	return fmt.Sprintf("mmu: %s at %#x", f.Cause, f.VA)
+}
+
+// Stats aggregates translation activity for the performance model.
+type Stats struct {
+	TLBHits    uint64
+	TLBMisses  uint64
+	PageWalks  uint64
+	WalkMemOps uint64 // physical memory reads performed by the walker
+	Faults     uint64
+}
+
+// Config parameterizes the MMU. The defaults mirror Table II of the
+// paper: 32-entry TLBs.
+type Config struct {
+	TLBEntries int
+	// ROLoadEnabled gates the ld.ro key check logic, so the same MMU
+	// models both the unmodified baseline processor and the
+	// ROLoad-capable one. When false, a ROLoadRead access behaves
+	// exactly like Read (the encoding would be an illegal instruction
+	// on stock hardware; the kernel layer models that).
+	ROLoadEnabled bool
+}
+
+// DefaultConfig returns the Table II configuration.
+func DefaultConfig() Config {
+	return Config{TLBEntries: 32, ROLoadEnabled: true}
+}
+
+// MMU is a single translation unit (the prototype has separate I and D
+// TLBs; instantiate one MMU per side sharing the same root).
+type MMU struct {
+	cfg   Config
+	phys  *mem.Physical
+	root  uint64 // physical address of the level-2 (top) page table
+	tlb   *TLB
+	stats Stats
+}
+
+// New constructs an MMU over the given physical memory.
+func New(phys *mem.Physical, cfg Config) *MMU {
+	if cfg.TLBEntries <= 0 {
+		cfg.TLBEntries = 32
+	}
+	return &MMU{cfg: cfg, phys: phys, tlb: NewTLB(cfg.TLBEntries)}
+}
+
+// SetRoot installs the physical address of the root page table and
+// flushes the TLB (the satp write + sfence.vma pair).
+func (m *MMU) SetRoot(pa uint64) {
+	m.root = pa
+	m.tlb.Flush()
+}
+
+// Root returns the current root page table address.
+func (m *MMU) Root() uint64 { return m.root }
+
+// Flush invalidates all TLB entries (sfence.vma).
+func (m *MMU) Flush() { m.tlb.Flush() }
+
+// FlushPage invalidates any TLB entry covering va.
+func (m *MMU) FlushPage(va uint64) { m.tlb.FlushPage(va) }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// ResetStats clears the statistics counters.
+func (m *MMU) ResetStats() { m.stats = Stats{} }
+
+// Enabled reports whether ROLoad checks are implemented by this MMU.
+func (m *MMU) Enabled() bool { return m.cfg.ROLoadEnabled }
+
+// Translate resolves va for the given access. key is only meaningful
+// for ROLoadRead. It returns the physical address and whether the
+// translation missed the TLB (the CPU charges a walk penalty on a
+// miss).
+func (m *MMU) Translate(va uint64, at Access, key uint16) (pa uint64, tlbMiss bool, fault *Fault) {
+	e, hit := m.tlb.Lookup(va)
+	if hit {
+		m.stats.TLBHits++
+	} else {
+		m.stats.TLBMisses++
+		var f *Fault
+		e, f = m.walk(va, at)
+		if f != nil {
+			m.stats.Faults++
+			return 0, true, f
+		}
+		m.tlb.Insert(e)
+	}
+	if f := m.check(e, va, at, key); f != nil {
+		m.stats.Faults++
+		return 0, !hit, f
+	}
+	return e.PPN<<mem.PageShift | va&(mem.PageSize-1), !hit, nil
+}
+
+// check implements the permission control logic. The conventional
+// check and the ROLoad check are evaluated independently and combined,
+// matching the parallel AND structure described in Section II-E.
+func (m *MMU) check(e TLBEntry, va uint64, at Access, key uint16) *Fault {
+	// Conventional permission output.
+	var convOK bool
+	var cause FaultCause
+	switch at {
+	case Read, ROLoadRead:
+		convOK = e.Perms&PTERead != 0
+		cause = FaultLoadPage
+	case Write:
+		convOK = e.Perms&PTEWrite != 0
+		cause = FaultStorePage
+	case Exec:
+		convOK = e.Perms&PTEExec != 0
+		cause = FaultInstPage
+	}
+
+	// ROLoad output (parallel path). True for every non-ROLoad access.
+	roOK := true
+	if at == ROLoadRead && m.cfg.ROLoadEnabled {
+		readOnly := e.Perms&PTERead != 0 && e.Perms&PTEWrite == 0
+		roOK = readOnly && e.Key == key
+	}
+
+	if convOK && roOK {
+		return nil
+	}
+	f := &Fault{Cause: cause, VA: va}
+	if at == ROLoadRead && m.cfg.ROLoadEnabled && !roOK {
+		f.ROLoad = true
+		f.WantKey = key
+		f.GotKey = e.Key
+		f.NotReadOnly = e.Perms&PTEWrite != 0 || e.Perms&PTERead == 0
+	}
+	return f
+}
+
+// walk performs the three-level Sv39 table walk.
+func (m *MMU) walk(va uint64, at Access) (TLBEntry, *Fault) {
+	m.stats.PageWalks++
+	cause := FaultLoadPage
+	switch at {
+	case Write:
+		cause = FaultStorePage
+	case Exec:
+		cause = FaultInstPage
+	}
+	unmapped := func() (TLBEntry, *Fault) {
+		f := &Fault{Cause: cause, VA: va, Unmapped: true}
+		if at == ROLoadRead && m.cfg.ROLoadEnabled {
+			f.ROLoad = true
+		}
+		return TLBEntry{}, f
+	}
+	if m.root == 0 {
+		return unmapped()
+	}
+	// Sv39: VA must be sign-extended from bit 38.
+	if sv39Invalid(va) {
+		return unmapped()
+	}
+	table := m.root
+	for level := 2; level >= 0; level-- {
+		vpn := va >> (mem.PageShift + 9*uint(level)) & 0x1ff
+		pteAddr := table + vpn*8
+		m.stats.WalkMemOps++
+		pte, err := m.phys.ReadUint(pteAddr, 8)
+		if err != nil {
+			return unmapped()
+		}
+		if pte&PTEValid == 0 {
+			return unmapped()
+		}
+		ppn := pte >> ptePPNShift & ptePPNMask
+		if pte&(PTERead|PTEWrite|PTEExec) != 0 {
+			// Leaf. Superpages must be aligned; we only use 4 KiB pages.
+			if level != 0 {
+				return unmapped()
+			}
+			return TLBEntry{
+				VPN:   va >> mem.PageShift,
+				PPN:   ppn,
+				Perms: pte & 0xff,
+				Key:   uint16(pte >> pteKeyShift & pteKeyMask),
+				Valid: true,
+			}, nil
+		}
+		table = ppn << mem.PageShift
+	}
+	return unmapped()
+}
+
+func sv39Invalid(va uint64) bool {
+	top := va >> 38
+	return top != 0 && top != (1<<26)-1
+}
+
+// MakePTE assembles a leaf PTE from a physical page number, permission
+// bits, and a ROLoad key.
+func MakePTE(ppn uint64, perms uint64, key uint16) uint64 {
+	return uint64(key&pteKeyMask)<<pteKeyShift |
+		(ppn&ptePPNMask)<<ptePPNShift |
+		perms&0xff | PTEValid | PTEAcc | PTEDirty
+}
+
+// MakeNonLeafPTE assembles a pointer PTE to the next-level table.
+func MakeNonLeafPTE(ppn uint64) uint64 {
+	return (ppn&ptePPNMask)<<ptePPNShift | PTEValid
+}
+
+// PTEKey extracts the ROLoad key from a PTE.
+func PTEKey(pte uint64) uint16 { return uint16(pte >> pteKeyShift & pteKeyMask) }
+
+// PTEPPN extracts the physical page number from a PTE.
+func PTEPPN(pte uint64) uint64 { return pte >> ptePPNShift & ptePPNMask }

@@ -1,0 +1,78 @@
+package mmu
+
+// TLBEntry caches one leaf translation. Following the paper's Rocket
+// changes, each TLB entry carries the page key alongside the usual
+// permission bits so that the ROLoad check needs no extra memory
+// access on a TLB hit.
+type TLBEntry struct {
+	VPN   uint64
+	PPN   uint64
+	Perms uint64
+	Key   uint16
+	Valid bool
+}
+
+// TLB is a fully-associative translation lookaside buffer with
+// round-robin replacement (matching the simple replacement policy of
+// the Rocket core's L1 TLBs).
+type TLB struct {
+	entries []TLBEntry
+	next    int
+}
+
+// NewTLB returns a TLB with n entries.
+func NewTLB(n int) *TLB {
+	return &TLB{entries: make([]TLBEntry, n)}
+}
+
+// Size returns the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Lookup searches for a valid entry covering va.
+func (t *TLB) Lookup(va uint64) (TLBEntry, bool) {
+	vpn := va >> 12
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == vpn {
+			return t.entries[i], true
+		}
+	}
+	return TLBEntry{}, false
+}
+
+// Insert stores e, evicting round-robin.
+func (t *TLB) Insert(e TLBEntry) {
+	// Replace an existing mapping for the same page if present, so a
+	// remap after FlushPage+walk cannot leave duplicates.
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == e.VPN {
+			t.entries[i] = e
+			return
+		}
+	}
+	for i := range t.entries {
+		if !t.entries[i].Valid {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries[t.next] = e
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].Valid = false
+	}
+	t.next = 0
+}
+
+// FlushPage invalidates entries covering va.
+func (t *TLB) FlushPage(va uint64) {
+	vpn := va >> 12
+	for i := range t.entries {
+		if t.entries[i].VPN == vpn {
+			t.entries[i].Valid = false
+		}
+	}
+}

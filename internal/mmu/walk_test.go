@@ -1,0 +1,117 @@
+package mmu
+
+import (
+	"testing"
+
+	"roload/internal/mem"
+)
+
+// Addresses spread across distinct Sv39 regions force the mapper to
+// build separate level-1 and level-0 tables; the walker must navigate
+// all three levels and charge exactly three memory reads per walk.
+func TestMultiLevelWalk(t *testing.T) {
+	phys, mapper, m := testSetup(t, DefaultConfig())
+
+	// Three VAs differing in their VPN[2] (1 GiB regions) and VPN[1]
+	// (2 MiB regions).
+	vas := []uint64{
+		0x0000_0000_1000,                // region 0
+		0x0000_4020_3000,                // 1 GiB+ region: different VPN[2]
+		0x0008_0000_0000 - mem.PageSize, // top of the 32 GiB space
+	}
+	for i, va := range vas {
+		pa := uint64(0x200000 + i*0x1000)
+		if err := mapper.Map(va, pa, PTERead|PTEWrite, uint16(i)); err != nil {
+			t.Fatalf("map %#x: %v", va, err)
+		}
+	}
+	for i, va := range vas {
+		m.ResetStats()
+		pa, miss, fault := m.Translate(va, Read, 0)
+		if fault != nil {
+			t.Fatalf("translate %#x: %v", va, fault)
+		}
+		if !miss {
+			t.Errorf("va %#x: expected TLB miss", va)
+		}
+		if want := uint64(0x200000 + i*0x1000); pa != want {
+			t.Errorf("va %#x -> %#x, want %#x", va, pa, want)
+		}
+		st := m.Stats()
+		if st.WalkMemOps != 3 {
+			t.Errorf("va %#x: walk read %d PTEs, want 3 (one per level)", va, st.WalkMemOps)
+		}
+	}
+	// Neighbouring unmapped pages in the same regions still fault.
+	for _, va := range vas {
+		if _, _, fault := m.Translate(va+mem.PageSize, Read, 0); fault == nil {
+			t.Errorf("unmapped neighbour of %#x translated", va)
+		}
+	}
+	_ = phys
+}
+
+// Keys are per-page: two pages in the same 2 MiB region with different
+// keys must be distinguished by the ROLoad check.
+func TestPerPageKeys(t *testing.T) {
+	_, mapper, m := testSetup(t, DefaultConfig())
+	if err := mapper.Map(0x100000, 0x300000, PTERead, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapper.Map(0x101000, 0x301000, PTERead, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 10); fault != nil {
+		t.Errorf("page 1 key 10: %v", fault)
+	}
+	if _, _, fault := m.Translate(0x101000, ROLoadRead, 20); fault != nil {
+		t.Errorf("page 2 key 20: %v", fault)
+	}
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 20); fault == nil {
+		t.Error("page 1 accepted key 20")
+	}
+	if _, _, fault := m.Translate(0x101000, ROLoadRead, 10); fault == nil {
+		t.Error("page 2 accepted key 10")
+	}
+}
+
+// Non-canonical Sv39 addresses must fault on access and be rejected by
+// the mapper.
+func TestNonCanonicalAddresses(t *testing.T) {
+	_, mapper, m := testSetup(t, DefaultConfig())
+	bad := uint64(1) << 40
+	if err := mapper.Map(bad, 0x300000, PTERead, 0); err == nil {
+		t.Error("mapper accepted non-canonical va")
+	}
+	if _, _, fault := m.Translate(bad, Read, 0); fault == nil {
+		t.Error("non-canonical va translated")
+	}
+}
+
+// The TLB caches the key: after a Protect that changes only the key, a
+// stale entry must be flushed for the new key to take effect — the
+// reason the kernel's mprotect path flushes (mirrors real sfence.vma
+// requirements).
+func TestKeyChangeNeedsFlush(t *testing.T) {
+	_, mapper, m := testSetup(t, DefaultConfig())
+	if err := mapper.Map(0x100000, 0x300000, PTERead, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 10); fault != nil {
+		t.Fatal(fault)
+	}
+	if err := mapper.Protect(0x100000, PTERead, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Stale TLB: the old key still wins until a flush.
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 10); fault != nil {
+		t.Error("stale TLB entry should still satisfy the old key")
+	}
+	m.FlushPage(0x100000)
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 30); fault != nil {
+		t.Errorf("after flush, new key rejected: %v", fault)
+	}
+	if _, _, fault := m.Translate(0x100000, ROLoadRead, 10); fault == nil {
+		t.Error("after flush, old key still accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package spec provides the evaluation workloads: eleven synthetic
+// benchmarks mirroring the SPEC CINT2006 suite the paper measures
+// (400.perlbench is excluded there for compilation failure; we keep
+// the same set of eleven).
+//
+// Each workload is a MiniC program reproducing the characteristic
+// kernel of its SPEC counterpart — compression, compilation with
+// dispatch tables, network-flow optimization, game-tree search,
+// profile-HMM dynamic programming, chess search, quantum-register
+// simulation, video-block encoding, and the three C++-style,
+// vtable-heavy codes (discrete-event simulation, A*, XML transform).
+// What the figures measure is *relative* overhead per benchmark, which
+// depends on each program's density of virtual and indirect calls and
+// on its memory behaviour; those are the properties the synthetic
+// kernels reproduce.
+//
+// Every workload finishes by returning a checksum (mod 251) so that
+// all hardened variants can be cross-checked for identical behaviour.
+package spec
+
+import "strings"
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name follows SPEC numbering, e.g. "401.bzip2".
+	Name string
+	// Lang is "C" or "C++" (the C++ ones carry the vcall workloads of
+	// Figure 3).
+	Lang string
+	// source is the MiniC text with a __SCALE__ placeholder.
+	source string
+	// RefScale is the scale used for "reference" (benchmark) runs;
+	// TestScale is a fast size for unit tests.
+	RefScale, TestScale int
+}
+
+// SourceFor instantiates the workload at a scale.
+func (w Workload) SourceFor(scale int) string {
+	return strings.ReplaceAll(w.source, "__SCALE__", itoa(scale))
+}
+
+// RefSource returns the reference-size program.
+func (w Workload) RefSource() string { return w.SourceFor(w.RefScale) }
+
+// TestSource returns the test-size program.
+func (w Workload) TestSource() string { return w.SourceFor(w.TestScale) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Workloads returns all eleven benchmarks in SPEC order.
+func Workloads() []Workload {
+	return []Workload{
+		bzip2, gcc, mcf, gobmk, hmmer, sjeng, libquantum, h264ref,
+		omnetpp, astar, xalancbmk,
+	}
+}
+
+// CXX returns the three C++-style benchmarks used for the virtual-call
+// experiments (Figure 3).
+func CXX() []Workload {
+	return []Workload{omnetpp, astar, xalancbmk}
+}
+
+// ByName returns a workload by its SPEC name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// prng is the shared linear congruential generator prelude.
+const prng = `
+var seed int = 123456789;
+func rnd() int {
+	seed = (seed * 6364136223846793005 + 1442695040888963407) & 0x7fffffffffffffff;
+	return (seed >> 16) & 0x7fffffff;
+}
+`

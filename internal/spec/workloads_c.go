@@ -1,0 +1,464 @@
+package spec
+
+// The eight C-style workloads. Scales are tuned so a reference run
+// retires on the order of a million instructions on the simulator.
+
+// 401.bzip2 — block compression: run-length encoding followed by
+// move-to-front recoding over a pseudo-random buffer with skewed
+// symbol distribution, then a frequency-table checksum.
+var bzip2 = Workload{
+	Name: "401.bzip2", Lang: "C", RefScale: 24000, TestScale: 1200,
+	source: prng + `
+var n int = __SCALE__;
+func main() int {
+	var buf *int = new int[n];
+	// skewed source: long runs of few symbols
+	var i int = 0;
+	while (i < n) {
+		var sym int = rnd() % 16;
+		var run int = 1 + rnd() % 12;
+		var j int = 0;
+		while (j < run && i < n) {
+			buf[i] = sym;
+			i++; j++;
+		}
+	}
+	// RLE encode
+	var enc *int = new int[n * 2];
+	var m int = 0;
+	i = 0;
+	while (i < n) {
+		var sym int = buf[i];
+		var run int = 0;
+		while (i < n && buf[i] == sym) { run++; i++; }
+		enc[m] = sym; enc[m + 1] = run;
+		m += 2;
+	}
+	// move-to-front over the RLE symbols
+	var mtf [16]int;
+	for (var k int = 0; k < 16; k++) { mtf[k] = k; }
+	var freq [16]int;
+	for (var k int = 0; k < m; k += 2) {
+		var sym int = enc[k];
+		var pos int = 0;
+		while (mtf[pos] != sym) { pos++; }
+		for (var q int = pos; q > 0; q--) { mtf[q] = mtf[q - 1]; }
+		mtf[0] = sym;
+		freq[pos] += enc[k + 1];
+	}
+	var sum int = 0;
+	for (var k int = 0; k < 16; k++) { sum += freq[k] * (k + 1); }
+	print_int(sum);
+	return sum % 251;
+}
+`,
+}
+
+// 403.gcc — a toy compiler pipeline: generate random expression
+// trees, constant-fold them, then "emit code" through a per-node-kind
+// function-pointer dispatch table (the indirect-call-heavy pattern of
+// real compiler back-ends).
+var gcc = Workload{
+	Name: "403.gcc", Lang: "C", RefScale: 2600, TestScale: 150,
+	source: prng + `
+struct Node { kind int; val int; left *Node; right *Node; }
+var emitted int = 0;
+var emitters [4]func(*Node) int;
+
+func emitConst(n *Node) int { emitted += 1; return n.val; }
+func emitAdd(n *Node) int {
+	emitted += 2;
+	return emitters[n.left.kind](n.left) + emitters[n.right.kind](n.right);
+}
+func emitMul(n *Node) int {
+	emitted += 3;
+	return emitters[n.left.kind](n.left) * emitters[n.right.kind](n.right);
+}
+func emitNeg(n *Node) int {
+	emitted += 1;
+	return 0 - emitters[n.left.kind](n.left);
+}
+
+func build(depth int) *Node {
+	var n *Node = new Node;
+	if (depth <= 0) {
+		n.kind = 0;
+		n.val = rnd() % 100;
+		return n;
+	}
+	n.kind = 1 + rnd() % 3;
+	n.left = build(depth - 1);
+	if (n.kind != 3) {
+		n.right = build(depth - 1);
+	}
+	return n;
+}
+
+// constant folding: collapse subtrees of constants
+func fold(n *Node) *Node {
+	if (n.kind == 0) { return n; }
+	n.left = fold(n.left);
+	if (n.kind == 3) {
+		if (n.left.kind == 0) {
+			n.kind = 0;
+			n.val = 0 - n.left.val;
+		}
+		return n;
+	}
+	n.right = fold(n.right);
+	if (n.left.kind == 0 && n.right.kind == 0) {
+		if (n.kind == 1) { n.val = n.left.val + n.right.val; }
+		if (n.kind == 2) { n.val = (n.left.val * n.right.val) % 65536; }
+		n.kind = 0;
+	}
+	return n;
+}
+
+func main() int {
+	emitters[0] = emitConst;
+	emitters[1] = emitAdd;
+	emitters[2] = emitMul;
+	emitters[3] = emitNeg;
+	var funcs int = __SCALE__;
+	var sum int = 0;
+	for (var f int = 0; f < funcs; f++) {
+		var tree *Node = build(2 + rnd() % 3);
+		tree = fold(tree);
+		sum = (sum + emitters[tree.kind](tree)) & 0xffffff;
+	}
+	print_int(sum);
+	print_int(emitted);
+	return sum % 251;
+}
+`,
+}
+
+// 429.mcf — vehicle scheduling as min-cost flow: Bellman-Ford
+// relaxation over a layered network with arc costs, the memory-bound
+// pointer-chasing pattern of the original.
+var mcf = Workload{
+	Name: "429.mcf", Lang: "C", RefScale: 46, TestScale: 8,
+	source: prng + `
+var width int = __SCALE__;
+var layers int = 24;
+func main() int {
+	var n int = width * layers;
+	var dist *int = new int[n];
+	var cost *int = new int[n * 3];   // 3 forward arcs per node
+	var dest *int = new int[n * 3];
+	for (var i int = 0; i < n; i++) { dist[i] = 1000000000; }
+	for (var i int = 0; i < n * 3; i++) {
+		cost[i] = 1 + rnd() % 97;
+		var layer int = (i / 3) / width;
+		if (layer < layers - 1) {
+			dest[i] = (layer + 1) * width + rnd() % width;
+		} else {
+			dest[i] = 0 - 1;
+		}
+	}
+	for (var s int = 0; s < width; s++) { dist[s] = 0; }
+	// Bellman-Ford sweeps
+	var changed int = 1;
+	var sweeps int = 0;
+	while (changed == 1 && sweeps < layers + 2) {
+		changed = 0;
+		sweeps++;
+		for (var u int = 0; u < n; u++) {
+			if (dist[u] < 1000000000) {
+				for (var e int = 0; e < 3; e++) {
+					var v int = dest[u * 3 + e];
+					if (v >= 0) {
+						var nd int = dist[u] + cost[u * 3 + e];
+						if (nd < dist[v]) { dist[v] = nd; changed = 1; }
+					}
+				}
+			}
+		}
+	}
+	var best int = 1000000000;
+	for (var t int = n - width; t < n; t++) {
+		if (dist[t] < best) { best = dist[t]; }
+	}
+	print_int(best);
+	print_int(sweeps);
+	return best % 251;
+}
+`,
+}
+
+// 445.gobmk — Go position evaluation: repeated random stone
+// placement on a 19x19 board with flood-fill liberty counting and
+// capture detection (the branchy board-scanning kernel of gobmk).
+var gobmk = Workload{
+	Name: "445.gobmk", Lang: "C", RefScale: 260, TestScale: 20,
+	source: prng + `
+var board *int;
+var mark *int;
+var libs int = 0;
+
+func flood(pos int, color int) {
+	if (pos < 0) { return; }
+	if (mark[pos] != 0) { return; }
+	var x int = pos % 19;
+	var y int = pos / 19;
+	if (board[pos] == 0) { mark[pos] = 2; libs++; return; }
+	if (board[pos] != color) { return; }
+	mark[pos] = 1;
+	if (x > 0)  { flood(pos - 1, color); }
+	if (x < 18) { flood(pos + 1, color); }
+	if (y > 0)  { flood(pos - 19, color); }
+	if (y < 18) { flood(pos + 19, color); }
+}
+
+func main() int {
+	board = new int[361];
+	mark = new int[361];
+	var moves int = __SCALE__;
+	var captures int = 0;
+	var total int = 0;
+	for (var m int = 0; m < moves; m++) {
+		var pos int = rnd() % 361;
+		if (board[pos] == 0) {
+			board[pos] = 1 + (m & 1);
+			// liberties of the new group
+			for (var i int = 0; i < 361; i++) { mark[i] = 0; }
+			libs = 0;
+			flood(pos, board[pos]);
+			if (libs == 0) {
+				// suicide: remove the group
+				for (var i int = 0; i < 361; i++) {
+					if (mark[i] == 1) { board[i] = 0; captures++; }
+				}
+			}
+			total += libs;
+		}
+	}
+	print_int(total);
+	print_int(captures);
+	return (total + captures) % 251;
+}
+`,
+}
+
+// 456.hmmer — profile HMM search: Viterbi dynamic programming with
+// match/insert/delete states over random sequences, the tight
+// max-plus inner loop of hmmer.
+var hmmer = Workload{
+	Name: "456.hmmer", Lang: "C", RefScale: 150, TestScale: 16,
+	source: prng + `
+var M int = __SCALE__;      // model length
+var L int = 120;            // sequence length
+func max2(a int, b int) int { if (a > b) { return a; } return b; }
+func main() int {
+	var matchS *int = new int[M + 1];
+	var insS   *int = new int[M + 1];
+	var delS   *int = new int[M + 1];
+	var prevM  *int = new int[M + 1];
+	var prevI  *int = new int[M + 1];
+	var prevD  *int = new int[M + 1];
+	var emit   *int = new int[(M + 1) * 4];
+	for (var k int = 0; k < (M + 1) * 4; k++) { emit[k] = rnd() % 32; }
+	var seq *int = new int[L];
+	for (var i int = 0; i < L; i++) { seq[i] = rnd() % 4; }
+	var neg int = 0 - 100000000;
+	for (var k int = 0; k <= M; k++) { prevM[k] = neg; prevI[k] = neg; prevD[k] = neg; }
+	prevM[0] = 0;
+	for (var i int = 0; i < L; i++) {
+		matchS[0] = neg; insS[0] = prevM[0] - 2; delS[0] = neg;
+		for (var k int = 1; k <= M; k++) {
+			var e int = emit[k * 4 + seq[i]];
+			var m int = max2(prevM[k-1], max2(prevI[k-1], prevD[k-1])) + e;
+			matchS[k] = m;
+			insS[k] = max2(prevM[k] - 3, prevI[k] - 1);
+			delS[k] = max2(matchS[k-1] - 4, delS[k-1] - 1);
+		}
+		for (var k int = 0; k <= M; k++) {
+			prevM[k] = matchS[k]; prevI[k] = insS[k]; prevD[k] = delS[k];
+		}
+	}
+	var best int = neg;
+	for (var k int = 1; k <= M; k++) { best = max2(best, prevM[k]); }
+	print_int(best);
+	return best % 251;
+}
+`,
+}
+
+// 458.sjeng — game-tree search: alpha-beta over a simplified 8x8
+// capture game with material evaluation and move ordering, the deep
+// recursive branching kernel of a chess engine.
+var sjeng = Workload{
+	Name: "458.sjeng", Lang: "C", RefScale: 5, TestScale: 3,
+	source: prng + `
+var board [64]int;
+var nodes int = 0;
+
+func eval() int {
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s += board[i]; }
+	return s;
+}
+
+func search(depth int, alpha int, beta int, side int) int {
+	nodes++;
+	if (depth == 0) { return side * eval(); }
+	var best int = 0 - 10000000;
+	var tried int = 0;
+	for (var from int = 0; from < 64 && tried < 8; from++) {
+		if (board[from] * side > 0) {
+			var to int = (from + 7 + (nodes % 11)) % 64;
+			var captured int = board[to];
+			if (captured * side <= 0) {
+				tried++;
+				var moved int = board[from];
+				board[to] = moved; board[from] = 0;
+				var v int = 0 - search(depth - 1, 0 - beta, 0 - alpha, 0 - side);
+				board[from] = moved; board[to] = captured;
+				if (v > best) { best = v; }
+				if (best > alpha) { alpha = best; }
+				if (alpha >= beta) { from = 64; }
+			}
+		}
+	}
+	if (tried == 0) { return side * eval(); }
+	return best;
+}
+
+func main() int {
+	for (var i int = 0; i < 16; i++) { board[i] = 1 + i % 3; }
+	for (var i int = 48; i < 64; i++) { board[i] = 0 - (1 + i % 3); }
+	var depth int = __SCALE__;
+	var total int = 0;
+	for (var g int = 0; g < 6; g++) {
+		board[16 + g] = 2;
+		total += search(depth, 0 - 10000000, 10000000, 1);
+	}
+	print_int(total);
+	print_int(nodes);
+	return ((total % 251) + 251 + nodes) % 251;
+}
+`,
+}
+
+// 462.libquantum — quantum register simulation: controlled-NOT and
+// phase-flip gates applied across a state vector, plus the amplitude
+// summation of a measurement, in fixed-point arithmetic.
+var libquantum = Workload{
+	Name: "462.libquantum", Lang: "C", RefScale: 13, TestScale: 8,
+	source: prng + `
+var qubits int = __SCALE__;
+func main() int {
+	var size int = 1 << qubits;
+	var re *int = new int[size];
+	var im *int = new int[size];
+	re[0] = 65536; // |0...0> with unit amplitude (16.16 fixed point)
+	// layered circuit: for each pair of qubits apply CNOT + phase
+	for (var ctrl int = 0; ctrl < qubits; ctrl++) {
+		var target int = (ctrl + 1) % qubits;
+		var cbit int = 1 << ctrl;
+		var tbit int = 1 << target;
+		// "half-Hadamard" on ctrl in fixed point: mix amplitudes
+		for (var i int = 0; i < size; i++) {
+			if ((i & cbit) == 0) {
+				var j int = i | cbit;
+				var a int = re[i]; var b int = re[j];
+				re[i] = (a + b) * 46341 / 65536;
+				re[j] = (a - b) * 46341 / 65536;
+				a = im[i]; b = im[j];
+				im[i] = (a + b) * 46341 / 65536;
+				im[j] = (a - b) * 46341 / 65536;
+			}
+		}
+		// CNOT ctrl->target
+		for (var i int = 0; i < size; i++) {
+			if ((i & cbit) != 0 && (i & tbit) == 0) {
+				var j int = i | tbit;
+				var t int = re[i]; re[i] = re[j]; re[j] = t;
+				t = im[i]; im[i] = im[j]; im[j] = t;
+			}
+		}
+		// conditional phase flip
+		for (var i int = 0; i < size; i++) {
+			if ((i & cbit) != 0 && (i & tbit) != 0) {
+				im[i] = 0 - im[i];
+			}
+		}
+	}
+	var prob int = 0;
+	for (var i int = 0; i < size; i++) {
+		prob += (re[i] / 256) * (re[i] / 256) + (im[i] / 256) * (im[i] / 256);
+	}
+	print_int(prob);
+	return prob % 251;
+}
+`,
+}
+
+// 464.h264ref — video encoding: sum-of-absolute-differences motion
+// search over synthetic frames plus an integer 4x4 transform of the
+// best-match residual, h264ref's two hottest kernels.
+var h264ref = Workload{
+	Name: "464.h264ref", Lang: "C", RefScale: 4, TestScale: 1,
+	source: prng + `
+var W int = 48;
+var H int = 32;
+func absdiff(a int, b int) int { if (a > b) { return a - b; } return b - a; }
+func main() int {
+	var frames int = __SCALE__;
+	var cur *int = new int[W * H];
+	var ref *int = new int[W * H];
+	for (var i int = 0; i < W * H; i++) { ref[i] = rnd() % 256; }
+	var totalSad int = 0;
+	var coeffSum int = 0;
+	for (var f int = 0; f < frames; f++) {
+		for (var i int = 0; i < W * H; i++) {
+			cur[i] = (ref[i] + rnd() % 8) % 256;
+		}
+		// 4x4 block motion search, +-2 pixel window
+		for (var by int = 0; by + 4 <= H; by += 4) {
+			for (var bx int = 0; bx + 4 <= W; bx += 4) {
+				var bestSad int = 100000000;
+				var bestDx int = 0; var bestDy int = 0;
+				for (var dy int = 0 - 2; dy <= 2; dy++) {
+					for (var dx int = 0 - 2; dx <= 2; dx++) {
+						var sad int = 0;
+						for (var y int = 0; y < 4; y++) {
+							for (var x int = 0; x < 4; x++) {
+								var cy int = by + y; var cx int = bx + x;
+								var ry int = cy + dy; var rx int = cx + dx;
+								if (ry < 0) { ry = 0; }
+								if (ry >= H) { ry = H - 1; }
+								if (rx < 0) { rx = 0; }
+								if (rx >= W) { rx = W - 1; }
+								sad += absdiff(cur[cy * W + cx], ref[ry * W + rx]);
+							}
+						}
+						if (sad < bestSad) { bestSad = sad; bestDx = dx; bestDy = dy; }
+					}
+				}
+				totalSad += bestSad + bestDx * 0 + bestDy * 0;
+			}
+		}
+		// integer transform of one residual block per frame
+		var blk [16]int;
+		for (var i int = 0; i < 16; i++) {
+			blk[i] = cur[i] - ref[i];
+		}
+		for (var r int = 0; r < 4; r++) {
+			var a int = blk[r*4+0]; var b int = blk[r*4+1];
+			var c int = blk[r*4+2]; var d int = blk[r*4+3];
+			blk[r*4+0] = a + b + c + d;
+			blk[r*4+1] = 2*a + b - c - 2*d;
+			blk[r*4+2] = a - b - c + d;
+			blk[r*4+3] = a - 2*b + 2*c - d;
+		}
+		for (var i int = 0; i < 16; i++) { coeffSum += blk[i] & 0xff; }
+		// swap frames
+		var t *int = ref; ref = cur; cur = t;
+	}
+	print_int(totalSad);
+	print_int(coeffSum);
+	return (totalSad + coeffSum) % 251;
+}
+`,
+}

@@ -1,0 +1,304 @@
+package spec
+
+// The three C++-style workloads. These carry the virtual-call load of
+// Figure 3: every hot loop dispatches through vtables, mirroring
+// 471.omnetpp, 473.astar and 483.xalancbmk, the three C++ benchmarks
+// of SPEC CINT2006.
+
+// 471.omnetpp — discrete-event network simulation: heterogeneous
+// modules (source, queue, sink, router) exchange messages through a
+// priority event queue; each delivery is a virtual handle() dispatch.
+var omnetpp = Workload{
+	Name: "471.omnetpp", Lang: "C++", RefScale: 5200, TestScale: 300,
+	source: prng + `
+class Module {
+	id int;
+	outPeer int;
+	stat int;
+	virtual handle(payload int, now int) int { return 0 - 1; }
+	virtual collect() int { return this.stat; }
+}
+class Source extends Module {
+	virtual handle(payload int, now int) int {
+		this.stat++;
+		return this.outPeer; // forward a fresh packet
+	}
+}
+class Queue extends Module {
+	depth int;
+	virtual handle(payload int, now int) int {
+		this.depth++;
+		this.stat += this.depth;
+		if (this.depth > 8) { this.depth = 0; return 0 - 1; } // drop
+		return this.outPeer;
+	}
+}
+class Router extends Module {
+	virtual handle(payload int, now int) int {
+		this.stat++;
+		// route by payload hash
+		return (this.outPeer + payload % 3) % 16;
+	}
+}
+class Sink extends Module {
+	virtual handle(payload int, now int) int {
+		this.stat += payload & 7;
+		return 0 - 1; // absorbed
+	}
+}
+
+// binary-heap event queue: (time, module, payload) triples
+var heapT *int;
+var heapM *int;
+var heapP *int;
+var heapN int = 0;
+
+func heapPush(t int, m int, p int) {
+	var i int = heapN;
+	heapT[i] = t; heapM[i] = m; heapP[i] = p;
+	heapN++;
+	while (i > 0) {
+		var parent int = (i - 1) / 2;
+		if (heapT[parent] <= heapT[i]) { return; }
+		var tt int = heapT[parent]; heapT[parent] = heapT[i]; heapT[i] = tt;
+		tt = heapM[parent]; heapM[parent] = heapM[i]; heapM[i] = tt;
+		tt = heapP[parent]; heapP[parent] = heapP[i]; heapP[i] = tt;
+		i = parent;
+	}
+}
+func heapPop() {
+	heapN--;
+	heapT[0] = heapT[heapN]; heapM[0] = heapM[heapN]; heapP[0] = heapP[heapN];
+	var i int = 0;
+	while (1) {
+		var l int = 2 * i + 1; var r int = l + 1; var small int = i;
+		if (l < heapN && heapT[l] < heapT[small]) { small = l; }
+		if (r < heapN && heapT[r] < heapT[small]) { small = r; }
+		if (small == i) { return; }
+		var tt int = heapT[small]; heapT[small] = heapT[i]; heapT[i] = tt;
+		tt = heapM[small]; heapM[small] = heapM[i]; heapM[i] = tt;
+		tt = heapP[small]; heapP[small] = heapP[i]; heapP[i] = tt;
+		i = small;
+	}
+}
+
+func main() int {
+	var events int = __SCALE__;
+	heapT = new int[events + 64];
+	heapM = new int[events + 64];
+	heapP = new int[events + 64];
+	var mods *int = new int[16];
+	var net **Module = mods;
+	for (var i int = 0; i < 16; i++) {
+		var kind int = i % 4;
+		var m *Module = null;
+		if (kind == 0) { var s *Source = new Source; m = s; }
+		if (kind == 1) { var q *Queue = new Queue; m = q; }
+		if (kind == 2) { var r *Router = new Router; m = r; }
+		if (kind == 3) { var k *Sink = new Sink; m = k; }
+		m.id = i;
+		m.outPeer = (i + 1) % 16;
+		net[i] = m;
+	}
+	// seed initial events
+	for (var i int = 0; i < 8; i++) { heapPush(rnd() % 50, i % 16, rnd() % 97); }
+	var processed int = 0;
+	var now int = 0;
+	while (heapN > 0 && processed < events) {
+		now = heapT[0];
+		var mi int = heapM[0];
+		var pay int = heapP[0];
+		heapPop();
+		processed++;
+		var m *Module = net[mi];
+		var nxt int = m.handle(pay, now);        // virtual dispatch
+		if (nxt >= 0) {
+			heapPush(now + 1 + pay % 7, nxt, (pay * 13 + 5) % 997);
+		}
+		if (heapN == 0) { heapPush(now + 1, processed % 16, rnd() % 97); }
+	}
+	var sum int = 0;
+	for (var i int = 0; i < 16; i++) {
+		sum += net[i].collect();                  // virtual dispatch
+	}
+	print_int(sum);
+	print_int(processed);
+	return sum % 251;
+}
+`,
+}
+
+// 473.astar — A* pathfinding over a grid with obstacle terrain; the
+// terrain cost and heuristic are virtual methods of interchangeable
+// "way" classes, matching astar's regionway/way2 class dispatch.
+var astar = Workload{
+	Name: "473.astar", Lang: "C++", RefScale: 30, TestScale: 10,
+	source: prng + `
+class Way {
+	goalX int; goalY int;
+	virtual cost(cell int) int { return 1 + cell % 3; }
+	virtual heur(x int, y int) int {
+		var dx int = this.goalX - x; if (dx < 0) { dx = 0 - dx; }
+		var dy int = this.goalY - y; if (dy < 0) { dy = 0 - dy; }
+		return dx + dy;
+	}
+}
+class RoadWay extends Way {
+	virtual cost(cell int) int { if (cell % 4 == 0) { return 1; } return 5; }
+}
+class HillWay extends Way {
+	virtual cost(cell int) int { return 1 + cell % 9; }
+	virtual heur(x int, y int) int {
+		var dx int = this.goalX - x; if (dx < 0) { dx = 0 - dx; }
+		var dy int = this.goalY - y; if (dy < 0) { dy = 0 - dy; }
+		if (dx > dy) { return dx; }
+		return dy;
+	}
+}
+
+var N int = __SCALE__;
+var grid *int;
+var dist *int;
+var closed *int;
+
+func search(w *Way) int {
+	for (var i int = 0; i < N * N; i++) { dist[i] = 1000000000; closed[i] = 0; }
+	dist[0] = 0;
+	var expanded int = 0;
+	while (1) {
+		// pick open node with least f = g + h (linear scan "open list")
+		var best int = 0 - 1;
+		var bestF int = 1000000000;
+		for (var i int = 0; i < N * N; i++) {
+			if (closed[i] == 0 && dist[i] < 1000000000) {
+				var f int = dist[i] + w.heur(i % N, i / N);   // vcall
+				if (f < bestF) { bestF = f; best = i; }
+			}
+		}
+		if (best < 0) { return 0 - 1; }
+		if (best == N * N - 1) { return dist[best]; }
+		closed[best] = 1;
+		expanded++;
+		var bx int = best % N; var by int = best / N;
+		for (var d int = 0; d < 4; d++) {
+			var nx int = bx; var ny int = by;
+			if (d == 0) { nx = bx + 1; }
+			if (d == 1) { nx = bx - 1; }
+			if (d == 2) { ny = by + 1; }
+			if (d == 3) { ny = by - 1; }
+			if (nx >= 0 && nx < N && ny >= 0 && ny < N) {
+				var ni int = ny * N + nx;
+				if (closed[ni] == 0) {
+					var nd int = dist[best] + w.cost(grid[ni]);  // vcall
+					if (nd < dist[ni]) { dist[ni] = nd; }
+				}
+			}
+		}
+	}
+	return 0 - 1;
+}
+
+func main() int {
+	grid = new int[N * N];
+	dist = new int[N * N];
+	closed = new int[N * N];
+	for (var i int = 0; i < N * N; i++) { grid[i] = rnd() % 16; }
+	var ways *int = new int[3];
+	var ws **Way = ways;
+	var plain *Way = new Way;
+	var road *RoadWay = new RoadWay;
+	var hill *HillWay = new HillWay;
+	ws[0] = plain; ws[1] = road; ws[2] = hill;
+	var total int = 0;
+	for (var k int = 0; k < 3; k++) {
+		var w *Way = ws[k];
+		w.goalX = N - 1; w.goalY = N - 1;
+		total += search(w);
+	}
+	print_int(total);
+	return total % 251;
+}
+`,
+}
+
+// 483.xalancbmk — XSLT-style transformation: build a DOM of element /
+// text / comment nodes (virtual serialize + transform methods), apply
+// a template rewrite, and serialize with a rolling checksum.
+var xalancbmk = Workload{
+	Name: "483.xalancbmk", Lang: "C++", RefScale: 110, TestScale: 14,
+	source: prng + `
+class XNode {
+	tag int;
+	nchild int;
+	kids *int;             // array of *XNode, stored as ints
+	virtual serialize() int { return 0; }
+	virtual transform() int { return 0; }
+}
+class Element extends XNode {
+	virtual serialize() int {
+		var sum int = this.tag * 31;
+		var ks **XNode = this.kids;
+		for (var i int = 0; i < this.nchild; i++) {
+			sum = (sum * 33 + ks[i].serialize()) & 0xffffff;  // vcall
+		}
+		return sum;
+	}
+	virtual transform() int {
+		var n int = 1;
+		var ks **XNode = this.kids;
+		for (var i int = 0; i < this.nchild; i++) {
+			n += ks[i].transform();                            // vcall
+		}
+		// template: renumber even tags
+		if (this.tag % 2 == 0) { this.tag = this.tag + 1000; }
+		return n;
+	}
+}
+class Text extends XNode {
+	virtual serialize() int { return this.tag & 0xffff; }
+	virtual transform() int { return 1; }
+}
+class Comment extends XNode {
+	virtual serialize() int { return 7; }
+	virtual transform() int { return 0; }
+}
+
+var built int = 0;
+func build(depth int, fanout int) *XNode {
+	built++;
+	if (depth == 0) {
+		if (built % 7 == 0) {
+			var c *Comment = new Comment;
+			c.tag = rnd() % 100;
+			return c;
+		}
+		var t *Text = new Text;
+		t.tag = rnd() % 65536;
+		return t;
+	}
+	var e *Element = new Element;
+	e.tag = rnd() % 100;
+	e.nchild = fanout;
+	e.kids = new int[fanout];
+	var ks **XNode = e.kids;
+	for (var i int = 0; i < fanout; i++) {
+		ks[i] = build(depth - 1, fanout);
+	}
+	return e;
+}
+
+func main() int {
+	var docs int = __SCALE__;
+	var check int = 0;
+	var nodes int = 0;
+	for (var d int = 0; d < docs; d++) {
+		var root *XNode = build(4, 3);
+		nodes += root.transform();     // vcall tree walk
+		check = (check * 37 + root.serialize()) & 0xffffff;  // vcall tree walk
+	}
+	print_int(check);
+	print_int(nodes);
+	return check % 251;
+}
+`,
+}

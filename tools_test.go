@@ -1,0 +1,104 @@
+package roload_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"roload-cc", "roload-run", "roload-attack"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+const smokeProg = `
+func compute(f func(int) int, x int) int { return f(x); }
+func twice(x int) int { return 2 * x; }
+func main() int {
+	print_int(compute(twice, 21));
+	return 0;
+}
+`
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	src := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(src, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// roload-cc produces assembly containing the hardened load.
+	out, err := exec.Command(filepath.Join(bin, "roload-cc"), "-harden", "icall", src).Output()
+	if err != nil {
+		t.Fatalf("roload-cc: %v", err)
+	}
+	if !strings.Contains(string(out), "ld.ro") || !strings.Contains(string(out), ".rodata.key.") {
+		t.Error("roload-cc output missing hardening artifacts")
+	}
+
+	// roload-cc -dump disassembles.
+	out, err = exec.Command(filepath.Join(bin, "roload-cc"), "-harden", "icall", "-dump", src).Output()
+	if err != nil {
+		t.Fatalf("roload-cc -dump: %v", err)
+	}
+	if !strings.Contains(string(out), "section .text") {
+		t.Error("dump missing section header")
+	}
+
+	// roload-run executes on each system with the right outcomes.
+	cases := []struct {
+		args     []string
+		exitCode int
+		stdout   string
+	}{
+		{[]string{"-system", "full", "-harden", "icall", src}, 0, "42\n"},
+		{[]string{"-system", "full", "-harden", "full", src}, 0, "42\n"},
+		{[]string{"-system", "baseline", src}, 0, "42\n"},
+		{[]string{"-system", "baseline", "-harden", "icall", src}, 128 + 4, ""}, // SIGILL
+		{[]string{"-system", "proc", "-harden", "icall", src}, 128 + 11, ""},    // SIGSEGV
+	}
+	for _, c := range cases {
+		cmd := exec.Command(filepath.Join(bin, "roload-run"), c.args...)
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("roload-run %v: %v", c.args, err)
+		}
+		if code != c.exitCode {
+			t.Errorf("roload-run %v: exit %d, want %d", c.args, code, c.exitCode)
+		}
+		if c.stdout != "" && stdout.String() != c.stdout {
+			t.Errorf("roload-run %v: stdout %q, want %q", c.args, stdout.String(), c.stdout)
+		}
+	}
+
+	// roload-attack runs one scenario and exits cleanly.
+	out, err = exec.Command(filepath.Join(bin, "roload-attack"), "-scenario", "vtable-hijack").Output()
+	if err != nil {
+		t.Fatalf("roload-attack: %v", err)
+	}
+	if !strings.Contains(string(out), "HIJACKED") ||
+		!strings.Contains(string(out), "blocked by ROLoad check") {
+		t.Errorf("roload-attack output:\n%s", out)
+	}
+}
