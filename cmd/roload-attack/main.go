@@ -64,6 +64,12 @@ func main() {
 			if *verbose {
 				fmt.Printf("      %s\n", r.Detail)
 			}
+			// A blocked attack leaves a ROLoad fault audit trail: the
+			// faulting pc, the dereferenced address, and the key
+			// mismatch the MMU detected.
+			for _, rec := range r.Run.Audit {
+				fmt.Printf("      %s\n", rec.String())
+			}
 		}
 		fmt.Println()
 	}

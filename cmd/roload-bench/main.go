@@ -4,8 +4,11 @@
 // Usage:
 //
 //	roload-bench [-scale ref|test] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|security]
+//	roload-bench -json bench.json [-scale ref|test]
 //
-// With no -only flag every experiment runs in paper order.
+// With no -only flag every experiment runs in paper order. With -json
+// the harness instead emits one machine-readable document (schema
+// roload-bench/v1) covering every experiment; - writes to stdout.
 package main
 
 import (
@@ -23,6 +26,7 @@ func main() {
 	scaleFlag := flag.String("scale", "ref", "workload scale: ref or test")
 	only := flag.String("only", "", "run a single experiment (table1, table2, table3, sysoverhead, fig3, fig4, fig5, retguard, security)")
 	root := flag.String("root", ".", "repository root (for Table I line counting)")
+	jsonPath := flag.String("json", "", "write all experiments as one JSON report to this path (- for stdout)")
 	flag.Parse()
 
 	scale := eval.ScaleRef
@@ -31,6 +35,33 @@ func main() {
 	} else if *scaleFlag != "ref" {
 		fmt.Fprintf(os.Stderr, "roload-bench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		report, err := eval.BuildReport(scale, *root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, fn func() error) {

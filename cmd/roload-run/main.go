@@ -5,6 +5,7 @@
 //
 //	roload-run [-system full|proc|baseline] [-harden scheme] [-stats] prog.mc
 //	roload-run -asm prog.s
+//	roload-run -trace out.json -profile - -metrics run.json prog.mc
 //
 // Exit status mirrors the simulated process: its exit code, or 128 +
 // signal when it was killed.
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,6 +22,7 @@ import (
 	"roload/internal/cc"
 	"roload/internal/cc/harden"
 	"roload/internal/core"
+	"roload/internal/obs"
 )
 
 func main() {
@@ -29,6 +32,11 @@ func main() {
 	optimize := flag.Bool("O", false, "run the peephole optimizer before hardening")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON to this path (- for stdout)")
+	traceSize := flag.Int("trace-size", obs.DefaultRingSize, "trace ring capacity in events (oldest are dropped)")
+	profilePath := flag.String("profile", "", "write a cycle profile (top functions) to this path (- for stdout)")
+	foldedPath := flag.String("folded", "", "write folded stacks (flamegraph input) to this path (- for stdout)")
+	metricsPath := flag.String("metrics", "", "write a machine-readable metrics snapshot (JSON) to this path (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
@@ -94,7 +102,30 @@ func main() {
 		}
 	}
 
-	res, _, err := core.Run(img, sys, *maxSteps)
+	// Assemble the probe chain from the requested outputs. Each sink
+	// is optional; with none requested the probe stays nil and the
+	// simulation hot path is untouched.
+	syms := core.CodeSymTable(img)
+	var ring *obs.Ring
+	var prof *obs.Profiler
+	if *tracePath != "" {
+		ring = obs.NewRing(*traceSize)
+	}
+	if *profilePath != "" || *foldedPath != "" {
+		prof = obs.NewProfiler(syms)
+	}
+	var probes []obs.Probe
+	if ring != nil {
+		probes = append(probes, ring)
+	}
+	if prof != nil {
+		probes = append(probes, prof)
+	}
+
+	res, _, err := core.RunWith(img, sys, core.RunOptions{
+		MaxSteps: *maxSteps,
+		Probe:    obs.Combine(probes...),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -102,14 +133,44 @@ func main() {
 	if !strings.HasSuffix(string(res.Stdout), "\n") && len(res.Stdout) > 0 {
 		fmt.Println()
 	}
+
+	if ring != nil {
+		writeOutput(*tracePath, func(w io.Writer) error {
+			return ring.WriteChromeTrace(w, syms)
+		})
+		if n := ring.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "roload-run: trace ring dropped %d oldest events (raise -trace-size)\n", n)
+		}
+	}
+	if prof != nil && *profilePath != "" {
+		writeOutput(*profilePath, func(w io.Writer) error {
+			return prof.WriteTop(w, 30)
+		})
+	}
+	if prof != nil && *foldedPath != "" {
+		writeOutput(*foldedPath, prof.WriteFolded)
+	}
+	if *metricsPath != "" {
+		snap := res.Snapshot(sys.String())
+		writeOutput(*metricsPath, snap.WriteJSON)
+	}
+
 	if *stats {
 		fmt.Fprintf(os.Stderr, "system:   %v\n", sys)
 		fmt.Fprintf(os.Stderr, "cycles:   %d\n", res.Cycles)
 		fmt.Fprintf(os.Stderr, "instret:  %d\n", res.Instret)
 		fmt.Fprintf(os.Stderr, "memory:   %d KiB peak\n", res.MemPeakKiB)
 		fmt.Fprintf(os.Stderr, "loads:    %d (%d via ld.ro)\n", res.CPUStats.Loads, res.CPUStats.ROLoads)
-		fmt.Fprintf(os.Stderr, "D-TLB:    %d hits / %d misses\n", res.DMMU.TLBHits, res.DMMU.TLBMisses)
-		fmt.Fprintf(os.Stderr, "D-cache:  %.2f%% miss\n", 100*res.DC.MissRate())
+		fmt.Fprintf(os.Stderr, "traps:    %d (%d syscalls, %d MMU faults)\n",
+			res.CPUStats.Traps, res.SyscallCnt, res.IMMU.Faults+res.DMMU.Faults)
+		fmt.Fprintf(os.Stderr, "I-TLB:    %d hits / %d misses, %d walks (%d mem ops)\n",
+			res.IMMU.TLBHits, res.IMMU.TLBMisses, res.IMMU.PageWalks, res.IMMU.WalkMemOps)
+		fmt.Fprintf(os.Stderr, "D-TLB:    %d hits / %d misses, %d walks (%d mem ops)\n",
+			res.DMMU.TLBHits, res.DMMU.TLBMisses, res.DMMU.PageWalks, res.DMMU.WalkMemOps)
+		fmt.Fprintf(os.Stderr, "I-cache:  %d hits / %d misses (%.2f%% miss)\n",
+			res.IC.Hits, res.IC.Misses, 100*res.IC.MissRate())
+		fmt.Fprintf(os.Stderr, "D-cache:  %d hits / %d misses (%.2f%% miss)\n",
+			res.DC.Hits, res.DC.Misses, 100*res.DC.MissRate())
 	}
 	if res.Exited {
 		os.Exit(res.Code & 0xff)
@@ -120,7 +181,31 @@ func main() {
 			res.FaultWantKey, res.FaultGotKey)
 	}
 	fmt.Fprintln(os.Stderr)
+	for _, rec := range res.Audit {
+		fmt.Fprintln(os.Stderr, rec.String())
+	}
 	os.Exit(128 + int(res.Signal))
+}
+
+// writeOutput writes via fn to path, with "-" meaning stdout.
+func writeOutput(path string, fn func(io.Writer) error) {
+	if path == "-" {
+		if err := fn(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 // refill — so the model tracks tags with true LRU and no data array.
 package cache
 
+import "roload/internal/obs"
+
 // Config describes one cache.
 type Config struct {
 	SizeBytes int // total capacity
@@ -47,6 +49,12 @@ type Cache struct {
 	lineBits uint
 	tick     uint64
 	stats    Stats
+
+	// probe, when non-nil, observes every access. side tags the events
+	// (I- or D-cache); cycles supplies the timestamp counter.
+	probe  obs.Probe
+	side   obs.Side
+	cycles *uint64
 }
 
 // New builds a cache. The configuration must describe a power-of-two
@@ -87,6 +95,15 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears statistics without flushing contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// SetProbe attaches (or with p == nil detaches) an event probe. side
+// tags emitted events; cycles, when non-nil, supplies the timestamp
+// counter (the owning CPU's cycle register).
+func (c *Cache) SetProbe(p obs.Probe, side obs.Side, cycles *uint64) {
+	c.probe = p
+	c.side = side
+	c.cycles = cycles
+}
+
 // Access touches the line containing physical address pa and reports
 // whether it hit. A miss installs the line.
 func (c *Cache) Access(pa uint64) bool {
@@ -98,10 +115,16 @@ func (c *Cache) Access(pa uint64) bool {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.tick
 			c.stats.Hits++
+			if c.probe != nil {
+				c.emit(pa, true)
+			}
 			return true
 		}
 	}
 	c.stats.Misses++
+	if c.probe != nil {
+		c.emit(pa, false)
+	}
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
@@ -123,6 +146,16 @@ func (c *Cache) Flush() {
 			set[i].valid = false
 		}
 	}
+}
+
+// emit is the cold half of the probe path, kept out of Access so the
+// nil-probe fast path stays small enough to inline around.
+func (c *Cache) emit(pa uint64, hit bool) {
+	var now uint64
+	if c.cycles != nil {
+		now = *c.cycles
+	}
+	c.probe.Event(obs.Event{Kind: obs.KindCache, Side: c.side, Hit: hit, VA: pa, Cycle: now})
 }
 
 func popcount(v uint64) int {

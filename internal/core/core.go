@@ -11,6 +11,7 @@ import (
 	"roload/internal/cc"
 	"roload/internal/cc/harden"
 	"roload/internal/kernel"
+	"roload/internal/obs"
 )
 
 // SystemKind selects one of the paper's three evaluation systems.
@@ -139,15 +140,57 @@ func Build(src string, h Hardening) (*asm.Image, *cc.Unit, error) {
 // Run executes an image on the selected system. maxSteps of 0 means
 // effectively unbounded.
 func Run(img *asm.Image, sys SystemKind, maxSteps uint64) (kernel.RunResult, *kernel.Process, error) {
+	return RunWith(img, sys, RunOptions{MaxSteps: maxSteps})
+}
+
+// RunOptions parameterizes RunWith beyond the system kind.
+type RunOptions struct {
+	// MaxSteps bounds the run (0 = effectively unbounded).
+	MaxSteps uint64
+	// Probe, when non-nil, observes the whole machine: instruction
+	// retires, traps, TLB/cache/walk activity, ROLoad key checks,
+	// syscalls, page faults and signal deliveries. A nil probe costs
+	// nothing on the hot path.
+	Probe obs.Probe
+}
+
+// RunWith executes an image on the selected system with observability
+// options.
+func RunWith(img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
 	cfg := sys.Config()
-	cfg.MaxSteps = maxSteps
+	cfg.MaxSteps = opts.MaxSteps
 	machine := kernel.NewSystem(cfg)
+	if opts.Probe != nil {
+		machine.SetProbe(opts.Probe)
+	}
 	p, err := machine.Spawn(img)
 	if err != nil {
 		return kernel.RunResult{}, nil, err
 	}
 	res, err := machine.Run(p)
 	return res, p, err
+}
+
+// CodeSymTable builds a symbol table over the image's executable
+// sections, the attribution domain of the obs profiler and trace
+// exporter (data labels are excluded so they never shadow functions).
+func CodeSymTable(img *asm.Image) *obs.SymTable {
+	lo, hi := ^uint64(0), uint64(0)
+	for _, sec := range img.Sections {
+		if sec.Perm&asm.PermExec == 0 {
+			continue
+		}
+		if sec.VA < lo {
+			lo = sec.VA
+		}
+		if end := sec.VA + sec.Size; end > hi {
+			hi = end
+		}
+	}
+	if lo >= hi {
+		lo, hi = 0, ^uint64(0)
+	}
+	return obs.NewSymTable(img.Symbols, lo, hi)
 }
 
 // Measurement is one build+run observation.

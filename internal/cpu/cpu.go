@@ -24,6 +24,7 @@ import (
 	"roload/internal/isa"
 	"roload/internal/mem"
 	"roload/internal/mmu"
+	"roload/internal/obs"
 )
 
 // TrapKind enumerates the events that suspend user execution and hand
@@ -154,9 +155,19 @@ type CPU struct {
 	dcache *cache.Cache
 	stats  Stats
 
-	// Tracer, when non-nil, observes every retired instruction. Used by
-	// tests and the attack harness; nil in benchmark runs.
+	// Tracer, when non-nil, observes every fetched-and-decoded
+	// instruction before it executes (so instructions that subsequently
+	// trap are still seen, exactly once). Used by tests and the attack
+	// harness; nil in benchmark runs. The typed-event Probe (SetProbe)
+	// is the richer interface; Tracer remains for lightweight opcode
+	// spies.
 	Tracer func(pc uint64, in isa.Inst)
+
+	// probe, when non-nil, receives typed obs events: instruction
+	// retires with per-instruction cycle cost, and traps. The MMUs and
+	// caches share the same probe (wired by SetProbe). nil costs one
+	// predicted branch per site and nothing else.
+	probe obs.Probe
 }
 
 // New builds a core over phys.
@@ -232,6 +243,45 @@ func (c *CPU) ResetCounters() {
 
 // DataMMU exposes the D-side MMU for kernel fault handling tests.
 func (c *CPU) DataMMU() *mmu.MMU { return c.dmem }
+
+// SetProbe attaches p to the core and its whole memory hierarchy: the
+// CPU emits retire and trap events, the two MMUs emit TLB, walk and
+// ROLoad-check events, and the two caches emit access events, all
+// timestamped with this core's cycle counter. Passing nil detaches
+// everything; the hot path then costs one nil check per site.
+func (c *CPU) SetProbe(p obs.Probe) {
+	c.probe = p
+	c.imem.SetProbe(p, obs.SideI, &c.Cycles)
+	c.dmem.SetProbe(p, obs.SideD, &c.Cycles)
+	c.icache.SetProbe(p, obs.SideI, &c.Cycles)
+	c.dcache.SetProbe(p, obs.SideD, &c.Cycles)
+}
+
+// Probe returns the currently attached probe (nil when disabled).
+func (c *CPU) Probe() obs.Probe { return c.probe }
+
+// retireFlags classifies a control transfer for stack-reconstructing
+// probes: FlagCall for linking jumps, FlagRet for returns.
+func retireFlags(in isa.Inst) uint8 {
+	var f uint8
+	if (in.Op == isa.JAL || in.Op == isa.JALR) && in.Rd == isa.RA {
+		f |= obs.FlagCall
+	}
+	if in.Op == isa.JALR && in.Rd == isa.Zero && in.Rs1 == isa.RA {
+		f |= obs.FlagRet
+	}
+	return f
+}
+
+// emitTrap reports a trap event (cold path).
+func (c *CPU) emitTrap(t *Trap) {
+	e := obs.Event{Kind: obs.KindTrap, PC: t.PC, Op: t.Inst.Op,
+		Num: uint64(t.Kind), Cycle: c.Cycles}
+	if t.Fault != nil {
+		e.VA = t.Fault.VA
+	}
+	c.probe.Event(e)
+}
 
 func (c *CPU) reg(r isa.Reg) uint64 { return c.Regs[r] }
 
@@ -361,18 +411,29 @@ func (c *CPU) storeVirt(va, pa uint64, v uint64, n int) error {
 // ECALL/EBREAK (sepc handling is the kernel's concern; this interface
 // mirrors what the kernel needs).
 func (c *CPU) Step() *Trap {
+	var cyc0 uint64
+	if c.probe != nil {
+		cyc0 = c.Cycles
+	}
 	pc := c.PC
 	raw, trap := c.fetch(pc)
 	if trap != nil {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
+		if c.probe != nil {
+			c.emitTrap(trap)
+		}
 		return trap
 	}
 	in := isa.Decode(raw)
 	if in.Op == isa.OpInvalid || (in.Op.IsROLoad() && !c.cfg.ROLoadEnabled) {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
-		return &Trap{Kind: TrapIllegalInst, PC: pc, Inst: in}
+		trap := &Trap{Kind: TrapIllegalInst, PC: pc, Inst: in}
+		if c.probe != nil {
+			c.emitTrap(trap)
+		}
+		return trap
 	}
 	if c.Tracer != nil {
 		c.Tracer(pc, in)
@@ -419,17 +480,24 @@ func (c *CPU) Step() *Trap {
 		if trap != nil {
 			c.stats.Traps++
 			c.Cycles += c.cfg.Cost.Trap
+			if c.probe != nil {
+				c.emitTrap(trap)
+			}
 			return trap
 		}
 		v, err := c.loadVirt(va, pa, n, at, key)
 		if err != nil {
 			c.stats.Traps++
 			c.Cycles += c.cfg.Cost.Trap
-			if f, ok := err.(*mmu.Fault); ok {
-				return &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: f}
-			}
-			return &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
+			trap := &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
 				Fault: &mmu.Fault{Cause: mmu.FaultLoadPage, VA: va}}
+			if f, ok := err.(*mmu.Fault); ok {
+				trap.Fault = f
+			}
+			if c.probe != nil {
+				c.emitTrap(trap)
+			}
+			return trap
 		}
 		if !unsigned {
 			shift := uint(64 - 8*n)
@@ -444,16 +512,23 @@ func (c *CPU) Step() *Trap {
 		if trap != nil {
 			c.stats.Traps++
 			c.Cycles += c.cfg.Cost.Trap
+			if c.probe != nil {
+				c.emitTrap(trap)
+			}
 			return trap
 		}
 		if err := c.storeVirt(va, pa, c.reg(in.Rs2), n); err != nil {
 			c.stats.Traps++
 			c.Cycles += c.cfg.Cost.Trap
-			if f, ok := err.(*mmu.Fault); ok {
-				return &Trap{Kind: TrapPageFault, PC: pc, Inst: in, Fault: f}
-			}
-			return &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
+			trap := &Trap{Kind: TrapPageFault, PC: pc, Inst: in,
 				Fault: &mmu.Fault{Cause: mmu.FaultStorePage, VA: va}}
+			if f, ok := err.(*mmu.Fault); ok {
+				trap.Fault = f
+			}
+			if c.probe != nil {
+				c.emitTrap(trap)
+			}
+			return trap
 		}
 	case in.Op == isa.ECALL:
 		c.Instret++
@@ -461,14 +536,24 @@ func (c *CPU) Step() *Trap {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
 		c.PC = next
-		return &Trap{Kind: TrapECall, PC: pc, Inst: in}
+		trap := &Trap{Kind: TrapECall, PC: pc, Inst: in}
+		if c.probe != nil {
+			c.emitRetire(pc, in, cyc0)
+			c.emitTrap(trap)
+		}
+		return trap
 	case in.Op == isa.EBREAK:
 		c.Instret++
 		c.stats.Instructions++
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
 		c.PC = next
-		return &Trap{Kind: TrapEBreak, PC: pc, Inst: in}
+		trap := &Trap{Kind: TrapEBreak, PC: pc, Inst: in}
+		if c.probe != nil {
+			c.emitRetire(pc, in, cyc0)
+			c.emitTrap(trap)
+		}
+		return trap
 	case in.Op == isa.FENCE:
 		// No-op in a single-hart system.
 	case in.Op == isa.CSRRW || in.Op == isa.CSRRS || in.Op == isa.CSRRC:
@@ -480,7 +565,19 @@ func (c *CPU) Step() *Trap {
 	c.Instret++
 	c.stats.Instructions++
 	c.PC = next
+	if c.probe != nil {
+		c.emitRetire(pc, in, cyc0)
+	}
 	return nil
+}
+
+// emitRetire reports one retired instruction with the cycles it was
+// charged (cold path; only reached with a probe attached).
+func (c *CPU) emitRetire(pc uint64, in isa.Inst, cyc0 uint64) {
+	c.probe.Event(obs.Event{
+		Kind: obs.KindRetire, PC: pc, Op: in.Op, Size: in.Size,
+		Flags: retireFlags(in), Cost: c.Cycles - cyc0, Cycle: c.Cycles,
+	})
 }
 
 // Run executes until a trap or until maxInstructions retire; it

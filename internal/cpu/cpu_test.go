@@ -20,7 +20,7 @@ func (b *bumpAlloc) AllocFrame() (uint64, error) {
 // machine is a test fixture: identity-ish mapped core with helper
 // methods to lay out code and data.
 type machine struct {
-	t      *testing.T
+	t      testing.TB
 	phys   *mem.Physical
 	mapper *mmu.Mapper
 	cpu    *CPU
@@ -30,7 +30,7 @@ type machine struct {
 	cursor uint64 // bytes of code emitted
 }
 
-func newMachine(t *testing.T, cfg Config) *machine {
+func newMachine(t testing.TB, cfg Config) *machine {
 	t.Helper()
 	phys := mem.NewPhysical(64 << 20)
 	alloc := &bumpAlloc{next: 0x100000}
@@ -429,11 +429,69 @@ func TestTracer(t *testing.T) {
 	m.emit(li(isa.A0, 1)...)
 	m.emit(isa.Inst{Op: isa.ECALL})
 	var seen []isa.Op
-	m.cpu.Tracer = func(pc uint64, in isa.Inst) { seen = append(seen, in.Op) }
-	m.run(5)
-	if len(seen) != 2 || seen[0] != isa.ADDI || seen[1] != isa.ECALL {
-		t.Errorf("trace = %v", seen)
+	var pcs []uint64
+	m.cpu.Tracer = func(pc uint64, in isa.Inst) {
+		seen = append(seen, in.Op)
+		pcs = append(pcs, pc)
 	}
+	trap := m.run(5)
+	if trap.Kind != TrapECall {
+		t.Fatalf("trap = %v", trap)
+	}
+	if len(seen) != 2 || seen[0] != isa.ADDI || seen[1] != isa.ECALL {
+		t.Fatalf("trace = %v", seen)
+	}
+	// The trace order must match program order: the trapping ECALL is
+	// observed after the instruction before it, at the right pc.
+	if pcs[0] != m.textVA || pcs[1] != m.textVA+4 {
+		t.Errorf("trace pcs = %#x", pcs)
+	}
+	// The trapping instruction was observed exactly once even though
+	// it suspended execution.
+	if n := countOp(seen, isa.ECALL); n != 1 {
+		t.Errorf("ECALL traced %d times, want 1", n)
+	}
+}
+
+// TestTracerTrappingLoadSeenOnce drives an instruction that traps
+// mid-execution (a load from an unmapped page): the tracer fires for
+// it pre-execution, exactly once, in program order, and nothing after
+// it is traced.
+func TestTracerTrappingLoadSeenOnce(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	m.emit(li(isa.A1, 0x100)...) // 0x100 is unmapped
+	m.emit(
+		isa.Inst{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1, Imm: 0},
+		isa.Inst{Op: isa.ECALL}, // must NOT be reached or traced
+	)
+	var seen []isa.Op
+	m.cpu.Tracer = func(pc uint64, in isa.Inst) { seen = append(seen, in.Op) }
+	trap := m.run(5)
+	if trap.Kind != TrapPageFault {
+		t.Fatalf("trap = %v, want page fault", trap)
+	}
+	want := []isa.Op{isa.ADDI, isa.LD}
+	if len(seen) != len(want) {
+		t.Fatalf("trace = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("trace[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+	if n := countOp(seen, isa.LD); n != 1 {
+		t.Errorf("trapping LD traced %d times, want 1", n)
+	}
+}
+
+func countOp(ops []isa.Op, op isa.Op) int {
+	n := 0
+	for _, o := range ops {
+		if o == op {
+			n++
+		}
+	}
+	return n
 }
 
 // Property: 64-bit ALU reference check against Go's arithmetic for a

@@ -1,0 +1,254 @@
+package cpu
+
+import (
+	"testing"
+
+	"roload/internal/isa"
+	"roload/internal/mmu"
+	"roload/internal/obs"
+)
+
+// eventLog is a probe that records every event in order.
+type eventLog struct{ events []obs.Event }
+
+func (l *eventLog) Event(e obs.Event) { l.events = append(l.events, e) }
+
+func (l *eventLog) ofKind(k obs.Kind) []obs.Event {
+	var out []obs.Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestProbeRetireOrdering checks the typed event stream: retires come
+// in program order with per-instruction cycle costs that sum to the
+// core's cycle counter, and timestamps never move backwards.
+func TestProbeRetireOrdering(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	m.emit(li(isa.A0, 6)...)
+	m.emit(li(isa.A1, 7)...)
+	m.emit(
+		isa.Inst{Op: isa.MUL, Rd: isa.A0, Rs1: isa.A0, Rs2: isa.A1},
+		isa.Inst{Op: isa.ECALL},
+	)
+	log := &eventLog{}
+	m.cpu.SetProbe(log)
+	trap := m.run(10)
+	if trap.Kind != TrapECall {
+		t.Fatalf("trap = %v", trap)
+	}
+
+	retires := log.ofKind(obs.KindRetire)
+	wantOps := []isa.Op{isa.ADDI, isa.ADDI, isa.MUL, isa.ECALL}
+	if len(retires) != len(wantOps) {
+		t.Fatalf("retires = %d, want %d", len(retires), len(wantOps))
+	}
+	var costSum uint64
+	for i, e := range retires {
+		if e.Op != wantOps[i] {
+			t.Errorf("retire %d: op %v, want %v", i, e.Op, wantOps[i])
+		}
+		if e.PC != m.textVA+uint64(4*i) {
+			t.Errorf("retire %d: pc %#x", i, e.PC)
+		}
+		if e.Cost == 0 {
+			t.Errorf("retire %d: zero cycle cost", i)
+		}
+		costSum += e.Cost
+	}
+	if costSum != m.cpu.Cycles {
+		t.Errorf("retire costs sum to %d, cycles = %d", costSum, m.cpu.Cycles)
+	}
+	// Timestamps are monotone over the whole stream.
+	var last uint64
+	for i, e := range log.events {
+		if e.Cycle < last {
+			t.Fatalf("event %d (%v) at cycle %d after cycle %d", i, e.Kind, e.Cycle, last)
+		}
+		last = e.Cycle
+	}
+	// The ECALL both retires and traps, in that order.
+	traps := log.ofKind(obs.KindTrap)
+	if len(traps) != 1 || traps[0].Op != isa.ECALL || traps[0].Num != uint64(TrapECall) {
+		t.Fatalf("traps = %+v", traps)
+	}
+	if lastEvent := log.events[len(log.events)-1]; lastEvent.Kind != obs.KindTrap {
+		t.Errorf("final event is %v, want the trap", lastEvent.Kind)
+	}
+}
+
+// TestProbeTrappingLoad: a load that page-faults produces its D-side
+// translation events and a trap, but no retire — the instruction never
+// completed.
+func TestProbeTrappingLoad(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	m.emit(li(isa.A1, 0x100)...) // unmapped
+	m.emit(isa.Inst{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1, Imm: 0})
+	log := &eventLog{}
+	m.cpu.SetProbe(log)
+	trap := m.run(5)
+	if trap.Kind != TrapPageFault {
+		t.Fatalf("trap = %v", trap)
+	}
+	for _, e := range log.ofKind(obs.KindRetire) {
+		if e.Op == isa.LD {
+			t.Error("faulting load must not retire")
+		}
+	}
+	var sawDTLB, sawDWalk bool
+	for _, e := range log.events {
+		if e.Side != obs.SideD {
+			continue
+		}
+		switch e.Kind {
+		case obs.KindTLB:
+			sawDTLB = true
+			if e.Hit {
+				t.Error("unmapped VA reported as D-TLB hit")
+			}
+		case obs.KindWalk:
+			sawDWalk = true
+			if e.Hit {
+				t.Error("failed walk reported as success")
+			}
+		}
+	}
+	if !sawDTLB || !sawDWalk {
+		t.Errorf("missing D-side translation events (tlb=%v walk=%v)", sawDTLB, sawDWalk)
+	}
+	traps := log.ofKind(obs.KindTrap)
+	if len(traps) != 1 || traps[0].VA != 0x100 {
+		t.Fatalf("traps = %+v", traps)
+	}
+}
+
+// TestProbeROLoadCheckEvents: key-check pass and fail both emit
+// KindROLoadCheck with the want/got keys.
+func TestProbeROLoadCheckEvents(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	m.map1(0x30000, 0x700000, mmu.PTERead, 111)
+	m.emit(li(isa.A1, 0x30000)...)
+	m.emit(
+		isa.Inst{Op: isa.LDRO, Rd: isa.A0, Rs1: isa.A1, Key: 111},
+		isa.Inst{Op: isa.LDRO, Rd: isa.A0, Rs1: isa.A1, Key: 222},
+	)
+	log := &eventLog{}
+	m.cpu.SetProbe(log)
+	trap := m.run(10)
+	if trap.Kind != TrapPageFault {
+		t.Fatalf("trap = %v", trap)
+	}
+	checks := log.ofKind(obs.KindROLoadCheck)
+	if len(checks) != 2 {
+		t.Fatalf("key checks = %d, want 2", len(checks))
+	}
+	if !checks[0].Hit || checks[0].WantKey != 111 || checks[0].GotKey != 111 {
+		t.Errorf("pass check = %+v", checks[0])
+	}
+	if checks[1].Hit || checks[1].WantKey != 222 || checks[1].GotKey != 111 {
+		t.Errorf("fail check = %+v", checks[1])
+	}
+}
+
+func fixtureProgram(m *machine) {
+	// A loop with loads, stores, branches and a multiply: exercises
+	// every probe site class.
+	m.emit(li(isa.A0, 0)...)       // sum
+	m.emit(li(isa.A1, 1)...)       // i
+	m.emit(li(isa.A2, 20)...)      // limit
+	m.emit(li(isa.A3, 0x7f000)...) // data page
+	loop := int64(m.cursor)
+	m.emit(
+		isa.Inst{Op: isa.MUL, Rd: isa.A4, Rs1: isa.A1, Rs2: isa.A1},
+		isa.Inst{Op: isa.SD, Rs1: isa.A3, Rs2: isa.A4, Imm: 0},
+		isa.Inst{Op: isa.LD, Rd: isa.A5, Rs1: isa.A3, Imm: 0},
+		isa.Inst{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A0, Rs2: isa.A5},
+		isa.Inst{Op: isa.ADDI, Rd: isa.A1, Rs1: isa.A1, Imm: 1},
+	)
+	off := loop - int64(m.cursor)
+	m.emit(
+		isa.Inst{Op: isa.BGE, Rs1: isa.A2, Rs2: isa.A1, Imm: off},
+		isa.Inst{Op: isa.ECALL},
+	)
+}
+
+// TestProbeCycleParity proves the observability layer never perturbs
+// the simulation: the same program runs to the same cycle, instret and
+// architectural state with and without a probe attached.
+func TestProbeCycleParity(t *testing.T) {
+	plain := newMachine(t, DefaultConfig())
+	fixtureProgram(plain)
+	plain.run(500)
+
+	probed := newMachine(t, DefaultConfig())
+	fixtureProgram(probed)
+	var counters obs.Counters
+	probed.cpu.SetProbe(&counters)
+	probed.run(500)
+
+	if plain.cpu.Cycles != probed.cpu.Cycles {
+		t.Errorf("cycles diverge: plain %d, probed %d", plain.cpu.Cycles, probed.cpu.Cycles)
+	}
+	if plain.cpu.Instret != probed.cpu.Instret {
+		t.Errorf("instret diverge: plain %d, probed %d", plain.cpu.Instret, probed.cpu.Instret)
+	}
+	if plain.cpu.Regs != probed.cpu.Regs {
+		t.Error("register files diverge")
+	}
+	if counters.Total() == 0 || counters.ByKind[obs.KindRetire] != probed.cpu.Instret {
+		t.Errorf("counters = %+v", counters)
+	}
+}
+
+// TestNilProbeZeroAlloc is the zero-cost-when-disabled guarantee: with
+// no probe attached, the hot Step path performs no allocations.
+func TestNilProbeZeroAlloc(t *testing.T) {
+	m := newMachine(t, DefaultConfig())
+	// Infinite loop with a load: jal zero back over it.
+	m.emit(li(isa.A3, 0x7f000)...)
+	loop := int64(m.cursor)
+	m.emit(isa.Inst{Op: isa.LD, Rd: isa.A5, Rs1: isa.A3, Imm: 0})
+	m.emit(isa.Inst{Op: isa.JAL, Rd: isa.Zero, Imm: loop - int64(m.cursor)})
+	// Warm the TLBs and caches so steady state is measured.
+	for i := 0; i < 64; i++ {
+		if trap := m.cpu.Step(); trap != nil {
+			t.Fatalf("trap = %v", trap)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if trap := m.cpu.Step(); trap != nil {
+			t.Fatalf("trap = %v", trap)
+		}
+	}); avg != 0 {
+		t.Errorf("nil-probe Step allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func benchLoop(b *testing.B, probe obs.Probe) {
+	m := newMachine(b, DefaultConfig())
+	m.emit(li(isa.A3, 0x7f000)...)
+	loop := int64(m.cursor)
+	m.emit(isa.Inst{Op: isa.LD, Rd: isa.A5, Rs1: isa.A3, Imm: 0})
+	m.emit(isa.Inst{Op: isa.JAL, Rd: isa.Zero, Imm: loop - int64(m.cursor)})
+	if probe != nil {
+		m.cpu.SetProbe(probe)
+	}
+	for i := 0; i < 64; i++ {
+		m.cpu.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trap := m.cpu.Step(); trap != nil {
+			b.Fatalf("trap = %v", trap)
+		}
+	}
+}
+
+// BenchmarkStepNilProbe is the zero-cost baseline; compare against
+// BenchmarkStepCounters to see the cost of enabling observation.
+func BenchmarkStepNilProbe(b *testing.B) { benchLoop(b, nil) }
+func BenchmarkStepCounters(b *testing.B) { benchLoop(b, &obs.Counters{}) }

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuildReport runs the whole harness at test scale and checks the
+// machine-readable document against its schema: every DESIGN.md §4
+// experiment id present with data, round-trippable JSON, and sane
+// cross-field invariants.
+func TestBuildReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short mode")
+	}
+	r, err := BuildReport(ScaleTest, "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, id := range ExperimentIDs {
+		if _, ok := doc[id]; !ok {
+			t.Errorf("JSON document missing experiment id %q", id)
+		}
+	}
+	if string(doc["schema"]) != `"`+ReportSchema+`"` {
+		t.Errorf("schema = %s", doc["schema"])
+	}
+
+	// Round-trip: a consumer re-decoding the document must see a
+	// report that still validates.
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped report invalid: %v", err)
+	}
+
+	// Spot checks on content.
+	if len(r.Fig3) == 0 || r.Fig3[0].Scheme == "" {
+		t.Error("fig3 entries must carry scheme names")
+	}
+	for _, e := range r.SysOverhead {
+		if e.BaseCycles == 0 {
+			t.Errorf("sysoverhead %s: zero baseline cycles", e.Benchmark)
+		}
+	}
+	for _, e := range r.Security {
+		if e.Hijacked && e.Covered {
+			t.Errorf("security: %s under %s hijacked despite coverage", e.Scenario, e.Scheme)
+		}
+	}
+}
+
+func TestReportValidateRejectsBadDocs(t *testing.T) {
+	r := &Report{Schema: "wrong", Scale: "test"}
+	if err := r.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	r = &Report{Schema: ReportSchema, Scale: "huge"}
+	if err := r.Validate(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	r = &Report{Schema: ReportSchema, Scale: "test"}
+	if err := r.Validate(); err == nil {
+		t.Error("empty report accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Disassembler coverage: every encodable opcode must render to
+// non-empty assembler text that the assembler parses back to the same
+// encoding. Lives in an external test package so it can use the
+// assembler without an import cycle.
+package isa_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"roload/internal/asm"
+	"roload/internal/isa"
+)
+
+// representative builds a valid instance of op with operand values
+// inside every encoder constraint (even, in-range immediates).
+func representative(op isa.Op) isa.Inst {
+	in := isa.Inst{Op: op, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2, Size: 4}
+	switch {
+	case op == isa.LUI || op == isa.AUIPC:
+		in.Imm = 0x2000 // low 12 bits zero
+	case op == isa.JAL:
+		in.Rd, in.Imm = isa.RA, 8
+	case op == isa.JALR:
+		in.Rd, in.Rs1, in.Imm = isa.RA, isa.A0, 16
+	case op.IsBranch():
+		in.Imm = 8
+	case op.IsROLoad():
+		in.Key = 5
+	case op.IsLoad():
+		in.Imm = 16
+	case op.IsStore():
+		in.Rs2, in.Imm = isa.A0, 16
+	case op == isa.CSRRW || op == isa.CSRRS || op == isa.CSRRC:
+		in.Imm = 0x342
+	case op == isa.ECALL || op == isa.EBREAK || op == isa.FENCE:
+		in.Rd, in.Rs1, in.Rs2 = isa.Zero, isa.Zero, isa.Zero
+	case op == isa.SLLI || op == isa.SRLI || op == isa.SRAI ||
+		op == isa.SLLIW || op == isa.SRLIW || op == isa.SRAIW:
+		in.Imm = 5
+	case isImmALUOp(op):
+		in.Imm = 5
+	}
+	return in
+}
+
+func isImmALUOp(op isa.Op) bool {
+	switch op {
+	case isa.ADDI, isa.SLTI, isa.SLTIU, isa.XORI, isa.ORI, isa.ANDI, isa.ADDIW:
+		return true
+	}
+	return false
+}
+
+// TestDisasmCoverage walks the full opcode space: encode a
+// representative instruction, decode it, render it, and feed the text
+// back through the assembler. The re-assembled bytes must reproduce
+// the original encoding exactly.
+func TestDisasmCoverage(t *testing.T) {
+	ops := isa.Ops()
+	if len(ops) < 60 {
+		t.Fatalf("Ops() returned only %d opcodes", len(ops))
+	}
+	for _, op := range ops {
+		in := representative(op)
+		raw, err := isa.Encode(in)
+		if err != nil {
+			t.Errorf("%v: representative does not encode: %v", op, err)
+			continue
+		}
+		dec := isa.Decode(raw)
+		if dec.Op != op {
+			t.Errorf("%v: decoded back as %v", op, dec.Op)
+			continue
+		}
+		text := dec.String()
+		if text == "" || strings.Contains(text, "op(") || strings.Contains(text, ".word") {
+			t.Errorf("%v: disassembles to %q", op, text)
+			continue
+		}
+		img, err := asm.Assemble("_start:\n\t"+text+"\n", asm.DefaultOptions())
+		if err != nil {
+			t.Errorf("%v: %q does not re-assemble: %v", op, text, err)
+			continue
+		}
+		code := textBytes(t, img)
+		if len(code) < 4 {
+			t.Errorf("%v: re-assembled image has %d code bytes", op, len(code))
+			continue
+		}
+		if got := binary.LittleEndian.Uint32(code); got != raw {
+			t.Errorf("%v: %q re-assembles to %#08x, want %#08x", op, text, got, raw)
+		}
+	}
+}
+
+func textBytes(t *testing.T, img *asm.Image) []byte {
+	t.Helper()
+	for _, sec := range img.Sections {
+		if sec.Perm&asm.PermExec != 0 {
+			return sec.Data
+		}
+	}
+	t.Fatal("no executable section")
+	return nil
+}

@@ -230,6 +230,16 @@ func OpByName(name string) (Op, bool) {
 	return op, ok
 }
 
+// Ops returns every defined opcode (OpInvalid excluded) in declaration
+// order, for exhaustive table-driven tests over the instruction set.
+func Ops() []Op {
+	out := make([]Op, 0, int(numOps)-1)
+	for o := OpInvalid + 1; o < numOps; o++ {
+		out = append(out, o)
+	}
+	return out
+}
+
 // IsROLoad reports whether the opcode belongs to the ROLoad family.
 func (o Op) IsROLoad() bool {
 	return o == LBRO || o == LHRO || o == LWRO || o == LDRO
@@ -321,6 +331,8 @@ func (in Inst) String() string {
 		return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rd, uint64(in.Imm)>>12&0xfffff)
 	case in.Op == ECALL || in.Op == EBREAK || in.Op == FENCE:
 		return in.Op.String()
+	case in.Op == CSRRW || in.Op == CSRRS || in.Op == CSRRC:
+		return fmt.Sprintf("%s %s, %#x, %s", in.Op, in.Rd, uint64(in.Imm)&0xfff, in.Rs1)
 	case isImmALU(in.Op):
 		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
 	default:

@@ -23,6 +23,7 @@ import (
 	"roload/internal/cpu"
 	"roload/internal/mem"
 	"roload/internal/mmu"
+	"roload/internal/obs"
 )
 
 // Signal numbers delivered on fatal traps.
@@ -92,7 +93,26 @@ type System struct {
 	frameEnd  uint64
 
 	attackHook func(*Process) error
+
+	// probe, when non-nil, receives kernel-level events (syscalls,
+	// page faults, signal deliveries) on top of whatever the core
+	// emits; SetProbe wires both at once.
+	probe obs.Probe
+	// audit accumulates one record per detected ROLoad violation —
+	// the fault path's forensic log (Section III-B), dumped by tools
+	// when a process dies with SIGSEGV.
+	audit obs.Audit
 }
+
+// SetProbe attaches p to the kernel and, transitively, to the core and
+// its memory hierarchy. Pass nil to detach.
+func (s *System) SetProbe(p obs.Probe) {
+	s.probe = p
+	s.cpu.SetProbe(p)
+}
+
+// Audit returns the ROLoad violation log for this machine.
+func (s *System) Audit() *obs.Audit { return &s.audit }
 
 // SetAttackHook registers the callback invoked on the SysAttackHook
 // syscall. A hook error kills the process with SIGSEGV (the corruption
@@ -180,9 +200,15 @@ type RunResult struct {
 	// ROLoadViolation is set when the fatal signal came from a ROLoad
 	// check failure — the kernel-side differentiation of Section III-B.
 	ROLoadViolation bool
+	FaultPC         uint64 // faulting instruction (signal deliveries)
 	FaultVA         uint64
 	FaultWantKey    uint16
 	FaultGotKey     uint16
+
+	// Audit carries the ROLoad violation records collected during this
+	// run (at most one today, since the first violation is fatal; the
+	// slice form keeps the contract stable if faults become resumable).
+	Audit []obs.AuditRecord
 
 	Cycles  uint64
 	Instret uint64
@@ -326,3 +352,55 @@ func (p *Process) CorruptUint(va uint64, v uint64, n int) error {
 
 // Stdout returns output written so far.
 func (p *Process) Stdout() []byte { return p.stdout.Bytes() }
+
+// Snapshot converts the run result into the unified obs metrics
+// document. system labels which of the paper's three configurations
+// produced it (e.g. core.SystemKind.String()).
+func (r RunResult) Snapshot(system string) obs.Snapshot {
+	snap := obs.Snapshot{
+		System:          system,
+		Exited:          r.Exited,
+		ExitCode:        r.Code,
+		ROLoadViolation: r.ROLoadViolation,
+		FaultPC:         r.FaultPC,
+		FaultVA:         r.FaultVA,
+		Cycles:          r.Cycles,
+		Instret:         r.Instret,
+		MemPeakKiB:      r.MemPeakKiB,
+		Syscalls:        r.SyscallCnt,
+		CPU: obs.CPUCounters{
+			Instructions: r.CPUStats.Instructions,
+			Loads:        r.CPUStats.Loads,
+			Stores:       r.CPUStats.Stores,
+			ROLoads:      r.CPUStats.ROLoads,
+			Branches:     r.CPUStats.Branches,
+			TakenBranch:  r.CPUStats.TakenBranch,
+			Jumps:        r.CPUStats.Jumps,
+			MulDiv:       r.CPUStats.MulDiv,
+			Traps:        r.CPUStats.Traps,
+		},
+		ITLB:   mmuCounters(r.IMMU),
+		DTLB:   mmuCounters(r.DMMU),
+		ICache: cacheCounters(r.IC),
+		DCache: cacheCounters(r.DC),
+		Audit:  r.Audit,
+	}
+	if r.Signal != SigNone {
+		snap.Signal = r.Signal.String()
+	}
+	return snap
+}
+
+func mmuCounters(s mmu.Stats) obs.MMUCounters {
+	return obs.MMUCounters{
+		TLBHits:    s.TLBHits,
+		TLBMisses:  s.TLBMisses,
+		PageWalks:  s.PageWalks,
+		WalkMemOps: s.WalkMemOps,
+		Faults:     s.Faults,
+	}
+}
+
+func cacheCounters(s cache.Stats) obs.CacheCounters {
+	return obs.CacheCounters{Hits: s.Hits, Misses: s.Misses, MissRate: s.MissRate()}
+}

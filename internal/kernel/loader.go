@@ -8,6 +8,7 @@ import (
 	"roload/internal/isa"
 	"roload/internal/mem"
 	"roload/internal/mmu"
+	"roload/internal/obs"
 )
 
 // Address-space layout constants.
@@ -139,13 +140,21 @@ func (s *System) Run(p *Process) (RunResult, error) {
 		switch trap.Kind {
 		case cpu.TrapECall:
 			syscalls++
+			if s.probe != nil {
+				s.probe.Event(obs.Event{Kind: obs.KindSyscall, PC: trap.PC,
+					Num: s.cpu.Regs[isa.A7], Cycle: s.cpu.Cycles})
+			}
 			done, res := s.syscall(p)
 			if done {
 				res.SyscallCnt = syscalls
 				return s.finish(p, res), nil
 			}
 		case cpu.TrapPageFault:
-			res := RunResult{Signal: SIGSEGV, FaultVA: trap.Fault.VA}
+			if s.probe != nil {
+				s.probe.Event(obs.Event{Kind: obs.KindPageFault, PC: trap.PC,
+					VA: trap.Fault.VA, Cycle: s.cpu.Cycles})
+			}
+			res := RunResult{Signal: SIGSEGV, FaultPC: trap.PC, FaultVA: trap.Fault.VA}
 			// The modified kernel distinguishes ROLoad faults from
 			// benign load page faults (Section III-B) and reports the
 			// violation; the stock kernel just sees a segfault.
@@ -153,19 +162,33 @@ func (s *System) Run(p *Process) (RunResult, error) {
 				res.ROLoadViolation = true
 				res.FaultWantKey = trap.Fault.WantKey
 				res.FaultGotKey = trap.Fault.GotKey
+				rec := obs.AuditRecord{
+					Cycle:       s.cpu.Cycles,
+					Instret:     s.cpu.Instret,
+					PC:          trap.PC,
+					Func:        codeSymTable(p.image).Name(trap.PC),
+					VA:          trap.Fault.VA,
+					WantKey:     trap.Fault.WantKey,
+					GotKey:      trap.Fault.GotKey,
+					NotReadOnly: trap.Fault.NotReadOnly,
+					Unmapped:    trap.Fault.Unmapped,
+					Signal:      SIGSEGV.String(),
+				}
+				s.audit.Record(rec)
+				res.Audit = append(res.Audit, rec)
 			}
 			res.SyscallCnt = syscalls
 			return s.finish(p, res), nil
 		case cpu.TrapIllegalInst:
-			res := RunResult{Signal: SIGILL, FaultVA: trap.PC}
+			res := RunResult{Signal: SIGILL, FaultPC: trap.PC, FaultVA: trap.PC}
 			res.SyscallCnt = syscalls
 			return s.finish(p, res), nil
 		case cpu.TrapEBreak:
-			res := RunResult{Signal: SIGTRAP, FaultVA: trap.PC}
+			res := RunResult{Signal: SIGTRAP, FaultPC: trap.PC, FaultVA: trap.PC}
 			res.SyscallCnt = syscalls
 			return s.finish(p, res), nil
 		case cpu.TrapMisaligned:
-			res := RunResult{Signal: SIGSEGV, FaultVA: trap.PC}
+			res := RunResult{Signal: SIGSEGV, FaultPC: trap.PC, FaultVA: trap.PC}
 			res.SyscallCnt = syscalls
 			return s.finish(p, res), nil
 		default:
@@ -175,7 +198,32 @@ func (s *System) Run(p *Process) (RunResult, error) {
 	return RunResult{}, fmt.Errorf("kernel: instruction budget exhausted (possible runaway program)")
 }
 
+// codeSymTable symbolizes against the image's executable sections only
+// (cold path: built on faults, not per instruction).
+func codeSymTable(img *asm.Image) *obs.SymTable {
+	lo, hi := ^uint64(0), uint64(0)
+	for _, sec := range img.Sections {
+		if sec.Perm&asm.PermExec == 0 {
+			continue
+		}
+		if sec.VA < lo {
+			lo = sec.VA
+		}
+		if end := sec.VA + sec.Size; end > hi {
+			hi = end
+		}
+	}
+	if lo >= hi { // no executable section: keep every symbol
+		lo, hi = 0, ^uint64(0)
+	}
+	return obs.NewSymTable(img.Symbols, lo, hi)
+}
+
 func (s *System) finish(p *Process, res RunResult) RunResult {
+	if s.probe != nil && res.Signal != SigNone {
+		s.probe.Event(obs.Event{Kind: obs.KindSignal, PC: res.FaultPC,
+			VA: res.FaultVA, Num: uint64(res.Signal), Cycle: s.cpu.Cycles})
+	}
 	res.Cycles = s.cpu.Cycles
 	res.Instret = s.cpu.Instret
 	res.MemPeakKiB = p.peakPages * mem.PageSize / 1024

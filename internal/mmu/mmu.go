@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"roload/internal/mem"
+	"roload/internal/obs"
 )
 
 // PTE permission and status bits (Sv39 layout).
@@ -141,6 +142,13 @@ type MMU struct {
 	root  uint64 // physical address of the level-2 (top) page table
 	tlb   *TLB
 	stats Stats
+
+	// probe, when non-nil, observes TLB lookups, page-table walks and
+	// ROLoad key checks. side tags the events (I- or D-side); cycles,
+	// when non-nil, timestamps them with the owning core's counter.
+	probe  obs.Probe
+	side   obs.Side
+	cycles *uint64
 }
 
 // New constructs an MMU over the given physical memory.
@@ -176,18 +184,46 @@ func (m *MMU) ResetStats() { m.stats = Stats{} }
 // Enabled reports whether ROLoad checks are implemented by this MMU.
 func (m *MMU) Enabled() bool { return m.cfg.ROLoadEnabled }
 
+// SetProbe attaches (or with p == nil detaches) an event probe. side
+// tags emitted events; cycles, when non-nil, supplies the timestamp
+// counter (the owning CPU's cycle register).
+func (m *MMU) SetProbe(p obs.Probe, side obs.Side, cycles *uint64) {
+	m.probe = p
+	m.side = side
+	m.cycles = cycles
+}
+
+func (m *MMU) now() uint64 {
+	if m.cycles != nil {
+		return *m.cycles
+	}
+	return 0
+}
+
 // Translate resolves va for the given access. key is only meaningful
 // for ROLoadRead. It returns the physical address and whether the
 // translation missed the TLB (the CPU charges a walk penalty on a
 // miss).
 func (m *MMU) Translate(va uint64, at Access, key uint16) (pa uint64, tlbMiss bool, fault *Fault) {
 	e, hit := m.tlb.Lookup(va)
+	if m.probe != nil {
+		m.probe.Event(obs.Event{
+			Kind: obs.KindTLB, Side: m.side, Hit: hit, VA: va, Cycle: m.now(),
+		})
+	}
 	if hit {
 		m.stats.TLBHits++
 	} else {
 		m.stats.TLBMisses++
 		var f *Fault
+		memOps0 := m.stats.WalkMemOps
 		e, f = m.walk(va, at)
+		if m.probe != nil {
+			m.probe.Event(obs.Event{
+				Kind: obs.KindWalk, Side: m.side, Hit: f == nil, VA: va,
+				Num: m.stats.WalkMemOps - memOps0, Cycle: m.now(),
+			})
+		}
 		if f != nil {
 			m.stats.Faults++
 			return 0, true, f
@@ -225,6 +261,12 @@ func (m *MMU) check(e TLBEntry, va uint64, at Access, key uint16) *Fault {
 	if at == ROLoadRead && m.cfg.ROLoadEnabled {
 		readOnly := e.Perms&PTERead != 0 && e.Perms&PTEWrite == 0
 		roOK = readOnly && e.Key == key
+		if m.probe != nil {
+			m.probe.Event(obs.Event{
+				Kind: obs.KindROLoadCheck, Side: m.side, Hit: roOK, VA: va,
+				WantKey: key, GotKey: e.Key, Cycle: m.now(),
+			})
+		}
 	}
 
 	if convOK && roOK {

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// AuditRecord is the forensic record of one ROLoad key-check
+// violation, captured by the kernel's fault path (paper Section III-B:
+// the kernel distinguishes ROLoad faults from benign page faults).
+// It turns an attack's SIGSEGV into evidence: which instruction, which
+// address, which key it demanded and which key the page carried.
+type AuditRecord struct {
+	Cycle   uint64 `json:"cycle"`
+	Instret uint64 `json:"instret"`
+	PC      uint64 `json:"pc"`
+	Func    string `json:"func,omitempty"` // symbolized function at PC
+	VA      uint64 `json:"fault_va"`
+	WantKey uint16 `json:"want_key"`
+	GotKey  uint16 `json:"got_key"`
+	// NotReadOnly: the page failed the read-only half of the check
+	// (writable or unreadable); Unmapped: no valid leaf PTE at VA.
+	NotReadOnly bool   `json:"not_read_only"`
+	Unmapped    bool   `json:"unmapped"`
+	Signal      string `json:"signal,omitempty"` // delivered signal
+}
+
+// String renders one audit line.
+func (r AuditRecord) String() string {
+	where := fmt.Sprintf("pc=%#x", r.PC)
+	if r.Func != "" {
+		where = fmt.Sprintf("pc=%#x (%s)", r.PC, r.Func)
+	}
+	detail := fmt.Sprintf("want key=%d got key=%d", r.WantKey, r.GotKey)
+	switch {
+	case r.Unmapped:
+		detail += ", page unmapped"
+	case r.NotReadOnly:
+		detail += ", page not read-only"
+	}
+	sig := ""
+	if r.Signal != "" {
+		sig = " -> " + r.Signal
+	}
+	return fmt.Sprintf("ROLOAD-AUDIT %s fault va=%#x %s [cycle=%d instret=%d]%s",
+		where, r.VA, detail, r.Cycle, r.Instret, sig)
+}
+
+// Audit collects ROLoad violations. The kernel appends one record per
+// detected violation; tools dump the log when a process dies with
+// SIGSEGV so blocked attacks leave a machine-checkable trail rather
+// than a bare exit status.
+type Audit struct {
+	recs []AuditRecord
+}
+
+// Record appends one violation.
+func (a *Audit) Record(r AuditRecord) { a.recs = append(a.recs, r) }
+
+// Records returns the violations recorded so far.
+func (a *Audit) Records() []AuditRecord {
+	if a == nil {
+		return nil
+	}
+	return a.recs
+}
+
+// Len returns the number of recorded violations.
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.recs)
+}
+
+// WriteText dumps the log, one line per record.
+func (a *Audit) WriteText(w io.Writer) error {
+	for _, r := range a.Records() {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Profiler attributes cycles and retires to program counters and, via
+// call-stack reconstruction, to symbolized functions. It produces a
+// pprof-style flat/cumulative "top" report and folded-stack output
+// consumable by flamegraph tooling (e.g. inferno or flamegraph.pl).
+type Profiler struct {
+	syms *SymTable
+
+	pcCycles  map[uint64]uint64
+	pcRetires map[uint64]uint64
+
+	// folded maps "frame0;frame1;...;leaf" to the cycles spent with
+	// exactly that stack live.
+	folded map[string]uint64
+
+	stack       []string
+	stackKey    string
+	pendingCall bool
+
+	totalCycles  uint64
+	totalRetires uint64
+}
+
+// NewProfiler builds a profiler symbolizing against syms (which may be
+// nil; attribution then falls back to raw addresses).
+func NewProfiler(syms *SymTable) *Profiler {
+	return &Profiler{
+		syms:      syms,
+		pcCycles:  make(map[uint64]uint64),
+		pcRetires: make(map[uint64]uint64),
+		folded:    make(map[string]uint64),
+	}
+}
+
+// Event implements Probe. Only retire events matter; everything else
+// is ignored so a Profiler can share a Multi with other probes.
+func (p *Profiler) Event(e Event) {
+	if e.Kind != KindRetire {
+		return
+	}
+	p.pcCycles[e.PC] += e.Cost
+	p.pcRetires[e.PC]++
+	p.totalCycles += e.Cost
+	p.totalRetires++
+
+	fn := p.syms.Name(e.PC)
+	switch {
+	case len(p.stack) == 0 || p.pendingCall:
+		p.push(fn)
+	case p.stack[len(p.stack)-1] != fn:
+		// Tail call / fall-through: the leaf frame changed without a
+		// linking jump; swap it rather than growing the stack.
+		p.stack = p.stack[:len(p.stack)-1]
+		p.push(fn)
+	}
+	p.pendingCall = e.IsCall()
+	p.folded[p.stackKey] += e.Cost
+	if e.IsRet() && len(p.stack) > 1 {
+		p.stack = p.stack[:len(p.stack)-1]
+		p.rekey()
+	}
+}
+
+func (p *Profiler) push(fn string) {
+	p.stack = append(p.stack, fn)
+	p.rekey()
+}
+
+func (p *Profiler) rekey() {
+	p.stackKey = strings.Join(p.stack, ";")
+}
+
+// TotalCycles returns the cycles attributed so far.
+func (p *Profiler) TotalCycles() uint64 { return p.totalCycles }
+
+// FuncStat is one row of the top report.
+type FuncStat struct {
+	Name string
+	// Flat is the cycles spent with this function as the innermost
+	// frame; Cum additionally counts cycles of its callees.
+	Flat, Cum uint64
+	// Retires is the instruction count attributed to the function.
+	Retires uint64
+}
+
+// TopFuncs aggregates the profile by function, sorted by flat cycles
+// (descending), resolving cumulative cycles from the folded stacks.
+func (p *Profiler) TopFuncs() []FuncStat {
+	flat := make(map[string]uint64)
+	cum := make(map[string]uint64)
+	retires := make(map[string]uint64)
+	for pc, cyc := range p.pcCycles {
+		fn := p.syms.Name(pc)
+		flat[fn] += cyc
+		retires[fn] += p.pcRetires[pc]
+	}
+	for key, cyc := range p.folded {
+		seen := map[string]bool{} // count recursive frames once
+		for _, frame := range strings.Split(key, ";") {
+			if !seen[frame] {
+				seen[frame] = true
+				cum[frame] += cyc
+			}
+		}
+	}
+	out := make([]FuncStat, 0, len(flat))
+	for fn, f := range flat {
+		out = append(out, FuncStat{Name: fn, Flat: f, Cum: cum[fn], Retires: retires[fn]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteTop renders the flat/cumulative report, pprof top style. n
+// limits the row count (n <= 0 prints everything).
+func (p *Profiler) WriteTop(w io.Writer, n int) error {
+	rows := p.TopFuncs()
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	total := p.totalCycles
+	if total == 0 {
+		total = 1 // avoid 0/0 in an empty profile
+	}
+	if _, err := fmt.Fprintf(w, "cycles profile: %d cycles, %d retired instructions\n",
+		p.totalCycles, p.totalRetires); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s %7s %12s %7s  %-8s %s\n",
+		"flat", "flat%", "cum", "cum%", "retires", "function"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%12d %6.2f%% %12d %6.2f%%  %-8d %s\n",
+			r.Flat, 100*float64(r.Flat)/float64(total),
+			r.Cum, 100*float64(r.Cum)/float64(total),
+			r.Retires, r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFolded emits the folded-stack lines ("a;b;c 123"), the input
+// format of flamegraph generators. Lines are sorted for determinism.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	keys := make([]string, 0, len(p.folded))
+	for k := range p.folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, p.folded[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PCStat is one program counter's attribution, for instruction-level
+// drill-down.
+type PCStat struct {
+	PC      uint64
+	Cycles  uint64
+	Retires uint64
+	Func    string
+	Off     uint64
+}
+
+// HottestPCs returns up to n program counters by attributed cycles.
+func (p *Profiler) HottestPCs(n int) []PCStat {
+	out := make([]PCStat, 0, len(p.pcCycles))
+	for pc, cyc := range p.pcCycles {
+		st := PCStat{PC: pc, Cycles: cyc, Retires: p.pcRetires[pc]}
+		if name, off, ok := p.syms.Locate(pc); ok {
+			st.Func, st.Off = name, off
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

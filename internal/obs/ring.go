@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Ring is a bounded trace recorder: a circular buffer of the most
+// recent events. Recording is allocation-free after construction, so
+// the ring can stay attached for whole benchmark runs and still hold
+// the window leading up to a fault — the forensic use case of the
+// ROLoad audit.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// DefaultRingSize holds roughly the last 64k events (~a few hundred
+// thousand simulated cycles), enough for a Perfetto-loadable window
+// around any point of interest.
+const DefaultRingSize = 1 << 16
+
+// NewRing builds a recorder holding the last n events (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Event implements Probe.
+func (r *Ring) Event(e Event) {
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Ring) Reset() {
+	r.next = 0
+	r.wrapped = false
+	r.dropped = 0
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Array Format" with the traceEvents envelope), loadable by Perfetto
+// and chrome://tracing. Timestamps are microseconds by convention; we
+// map one simulated cycle to one microsecond, so the UI's time axis
+// reads directly in cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// Trace-event thread ids: functions (call-stack spans), instructions,
+// and machine events each get their own track.
+const (
+	tidFunctions    = 0
+	tidInstructions = 1
+	tidMachine      = 2
+)
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event
+// JSON. Retired instructions become complete ("X") slices whose
+// duration is the cycle cost; call/return transitions in the retire
+// stream are reconstructed into function begin/end ("B"/"E") spans,
+// symbolized against syms; traps, faults, ROLoad checks and syscalls
+// become instant ("i") events. syms may be nil (raw addresses).
+func (r *Ring) WriteChromeTrace(w io.Writer, syms *SymTable) error {
+	events := r.Events()
+	trace := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+64),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"tool":      "roload-run",
+			"time_unit": "1 ts = 1 simulated cycle",
+		},
+	}
+	var stack []string // open function spans, for B/E balance
+	push := func(name string, ts uint64) {
+		stack = append(stack, name)
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: name, Cat: "function", Phase: "B", TS: ts,
+			PID: 0, TID: tidFunctions,
+		})
+	}
+	pop := func(ts uint64) {
+		if len(stack) == 0 {
+			return
+		}
+		name := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: name, Cat: "function", Phase: "E", TS: ts,
+			PID: 0, TID: tidFunctions,
+		})
+	}
+	instant := func(name, cat string, ts uint64, args map[string]any) {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: name, Cat: cat, Phase: "i", TS: ts,
+			PID: 0, TID: tidMachine, Scope: "t", Args: args,
+		})
+	}
+
+	var pendingCall bool
+	for _, e := range events {
+		switch e.Kind {
+		case KindRetire:
+			ts := e.Cycle - e.Cost // slice starts when issue began
+			fn := syms.Name(e.PC)
+			if len(stack) == 0 {
+				push(fn, ts)
+			} else if pendingCall {
+				push(fn, ts)
+			} else if stack[len(stack)-1] != fn {
+				// Tail call or fall-through into another function:
+				// replace the leaf span.
+				pop(ts)
+				push(fn, ts)
+			}
+			pendingCall = e.IsCall()
+			if e.IsRet() {
+				pop(e.Cycle)
+			}
+			dur := e.Cost
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: e.Op.String(), Cat: "retire", Phase: "X",
+				TS: ts, Dur: &dur, PID: 0, TID: tidInstructions,
+				Args: map[string]any{"pc": hex64(e.PC)},
+			})
+		case KindTrap:
+			instant("trap", "trap", e.Cycle, map[string]any{
+				"pc": hex64(e.PC), "kind": e.Num,
+			})
+		case KindROLoadCheck:
+			name := "roload-check-pass"
+			if !e.Hit {
+				name = "roload-check-fail"
+			}
+			instant(name, "roload", e.Cycle, map[string]any{
+				"va": hex64(e.VA), "want_key": e.WantKey, "got_key": e.GotKey,
+			})
+		case KindSyscall:
+			instant(fmt.Sprintf("syscall(%d)", e.Num), "kernel", e.Cycle,
+				map[string]any{"pc": hex64(e.PC)})
+		case KindPageFault:
+			instant("page-fault", "kernel", e.Cycle, map[string]any{
+				"pc": hex64(e.PC), "va": hex64(e.VA),
+			})
+		case KindSignal:
+			instant(fmt.Sprintf("signal(%d)", e.Num), "kernel", e.Cycle, nil)
+		case KindTLB, KindCache:
+			// Hit/miss events are summarized by the metrics snapshot;
+			// exporting each one would dwarf the interesting tracks.
+			if !e.Hit {
+				cat := "tlb-miss"
+				if e.Kind == KindCache {
+					cat = "cache-miss"
+				}
+				instant(e.Side.String()+"-"+cat, "mem", e.Cycle, nil)
+			}
+		case KindWalk:
+			instant("page-walk", "mem", e.Cycle,
+				map[string]any{"va": hex64(e.VA), "mem_ops": e.Num})
+		}
+	}
+	// Close any still-open function spans at the last timestamp so the
+	// JSON is well-formed for strict importers.
+	var lastTS uint64
+	if n := len(events); n > 0 {
+		lastTS = events[n-1].Cycle
+	}
+	for len(stack) > 0 {
+		pop(lastTS)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&trace)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "sort"
+
+// SymTable maps program counters back to the symbols of a loaded
+// image. It answers "which function contains this PC" by
+// nearest-preceding-symbol lookup, the same convention binutils'
+// addr2line uses for stripped-down symbol tables.
+type SymTable struct {
+	addrs []uint64
+	names []string
+}
+
+// NewSymTable builds a table from a symbol map (asm.Image.Symbols has
+// this shape). Only symbols inside [lo, hi) are kept, which lets the
+// caller restrict attribution to executable sections so data labels
+// never shadow function names; pass lo=0, hi=^uint64(0) to keep all.
+func NewSymTable(syms map[string]uint64, lo, hi uint64) *SymTable {
+	type entry struct {
+		addr uint64
+		name string
+	}
+	entries := make([]entry, 0, len(syms))
+	for name, addr := range syms {
+		if addr < lo || addr >= hi {
+			continue
+		}
+		entries = append(entries, entry{addr, name})
+	}
+	// Sort by address; break ties by name so lookups are deterministic.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].addr != entries[j].addr {
+			return entries[i].addr < entries[j].addr
+		}
+		return entries[i].name < entries[j].name
+	})
+	t := &SymTable{
+		addrs: make([]uint64, len(entries)),
+		names: make([]string, len(entries)),
+	}
+	for i, e := range entries {
+		t.addrs[i] = e.addr
+		t.names[i] = e.name
+	}
+	return t
+}
+
+// Len returns the number of symbols in the table.
+func (t *SymTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.addrs)
+}
+
+// Locate returns the name of the nearest symbol at or before pc and
+// the offset of pc from it. ok is false when no symbol precedes pc
+// (or the table is nil/empty).
+func (t *SymTable) Locate(pc uint64) (name string, off uint64, ok bool) {
+	if t == nil || len(t.addrs) == 0 {
+		return "", 0, false
+	}
+	// First index with addr > pc; the symbol before it contains pc.
+	i := sort.Search(len(t.addrs), func(i int) bool { return t.addrs[i] > pc })
+	if i == 0 {
+		return "", 0, false
+	}
+	return t.names[i-1], pc - t.addrs[i-1], true
+}
+
+// Name returns Locate's symbol name, or a hex rendering of pc when
+// symbolization fails — always usable as a display label.
+func (t *SymTable) Name(pc uint64) string {
+	if name, _, ok := t.Locate(pc); ok {
+		return name
+	}
+	return hex64(pc)
+}
+
+func hex64(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := [18]byte{'0', 'x'}
+	n := 2
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := v >> uint(shift) & 0xf
+		if d != 0 || started || shift == 0 {
+			buf[n] = digits[d]
+			n++
+			started = true
+		}
+	}
+	return string(buf[:n])
+}

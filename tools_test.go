@@ -2,6 +2,7 @@ package roload_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -92,7 +93,8 @@ func TestCLISmoke(t *testing.T) {
 		}
 	}
 
-	// roload-attack runs one scenario and exits cleanly.
+	// roload-attack runs one scenario and exits cleanly, printing the
+	// ROLoad fault audit record for each blocked run.
 	out, err = exec.Command(filepath.Join(bin, "roload-attack"), "-scenario", "vtable-hijack").Output()
 	if err != nil {
 		t.Fatalf("roload-attack: %v", err)
@@ -100,5 +102,147 @@ func TestCLISmoke(t *testing.T) {
 	if !strings.Contains(string(out), "HIJACKED") ||
 		!strings.Contains(string(out), "blocked by ROLoad check") {
 		t.Errorf("roload-attack output:\n%s", out)
+	}
+	for _, frag := range []string{"ROLOAD-AUDIT", "pc=0x", "fault va=0x", "want key=", "got key="} {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("roload-attack audit output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestCLIObservability drives the roload-run observability flags
+// end-to-end: the trace must be loadable Chrome trace-event JSON with
+// MiniC function names, the profile must attribute cycles to those
+// functions, and the metrics snapshot must parse against its schema.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cmd := exec.Command(filepath.Join(bin, "roload-run"),
+		"-harden", "icall",
+		"-trace", tracePath,
+		"-profile", "-",
+		"-metrics", metricsPath,
+		src)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("roload-run with observability flags: %v", err)
+	}
+
+	// Profile on stdout names the program's MiniC functions.
+	profile := stdout.String()
+	for _, fn := range []string{"cycles profile:", "main", "compute", "twice"} {
+		if !strings.Contains(profile, fn) {
+			t.Errorf("profile missing %q:\n%s", fn, profile)
+		}
+	}
+
+	// Trace: valid Chrome trace-event JSON (traceEvents array, every
+	// entry with name/ph/ts/pid/tid) naming the functions.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for i, ev := range trace.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("trace event %d missing %q: %v", i, key, ev)
+			}
+		}
+	}
+	if !strings.Contains(string(raw), `"main"`) || !strings.Contains(string(raw), `"twice"`) {
+		t.Error("trace missing symbolized function spans")
+	}
+
+	// Metrics: schema-tagged JSON with the unified counters.
+	raw, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v", err)
+	}
+	if metrics["schema"] != "roload-metrics/v1" {
+		t.Errorf("metrics schema = %v", metrics["schema"])
+	}
+	for _, key := range []string{"cycles", "instret", "cpu", "itlb", "dtlb", "icache", "dcache", "exited"} {
+		if _, ok := metrics[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if metrics["exited"] != true {
+		t.Error("metrics report non-exit for a clean run")
+	}
+}
+
+// TestCLIBenchJSON runs the full benchmark harness at test scale via
+// -json and checks the emitted document covers every experiment id.
+func TestCLIBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "roload-bench")
+	if msg, err := exec.Command("go", "build", "-o", bench, "./cmd/roload-bench").CombinedOutput(); err != nil {
+		t.Fatalf("building roload-bench: %v\n%s", err, msg)
+	}
+	outPath := filepath.Join(dir, "bench.json")
+	if msg, err := exec.Command(bench, "-json", outPath, "-scale", "test").CombinedOutput(); err != nil {
+		t.Fatalf("roload-bench -json: %v\n%s", err, msg)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if string(doc["schema"]) != `"roload-bench/v1"` {
+		t.Errorf("schema = %s", doc["schema"])
+	}
+	for _, id := range []string{"table1", "table2", "table3", "sysoverhead",
+		"fig3", "fig4", "fig5", "retguard", "security"} {
+		v, ok := doc[id]
+		if !ok || string(v) == "null" || string(v) == "[]" {
+			t.Errorf("bench report missing experiment %q", id)
+		}
+	}
+}
+
+// TestGofmtAndVet keeps the tree formatted and vet-clean: gofmt -l
+// must print nothing and go vet must pass across every package.
+func TestGofmtAndVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	out, err := exec.Command("gofmt", "-l", ".").Output()
+	if err != nil {
+		t.Fatalf("gofmt -l: %v", err)
+	}
+	if files := strings.TrimSpace(string(out)); files != "" {
+		t.Errorf("files need gofmt:\n%s", files)
+	}
+	if msg, err := exec.Command("go", "vet", "./...").CombinedOutput(); err != nil {
+		t.Errorf("go vet: %v\n%s", err, msg)
 	}
 }
