@@ -3,18 +3,30 @@
 //
 // Usage:
 //
-//	roload-bench [-scale ref|test] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|security]
-//	roload-bench -json bench.json [-scale ref|test]
+//	roload-bench [-scale ref|test] [-parallel N] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|retguard|security]
+//	roload-bench -json bench.json [-scale ref|test] [-parallel N]
+//	roload-bench -hostbench BENCH_host.json [-scale ref|test]
 //
-// With no -only flag every experiment runs in paper order. With -json
-// the harness instead emits one machine-readable document (schema
-// roload-bench/v1) covering every experiment; - writes to stdout.
+// With no -only flag every experiment runs in paper order; an unknown
+// -only value is an error (exit 2). With -json the harness instead
+// emits one machine-readable document (schema roload-bench/v1)
+// covering every experiment — since the document always carries every
+// experiment, combining -json with -only is rejected. With -hostbench
+// the harness measures host-side simulation throughput (interpreter vs
+// fast-path engine, in simulated MIPS) and writes that document
+// instead.
+//
+// Experiment cells run on a worker pool (-parallel, default
+// GOMAXPROCS) over memoized, compile-once measurements; output is
+// byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"roload/internal/attack"
 	"roload/internal/core"
@@ -24,9 +36,12 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "ref", "workload scale: ref or test")
-	only := flag.String("only", "", "run a single experiment (table1, table2, table3, sysoverhead, fig3, fig4, fig5, retguard, security)")
+	only := flag.String("only", "", "run a single experiment ("+strings.Join(eval.ExperimentIDs, ", ")+")")
 	root := flag.String("root", ".", "repository root (for Table I line counting)")
 	jsonPath := flag.String("json", "", "write all experiments as one JSON report to this path (- for stdout)")
+	hostBench := flag.String("hostbench", "", "measure host simulation throughput and write a roload-hostbench/v1 document to this path (- for stdout)")
+	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = GOMAXPROCS)")
+	noFast := flag.Bool("nofastpath", false, "disable the simulator's host-side fast paths (bit-identical results, slower; for A/B debugging)")
 	flag.Parse()
 
 	scale := eval.ScaleRef
@@ -37,8 +52,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *only != "" {
+		known := false
+		for _, id := range eval.ExperimentIDs {
+			if id == *only {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "roload-bench: unknown experiment %q (known: %s)\n",
+				*only, strings.Join(eval.ExperimentIDs, ", "))
+			os.Exit(2)
+		}
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "roload-bench: -json always emits every experiment; it cannot be combined with -only")
+			os.Exit(2)
+		}
+	}
+
+	runner := eval.NewRunner(*parallel)
+	runner.NoFastPath = *noFast
+
+	if *hostBench != "" {
+		doc, err := eval.MeasureHostBench(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+			os.Exit(1)
+		}
+		writeTo(*hostBench, doc.WriteJSON)
+		return
+	}
+
 	if *jsonPath != "" {
-		report, err := eval.BuildReport(scale, *root)
+		report, err := runner.BuildReport(scale, *root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
 			os.Exit(1)
@@ -47,20 +94,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
 			os.Exit(1)
 		}
-		out := os.Stdout
-		if *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := report.WriteJSON(out); err != nil {
-			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeTo(*jsonPath, report.WriteJSON)
 		return
 	}
 
@@ -118,7 +152,7 @@ func main() {
 	})
 
 	run("sysoverhead", func() error {
-		rows, err := eval.SystemOverhead(scale)
+		rows, err := runner.SystemOverhead(scale)
 		if err != nil {
 			return err
 		}
@@ -133,7 +167,7 @@ func main() {
 	})
 
 	run("fig3", func() error {
-		points, err := eval.Fig3(scale)
+		points, err := runner.Fig3(scale)
 		if err != nil {
 			return err
 		}
@@ -147,7 +181,7 @@ func main() {
 	var fig45 []eval.OverheadPoint
 	run("fig4", func() error {
 		var err error
-		fig45, err = eval.Fig4And5(scale)
+		fig45, err = runner.Fig4And5(scale)
 		if err != nil {
 			return err
 		}
@@ -159,7 +193,7 @@ func main() {
 	run("fig5", func() error {
 		if fig45 == nil {
 			var err error
-			fig45, err = eval.Fig4And5(scale)
+			fig45, err = runner.Fig4And5(scale)
 			if err != nil {
 				return err
 			}
@@ -170,7 +204,7 @@ func main() {
 	})
 
 	run("retguard", func() error {
-		points, err := eval.ExtensionRetGuard(scale)
+		points, err := runner.ExtensionRetGuard(scale)
 		if err != nil {
 			return err
 		}
@@ -206,4 +240,23 @@ func hname(h core.Hardening) string {
 		return "none"
 	}
 	return h.String()
+}
+
+// writeTo streams one document to path ("-" for stdout), exiting on
+// failure.
+func writeTo(path string, write func(io.Writer) error) {
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := write(out); err != nil {
+		fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+		os.Exit(1)
+	}
 }

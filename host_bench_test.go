@@ -1,0 +1,52 @@
+// Host-side throughput benchmarks: how many simulated instructions per
+// host second each execution engine sustains. These measure the
+// machine running the tests, not the simulated prototype — simulated
+// results are bit-identical across engines (see
+// eval.TestFastPathEquivalence) — so the MIPS metric tracks the
+// harness's own performance trajectory. `roload-bench -hostbench`
+// emits the same comparison as a BENCH_host.json document.
+package roload_test
+
+import (
+	"testing"
+
+	"roload/internal/core"
+	"roload/internal/spec"
+)
+
+func benchmarkHostMIPS(b *testing.B, noFast bool) {
+	w, ok := spec.ByName("403.gcc")
+	if !ok {
+		b.Fatal("workload 403.gcc missing")
+	}
+	img, _, err := core.Build(w.TestSource(), core.HardenNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+			core.RunOptions{NoFastPath: noFast})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Result.Exited {
+			b.Fatalf("killed by %v", m.Result.Signal)
+		}
+		insts = m.Result.Instret
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(insts)*float64(b.N)/1e6/sec, "MIPS")
+	}
+	b.ReportMetric(float64(insts), "sim_instructions")
+}
+
+// BenchmarkHostMIPSInterpreter times the plain interpreter (fast paths
+// disabled).
+func BenchmarkHostMIPSInterpreter(b *testing.B) { benchmarkHostMIPS(b, true) }
+
+// BenchmarkHostMIPSFastPath times the fast-path engine (predecode +
+// inline translation + direct physical access).
+func BenchmarkHostMIPSFastPath(b *testing.B) { benchmarkHostMIPS(b, false) }

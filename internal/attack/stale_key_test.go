@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"testing"
+
+	"roload/internal/asm"
+	"roload/internal/kernel"
+)
+
+// staleKeyProg mmaps a page, seals it read-only under key 111, warms
+// every level of the simulator (TLB, the host-side inline translation
+// cache, the predecode cache) with successful ld.ro accesses, then
+// rekeys the page to 222 via mprotect. A subsequent ld.ro with the
+// correct new key must succeed, and one with the revoked key 111 must
+// fault — if a stale cached translation ever let it through, the
+// process would reach the exit-66 epilogue (the harness's "attacker
+// payload executed" convention).
+const staleKeyProg = `
+_start:
+	# mmap(len=4096, prot=RW)
+	li a0, 0
+	li a1, 4096
+	li a2, 3
+	li a7, 222
+	ecall
+	li a1, -1
+	beq a0, a1, bad
+	mv s0, a0
+	# plant a recognizable pointee
+	li t0, 4242
+	sd t0, 0(s0)
+	# mprotect(page, 4096, ProtRead | 111<<16): seal under key 111
+	mv a0, s0
+	li a1, 4096
+	li a2, 0x6F0001
+	li a7, 226
+	ecall
+	bnez a0, bad
+	# warm the TLB and every host-side cache with the valid key
+	li t1, 64
+warm:
+	mv a1, s0
+	ld.ro a0, (a1), 111
+	addi t1, t1, -1
+	bnez t1, warm
+	li t2, 4242
+	bne a0, t2, bad
+	# rekey to 222: the old key is revoked from this page
+	mv a0, s0
+	li a1, 4096
+	li a2, 0xDE0001
+	li a7, 226
+	ecall
+	bnez a0, bad
+	# the new key works (and re-warms the caches with the new entry)
+	mv a1, s0
+	ld.ro a0, (a1), 222
+	bne a0, t2, bad
+	# the revoked key must fault here, killing the process
+	mv a1, s0
+	ld.ro a0, (a1), 111
+	# reaching this exit means a stale translation bypassed the check
+	li a0, 66
+	li a7, 93
+	ecall
+bad:
+	li a0, 1
+	li a7, 93
+	ecall
+`
+
+func runStaleKey(t *testing.T, noFastPath bool) kernel.RunResult {
+	t.Helper()
+	img, err := asm.Assemble(staleKeyProg, asm.DefaultOptions())
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cfg := kernel.FullSystem()
+	cfg.MaxSteps = 1_000_000
+	cfg.CPU.NoFastPath = noFastPath
+	sys := kernel.NewSystem(cfg)
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStaleTranslationCannotBypassRekey is the cache-invalidation
+// security guard: after mprotect changes a page's key, an ld.ro with
+// the revoked key must die with a ROLoad violation even though the
+// page's old translation was hot in the TLB, the inline translation
+// cache and the predecode cache — and the outcome (and cycle count)
+// must be identical with the fast paths disabled.
+func TestStaleTranslationCannotBypassRekey(t *testing.T) {
+	fast := runStaleKey(t, false)
+	if fast.Exited {
+		if fast.Code == 66 {
+			t.Fatal("stale cached translation let a revoked-key ld.ro succeed")
+		}
+		t.Fatalf("victim exited with %d before mounting the stale access", fast.Code)
+	}
+	if fast.Signal != kernel.SIGSEGV || !fast.ROLoadViolation {
+		t.Fatalf("revoked-key ld.ro died with %v (roload=%v), want SIGSEGV ROLoad violation",
+			fast.Signal, fast.ROLoadViolation)
+	}
+	if fast.FaultWantKey != 111 || fast.FaultGotKey != 222 {
+		t.Errorf("fault keys want=%d got=%d, expected want=111 got=222",
+			fast.FaultWantKey, fast.FaultGotKey)
+	}
+
+	interp := runStaleKey(t, true)
+	if interp.Signal != fast.Signal || interp.ROLoadViolation != fast.ROLoadViolation ||
+		interp.Cycles != fast.Cycles || interp.Instret != fast.Instret {
+		t.Errorf("fast/interp diverge: fast={sig:%v ro:%v cyc:%d inst:%d} interp={sig:%v ro:%v cyc:%d inst:%d}",
+			fast.Signal, fast.ROLoadViolation, fast.Cycles, fast.Instret,
+			interp.Signal, interp.ROLoadViolation, interp.Cycles, interp.Instret)
+	}
+}

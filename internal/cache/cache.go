@@ -46,9 +46,18 @@ type Cache struct {
 	cfg      Config
 	sets     [][]line
 	setMask  uint64
+	setBits  uint
 	lineBits uint
 	tick     uint64
 	stats    Stats
+
+	// lastAddr/lastLine short-circuit the way scan for the common case
+	// of consecutive accesses to one line. The pointed-to slot may be
+	// reallocated by an intervening miss, so the fast path re-verifies
+	// validity and tag before trusting it; the accounting it performs
+	// (tick, LRU stamp, hit count, probe event) is exactly the scan's.
+	lastAddr uint64 // line address, valid only when lastLine != nil
+	lastLine *line
 
 	// probe, when non-nil, observes every access. side tags the events
 	// (I- or D-cache); cycles supplies the timestamp counter.
@@ -78,10 +87,15 @@ func New(cfg Config) *Cache {
 	for 1<<lineBits < cfg.LineBytes {
 		lineBits++
 	}
+	setBits := uint(0)
+	for 1<<setBits < numSets {
+		setBits++
+	}
 	return &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		setMask:  uint64(numSets - 1),
+		setBits:  setBits,
 		lineBits: lineBits,
 	}
 }
@@ -109,12 +123,22 @@ func (c *Cache) SetProbe(p obs.Probe, side obs.Side, cycles *uint64) {
 func (c *Cache) Access(pa uint64) bool {
 	c.tick++
 	lineAddr := pa >> c.lineBits
+	tag := lineAddr >> c.setBits
+	// Fast path: repeat access to the last-touched line.
+	if ll := c.lastLine; ll != nil && c.lastAddr == lineAddr && ll.valid && ll.tag == tag {
+		ll.lru = c.tick
+		c.stats.Hits++
+		if c.probe != nil {
+			c.emit(pa, true)
+		}
+		return true
+	}
 	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> uint(popcount(c.setMask))
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.tick
 			c.stats.Hits++
+			c.lastAddr, c.lastLine = lineAddr, &set[i]
 			if c.probe != nil {
 				c.emit(pa, true)
 			}
@@ -136,6 +160,7 @@ func (c *Cache) Access(pa uint64) bool {
 		}
 	}
 	set[victim] = line{tag: tag, valid: true, lru: c.tick}
+	c.lastAddr, c.lastLine = lineAddr, &set[victim]
 	return false
 }
 
@@ -146,6 +171,7 @@ func (c *Cache) Flush() {
 			set[i].valid = false
 		}
 	}
+	c.lastLine = nil
 }
 
 // emit is the cold half of the probe path, kept out of Access so the

@@ -152,6 +152,10 @@ type RunOptions struct {
 	// syscalls, page faults and signal deliveries. A nil probe costs
 	// nothing on the hot path.
 	Probe obs.Probe
+	// NoFastPath disables the simulator's host-side fast paths
+	// (predecode and inline translation caches). Simulated results are
+	// bit-identical either way; see cpu.Config.NoFastPath.
+	NoFastPath bool
 }
 
 // RunWith executes an image on the selected system with observability
@@ -159,6 +163,7 @@ type RunOptions struct {
 func RunWith(img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
 	cfg := sys.Config()
 	cfg.MaxSteps = opts.MaxSteps
+	cfg.CPU.NoFastPath = opts.NoFastPath
 	machine := kernel.NewSystem(cfg)
 	if opts.Probe != nil {
 		machine.SetProbe(opts.Probe)
@@ -210,7 +215,16 @@ func Measure(src string, h Hardening, sys SystemKind, maxSteps uint64) (Measurem
 	if err != nil {
 		return Measurement{}, err
 	}
-	res, _, err := Run(img, sys, maxSteps)
+	return MeasureImage(img, h, sys, RunOptions{MaxSteps: maxSteps})
+}
+
+// MeasureImage runs a prebuilt image on sys and packages the
+// measurement. Images are immutable after assembly, so one image may
+// back concurrent MeasureImage calls (each run builds its own
+// machine); this is what the eval runner's compile-once cache relies
+// on.
+func MeasureImage(img *asm.Image, h Hardening, sys SystemKind, opts RunOptions) (Measurement, error) {
+	res, _, err := RunWith(img, sys, opts)
 	if err != nil {
 		return Measurement{}, err
 	}

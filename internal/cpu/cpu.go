@@ -107,11 +107,19 @@ func DefaultCostModel() CostModel {
 // as they would on unmodified hardware.
 type Config struct {
 	ROLoadEnabled bool
-	ITLBEntries   int
-	DTLBEntries   int
-	ICache        cache.Config
-	DCache        cache.Config
-	Cost          CostModel
+
+	// NoFastPath disables the host-side fast paths (the predecode
+	// cache here and the MMUs' inline translation caches). Simulated
+	// behaviour — cycles, stats, traps, memory contents — is
+	// bit-identical either way; the flag exists so tests can prove
+	// that and so anomalies can be bisected to a fast path.
+	NoFastPath bool
+
+	ITLBEntries int
+	DTLBEntries int
+	ICache      cache.Config
+	DCache      cache.Config
+	Cost        CostModel
 }
 
 // DefaultConfig mirrors Table II of the paper.
@@ -155,6 +163,22 @@ type CPU struct {
 	dcache *cache.Cache
 	stats  Stats
 
+	// Predecode cache: per-physical-page arrays of decoded
+	// instructions, so the hot fetch path skips the physical reads and
+	// isa.Decode once a parcel has been seen. Keyed by physical page
+	// number (decode is VA-independent) and revalidated against the
+	// page's write generation via mem.PageRef, which covers stores,
+	// loader writes and ZeroPage without a notification protocol.
+	// Cleared on SetPageTableRoot as a belt-and-braces measure.
+	// Straddling parcels (4-byte instruction beginning at the last
+	// halfword of a page) stay on the slow path forever: their refetch
+	// performs a second I-side Translate whose TLB accounting must be
+	// replayed each time.
+	useFast    bool
+	predecode  map[uint64]*pageCode
+	lastCodePN uint64
+	lastCode   *pageCode
+
 	// Tracer, when non-nil, observes every fetched-and-decoded
 	// instruction before it executes (so instructions that subsequently
 	// trap are still seen, exactly once). Used by tests and the attack
@@ -187,14 +211,19 @@ func New(phys *mem.Physical, cfg Config) *CPU {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
-	return &CPU{
-		cfg:    cfg,
-		phys:   phys,
-		imem:   mmu.New(phys, mmu.Config{TLBEntries: cfg.ITLBEntries, ROLoadEnabled: cfg.ROLoadEnabled}),
-		dmem:   mmu.New(phys, mmu.Config{TLBEntries: cfg.DTLBEntries, ROLoadEnabled: cfg.ROLoadEnabled}),
-		icache: cache.New(cfg.ICache),
-		dcache: cache.New(cfg.DCache),
+	c := &CPU{
+		cfg:     cfg,
+		phys:    phys,
+		imem:    mmu.New(phys, mmu.Config{TLBEntries: cfg.ITLBEntries, ROLoadEnabled: cfg.ROLoadEnabled, NoFastPath: cfg.NoFastPath}),
+		dmem:    mmu.New(phys, mmu.Config{TLBEntries: cfg.DTLBEntries, ROLoadEnabled: cfg.ROLoadEnabled, NoFastPath: cfg.NoFastPath}),
+		icache:  cache.New(cfg.ICache),
+		dcache:  cache.New(cfg.DCache),
+		useFast: !cfg.NoFastPath,
 	}
+	if c.useFast {
+		c.predecode = make(map[uint64]*pageCode)
+	}
+	return c
 }
 
 // Config returns the core configuration.
@@ -207,6 +236,13 @@ func (c *CPU) SetPageTableRoot(root uint64) {
 	c.dmem.SetRoot(root)
 	c.icache.Flush()
 	c.dcache.Flush()
+	// The predecode cache is keyed by physical page, so it would stay
+	// correct across an address-space switch; drop it anyway so a new
+	// image never sees stale host state.
+	if c.useFast {
+		c.predecode = make(map[uint64]*pageCode)
+		c.lastCode = nil
+	}
 }
 
 // FlushTLBPage invalidates both TLBs' entries for va (sfence.vma addr).
@@ -291,14 +327,65 @@ func (c *CPU) setReg(r isa.Reg, v uint64) {
 	}
 }
 
-// fetch translates and reads one instruction parcel at pc.
-func (c *CPU) fetch(pc uint64) (uint32, *Trap) {
+// Predecode slot states. Each slot covers one halfword of a physical
+// page (the minimum parcel size).
+const (
+	slotUnknown uint8 = iota // never decoded through this slot
+	slotDecoded              // insts[slot] holds the decoded parcel
+	slotSlow                 // parcel straddles the page; never cache
+)
+
+const pageSlots = mem.PageSize / 2
+
+// pageCode is the predecoded view of one physical page. ref pins the
+// page's write generation: once the page is written (or zeroed) the
+// whole view is discarded and rebuilt lazily.
+type pageCode struct {
+	ref   mem.PageRef
+	class [pageSlots]uint8
+	insts [pageSlots]isa.Inst
+}
+
+// codePage returns the (possibly fresh) predecode view of the page
+// containing physical address pa, or nil if the address is outside
+// installed memory.
+func (c *CPU) codePage(pa uint64) *pageCode {
+	pn := pa >> mem.PageShift
+	if pg := c.lastCode; pg != nil && c.lastCodePN == pn {
+		if pg.ref.Valid() {
+			return pg
+		}
+		c.lastCode = nil
+	}
+	pg, ok := c.predecode[pn]
+	if ok && !pg.ref.Valid() {
+		ok = false
+	}
+	if !ok {
+		ref, err := c.phys.Ref(pa)
+		if err != nil {
+			return nil
+		}
+		pg = &pageCode{ref: ref}
+		c.predecode[pn] = pg
+	}
+	c.lastCodePN, c.lastCode = pn, pg
+	return pg
+}
+
+// fetchInst translates pc, charges the I-side TLB and cache costs, and
+// returns the decoded instruction at pc. With fast paths enabled the
+// decode is served from the predecode cache when possible; the
+// translation, TLB/cache statistics and cycle charges are identical on
+// both paths (physical instruction reads carry no stats, so skipping
+// them is unobservable in simulated state).
+func (c *CPU) fetchInst(pc uint64) (isa.Inst, *Trap) {
 	if pc&1 != 0 {
-		return 0, &Trap{Kind: TrapMisaligned, PC: pc}
+		return isa.Inst{}, &Trap{Kind: TrapMisaligned, PC: pc}
 	}
 	pa, tlbMiss, fault := c.imem.Translate(pc, mmu.Exec, 0)
 	if fault != nil {
-		return 0, &Trap{Kind: TrapPageFault, PC: pc, Fault: fault}
+		return isa.Inst{}, &Trap{Kind: TrapPageFault, PC: pc, Fault: fault}
 	}
 	if tlbMiss {
 		c.Cycles += c.cfg.Cost.TLBWalkPerMem * 3
@@ -306,28 +393,65 @@ func (c *CPU) fetch(pc uint64) (uint32, *Trap) {
 	if !c.icache.Access(pa) {
 		c.Cycles += c.cfg.Cost.CacheMiss
 	}
-	// A 4-byte parcel may straddle a page; fetch low half first.
+	if c.useFast {
+		if pg := c.codePage(pa); pg != nil {
+			slot := (pa & (mem.PageSize - 1)) >> 1
+			switch pg.class[slot] {
+			case slotDecoded:
+				return pg.insts[slot], nil
+			case slotUnknown:
+				in, straddles, trap := c.fetchDecodeSlow(pc, pa)
+				if trap != nil {
+					return isa.Inst{}, trap
+				}
+				if straddles {
+					// The refetch's second Translate must replay its
+					// TLB accounting every time; keep it slow.
+					pg.class[slot] = slotSlow
+				} else if pg.ref.Valid() {
+					pg.insts[slot] = in
+					pg.class[slot] = slotDecoded
+				}
+				return in, nil
+			default: // slotSlow
+				in, _, trap := c.fetchDecodeSlow(pc, pa)
+				return in, trap
+			}
+		}
+	}
+	in, _, trap := c.fetchDecodeSlow(pc, pa)
+	return in, trap
+}
+
+// fetchDecodeSlow reads and decodes the parcel at pc/pa the
+// interpreter's way: low halfword first, then — only for a 4-byte
+// encoding whose second halfword crosses the page — a second I-side
+// translation for the high halfword. The bool result reports that
+// page-straddling case.
+func (c *CPU) fetchDecodeSlow(pc, pa uint64) (isa.Inst, bool, *Trap) {
 	low, err := c.phys.ReadUint(pa, 2)
 	if err != nil {
-		return 0, &Trap{Kind: TrapPageFault, PC: pc, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: pc}}
+		return isa.Inst{}, false, &Trap{Kind: TrapPageFault, PC: pc, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: pc}}
 	}
 	if low&3 != 3 {
-		return uint32(low), nil
+		return isa.Decode(uint32(low)), false, nil
 	}
 	hiPC := pc + 2
 	hiPA := pa + 2
+	straddles := false
 	if hiPC&(mem.PageSize-1) == 0 {
+		straddles = true
 		var fault *mmu.Fault
 		hiPA, _, fault = c.imem.Translate(hiPC, mmu.Exec, 0)
 		if fault != nil {
-			return 0, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: fault}
+			return isa.Inst{}, true, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: fault}
 		}
 	}
 	high, err := c.phys.ReadUint(hiPA, 2)
 	if err != nil {
-		return 0, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: hiPC}}
+		return isa.Inst{}, straddles, &Trap{Kind: TrapPageFault, PC: hiPC, Fault: &mmu.Fault{Cause: mmu.FaultInstPage, VA: hiPC}}
 	}
-	return uint32(high)<<16 | uint32(low), nil
+	return isa.Decode(uint32(high)<<16 | uint32(low)), straddles, nil
 }
 
 // dataAccess translates va for a load/store of n bytes and charges the
@@ -416,7 +540,7 @@ func (c *CPU) Step() *Trap {
 		cyc0 = c.Cycles
 	}
 	pc := c.PC
-	raw, trap := c.fetch(pc)
+	in, trap := c.fetchInst(pc)
 	if trap != nil {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
@@ -425,7 +549,6 @@ func (c *CPU) Step() *Trap {
 		}
 		return trap
 	}
-	in := isa.Decode(raw)
 	if in.Op == isa.OpInvalid || (in.Op.IsROLoad() && !c.cfg.ROLoadEnabled) {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap

@@ -56,64 +56,18 @@ type OverheadPoint struct {
 	MemKiB     uint64
 }
 
-// measureOverheads runs each workload unhardened and under each scheme
-// on the fully modified system (the paper's defense-evaluation
-// baseline is the processor-and-kernel-modified system).
-func measureOverheads(ws []spec.Workload, schemes []core.Hardening, s Scale) ([]OverheadPoint, error) {
-	var out []OverheadPoint
-	for _, w := range ws {
-		source := src(w, s)
-		base, err := core.Measure(source, core.HardenNone, core.SysFull, maxSteps)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s baseline: %w", w.Name, err)
-		}
-		if !base.Result.Exited {
-			return nil, fmt.Errorf("eval: %s baseline killed by %v", w.Name, base.Result.Signal)
-		}
-		for _, h := range schemes {
-			m, err := core.Measure(source, h, core.SysFull, maxSteps)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s under %v: %w", w.Name, h, err)
-			}
-			if !m.Result.Exited {
-				return nil, fmt.Errorf("eval: %s under %v killed by %v", w.Name, h, m.Result.Signal)
-			}
-			if string(m.Result.Stdout) != string(base.Result.Stdout) {
-				return nil, fmt.Errorf("eval: %s under %v produced different output", w.Name, h)
-			}
-			rt, mem := core.Overhead(base, m)
-			out = append(out, OverheadPoint{
-				Benchmark:  w.Name,
-				Scheme:     h,
-				RuntimePct: rt,
-				MemPct:     mem,
-				BaseCycles: base.Result.Cycles,
-				Cycles:     m.Result.Cycles,
-				BaseMemKiB: base.Result.MemPeakKiB,
-				MemKiB:     m.Result.MemPeakKiB,
-			})
-		}
-	}
-	return out, nil
-}
-
-// Fig3 measures VCall and VTint on the three C++-style workloads.
-func Fig3(s Scale) ([]OverheadPoint, error) {
-	return measureOverheads(spec.CXX(), []core.Hardening{core.HardenVCall, core.HardenVTint}, s)
-}
+// Fig3 measures VCall and VTint on the three C++-style workloads
+// using a fresh GOMAXPROCS-wide Runner.
+func Fig3(s Scale) ([]OverheadPoint, error) { return NewRunner(0).Fig3(s) }
 
 // Fig4And5 measures ICall and CFI on all eleven workloads. Figure 4
 // reads the runtime column; Figure 5 the memory column.
-func Fig4And5(s Scale) ([]OverheadPoint, error) {
-	return measureOverheads(spec.Workloads(), []core.Hardening{core.HardenICall, core.HardenCFI}, s)
-}
+func Fig4And5(s Scale) ([]OverheadPoint, error) { return NewRunner(0).Fig4And5(s) }
 
 // ExtensionRetGuard measures the backward-edge extension on every
 // workload (not a paper figure; the paper sketches the application in
 // Section IV-C and this quantifies it).
-func ExtensionRetGuard(s Scale) ([]OverheadPoint, error) {
-	return measureOverheads(spec.Workloads(), []core.Hardening{core.HardenRetGuard}, s)
-}
+func ExtensionRetGuard(s Scale) ([]OverheadPoint, error) { return NewRunner(0).ExtensionRetGuard(s) }
 
 // Average returns the mean runtime and memory overhead for one scheme.
 func Average(points []OverheadPoint, h core.Hardening) (rt, mem float64, n int) {
@@ -152,38 +106,8 @@ func (r SysOverheadRow) FullPct() float64 {
 
 // SystemOverhead reproduces Section V-B: every unhardened workload on
 // the baseline, processor-modified and processor+kernel-modified
-// systems.
-func SystemOverhead(s Scale) ([]SysOverheadRow, error) {
-	var out []SysOverheadRow
-	for _, w := range spec.Workloads() {
-		source := src(w, s)
-		row := SysOverheadRow{Benchmark: w.Name}
-		var ref []byte
-		for i, sys := range []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull} {
-			m, err := core.Measure(source, core.HardenNone, sys, maxSteps)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s on %v: %w", w.Name, sys, err)
-			}
-			if !m.Result.Exited {
-				return nil, fmt.Errorf("eval: %s on %v killed by %v", w.Name, sys, m.Result.Signal)
-			}
-			switch i {
-			case 0:
-				row.BaseCycles, row.BaseMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
-				ref = m.Result.Stdout
-			case 1:
-				row.ProcCycles, row.ProcMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
-			case 2:
-				row.FullCycles, row.FullMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
-			}
-			if i > 0 && string(m.Result.Stdout) != string(ref) {
-				return nil, fmt.Errorf("eval: %s output differs across systems", w.Name)
-			}
-		}
-		out = append(out, row)
-	}
-	return out, nil
-}
+// systems, using a fresh GOMAXPROCS-wide Runner.
+func SystemOverhead(s Scale) ([]SysOverheadRow, error) { return NewRunner(0).SystemOverhead(s) }
 
 // LoCRow is one row of the Table I reproduction: the size of each
 // component of this reproduction that corresponds to a paper

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"roload/internal/core"
+	"roload/internal/kernel"
+	"roload/internal/mem"
+	"roload/internal/spec"
+)
+
+// capture is everything observable about one simulated run: the full
+// run result (cycles, instret, CPU/MMU/cache counters, stdout, audit),
+// the roload-metrics/v1 snapshot document, and a digest of all
+// physical memory contents at exit.
+type capture struct {
+	res      kernel.RunResult
+	snapJSON string
+	memSum   uint64
+}
+
+func runCell(t *testing.T, source string, h core.Hardening, sys core.SystemKind, noFast bool) capture {
+	t.Helper()
+	img, _, err := core.Build(source, h)
+	if err != nil {
+		t.Fatalf("build %v: %v", h, err)
+	}
+	cfg := sys.Config()
+	cfg.MaxSteps = maxSteps
+	cfg.CPU.NoFastPath = noFast
+	machine := kernel.NewSystem(cfg)
+	p, err := machine.Spawn(img)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	res, err := machine.Run(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	snap := res.Snapshot(sys.String())
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	sum := fnv.New64a()
+	page := make([]byte, mem.PageSize)
+	phys := machine.Phys()
+	for _, pn := range phys.PageNumbers() {
+		binary.Write(sum, binary.LittleEndian, pn)
+		if err := phys.Read(pn<<mem.PageShift, page); err != nil {
+			t.Fatalf("reading page %#x: %v", pn, err)
+		}
+		sum.Write(page)
+	}
+	return capture{res: res, snapJSON: buf.String(), memSum: sum.Sum64()}
+}
+
+// TestFastPathEquivalence proves the fast-path engine's hard
+// invariant: with fast paths on vs off, every test-scale workload
+// under every hardening scheme produces bit-identical cycles,
+// statistics, MMU and cache counters, metrics snapshot, program
+// output, and final physical memory contents. Runs that die with a
+// signal (hardened binaries on the wrong system) must match too.
+func TestFastPathEquivalence(t *testing.T) {
+	type cell struct {
+		name string
+		src  string
+		h    core.Hardening
+		sys  core.SystemKind
+	}
+	var cells []cell
+	for _, w := range spec.Workloads() {
+		for _, h := range []core.Hardening{core.HardenNone, core.HardenICall, core.HardenCFI, core.HardenRetGuard} {
+			cells = append(cells, cell{
+				name: fmt.Sprintf("%s/%v", w.Name, h),
+				src:  w.TestSource(), h: h, sys: core.SysFull,
+			})
+		}
+	}
+	for _, w := range spec.CXX() {
+		for _, h := range []core.Hardening{core.HardenVCall, core.HardenVTint, core.HardenFull} {
+			cells = append(cells, cell{
+				name: fmt.Sprintf("%s/%v", w.Name, h),
+				src:  w.TestSource(), h: h, sys: core.SysFull,
+			})
+		}
+	}
+	// System sweep, including the trap paths of hardened binaries on
+	// systems that lack ld.ro support (SIGILL / SIGSEGV deaths).
+	w0 := spec.Workloads()[0]
+	for _, sys := range []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull} {
+		cells = append(cells, cell{
+			name: fmt.Sprintf("%s/none/%v", w0.Name, sys),
+			src:  w0.TestSource(), h: core.HardenNone, sys: sys,
+		})
+		cells = append(cells, cell{
+			name: fmt.Sprintf("%s/ICall/%v", w0.Name, sys),
+			src:  w0.TestSource(), h: core.HardenICall, sys: sys,
+		})
+	}
+	if testing.Short() {
+		cells = cells[:4]
+	}
+
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			fast := runCell(t, c.src, c.h, c.sys, false)
+			slow := runCell(t, c.src, c.h, c.sys, true)
+			if fast.res.Cycles != slow.res.Cycles {
+				t.Errorf("cycles: fast %d, interp %d", fast.res.Cycles, slow.res.Cycles)
+			}
+			if fast.res.Instret != slow.res.Instret {
+				t.Errorf("instret: fast %d, interp %d", fast.res.Instret, slow.res.Instret)
+			}
+			if !reflect.DeepEqual(fast.res, slow.res) {
+				t.Errorf("run results differ:\nfast:   %+v\ninterp: %+v", fast.res, slow.res)
+			}
+			if fast.snapJSON != slow.snapJSON {
+				t.Errorf("metrics snapshots differ:\nfast:   %s\ninterp: %s", fast.snapJSON, slow.snapJSON)
+			}
+			if fast.memSum != slow.memSum {
+				t.Errorf("final memory contents differ (digest %#x vs %#x)", fast.memSum, slow.memSum)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Host-side throughput measurement: how fast the *host* simulates,
+// reported as simulated instructions per host second (MIPS), for the
+// plain interpreter versus the fast-path engine. This measures wall
+// clock on the machine running the harness — it says nothing about
+// the simulated results, which are bit-identical on both engines (the
+// measurement asserts that as it goes).
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"roload/internal/core"
+	"roload/internal/spec"
+)
+
+// HostBenchSchema identifies the BENCH_host.json document format.
+const HostBenchSchema = "roload-hostbench/v1"
+
+// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
+type HostBenchEntry struct {
+	Benchmark    string  `json:"benchmark"`
+	Instructions uint64  `json:"instructions"`
+	InterpNS     int64   `json:"interp_ns"`
+	FastNS       int64   `json:"fast_ns"`
+	InterpMIPS   float64 `json:"interp_mips"`
+	FastMIPS     float64 `json:"fast_mips"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// HostBench is the whole document.
+type HostBench struct {
+	Schema     string           `json:"schema"`
+	Scale      string           `json:"scale"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	Entries    []HostBenchEntry `json:"entries"`
+	Total      HostBenchEntry   `json:"total"`
+}
+
+func mips(instructions uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(instructions) / 1e6 / d.Seconds()
+}
+
+// MeasureHostBench times every workload at the given scale, unhardened
+// on the fully modified system, once per engine. It fails if the two
+// engines disagree on cycles or retired instructions — the wall-clock
+// comparison is only meaningful under the bit-identical invariant.
+func MeasureHostBench(s Scale) (*HostBench, error) {
+	doc := &HostBench{
+		Schema:     HostBenchSchema,
+		Scale:      scaleName(s),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range spec.Workloads() {
+		img, _, err := core.Build(src(w, s), core.HardenNone)
+		if err != nil {
+			return nil, fmt.Errorf("eval: hostbench %s: %w", w.Name, err)
+		}
+		t0 := time.Now()
+		slow, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+			core.RunOptions{MaxSteps: maxSteps, NoFastPath: true})
+		interpNS := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("eval: hostbench %s (interp): %w", w.Name, err)
+		}
+		t0 = time.Now()
+		fast, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+			core.RunOptions{MaxSteps: maxSteps})
+		fastNS := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("eval: hostbench %s (fast): %w", w.Name, err)
+		}
+		if slow.Result.Cycles != fast.Result.Cycles || slow.Result.Instret != fast.Result.Instret {
+			return nil, fmt.Errorf("eval: hostbench %s: engines disagree (interp %d cycles / %d inst, fast %d cycles / %d inst)",
+				w.Name, slow.Result.Cycles, slow.Result.Instret, fast.Result.Cycles, fast.Result.Instret)
+		}
+		e := HostBenchEntry{
+			Benchmark:    w.Name,
+			Instructions: fast.Result.Instret,
+			InterpNS:     interpNS.Nanoseconds(),
+			FastNS:       fastNS.Nanoseconds(),
+			InterpMIPS:   mips(fast.Result.Instret, interpNS),
+			FastMIPS:     mips(fast.Result.Instret, fastNS),
+		}
+		if fastNS > 0 {
+			e.Speedup = float64(interpNS) / float64(fastNS)
+		}
+		doc.Entries = append(doc.Entries, e)
+		doc.Total.Instructions += e.Instructions
+		doc.Total.InterpNS += e.InterpNS
+		doc.Total.FastNS += e.FastNS
+	}
+	doc.Total.Benchmark = "total"
+	doc.Total.InterpMIPS = mips(doc.Total.Instructions, time.Duration(doc.Total.InterpNS))
+	doc.Total.FastMIPS = mips(doc.Total.Instructions, time.Duration(doc.Total.FastNS))
+	if doc.Total.FastNS > 0 {
+		doc.Total.Speedup = float64(doc.Total.InterpNS) / float64(doc.Total.FastNS)
+	}
+	return doc, nil
+}
+
+// WriteJSON writes the document as indented JSON.
+func (h *HostBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}

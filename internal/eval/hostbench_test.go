@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"roload/internal/spec"
+)
+
+func TestHostBenchDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times every workload on both engines")
+	}
+	doc, err := MeasureHostBench(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != HostBenchSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, HostBenchSchema)
+	}
+	if doc.Scale != "test" {
+		t.Errorf("scale = %q", doc.Scale)
+	}
+	if len(doc.Entries) != len(spec.Workloads()) {
+		t.Errorf("entries = %d, want %d", len(doc.Entries), len(spec.Workloads()))
+	}
+	var instSum uint64
+	for _, e := range doc.Entries {
+		if e.Instructions == 0 || e.InterpNS <= 0 || e.FastNS <= 0 {
+			t.Errorf("degenerate entry %+v", e)
+		}
+		if e.InterpMIPS <= 0 || e.FastMIPS <= 0 {
+			t.Errorf("entry %s missing MIPS: %+v", e.Benchmark, e)
+		}
+		instSum += e.Instructions
+	}
+	if doc.Total.Benchmark != "total" || doc.Total.Instructions != instSum {
+		t.Errorf("total row %+v inconsistent with entries (inst sum %d)", doc.Total, instSum)
+	}
+
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("document is not valid JSON: %v", err)
+	}
+	if string(back["schema"]) != `"`+HostBenchSchema+`"` {
+		t.Errorf("marshalled schema = %s", back["schema"])
+	}
+	for _, key := range []string{"scale", "go_max_procs", "entries", "total"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("document missing %q", key)
+		}
+	}
+}

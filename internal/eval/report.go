@@ -121,8 +121,17 @@ func scaleName(s Scale) string {
 }
 
 // BuildReport runs every experiment at the given scale and assembles
-// the report. root is the repository root (Table I line counting).
+// the report, using a fresh GOMAXPROCS-wide Runner. root is the
+// repository root (Table I line counting).
 func BuildReport(s Scale, root string) (*Report, error) {
+	return NewRunner(0).BuildReport(s, root)
+}
+
+// BuildReport runs every experiment at the given scale on this Runner
+// and assembles the report. Measurements shared between experiments
+// (the unhardened full-system runs appear in sysoverhead and as every
+// figure's baseline) are measured once thanks to the Runner's memo.
+func (run *Runner) BuildReport(s Scale, root string) (*Report, error) {
 	r := &Report{Schema: ReportSchema, Scale: scaleName(s)}
 
 	locRows, err := TableI(root)
@@ -152,7 +161,7 @@ func BuildReport(s Scale, root string) (*Report, error) {
 		FmaxROLoadMHz: syn.TimingROLoad.FmaxMHz,
 	}
 
-	sysRows, err := SystemOverhead(s)
+	sysRows, err := run.SystemOverhead(s)
 	if err != nil {
 		return nil, fmt.Errorf("eval: sysoverhead: %w", err)
 	}
@@ -167,7 +176,7 @@ func BuildReport(s Scale, root string) (*Report, error) {
 		})
 	}
 
-	fig3, err := Fig3(s)
+	fig3, err := run.Fig3(s)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fig3: %w", err)
 	}
@@ -176,14 +185,14 @@ func BuildReport(s Scale, root string) (*Report, error) {
 	// Figures 4 and 5 read the runtime and memory columns of the same
 	// measurement; both ids carry the full rows so either axis can be
 	// reconstructed from either field.
-	fig45, err := Fig4And5(s)
+	fig45, err := run.Fig4And5(s)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fig4/fig5: %w", err)
 	}
 	r.Fig4 = overheadEntries(fig45)
 	r.Fig5 = overheadEntries(fig45)
 
-	rg, err := ExtensionRetGuard(s)
+	rg, err := run.ExtensionRetGuard(s)
 	if err != nil {
 		return nil, fmt.Errorf("eval: retguard: %w", err)
 	}

@@ -1,0 +1,280 @@
+// Runner: the concurrent measurement engine behind the experiment
+// drivers. Every (source, hardening, system) cell the evaluation needs
+// is measured exactly once — images are compiled once per
+// (source, hardening) and shared read-only across systems, and cells
+// shared between experiments (the unhardened full-system runs are the
+// baseline of every figure *and* a column of the Section V-B table)
+// are deduplicated by memoization. Cells are warmed by a bounded
+// worker pool; the assembly of tables and figures stays serial, so
+// results, orderings and error messages are identical to a serial run
+// regardless of completion order.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/asm"
+	"roload/internal/core"
+	"roload/internal/spec"
+)
+
+type imageKey struct {
+	src string
+	h   core.Hardening
+}
+
+type imageEntry struct {
+	once sync.Once
+	img  *asm.Image
+	err  error
+}
+
+type measureKey struct {
+	src string
+	h   core.Hardening
+	sys core.SystemKind
+}
+
+type measureEntry struct {
+	once sync.Once
+	m    core.Measurement
+	err  error
+}
+
+// Runner measures experiment cells with a bounded worker pool and
+// memoizes both compiled images and measurements. The zero value is
+// not usable; call NewRunner. A Runner is safe for concurrent use.
+type Runner struct {
+	// NoFastPath forwards to every simulator instance (see
+	// cpu.Config.NoFastPath). Set before the first measurement.
+	NoFastPath bool
+
+	parallel int
+
+	mu     sync.Mutex
+	images map[imageKey]*imageEntry
+	meas   map[measureKey]*measureEntry
+}
+
+// NewRunner returns a Runner running up to parallel cells at once;
+// parallel <= 0 selects GOMAXPROCS.
+func NewRunner(parallel int) *Runner {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		parallel: parallel,
+		images:   make(map[imageKey]*imageEntry),
+		meas:     make(map[measureKey]*measureEntry),
+	}
+}
+
+// Image compiles src under h, once per (src, h); concurrent callers
+// share the result. Images are immutable after assembly, so sharing
+// them across simulator instances is safe.
+func (r *Runner) Image(src string, h core.Hardening) (*asm.Image, error) {
+	r.mu.Lock()
+	e, ok := r.images[imageKey{src, h}]
+	if !ok {
+		e = &imageEntry{}
+		r.images[imageKey{src, h}] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.img, _, e.err = core.Build(src, h)
+	})
+	return e.img, e.err
+}
+
+// Measure builds (via the image cache) and runs one cell, once per
+// (src, h, sys); concurrent and repeated callers share the result.
+func (r *Runner) Measure(src string, h core.Hardening, sys core.SystemKind) (core.Measurement, error) {
+	r.mu.Lock()
+	e, ok := r.meas[measureKey{src, h, sys}]
+	if !ok {
+		e = &measureEntry{}
+		r.meas[measureKey{src, h, sys}] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		img, err := r.Image(src, h)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.m, e.err = core.MeasureImage(img, h, sys, core.RunOptions{
+			MaxSteps:   maxSteps,
+			NoFastPath: r.NoFastPath,
+		})
+	})
+	return e.m, e.err
+}
+
+// forEach runs fn(0..n-1) on the worker pool. All indices run even if
+// some fail; the returned error is the lowest-index failure — the one
+// serial execution would have surfaced first — so the outcome is
+// deterministic regardless of completion order.
+func (r *Runner) forEach(n int, fn func(int) error) error {
+	workers := r.parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warm concurrently populates the measurement memo for a set of cells.
+// Errors are deliberately swallowed: they are memoized, and the serial
+// assembly that follows re-reads the memo and reports the same error a
+// serial run would, in the same order and wording.
+func (r *Runner) warm(cells []measureKey) {
+	r.forEach(len(cells), func(i int) error {
+		r.Measure(cells[i].src, cells[i].h, cells[i].sys)
+		return nil
+	})
+}
+
+// measureOverheads is the Runner-backed engine of Figures 3-5 and the
+// RetGuard extension: each workload unhardened and under each scheme
+// on the fully modified system.
+func (r *Runner) measureOverheads(ws []spec.Workload, schemes []core.Hardening, s Scale) ([]OverheadPoint, error) {
+	var cells []measureKey
+	for _, w := range ws {
+		source := src(w, s)
+		cells = append(cells, measureKey{source, core.HardenNone, core.SysFull})
+		for _, h := range schemes {
+			cells = append(cells, measureKey{source, h, core.SysFull})
+		}
+	}
+	r.warm(cells)
+
+	var out []OverheadPoint
+	for _, w := range ws {
+		source := src(w, s)
+		base, err := r.Measure(source, core.HardenNone, core.SysFull)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s baseline: %w", w.Name, err)
+		}
+		if !base.Result.Exited {
+			return nil, fmt.Errorf("eval: %s baseline killed by %v", w.Name, base.Result.Signal)
+		}
+		for _, h := range schemes {
+			m, err := r.Measure(source, h, core.SysFull)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s under %v: %w", w.Name, h, err)
+			}
+			if !m.Result.Exited {
+				return nil, fmt.Errorf("eval: %s under %v killed by %v", w.Name, h, m.Result.Signal)
+			}
+			if string(m.Result.Stdout) != string(base.Result.Stdout) {
+				return nil, fmt.Errorf("eval: %s under %v produced different output", w.Name, h)
+			}
+			rt, mem := core.Overhead(base, m)
+			out = append(out, OverheadPoint{
+				Benchmark:  w.Name,
+				Scheme:     h,
+				RuntimePct: rt,
+				MemPct:     mem,
+				BaseCycles: base.Result.Cycles,
+				Cycles:     m.Result.Cycles,
+				BaseMemKiB: base.Result.MemPeakKiB,
+				MemKiB:     m.Result.MemPeakKiB,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig3 measures VCall and VTint on the three C++-style workloads.
+func (r *Runner) Fig3(s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(spec.CXX(), []core.Hardening{core.HardenVCall, core.HardenVTint}, s)
+}
+
+// Fig4And5 measures ICall and CFI on all eleven workloads.
+func (r *Runner) Fig4And5(s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(spec.Workloads(), []core.Hardening{core.HardenICall, core.HardenCFI}, s)
+}
+
+// ExtensionRetGuard measures the backward-edge extension on every
+// workload.
+func (r *Runner) ExtensionRetGuard(s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(spec.Workloads(), []core.Hardening{core.HardenRetGuard}, s)
+}
+
+// SystemOverhead reproduces Section V-B: every unhardened workload on
+// the baseline, processor-modified and processor+kernel-modified
+// systems.
+func (r *Runner) SystemOverhead(s Scale) ([]SysOverheadRow, error) {
+	systems := []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull}
+	var cells []measureKey
+	for _, w := range spec.Workloads() {
+		source := src(w, s)
+		for _, sys := range systems {
+			cells = append(cells, measureKey{source, core.HardenNone, sys})
+		}
+	}
+	r.warm(cells)
+
+	var out []SysOverheadRow
+	for _, w := range spec.Workloads() {
+		source := src(w, s)
+		row := SysOverheadRow{Benchmark: w.Name}
+		var ref []byte
+		for i, sys := range systems {
+			m, err := r.Measure(source, core.HardenNone, sys)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s on %v: %w", w.Name, sys, err)
+			}
+			if !m.Result.Exited {
+				return nil, fmt.Errorf("eval: %s on %v killed by %v", w.Name, sys, m.Result.Signal)
+			}
+			switch i {
+			case 0:
+				row.BaseCycles, row.BaseMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+				ref = m.Result.Stdout
+			case 1:
+				row.ProcCycles, row.ProcMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+			case 2:
+				row.FullCycles, row.FullMemKiB = m.Result.Cycles, m.Result.MemPeakKiB
+			}
+			if i > 0 && string(m.Result.Stdout) != string(ref) {
+				return nil, fmt.Errorf("eval: %s output differs across systems", w.Name)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

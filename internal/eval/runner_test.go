@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"roload/internal/core"
+	"roload/internal/spec"
+)
+
+// TestRunnerParallelMatchesSerial proves result determinism: a wide
+// worker pool must produce exactly the points a serial run produces,
+// regardless of completion order.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	serial, err := NewRunner(1).Fig3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(8).Fig3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel run diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestRunnerNoFastPathMatches proves the runner's NoFastPath toggle
+// changes nothing observable in the measurements.
+func TestRunnerNoFastPathMatches(t *testing.T) {
+	fast, err := NewRunner(4).Fig3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRunner := NewRunner(4)
+	slowRunner.NoFastPath = true
+	slow, err := slowRunner.Fig3(ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("fast-path run diverged from interpreter run:\nfast:   %+v\ninterp: %+v", fast, slow)
+	}
+}
+
+// TestRunnerImageCache proves compile-once: every Measure of the same
+// (source, hardening) shares one image, concurrently and across
+// systems.
+func TestRunnerImageCache(t *testing.T) {
+	r := NewRunner(8)
+	source := spec.Workloads()[0].TestSource()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Image(source, core.HardenICall); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	img1, err := r.Image(source, core.HardenICall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := r.Image(source, core.HardenICall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img1 != img2 {
+		t.Error("repeated Image calls returned distinct images")
+	}
+	if len(r.images) != 1 {
+		t.Errorf("image cache holds %d entries, want 1", len(r.images))
+	}
+
+	m1, err := r.Measure(source, core.HardenICall, core.SysFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Measure(source, core.HardenICall, core.SysFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("memoized Measure returned different measurements")
+	}
+	if len(r.meas) != 1 {
+		t.Errorf("measurement memo holds %d entries, want 1", len(r.meas))
+	}
+}
+
+// TestRunnerForEachLowestError proves the pool surfaces the error a
+// serial run would have hit first, whatever the completion order, and
+// still visits every index.
+func TestRunnerForEachLowestError(t *testing.T) {
+	r := NewRunner(8)
+	var mu sync.Mutex
+	visited := make(map[int]bool)
+	err := r.forEach(64, func(i int) error {
+		mu.Lock()
+		visited[i] = true
+		mu.Unlock()
+		if i >= 7 && i%3 == 1 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail 7" {
+		t.Errorf("forEach error = %v, want fail 7", err)
+	}
+	if len(visited) != 64 {
+		t.Errorf("forEach visited %d indices, want 64", len(visited))
+	}
+
+	if err := NewRunner(1).forEach(3, func(int) error { return nil }); err != nil {
+		t.Errorf("serial forEach: %v", err)
+	}
+}

@@ -35,6 +35,34 @@ var roLoadOpByF3 = [8]Op{LBRO, LHRO, LWRO, LDRO, OpInvalid, OpInvalid, OpInvalid
 var storeOpByF3 = [8]Op{SB, SH, SW, SD, OpInvalid, OpInvalid, OpInvalid, OpInvalid}
 var branchOpByF3 = [8]Op{BEQ, BNE, OpInvalid, OpInvalid, BLT, BGE, BLTU, BGEU}
 
+// rOpByFunct/rwOpByFunct are the decode-side inverses of the rOps and
+// rwOps encode tables, indexed by funct3 and a compressed funct7 code
+// (0x00 -> 0, 0x20 -> 1, 0x01 -> 2). Precomputing them keeps the
+// register-register decode path table-driven instead of scanning a map
+// per instruction.
+var rOpByFunct, rwOpByFunct [8][3]Op
+
+func f7Code(f7 uint32) int {
+	switch f7 {
+	case 0x00:
+		return 0
+	case 0x20:
+		return 1
+	case 0x01:
+		return 2
+	}
+	return -1
+}
+
+func init() {
+	for op, spec := range rOps {
+		rOpByFunct[spec.f3][f7Code(spec.f7)] = op
+	}
+	for op, spec := range rwOps {
+		rwOpByFunct[spec.f3][f7Code(spec.f7)] = op
+	}
+}
+
 // Decode decodes one instruction from raw. Only the low 16 bits are
 // consulted when the encoding is compressed. The returned Inst has
 // Size set to 2 or 4; an unrecognized encoding yields Op == OpInvalid
@@ -123,17 +151,15 @@ func Decode(raw uint32) Inst {
 			}
 		}
 	case opcOp:
-		for op, spec := range rOps {
-			if spec.f3 == f3 && spec.f7 == f7 {
+		if c := f7Code(f7); c >= 0 {
+			if op := rOpByFunct[f3][c]; op != OpInvalid {
 				in.Op, in.Rd, in.Rs1, in.Rs2 = op, rd, rs1, rs2
-				break
 			}
 		}
 	case opcOpW:
-		for op, spec := range rwOps {
-			if spec.f3 == f3 && spec.f7 == f7 {
+		if c := f7Code(f7); c >= 0 {
+			if op := rwOpByFunct[f3][c]; op != OpInvalid {
 				in.Op, in.Rd, in.Rs1, in.Rs2 = op, rd, rs1, rs2
-				break
 			}
 		}
 	case opcSystem:

@@ -1,11 +1,27 @@
 // Package mem provides the sparse physical memory model backing the
 // prototype system, mirroring the 4 GiB DDR3 SO-DIMM of the paper's
 // FPGA board (Table II) without allocating it eagerly.
+//
+// Hot-path design: every simulated instruction performs one to three
+// physical accesses (fetch, page-walk reads, load/store), so ReadUint
+// and WriteUint carry a fast path for accesses that stay inside one
+// page — they index the page slice directly instead of round-tripping
+// through a staging buffer — and the last-touched page is cached to
+// skip the map lookup. Both paths produce bit-identical contents; the
+// fast path is purely a host-time optimization.
+//
+// Each page additionally carries a write generation counter, exposed
+// through PageRef. Consumers that cache derived views of physical
+// memory (the CPU's predecoded-instruction cache) snapshot the counter
+// and revalidate with PageRef.Valid, which turns "was this page
+// written since I looked?" into one pointer load instead of a
+// write-notification protocol.
 package mem
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // PageSize is the 4 KiB page granularity shared by the physical
@@ -15,12 +31,25 @@ const PageSize = 4096
 // PageShift is log2(PageSize).
 const PageShift = 12
 
+// page is one lazily allocated physical frame plus its write
+// generation, bumped on every mutation (including ZeroPage, which
+// orphans the struct so stale PageRefs observe the bump).
+type page struct {
+	data []byte
+	gen  uint64
+}
+
 // Physical is a sparse byte-addressable physical memory. Pages are
 // allocated lazily on first touch. It is not safe for concurrent use;
 // the simulated system is single-core, as was the paper's prototype.
 type Physical struct {
 	size  uint64
-	pages map[uint64][]byte
+	pages map[uint64]*page
+
+	// last caches the most recent page lookup (fetch, walk and data
+	// accesses are all strongly page-local).
+	lastPN uint64
+	last   *page
 }
 
 // NewPhysical returns a physical memory of the given size in bytes,
@@ -29,7 +58,7 @@ func NewPhysical(size uint64) *Physical {
 	if size%PageSize != 0 {
 		size += PageSize - size%PageSize
 	}
-	return &Physical{size: size, pages: make(map[uint64][]byte)}
+	return &Physical{size: size, pages: make(map[uint64]*page)}
 }
 
 // Size returns the memory size in bytes.
@@ -39,6 +68,18 @@ func (p *Physical) Size() uint64 { return p.size }
 // The mini-kernel uses this for resident-memory accounting (the paper
 // reports memory usage in KiB).
 func (p *Physical) AllocatedPages() int { return len(p.pages) }
+
+// PageNumbers returns the sorted physical page numbers of every
+// allocated page — the deterministic iteration order tests use to
+// checksum memory contents.
+func (p *Physical) PageNumbers() []uint64 {
+	out := make([]uint64, 0, len(p.pages))
+	for pn := range p.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // ErrOutOfRange reports a physical access beyond the installed memory.
 type ErrOutOfRange struct {
@@ -50,13 +91,17 @@ func (e *ErrOutOfRange) Error() string {
 	return fmt.Sprintf("mem: physical address %#x outside %#x-byte memory", e.Addr, e.Size)
 }
 
-func (p *Physical) page(addr uint64) []byte {
+func (p *Physical) page(addr uint64) *page {
 	pn := addr >> PageShift
+	if p.last != nil && p.lastPN == pn {
+		return p.last
+	}
 	pg, ok := p.pages[pn]
 	if !ok {
-		pg = make([]byte, PageSize)
+		pg = &page{data: make([]byte, PageSize)}
 		p.pages[pn] = pg
 	}
+	p.lastPN, p.last = pn, pg
 	return pg
 }
 
@@ -74,7 +119,7 @@ func (p *Physical) Read(addr uint64, b []byte) error {
 	}
 	for len(b) > 0 {
 		off := addr & (PageSize - 1)
-		n := copy(b, p.page(addr)[off:])
+		n := copy(b, p.page(addr).data[off:])
 		b = b[n:]
 		addr += uint64(n)
 	}
@@ -87,8 +132,10 @@ func (p *Physical) Write(addr uint64, b []byte) error {
 		return err
 	}
 	for len(b) > 0 {
+		pg := p.page(addr)
+		pg.gen++
 		off := addr & (PageSize - 1)
-		n := copy(p.page(addr)[off:], b)
+		n := copy(pg.data[off:], b)
 		b = b[n:]
 		addr += uint64(n)
 	}
@@ -98,6 +145,22 @@ func (p *Physical) Write(addr uint64, b []byte) error {
 // ReadUint reads an n-byte little-endian unsigned integer (n in
 // {1,2,4,8}). Accesses may straddle page boundaries.
 func (p *Physical) ReadUint(addr uint64, n int) (uint64, error) {
+	if off := addr & (PageSize - 1); off+uint64(n) <= PageSize {
+		if err := p.check(addr, n); err != nil {
+			return 0, err
+		}
+		b := p.page(addr).data[off:]
+		switch n {
+		case 8:
+			return binary.LittleEndian.Uint64(b), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(b)), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(b)), nil
+		case 1:
+			return uint64(b[0]), nil
+		}
+	}
 	var buf [8]byte
 	if err := p.Read(addr, buf[:n]); err != nil {
 		return 0, err
@@ -107,6 +170,28 @@ func (p *Physical) ReadUint(addr uint64, n int) (uint64, error) {
 
 // WriteUint writes an n-byte little-endian unsigned integer.
 func (p *Physical) WriteUint(addr uint64, v uint64, n int) error {
+	if off := addr & (PageSize - 1); off+uint64(n) <= PageSize {
+		if err := p.check(addr, n); err != nil {
+			return err
+		}
+		pg := p.page(addr)
+		pg.gen++
+		b := pg.data[off:]
+		switch n {
+		case 8:
+			binary.LittleEndian.PutUint64(b, v)
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(b, uint32(v))
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(b, uint16(v))
+			return nil
+		case 1:
+			b[0] = byte(v)
+			return nil
+		}
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	return p.Write(addr, buf[:n])
@@ -117,6 +202,38 @@ func (p *Physical) ZeroPage(addr uint64) error {
 	if err := p.check(addr&^uint64(PageSize-1), PageSize); err != nil {
 		return err
 	}
-	delete(p.pages, addr>>PageShift)
+	pn := addr >> PageShift
+	if pg, ok := p.pages[pn]; ok {
+		// Orphan the struct with a final generation bump so outstanding
+		// PageRefs see the invalidation.
+		pg.gen++
+		delete(p.pages, pn)
+	}
+	if p.last != nil && p.lastPN == pn {
+		p.last = nil
+	}
 	return nil
 }
+
+// PageRef is a revalidatable handle on one physical page, for
+// consumers that cache views derived from page contents. The handle
+// stays usable across arbitrary writes — Valid simply starts
+// reporting false once the page has been written (or zeroed) since
+// Ref was taken.
+type PageRef struct {
+	pg   *page
+	snap uint64
+}
+
+// Ref returns a handle on the page containing addr, allocating it if
+// it has never been touched. addr must be in range.
+func (p *Physical) Ref(addr uint64) (PageRef, error) {
+	if err := p.check(addr&^uint64(PageSize-1), PageSize); err != nil {
+		return PageRef{}, err
+	}
+	pg := p.page(addr)
+	return PageRef{pg: pg, snap: pg.gen}, nil
+}
+
+// Valid reports whether the page is unmodified since Ref.
+func (r PageRef) Valid() bool { return r.pg != nil && r.pg.gen == r.snap }

@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPageRefInvalidation(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	ref, err := p.Ref(0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid() {
+		t.Fatal("fresh ref invalid")
+	}
+
+	// Writes to other pages do not invalidate.
+	if err := p.WriteUint(0x5000, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid() {
+		t.Error("write to unrelated page invalidated ref")
+	}
+
+	// Any write inside the page does, through every write path.
+	if err := p.WriteUint(0x3ff8, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Valid() {
+		t.Error("WriteUint did not invalidate ref")
+	}
+
+	ref, _ = p.Ref(0x3000)
+	if err := p.Write(0x3004, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Valid() {
+		t.Error("Write did not invalidate ref")
+	}
+
+	// A straddling WriteUint invalidates both touched pages.
+	refA, _ := p.Ref(0x3000)
+	refB, _ := p.Ref(0x4000)
+	if err := p.WriteUint(0x3ffc, 0x1122334455667788, 8); err != nil {
+		t.Fatal(err)
+	}
+	if refA.Valid() || refB.Valid() {
+		t.Errorf("straddling write: refA.Valid=%v refB.Valid=%v, want false/false",
+			refA.Valid(), refB.Valid())
+	}
+
+	// ZeroPage invalidates even though the page struct is discarded.
+	ref, _ = p.Ref(0x3000)
+	if err := p.ZeroPage(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Valid() {
+		t.Error("ZeroPage did not invalidate ref")
+	}
+
+	// Reads never invalidate.
+	ref, _ = p.Ref(0x3000)
+	if _, err := p.ReadUint(0x3008, 8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := p.Read(0x3000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid() {
+		t.Error("read invalidated ref")
+	}
+
+	if (PageRef{}).Valid() {
+		t.Error("zero PageRef reports valid")
+	}
+
+	if _, err := p.Ref(1 << 21); err == nil {
+		t.Error("Ref beyond memory succeeded")
+	}
+}
+
+func TestPageNumbersSorted(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	for _, addr := range []uint64{0x9000, 0x1000, 0x5000, 0x1008} {
+		if err := p.WriteUint(addr, 1, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pns := p.PageNumbers()
+	want := []uint64{1, 5, 9}
+	if len(pns) != len(want) {
+		t.Fatalf("PageNumbers = %v, want %v", pns, want)
+	}
+	if !sort.SliceIsSorted(pns, func(i, j int) bool { return pns[i] < pns[j] }) {
+		t.Errorf("PageNumbers not sorted: %v", pns)
+	}
+	for i := range want {
+		if pns[i] != want[i] {
+			t.Errorf("PageNumbers = %v, want %v", pns, want)
+			break
+		}
+	}
+}

@@ -127,11 +127,30 @@ type Config struct {
 	// exactly like Read (the encoding would be an illegal instruction
 	// on stock hardware; the kernel layer models that).
 	ROLoadEnabled bool
+	// NoFastPath disables the L0 inline translation cache, forcing
+	// every Translate through the full TLB machinery. Results (PAs,
+	// faults, statistics, cycle accounting) are bit-identical either
+	// way; the flag exists for host-performance A/B runs and for the
+	// fast-path equivalence tests.
+	NoFastPath bool
 }
 
 // DefaultConfig returns the Table II configuration.
 func DefaultConfig() Config {
 	return Config{TLBEntries: 32, ROLoadEnabled: true}
+}
+
+// l0Slots is the size of the direct-mapped L0 inline cache in front of
+// the TLB. Small on purpose: it only needs to capture the handful of
+// pages an instruction sequence touches back-to-back.
+const l0Slots = 16
+
+// l0Entry is one L0 slot. It mirrors an entry known to be present in
+// the TLB right now; any TLB mutation clears the whole L0, so a slot
+// hit proves a full Translate would have been a TLB hit too.
+type l0Entry struct {
+	vpn uint64
+	e   TLBEntry // e.Valid doubles as the slot-valid bit
 }
 
 // MMU is a single translation unit (the prototype has separate I and D
@@ -142,6 +161,13 @@ type MMU struct {
 	root  uint64 // physical address of the level-2 (top) page table
 	tlb   *TLB
 	stats Stats
+
+	// l0 is the inline translation cache. Invariant: every valid slot
+	// holds a translation currently present in the TLB, so serving it
+	// is observably identical (PA, fault, hit statistics) to the full
+	// lookup. Flush, FlushPage, SetRoot and every TLB insert clear it.
+	l0    [l0Slots]l0Entry
+	useL0 bool
 
 	// probe, when non-nil, observes TLB lookups, page-table walks and
 	// ROLoad key checks. side tags the events (I- or D-side); cycles,
@@ -156,7 +182,15 @@ func New(phys *mem.Physical, cfg Config) *MMU {
 	if cfg.TLBEntries <= 0 {
 		cfg.TLBEntries = 32
 	}
-	return &MMU{cfg: cfg, phys: phys, tlb: NewTLB(cfg.TLBEntries)}
+	return &MMU{cfg: cfg, phys: phys, tlb: NewTLB(cfg.TLBEntries), useL0: !cfg.NoFastPath}
+}
+
+// clearL0 invalidates the inline cache; called on every operation that
+// can change TLB contents, preserving the L0 mirror invariant.
+func (m *MMU) clearL0() {
+	for i := range m.l0 {
+		m.l0[i].e.Valid = false
+	}
 }
 
 // SetRoot installs the physical address of the root page table and
@@ -164,16 +198,23 @@ func New(phys *mem.Physical, cfg Config) *MMU {
 func (m *MMU) SetRoot(pa uint64) {
 	m.root = pa
 	m.tlb.Flush()
+	m.clearL0()
 }
 
 // Root returns the current root page table address.
 func (m *MMU) Root() uint64 { return m.root }
 
 // Flush invalidates all TLB entries (sfence.vma).
-func (m *MMU) Flush() { m.tlb.Flush() }
+func (m *MMU) Flush() {
+	m.tlb.Flush()
+	m.clearL0()
+}
 
 // FlushPage invalidates any TLB entry covering va.
-func (m *MMU) FlushPage(va uint64) { m.tlb.FlushPage(va) }
+func (m *MMU) FlushPage(va uint64) {
+	m.tlb.FlushPage(va)
+	m.clearL0()
+}
 
 // Stats returns a copy of the accumulated statistics.
 func (m *MMU) Stats() Stats { return m.stats }
@@ -205,6 +246,21 @@ func (m *MMU) now() uint64 {
 // translation missed the TLB (the CPU charges a walk penalty on a
 // miss).
 func (m *MMU) Translate(va uint64, at Access, key uint16) (pa uint64, tlbMiss bool, fault *Fault) {
+	// L0 fast path: a valid slot mirrors an entry currently in the TLB,
+	// so this branch performs exactly the bookkeeping of a TLB hit. It
+	// is bypassed with a probe attached (the slow path emits per-lookup
+	// events) and when the fast paths are configured off.
+	if m.useL0 && m.probe == nil {
+		vpn := va >> mem.PageShift
+		if s := &m.l0[vpn&(l0Slots-1)]; s.e.Valid && s.vpn == vpn {
+			m.stats.TLBHits++
+			if f := m.check(s.e, va, at, key); f != nil {
+				m.stats.Faults++
+				return 0, false, f
+			}
+			return s.e.PPN<<mem.PageShift | va&(mem.PageSize-1), false, nil
+		}
+	}
 	e, hit := m.tlb.Lookup(va)
 	if m.probe != nil {
 		m.probe.Event(obs.Event{
@@ -228,7 +284,14 @@ func (m *MMU) Translate(va uint64, at Access, key uint16) (pa uint64, tlbMiss bo
 			m.stats.Faults++
 			return 0, true, f
 		}
+		// The insert may evict any TLB entry (round-robin), so the L0
+		// mirror must be rebuilt from scratch.
 		m.tlb.Insert(e)
+		m.clearL0()
+	}
+	if m.useL0 {
+		vpn := va >> mem.PageShift
+		m.l0[vpn&(l0Slots-1)] = l0Entry{vpn: vpn, e: e}
 	}
 	if f := m.check(e, va, at, key); f != nil {
 		m.stats.Faults++

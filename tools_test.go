@@ -229,6 +229,79 @@ func TestCLIBenchJSON(t *testing.T) {
 	}
 }
 
+// TestCLIBenchFlagValidation covers the harness's flag contract: an
+// unknown -only value must exit 2 with a message naming the known
+// experiments (not silently run nothing), -json cannot be combined
+// with -only, and a valid -only runs exactly that experiment.
+func TestCLIBenchFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "roload-bench")
+	if msg, err := exec.Command("go", "build", "-o", bench, "./cmd/roload-bench").CombinedOutput(); err != nil {
+		t.Fatalf("building roload-bench: %v\n%s", err, msg)
+	}
+	cases := []struct {
+		args     []string
+		exitCode int
+		stderr   string
+		stdout   string
+	}{
+		{[]string{"-only", "nosuch"}, 2, "unknown experiment", ""},
+		{[]string{"-only", "nosuch", "-scale", "test"}, 2, "known: table1", ""},
+		{[]string{"-json", "-", "-only", "fig3"}, 2, "cannot be combined", ""},
+		{[]string{"-scale", "nope"}, 2, "unknown scale", ""},
+		{[]string{"-scale", "test", "-only", "table2"}, 0, "", "Prototype system configuration"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(bench, c.args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("roload-bench %v: %v", c.args, err)
+		}
+		if code != c.exitCode {
+			t.Errorf("roload-bench %v: exit %d, want %d (stderr: %s)", c.args, code, c.exitCode, stderr.String())
+		}
+		if c.stderr != "" && !strings.Contains(stderr.String(), c.stderr) {
+			t.Errorf("roload-bench %v: stderr %q missing %q", c.args, stderr.String(), c.stderr)
+		}
+		if c.stdout != "" && !strings.Contains(stdout.String(), c.stdout) {
+			t.Errorf("roload-bench %v: stdout missing %q:\n%s", c.args, c.stdout, stdout.String())
+		}
+	}
+}
+
+// TestParallelRunnerRace re-runs the eval Runner's tests (worker pool,
+// shared image cache, measurement memo) under the race detector: the
+// concurrent evaluation engine must be provably race-clean, not just
+// quiet on one schedule. Skips gracefully where -race is unsupported
+// (no cgo / unsupported platform).
+func TestParallelRunnerRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "-run", "TestRunner", "roload/internal/eval")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		s := string(out)
+		if strings.Contains(s, "-race is only supported on") ||
+			strings.Contains(s, "-race requires cgo") ||
+			strings.Contains(s, "cgo is disabled") ||
+			strings.Contains(s, "C compiler") {
+			t.Skipf("race detector unavailable here:\n%s", s)
+		}
+		t.Fatalf("go test -race on the runner: %v\n%s", err, s)
+	}
+}
+
 // TestGofmtAndVet keeps the tree formatted and vet-clean: gofmt -l
 // must print nothing and go vet must pass across every package.
 func TestGofmtAndVet(t *testing.T) {
