@@ -4,23 +4,38 @@
 //
 // Usage:
 //
-//	roload-attack [-scenario name] [-v]
+//	roload-attack [-scenario name] [-harden scheme] [-v]
 //
-// Without -scenario, the full matrix runs. Exit status is nonzero if
-// any ROLoad-hardened victim was hijacked.
+// Without -scenario the full matrix runs; -harden restricts the run to
+// one scheme column (an unknown value exits 2 naming the known
+// schemes, the shared internal/cli contract of every tool). Exit
+// status is nonzero if any ROLoad-hardened victim was hijacked. The
+// report is rendered by attack.RenderMatrix, shared with the HTTP
+// service's POST /v1/attack, so the two outputs are byte-identical.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"roload/internal/attack"
+	"roload/internal/cli"
 	"roload/internal/core"
 )
 
 func main() {
 	scenario := flag.String("scenario", "", "run one scenario by name")
+	hardenFlag := cli.HardenFlag{Scheme: core.HardenNone}
+	hardenSet := false
+	flag.Func("harden", "run one hardening scheme column (default: the full matrix)", func(s string) error {
+		if err := hardenFlag.Set(s); err != nil {
+			return err
+		}
+		hardenSet = true
+		return nil
+	})
 	verbose := flag.Bool("v", false, "print per-run detail")
 	flag.Parse()
 
@@ -41,47 +56,18 @@ func main() {
 		}
 		scenarios = filtered
 	}
+	schemes := attack.MatrixSchemes
+	if hardenSet {
+		schemes = []core.Hardening{hardenFlag.Scheme}
+	}
 
-	bad := false
-	for _, sc := range scenarios {
-		fmt.Printf("%s — %s\n", sc.Name, sc.Description)
-		for _, h := range attack.MatrixSchemes {
-			r, err := sc.Mount(h)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "roload-attack: %s under %v: %v\n", sc.Name, h, err)
-				os.Exit(1)
-			}
-			mark := "  "
-			if r.Outcome == attack.Hijacked {
-				mark = "!!"
-				if sc.Covers(h) {
-					// A scheme whose protection scope includes this
-					// attack failed to stop it: a real defense bug.
-					bad = true
-				}
-			}
-			fmt.Printf(" %s %-6s -> %v\n", mark, schemeName(h), r.Outcome)
-			if *verbose {
-				fmt.Printf("      %s\n", r.Detail)
-			}
-			// A blocked attack leaves a ROLoad fault audit trail: the
-			// faulting pc, the dereferenced address, and the key
-			// mismatch the MMU detected.
-			for _, rec := range r.Run.Audit {
-				fmt.Printf("      %s\n", rec.String())
-			}
-		}
-		fmt.Println()
+	_, bad, err := attack.RenderMatrix(context.Background(), os.Stdout, scenarios, schemes, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roload-attack: %v\n", err)
+		os.Exit(1)
 	}
 	if bad {
 		fmt.Fprintln(os.Stderr, "roload-attack: a ROLoad-hardened victim was hijacked")
 		os.Exit(1)
 	}
-}
-
-func schemeName(h core.Hardening) string {
-	if h == core.HardenNone {
-		return "none"
-	}
-	return h.String()
 }

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,13 +30,15 @@ import (
 	"strings"
 
 	"roload/internal/attack"
+	"roload/internal/cli"
 	"roload/internal/core"
 	"roload/internal/eval"
 	"roload/internal/hw"
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "ref", "workload scale: ref or test")
+	scaleFlag := cli.ScaleFlag{Scale: eval.ScaleRef}
+	flag.Var(&scaleFlag, "scale", "workload scale: ref or test")
 	only := flag.String("only", "", "run a single experiment ("+strings.Join(eval.ExperimentIDs, ", ")+")")
 	root := flag.String("root", ".", "repository root (for Table I line counting)")
 	jsonPath := flag.String("json", "", "write all experiments as one JSON report to this path (- for stdout)")
@@ -44,13 +47,8 @@ func main() {
 	noFast := flag.Bool("nofastpath", false, "disable the simulator's host-side fast paths (bit-identical results, slower; for A/B debugging)")
 	flag.Parse()
 
-	scale := eval.ScaleRef
-	if *scaleFlag == "test" {
-		scale = eval.ScaleTest
-	} else if *scaleFlag != "ref" {
-		fmt.Fprintf(os.Stderr, "roload-bench: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
-	}
+	ctx := context.Background()
+	scale := scaleFlag.Scale
 
 	if *only != "" {
 		known := false
@@ -75,7 +73,7 @@ func main() {
 	runner.NoFastPath = *noFast
 
 	if *hostBench != "" {
-		doc, err := eval.MeasureHostBench(scale)
+		doc, err := eval.MeasureHostBench(ctx, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
 			os.Exit(1)
@@ -85,7 +83,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		report, err := runner.BuildReport(scale, *root)
+		report, err := runner.BuildReport(ctx, scale, *root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
 			os.Exit(1)
@@ -152,7 +150,7 @@ func main() {
 	})
 
 	run("sysoverhead", func() error {
-		rows, err := runner.SystemOverhead(scale)
+		rows, err := runner.SystemOverhead(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -167,7 +165,7 @@ func main() {
 	})
 
 	run("fig3", func() error {
-		points, err := runner.Fig3(scale)
+		points, err := runner.Fig3(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -181,7 +179,7 @@ func main() {
 	var fig45 []eval.OverheadPoint
 	run("fig4", func() error {
 		var err error
-		fig45, err = runner.Fig4And5(scale)
+		fig45, err = runner.Fig4And5(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -193,7 +191,7 @@ func main() {
 	run("fig5", func() error {
 		if fig45 == nil {
 			var err error
-			fig45, err = runner.Fig4And5(scale)
+			fig45, err = runner.Fig4And5(ctx, scale)
 			if err != nil {
 				return err
 			}
@@ -204,7 +202,7 @@ func main() {
 	})
 
 	run("retguard", func() error {
-		points, err := runner.ExtensionRetGuard(scale)
+		points, err := runner.ExtensionRetGuard(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -214,7 +212,7 @@ func main() {
 	})
 
 	run("security", func() error {
-		results, err := attack.Matrix()
+		results, err := attack.MatrixContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -3,27 +3,27 @@
 //
 // Usage:
 //
-//	roload-cc [-harden none|vcall|vtint|icall|cfi] [-o out.s] file.mc
+//	roload-cc [-harden none|vcall|vtint|icall|cfi|retguard|full] [-o out.s] file.mc
 //
 // The output is a single assembler source accepted by the in-tree
-// assembler (and roload-run).
+// assembler (and roload-run). An unknown -harden value exits 2 naming
+// the known schemes (the shared internal/cli contract of every tool).
+// The compilation path is core.CompileText, shared with the HTTP
+// service's POST /v1/compile, so the two outputs are byte-identical.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"roload/internal/asm"
-	"roload/internal/cc"
-	"roload/internal/cc/harden"
+	"roload/internal/cli"
 	"roload/internal/core"
-	"roload/internal/isa"
 )
 
 func main() {
-	hardenFlag := flag.String("harden", "none", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
+	hardenFlag := cli.HardenFlag{Scheme: core.HardenNone}
+	flag.Var(&hardenFlag, "harden", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
 	out := flag.String("o", "", "output file (default: stdout)")
 	optimize := flag.Bool("O", false, "run the peephole optimizer before hardening")
 	dump := flag.Bool("dump", false, "assemble and disassemble the linked image instead of printing assembly")
@@ -33,46 +33,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: roload-cc [-harden scheme] [-o out.s] file.mc")
 		os.Exit(2)
 	}
-	h, err := parseHardening(*hardenFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "roload-cc:", err)
-		os.Exit(2)
-	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roload-cc:", err)
 		os.Exit(1)
 	}
-	unit, err := cc.Compile(string(src))
+	text, err := core.CompileText(string(src), core.CompileOptions{
+		Harden:   hardenFlag.Scheme,
+		Optimize: *optimize,
+		Dump:     *dump,
+		Compress: *compress,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roload-cc:", err)
 		os.Exit(1)
-	}
-	if *optimize {
-		cc.Optimize(unit)
-	}
-	if err := harden.Apply(unit, h.Passes()...); err != nil {
-		fmt.Fprintln(os.Stderr, "roload-cc:", err)
-		os.Exit(1)
-	}
-	text := unit.Assembly()
-	if *dump {
-		opts := asm.DefaultOptions()
-		opts.Compress = *compress
-		img, err := asm.Assemble(text, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "roload-cc:", err)
-			os.Exit(1)
-		}
-		var b strings.Builder
-		for _, sec := range img.Sections {
-			fmt.Fprintf(&b, "section %s  va=%#x size=%d perm=%v key=%d\n",
-				sec.Name, sec.VA, sec.Size, sec.Perm, sec.Key)
-			if sec.Perm&asm.PermExec != 0 {
-				b.WriteString(isa.DisassembleText(sec.Data, sec.VA))
-			}
-		}
-		text = b.String()
 	}
 	if *out == "" {
 		fmt.Print(text)
@@ -82,24 +56,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "roload-cc:", err)
 		os.Exit(1)
 	}
-}
-
-func parseHardening(s string) (core.Hardening, error) {
-	switch s {
-	case "none":
-		return core.HardenNone, nil
-	case "vcall":
-		return core.HardenVCall, nil
-	case "vtint":
-		return core.HardenVTint, nil
-	case "icall":
-		return core.HardenICall, nil
-	case "cfi":
-		return core.HardenCFI, nil
-	case "retguard":
-		return core.HardenRetGuard, nil
-	case "full":
-		return core.HardenFull, nil
-	}
-	return 0, fmt.Errorf("unknown hardening scheme %q", s)
 }

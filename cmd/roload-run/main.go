@@ -7,11 +7,14 @@
 //	roload-run -asm prog.s
 //	roload-run -trace out.json -profile - -metrics run.json prog.mc
 //
-// Exit status mirrors the simulated process: its exit code, or 128 +
-// signal when it was killed.
+// -sys is an alias of -system. Unknown -system/-harden values exit 2
+// naming the known values (the shared internal/cli contract of every
+// tool). Exit status mirrors the simulated process: its exit code, or
+// 128 + signal when it was killed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,13 +24,17 @@ import (
 	"roload/internal/asm"
 	"roload/internal/cc"
 	"roload/internal/cc/harden"
+	"roload/internal/cli"
 	"roload/internal/core"
 	"roload/internal/obs"
 )
 
 func main() {
-	system := flag.String("system", "full", "system: baseline, proc, or full")
-	hardenFlag := flag.String("harden", "none", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
+	systemFlag := cli.SystemFlag{Kind: core.SysFull}
+	flag.Var(&systemFlag, "system", "system: baseline, proc, or full")
+	flag.Var(&systemFlag, "sys", "alias of -system")
+	hardenFlag := cli.HardenFlag{Scheme: core.HardenNone}
+	flag.Var(&hardenFlag, "harden", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
 	isAsm := flag.Bool("asm", false, "input is assembly, not MiniC")
 	optimize := flag.Bool("O", false, "run the peephole optimizer before hardening")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
@@ -42,23 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
 		os.Exit(2)
 	}
+	sys := systemFlag.Kind
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 	src := string(srcBytes)
-
-	var sys core.SystemKind
-	switch *system {
-	case "baseline":
-		sys = core.SysBaseline
-	case "proc":
-		sys = core.SysProcessorOnly
-	case "full":
-		sys = core.SysFull
-	default:
-		fatal(fmt.Errorf("unknown system %q", *system))
-	}
 
 	var img *asm.Image
 	if *isAsm {
@@ -67,25 +63,6 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		var h core.Hardening
-		switch *hardenFlag {
-		case "none":
-			h = core.HardenNone
-		case "vcall":
-			h = core.HardenVCall
-		case "vtint":
-			h = core.HardenVTint
-		case "icall":
-			h = core.HardenICall
-		case "cfi":
-			h = core.HardenCFI
-		case "retguard":
-			h = core.HardenRetGuard
-		case "full":
-			h = core.HardenFull
-		default:
-			fatal(fmt.Errorf("unknown hardening scheme %q", *hardenFlag))
-		}
 		unit, err := cc.Compile(src)
 		if err != nil {
 			fatal(err)
@@ -93,7 +70,7 @@ func main() {
 		if *optimize {
 			cc.Optimize(unit)
 		}
-		if err := harden.Apply(unit, h.Passes()...); err != nil {
+		if err := harden.Apply(unit, hardenFlag.Scheme.Passes()...); err != nil {
 			fatal(err)
 		}
 		img, err = asm.Assemble(unit.Assembly(), asm.DefaultOptions())
@@ -122,7 +99,7 @@ func main() {
 		probes = append(probes, prof)
 	}
 
-	res, _, err := core.RunWith(img, sys, core.RunOptions{
+	res, _, err := core.RunWith(context.Background(), img, sys, core.RunOptions{
 		MaxSteps: *maxSteps,
 		Probe:    obs.Combine(probes...),
 	})

@@ -1,0 +1,105 @@
+// Command roload-serve is the multi-tenant ROLoad execution service:
+// an HTTP JSON API (schema roload-serve/v1) that compiles, hardens,
+// runs and attacks guest programs on the simulated systems, and serves
+// the evaluation experiments on demand.
+//
+// Usage:
+//
+//	roload-serve [-addr :8080] [-workers N] [-queue N] [-grace 5s] ...
+//
+// Endpoints:
+//
+//	POST /v1/run               compile/harden/execute a guest program
+//	POST /v1/compile           MiniC in, hardened assembly out
+//	POST /v1/attack            mount the security matrix (or a slice)
+//	GET  /v1/experiments       list experiment ids and scales
+//	POST /v1/experiments/{id}  run one DESIGN.md §4 experiment
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              service counters (JSON)
+//
+// SIGINT/SIGTERM starts a graceful drain: new work is rejected, in-
+// flight runs get -grace to finish, then they are cancelled and
+// answered 504 with partial metrics. A second signal exits
+// immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"roload/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued requests beyond -workers before shedding 503 (0 = 4*workers)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	maxSteps := flag.Uint64("max-steps", 2_000_000_000, "per-run instruction budget cap and default")
+	maxMem := flag.Uint64("max-mem", 256<<20, "guest memory cap in bytes")
+	defTimeout := flag.Duration("timeout", 30*time.Second, "default per-request run deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied deadlines")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period before in-flight runs are cancelled")
+	root := flag.String("root", ".", "repository root (table1 experiment)")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := service.NewServer(service.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		MaxBodyBytes:   *maxBody,
+		MaxSteps:       *maxSteps,
+		MaxMemBytes:    *maxMem,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Grace:          *grace,
+		Root:           *root,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", slog.String("addr", *addr))
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "roload-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+	logger.Info("draining", slog.Duration("grace", *grace))
+	srv.StartDrain()
+
+	// Give in-flight requests the grace period plus a margin to flush
+	// their (possibly 504) responses, then close whatever remains.
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Warn("forced close", slog.String("err", err.Error()))
+		httpSrv.Close()
+	}
+	srv.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "roload-serve: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}

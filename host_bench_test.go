@@ -8,6 +8,7 @@
 package roload_test
 
 import (
+	"context"
 	"testing"
 
 	"roload/internal/core"
@@ -26,7 +27,7 @@ func benchmarkHostMIPS(b *testing.B, noFast bool) {
 	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+		m, err := core.MeasureImage(context.Background(), img, core.HardenNone, core.SysFull,
 			core.RunOptions{NoFastPath: noFast})
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,94 @@
+// Shared presentation of attack results: the roload-attack CLI and the
+// HTTP service's POST /v1/attack both render through these functions,
+// which is what makes their outputs byte-identical for the same
+// selection of scenarios and schemes.
+package attack
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"roload/internal/core"
+	"roload/internal/schema"
+)
+
+// SchemeName is the display name of a hardening scheme in attack
+// reports ("none" for the unhardened column).
+func SchemeName(h core.Hardening) string {
+	if h == core.HardenNone {
+		return "none"
+	}
+	return h.String()
+}
+
+// RenderMatrix mounts every (scenario, scheme) pair in order, writing
+// the roload-attack report to w as it goes. It returns the collected
+// results and whether any covered scheme was hijacked (a real defense
+// failure — the condition under which the CLI exits 1). On a mount
+// error the report written so far stays on w, mirroring the CLI's
+// incremental printing.
+func RenderMatrix(ctx context.Context, w io.Writer, scenarios []*Scenario, schemes []core.Hardening, verbose bool) ([]Result, bool, error) {
+	var out []Result
+	bad := false
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "%s — %s\n", sc.Name, sc.Description)
+		for _, h := range schemes {
+			r, err := sc.MountContext(ctx, h)
+			if err != nil {
+				return out, bad, fmt.Errorf("%s under %v: %w", sc.Name, h, err)
+			}
+			mark := "  "
+			if r.Outcome == Hijacked {
+				mark = "!!"
+				if sc.Covers(h) {
+					// A scheme whose protection scope includes this
+					// attack failed to stop it: a real defense bug.
+					bad = true
+				}
+			}
+			fmt.Fprintf(w, " %s %-6s -> %v\n", mark, SchemeName(h), r.Outcome)
+			if verbose {
+				fmt.Fprintf(w, "      %s\n", r.Detail)
+			}
+			// A blocked attack leaves a ROLoad fault audit trail: the
+			// faulting pc, the dereferenced address, and the key
+			// mismatch the MMU detected.
+			for _, rec := range r.Run.Audit {
+				fmt.Fprintf(w, "      %s\n", rec.String())
+			}
+			out = append(out, r)
+		}
+		fmt.Fprintln(w)
+	}
+	return out, bad, nil
+}
+
+// Entries converts results to the security entries of the bench
+// report. withDetail populates the free-text Detail column (the serve
+// API does; roload-bench/v1 reports leave it empty).
+func Entries(results []Result, withDetail bool) []schema.AttackEntry {
+	scenarios := map[string]*Scenario{}
+	for _, sc := range AllScenarios() {
+		scenarios[sc.Name] = sc
+	}
+	out := make([]schema.AttackEntry, 0, len(results))
+	for _, res := range results {
+		covered := false
+		if sc := scenarios[res.Scenario]; sc != nil {
+			covered = sc.Covers(res.Hardening)
+		}
+		e := schema.AttackEntry{
+			Scenario: res.Scenario,
+			Scheme:   SchemeName(res.Hardening),
+			Outcome:  res.Outcome.String(),
+			Hijacked: res.Outcome == Hijacked,
+			Covered:  covered,
+		}
+		if withDetail {
+			e.Detail = res.Detail
+		}
+		out = append(out, e)
+	}
+	return out
+}

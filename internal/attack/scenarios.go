@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"roload/internal/cc"
@@ -422,11 +423,20 @@ var MatrixSchemes = []core.Hardening{
 
 // Matrix runs every scenario under every hardening scheme and returns
 // the results in a stable order.
+//
+// Deprecated: Matrix is the pre-context entry point, kept one PR so
+// callers migrate incrementally; use MatrixContext.
 func Matrix() ([]Result, error) {
+	return MatrixContext(context.Background())
+}
+
+// MatrixContext is Matrix under a context; cancellation aborts the
+// sweep at the next scenario boundary or mid-run.
+func MatrixContext(ctx context.Context) ([]Result, error) {
 	var out []Result
 	for _, sc := range AllScenarios() {
 		for _, h := range MatrixSchemes {
-			r, err := sc.Mount(h)
+			r, err := sc.MountContext(ctx, h)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", sc.Name, h, err)
 			}

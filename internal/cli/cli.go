@@ -1,0 +1,138 @@
+// Package cli is the shared flag vocabulary of the roload command-line
+// tools: every tool parses -system/-sys, -harden and -scale through the
+// same parsers and flag.Value implementations, so an unknown value
+// produces the identical error everywhere — naming the known values —
+// and the same exit status (2, via flag.ExitOnError).
+package cli
+
+import (
+	"fmt"
+
+	"roload/internal/core"
+	"roload/internal/eval"
+)
+
+// ParseSystem maps a -system/-sys flag value to its SystemKind.
+func ParseSystem(name string) (core.SystemKind, error) {
+	switch name {
+	case "baseline":
+		return core.SysBaseline, nil
+	case "proc":
+		return core.SysProcessorOnly, nil
+	case "full":
+		return core.SysFull, nil
+	}
+	return 0, fmt.Errorf("unknown system %q (known: baseline, proc, full)", name)
+}
+
+// SystemName is the flag spelling of a system kind (the inverse of
+// ParseSystem; SystemKind.String is the long display form).
+func SystemName(k core.SystemKind) string {
+	switch k {
+	case core.SysBaseline:
+		return "baseline"
+	case core.SysProcessorOnly:
+		return "proc"
+	default:
+		return "full"
+	}
+}
+
+// ParseHardening maps a -harden flag value to its Hardening scheme.
+func ParseHardening(name string) (core.Hardening, error) {
+	switch name {
+	case "none":
+		return core.HardenNone, nil
+	case "vcall":
+		return core.HardenVCall, nil
+	case "vtint":
+		return core.HardenVTint, nil
+	case "icall":
+		return core.HardenICall, nil
+	case "cfi":
+		return core.HardenCFI, nil
+	case "retguard":
+		return core.HardenRetGuard, nil
+	case "full":
+		return core.HardenFull, nil
+	}
+	return 0, fmt.Errorf("unknown hardening scheme %q (known: none, vcall, vtint, icall, cfi, retguard, full)", name)
+}
+
+// HardeningName is the flag spelling of a hardening scheme (the
+// inverse of ParseHardening).
+func HardeningName(h core.Hardening) string {
+	switch h {
+	case core.HardenVCall:
+		return "vcall"
+	case core.HardenVTint:
+		return "vtint"
+	case core.HardenICall:
+		return "icall"
+	case core.HardenCFI:
+		return "cfi"
+	case core.HardenRetGuard:
+		return "retguard"
+	case core.HardenFull:
+		return "full"
+	default:
+		return "none"
+	}
+}
+
+// ParseScale maps a -scale flag value to its workload Scale.
+func ParseScale(name string) (eval.Scale, error) {
+	return eval.ParseScale(name)
+}
+
+// ScaleName is the flag spelling of a workload scale.
+func ScaleName(s eval.Scale) string {
+	if s == eval.ScaleRef {
+		return "ref"
+	}
+	return "test"
+}
+
+// SystemFlag is a flag.Value selecting a simulated system. Registered
+// on a flag.ExitOnError set, an unknown value exits 2 with the known
+// values in the message.
+type SystemFlag struct{ Kind core.SystemKind }
+
+func (f *SystemFlag) String() string { return SystemName(f.Kind) }
+
+func (f *SystemFlag) Set(s string) error {
+	k, err := ParseSystem(s)
+	if err != nil {
+		return err
+	}
+	f.Kind = k
+	return nil
+}
+
+// HardenFlag is a flag.Value selecting a hardening scheme.
+type HardenFlag struct{ Scheme core.Hardening }
+
+func (f *HardenFlag) String() string { return HardeningName(f.Scheme) }
+
+func (f *HardenFlag) Set(s string) error {
+	h, err := ParseHardening(s)
+	if err != nil {
+		return err
+	}
+	f.Scheme = h
+	return nil
+}
+
+// ScaleFlag is a flag.Value selecting a workload scale.
+type ScaleFlag struct{ Scale eval.Scale }
+
+func (f *ScaleFlag) String() string { return ScaleName(f.Scale) }
+
+func (f *ScaleFlag) Set(s string) error {
+	sc, err := ParseScale(s)
+	if err != nil {
+		return err
+	}
+	f.Scale = sc
+	return nil
+}

@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"roload/internal/core"
+	"roload/internal/eval"
+)
+
+func TestParseSystem(t *testing.T) {
+	cases := map[string]core.SystemKind{
+		"baseline": core.SysBaseline,
+		"proc":     core.SysProcessorOnly,
+		"full":     core.SysFull,
+	}
+	for name, want := range cases {
+		got, err := ParseSystem(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSystem(%q) = %v, %v", name, got, err)
+		}
+		if SystemName(want) != name {
+			t.Errorf("SystemName(%v) = %q", want, SystemName(want))
+		}
+	}
+	_, err := ParseSystem("mainframe")
+	if err == nil || !strings.Contains(err.Error(), "known: baseline, proc, full") {
+		t.Errorf("unknown system error = %v", err)
+	}
+}
+
+func TestParseHardening(t *testing.T) {
+	cases := map[string]core.Hardening{
+		"none": core.HardenNone, "vcall": core.HardenVCall, "vtint": core.HardenVTint,
+		"icall": core.HardenICall, "cfi": core.HardenCFI,
+		"retguard": core.HardenRetGuard, "full": core.HardenFull,
+	}
+	for name, want := range cases {
+		got, err := ParseHardening(name)
+		if err != nil || got != want {
+			t.Errorf("ParseHardening(%q) = %v, %v", name, got, err)
+		}
+		if HardeningName(want) != name {
+			t.Errorf("HardeningName(%v) = %q", want, HardeningName(want))
+		}
+	}
+	_, err := ParseHardening("aslr")
+	if err == nil || !strings.Contains(err.Error(), "known: none, vcall, vtint, icall, cfi, retguard, full") {
+		t.Errorf("unknown hardening error = %v", err)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]eval.Scale{"ref": eval.ScaleRef, "test": eval.ScaleTest} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+		if ScaleName(want) != name {
+			t.Errorf("ScaleName(%v) = %q", want, ScaleName(want))
+		}
+	}
+	_, err := ParseScale("huge")
+	if err == nil || !strings.Contains(err.Error(), "known: ref, test") {
+		t.Errorf("unknown scale error = %v", err)
+	}
+}
+
+// TestFlagValues drives the flag.Value wrappers through a FlagSet the
+// way the tools register them: good values parse, defaults render, and
+// bad values fail with the known-value message that flag reports
+// before exiting 2 under ExitOnError.
+func TestFlagValues(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sys := SystemFlag{Kind: core.SysFull}
+	fs.Var(&sys, "system", "")
+	fs.Var(&sys, "sys", "alias")
+	h := HardenFlag{Scheme: core.HardenNone}
+	fs.Var(&h, "harden", "")
+	sc := ScaleFlag{Scale: eval.ScaleRef}
+	fs.Var(&sc, "scale", "")
+
+	if err := fs.Parse([]string{"-sys", "proc", "-harden", "retguard", "-scale", "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kind != core.SysProcessorOnly || h.Scheme != core.HardenRetGuard || sc.Scale != eval.ScaleTest {
+		t.Errorf("parsed %v %v %v", sys.Kind, h.Scheme, sc.Scale)
+	}
+	if sys.String() != "proc" || h.String() != "retguard" || sc.String() != "test" {
+		t.Errorf("String() = %q %q %q", sys.String(), h.String(), sc.String())
+	}
+
+	for _, args := range [][]string{
+		{"-system", "mainframe"},
+		{"-sys", "mainframe"},
+		{"-harden", "aslr"},
+		{"-scale", "huge"},
+	} {
+		fs2 := flag.NewFlagSet("tool", flag.ContinueOnError)
+		fs2.SetOutput(io.Discard)
+		var s2 SystemFlag
+		var h2 HardenFlag
+		var c2 ScaleFlag
+		fs2.Var(&s2, "system", "")
+		fs2.Var(&s2, "sys", "")
+		fs2.Var(&h2, "harden", "")
+		fs2.Var(&c2, "scale", "")
+		err := fs2.Parse(args)
+		if err == nil || !strings.Contains(err.Error(), "known:") {
+			t.Errorf("%v: err = %v, want known-value list", args, err)
+		}
+	}
+}

@@ -5,11 +5,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"roload/internal/asm"
 	"roload/internal/cc"
 	"roload/internal/cc/harden"
+	"roload/internal/isa"
 	"roload/internal/kernel"
 	"roload/internal/obs"
 )
@@ -139,14 +142,26 @@ func Build(src string, h Hardening) (*asm.Image, *cc.Unit, error) {
 
 // Run executes an image on the selected system. maxSteps of 0 means
 // effectively unbounded.
+//
+// Deprecated: Run is the pre-context entry point, kept one PR so
+// callers migrate incrementally; use RunWith.
 func Run(img *asm.Image, sys SystemKind, maxSteps uint64) (kernel.RunResult, *kernel.Process, error) {
-	return RunWith(img, sys, RunOptions{MaxSteps: maxSteps})
+	return RunWith(context.Background(), img, sys, RunOptions{MaxSteps: maxSteps})
 }
 
-// RunOptions parameterizes RunWith beyond the system kind.
+// RunOptions is the single options path of the execution API,
+// parameterizing RunWith and MeasureImage beyond the system kind.
 type RunOptions struct {
 	// MaxSteps bounds the run (0 = effectively unbounded).
 	MaxSteps uint64
+	// MemBytes is the guest physical memory size (0 = kernel default,
+	// 256 MiB). The HTTP service uses it to enforce per-request memory
+	// limits.
+	MemBytes uint64
+	// CancelEvery is the context-poll stride in retired instructions
+	// (0 = kernel.DefaultCancelEvery). Host latency only; simulated
+	// observables are identical for any stride.
+	CancelEvery uint64
 	// Probe, when non-nil, observes the whole machine: instruction
 	// retires, traps, TLB/cache/walk activity, ROLoad key checks,
 	// syscalls, page faults and signal deliveries. A nil probe costs
@@ -158,11 +173,18 @@ type RunOptions struct {
 	NoFastPath bool
 }
 
-// RunWith executes an image on the selected system with observability
-// options.
-func RunWith(img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
+// RunWith executes an image on the selected system. The context
+// carries the run's deadline: when ctx is cancelled mid-run the kernel
+// stops within RunOptions.CancelEvery retired instructions and the
+// error is a *kernel.CanceledError alongside a partial result; when
+// the step budget runs out it is a *kernel.StepLimitError. Completed
+// runs are bit-identical whatever the context — cancellation can only
+// truncate a run, never change its observables.
+func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
 	cfg := sys.Config()
 	cfg.MaxSteps = opts.MaxSteps
+	cfg.MemBytes = opts.MemBytes
+	cfg.CancelEvery = opts.CancelEvery
 	cfg.CPU.NoFastPath = opts.NoFastPath
 	machine := kernel.NewSystem(cfg)
 	if opts.Probe != nil {
@@ -172,7 +194,7 @@ func RunWith(img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult,
 	if err != nil {
 		return kernel.RunResult{}, nil, err
 	}
-	res, err := machine.Run(p)
+	res, err := machine.RunContext(ctx, p)
 	return res, p, err
 }
 
@@ -210,21 +232,25 @@ type Measurement struct {
 }
 
 // Measure builds src with scheme h and runs it on sys.
+//
+// Deprecated: Measure is the pre-context entry point, kept one PR so
+// callers migrate incrementally; use Build + MeasureImage.
 func Measure(src string, h Hardening, sys SystemKind, maxSteps uint64) (Measurement, error) {
 	img, _, err := Build(src, h)
 	if err != nil {
 		return Measurement{}, err
 	}
-	return MeasureImage(img, h, sys, RunOptions{MaxSteps: maxSteps})
+	return MeasureImage(context.Background(), img, h, sys, RunOptions{MaxSteps: maxSteps})
 }
 
 // MeasureImage runs a prebuilt image on sys and packages the
 // measurement. Images are immutable after assembly, so one image may
 // back concurrent MeasureImage calls (each run builds its own
-// machine); this is what the eval runner's compile-once cache relies
-// on.
-func MeasureImage(img *asm.Image, h Hardening, sys SystemKind, opts RunOptions) (Measurement, error) {
-	res, _, err := RunWith(img, sys, opts)
+// machine); this is what the eval runner's compile-once cache and the
+// HTTP service's multi-tenant sharing rely on. The context semantics
+// are RunWith's.
+func MeasureImage(ctx context.Context, img *asm.Image, h Hardening, sys SystemKind, opts RunOptions) (Measurement, error) {
+	res, _, err := RunWith(ctx, img, sys, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -235,6 +261,55 @@ func MeasureImage(img *asm.Image, h Hardening, sys SystemKind, opts RunOptions) 
 		ImageBytes: img.TotalSize(),
 		CodeBytes:  img.CodeSize(),
 	}, nil
+}
+
+// CompileOptions parameterizes CompileText.
+type CompileOptions struct {
+	// Harden selects the hardening scheme applied after compilation.
+	Harden Hardening
+	// Optimize runs the peephole optimizer before hardening.
+	Optimize bool
+	// Dump assembles the program and renders a section-by-section
+	// disassembly of the linked image instead of assembly text.
+	Dump bool
+	// Compress applies RVC compression (meaningful with Dump).
+	Compress bool
+}
+
+// CompileText compiles MiniC source to the textual form roload-cc
+// prints: hardened assembly, or (with Dump) a disassembled image. The
+// CLI and the HTTP service share this path, which is what makes their
+// outputs byte-identical for the same input.
+func CompileText(src string, opts CompileOptions) (string, error) {
+	unit, err := cc.Compile(src)
+	if err != nil {
+		return "", err
+	}
+	if opts.Optimize {
+		cc.Optimize(unit)
+	}
+	if err := harden.Apply(unit, opts.Harden.Passes()...); err != nil {
+		return "", err
+	}
+	text := unit.Assembly()
+	if !opts.Dump {
+		return text, nil
+	}
+	aopts := asm.DefaultOptions()
+	aopts.Compress = opts.Compress
+	img, err := asm.Assemble(text, aopts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, sec := range img.Sections {
+		fmt.Fprintf(&b, "section %s  va=%#x size=%d perm=%v key=%d\n",
+			sec.Name, sec.VA, sec.Size, sec.Perm, sec.Key)
+		if sec.Perm&asm.PermExec != 0 {
+			b.WriteString(isa.DisassembleText(sec.Data, sec.VA))
+		}
+	}
+	return b.String(), nil
 }
 
 // Overhead returns (m.value - base.value) / base.value in percent for

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"roload/internal/kernel"
+)
+
+const spinProg = `
+func main() int {
+	var x int = 1;
+	while (x > 0) { x = x + 1; }
+	return 0;
+}
+`
+
+// TestRunWithDeadline: a run that cannot finish before its deadline is
+// cancelled cooperatively and reports *kernel.CanceledError alongside
+// a partial result that has made progress.
+func TestRunWithDeadline(t *testing.T) {
+	img, _, err := Build(spinProg, HardenNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, _, err := RunWith(ctx, img, SysFull, RunOptions{})
+	elapsed := time.Since(start)
+	var canceled *kernel.CanceledError
+	if !errors.As(err, &canceled) {
+		t.Fatalf("err = %v, want *kernel.CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	if res.Instret == 0 {
+		t.Error("partial result shows no progress")
+	}
+	if res.Exited {
+		t.Error("cancelled run reports a clean exit")
+	}
+}
+
+// TestRunWithStepLimit: an exhausted instruction budget is the typed
+// *kernel.StepLimitError (message naming the budget), with a partial
+// result.
+func TestRunWithStepLimit(t *testing.T) {
+	img, _, err := Build(spinProg, HardenNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := RunWith(context.Background(), img, SysFull, RunOptions{MaxSteps: 20_000})
+	var limit *kernel.StepLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *kernel.StepLimitError", err)
+	}
+	if limit.Limit != 20_000 {
+		t.Errorf("limit = %d", limit.Limit)
+	}
+	if res.Instret == 0 {
+		t.Error("partial result shows no progress")
+	}
+}
+
+// TestCancellationPreservesObservables: the context machinery must
+// never change the simulated observables of a run that completes —
+// whatever the poll stride, and whether or not a (never-fired) ctx is
+// attached. This is the DESIGN.md cancellation invariant.
+func TestCancellationPreservesObservables(t *testing.T) {
+	img, _, err := Build(prog, HardenICall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := RunWith(context.Background(), img, SysFull, RunOptions{MaxSteps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, stride := range []uint64{1, 7, 64, 100_000} {
+		res, _, err := RunWith(ctx, img, SysFull, RunOptions{MaxSteps: 10_000_000, CancelEvery: stride})
+		if err != nil {
+			t.Fatalf("stride %d: %v", stride, err)
+		}
+		if res.Cycles != base.Cycles || res.Instret != base.Instret ||
+			res.MemPeakKiB != base.MemPeakKiB || string(res.Stdout) != string(base.Stdout) ||
+			res.Code != base.Code {
+			t.Errorf("stride %d changed observables: %+v vs %+v", stride, res, base)
+		}
+	}
+}
+
+// TestCompileTextMatchesBuild: CompileText's assembly (the CLI and
+// service compile path) assembles to the same image Build produces.
+func TestCompileTextMatchesBuild(t *testing.T) {
+	text, err := CompileText(prog, CompileOptions{Harden: HardenICall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" {
+		t.Fatal("empty assembly")
+	}
+	dump, err := CompileText(prog, CompileOptions{Harden: HardenICall, Dump: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump == text {
+		t.Error("dump output identical to assembly output")
+	}
+	if _, err := CompileText("not minic", CompileOptions{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}

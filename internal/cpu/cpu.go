@@ -706,10 +706,32 @@ func (c *CPU) emitRetire(pc uint64, in isa.Inst, cyc0 uint64) {
 // Run executes until a trap or until maxInstructions retire; it
 // returns the trap (nil means the budget was exhausted).
 func (c *CPU) Run(maxInstructions uint64) *Trap {
+	return c.RunInterruptible(maxInstructions, 0, nil)
+}
+
+// RunInterruptible is Run with a cooperative stop: when pollEvery > 0
+// and stop is non-nil, stop() is consulted every pollEvery retired
+// instructions and a true return ends execution early with a nil trap
+// (the caller distinguishes an early stop from an exhausted budget by
+// re-checking its own condition). The poll changes host behaviour
+// only: the instruction stream, cycle accounting and statistics of the
+// instructions that did retire are identical to an uninterrupted run.
+func (c *CPU) RunInterruptible(maxInstructions, pollEvery uint64, stop func() bool) *Trap {
 	end := c.Instret + maxInstructions
 	for c.Instret < end {
-		if trap := c.Step(); trap != nil {
-			return trap
+		next := end
+		if pollEvery > 0 && stop != nil {
+			if n := c.Instret + pollEvery; n < end {
+				next = n
+			}
+		}
+		for c.Instret < next {
+			if trap := c.Step(); trap != nil {
+				return trap
+			}
+		}
+		if stop != nil && c.Instret < end && stop() {
+			return nil
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -58,16 +59,22 @@ type OverheadPoint struct {
 
 // Fig3 measures VCall and VTint on the three C++-style workloads
 // using a fresh GOMAXPROCS-wide Runner.
-func Fig3(s Scale) ([]OverheadPoint, error) { return NewRunner(0).Fig3(s) }
+func Fig3(s Scale) ([]OverheadPoint, error) {
+	return NewRunner(0).Fig3(context.Background(), s)
+}
 
 // Fig4And5 measures ICall and CFI on all eleven workloads. Figure 4
 // reads the runtime column; Figure 5 the memory column.
-func Fig4And5(s Scale) ([]OverheadPoint, error) { return NewRunner(0).Fig4And5(s) }
+func Fig4And5(s Scale) ([]OverheadPoint, error) {
+	return NewRunner(0).Fig4And5(context.Background(), s)
+}
 
 // ExtensionRetGuard measures the backward-edge extension on every
 // workload (not a paper figure; the paper sketches the application in
 // Section IV-C and this quantifies it).
-func ExtensionRetGuard(s Scale) ([]OverheadPoint, error) { return NewRunner(0).ExtensionRetGuard(s) }
+func ExtensionRetGuard(s Scale) ([]OverheadPoint, error) {
+	return NewRunner(0).ExtensionRetGuard(context.Background(), s)
+}
 
 // Average returns the mean runtime and memory overhead for one scheme.
 func Average(points []OverheadPoint, h core.Hardening) (rt, mem float64, n int) {
@@ -107,7 +114,9 @@ func (r SysOverheadRow) FullPct() float64 {
 // SystemOverhead reproduces Section V-B: every unhardened workload on
 // the baseline, processor-modified and processor+kernel-modified
 // systems, using a fresh GOMAXPROCS-wide Runner.
-func SystemOverhead(s Scale) ([]SysOverheadRow, error) { return NewRunner(0).SystemOverhead(s) }
+func SystemOverhead(s Scale) ([]SysOverheadRow, error) {
+	return NewRunner(0).SystemOverhead(context.Background(), s)
+}
 
 // LoCRow is one row of the Table I reproduction: the size of each
 // component of this reproduction that corresponds to a paper

@@ -3,42 +3,30 @@
 // plain interpreter versus the fast-path engine. This measures wall
 // clock on the machine running the harness — it says nothing about
 // the simulated results, which are bit-identical on both engines (the
-// measurement asserts that as it goes).
+// measurement asserts that as it goes). The document types live in
+// internal/schema.
 package eval
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"runtime"
 	"time"
 
 	"roload/internal/core"
+	"roload/internal/schema"
 	"roload/internal/spec"
 )
 
 // HostBenchSchema identifies the BENCH_host.json document format.
-const HostBenchSchema = "roload-hostbench/v1"
+const HostBenchSchema = schema.HostBenchV1
 
-// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
-type HostBenchEntry struct {
-	Benchmark    string  `json:"benchmark"`
-	Instructions uint64  `json:"instructions"`
-	InterpNS     int64   `json:"interp_ns"`
-	FastNS       int64   `json:"fast_ns"`
-	InterpMIPS   float64 `json:"interp_mips"`
-	FastMIPS     float64 `json:"fast_mips"`
-	Speedup      float64 `json:"speedup"`
-}
-
-// HostBench is the whole document.
-type HostBench struct {
-	Schema     string           `json:"schema"`
-	Scale      string           `json:"scale"`
-	GoMaxProcs int              `json:"go_max_procs"`
-	Entries    []HostBenchEntry `json:"entries"`
-	Total      HostBenchEntry   `json:"total"`
-}
+type (
+	// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
+	HostBenchEntry = schema.HostBenchEntry
+	// HostBench is the whole document.
+	HostBench = schema.HostBench
+)
 
 func mips(instructions uint64, d time.Duration) float64 {
 	if d <= 0 {
@@ -51,7 +39,8 @@ func mips(instructions uint64, d time.Duration) float64 {
 // on the fully modified system, once per engine. It fails if the two
 // engines disagree on cycles or retired instructions — the wall-clock
 // comparison is only meaningful under the bit-identical invariant.
-func MeasureHostBench(s Scale) (*HostBench, error) {
+// Cancellation aborts mid-workload with the kernel's cancel error.
+func MeasureHostBench(ctx context.Context, s Scale) (*HostBench, error) {
 	doc := &HostBench{
 		Schema:     HostBenchSchema,
 		Scale:      scaleName(s),
@@ -63,14 +52,14 @@ func MeasureHostBench(s Scale) (*HostBench, error) {
 			return nil, fmt.Errorf("eval: hostbench %s: %w", w.Name, err)
 		}
 		t0 := time.Now()
-		slow, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+		slow, err := core.MeasureImage(ctx, img, core.HardenNone, core.SysFull,
 			core.RunOptions{MaxSteps: maxSteps, NoFastPath: true})
 		interpNS := time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("eval: hostbench %s (interp): %w", w.Name, err)
 		}
 		t0 = time.Now()
-		fast, err := core.MeasureImage(img, core.HardenNone, core.SysFull,
+		fast, err := core.MeasureImage(ctx, img, core.HardenNone, core.SysFull,
 			core.RunOptions{MaxSteps: maxSteps})
 		fastNS := time.Since(t0)
 		if err != nil {
@@ -103,11 +92,4 @@ func MeasureHostBench(s Scale) (*HostBench, error) {
 		doc.Total.Speedup = float64(doc.Total.InterpNS) / float64(doc.Total.FastNS)
 	}
 	return doc, nil
-}
-
-// WriteJSON writes the document as indented JSON.
-func (h *HostBench) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(h)
 }

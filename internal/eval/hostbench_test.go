@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestHostBenchDocument(t *testing.T) {
 	if testing.Short() {
 		t.Skip("times every workload on both engines")
 	}
-	doc, err := MeasureHostBench(ScaleTest)
+	doc, err := MeasureHostBench(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,42 +1,45 @@
 // Machine-readable benchmark report: a single JSON document covering
 // every experiment of the evaluation (DESIGN.md §4), produced by
-// `roload-bench -json`. The schema is versioned so downstream tooling
-// can detect incompatible changes.
+// `roload-bench -json`. The document types and schema identifier live
+// in internal/schema (shared with the HTTP service); this file is the
+// assembly logic — per-experiment dispatch plus the whole-report
+// driver.
 package eval
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"sort"
+	"strings"
 
 	"roload/internal/attack"
-	"roload/internal/core"
 	"roload/internal/hw"
+	"roload/internal/schema"
 )
 
 // ReportSchema identifies the report document format.
-const ReportSchema = "roload-bench/v1"
+const ReportSchema = schema.BenchV1
 
 // ExperimentIDs lists every experiment id of DESIGN.md §4, in paper
 // order. A valid report carries data for each of them.
-var ExperimentIDs = []string{
-	"table1", "table2", "table3", "sysoverhead",
-	"fig3", "fig4", "fig5", "retguard", "security",
-}
+var ExperimentIDs = schema.ExperimentIDs
 
-// OverheadEntry is the JSON form of one OverheadPoint. Scheme is the
-// scheme's display name so the document is self-describing.
-type OverheadEntry struct {
-	Benchmark  string  `json:"benchmark"`
-	Scheme     string  `json:"scheme"`
-	RuntimePct float64 `json:"runtime_pct"`
-	MemPct     float64 `json:"mem_pct"`
-	BaseCycles uint64  `json:"base_cycles"`
-	Cycles     uint64  `json:"cycles"`
-	BaseMemKiB uint64  `json:"base_mem_kib"`
-	MemKiB     uint64  `json:"mem_kib"`
-}
+// Aliases for the document types, which moved to internal/schema so
+// consumers can decode reports without importing the harness. Existing
+// eval-based callers keep compiling unchanged.
+type (
+	// Report is the complete machine-readable evaluation document.
+	Report = schema.BenchReport
+	// OverheadEntry is the JSON form of one OverheadPoint.
+	OverheadEntry = schema.OverheadEntry
+	// LoCEntry is one Table I row.
+	LoCEntry = schema.LoCEntry
+	// HWEntry summarizes the Table III synthesis model.
+	HWEntry = schema.HWEntry
+	// SysOverheadEntry is one Section V-B row.
+	SysOverheadEntry = schema.SysOverheadEntry
+	// AttackEntry is one cell of the Section V-C2 security matrix.
+	AttackEntry = schema.AttackEntry
+)
 
 func overheadEntries(points []OverheadPoint) []OverheadEntry {
 	out := make([]OverheadEntry, len(points))
@@ -55,64 +58,6 @@ func overheadEntries(points []OverheadPoint) []OverheadEntry {
 	return out
 }
 
-// LoCEntry is one Table I row.
-type LoCEntry struct {
-	Component string `json:"component"`
-	Language  string `json:"language"`
-	Lines     int    `json:"lines"`
-}
-
-// HWEntry summarizes the Table III synthesis model.
-type HWEntry struct {
-	CoreBaseLUT   int     `json:"core_base_lut"`
-	CoreBaseFF    int     `json:"core_base_ff"`
-	CoreDeltaLUT  int     `json:"core_delta_lut"`
-	CoreDeltaFF   int     `json:"core_delta_ff"`
-	CorePctLUT    float64 `json:"core_pct_lut"`
-	CorePctFF     float64 `json:"core_pct_ff"`
-	FmaxBaseMHz   float64 `json:"fmax_base_mhz"`
-	FmaxROLoadMHz float64 `json:"fmax_roload_mhz"`
-}
-
-// SysOverheadEntry is one Section V-B row.
-type SysOverheadEntry struct {
-	Benchmark  string  `json:"benchmark"`
-	BaseCycles uint64  `json:"base_cycles"`
-	ProcCycles uint64  `json:"proc_cycles"`
-	FullCycles uint64  `json:"full_cycles"`
-	ProcPct    float64 `json:"proc_pct"`
-	FullPct    float64 `json:"full_pct"`
-}
-
-// AttackEntry is one cell of the Section V-C2 security matrix.
-// Covered records whether the scheme's protection scope includes the
-// scenario: hijacked && covered is a defense failure, while a hijack
-// under an uncovered scheme is the expected negative control.
-type AttackEntry struct {
-	Scenario string `json:"scenario"`
-	Scheme   string `json:"scheme"`
-	Outcome  string `json:"outcome"`
-	Hijacked bool   `json:"hijacked"`
-	Covered  bool   `json:"covered"`
-}
-
-// Report is the complete machine-readable evaluation document. Every
-// DESIGN.md §4 experiment id appears as a field whose JSON key equals
-// the id.
-type Report struct {
-	Schema      string             `json:"schema"`
-	Scale       string             `json:"scale"`
-	Table1      []LoCEntry         `json:"table1"`
-	Table2      []string           `json:"table2"`
-	Table3      HWEntry            `json:"table3"`
-	SysOverhead []SysOverheadEntry `json:"sysoverhead"`
-	Fig3        []OverheadEntry    `json:"fig3"`
-	Fig4        []OverheadEntry    `json:"fig4"`
-	Fig5        []OverheadEntry    `json:"fig5"`
-	RetGuard    []OverheadEntry    `json:"retguard"`
-	Security    []AttackEntry      `json:"security"`
-}
-
 func scaleName(s Scale) string {
 	if s == ScaleRef {
 		return "ref"
@@ -120,159 +65,151 @@ func scaleName(s Scale) string {
 	return "test"
 }
 
+// ParseScale maps a scale name to its Scale (the inverse of
+// scaleName); internal/cli exposes it to every tool's -scale flag.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "ref":
+		return ScaleRef, nil
+	case "test":
+		return ScaleTest, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (known: ref, test)", name)
+}
+
+// Experiment computes one DESIGN.md §4 experiment and returns exactly
+// the value the roload-bench/v1 report stores under that id. The
+// dispatch is shared by BuildReport and the HTTP service's
+// POST /v1/experiments/{id}; cells shared across ids (every figure's
+// unhardened baseline, the sysoverhead full-system column, the single
+// measurement behind fig4 and fig5) are computed once per Runner
+// thanks to the measurement memo. root is the repository root (only
+// table1 reads it).
+func (run *Runner) Experiment(ctx context.Context, id string, s Scale, root string) (any, error) {
+	switch id {
+	case "table1":
+		locRows, err := TableI(root)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]LoCEntry, 0, len(locRows))
+		for _, row := range locRows {
+			out = append(out, LoCEntry{
+				Component: row.Component, Language: row.Language, Lines: row.Lines,
+			})
+		}
+		return out, nil
+
+	case "table2":
+		return TableII(), nil
+
+	case "table3":
+		syn := hw.Synthesize(hw.DefaultConfig())
+		delta := syn.CoreROLoad
+		delta.LUT -= syn.CoreBase.LUT
+		delta.FF -= syn.CoreBase.FF
+		return HWEntry{
+			CoreBaseLUT:   syn.CoreBase.LUT,
+			CoreBaseFF:    syn.CoreBase.FF,
+			CoreDeltaLUT:  delta.LUT,
+			CoreDeltaFF:   delta.FF,
+			CorePctLUT:    syn.PctLUT(),
+			CorePctFF:     syn.PctFF(),
+			FmaxBaseMHz:   syn.TimingBase.FmaxMHz,
+			FmaxROLoadMHz: syn.TimingROLoad.FmaxMHz,
+		}, nil
+
+	case "sysoverhead":
+		sysRows, err := run.SystemOverhead(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]SysOverheadEntry, 0, len(sysRows))
+		for _, row := range sysRows {
+			out = append(out, SysOverheadEntry{
+				Benchmark:  row.Benchmark,
+				BaseCycles: row.BaseCycles,
+				ProcCycles: row.ProcCycles,
+				FullCycles: row.FullCycles,
+				ProcPct:    row.ProcPct(),
+				FullPct:    row.FullPct(),
+			})
+		}
+		return out, nil
+
+	case "fig3":
+		points, err := run.Fig3(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return overheadEntries(points), nil
+
+	case "fig4", "fig5":
+		// Figures 4 and 5 read the runtime and memory columns of the
+		// same measurement; both ids carry the full rows so either axis
+		// can be reconstructed from either field.
+		points, err := run.Fig4And5(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return overheadEntries(points), nil
+
+	case "retguard":
+		points, err := run.ExtensionRetGuard(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return overheadEntries(points), nil
+
+	case "security":
+		results, err := attack.MatrixContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return attack.Entries(results, false), nil
+	}
+	return nil, fmt.Errorf("eval: unknown experiment %q (known: %s)",
+		id, strings.Join(ExperimentIDs, ", "))
+}
+
 // BuildReport runs every experiment at the given scale and assembles
 // the report, using a fresh GOMAXPROCS-wide Runner. root is the
 // repository root (Table I line counting).
 func BuildReport(s Scale, root string) (*Report, error) {
-	return NewRunner(0).BuildReport(s, root)
+	return NewRunner(0).BuildReport(context.Background(), s, root)
 }
 
 // BuildReport runs every experiment at the given scale on this Runner
 // and assembles the report. Measurements shared between experiments
 // (the unhardened full-system runs appear in sysoverhead and as every
 // figure's baseline) are measured once thanks to the Runner's memo.
-func (run *Runner) BuildReport(s Scale, root string) (*Report, error) {
+func (run *Runner) BuildReport(ctx context.Context, s Scale, root string) (*Report, error) {
 	r := &Report{Schema: ReportSchema, Scale: scaleName(s)}
-
-	locRows, err := TableI(root)
-	if err != nil {
-		return nil, fmt.Errorf("eval: table1: %w", err)
-	}
-	for _, row := range locRows {
-		r.Table1 = append(r.Table1, LoCEntry{
-			Component: row.Component, Language: row.Language, Lines: row.Lines,
-		})
-	}
-
-	r.Table2 = TableII()
-
-	syn := hw.Synthesize(hw.DefaultConfig())
-	delta := syn.CoreROLoad
-	delta.LUT -= syn.CoreBase.LUT
-	delta.FF -= syn.CoreBase.FF
-	r.Table3 = HWEntry{
-		CoreBaseLUT:   syn.CoreBase.LUT,
-		CoreBaseFF:    syn.CoreBase.FF,
-		CoreDeltaLUT:  delta.LUT,
-		CoreDeltaFF:   delta.FF,
-		CorePctLUT:    syn.PctLUT(),
-		CorePctFF:     syn.PctFF(),
-		FmaxBaseMHz:   syn.TimingBase.FmaxMHz,
-		FmaxROLoadMHz: syn.TimingROLoad.FmaxMHz,
-	}
-
-	sysRows, err := run.SystemOverhead(s)
-	if err != nil {
-		return nil, fmt.Errorf("eval: sysoverhead: %w", err)
-	}
-	for _, row := range sysRows {
-		r.SysOverhead = append(r.SysOverhead, SysOverheadEntry{
-			Benchmark:  row.Benchmark,
-			BaseCycles: row.BaseCycles,
-			ProcCycles: row.ProcCycles,
-			FullCycles: row.FullCycles,
-			ProcPct:    row.ProcPct(),
-			FullPct:    row.FullPct(),
-		})
-	}
-
-	fig3, err := run.Fig3(s)
-	if err != nil {
-		return nil, fmt.Errorf("eval: fig3: %w", err)
-	}
-	r.Fig3 = overheadEntries(fig3)
-
-	// Figures 4 and 5 read the runtime and memory columns of the same
-	// measurement; both ids carry the full rows so either axis can be
-	// reconstructed from either field.
-	fig45, err := run.Fig4And5(s)
-	if err != nil {
-		return nil, fmt.Errorf("eval: fig4/fig5: %w", err)
-	}
-	r.Fig4 = overheadEntries(fig45)
-	r.Fig5 = overheadEntries(fig45)
-
-	rg, err := run.ExtensionRetGuard(s)
-	if err != nil {
-		return nil, fmt.Errorf("eval: retguard: %w", err)
-	}
-	r.RetGuard = overheadEntries(rg)
-
-	results, err := attack.Matrix()
-	if err != nil {
-		return nil, fmt.Errorf("eval: security: %w", err)
-	}
-	scenarios := map[string]*attack.Scenario{}
-	for _, sc := range attack.AllScenarios() {
-		scenarios[sc.Name] = sc
-	}
-	for _, res := range results {
-		scheme := "none"
-		if res.Hardening != core.HardenNone {
-			scheme = res.Hardening.String()
-		}
-		covered := false
-		if sc := scenarios[res.Scenario]; sc != nil {
-			covered = sc.Covers(res.Hardening)
-		}
-		r.Security = append(r.Security, AttackEntry{
-			Scenario: res.Scenario,
-			Scheme:   scheme,
-			Outcome:  res.Outcome.String(),
-			Hijacked: res.Outcome == attack.Hijacked,
-			Covered:  covered,
-		})
-	}
-
-	return r, nil
-}
-
-// Validate checks the report against the schema contract: correct
-// schema string, a known scale, and non-empty data under every
-// experiment id of DESIGN.md §4.
-func (r *Report) Validate() error {
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("eval: report schema %q, want %q", r.Schema, ReportSchema)
-	}
-	if r.Scale != "ref" && r.Scale != "test" {
-		return fmt.Errorf("eval: unknown scale %q", r.Scale)
-	}
-	// Marshal and check the ids generically so the list in
-	// ExperimentIDs stays the single source of truth.
-	raw, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	var doc map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return err
-	}
-	missing := []string{}
 	for _, id := range ExperimentIDs {
-		v, ok := doc[id]
-		if !ok || string(v) == "null" || string(v) == "[]" || string(v) == "{}" {
-			missing = append(missing, id)
+		data, err := run.Experiment(ctx, id, s, root)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", id, err)
+		}
+		switch id {
+		case "table1":
+			r.Table1 = data.([]LoCEntry)
+		case "table2":
+			r.Table2 = data.([]string)
+		case "table3":
+			r.Table3 = data.(HWEntry)
+		case "sysoverhead":
+			r.SysOverhead = data.([]SysOverheadEntry)
+		case "fig3":
+			r.Fig3 = data.([]OverheadEntry)
+		case "fig4":
+			r.Fig4 = data.([]OverheadEntry)
+		case "fig5":
+			r.Fig5 = data.([]OverheadEntry)
+		case "retguard":
+			r.RetGuard = data.([]OverheadEntry)
+		case "security":
+			r.Security = data.([]AttackEntry)
 		}
 	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		return fmt.Errorf("eval: report missing experiments: %v", missing)
-	}
-	if len(r.Fig4) != len(r.Fig5) {
-		return fmt.Errorf("eval: fig4 (%d rows) and fig5 (%d rows) must cover the same measurement",
-			len(r.Fig4), len(r.Fig5))
-	}
-	for _, e := range r.Security {
-		if e.Scenario == "" || e.Scheme == "" || e.Outcome == "" {
-			return fmt.Errorf("eval: incomplete security entry %+v", e)
-		}
-	}
-	return nil
-}
-
-// WriteJSON writes the report as indented JSON.
-func (r *Report) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return r, nil
 }

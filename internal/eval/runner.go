@@ -1,16 +1,23 @@
 // Runner: the concurrent measurement engine behind the experiment
-// drivers. Every (source, hardening, system) cell the evaluation needs
-// is measured exactly once — images are compiled once per
-// (source, hardening) and shared read-only across systems, and cells
-// shared between experiments (the unhardened full-system runs are the
-// baseline of every figure *and* a column of the Section V-B table)
-// are deduplicated by memoization. Cells are warmed by a bounded
-// worker pool; the assembly of tables and figures stays serial, so
-// results, orderings and error messages are identical to a serial run
-// regardless of completion order.
+// drivers and the HTTP service. Every (source, hardening, system) cell
+// the evaluation needs is measured exactly once — images are compiled
+// once per (source, hardening) and shared read-only across systems,
+// and cells shared between experiments (the unhardened full-system
+// runs are the baseline of every figure *and* a column of the Section
+// V-B table) are deduplicated by memoization. Cells are warmed by a
+// bounded worker pool; the assembly of tables and figures stays
+// serial, so results, orderings and error messages are identical to a
+// serial run regardless of completion order.
+//
+// Measurement is context-aware: a cell whose leader is cancelled
+// mid-run is evicted from the memo (a dead tenant must not poison the
+// cache for live ones), and waiters whose own context is still live
+// simply re-run the cell.
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,14 +46,16 @@ type measureKey struct {
 }
 
 type measureEntry struct {
-	once sync.Once
+	done chan struct{}
 	m    core.Measurement
 	err  error
 }
 
 // Runner measures experiment cells with a bounded worker pool and
 // memoizes both compiled images and measurements. The zero value is
-// not usable; call NewRunner. A Runner is safe for concurrent use.
+// not usable; call NewRunner. A Runner is safe for concurrent use —
+// including by concurrent HTTP requests sharing one server-wide
+// instance.
 type Runner struct {
 	// NoFastPath forwards to every simulator instance (see
 	// cpu.Config.NoFastPath). Set before the first measurement.
@@ -57,6 +66,9 @@ type Runner struct {
 	mu     sync.Mutex
 	images map[imageKey]*imageEntry
 	meas   map[measureKey]*measureEntry
+
+	imageHits   atomic.Uint64
+	imageMisses atomic.Uint64
 }
 
 // NewRunner returns a Runner running up to parallel cells at once;
@@ -72,9 +84,32 @@ func NewRunner(parallel int) *Runner {
 	}
 }
 
+// RunnerStats describes the Runner's caches (service /metrics).
+type RunnerStats struct {
+	Images       int
+	Measurements int
+	ImageHits    uint64
+	ImageMisses  uint64
+}
+
+// Stats returns a point-in-time view of the caches.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	images, meas := len(r.images), len(r.meas)
+	r.mu.Unlock()
+	return RunnerStats{
+		Images:       images,
+		Measurements: meas,
+		ImageHits:    r.imageHits.Load(),
+		ImageMisses:  r.imageMisses.Load(),
+	}
+}
+
 // Image compiles src under h, once per (src, h); concurrent callers
 // share the result. Images are immutable after assembly, so sharing
-// them across simulator instances is safe.
+// them across simulator instances is safe. Compilation is quick and
+// deterministic, so it deliberately takes no context: once started it
+// always completes and the cache entry is always reusable.
 func (r *Runner) Image(src string, h core.Hardening) (*asm.Image, error) {
 	r.mu.Lock()
 	e, ok := r.images[imageKey{src, h}]
@@ -83,34 +118,76 @@ func (r *Runner) Image(src string, h core.Hardening) (*asm.Image, error) {
 		r.images[imageKey{src, h}] = e
 	}
 	r.mu.Unlock()
+	if ok {
+		r.imageHits.Add(1)
+	} else {
+		r.imageMisses.Add(1)
+	}
 	e.once.Do(func() {
 		e.img, _, e.err = core.Build(src, h)
 	})
 	return e.img, e.err
 }
 
+// ctxErr reports whether err stems from context cancellation or an
+// expired deadline (including kernel.CanceledError wrappers).
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Measure builds (via the image cache) and runs one cell, once per
 // (src, h, sys); concurrent and repeated callers share the result.
-func (r *Runner) Measure(src string, h core.Hardening, sys core.SystemKind) (core.Measurement, error) {
-	r.mu.Lock()
-	e, ok := r.meas[measureKey{src, h, sys}]
-	if !ok {
-		e = &measureEntry{}
-		r.meas[measureKey{src, h, sys}] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() {
-		img, err := r.Image(src, h)
-		if err != nil {
-			e.err = err
-			return
+// A cell cancelled mid-run is evicted so a later caller with a live
+// context measures it afresh; waiters bail out on their own context
+// without disturbing the leader.
+func (r *Runner) Measure(ctx context.Context, src string, h core.Hardening, sys core.SystemKind) (core.Measurement, error) {
+	k := measureKey{src, h, sys}
+	for {
+		r.mu.Lock()
+		e, ok := r.meas[k]
+		if !ok {
+			e = &measureEntry{done: make(chan struct{})}
+			r.meas[k] = e
+			r.mu.Unlock()
+			e.m, e.err = r.measureCell(ctx, src, h, sys)
+			if ctxErr(e.err) {
+				r.mu.Lock()
+				if r.meas[k] == e {
+					delete(r.meas, k)
+				}
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.m, e.err
 		}
-		e.m, e.err = core.MeasureImage(img, h, sys, core.RunOptions{
-			MaxSteps:   maxSteps,
-			NoFastPath: r.NoFastPath,
-		})
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			if ctxErr(e.err) {
+				// The leader was cancelled; this waiter's context may
+				// still be live — retry against a fresh entry (or fail
+				// fast if our own context is also done).
+				if err := ctx.Err(); err != nil {
+					return core.Measurement{}, err
+				}
+				continue
+			}
+			return e.m, e.err
+		case <-ctx.Done():
+			return core.Measurement{}, ctx.Err()
+		}
+	}
+}
+
+func (r *Runner) measureCell(ctx context.Context, src string, h core.Hardening, sys core.SystemKind) (core.Measurement, error) {
+	img, err := r.Image(src, h)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	return core.MeasureImage(ctx, img, h, sys, core.RunOptions{
+		MaxSteps:   maxSteps,
+		NoFastPath: r.NoFastPath,
 	})
-	return e.m, e.err
 }
 
 // forEach runs fn(0..n-1) on the worker pool. All indices run even if
@@ -159,10 +236,12 @@ func (r *Runner) forEach(n int, fn func(int) error) error {
 // warm concurrently populates the measurement memo for a set of cells.
 // Errors are deliberately swallowed: they are memoized, and the serial
 // assembly that follows re-reads the memo and reports the same error a
-// serial run would, in the same order and wording.
-func (r *Runner) warm(cells []measureKey) {
+// serial run would, in the same order and wording. (Cancellation is
+// the exception — cancelled cells are evicted, and the serial re-read
+// surfaces the caller's own context error.)
+func (r *Runner) warm(ctx context.Context, cells []measureKey) {
 	r.forEach(len(cells), func(i int) error {
-		r.Measure(cells[i].src, cells[i].h, cells[i].sys)
+		r.Measure(ctx, cells[i].src, cells[i].h, cells[i].sys)
 		return nil
 	})
 }
@@ -170,7 +249,7 @@ func (r *Runner) warm(cells []measureKey) {
 // measureOverheads is the Runner-backed engine of Figures 3-5 and the
 // RetGuard extension: each workload unhardened and under each scheme
 // on the fully modified system.
-func (r *Runner) measureOverheads(ws []spec.Workload, schemes []core.Hardening, s Scale) ([]OverheadPoint, error) {
+func (r *Runner) measureOverheads(ctx context.Context, ws []spec.Workload, schemes []core.Hardening, s Scale) ([]OverheadPoint, error) {
 	var cells []measureKey
 	for _, w := range ws {
 		source := src(w, s)
@@ -179,12 +258,12 @@ func (r *Runner) measureOverheads(ws []spec.Workload, schemes []core.Hardening, 
 			cells = append(cells, measureKey{source, h, core.SysFull})
 		}
 	}
-	r.warm(cells)
+	r.warm(ctx, cells)
 
 	var out []OverheadPoint
 	for _, w := range ws {
 		source := src(w, s)
-		base, err := r.Measure(source, core.HardenNone, core.SysFull)
+		base, err := r.Measure(ctx, source, core.HardenNone, core.SysFull)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s baseline: %w", w.Name, err)
 		}
@@ -192,7 +271,7 @@ func (r *Runner) measureOverheads(ws []spec.Workload, schemes []core.Hardening, 
 			return nil, fmt.Errorf("eval: %s baseline killed by %v", w.Name, base.Result.Signal)
 		}
 		for _, h := range schemes {
-			m, err := r.Measure(source, h, core.SysFull)
+			m, err := r.Measure(ctx, source, h, core.SysFull)
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s under %v: %w", w.Name, h, err)
 			}
@@ -219,25 +298,25 @@ func (r *Runner) measureOverheads(ws []spec.Workload, schemes []core.Hardening, 
 }
 
 // Fig3 measures VCall and VTint on the three C++-style workloads.
-func (r *Runner) Fig3(s Scale) ([]OverheadPoint, error) {
-	return r.measureOverheads(spec.CXX(), []core.Hardening{core.HardenVCall, core.HardenVTint}, s)
+func (r *Runner) Fig3(ctx context.Context, s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(ctx, spec.CXX(), []core.Hardening{core.HardenVCall, core.HardenVTint}, s)
 }
 
 // Fig4And5 measures ICall and CFI on all eleven workloads.
-func (r *Runner) Fig4And5(s Scale) ([]OverheadPoint, error) {
-	return r.measureOverheads(spec.Workloads(), []core.Hardening{core.HardenICall, core.HardenCFI}, s)
+func (r *Runner) Fig4And5(ctx context.Context, s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(ctx, spec.Workloads(), []core.Hardening{core.HardenICall, core.HardenCFI}, s)
 }
 
 // ExtensionRetGuard measures the backward-edge extension on every
 // workload.
-func (r *Runner) ExtensionRetGuard(s Scale) ([]OverheadPoint, error) {
-	return r.measureOverheads(spec.Workloads(), []core.Hardening{core.HardenRetGuard}, s)
+func (r *Runner) ExtensionRetGuard(ctx context.Context, s Scale) ([]OverheadPoint, error) {
+	return r.measureOverheads(ctx, spec.Workloads(), []core.Hardening{core.HardenRetGuard}, s)
 }
 
 // SystemOverhead reproduces Section V-B: every unhardened workload on
 // the baseline, processor-modified and processor+kernel-modified
 // systems.
-func (r *Runner) SystemOverhead(s Scale) ([]SysOverheadRow, error) {
+func (r *Runner) SystemOverhead(ctx context.Context, s Scale) ([]SysOverheadRow, error) {
 	systems := []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull}
 	var cells []measureKey
 	for _, w := range spec.Workloads() {
@@ -246,7 +325,7 @@ func (r *Runner) SystemOverhead(s Scale) ([]SysOverheadRow, error) {
 			cells = append(cells, measureKey{source, core.HardenNone, sys})
 		}
 	}
-	r.warm(cells)
+	r.warm(ctx, cells)
 
 	var out []SysOverheadRow
 	for _, w := range spec.Workloads() {
@@ -254,7 +333,7 @@ func (r *Runner) SystemOverhead(s Scale) ([]SysOverheadRow, error) {
 		row := SysOverheadRow{Benchmark: w.Name}
 		var ref []byte
 		for i, sys := range systems {
-			m, err := r.Measure(source, core.HardenNone, sys)
+			m, err := r.Measure(ctx, source, core.HardenNone, sys)
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s on %v: %w", w.Name, sys, err)
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -14,11 +15,11 @@ import (
 // worker pool must produce exactly the points a serial run produces,
 // regardless of completion order.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
-	serial, err := NewRunner(1).Fig3(ScaleTest)
+	serial, err := NewRunner(1).Fig3(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := NewRunner(8).Fig3(ScaleTest)
+	parallel, err := NewRunner(8).Fig3(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,13 +31,13 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 // TestRunnerNoFastPathMatches proves the runner's NoFastPath toggle
 // changes nothing observable in the measurements.
 func TestRunnerNoFastPathMatches(t *testing.T) {
-	fast, err := NewRunner(4).Fig3(ScaleTest)
+	fast, err := NewRunner(4).Fig3(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
 	slowRunner := NewRunner(4)
 	slowRunner.NoFastPath = true
-	slow, err := slowRunner.Fig3(ScaleTest)
+	slow, err := slowRunner.Fig3(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +80,11 @@ func TestRunnerImageCache(t *testing.T) {
 		t.Errorf("image cache holds %d entries, want 1", len(r.images))
 	}
 
-	m1, err := r.Measure(source, core.HardenICall, core.SysFull)
+	m1, err := r.Measure(context.Background(), source, core.HardenICall, core.SysFull)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := r.Measure(source, core.HardenICall, core.SysFull)
+	m2, err := r.Measure(context.Background(), source, core.HardenICall, core.SysFull)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,4 +122,64 @@ func TestRunnerForEachLowestError(t *testing.T) {
 	if err := NewRunner(1).forEach(3, func(int) error { return nil }); err != nil {
 		t.Errorf("serial forEach: %v", err)
 	}
+}
+
+// TestRunnerCancelEvictsMemo proves a cancelled Measure does not
+// poison the memo: the failed leader's entry is evicted, and a later
+// caller with a live context gets a real measurement, identical to an
+// uncontended one.
+func TestRunnerCancelEvictsMemo(t *testing.T) {
+	source := spec.Workloads()[0].TestSource()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the leader must fail with a ctx error
+	r := NewRunner(4)
+	if _, err := r.Measure(ctx, source, core.HardenNone, core.SysFull); err == nil {
+		t.Fatal("Measure with a cancelled context succeeded")
+	}
+	r.mu.Lock()
+	stale := len(r.meas)
+	r.mu.Unlock()
+	if stale != 0 {
+		t.Fatalf("cancelled Measure left %d memo entries", stale)
+	}
+
+	got, err := r.Measure(context.Background(), source, core.HardenNone, core.SysFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewRunner(1).Measure(context.Background(), source, core.HardenNone, core.SysFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-eviction measurement diverged: %+v vs %+v", got, want)
+	}
+
+	// Concurrent waiters racing a cancelled leader must also converge:
+	// each uses its own context, so live callers retry and succeed.
+	var wg sync.WaitGroup
+	r2 := NewRunner(4)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		live := i%2 == 0
+		go func() {
+			defer wg.Done()
+			c := context.Background()
+			if !live {
+				var cancel2 context.CancelFunc
+				c, cancel2 = context.WithCancel(c)
+				cancel2()
+			}
+			m, err := r2.Measure(c, source, core.HardenNone, core.SysFull)
+			if live {
+				if err != nil {
+					t.Errorf("live waiter failed: %v", err)
+				} else if !reflect.DeepEqual(m, want) {
+					t.Error("live waiter got a divergent measurement")
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel: cancelling the context stops an otherwise
+// endless program within the poll stride and reports the typed
+// cancel error with a partial result.
+func TestRunContextCancel(t *testing.T) {
+	cfg := FullSystem()
+	cfg.CancelEvery = 4096
+	sys := NewSystem(cfg)
+	p, err := sys.Spawn(mustImage(t, "_start:\n\tj _start\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := sys.RunContext(ctx, p)
+	var canceled *CanceledError
+	if !errors.As(err, &canceled) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err %v does not unwrap to the context cause", err)
+	}
+	if res.Instret == 0 {
+		t.Error("partial result shows no retired instructions")
+	}
+	if res.Exited {
+		t.Error("cancelled run claims a clean exit")
+	}
+}
+
+// TestRunContextNoCtxNoPolling: Run (background context) on a bounded
+// program behaves exactly as before and the typed budget error carries
+// the configured limit.
+func TestRunContextBudgetTyped(t *testing.T) {
+	cfg := FullSystem()
+	cfg.MaxSteps = 5000
+	sys := NewSystem(cfg)
+	p, err := sys.Spawn(mustImage(t, "_start:\n\tj _start\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(p)
+	var limit *StepLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+	if limit.Limit != 5000 {
+		t.Errorf("limit = %d, want 5000", limit.Limit)
+	}
+	if res.Instret == 0 {
+		t.Error("partial result shows no retired instructions")
+	}
+}

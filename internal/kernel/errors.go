@@ -1,0 +1,36 @@
+package kernel
+
+import "fmt"
+
+// StepLimitError reports that a run exhausted its instruction budget
+// (Config.MaxSteps) without exiting or being killed. It is a typed
+// error so callers — the CLI tools, the evaluation harness, the HTTP
+// service — can map a runaway guest to their own status codes instead
+// of string-matching; RunContext returns it alongside a partial
+// RunResult snapshot of the work done so far.
+type StepLimitError struct {
+	// Limit is the effective instruction budget of the run.
+	Limit uint64
+	// Instret is the total instructions retired when the budget ran out.
+	Instret uint64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("kernel: instruction budget exhausted after %d instructions (possible runaway program)", e.Limit)
+}
+
+// CanceledError reports that a run was stopped by its context — a
+// request deadline, a client disconnect, or service drain. The guest
+// did not exit; RunContext returns it alongside a partial RunResult
+// snapshot (cycles, instructions, stdout and counters retired so far),
+// and the machine remains resumable. Unwrap exposes the context error
+// (context.Canceled or context.DeadlineExceeded) for errors.Is.
+type CanceledError struct {
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("kernel: run canceled: %v", e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }

@@ -65,7 +65,18 @@ type Config struct {
 	CPU cpu.Config
 	// MaxSteps bounds one Run invocation (0 = 2^40 instructions).
 	MaxSteps uint64
+	// CancelEvery is the cooperative-cancellation stride of RunContext:
+	// the context is polled every CancelEvery retired instructions
+	// (0 = DefaultCancelEvery). The stride changes host latency only —
+	// simulated observables are bit-identical for any stride.
+	CancelEvery uint64
 }
+
+// DefaultCancelEvery is the default RunContext cancellation stride. At
+// the simulator's throughput (tens of simulated MIPS) it bounds
+// cancellation latency to a few host milliseconds while keeping the
+// poll cost unmeasurable.
+const DefaultCancelEvery = 65536
 
 // FullSystem returns the processor-and-kernel-modified configuration.
 func FullSystem() Config {

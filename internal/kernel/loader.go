@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 
 	"roload/internal/asm"
@@ -122,7 +123,24 @@ func pageRoundUp(n uint64) uint64 {
 }
 
 // Run executes the process until it exits or is killed by a signal.
+// It is the context-free form of RunContext.
 func (s *System) Run(p *Process) (RunResult, error) {
+	return s.RunContext(context.Background(), p)
+}
+
+// RunContext executes the process until it exits, is killed by a
+// signal, exhausts the instruction budget, or ctx is done. The context
+// is polled every Config.CancelEvery retired instructions; polling
+// never changes simulated observables — a run that completes under a
+// cancellable context is bit-identical to one under
+// context.Background().
+//
+// On budget exhaustion the error is a *StepLimitError; on cancellation
+// it is a *CanceledError wrapping ctx.Err(). Both are returned
+// alongside a partial RunResult snapshot (cycles, instructions, stdout
+// and counters so far) so callers can report progress; the process is
+// not marked finished and the machine remains resumable.
+func (s *System) RunContext(ctx context.Context, p *Process) (RunResult, error) {
 	if p.finished {
 		return p.result, nil
 	}
@@ -130,11 +148,25 @@ func (s *System) Run(p *Process) (RunResult, error) {
 	if max == 0 {
 		max = 1 << 40
 	}
+	stride := s.cfg.CancelEvery
+	if stride == 0 {
+		stride = DefaultCancelEvery
+	}
+	// A context that can never be cancelled (context.Background and
+	// friends) needs no polling at all: the core runs full budget
+	// slices exactly like the pre-context kernel did.
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
 	var syscalls uint64
 	deadline := s.cpu.Instret + max
 	for s.cpu.Instret < deadline {
-		trap := s.cpu.Run(deadline - s.cpu.Instret)
+		trap := s.cpu.RunInterruptible(deadline-s.cpu.Instret, stride, stop)
 		if trap == nil {
+			if err := ctx.Err(); err != nil {
+				return s.partial(p, syscalls), &CanceledError{Cause: err}
+			}
 			break // budget exhausted
 		}
 		switch trap.Kind {
@@ -195,7 +227,22 @@ func (s *System) Run(p *Process) (RunResult, error) {
 			return RunResult{}, fmt.Errorf("kernel: unexpected trap %v", trap)
 		}
 	}
-	return RunResult{}, fmt.Errorf("kernel: instruction budget exhausted (possible runaway program)")
+	return s.partial(p, syscalls), &StepLimitError{Limit: max, Instret: s.cpu.Instret}
+}
+
+// partial snapshots an unfinished run — the counters and output
+// accumulated when a budget ran out or a context fired. Unlike finish
+// it does not mark the process finished.
+func (s *System) partial(p *Process, syscalls uint64) RunResult {
+	res := RunResult{SyscallCnt: syscalls}
+	res.Cycles = s.cpu.Cycles
+	res.Instret = s.cpu.Instret
+	res.MemPeakKiB = p.peakPages * mem.PageSize / 1024
+	res.Stdout = p.stdout.Bytes()
+	res.CPUStats = s.cpu.Stats()
+	res.IMMU, res.DMMU = s.cpu.MMUStats()
+	res.IC, res.DC = s.cpu.CacheStats()
+	return res
 }
 
 // codeSymTable symbolizes against the image's executable sections only

@@ -3,48 +3,16 @@ package obs
 import (
 	"fmt"
 	"io"
+
+	"roload/internal/schema"
 )
 
 // AuditRecord is the forensic record of one ROLoad key-check
 // violation, captured by the kernel's fault path (paper Section III-B:
 // the kernel distinguishes ROLoad faults from benign page faults).
-// It turns an attack's SIGSEGV into evidence: which instruction, which
-// address, which key it demanded and which key the page carried.
-type AuditRecord struct {
-	Cycle   uint64 `json:"cycle"`
-	Instret uint64 `json:"instret"`
-	PC      uint64 `json:"pc"`
-	Func    string `json:"func,omitempty"` // symbolized function at PC
-	VA      uint64 `json:"fault_va"`
-	WantKey uint16 `json:"want_key"`
-	GotKey  uint16 `json:"got_key"`
-	// NotReadOnly: the page failed the read-only half of the check
-	// (writable or unreadable); Unmapped: no valid leaf PTE at VA.
-	NotReadOnly bool   `json:"not_read_only"`
-	Unmapped    bool   `json:"unmapped"`
-	Signal      string `json:"signal,omitempty"` // delivered signal
-}
-
-// String renders one audit line.
-func (r AuditRecord) String() string {
-	where := fmt.Sprintf("pc=%#x", r.PC)
-	if r.Func != "" {
-		where = fmt.Sprintf("pc=%#x (%s)", r.PC, r.Func)
-	}
-	detail := fmt.Sprintf("want key=%d got key=%d", r.WantKey, r.GotKey)
-	switch {
-	case r.Unmapped:
-		detail += ", page unmapped"
-	case r.NotReadOnly:
-		detail += ", page not read-only"
-	}
-	sig := ""
-	if r.Signal != "" {
-		sig = " -> " + r.Signal
-	}
-	return fmt.Sprintf("ROLOAD-AUDIT %s fault va=%#x %s [cycle=%d instret=%d]%s",
-		where, r.VA, detail, r.Cycle, r.Instret, sig)
-}
+// The type itself lives in internal/schema (it is part of the
+// roload-metrics/v1 document); the alias keeps the producers' spelling.
+type AuditRecord = schema.AuditRecord
 
 // Audit collects ROLoad violations. The kernel appends one record per
 // detected violation; tools dump the log when a process dies with

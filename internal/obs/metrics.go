@@ -1,83 +1,25 @@
 package obs
 
-import (
-	"encoding/json"
-	"io"
-)
+import "roload/internal/schema"
 
-// The metrics registry: one snapshot type unifying the counters that
-// internal/cpu, internal/mmu, internal/cache and internal/kernel each
-// keep separately, serialized to a single stable JSON document. The
-// structs mirror the source Stats types field-for-field but live here
-// (dependency-free) so every layer can produce or consume them without
-// import cycles.
+// The metrics registry moved to internal/schema in the API redesign so
+// every versioned JSON document lives in one package; the historical
+// obs names remain as aliases because the producers (cpu, mmu, cache,
+// kernel) were written against them. New code should prefer the
+// schema package directly.
 
 // CPUCounters mirrors cpu.Stats.
-type CPUCounters struct {
-	Instructions uint64 `json:"instructions"`
-	Loads        uint64 `json:"loads"`
-	Stores       uint64 `json:"stores"`
-	ROLoads      uint64 `json:"roloads"`
-	Branches     uint64 `json:"branches"`
-	TakenBranch  uint64 `json:"taken_branches"`
-	Jumps        uint64 `json:"jumps"`
-	MulDiv       uint64 `json:"muldiv"`
-	Traps        uint64 `json:"traps"`
-}
+type CPUCounters = schema.CPUCounters
 
 // MMUCounters mirrors mmu.Stats.
-type MMUCounters struct {
-	TLBHits    uint64 `json:"tlb_hits"`
-	TLBMisses  uint64 `json:"tlb_misses"`
-	PageWalks  uint64 `json:"page_walks"`
-	WalkMemOps uint64 `json:"walk_mem_ops"`
-	Faults     uint64 `json:"faults"`
-}
+type MMUCounters = schema.MMUCounters
 
 // CacheCounters mirrors cache.Stats plus the derived miss rate.
-type CacheCounters struct {
-	Hits     uint64  `json:"hits"`
-	Misses   uint64  `json:"misses"`
-	MissRate float64 `json:"miss_rate"`
-}
+type CacheCounters = schema.CacheCounters
 
-// Snapshot is the unified machine-readable result of one execution:
-// outcome, cycle/instruction totals, and per-component counters.
-// Serialized by roload-run -metrics and embedded per-experiment by
-// roload-bench -json.
-type Snapshot struct {
-	Schema string `json:"schema"` // SnapshotSchema
-	System string `json:"system"` // which of the paper's three systems
-
-	Exited          bool   `json:"exited"`
-	ExitCode        int    `json:"exit_code"`
-	Signal          string `json:"signal,omitempty"`
-	ROLoadViolation bool   `json:"roload_violation"`
-	FaultPC         uint64 `json:"fault_pc,omitempty"`
-	FaultVA         uint64 `json:"fault_va,omitempty"`
-
-	Cycles     uint64 `json:"cycles"`
-	Instret    uint64 `json:"instret"`
-	MemPeakKiB uint64 `json:"mem_peak_kib"`
-	Syscalls   uint64 `json:"syscalls"`
-
-	CPU    CPUCounters   `json:"cpu"`
-	ITLB   MMUCounters   `json:"itlb"`
-	DTLB   MMUCounters   `json:"dtlb"`
-	ICache CacheCounters `json:"icache"`
-	DCache CacheCounters `json:"dcache"`
-
-	Audit []AuditRecord `json:"roload_audit,omitempty"`
-}
+// Snapshot is the unified machine-readable result of one execution.
+// See schema.Snapshot.
+type Snapshot = schema.Snapshot
 
 // SnapshotSchema identifies the snapshot document format.
-const SnapshotSchema = "roload-metrics/v1"
-
-// WriteJSON serializes the snapshot, indented for humans, stable for
-// machines.
-func (s *Snapshot) WriteJSON(w io.Writer) error {
-	s.Schema = SnapshotSchema
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(s)
-}
+const SnapshotSchema = schema.MetricsV1

@@ -1,0 +1,146 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The benchmark report (`roload-bench/v1`): a single JSON document
+// covering every experiment of the evaluation (DESIGN.md §4), produced
+// by `roload-bench -json` and assembled by internal/eval. The types
+// live here so the HTTP service and any future consumer can decode
+// reports without importing the evaluation harness.
+
+// ExperimentIDs lists every experiment id of DESIGN.md §4, in paper
+// order. A valid report carries data for each of them.
+var ExperimentIDs = []string{
+	"table1", "table2", "table3", "sysoverhead",
+	"fig3", "fig4", "fig5", "retguard", "security",
+}
+
+// OverheadEntry is the JSON form of one overhead measurement (one bar
+// of Figures 3-5). Scheme is the scheme's display name so the document
+// is self-describing.
+type OverheadEntry struct {
+	Benchmark  string  `json:"benchmark"`
+	Scheme     string  `json:"scheme"`
+	RuntimePct float64 `json:"runtime_pct"`
+	MemPct     float64 `json:"mem_pct"`
+	BaseCycles uint64  `json:"base_cycles"`
+	Cycles     uint64  `json:"cycles"`
+	BaseMemKiB uint64  `json:"base_mem_kib"`
+	MemKiB     uint64  `json:"mem_kib"`
+}
+
+// LoCEntry is one Table I row.
+type LoCEntry struct {
+	Component string `json:"component"`
+	Language  string `json:"language"`
+	Lines     int    `json:"lines"`
+}
+
+// HWEntry summarizes the Table III synthesis model.
+type HWEntry struct {
+	CoreBaseLUT   int     `json:"core_base_lut"`
+	CoreBaseFF    int     `json:"core_base_ff"`
+	CoreDeltaLUT  int     `json:"core_delta_lut"`
+	CoreDeltaFF   int     `json:"core_delta_ff"`
+	CorePctLUT    float64 `json:"core_pct_lut"`
+	CorePctFF     float64 `json:"core_pct_ff"`
+	FmaxBaseMHz   float64 `json:"fmax_base_mhz"`
+	FmaxROLoadMHz float64 `json:"fmax_roload_mhz"`
+}
+
+// SysOverheadEntry is one Section V-B row.
+type SysOverheadEntry struct {
+	Benchmark  string  `json:"benchmark"`
+	BaseCycles uint64  `json:"base_cycles"`
+	ProcCycles uint64  `json:"proc_cycles"`
+	FullCycles uint64  `json:"full_cycles"`
+	ProcPct    float64 `json:"proc_pct"`
+	FullPct    float64 `json:"full_pct"`
+}
+
+// AttackEntry is one cell of the Section V-C2 security matrix.
+// Covered records whether the scheme's protection scope includes the
+// scenario: hijacked && covered is a defense failure, while a hijack
+// under an uncovered scheme is the expected negative control. Detail
+// is populated by the serve API's attack responses and omitted from
+// bench reports.
+type AttackEntry struct {
+	Scenario string `json:"scenario"`
+	Scheme   string `json:"scheme"`
+	Outcome  string `json:"outcome"`
+	Hijacked bool   `json:"hijacked"`
+	Covered  bool   `json:"covered"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// BenchReport is the complete machine-readable evaluation document.
+// Every DESIGN.md §4 experiment id appears as a field whose JSON key
+// equals the id.
+type BenchReport struct {
+	Schema      string             `json:"schema"`
+	Scale       string             `json:"scale"`
+	Table1      []LoCEntry         `json:"table1"`
+	Table2      []string           `json:"table2"`
+	Table3      HWEntry            `json:"table3"`
+	SysOverhead []SysOverheadEntry `json:"sysoverhead"`
+	Fig3        []OverheadEntry    `json:"fig3"`
+	Fig4        []OverheadEntry    `json:"fig4"`
+	Fig5        []OverheadEntry    `json:"fig5"`
+	RetGuard    []OverheadEntry    `json:"retguard"`
+	Security    []AttackEntry      `json:"security"`
+}
+
+// Validate checks the report against the schema contract: correct
+// schema string, a known scale, and non-empty data under every
+// experiment id of DESIGN.md §4.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchV1 {
+		return fmt.Errorf("schema: report schema %q, want %q", r.Schema, BenchV1)
+	}
+	if r.Scale != "ref" && r.Scale != "test" {
+		return fmt.Errorf("schema: unknown scale %q", r.Scale)
+	}
+	// Marshal and check the ids generically so the list in
+	// ExperimentIDs stays the single source of truth.
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	missing := []string{}
+	for _, id := range ExperimentIDs {
+		v, ok := doc[id]
+		if !ok || string(v) == "null" || string(v) == "[]" || string(v) == "{}" {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("schema: report missing experiments: %v", missing)
+	}
+	if len(r.Fig4) != len(r.Fig5) {
+		return fmt.Errorf("schema: fig4 (%d rows) and fig5 (%d rows) must cover the same measurement",
+			len(r.Fig4), len(r.Fig5))
+	}
+	for _, e := range r.Security {
+		if e.Scenario == "" || e.Scheme == "" || e.Outcome == "" {
+			return fmt.Errorf("schema: incomplete security entry %+v", e)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

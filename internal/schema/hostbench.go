@@ -1,0 +1,38 @@
+package schema
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The host throughput document (`roload-hostbench/v1`): how fast the
+// *host* simulates, in simulated instructions per host second (MIPS),
+// for the plain interpreter versus the fast-path engine. Produced by
+// `roload-bench -hostbench` (internal/eval measures it).
+
+// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
+type HostBenchEntry struct {
+	Benchmark    string  `json:"benchmark"`
+	Instructions uint64  `json:"instructions"`
+	InterpNS     int64   `json:"interp_ns"`
+	FastNS       int64   `json:"fast_ns"`
+	InterpMIPS   float64 `json:"interp_mips"`
+	FastMIPS     float64 `json:"fast_mips"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// HostBench is the whole document.
+type HostBench struct {
+	Schema     string           `json:"schema"`
+	Scale      string           `json:"scale"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	Entries    []HostBenchEntry `json:"entries"`
+	Total      HostBenchEntry   `json:"total"`
+}
+
+// WriteJSON writes the document as indented JSON.
+func (h *HostBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}

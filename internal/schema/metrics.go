@@ -1,0 +1,124 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The metrics document (`roload-metrics/v1`): one snapshot type
+// unifying the counters that internal/cpu, internal/mmu,
+// internal/cache and internal/kernel each keep separately, serialized
+// to a single stable JSON document. The structs mirror the source
+// Stats types field-for-field but live here (dependency-free) so every
+// layer can produce or consume them without import cycles. The obs
+// package re-exports them under their historical names.
+
+// CPUCounters mirrors cpu.Stats.
+type CPUCounters struct {
+	Instructions uint64 `json:"instructions"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	ROLoads      uint64 `json:"roloads"`
+	Branches     uint64 `json:"branches"`
+	TakenBranch  uint64 `json:"taken_branches"`
+	Jumps        uint64 `json:"jumps"`
+	MulDiv       uint64 `json:"muldiv"`
+	Traps        uint64 `json:"traps"`
+}
+
+// MMUCounters mirrors mmu.Stats.
+type MMUCounters struct {
+	TLBHits    uint64 `json:"tlb_hits"`
+	TLBMisses  uint64 `json:"tlb_misses"`
+	PageWalks  uint64 `json:"page_walks"`
+	WalkMemOps uint64 `json:"walk_mem_ops"`
+	Faults     uint64 `json:"faults"`
+}
+
+// CacheCounters mirrors cache.Stats plus the derived miss rate.
+type CacheCounters struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
+}
+
+// AuditRecord is the forensic record of one ROLoad key-check
+// violation, captured by the kernel's fault path (paper Section III-B:
+// the kernel distinguishes ROLoad faults from benign page faults).
+// It turns an attack's SIGSEGV into evidence: which instruction, which
+// address, which key it demanded and which key the page carried.
+type AuditRecord struct {
+	Cycle   uint64 `json:"cycle"`
+	Instret uint64 `json:"instret"`
+	PC      uint64 `json:"pc"`
+	Func    string `json:"func,omitempty"` // symbolized function at PC
+	VA      uint64 `json:"fault_va"`
+	WantKey uint16 `json:"want_key"`
+	GotKey  uint16 `json:"got_key"`
+	// NotReadOnly: the page failed the read-only half of the check
+	// (writable or unreadable); Unmapped: no valid leaf PTE at VA.
+	NotReadOnly bool   `json:"not_read_only"`
+	Unmapped    bool   `json:"unmapped"`
+	Signal      string `json:"signal,omitempty"` // delivered signal
+}
+
+// String renders one audit line.
+func (r AuditRecord) String() string {
+	where := fmt.Sprintf("pc=%#x", r.PC)
+	if r.Func != "" {
+		where = fmt.Sprintf("pc=%#x (%s)", r.PC, r.Func)
+	}
+	detail := fmt.Sprintf("want key=%d got key=%d", r.WantKey, r.GotKey)
+	switch {
+	case r.Unmapped:
+		detail += ", page unmapped"
+	case r.NotReadOnly:
+		detail += ", page not read-only"
+	}
+	sig := ""
+	if r.Signal != "" {
+		sig = " -> " + r.Signal
+	}
+	return fmt.Sprintf("ROLOAD-AUDIT %s fault va=%#x %s [cycle=%d instret=%d]%s",
+		where, r.VA, detail, r.Cycle, r.Instret, sig)
+}
+
+// Snapshot is the unified machine-readable result of one execution:
+// outcome, cycle/instruction totals, and per-component counters.
+// Serialized by roload-run -metrics, embedded per-experiment by
+// roload-bench -json, and carried in roload-serve run responses
+// (including partial snapshots of deadline-cancelled runs).
+type Snapshot struct {
+	Schema string `json:"schema"` // MetricsV1
+	System string `json:"system"` // which of the paper's three systems
+
+	Exited          bool   `json:"exited"`
+	ExitCode        int    `json:"exit_code"`
+	Signal          string `json:"signal,omitempty"`
+	ROLoadViolation bool   `json:"roload_violation"`
+	FaultPC         uint64 `json:"fault_pc,omitempty"`
+	FaultVA         uint64 `json:"fault_va,omitempty"`
+
+	Cycles     uint64 `json:"cycles"`
+	Instret    uint64 `json:"instret"`
+	MemPeakKiB uint64 `json:"mem_peak_kib"`
+	Syscalls   uint64 `json:"syscalls"`
+
+	CPU    CPUCounters   `json:"cpu"`
+	ITLB   MMUCounters   `json:"itlb"`
+	DTLB   MMUCounters   `json:"dtlb"`
+	ICache CacheCounters `json:"icache"`
+	DCache CacheCounters `json:"dcache"`
+
+	Audit []AuditRecord `json:"roload_audit,omitempty"`
+}
+
+// WriteJSON serializes the snapshot, indented for humans, stable for
+// machines.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	s.Schema = MetricsV1
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,98 @@
+// Package schema is the single home of every versioned JSON document
+// this repository speaks: the benchmark report (`roload-bench/v1`),
+// the unified metrics snapshot (`roload-metrics/v1`), the host
+// throughput document (`roload-hostbench/v1`), and the request and
+// response types of the roload-serve HTTP API (`roload-serve/v1`).
+//
+// Each document family is identified by a "name/vN" schema id. The
+// legacy documents (bench, metrics, hostbench) are flat — they carry
+// the id in a top-level "schema" field and their payload fields beside
+// it, a wire format that predates this package and is kept stable for
+// existing consumers. The serve API wraps its payloads in the shared
+// Envelope ({schema, version, payload}) so new document kinds never
+// have to reserve field names again.
+//
+// The package is dependency-free (standard library only) so every
+// layer — the dependency-free obs probes, the kernel, the evaluation
+// harness, the HTTP service — can produce and consume documents
+// without import cycles.
+package schema
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schema ids of every document family, in "name/vN" form.
+const (
+	BenchV1     = "roload-bench/v1"
+	MetricsV1   = "roload-metrics/v1"
+	HostBenchV1 = "roload-hostbench/v1"
+	ServeV1     = "roload-serve/v1"
+)
+
+// ParseID splits a schema id of the form "name/vN" into its family
+// name and major version.
+func ParseID(id string) (name string, version int, err error) {
+	slash := strings.LastIndexByte(id, '/')
+	if slash <= 0 || slash == len(id)-1 || id[slash+1] != 'v' {
+		return "", 0, fmt.Errorf("schema: malformed id %q (want \"name/vN\")", id)
+	}
+	v, err := strconv.Atoi(id[slash+2:])
+	if err != nil || v < 1 {
+		return "", 0, fmt.Errorf("schema: malformed version in id %q (want \"name/vN\")", id)
+	}
+	return id[:slash], v, nil
+}
+
+// ID formats a family name and version as a schema id.
+func ID(name string, version int) string {
+	return fmt.Sprintf("%s/v%d", name, version)
+}
+
+// Envelope is the shared {schema, version, payload} frame used by the
+// roload-serve API (and any future document family): Schema is the
+// full id ("roload-serve/v1"), Version repeats the major version for
+// consumers that match on the number, and Payload is the typed
+// document.
+type Envelope struct {
+	Schema  string          `json:"schema"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Wrap builds an envelope carrying payload under the given schema id.
+func Wrap(id string, payload any) (Envelope, error) {
+	_, version, err := ParseID(id)
+	if err != nil {
+		return Envelope{}, err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("schema: encoding %s payload: %w", id, err)
+	}
+	return Envelope{Schema: id, Version: version, Payload: raw}, nil
+}
+
+// Open validates the envelope against the expected schema id and
+// decodes the payload into out.
+func (e Envelope) Open(id string, out any) error {
+	if e.Schema != id {
+		return fmt.Errorf("schema: envelope carries %q, want %q", e.Schema, id)
+	}
+	_, version, err := ParseID(id)
+	if err != nil {
+		return err
+	}
+	if e.Version != 0 && e.Version != version {
+		return fmt.Errorf("schema: envelope version %d does not match id %q", e.Version, id)
+	}
+	dec := json.NewDecoder(bytes.NewReader(e.Payload))
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("schema: decoding %s payload: %w", id, err)
+	}
+	return nil
+}

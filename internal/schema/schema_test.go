@@ -1,0 +1,223 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseID(t *testing.T) {
+	cases := []struct {
+		id      string
+		name    string
+		version int
+		ok      bool
+	}{
+		{BenchV1, "roload-bench", 1, true},
+		{MetricsV1, "roload-metrics", 1, true},
+		{HostBenchV1, "roload-hostbench", 1, true},
+		{ServeV1, "roload-serve", 1, true},
+		{"name/v12", "name", 12, true},
+		{"noversion", "", 0, false},
+		{"name/v0", "", 0, false},
+		{"name/vx", "", 0, false},
+		{"/v1", "", 0, false},
+		{"name/", "", 0, false},
+	}
+	for _, c := range cases {
+		name, version, err := ParseID(c.id)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseID(%q) err = %v, want ok=%v", c.id, err, c.ok)
+			continue
+		}
+		if c.ok && (name != c.name || version != c.version) {
+			t.Errorf("ParseID(%q) = %q/%d, want %q/%d", c.id, name, version, c.name, c.version)
+		}
+		if c.ok && ID(name, version) != c.id {
+			t.Errorf("ID(%q, %d) != %q", name, version, c.id)
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip wraps each serve payload kind and opens it
+// back, checking the payload survives unchanged and the frame is
+// self-describing.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := RunResponse{
+		Stdout:     "42\n",
+		Exited:     true,
+		ExitCode:   7,
+		ExitStatus: 7,
+		Metrics:    &Snapshot{Schema: MetricsV1, System: "sys", Cycles: 99},
+	}
+	env, err := Wrap(ServeV1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Schema != ServeV1 || env.Version != 1 {
+		t.Fatalf("frame = %q v%d", env.Schema, env.Version)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Envelope
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	var out RunResponse
+	if err := wire.Open(ServeV1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed payload: %+v vs %+v", out, in)
+	}
+	if err := wire.Open(BenchV1, &out); err == nil {
+		t.Error("Open accepted the wrong schema id")
+	}
+}
+
+func minimalReport() *BenchReport {
+	return &BenchReport{
+		Schema:      BenchV1,
+		Scale:       "test",
+		Table1:      []LoCEntry{{Component: "k", Language: "Go", Lines: 1}},
+		Table2:      []string{"cfg"},
+		Table3:      HWEntry{CoreBaseLUT: 1},
+		SysOverhead: []SysOverheadEntry{{Benchmark: "b"}},
+		Fig3:        []OverheadEntry{{Benchmark: "b", Scheme: "VCall"}},
+		Fig4:        []OverheadEntry{{Benchmark: "b", Scheme: "ICall"}},
+		Fig5:        []OverheadEntry{{Benchmark: "b", Scheme: "ICall"}},
+		RetGuard:    []OverheadEntry{{Benchmark: "b", Scheme: "RetGuard"}},
+		Security:    []AttackEntry{{Scenario: "s", Scheme: "none", Outcome: "no effect"}},
+	}
+}
+
+// TestBenchReportRoundTrip: the legacy flat wire format (top-level
+// "schema" field, experiment ids as sibling keys) survives a
+// marshal/unmarshal cycle and still validates.
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := minimalReport()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc["schema"]) != `"`+BenchV1+`"` {
+		t.Errorf("flat schema field = %s", doc["schema"])
+	}
+	for _, id := range ExperimentIDs {
+		if _, ok := doc[id]; !ok {
+			t.Errorf("wire document missing flat experiment key %q", id)
+		}
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, r) {
+		t.Errorf("round trip changed report")
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped report fails validation: %v", err)
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	r := minimalReport()
+	r.Schema = "wrong/v1"
+	if err := r.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	r = minimalReport()
+	r.Scale = "huge"
+	if err := r.Validate(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	r = minimalReport()
+	r.Fig3 = nil
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "fig3") {
+		t.Errorf("missing fig3 not reported: %v", err)
+	}
+	r = minimalReport()
+	r.Fig5 = append(r.Fig5, OverheadEntry{})
+	if err := r.Validate(); err == nil {
+		t.Error("fig4/fig5 length mismatch accepted")
+	}
+}
+
+// TestMetricsSnapshotRoundTrip: the flat metrics document keeps its
+// stable top-level keys and survives decoding.
+func TestMetricsSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		System:  "processor+kernel-modified",
+		Exited:  true,
+		Cycles:  123,
+		Instret: 45,
+		Audit:   []AuditRecord{{PC: 0x1000, VA: 0x2000, WantKey: 3, GotKey: 0, Signal: "SIGSEGV"}},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != MetricsV1 {
+		t.Errorf("WriteJSON left schema %q", s.Schema)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "system", "cycles", "instret", "cpu", "itlb", "dtlb", "icache", "dcache", "roload_audit"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("metrics document missing flat key %q", key)
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, *s) {
+		t.Error("round trip changed snapshot")
+	}
+}
+
+func TestAuditRecordString(t *testing.T) {
+	r := AuditRecord{Cycle: 10, Instret: 5, PC: 0x80000000, Func: "evil", VA: 0x1234,
+		WantKey: 7, GotKey: 0, NotReadOnly: true, Signal: "SIGSEGV"}
+	s := r.String()
+	for _, frag := range []string{"ROLOAD-AUDIT", "pc=0x80000000", "(evil)", "fault va=0x1234",
+		"want key=7", "got key=0", "page not read-only", "-> SIGSEGV"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("audit line missing %q: %s", frag, s)
+		}
+	}
+}
+
+// TestHostBenchRoundTrip keeps the hostbench wire format flat and
+// stable.
+func TestHostBenchRoundTrip(t *testing.T) {
+	h := &HostBench{Schema: HostBenchV1, Scale: "test", GoMaxProcs: 4,
+		Entries: []HostBenchEntry{{Benchmark: "b", Instructions: 10}},
+		Total:   HostBenchEntry{Benchmark: "total", Instructions: 10},
+	}
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back HostBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, *h) {
+		t.Error("round trip changed document")
+	}
+}

@@ -1,0 +1,173 @@
+package schema
+
+// The roload-serve HTTP API (`roload-serve/v1`). Requests are posted
+// as bare JSON payloads (a "schema" field is optional in requests and,
+// when present, must equal ServeV1); responses are wrapped in the
+// shared Envelope so every response self-describes as
+// {schema: "roload-serve/v1", version: 1, payload: {...}}.
+
+// RunRequest is the body of POST /v1/run: compile (or assemble) a
+// guest program, optionally harden it, and execute it on one of the
+// paper's three systems.
+type RunRequest struct {
+	Schema string `json:"schema,omitempty"`
+	// Source is MiniC source, or assembly when Asm is set.
+	Source string `json:"source"`
+	Asm    bool   `json:"asm,omitempty"`
+	// System is baseline, proc or full (default full).
+	System string `json:"system,omitempty"`
+	// Harden is none, vcall, vtint, icall, cfi, retguard or full
+	// (default none; rejected together with Asm).
+	Harden string `json:"harden,omitempty"`
+	// Optimize runs the peephole optimizer before hardening.
+	Optimize bool `json:"optimize,omitempty"`
+	// MaxSteps bounds the run (0 = the server's per-run default; values
+	// above the server's cap are rejected).
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// MemBytes is the guest physical memory size (0 = server default;
+	// values above the server's cap are rejected).
+	MemBytes uint64 `json:"mem_bytes,omitempty"`
+	// TimeoutMS caps the request's wall-clock budget in milliseconds
+	// (0 = the server default; capped by the server maximum). A run
+	// that exceeds it is cancelled and answered with 504 and a partial
+	// metrics snapshot.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the payload of a successful POST /v1/run. Stdout,
+// ExitStatus and Metrics are byte-identical to what the equivalent
+// roload-run CLI invocation prints, exits with, and writes via
+// -metrics respectively.
+type RunResponse struct {
+	// Stdout is the guest's output, verbatim.
+	Stdout string `json:"stdout"`
+	Exited bool   `json:"exited"`
+	// ExitCode is the guest's exit code when Exited.
+	ExitCode int    `json:"exit_code"`
+	Signal   string `json:"signal,omitempty"`
+	// ExitStatus mirrors the roload-run process exit status: the exit
+	// code (masked to a byte), or 128 + signal number for killed runs.
+	ExitStatus      int  `json:"exit_status"`
+	ROLoadViolation bool `json:"roload_violation"`
+	// AuditText carries the rendered ROLoad fault audit lines exactly
+	// as roload-run prints them on a blocked attack.
+	AuditText []string `json:"audit_text,omitempty"`
+	// Metrics is the unified roload-metrics/v1 snapshot of the run.
+	Metrics *Snapshot `json:"metrics"`
+}
+
+// CompileRequest is the body of POST /v1/compile: MiniC in, hardened
+// assembly (or a disassembled image dump) out.
+type CompileRequest struct {
+	Schema   string `json:"schema,omitempty"`
+	Source   string `json:"source"`
+	Harden   string `json:"harden,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+	// Dump disassembles the linked image instead of printing assembly;
+	// Compress applies RVC compression first (with Dump).
+	Dump     bool `json:"dump,omitempty"`
+	Compress bool `json:"compress,omitempty"`
+}
+
+// CompileResponse carries the compiler output, byte-identical to
+// roload-cc's stdout for the same input and flags.
+type CompileResponse struct {
+	Text string `json:"text"`
+}
+
+// AttackRequest is the body of POST /v1/attack: mount the security
+// matrix (or one scenario, or one hardening column) and report the
+// outcomes.
+type AttackRequest struct {
+	Schema string `json:"schema,omitempty"`
+	// Scenario restricts the run to one scenario by name ("" = all).
+	Scenario string `json:"scenario,omitempty"`
+	// Harden restricts the run to one hardening scheme ("" = the full
+	// matrix column set).
+	Harden string `json:"harden,omitempty"`
+	// Verbose includes per-run detail lines in Text.
+	Verbose   bool  `json:"verbose,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AttackResponse reports the mounted attacks. Text is byte-identical
+// to roload-attack's stdout for the same selection; Results carries
+// the same outcomes structurally (reusing the bench report's security
+// entry type, with Detail populated).
+type AttackResponse struct {
+	Text string `json:"text"`
+	// BadDefense is set when a ROLoad-hardened victim was hijacked —
+	// the condition under which the CLI exits 1.
+	BadDefense bool          `json:"bad_defense"`
+	Results    []AttackEntry `json:"results"`
+}
+
+// ExperimentsResponse is the payload of GET /v1/experiments.
+type ExperimentsResponse struct {
+	IDs    []string `json:"ids"`
+	Scales []string `json:"scales"`
+}
+
+// ExperimentRequest is the body of POST /v1/experiments/{id}.
+type ExperimentRequest struct {
+	Schema string `json:"schema,omitempty"`
+	// Scale is ref or test (default test: the service favours bounded
+	// request latency; ask for ref explicitly).
+	Scale     string `json:"scale,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentResponse carries one experiment's data, exactly the value
+// the roload-bench/v1 report stores under the same id.
+type ExperimentResponse struct {
+	ID    string `json:"id"`
+	Scale string `json:"scale"`
+	Data  any    `json:"data"`
+}
+
+// ErrorResponse is the payload of every non-2xx serve response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: "validation", "compile", "timeout",
+	// "steplimit", "busy", "draining", "internal" or "not_found".
+	Kind string `json:"kind"`
+	// Metrics carries the partial snapshot of a run that was cancelled
+	// mid-flight (504) or exhausted its instruction budget.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// HealthResponse is the payload of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Workers  int    `json:"workers"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+}
+
+// EndpointMetrics counts one endpoint's requests by outcome.
+type EndpointMetrics struct {
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Errors4x uint64 `json:"errors_4xx"`
+	Errors5x uint64 `json:"errors_5xx"`
+	Timeouts uint64 `json:"timeouts"` // 504s (a subset of errors_5xx)
+}
+
+// ServeMetrics is the payload of GET /metrics: service-level counters
+// (per-request simulation counters live in each run's Snapshot).
+type ServeMetrics struct {
+	Workers     int                        `json:"workers"`
+	InFlight    int                        `json:"in_flight"`
+	Queued      int                        `json:"queued"`
+	Draining    bool                       `json:"draining"`
+	Endpoints   map[string]EndpointMetrics `json:"endpoints"`
+	ImageCache  CacheMetrics               `json:"image_cache"`
+	Experiments CacheMetrics               `json:"experiment_cache"`
+}
+
+// CacheMetrics describes one memoizing cache's effectiveness.
+type CacheMetrics struct {
+	Entries uint64 `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}

@@ -1,0 +1,89 @@
+// Experiment memo: one computation per (experiment id, scale) shared
+// across tenants, with the same cancellation discipline as the eval
+// Runner's measurement memo — a leader cancelled mid-computation is
+// evicted so a later live request recomputes, and waiters bail out on
+// their own context without disturbing the leader.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/eval"
+	"roload/internal/schema"
+)
+
+type expKey struct {
+	id    string
+	scale eval.Scale
+}
+
+type expEntry struct {
+	done chan struct{}
+	data any
+	err  error
+}
+
+type expCache struct {
+	mu      sync.Mutex
+	entries map[expKey]*expEntry
+
+	hits, misses atomic.Uint64
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// get returns the memoized result for k, computing it via compute on
+// first use. Concurrent callers for the same key share one
+// computation.
+func (c *expCache) get(ctx context.Context, k expKey, compute func(context.Context) (any, error)) (any, error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[k]
+		if !ok {
+			e = &expEntry{done: make(chan struct{})}
+			c.entries[k] = e
+			c.mu.Unlock()
+			c.misses.Add(1)
+			e.data, e.err = compute(ctx)
+			if isCtxErr(e.err) {
+				c.mu.Lock()
+				if c.entries[k] == e {
+					delete(c.entries, k)
+				}
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.data, e.err
+		}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.done:
+			if isCtxErr(e.err) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return e.data, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *expCache) metrics() schema.CacheMetrics {
+	c.mu.Lock()
+	entries := len(c.entries)
+	c.mu.Unlock()
+	return schema.CacheMetrics{
+		Entries: uint64(entries),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+	}
+}

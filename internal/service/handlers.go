@@ -1,0 +1,364 @@
+// The roload-serve/v1 endpoint handlers. Each handler validates,
+// takes a worker slot, executes under the request's deadline-bounded
+// context, and answers with an Envelope-wrapped payload. The execution
+// paths are exactly the CLI tools' (core.CompileText, core.RunWith,
+// attack.RenderMatrix, eval.Runner.Experiment) so responses are
+// byte-identical to the equivalent CLI invocations.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"roload/internal/asm"
+	"roload/internal/attack"
+	"roload/internal/cli"
+	"roload/internal/core"
+	"roload/internal/eval"
+	"roload/internal/kernel"
+	"roload/internal/schema"
+)
+
+// snapshot packages a run result as a schema-tagged metrics document
+// (the same document roload-run -metrics writes).
+func snapshot(res kernel.RunResult, sys core.SystemKind) *schema.Snapshot {
+	snap := res.Snapshot(sys.String())
+	snap.Schema = schema.MetricsV1
+	return &snap
+}
+
+// runError maps an execution error to the API's error vocabulary:
+// cancellation → 504 with the partial snapshot, step-budget exhaustion
+// → 422 with the partial snapshot, anything else → 500.
+func runError(err error, res kernel.RunResult, sys core.SystemKind) *apiError {
+	var canceled *kernel.CanceledError
+	if errors.As(err, &canceled) {
+		return timeoutError(err, snapshot(res, sys))
+	}
+	var limit *kernel.StepLimitError
+	if errors.As(err, &limit) {
+		return &apiError{http.StatusUnprocessableEntity, schema.ErrorResponse{
+			Error: err.Error(), Kind: "steplimit", Metrics: snapshot(res, sys)}}
+	}
+	return internalError(err)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req schema.RunRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	apiErr := checkSchema(req.Schema)
+	if apiErr == nil && req.Source == "" {
+		apiErr = validationError("source is required")
+	}
+	sys := core.SysFull
+	if apiErr == nil && req.System != "" {
+		var err error
+		if sys, err = cli.ParseSystem(req.System); err != nil {
+			apiErr = validationError(err.Error())
+		}
+	}
+	h := core.HardenNone
+	if apiErr == nil && req.Harden != "" {
+		var err error
+		if h, err = cli.ParseHardening(req.Harden); err != nil {
+			apiErr = validationError(err.Error())
+		}
+	}
+	if apiErr == nil && req.Asm && (h != core.HardenNone || req.Optimize) {
+		apiErr = validationError("asm input cannot be combined with harden or optimize")
+	}
+	maxSteps := s.cfg.MaxSteps
+	if apiErr == nil && req.MaxSteps != 0 {
+		if req.MaxSteps > s.cfg.MaxSteps {
+			apiErr = validationError(fmt.Sprintf("max_steps %d exceeds the server cap %d", req.MaxSteps, s.cfg.MaxSteps))
+		} else {
+			maxSteps = req.MaxSteps
+		}
+	}
+	if apiErr == nil && req.MemBytes > s.cfg.MaxMemBytes {
+		apiErr = validationError(fmt.Sprintf("mem_bytes %d exceeds the server cap %d", req.MemBytes, s.cfg.MaxMemBytes))
+	}
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+
+	if apiErr := s.acquire(r.Context()); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer s.release()
+
+	var img *asm.Image
+	var err error
+	switch {
+	case req.Asm:
+		img, err = asm.Assemble(req.Source, asm.DefaultOptions())
+	case req.Optimize:
+		// The optimizer changes the unit in place, so optimized builds
+		// bypass the shared cache (which is keyed on source alone).
+		var text string
+		text, err = core.CompileText(req.Source, core.CompileOptions{Harden: h, Optimize: true})
+		if err == nil {
+			img, err = asm.Assemble(text, asm.DefaultOptions())
+		}
+	default:
+		// The shared image cache: concurrent identical requests (same
+		// source, same scheme) compile once and share the image.
+		img, err = s.runner.Image(req.Source, h)
+	}
+	if err != nil {
+		compileError(err).write(w)
+		return
+	}
+
+	ctx, cancel := s.runCtx(r, req.TimeoutMS)
+	defer cancel()
+	res, _, err := core.RunWith(ctx, img, sys, core.RunOptions{
+		MaxSteps: maxSteps,
+		MemBytes: req.MemBytes,
+	})
+	if err != nil {
+		runError(err, res, sys).write(w)
+		return
+	}
+
+	resp := schema.RunResponse{
+		Stdout:          string(res.Stdout),
+		Exited:          res.Exited,
+		ExitCode:        res.Code,
+		ROLoadViolation: res.ROLoadViolation,
+		Metrics:         snapshot(res, sys),
+	}
+	if res.Exited {
+		resp.ExitStatus = res.Code & 0xff
+	} else {
+		resp.Signal = res.Signal.String()
+		resp.ExitStatus = 128 + int(res.Signal)
+	}
+	for _, rec := range res.Audit {
+		resp.AuditText = append(resp.AuditText, rec.String())
+	}
+	writeEnvelope(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req schema.CompileRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	apiErr := checkSchema(req.Schema)
+	if apiErr == nil && req.Source == "" {
+		apiErr = validationError("source is required")
+	}
+	h := core.HardenNone
+	if apiErr == nil && req.Harden != "" {
+		var err error
+		if h, err = cli.ParseHardening(req.Harden); err != nil {
+			apiErr = validationError(err.Error())
+		}
+	}
+	if apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := s.acquire(r.Context()); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer s.release()
+	text, err := core.CompileText(req.Source, core.CompileOptions{
+		Harden:   h,
+		Optimize: req.Optimize,
+		Dump:     req.Dump,
+		Compress: req.Compress,
+	})
+	if err != nil {
+		compileError(err).write(w)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, schema.CompileResponse{Text: text})
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	var req schema.AttackRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := checkSchema(req.Schema); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	scenarios := attack.AllScenarios()
+	if req.Scenario != "" {
+		var filtered []*attack.Scenario
+		names := make([]string, 0, len(scenarios))
+		for _, sc := range scenarios {
+			names = append(names, sc.Name)
+			if sc.Name == req.Scenario {
+				filtered = append(filtered, sc)
+			}
+		}
+		if len(filtered) == 0 {
+			notFoundError(fmt.Sprintf("unknown scenario %q (known: %s)",
+				req.Scenario, strings.Join(names, ", "))).write(w)
+			return
+		}
+		scenarios = filtered
+	}
+	schemes := attack.MatrixSchemes
+	if req.Harden != "" {
+		h, err := cli.ParseHardening(req.Harden)
+		if err != nil {
+			validationError(err.Error()).write(w)
+			return
+		}
+		schemes = []core.Hardening{h}
+	}
+
+	if apiErr := s.acquire(r.Context()); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.runCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	var buf bytes.Buffer
+	results, bad, err := attack.RenderMatrix(ctx, &buf, scenarios, schemes, req.Verbose)
+	if err != nil {
+		var canceled *kernel.CanceledError
+		if errors.As(err, &canceled) {
+			timeoutError(err, nil).write(w)
+			return
+		}
+		internalError(err).write(w)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, schema.AttackResponse{
+		Text:       buf.String(),
+		BadDefense: bad,
+		Results:    attack.Entries(results, true),
+	})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeEnvelope(w, http.StatusOK, schema.ExperimentsResponse{
+		IDs:    eval.ExperimentIDs,
+		Scales: []string{"ref", "test"},
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	known := false
+	for _, want := range eval.ExperimentIDs {
+		if id == want {
+			known = true
+			break
+		}
+	}
+	if !known {
+		notFoundError(fmt.Sprintf("unknown experiment %q (known: %s)",
+			id, strings.Join(eval.ExperimentIDs, ", "))).write(w)
+		return
+	}
+	var req schema.ExperimentRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := checkSchema(req.Schema); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	// The service favours bounded request latency: test scale unless
+	// ref is asked for explicitly.
+	scale := eval.ScaleTest
+	if req.Scale != "" {
+		var err error
+		if scale, err = eval.ParseScale(req.Scale); err != nil {
+			validationError(err.Error()).write(w)
+			return
+		}
+	}
+
+	if apiErr := s.acquire(r.Context()); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.runCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	data, err := s.experiments.get(ctx, expKey{id, scale}, func(ctx2 context.Context) (any, error) {
+		return s.runner.Experiment(ctx2, id, scale, s.cfg.Root)
+	})
+	if err != nil {
+		var canceled *kernel.CanceledError
+		if errors.As(err, &canceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			timeoutError(err, nil).write(w)
+			return
+		}
+		internalError(err).write(w)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, schema.ExperimentResponse{
+		ID:    id,
+		Scale: cli.ScaleName(scale),
+		Data:  data,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := schema.HealthResponse{
+		Status:   "ok",
+		Workers:  s.cfg.Workers,
+		InFlight: int(s.inFlight.Load()),
+		Queued:   int(s.queued.Load()),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeEnvelope(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.runner.Stats()
+	resp := schema.ServeMetrics{
+		Workers:   s.cfg.Workers,
+		InFlight:  int(s.inFlight.Load()),
+		Queued:    int(s.queued.Load()),
+		Draining:  s.draining.Load(),
+		Endpoints: make(map[string]schema.EndpointMetrics),
+		ImageCache: schema.CacheMetrics{
+			Entries: uint64(stats.Images),
+			Hits:    stats.ImageHits,
+			Misses:  stats.ImageMisses,
+		},
+		Experiments: s.experiments.metrics(),
+	}
+	s.mu.Lock()
+	for name, c := range s.endpoints {
+		resp.Endpoints[name] = schema.EndpointMetrics{
+			Requests: c.requests.Load(),
+			OK:       c.ok.Load(),
+			Errors4x: c.errors4x.Load(),
+			Errors5x: c.errors5x.Load(),
+			Timeouts: c.timeouts.Load(),
+		}
+	}
+	s.mu.Unlock()
+	writeEnvelope(w, http.StatusOK, resp)
+}

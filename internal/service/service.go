@@ -1,0 +1,390 @@
+// Package service is the multi-tenant execution service behind
+// cmd/roload-serve: an HTTP JSON API that compiles, hardens, runs and
+// attacks guest programs on the simulated ROLoad systems, and serves
+// the evaluation experiments on demand.
+//
+// Every simulation runs under the request's context with a per-request
+// deadline; a bounded worker pool caps concurrent simulations and a
+// bounded queue sheds load (503) instead of building unbounded
+// backlogs. Compiled images are shared across tenants through the
+// eval.Runner image cache — concurrent identical requests compile
+// once. Responses reuse the exact code paths of the CLI tools
+// (core.CompileText, core.RunWith, attack.RenderMatrix,
+// eval.Runner.Experiment), which is what makes service responses
+// byte-identical to the equivalent roload-run / roload-cc /
+// roload-attack invocations.
+//
+// Shutdown is graceful: draining flips /healthz to 503 and rejects new
+// work while in-flight requests get a grace period to finish; when it
+// expires the base context is cancelled and every remaining run stops
+// at its next cancellation poll (kernel.Config.CancelEvery), answering
+// 504 with a partial metrics snapshot. Cancellation never changes the
+// simulated observables of runs that complete (DESIGN.md §3).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roload/internal/eval"
+	"roload/internal/schema"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a default chosen for a small multi-tenant deployment.
+type Config struct {
+	// Workers caps concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Queue caps requests waiting for a worker beyond Workers; when the
+	// queue is full new work is answered 503 busy (0 = 4*Workers).
+	Queue int
+	// MaxBodyBytes caps request bodies; larger bodies get 413
+	// (0 = 1 MiB).
+	MaxBodyBytes int64
+	// MaxSteps is both the per-run default and the cap on the
+	// request-supplied instruction budget (0 = 2e9, the bench budget).
+	MaxSteps uint64
+	// MaxMemBytes caps the request-supplied guest memory size
+	// (0 = 256 MiB, the kernel default).
+	MaxMemBytes uint64
+	// DefaultTimeout bounds runs that do not ask for a deadline
+	// (0 = 30s); MaxTimeout caps request-supplied deadlines (0 = 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Grace is how long draining waits for in-flight runs before
+	// cancelling them (0 = 5s).
+	Grace time.Duration
+	// Root is the repository root, read by the table1 experiment
+	// (0 = ".").
+	Root string
+	// Logger receives one structured record per request (nil = slog
+	// default logger).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000_000
+	}
+	if c.MaxMemBytes == 0 {
+		c.MaxMemBytes = 256 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Grace <= 0 {
+		c.Grace = 5 * time.Second
+	}
+	if c.Root == "" {
+		c.Root = "."
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server implements the roload-serve/v1 API. Create with NewServer and
+// mount Handler on an http.Server.
+type Server struct {
+	cfg    Config
+	runner *eval.Runner
+
+	// baseCtx is cancelled when the drain grace period expires; every
+	// run's context derives its cancellation from it as well as from
+	// the request.
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+
+	// slots is the worker pool (one token per concurrent simulation);
+	// queue bounds how many requests may wait for a token.
+	slots chan struct{}
+	queue chan struct{}
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	inFlight  atomic.Int64
+	queued    atomic.Int64
+
+	reqSeq atomic.Uint64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointCounters
+
+	experiments expCache
+}
+
+type endpointCounters struct {
+	requests, ok, errors4x, errors5x, timeouts atomic.Uint64
+}
+
+// NewServer builds a Server with cfg's defaults applied.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		runner:     eval.NewRunner(cfg.Workers),
+		baseCtx:    base,
+		cancelRuns: cancel,
+		slots:      make(chan struct{}, cfg.Workers),
+		queue:      make(chan struct{}, cfg.Workers+cfg.Queue),
+		endpoints:  make(map[string]*endpointCounters),
+	}
+	s.experiments.entries = make(map[expKey]*expEntry)
+	return s
+}
+
+// Handler returns the service's routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.logged("run", s.handleRun))
+	mux.HandleFunc("POST /v1/compile", s.logged("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/attack", s.logged("attack", s.handleAttack))
+	mux.HandleFunc("GET /v1/experiments", s.logged("experiments", s.handleExperimentList))
+	mux.HandleFunc("POST /v1/experiments/{id}", s.logged("experiment", s.handleExperiment))
+	mux.HandleFunc("GET /healthz", s.logged("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.logged("metrics", s.handleMetrics))
+	return mux
+}
+
+// StartDrain begins graceful shutdown: new work is rejected
+// immediately (503 draining, /healthz flips to 503) and after the
+// grace period every in-flight run is cancelled, answering 504 with a
+// partial snapshot. Safe to call more than once.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		timer := time.AfterFunc(s.cfg.Grace, s.cancelRuns)
+		// If every in-flight request finishes early the timer only
+		// cancels an already-idle context; keep it simple and let it
+		// fire. (Close stops it for tests that tear down immediately.)
+		_ = timer
+	})
+}
+
+// Close cancels every in-flight run immediately. Intended for the
+// final phase of shutdown (after Drain + http.Server.Shutdown) and for
+// tests.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.cancelRuns()
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// acquire takes a worker slot, queueing up to the configured bound.
+// It returns an apiError for shed load (busy, draining) or a context
+// error when the caller's deadline expires while queued.
+func (s *Server) acquire(ctx context.Context) *apiError {
+	if s.draining.Load() {
+		return errDraining()
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return errBusy()
+	}
+	defer func() { <-s.queue }()
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return timeoutError(ctx.Err(), nil)
+	case <-s.baseCtx.Done():
+		return errDraining()
+	}
+	if s.draining.Load() {
+		<-s.slots
+		return errDraining()
+	}
+	s.inFlight.Add(1)
+	return nil
+}
+
+func (s *Server) release() {
+	s.inFlight.Add(-1)
+	<-s.slots
+}
+
+// runCtx derives the execution context for one request: the request's
+// context bounded by the effective timeout, with cancellation also
+// propagated from the server's base context so the drain deadline
+// stops runs whose clients are still waiting.
+func (s *Server) runCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// counters returns the per-endpoint counter block, creating it on
+// first use.
+func (s *Server) counters(name string) *endpointCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.endpoints[name]
+	if c == nil {
+		c = &endpointCounters{}
+		s.endpoints[name] = c
+	}
+	return c
+}
+
+// statusWriter captures the response status for logging and counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged wraps a handler with per-request structured logging and
+// endpoint counters.
+func (s *Server) logged(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		id := s.reqSeq.Add(1)
+		start := time.Now()
+		h(sw, r)
+		c := s.counters(name)
+		c.requests.Add(1)
+		switch {
+		case sw.status < 400:
+			c.ok.Add(1)
+		case sw.status < 500:
+			c.errors4x.Add(1)
+		default:
+			c.errors5x.Add(1)
+			if sw.status == http.StatusGatewayTimeout {
+				c.timeouts.Add(1)
+			}
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.Uint64("req_id", id),
+			slog.String("endpoint", name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("remote", r.RemoteAddr),
+			slog.Int("status", sw.status),
+			slog.Duration("dur", time.Since(start)),
+		)
+	}
+}
+
+// writeEnvelope writes a roload-serve/v1 envelope around payload.
+func writeEnvelope(w http.ResponseWriter, status int, payload any) {
+	env, err := schema.Wrap(schema.ServeV1, payload)
+	if err != nil {
+		// A payload the server cannot marshal is a programming error;
+		// degrade to a plain 500 rather than recursing.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(env) //nolint:errcheck // client gone: nothing to report to
+}
+
+// apiError pairs an HTTP status with the roload-serve/v1 error
+// payload.
+type apiError struct {
+	status int
+	body   schema.ErrorResponse
+}
+
+func (e *apiError) write(w http.ResponseWriter) {
+	writeEnvelope(w, e.status, e.body)
+}
+
+func validationError(msg string) *apiError {
+	return &apiError{http.StatusBadRequest, schema.ErrorResponse{Error: msg, Kind: "validation"}}
+}
+
+func compileError(err error) *apiError {
+	return &apiError{http.StatusBadRequest, schema.ErrorResponse{Error: err.Error(), Kind: "compile"}}
+}
+
+func notFoundError(msg string) *apiError {
+	return &apiError{http.StatusNotFound, schema.ErrorResponse{Error: msg, Kind: "not_found"}}
+}
+
+func errBusy() *apiError {
+	return &apiError{http.StatusServiceUnavailable, schema.ErrorResponse{
+		Error: "worker queue full, retry later", Kind: "busy"}}
+}
+
+func errDraining() *apiError {
+	return &apiError{http.StatusServiceUnavailable, schema.ErrorResponse{
+		Error: "server is draining", Kind: "draining"}}
+}
+
+// timeoutError is a 504 carrying the partial snapshot of the cancelled
+// run (nil when cancellation struck before any simulation started).
+func timeoutError(err error, partial *schema.Snapshot) *apiError {
+	return &apiError{http.StatusGatewayTimeout, schema.ErrorResponse{
+		Error: err.Error(), Kind: "timeout", Metrics: partial}}
+}
+
+func internalError(err error) *apiError {
+	return &apiError{http.StatusInternalServerError, schema.ErrorResponse{
+		Error: err.Error(), Kind: "internal"}}
+}
+
+// decodeBody reads and decodes one JSON request body under the size
+// cap, distinguishing oversized bodies (413) from malformed ones
+// (400). Unknown fields are rejected so schema drift fails loudly.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, out any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{http.StatusRequestEntityTooLarge, schema.ErrorResponse{
+				Error: err.Error(), Kind: "validation"}}
+		}
+		return validationError("decoding request body: " + err.Error())
+	}
+	return nil
+}
+
+// checkSchema validates the optional request-side schema tag.
+func checkSchema(tag string) *apiError {
+	if tag != "" && tag != schema.ServeV1 {
+		return validationError("request schema " + tag + " is not " + schema.ServeV1)
+	}
+	return nil
+}

@@ -1,0 +1,571 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roload/internal/attack"
+	"roload/internal/core"
+	"roload/internal/eval"
+	"roload/internal/schema"
+)
+
+const helloProg = `
+func main() int {
+	print_int(6 * 7);
+	return 0;
+}
+`
+
+// spinProg never terminates: the 504 and drain tests rely on it.
+const spinProg = `
+func main() int {
+	var x int = 1;
+	while (x > 0) { x = x + 1; }
+	return 0;
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// post sends one JSON request and decodes the response envelope.
+func post(t *testing.T, url string, body any) (int, schema.Envelope, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("status %d, undecodable body %q: %v", resp.StatusCode, data, err)
+	}
+	return resp.StatusCode, env, data
+}
+
+func get(t *testing.T, url string) (int, schema.Envelope) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env schema.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("status %d: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, env
+}
+
+func openError(t *testing.T, env schema.Envelope) schema.ErrorResponse {
+	t.Helper()
+	var e schema.ErrorResponse
+	if err := env.Open(schema.ServeV1, &e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestServeRunSuccess(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: helloProg, System: "full", Harden: "icall",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if env.Schema != schema.ServeV1 {
+		t.Errorf("envelope schema = %q", env.Schema)
+	}
+	var run schema.RunResponse
+	if err := env.Open(schema.ServeV1, &run); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Exited || run.ExitCode != 0 || run.ExitStatus != 0 {
+		t.Errorf("run = %+v", run)
+	}
+	if strings.TrimSpace(run.Stdout) != "42" {
+		t.Errorf("stdout = %q", run.Stdout)
+	}
+	if run.Metrics == nil || run.Metrics.Schema != schema.MetricsV1 || run.Metrics.Instret == 0 {
+		t.Errorf("metrics = %+v", run.Metrics)
+	}
+	if run.Metrics.System != core.SysFull.String() {
+		t.Errorf("metrics system = %q", run.Metrics.System)
+	}
+}
+
+func TestServeRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 4096, MaxSteps: 1000})
+	cases := []struct {
+		name   string
+		body   any
+		status int
+		kind   string
+		errSub string
+	}{
+		{"missing source", schema.RunRequest{}, 400, "validation", "source is required"},
+		{"unknown system", schema.RunRequest{Source: helloProg, System: "mainframe"}, 400, "validation", "known: baseline, proc, full"},
+		{"unknown harden", schema.RunRequest{Source: helloProg, Harden: "aslr"}, 400, "validation", "known: none, vcall, vtint, icall, cfi, retguard, full"},
+		{"asm conflict", schema.RunRequest{Source: "_start:\n", Asm: true, Harden: "icall"}, 400, "validation", "cannot be combined"},
+		{"steps over cap", schema.RunRequest{Source: helloProg, MaxSteps: 2000}, 400, "validation", "exceeds the server cap"},
+		{"mem over cap", schema.RunRequest{Source: helloProg, MemBytes: 1 << 40}, 400, "validation", "exceeds the server cap"},
+		{"wrong schema tag", schema.RunRequest{Schema: "bogus/v1", Source: helloProg}, 400, "validation", "is not " + schema.ServeV1},
+		{"compile error", schema.RunRequest{Source: "not minic"}, 400, "compile", ""},
+		{"unknown field", map[string]any{"source": helloProg, "bogus": 1}, 400, "validation", "unknown field"},
+		{"oversized body", schema.RunRequest{Source: strings.Repeat("x", 8192)}, 413, "validation", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, env, _ := post(t, ts.URL+"/v1/run", c.body)
+			if status != c.status {
+				t.Fatalf("status = %d, want %d", status, c.status)
+			}
+			e := openError(t, env)
+			if e.Kind != c.kind {
+				t.Errorf("kind = %q, want %q", e.Kind, c.kind)
+			}
+			if c.errSub != "" && !strings.Contains(e.Error, c.errSub) {
+				t.Errorf("error %q missing %q", e.Error, c.errSub)
+			}
+		})
+	}
+}
+
+// TestServeRunDeadline: a 100ms request deadline on a non-terminating
+// program answers 504 promptly with a partial metrics snapshot.
+func TestServeRunDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	start := time.Now()
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: spinProg, TimeoutMS: 100,
+	})
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", status)
+	}
+	// ~100ms deadline + a few-ms cancellation stride + response flush.
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("504 took %v, want ~200ms", elapsed)
+	}
+	e := openError(t, env)
+	if e.Kind != "timeout" {
+		t.Errorf("kind = %q", e.Kind)
+	}
+	if e.Metrics == nil || e.Metrics.Instret == 0 {
+		t.Errorf("partial snapshot missing progress: %+v", e.Metrics)
+	}
+	if e.Metrics != nil && e.Metrics.Exited {
+		t.Error("cancelled run claims a clean exit")
+	}
+
+	// The 504 shows up in the endpoint counters.
+	status, menv := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	var m schema.ServeMetrics
+	if err := menv.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints["run"].Timeouts == 0 {
+		t.Errorf("run endpoint timeouts = %+v", m.Endpoints["run"])
+	}
+}
+
+// TestServeRunConcurrentSharesImage: 32 concurrent identical runs all
+// succeed with identical bodies and compile exactly once through the
+// shared image cache.
+func TestServeRunConcurrentSharesImage(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	const n = 32
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, raw := post(t, ts.URL+"/v1/run", schema.RunRequest{
+				Source: helloProg, Harden: "vcall",
+			})
+			if status != http.StatusOK {
+				t.Errorf("status = %d", status)
+				return
+			}
+			bodies[i] = raw
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	_, menv := get(t, ts.URL+"/metrics")
+	var m schema.ServeMetrics
+	if err := menv.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	ic := m.ImageCache
+	if ic.Entries != 1 || ic.Misses != 1 || ic.Hits != n-1 {
+		t.Errorf("image cache = %+v, want entries=1 misses=1 hits=%d", ic, n-1)
+	}
+}
+
+func TestServeCompileMatchesCore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, env, _ := post(t, ts.URL+"/v1/compile", schema.CompileRequest{
+		Source: helloProg, Harden: "icall",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var resp schema.CompileResponse
+	if err := env.Open(schema.ServeV1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.CompileText(helloProg, core.CompileOptions{Harden: core.HardenICall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != want {
+		t.Error("compile response diverged from core.CompileText")
+	}
+
+	status, env, _ = post(t, ts.URL+"/v1/compile", schema.CompileRequest{Source: "not minic"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad source status = %d", status)
+	}
+	if e := openError(t, env); e.Kind != "compile" {
+		t.Errorf("kind = %q", e.Kind)
+	}
+}
+
+func TestServeAttack(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	name := attack.AllScenarios()[0].Name
+
+	status, env, _ := post(t, ts.URL+"/v1/attack", schema.AttackRequest{
+		Scenario: name, Harden: "none", Verbose: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var resp schema.AttackResponse
+	if err := env.Open(schema.ServeV1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Scenario != name || resp.Results[0].Scheme != "none" {
+		t.Errorf("results = %+v", resp.Results)
+	}
+	if !strings.Contains(resp.Text, name) {
+		t.Errorf("text missing scenario header: %q", resp.Text)
+	}
+	if resp.BadDefense {
+		t.Error("unhardened victim flagged as a bad defense")
+	}
+
+	status, env, _ = post(t, ts.URL+"/v1/attack", schema.AttackRequest{Scenario: "nope"})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown scenario status = %d", status)
+	}
+	e := openError(t, env)
+	if e.Kind != "not_found" || !strings.Contains(e.Error, "known:") {
+		t.Errorf("error = %+v", e)
+	}
+}
+
+func TestServeExperiments(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	status, env := get(t, ts.URL+"/v1/experiments")
+	if status != http.StatusOK {
+		t.Fatalf("list status = %d", status)
+	}
+	var list schema.ExperimentsResponse
+	if err := env.Open(schema.ServeV1, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.IDs) != len(eval.ExperimentIDs) || len(list.Scales) != 2 {
+		t.Errorf("list = %+v", list)
+	}
+
+	// table2 is instantaneous; run it twice so the second call must be
+	// an experiment-cache hit.
+	for i := 0; i < 2; i++ {
+		status, env, _ := post(t, ts.URL+"/v1/experiments/table2", schema.ExperimentRequest{})
+		if status != http.StatusOK {
+			t.Fatalf("call %d status = %d", i, status)
+		}
+		var resp schema.ExperimentResponse
+		if err := env.Open(schema.ServeV1, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != "table2" || resp.Scale != "test" || resp.Data == nil {
+			t.Errorf("call %d: %+v", i, resp)
+		}
+	}
+	_, menv := get(t, ts.URL+"/metrics")
+	var m schema.ServeMetrics
+	if err := menv.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Experiments.Entries != 1 || m.Experiments.Misses != 1 || m.Experiments.Hits != 1 {
+		t.Errorf("experiment cache = %+v", m.Experiments)
+	}
+
+	status, env, _ = post(t, ts.URL+"/v1/experiments/fig99", schema.ExperimentRequest{})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown experiment status = %d", status)
+	}
+	e := openError(t, env)
+	if e.Kind != "not_found" || !strings.Contains(e.Error, "known:") {
+		t.Errorf("error = %+v", e)
+	}
+
+	status, env, _ = post(t, ts.URL+"/v1/experiments/table2", schema.ExperimentRequest{Scale: "huge"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad scale status = %d", status)
+	}
+	if e := openError(t, env); !strings.Contains(e.Error, "known: ref, test") {
+		t.Errorf("error = %+v", e)
+	}
+}
+
+// TestServeDrain: draining flips /healthz to 503 and rejects new work
+// with kind "draining"; Close cancels whatever is left.
+func TestServeDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, Grace: 50 * time.Millisecond})
+
+	status, env := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz = %d", status)
+	}
+	var hr schema.HealthResponse
+	if err := env.Open(schema.ServeV1, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Workers != 1 {
+		t.Errorf("health = %+v", hr)
+	}
+
+	// Park one long run, then drain: the run must come back 504 once
+	// the grace period cancels it.
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{Source: spinProg, TimeoutMS: 60_000})
+		done <- status
+	}()
+	// Wait for the run to occupy the worker.
+	for i := 0; ; i++ {
+		_, henv := get(t, ts.URL+"/healthz")
+		var h schema.HealthResponse
+		if err := henv.Open(schema.ServeV1, &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.InFlight == 1 {
+			break
+		}
+		if i > 200 {
+			t.Fatal("run never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	srv.StartDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	status, env = get(t, ts.URL+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d", status)
+	}
+	if err := env.Open(schema.ServeV1, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "draining" {
+		t.Errorf("health status = %q", hr.Status)
+	}
+
+	status, env, _ = post(t, ts.URL+"/v1/run", schema.RunRequest{Source: helloProg})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("new work during drain: status = %d", status)
+	}
+	if e := openError(t, env); e.Kind != "draining" {
+		t.Errorf("kind = %q", e.Kind)
+	}
+
+	select {
+	case status := <-done:
+		if status != http.StatusGatewayTimeout {
+			t.Errorf("drained run status = %d, want 504", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight run not cancelled by the drain grace period")
+	}
+}
+
+// TestServeBusySheds: the queue bounds how many requests may wait for
+// a worker (Workers+Queue tokens). With one worker and queue 1, one
+// running plus two waiting spins exhaust the tokens, and the next
+// request must shed 503 busy instead of queueing.
+func TestServeBusySheds(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, Queue: 1})
+
+	results := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			status, _, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{Source: spinProg, TimeoutMS: 30_000})
+			results <- status
+		}()
+	}
+	// Wait until all three spins are placed — one running, two holding
+	// the only waiter tokens — before probing, so the probe cannot race
+	// a spin into the queue and block there itself.
+	for i := 0; ; i++ {
+		_, henv := get(t, ts.URL+"/healthz")
+		var h schema.HealthResponse
+		if err := henv.Open(schema.ServeV1, &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.InFlight == 1 && h.Queued == 2 {
+			break
+		}
+		if i > 1000 {
+			t.Fatalf("queue never filled: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{Source: helloProg})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("probe status = %d, want 503", status)
+	}
+	if e := openError(t, env); e.Kind != "busy" {
+		t.Fatalf("kind = %q, want busy", e.Kind)
+	}
+	// Close cancels the running spin (504) and fails the waiters
+	// (503 draining) so the test does not sit out the 30s timeouts.
+	srv.Close()
+	for i := 0; i < 3; i++ {
+		if status := <-results; status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
+			t.Errorf("parked request %d finished with %d", i, status)
+		}
+	}
+}
+
+// TestServeNoGoroutineLeaks: a burst of work — including cancelled
+// runs — settles back to the baseline goroutine count.
+func TestServeNoGoroutineLeaks(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				post(t, ts.URL+"/v1/run", schema.RunRequest{Source: helloProg})
+			} else {
+				post(t, ts.URL+"/v1/run", schema.RunRequest{Source: spinProg, TimeoutMS: 50})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Clients' keep-alive and server conn goroutines settle lazily.
+	http.DefaultClient.CloseIdleConnections()
+	var after int
+	for i := 0; i < 100; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before+3 {
+		t.Errorf("goroutines grew from %d to %d", before, after)
+	}
+	if n := srv.inFlight.Load(); n != 0 {
+		t.Errorf("inFlight = %d after all requests finished", n)
+	}
+}
+
+// TestServeRunMatchesDirectRun: the service response carries exactly
+// the observables a direct core.RunWith of the same image reports —
+// the byte-identity contract at the package level (tools_test.go
+// checks it against the real CLI binaries).
+func TestServeRunMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: helloProg, Harden: "icall", System: "full",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var run schema.RunResponse
+	if err := env.Open(schema.ServeV1, &run); err != nil {
+		t.Fatal(err)
+	}
+
+	img, _, err := core.Build(helloProg, core.HardenICall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := core.RunWith(context.Background(), img, core.SysFull, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stdout != string(res.Stdout) || run.ExitCode != res.Code ||
+		run.Metrics.Cycles != res.Cycles || run.Metrics.Instret != res.Instret {
+		t.Errorf("service run diverged from direct run:\nservice: %+v\ndirect:  %+v", run, res)
+	}
+
+	wantSnap := res.Snapshot(core.SysFull.String())
+	wantSnap.Schema = schema.MetricsV1
+	gotJSON, _ := json.Marshal(run.Metrics)
+	wantJSON, _ := json.Marshal(&wantSnap)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("metrics snapshot diverged:\nservice: %s\ndirect:  %s", gotJSON, wantJSON)
+	}
+}
+
+// TestServeMethodNotAllowed: the router rejects wrong methods.
+func TestServeMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run = %d", resp.StatusCode)
+	}
+}

@@ -3,18 +3,24 @@ package roload_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"roload/internal/schema"
+	"roload/internal/service"
 )
 
 // buildTools compiles the command-line tools once per test binary.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"roload-cc", "roload-run", "roload-attack"} {
+	for _, tool := range []string{"roload-cc", "roload-run", "roload-attack", "roload-serve"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Env = os.Environ()
@@ -317,5 +323,195 @@ func TestGofmtAndVet(t *testing.T) {
 	}
 	if msg, err := exec.Command("go", "vet", "./...").CombinedOutput(); err != nil {
 		t.Errorf("go vet: %v\n%s", err, msg)
+	}
+}
+
+// TestCLIFlagSpelling pins the shared internal/cli flag contract
+// across the tools: -sys is an alias of -system, and every unknown
+// -system/-sys/-harden value exits 2 naming the known values.
+func TestCLIFlagSpelling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	src := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(src, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The -sys alias drives the same value as -system.
+	out, err := exec.Command(filepath.Join(bin, "roload-run"), "-sys", "baseline", src).Output()
+	if err != nil {
+		t.Fatalf("roload-run -sys baseline: %v", err)
+	}
+	if string(out) != "42\n" {
+		t.Errorf("-sys alias run stdout = %q", out)
+	}
+
+	sysKnown := "known: baseline, proc, full"
+	hardenKnown := "known: none, vcall, vtint, icall, cfi, retguard, full"
+	cases := []struct {
+		tool   string
+		args   []string
+		stderr string
+	}{
+		{"roload-run", []string{"-system", "mainframe", src}, sysKnown},
+		{"roload-run", []string{"-sys", "mainframe", src}, sysKnown},
+		{"roload-run", []string{"-harden", "aslr", src}, hardenKnown},
+		{"roload-cc", []string{"-harden", "aslr", src}, hardenKnown},
+		{"roload-attack", []string{"-harden", "aslr"}, hardenKnown},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(filepath.Join(bin, c.tool), c.args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Errorf("%s %v: err = %v, want exit error", c.tool, c.args, err)
+			continue
+		}
+		if ee.ExitCode() != 2 {
+			t.Errorf("%s %v: exit %d, want 2", c.tool, c.args, ee.ExitCode())
+		}
+		if !strings.Contains(stderr.String(), c.stderr) {
+			t.Errorf("%s %v: stderr %q missing %q", c.tool, c.args, stderr.String(), c.stderr)
+		}
+	}
+}
+
+// TestServiceMatchesCLI is the byte-identity contract of the HTTP
+// service: for the same inputs, /v1/run carries exactly the stdout,
+// exit status and metrics document the roload-run CLI produces,
+// /v1/compile exactly roload-cc's stdout, and /v1/attack exactly
+// roload-attack's stdout.
+func TestServiceMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.NewServer(service.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer srv.Close()
+	defer ts.Close()
+
+	call := func(url string, body, out any) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, msg)
+		}
+		var env schema.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Open(schema.ServeV1, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Run: stdout, exit status and the metrics document must match.
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cmd := exec.Command(filepath.Join(bin, "roload-run"),
+		"-system", "full", "-harden", "icall", "-metrics", metricsPath, src)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("roload-run: %v", err)
+	}
+	var run schema.RunResponse
+	call(ts.URL+"/v1/run", schema.RunRequest{Source: smokeProg, System: "full", Harden: "icall"}, &run)
+	if run.Stdout != stdout.String() {
+		t.Errorf("run stdout %q != CLI stdout %q", run.Stdout, stdout.String())
+	}
+	if run.ExitStatus != 0 || !run.Exited {
+		t.Errorf("run = %+v, CLI exited 0", run)
+	}
+	cliMetrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), cliMetrics) {
+		t.Errorf("metrics documents differ:\nservice: %s\nCLI:     %s", buf.Bytes(), cliMetrics)
+	}
+
+	// A signalled run maps to the same 128+signal exit status the CLI
+	// process exits with.
+	cmd = exec.Command(filepath.Join(bin, "roload-run"), "-system", "proc", "-harden", "icall", src)
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("roload-run proc/icall: err = %v, want exit error", err)
+	}
+	var sig schema.RunResponse
+	call(ts.URL+"/v1/run", schema.RunRequest{Source: smokeProg, System: "proc", Harden: "icall"}, &sig)
+	if sig.Exited || sig.ExitStatus != ee.ExitCode() {
+		t.Errorf("service exit status %d (exited=%v) != CLI exit %d", sig.ExitStatus, sig.Exited, ee.ExitCode())
+	}
+
+	// Compile: byte-identical assembly.
+	ccOut, err := exec.Command(filepath.Join(bin, "roload-cc"), "-harden", "icall", src).Output()
+	if err != nil {
+		t.Fatalf("roload-cc: %v", err)
+	}
+	var comp schema.CompileResponse
+	call(ts.URL+"/v1/compile", schema.CompileRequest{Source: smokeProg, Harden: "icall"}, &comp)
+	if comp.Text != string(ccOut) {
+		t.Errorf("compile text diverged from roload-cc stdout (%d vs %d bytes)", len(comp.Text), len(ccOut))
+	}
+
+	// Attack: byte-identical matrix rendering for the same selection.
+	atOut, err := exec.Command(filepath.Join(bin, "roload-attack"), "-scenario", "vtable-hijack").Output()
+	if err != nil {
+		t.Fatalf("roload-attack: %v", err)
+	}
+	var at schema.AttackResponse
+	call(ts.URL+"/v1/attack", schema.AttackRequest{Scenario: "vtable-hijack"}, &at)
+	if at.Text != string(atOut) {
+		t.Errorf("attack text diverged from roload-attack stdout:\nservice:\n%s\nCLI:\n%s", at.Text, atOut)
+	}
+	if at.BadDefense {
+		t.Error("matrix flagged a bad defense")
+	}
+}
+
+// TestServiceRace re-runs the HTTP service tests (worker pool, shared
+// caches, drain, concurrent clients) under the race detector, like
+// TestParallelRunnerRace does for the eval runner.
+func TestServiceRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "-run", "TestServe", "roload/internal/service")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		s := string(out)
+		if strings.Contains(s, "-race is only supported on") ||
+			strings.Contains(s, "-race requires cgo") ||
+			strings.Contains(s, "cgo is disabled") ||
+			strings.Contains(s, "C compiler") {
+			t.Skipf("race detector unavailable here:\n%s", s)
+		}
+		t.Fatalf("go test -race on the service: %v\n%s", err, s)
 	}
 }
