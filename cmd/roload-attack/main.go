@@ -5,6 +5,7 @@
 // Usage:
 //
 //	roload-attack [-scenario name] [-harden scheme] [-v]
+//	roload-attack -chaos [-seed N] [-v]
 //
 // Without -scenario the full matrix runs; -harden restricts the run to
 // one scheme column (an unknown value exits 2 naming the known
@@ -12,6 +13,13 @@
 // status is nonzero if any ROLoad-hardened victim was hijacked. The
 // report is rendered by attack.RenderMatrix, shared with the HTTP
 // service's POST /v1/attack, so the two outputs are byte-identical.
+//
+// -chaos runs the pointee-integrity chaos matrix instead: seeded fault
+// injection (PTE/TLB key and permission corruption, keyed-page writes,
+// cache loss, spurious traps) against each workload × hardening cell.
+// Every rendering names the fault-plan seed, so any blocked or
+// hijacked verdict is reproducible with -seed N; exit status is
+// nonzero if a hardened cell was hijacked or corrupted silently.
 package main
 
 import (
@@ -23,10 +31,13 @@ import (
 	"roload/internal/attack"
 	"roload/internal/cli"
 	"roload/internal/core"
+	"roload/internal/fault"
 )
 
 func main() {
 	scenario := flag.String("scenario", "", "run one scenario by name")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos matrix instead of the attack matrix")
+	seed := flag.Uint64("seed", 1, "fault-plan seed for -chaos (the reproduction handle printed in the report)")
 	hardenFlag := cli.HardenFlag{Scheme: core.HardenNone}
 	hardenSet := false
 	flag.Func("harden", "run one hardening scheme column (default: the full matrix)", func(s string) error {
@@ -38,6 +49,24 @@ func main() {
 	})
 	verbose := flag.Bool("v", false, "print per-run detail")
 	flag.Parse()
+
+	if *chaos {
+		if *scenario != "" || hardenSet {
+			fmt.Fprintln(os.Stderr, "roload-attack: -chaos runs the full chaos matrix; -scenario/-harden do not apply")
+			os.Exit(2)
+		}
+		rep, err := fault.RunMatrix(context.Background(), *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-attack: %v (fault-plan seed %d)\n", err, *seed)
+			os.Exit(1)
+		}
+		fault.RenderMatrix(os.Stdout, rep, *verbose)
+		if rep.Bad {
+			fmt.Fprintf(os.Stderr, "roload-attack: a hardened cell was hijacked or corrupted silently (fault-plan seed %d)\n", *seed)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scenarios := attack.AllScenarios()
 	if *scenario != "" {

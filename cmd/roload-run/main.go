@@ -6,15 +6,29 @@
 //	roload-run [-system full|proc|baseline] [-harden scheme] [-stats] prog.mc
 //	roload-run -asm prog.s
 //	roload-run -trace out.json -profile - -metrics run.json prog.mc
+//	roload-run -checkpoint ck.json -checkpoint-every 100000 prog.mc
+//	roload-run -resume ck.json prog.mc
+//	roload-run -fault-seed 7 -fault-count 5 -fault-trace - prog.mc
 //
 // -sys is an alias of -system. Unknown -system/-harden values exit 2
 // naming the known values (the shared internal/cli contract of every
 // tool). Exit status mirrors the simulated process: its exit code, or
 // 128 + signal when it was killed.
+//
+// Checkpointing slices the run into -checkpoint-every-sized chunks and
+// atomically rewrites the roload-checkpoint/v1 document at each
+// boundary; -resume restarts from the last checkpoint (the program
+// argument must rebuild the same image — the checkpoint's digest is
+// verified) and replays bit-identically. -fault-count injects seeded
+// roload-fault/v1 faults; the plan is a pure function of (image,
+// system, seed, count), so re-running with the same seed reproduces
+// the fault trace byte-for-byte.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +40,10 @@ import (
 	"roload/internal/cc/harden"
 	"roload/internal/cli"
 	"roload/internal/core"
+	"roload/internal/fault"
+	"roload/internal/kernel"
 	"roload/internal/obs"
+	"roload/internal/schema"
 )
 
 func main() {
@@ -44,9 +61,27 @@ func main() {
 	profilePath := flag.String("profile", "", "write a cycle profile (top functions) to this path (- for stdout)")
 	foldedPath := flag.String("folded", "", "write folded stacks (flamegraph input) to this path (- for stdout)")
 	metricsPath := flag.String("metrics", "", "write a machine-readable metrics snapshot (JSON) to this path (- for stdout)")
+	ckPath := flag.String("checkpoint", "", "rewrite a roload-checkpoint/v1 snapshot at this path at every -checkpoint-every boundary")
+	ckEvery := flag.Uint64("checkpoint-every", 0, "checkpoint stride in retired instructions (requires -checkpoint; the -max-steps budget is then enforced at chunk granularity)")
+	resumePath := flag.String("resume", "", "resume from a roload-checkpoint/v1 snapshot instead of starting fresh")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for -fault-count's roload-fault/v1 plan")
+	faultCount := flag.Int("fault-count", 0, "inject this many seeded faults into the run")
+	faultTracePath := flag.String("fault-trace", "", "write the roload-fault/v1 trace (JSON) to this path (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
+		os.Exit(2)
+	}
+	if (*ckPath != "") != (*ckEvery > 0) {
+		fmt.Fprintln(os.Stderr, "roload-run: -checkpoint and -checkpoint-every must be used together")
+		os.Exit(2)
+	}
+	if *resumePath != "" && *faultCount > 0 {
+		fmt.Fprintln(os.Stderr, "roload-run: -fault-count cannot be combined with -resume (a resumed run replays the original)")
+		os.Exit(2)
+	}
+	if *faultCount < 0 {
+		fmt.Fprintln(os.Stderr, "roload-run: -fault-count must be non-negative")
 		os.Exit(2)
 	}
 	sys := systemFlag.Kind
@@ -99,12 +134,26 @@ func main() {
 		probes = append(probes, prof)
 	}
 
-	res, _, err := core.RunWith(context.Background(), img, sys, core.RunOptions{
-		MaxSteps: *maxSteps,
-		Probe:    obs.Combine(probes...),
-	})
-	if err != nil {
-		fatal(err)
+	var res kernel.RunResult
+	if *ckEvery > 0 || *resumePath != "" || *faultCount > 0 {
+		res = runAdvanced(img, sys, obs.Combine(probes...), advOptions{
+			maxSteps:   *maxSteps,
+			ckPath:     *ckPath,
+			ckEvery:    *ckEvery,
+			resume:     *resumePath,
+			faultSeed:  *faultSeed,
+			faultCount: *faultCount,
+			tracePath:  *faultTracePath,
+		})
+	} else {
+		var err error
+		res, _, err = core.RunWith(context.Background(), img, sys, core.RunOptions{
+			MaxSteps: *maxSteps,
+			Probe:    obs.Combine(probes...),
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	os.Stdout.Write(res.Stdout)
 	if !strings.HasSuffix(string(res.Stdout), "\n") && len(res.Stdout) > 0 {
@@ -162,6 +211,125 @@ func main() {
 		fmt.Fprintln(os.Stderr, rec.String())
 	}
 	os.Exit(128 + int(res.Signal))
+}
+
+// advOptions parameterize the direct-kernel driving path used when
+// checkpointing, resuming, or injecting faults.
+type advOptions struct {
+	maxSteps   uint64
+	ckPath     string
+	ckEvery    uint64
+	resume     string
+	faultSeed  uint64
+	faultCount int
+	tracePath  string
+}
+
+// runAdvanced drives the kernel directly: it restores or spawns the
+// process, optionally attaches a seeded fault engine, and runs in
+// -checkpoint-every-sized chunks, atomically rewriting the checkpoint
+// at each boundary. The chunked drive changes host control flow only —
+// by the fast-path invariant the simulated observables are
+// bit-identical to one uninterrupted run.
+func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOptions) kernel.RunResult {
+	cfg := sys.Config()
+	switch {
+	case opt.ckEvery > 0:
+		cfg.MaxSteps = opt.ckEvery
+	case opt.maxSteps > 0:
+		cfg.MaxSteps = opt.maxSteps
+	}
+
+	var machine *kernel.System
+	var p *kernel.Process
+	var err error
+	if opt.resume != "" {
+		raw, rerr := os.ReadFile(opt.resume)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		var ck schema.Checkpoint
+		if jerr := json.Unmarshal(raw, &ck); jerr != nil {
+			fatal(fmt.Errorf("decoding checkpoint %s: %w", opt.resume, jerr))
+		}
+		machine, p, err = kernel.Restore(cfg, img, ck)
+	} else {
+		machine = kernel.NewSystem(cfg)
+		p, err = machine.Spawn(img)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if probe != nil {
+		machine.SetProbe(probe)
+	}
+
+	var eng *fault.Engine
+	if opt.faultCount > 0 {
+		// A clean profiling run sizes the fault window so faults land
+		// inside live code; a budget-bound guest uses the budget itself.
+		clean, _, cerr := core.RunWith(context.Background(), img, sys, core.RunOptions{MaxSteps: opt.maxSteps})
+		if cerr != nil {
+			var limit *kernel.StepLimitError
+			if !errors.As(cerr, &limit) {
+				fatal(cerr)
+			}
+		}
+		plan, perr := fault.Generate(opt.faultSeed, opt.faultCount, fault.TargetsFromImage(img, clean.Instret))
+		if perr != nil {
+			fatal(perr)
+		}
+		if eng, err = fault.Attach(machine, p, plan); err != nil {
+			fatal(err)
+		}
+	}
+
+	var res kernel.RunResult
+	for {
+		res, err = machine.RunContext(context.Background(), p)
+		if err == nil {
+			break
+		}
+		var limit *kernel.StepLimitError
+		if !errors.As(err, &limit) || opt.ckEvery == 0 {
+			fatal(err)
+		}
+		if opt.maxSteps > 0 && res.Instret >= opt.maxSteps {
+			fatal(err)
+		}
+		writeCheckpoint(machine, p, opt.ckPath)
+	}
+
+	if eng != nil && opt.tracePath != "" {
+		trace := eng.Trace()
+		writeOutput(opt.tracePath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(trace)
+		})
+	}
+	return res
+}
+
+// writeCheckpoint snapshots the machine and atomically replaces the
+// checkpoint file (write to a temp name, then rename), so a kill while
+// checkpointing never leaves a torn document behind.
+func writeCheckpoint(machine *kernel.System, p *kernel.Process, path string) {
+	ck, err := kernel.Snapshot(machine, p)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fatal(err)
+	}
 }
 
 // writeOutput writes via fn to path, with "-" meaning stdout.

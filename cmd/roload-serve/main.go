@@ -14,8 +14,9 @@
 //	POST /v1/attack            mount the security matrix (or a slice)
 //	GET  /v1/experiments       list experiment ids and scales
 //	POST /v1/experiments/{id}  run one DESIGN.md §4 experiment
-//	GET  /healthz              liveness (503 while draining)
+//	GET  /healthz              liveness (503 while draining or degraded)
 //	GET  /metrics              service counters (JSON)
+//	POST /v1/chaos             arm latency/panic/error injection (-chaos only)
 //
 // SIGINT/SIGTERM starts a graceful drain: new work is rejected, in-
 // flight runs get -grace to finish, then they are cancelled and
@@ -48,6 +49,8 @@ func main() {
 	defTimeout := flag.Duration("timeout", 30*time.Second, "default per-request run deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied deadlines")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period before in-flight runs are cancelled")
+	chaos := flag.Bool("chaos", false, "enable the chaos surface: POST /v1/chaos and RunRequest fault injection")
+	degradedWindow := flag.Duration("degraded-window", 15*time.Second, "how long /healthz reports degraded after a recovered panic")
 	root := flag.String("root", ".", "repository root (table1 experiment)")
 	flag.Parse()
 
@@ -61,6 +64,8 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Grace:          *grace,
+		Chaos:          *chaos,
+		DegradedWindow: *degradedWindow,
 		Root:           *root,
 		Logger:         logger,
 	})

@@ -1,0 +1,56 @@
+package asm
+
+import (
+	"testing"
+
+	"roload/internal/isa"
+)
+
+// FuzzAssembleRoundTrip feeds arbitrary source text to the assembler.
+// The property under test: Assemble never panics, and every program it
+// accepts yields a structurally valid image whose executable sections
+// disassemble cleanly — the same round-trip the deterministic
+// TestAssembleDisassembleRoundTrip pins for known-good programs,
+// extended to the hostile input space.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	seeds := []string{
+		"_start:\n\tli a0, 42\n\tecall\n",
+		"_start:\n\tla a1, table\n\tld.ro a2, (a1), 77\n\tjalr ra, a2, 0\n\t.section .rodata.key.77\ntable: .quad _start\n",
+		"_start:\n\tj _start\n",
+		"_start:\n\taddi sp, sp, -16\n\tsd ra, 8(sp)\n\tld ra, 8(sp)\n\tret\n",
+		".section .data\nval: .quad 7\n.section .text\n_start:\n\tla a0, val\n\tld a1, 0(a0)\n\tecall\n",
+		"_start:\n\tbeq a0, a1, _start\n\tmul a2, a3, a4\n",
+		"; comment only\n",
+		".section .rodata.key.1023\nk: .quad 0\n",
+		"_start: .quad _missing\n",
+		"\x00\xff garbage",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := Assemble(src, DefaultOptions())
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		if err := img.Validate(); err != nil {
+			t.Fatalf("accepted program produced invalid image: %v\nsource:\n%s", err, src)
+		}
+		for _, sec := range img.Sections {
+			if sec.Perm&PermExec == 0 {
+				continue
+			}
+			lines := isa.Disassemble(sec.Data, sec.VA)
+			for _, l := range lines {
+				_ = l.Inst.Op.String()
+			}
+		}
+		var sum uint64
+		for _, sec := range img.Sections {
+			sum += sec.Size
+		}
+		if got := img.TotalSize(); got != sum {
+			t.Fatalf("TotalSize() = %d, sections sum to %d", got, sum)
+		}
+	})
+}

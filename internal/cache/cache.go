@@ -6,7 +6,11 @@
 // refill — so the model tracks tags with true LRU and no data array.
 package cache
 
-import "roload/internal/obs"
+import (
+	"fmt"
+
+	"roload/internal/obs"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -172,6 +176,76 @@ func (c *Cache) Flush() {
 		}
 	}
 	c.lastLine = nil
+}
+
+// DropLine invalidates the line covering physical address pa, if
+// present, and reports whether one was dropped — the fault-injection
+// hook for dirty-line loss. The model is a tag store over a
+// write-through memory (stores always reach internal/mem), so a
+// dropped line costs a deterministic refill on the next access; the
+// data-loss half of a lost dirty line is modelled separately by the
+// engine's store-drop fault.
+func (c *Cache) DropLine(pa uint64) bool {
+	lineAddr := pa >> c.lineBits
+	tag := lineAddr >> c.setBits
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			if c.lastLine == &set[i] {
+				c.lastLine = nil
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// LineState is one checkpointed cache line in set-major, way-minor
+// order.
+type LineState struct {
+	Tag   uint64 `json:"tag"`
+	Valid bool   `json:"valid"`
+	LRU   uint64 `json:"lru"`
+}
+
+// State is the checkpointable cache state: tick, statistics, and every
+// line's tag/valid/LRU. The last-line shortcut is host-only state and
+// is rebuilt lazily.
+type State struct {
+	Tick  uint64      `json:"tick"`
+	Stats Stats       `json:"stats"`
+	Lines []LineState `json:"lines"`
+}
+
+// State captures the cache for a checkpoint.
+func (c *Cache) State() State {
+	lines := make([]LineState, 0, len(c.sets)*c.cfg.Ways)
+	for _, set := range c.sets {
+		for i := range set {
+			lines = append(lines, LineState{Tag: set[i].tag, Valid: set[i].valid, LRU: set[i].lru})
+		}
+	}
+	return State{Tick: c.tick, Stats: c.stats, Lines: lines}
+}
+
+// SetState restores a checkpointed cache state; the geometry must
+// match the cache it is restored into.
+func (c *Cache) SetState(s State) error {
+	if len(s.Lines) != len(c.sets)*c.cfg.Ways {
+		return fmt.Errorf("cache: restoring %d lines into a %d-line cache", len(s.Lines), len(c.sets)*c.cfg.Ways)
+	}
+	k := 0
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{tag: s.Lines[k].Tag, valid: s.Lines[k].Valid, lru: s.Lines[k].LRU}
+			k++
+		}
+	}
+	c.tick = s.Tick
+	c.stats = s.Stats
+	c.lastLine = nil
+	return nil
 }
 
 // emit is the cold half of the probe path, kept out of Access so the

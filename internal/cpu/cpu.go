@@ -38,6 +38,12 @@ const (
 	TrapPageFault
 	TrapIllegalInst
 	TrapMisaligned
+	// TrapSpurious is an asynchronous trap raised by the
+	// fault-injection hook before an instruction executes (a
+	// timer-interrupt-like event with no architectural cause). The
+	// kernel services and dismisses it; the interrupted instruction
+	// has not executed and runs when control returns.
+	TrapSpurious
 )
 
 func (k TrapKind) String() string {
@@ -54,6 +60,8 @@ func (k TrapKind) String() string {
 		return "illegal instruction"
 	case TrapMisaligned:
 		return "misaligned access"
+	case TrapSpurious:
+		return "spurious trap"
 	}
 	return fmt.Sprintf("trap(%d)", int(k))
 }
@@ -192,6 +200,31 @@ type CPU struct {
 	// caches share the same probe (wired by SetProbe). nil costs one
 	// predicted branch per site and nothing else.
 	probe obs.Probe
+
+	// inject, when non-nil, is the deterministic fault-injection hook
+	// (internal/fault): consulted before every instruction (PreStep,
+	// which may mutate machine state and request a spurious trap) and
+	// on every store (FilterStore, which may drop it). nil costs one
+	// nil check per site, like Tracer and probe.
+	inject Injector
+}
+
+// Injector is the fault-injection interface wired by SetInjector. Both
+// methods must be deterministic functions of the machine state and the
+// injector's own plan: the engine replays identically for identical
+// seeds, which is the reproducibility contract of roload-fault/v1.
+type Injector interface {
+	// PreStep runs before the instruction at the current PC executes,
+	// with the current retire count. It may corrupt memory, TLB, or
+	// cache state through the published hooks; returning true raises a
+	// spurious trap instead of executing the instruction (the PC does
+	// not advance).
+	PreStep(instret uint64) (spurious bool)
+	// FilterStore is consulted once per executed store instruction
+	// with its virtual and physical address and width; returning false
+	// drops the store (cycles and statistics are still charged — the
+	// write simply never reaches memory).
+	FilterStore(va, pa uint64, n int) bool
 }
 
 // New builds a core over phys.
@@ -279,6 +312,82 @@ func (c *CPU) ResetCounters() {
 
 // DataMMU exposes the D-side MMU for kernel fault handling tests.
 func (c *CPU) DataMMU() *mmu.MMU { return c.dmem }
+
+// InstMMU exposes the I-side MMU (checkpointing and fault injection).
+func (c *CPU) InstMMU() *mmu.MMU { return c.imem }
+
+// DataCache exposes the D-cache (fault injection: dirty-line loss).
+func (c *CPU) DataCache() *cache.Cache { return c.dcache }
+
+// InstCache exposes the I-cache.
+func (c *CPU) InstCache() *cache.Cache { return c.icache }
+
+// SetInjector attaches (or with nil detaches) the fault-injection
+// hook.
+func (c *CPU) SetInjector(ij Injector) { c.inject = ij }
+
+// State is the complete checkpointable core state: architectural
+// registers and counters, statistics, and the exact TLB and cache
+// contents of the memory hierarchy. Host-side fast-path caches
+// (predecode, L0, last-line) are absent by design: they change host
+// time only, so rebuilding them lazily after a restore is bit-identical
+// (the PR 2 fast-path invariant).
+type State struct {
+	Regs    [isa.NumRegs]uint64 `json:"regs"`
+	PC      uint64              `json:"pc"`
+	Cycles  uint64              `json:"cycles"`
+	Instret uint64              `json:"instret"`
+	Stats   Stats               `json:"stats"`
+	IMMU    mmu.State           `json:"immu"`
+	DMMU    mmu.State           `json:"dmmu"`
+	ICache  cache.State         `json:"icache"`
+	DCache  cache.State         `json:"dcache"`
+}
+
+// State captures the core for a checkpoint.
+func (c *CPU) State() State {
+	return State{
+		Regs:    c.Regs,
+		PC:      c.PC,
+		Cycles:  c.Cycles,
+		Instret: c.Instret,
+		Stats:   c.stats,
+		IMMU:    c.imem.State(),
+		DMMU:    c.dmem.State(),
+		ICache:  c.icache.State(),
+		DCache:  c.dcache.State(),
+	}
+}
+
+// SetState restores a checkpointed core state. The TLBs and caches are
+// restored exactly (no flush), so the instruction, miss and cycle
+// streams after a resume replay bit-identically against an
+// uninterrupted run. The predecode cache is dropped; it repopulates
+// lazily.
+func (c *CPU) SetState(s State) error {
+	if err := c.imem.SetState(s.IMMU); err != nil {
+		return err
+	}
+	if err := c.dmem.SetState(s.DMMU); err != nil {
+		return err
+	}
+	if err := c.icache.SetState(s.ICache); err != nil {
+		return err
+	}
+	if err := c.dcache.SetState(s.DCache); err != nil {
+		return err
+	}
+	c.Regs = s.Regs
+	c.PC = s.PC
+	c.Cycles = s.Cycles
+	c.Instret = s.Instret
+	c.stats = s.Stats
+	if c.useFast {
+		c.predecode = make(map[uint64]*pageCode)
+		c.lastCode = nil
+	}
+	return nil
+}
 
 // SetProbe attaches p to the core and its whole memory hierarchy: the
 // CPU emits retire and trap events, the two MMUs emit TLB, walk and
@@ -509,6 +618,9 @@ func (c *CPU) loadVirt(va, pa uint64, n int, at mmu.Access, key uint16) (uint64,
 }
 
 func (c *CPU) storeVirt(va, pa uint64, v uint64, n int) error {
+	if c.inject != nil && !c.inject.FilterStore(va, pa, n) {
+		return nil // dropped store: permission checks and costs already done
+	}
 	if va>>mem.PageShift == (va+uint64(n)-1)>>mem.PageShift {
 		return c.phys.WriteUint(pa, v, n)
 	}
@@ -535,6 +647,17 @@ func (c *CPU) storeVirt(va, pa uint64, v uint64, n int) error {
 // ECALL/EBREAK (sepc handling is the kernel's concern; this interface
 // mirrors what the kernel needs).
 func (c *CPU) Step() *Trap {
+	if c.inject != nil {
+		if c.inject.PreStep(c.Instret) {
+			c.stats.Traps++
+			c.Cycles += c.cfg.Cost.Trap
+			trap := &Trap{Kind: TrapSpurious, PC: c.PC}
+			if c.probe != nil {
+				c.emitTrap(trap)
+			}
+			return trap
+		}
+	}
 	var cyc0 uint64
 	if c.probe != nil {
 		cyc0 = c.Cycles

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func cellOf(t *testing.T, rep Report, workload, scheme, fault string) Cell {
+	t.Helper()
+	for _, c := range rep.Cells {
+		if c.Workload == workload && c.Scheme == scheme && c.Fault == fault {
+			return c
+		}
+	}
+	t.Fatalf("cell %s/%s/%s missing from report", workload, scheme, fault)
+	return Cell{}
+}
+
+// TestChaosMatrix pins the pointee-integrity claim under fault
+// injection: every fault targeting a keyed read-only page is benign,
+// blocked, or caught as a ROLoad key fault under the hardened modes —
+// never a silent corruption — while the same pointer hijack succeeds
+// silently against the unhardened baseline.
+func TestChaosMatrix(t *testing.T) {
+	rep, err := RunMatrix(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bad {
+		t.Fatal("a hardened cell corrupted or hijacked silently")
+	}
+	for _, c := range rep.Cells {
+		if c.Scheme == "none" {
+			continue
+		}
+		if c.Verdict == VerdictHijacked || c.Verdict == VerdictCorrupted {
+			t.Errorf("hardened cell %s/%s/%s = %s (%s)", c.Workload, c.Scheme, c.Fault, c.Verdict, c.Detail)
+		}
+	}
+
+	// The baseline demonstrably hijacks silently.
+	for _, w := range []string{"fptr-call", "vtable-call"} {
+		if c := cellOf(t, rep, w, "none", "hijack-slot"); c.Verdict != VerdictHijacked {
+			t.Errorf("%s baseline hijack = %s, want %s", w, c.Verdict, VerdictHijacked)
+		}
+	}
+
+	// ROLoad-backed schemes catch every translation-level corruption of
+	// the keyed page, and the hijack itself, as key faults.
+	roload := []struct{ workload, scheme string }{
+		{"fptr-call", "ICall"}, {"fptr-call", "Full"},
+		{"vtable-call", "VCall"}, {"vtable-call", "Full"},
+	}
+	for _, rs := range roload {
+		for _, f := range []string{"hijack-slot", "pte-key", "pte-perm", "tlb-key"} {
+			if c := cellOf(t, rep, rs.workload, rs.scheme, f); c.Verdict != VerdictCaught {
+				t.Errorf("%s/%s/%s = %s (%s), want %s",
+					rs.workload, rs.scheme, f, c.Verdict, c.Detail, VerdictCaught)
+			}
+		}
+		// The keyed page itself rejects attacker stores.
+		if c := cellOf(t, rep, rs.workload, rs.scheme, "ptr-write-keyed"); c.Verdict != VerdictBenign {
+			t.Errorf("%s/%s/ptr-write-keyed = %s, want %s (store blocked, run unaffected)",
+				rs.workload, rs.scheme, c.Verdict, VerdictBenign)
+		}
+	}
+
+	// The software baseline blocks the hijack with its own trap, not a
+	// key fault.
+	if c := cellOf(t, rep, "vtable-call", "VTint", "hijack-slot"); c.Verdict != VerdictBlocked {
+		t.Errorf("VTint hijack = %s, want %s", c.Verdict, VerdictBlocked)
+	}
+
+	// Purely micro-architectural faults never change observables.
+	for _, c := range rep.Cells {
+		if c.Fault == "cache-loss" || c.Fault == "spurious-trap" {
+			if c.Verdict != VerdictBenign {
+				t.Errorf("%s/%s/%s = %s, want %s", c.Workload, c.Scheme, c.Fault, c.Verdict, VerdictBenign)
+			}
+		}
+	}
+}
+
+// TestChaosMatrixDeterministic: the same seed yields a byte-identical
+// report — verdicts, plans and traces included.
+func TestChaosMatrixDeterministic(t *testing.T) {
+	one := func() []byte {
+		rep, err := RunMatrix(context.Background(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := one(), one()
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed chaos reports differ")
+	}
+}
+
+// TestChaosRenderIncludesSeed: every rendering of the matrix names the
+// seed, the one-flag reproduction handle.
+func TestChaosRenderIncludesSeed(t *testing.T) {
+	rep := Report{Seed: 4242, Cells: []Cell{{
+		Workload: "w", Scheme: "none", Fault: "hijack-slot", Verdict: VerdictHijacked,
+	}}}
+	var buf bytes.Buffer
+	RenderMatrix(&buf, rep, false)
+	if !bytes.Contains(buf.Bytes(), []byte("4242")) {
+		t.Errorf("rendered matrix does not name the seed:\n%s", buf.String())
+	}
+}

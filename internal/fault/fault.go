@@ -1,0 +1,224 @@
+// Package fault is the deterministic fault-injection engine: it drives
+// the corruption hooks exposed by mem (bit flips, dropped stores), mmu
+// (PTE and TLB key/permission corruption), cache (line loss) and cpu
+// (spurious traps) from a versioned roload-fault/v1 plan. Everything
+// the engine does is a pure function of the plan and the simulated
+// machine state — no clocks, no global randomness — so the same plan
+// against the same guest produces a byte-identical fault trace, audit
+// log and outcome every time. That reproducibility is what the chaos
+// matrix (chaos.go) and the crash-consistency tooling build on.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"roload/internal/kernel"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+	"roload/internal/obs"
+	"roload/internal/schema"
+)
+
+// Engine applies a fault plan to one running process. It implements
+// cpu.Injector: the core consults it before every instruction (firing
+// point) and on every store (drop filter).
+type Engine struct {
+	sys  *kernel.System
+	p    *kernel.Process
+	plan schema.FaultPlan
+
+	cursor     int
+	dropBudget uint64
+	events     []schema.FaultEvent
+}
+
+// Attach validates the plan and wires the engine into the system's
+// core. Call Detach (or let the process finish) before reusing the
+// system without injection.
+func Attach(sys *kernel.System, p *kernel.Process, plan schema.FaultPlan) (*Engine, error) {
+	if plan.Schema != schema.FaultV1 {
+		return nil, fmt.Errorf("fault: unsupported plan schema %q", plan.Schema)
+	}
+	if !sort.SliceIsSorted(plan.Faults, func(i, j int) bool {
+		return plan.Faults[i].At < plan.Faults[j].At
+	}) {
+		return nil, fmt.Errorf("fault: plan faults must be ordered by non-decreasing At")
+	}
+	for i, spec := range plan.Faults {
+		switch spec.Kind {
+		case schema.FaultBitFlip, schema.FaultDataFlip, schema.FaultPtrWrite,
+			schema.FaultStoreDrop, schema.FaultPTEKey, schema.FaultPTEPerm,
+			schema.FaultTLBKey, schema.FaultCacheLoss, schema.FaultSpuriousTrap:
+		default:
+			return nil, fmt.Errorf("fault: plan fault %d has unknown kind %q", i, spec.Kind)
+		}
+	}
+	e := &Engine{sys: sys, p: p, plan: plan}
+	sys.CPU().SetInjector(e)
+	return e, nil
+}
+
+// Detach unwires the engine from the core. The collected trace stays
+// readable.
+func (e *Engine) Detach() { e.sys.CPU().SetInjector(nil) }
+
+// Trace returns the roload-fault/v1 trace of every fault fired so far.
+func (e *Engine) Trace() schema.FaultTrace {
+	return schema.FaultTrace{
+		Schema: schema.FaultV1,
+		Seed:   e.plan.Seed,
+		Events: append([]schema.FaultEvent(nil), e.events...),
+	}
+}
+
+// PreStep fires every pending fault whose At has been reached. It
+// reports true when one of them is a spurious trap, which the core
+// delivers before executing the instruction; any later pending faults
+// fire on the next step.
+func (e *Engine) PreStep(instret uint64) bool {
+	for e.cursor < len(e.plan.Faults) && e.plan.Faults[e.cursor].At <= instret {
+		spec := e.plan.Faults[e.cursor]
+		e.cursor++
+		if spec.Kind == schema.FaultSpuriousTrap {
+			e.record(spec.Kind, spec.Addr, "spurious trap delivered")
+			return true
+		}
+		e.apply(spec)
+	}
+	return false
+}
+
+// FilterStore implements the dropped-store fault: while the drop
+// budget armed by a store-drop spec is positive, stores vanish (the
+// core still charges their cost and counts them).
+func (e *Engine) FilterStore(va, pa uint64, n int) bool {
+	if e.dropBudget == 0 {
+		return true
+	}
+	e.dropBudget--
+	e.record(schema.FaultStoreDrop, va, fmt.Sprintf("dropped %d-byte store (pa %#x)", n, pa))
+	return false
+}
+
+// apply performs one non-trap fault against the machine.
+func (e *Engine) apply(spec schema.FaultSpec) {
+	switch spec.Kind {
+	case schema.FaultBitFlip:
+		before, after, err := e.sys.Phys().FlipBit(spec.Addr, spec.Bit)
+		if err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("no-op: %v", err))
+			return
+		}
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("pa %#x bit %d: %#02x -> %#02x", spec.Addr, spec.Bit&7, before, after))
+
+	case schema.FaultDataFlip:
+		b, err := e.p.PeekMem(spec.Addr, 1)
+		if err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("no-op: %v", err))
+			return
+		}
+		flipped := b[0] ^ 1<<(spec.Bit&7)
+		if err := e.p.PokeMem(spec.Addr, []byte{flipped}); err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("no-op: %v", err))
+			return
+		}
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("va %#x bit %d: %#02x -> %#02x", spec.Addr, spec.Bit&7, b[0], flipped))
+
+	case schema.FaultPtrWrite:
+		// Store semantics, exactly like the threat model's arbitrary
+		// write: read-only pages (where hardened binaries keep their
+		// sensitive pointers) block it.
+		if err := e.p.CorruptUint(spec.Addr, spec.Val, 8); err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("blocked: %v", err))
+			return
+		}
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("va %#x <- %#x", spec.Addr, spec.Val))
+
+	case schema.FaultStoreDrop:
+		n := spec.Count
+		if n == 0 {
+			n = 1
+		}
+		e.dropBudget += n
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("next %d stores armed to drop", n))
+
+	case schema.FaultPTEKey:
+		pte, pteAddr, ok := e.p.Mapper().Lookup(spec.Addr &^ uint64(mem.PageSize-1))
+		if !ok {
+			e.record(spec.Kind, spec.Addr, "no-op: page not mapped")
+			return
+		}
+		old := mmu.PTEKey(pte)
+		npte := mmu.MakePTE(mmu.PTEPPN(pte), pte&0xff, spec.Key)
+		if err := e.sys.Phys().WriteUint(pteAddr, npte, 8); err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("no-op: %v", err))
+			return
+		}
+		// Flush so the corruption is architecturally visible at a
+		// deterministic point instead of depending on TLB residency.
+		e.sys.CPU().FlushTLBPage(spec.Addr)
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("pte key %d -> %d", old, spec.Key))
+
+	case schema.FaultPTEPerm:
+		pte, pteAddr, ok := e.p.Mapper().Lookup(spec.Addr &^ uint64(mem.PageSize-1))
+		if !ok {
+			e.record(spec.Kind, spec.Addr, "no-op: page not mapped")
+			return
+		}
+		if err := e.sys.Phys().WriteUint(pteAddr, pte|mmu.PTEWrite, 8); err != nil {
+			e.record(spec.Kind, spec.Addr, fmt.Sprintf("no-op: %v", err))
+			return
+		}
+		e.sys.CPU().FlushTLBPage(spec.Addr)
+		e.record(spec.Kind, spec.Addr, "pte writable bit set")
+
+	case schema.FaultTLBKey:
+		old := uint16(0)
+		hit := e.sys.CPU().DataMMU().CorruptTLB(spec.Addr, func(en *mmu.TLBEntry) {
+			old = en.Key
+			en.Key = spec.Key
+		})
+		if !hit {
+			e.record(spec.Kind, spec.Addr, "no-op: page not in D-TLB")
+			return
+		}
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("tlb key %d -> %d", old, spec.Key))
+
+	case schema.FaultCacheLoss:
+		pte, _, ok := e.p.Mapper().Lookup(spec.Addr &^ uint64(mem.PageSize-1))
+		if !ok {
+			e.record(spec.Kind, spec.Addr, "no-op: page not mapped")
+			return
+		}
+		pa := mmu.PTEPPN(pte)<<mem.PageShift | spec.Addr&(mem.PageSize-1)
+		if !e.sys.CPU().DataCache().DropLine(pa) {
+			e.record(spec.Kind, spec.Addr, "no-op: line not cached")
+			return
+		}
+		e.record(spec.Kind, spec.Addr, fmt.Sprintf("d-cache line at pa %#x dropped", pa))
+	}
+}
+
+// record appends the fired fault to the trace and to the system audit
+// log, stamped with the machine position at the moment of injection.
+func (e *Engine) record(kind string, addr uint64, effect string) {
+	cpu := e.sys.CPU()
+	e.events = append(e.events, schema.FaultEvent{
+		Seq:     len(e.events),
+		Kind:    kind,
+		Instret: cpu.Instret,
+		Cycle:   cpu.Cycles,
+		Addr:    addr,
+		Effect:  effect,
+	})
+	e.sys.Audit().Record(obs.AuditRecord{
+		Kind:      schema.AuditInjected,
+		FaultKind: kind,
+		Cycle:     cpu.Cycles,
+		Instret:   cpu.Instret,
+		PC:        cpu.PC,
+		VA:        addr,
+		Detail:    effect,
+	})
+}

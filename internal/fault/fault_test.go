@@ -1,0 +1,397 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"roload/internal/asm"
+	"roload/internal/kernel"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+	"roload/internal/schema"
+)
+
+func mustImage(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	img, err := asm.Assemble(src, asm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// roloadLoop calls through a keyed pointer 500 times, so any
+// mid-stream key corruption is observed by a later ld.ro.
+const roloadLoop = `
+_start:
+	li s0, 0
+loop:
+	la a0, gfpt
+	ld.ro a1, (a0), 111
+	mv a0, s0
+	jalr a1
+	addi s0, s0, 1
+	li t0, 500
+	blt s0, t0, loop
+	li a0, 42
+	li a7, 93
+	ecall
+step:
+	addi a0, a0, 1
+	ret
+	.section .rodata.key.111
+gfpt: .quad step
+`
+
+func spawn(t *testing.T, img *asm.Image, maxSteps uint64) (*kernel.System, *kernel.Process) {
+	t.Helper()
+	cfg := kernel.FullSystem()
+	cfg.MaxSteps = maxSteps
+	sys := kernel.NewSystem(cfg)
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, p
+}
+
+func gfptVA(t *testing.T, p *kernel.Process) uint64 {
+	t.Helper()
+	va, ok := p.Sym("gfpt")
+	if !ok {
+		t.Fatal("gfpt symbol missing")
+	}
+	return va
+}
+
+func plan(faults ...schema.FaultSpec) schema.FaultPlan {
+	return schema.FaultPlan{Schema: schema.FaultV1, Faults: faults}
+}
+
+func TestAttachValidates(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 0)
+	if _, err := Attach(sys, p, schema.FaultPlan{Schema: "nope"}); err == nil {
+		t.Error("Attach accepted a wrong schema")
+	}
+	if _, err := Attach(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultBitFlip, At: 10},
+		schema.FaultSpec{Kind: schema.FaultBitFlip, At: 5},
+	)); err == nil {
+		t.Error("Attach accepted an unsorted plan")
+	}
+	if _, err := Attach(sys, p, plan(
+		schema.FaultSpec{Kind: "meteor-strike", At: 1},
+	)); err == nil {
+		t.Error("Attach accepted an unknown fault kind")
+	}
+}
+
+// TestPTEKeyCaught: corrupting the PTE key of the keyed page turns the
+// next ld.ro into a reported ROLoad violation carrying the corrupted
+// key, and the injected fault precedes the violation in the audit log.
+func TestPTEKeyCaught(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 0)
+	res, trace, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultPTEKey, At: 100, Addr: gfptVA(t, p), Key: 7},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ROLoadViolation {
+		t.Fatalf("no ROLoad violation: %+v", res)
+	}
+	if res.FaultWantKey != 111 || res.FaultGotKey != 7 {
+		t.Errorf("want key 111 got key 7, reported %d/%d", res.FaultWantKey, res.FaultGotKey)
+	}
+	if len(trace.Events) != 1 || trace.Events[0].Kind != schema.FaultPTEKey {
+		t.Errorf("trace = %+v", trace.Events)
+	}
+	if len(res.Audit) != 2 {
+		t.Fatalf("audit = %+v, want injected fault + violation", res.Audit)
+	}
+	if res.Audit[0].Kind != schema.AuditInjected || res.Audit[0].FaultKind != schema.FaultPTEKey {
+		t.Errorf("first audit record = %+v, want injected pte-key", res.Audit[0])
+	}
+	if res.Audit[1].Kind != schema.AuditViolation {
+		t.Errorf("second audit record = %+v, want violation", res.Audit[1])
+	}
+}
+
+// TestPTEPermCaught: making the keyed page writable violates the
+// read-only half of the ld.ro check.
+func TestPTEPermCaught(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 0)
+	res, _, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultPTEPerm, At: 100, Addr: gfptVA(t, p)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ROLoadViolation {
+		t.Fatalf("no ROLoad violation: %+v", res)
+	}
+}
+
+// TestTLBKeyCaught: corrupting the live D-TLB entry (not the PTE) is
+// caught on the next ld.ro — which also proves the corruption
+// penetrates the L0 translation mirror added by the fast-path work.
+func TestTLBKeyCaught(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 0)
+	res, trace, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultTLBKey, At: 100, Addr: gfptVA(t, p), Key: 9},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) != 1 {
+		t.Fatalf("trace = %+v", trace.Events)
+	}
+	if trace.Events[0].Effect != "tlb key 111 -> 9" {
+		t.Errorf("effect = %q", trace.Events[0].Effect)
+	}
+	if !res.ROLoadViolation || res.FaultGotKey != 9 {
+		t.Fatalf("violation not observed through the TLB: %+v", res)
+	}
+}
+
+// TestPtrWriteBlockedOnKeyedPage: the store-semantics pointer write
+// cannot touch the keyed read-only page, and the run is unaffected.
+func TestPtrWriteBlockedOnKeyedPage(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 0)
+	res, trace, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultPtrWrite, At: 100, Addr: gfptVA(t, p), Val: 0xdead},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.Code != 42 {
+		t.Fatalf("run was affected: %+v", res)
+	}
+	if len(trace.Events) != 1 || !bytes.Contains([]byte(trace.Events[0].Effect), []byte("blocked")) {
+		t.Errorf("trace = %+v, want a blocked write", trace.Events)
+	}
+}
+
+// TestStoreDrop: the armed store vanishes — the flag never reaches
+// memory and the exit code shows the stale value.
+func TestStoreDrop(t *testing.T) {
+	img := mustImage(t, `
+_start:
+	la t0, flag
+	li t1, 1
+	sd t1, (t0)
+	ld a0, (t0)
+	li a7, 93
+	ecall
+	.data
+flag: .quad 0
+`)
+	sys, p := spawn(t, img, 0)
+	res, trace, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultStoreDrop, At: 0, Count: 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.Code != 0 {
+		t.Fatalf("store was not dropped: %+v", res)
+	}
+	// Two events: the arming and the actual drop.
+	if len(trace.Events) != 2 || trace.Events[1].Kind != schema.FaultStoreDrop {
+		t.Errorf("trace = %+v", trace.Events)
+	}
+	if res.CPUStats.Stores == 0 {
+		t.Error("dropped store was not accounted")
+	}
+}
+
+// TestSpuriousTrapBenign: a spurious trap perturbs timing and the trap
+// counter but no architectural observable.
+func TestSpuriousTrapBenign(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sysRef, pRef := spawn(t, img, 0)
+	ref, err := sysRef.Run(pRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, p := spawn(t, img, 0)
+	res, trace, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultSpuriousTrap, At: 50},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.Code != ref.Code || !bytes.Equal(res.Stdout, ref.Stdout) {
+		t.Fatalf("spurious trap changed observables: %+v vs %+v", res, ref)
+	}
+	if res.CPUStats.Traps != ref.CPUStats.Traps+1 {
+		t.Errorf("traps = %d, want %d", res.CPUStats.Traps, ref.CPUStats.Traps+1)
+	}
+	if res.Instret != ref.Instret {
+		t.Errorf("instret = %d, want %d (spurious trap retires nothing)", res.Instret, ref.Instret)
+	}
+	if res.Cycles <= ref.Cycles {
+		t.Error("spurious trap cost no cycles")
+	}
+	if len(trace.Events) != 1 {
+		t.Errorf("trace = %+v", trace.Events)
+	}
+}
+
+// TestBitFlipAndDataFlip exercise the memory-level corruptions: a
+// physical flip under the flag page and a virtual flip through the
+// kernel-privilege path both change the observed value.
+func TestBitFlipAndDataFlip(t *testing.T) {
+	src := `
+_start:
+	la t0, flag
+	ld a0, (t0)
+	li a7, 93
+	ecall
+	.data
+flag: .quad 0
+`
+	img := mustImage(t, src)
+
+	sys, p := spawn(t, img, 0)
+	flagVA, _ := p.Sym("flag")
+	res, _, err := Run(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultDataFlip, At: 0, Addr: flagVA, Bit: 3},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != 8 {
+		t.Errorf("data-flip: exit = %d, want 8", res.Code)
+	}
+
+	sys2, p2 := spawn(t, img, 0)
+	pte, _, ok := p2.Mapper().Lookup(PageOf(flagVA))
+	if !ok {
+		t.Fatal("flag page unmapped")
+	}
+	flagPA := mmu.PTEPPN(pte)<<mem.PageShift | flagVA&(mem.PageSize-1)
+	res2, _, err := Run(sys2, p2, plan(
+		schema.FaultSpec{Kind: schema.FaultBitFlip, At: 0, Addr: flagPA, Bit: 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Code != 2 {
+		t.Errorf("bit-flip: exit = %d, want 2", res2.Code)
+	}
+}
+
+// TestPartialResultCarriesAudit is the regression test for the
+// partial-result bug: a step-limited run must surface the fault-audit
+// entries accumulated so far, not just the counters.
+func TestPartialResultCarriesAudit(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	sys, p := spawn(t, img, 200) // limit hits mid-loop, after the fault
+	eng, err := Attach(sys, p, plan(
+		schema.FaultSpec{Kind: schema.FaultSpuriousTrap, At: 50},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Detach()
+	res, err := sys.Run(p)
+	var limit *kernel.StepLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+	if len(res.Audit) != 1 || res.Audit[0].Kind != schema.AuditInjected {
+		t.Fatalf("partial result audit = %+v, want the injected fault", res.Audit)
+	}
+}
+
+// TestEngineDeterministic: the same plan against the same guest yields
+// byte-identical fault traces, audit logs and results across runs.
+func TestEngineDeterministic(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	onePass := func() ([]byte, []byte, kernel.RunResult) {
+		sys, p := spawn(t, img, 0)
+		pl := plan(
+			schema.FaultSpec{Kind: schema.FaultSpuriousTrap, At: 20},
+			schema.FaultSpec{Kind: schema.FaultCacheLoss, At: 60, Addr: gfptVA(t, p)},
+			schema.FaultSpec{Kind: schema.FaultStoreDrop, At: 90, Count: 2},
+			schema.FaultSpec{Kind: schema.FaultPTEKey, At: 400, Addr: gfptVA(t, p), Key: 13},
+		)
+		res, trace, err := Run(sys, p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := json.Marshal(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := json.Marshal(sys.Audit().Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb, ab, res
+	}
+	t1, a1, r1 := onePass()
+	t2, a2, r2 := onePass()
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("fault traces differ:\n%s\n%s", t1, t2)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("audit logs differ:\n%s\n%s", a1, a2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("results differ:\n%+v\n%+v", r1, r2)
+	}
+	if !r1.ROLoadViolation {
+		t.Error("pte-key fault at 400 was not caught")
+	}
+}
+
+// TestGenerateDeterministic: one (seed, targets) pair names exactly
+// one plan.
+func TestGenerateDeterministic(t *testing.T) {
+	img := mustImage(t, roloadLoop)
+	targets := TargetsFromImage(img, 5000)
+	if len(targets.Keyed) == 0 {
+		t.Fatal("no keyed targets derived from a keyed image")
+	}
+	p1, err := Generate(99, 32, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(99, 32, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("same seed produced different plans")
+	}
+	if p1.Seed != 99 || len(p1.Faults) != 32 {
+		t.Errorf("plan = seed %d, %d faults", p1.Seed, len(p1.Faults))
+	}
+	for i := 1; i < len(p1.Faults); i++ {
+		if p1.Faults[i].At < p1.Faults[i-1].At {
+			t.Fatal("generated plan is not sorted by At")
+		}
+	}
+	p3, err := Generate(100, 32, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("different seeds produced identical plans")
+	}
+	if _, err := Attach(kernel.NewSystem(kernel.FullSystem()), nil, p1); err != nil {
+		// Attach only validates the plan shape before wiring; a
+		// generated plan must always validate.
+		t.Errorf("generated plan failed validation: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"roload/internal/asm"
+	"roload/internal/isa"
+	"roload/internal/kernel"
+	"roload/internal/mem"
+	"roload/internal/schema"
+)
+
+// Targets is what the plan generator aims at. Everything is derived
+// from the guest image and (optionally) a clean profiling run, so the
+// generated plan — like everything else in this package — is a pure
+// function of its inputs.
+type Targets struct {
+	// Window is the retire-count range [0, Window) in which faults
+	// land; use the instret of a clean run so faults hit live code.
+	Window uint64
+	// Keyed lists virtual addresses inside keyed read-only pages
+	// (vtables, GFPT) — the pages the paper's mechanism protects.
+	Keyed []uint64
+	// Data lists virtual addresses of ordinary writable data.
+	Data []uint64
+	// Phys lists physical addresses for DRAM-level bit flips.
+	Phys []uint64
+}
+
+// TargetsFromImage derives fault targets from a guest image: every
+// keyed section contributes its slots to Keyed, every writable section
+// to Data. window should be the instret of a clean run (0 defaults to
+// a small window that still exercises startup).
+func TargetsFromImage(img *asm.Image, window uint64) Targets {
+	if window == 0 {
+		window = 4096
+	}
+	t := Targets{Window: window}
+	for _, sec := range img.Sections {
+		if sec.Size == 0 {
+			continue
+		}
+		switch {
+		case sec.Key != 0:
+			for off := uint64(0); off < sec.Size; off += 8 {
+				t.Keyed = append(t.Keyed, sec.VA+off)
+			}
+		case sec.Perm&asm.PermWrite != 0:
+			for off := uint64(0); off < sec.Size; off += 8 {
+				t.Data = append(t.Data, sec.VA+off)
+			}
+		}
+	}
+	return t
+}
+
+// Generate derives a count-fault plan from a seed. The generator uses
+// a frozen PRNG (math/rand's splitmix-seeded source, whose sequence is
+// stable across Go releases for a fixed seed), so one (seed, targets)
+// pair names exactly one plan forever — the reproducibility handle the
+// chaos tools print.
+func Generate(seed uint64, count int, t Targets) (schema.FaultPlan, error) {
+	if count < 0 {
+		return schema.FaultPlan{}, fmt.Errorf("fault: negative fault count %d", count)
+	}
+	window := t.Window
+	if window == 0 {
+		window = 4096
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	// The kind pool only includes kinds that have a target to aim at.
+	var kinds []string
+	kinds = append(kinds, schema.FaultStoreDrop, schema.FaultSpuriousTrap)
+	if len(t.Keyed) > 0 {
+		kinds = append(kinds, schema.FaultPTEKey, schema.FaultPTEPerm,
+			schema.FaultTLBKey, schema.FaultCacheLoss, schema.FaultPtrWrite)
+	}
+	if len(t.Data) > 0 {
+		kinds = append(kinds, schema.FaultDataFlip, schema.FaultPtrWrite, schema.FaultCacheLoss)
+	}
+	if len(t.Phys) > 0 {
+		kinds = append(kinds, schema.FaultBitFlip)
+	}
+
+	plan := schema.FaultPlan{Schema: schema.FaultV1, Seed: seed}
+	for i := 0; i < count; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		spec := schema.FaultSpec{Kind: kind, At: uint64(rng.Int63n(int64(window)))}
+		pickKeyed := len(t.Keyed) > 0 && (len(t.Data) == 0 || rng.Intn(2) == 0)
+		target := func() uint64 {
+			if pickKeyed {
+				return t.Keyed[rng.Intn(len(t.Keyed))]
+			}
+			return t.Data[rng.Intn(len(t.Data))]
+		}
+		switch kind {
+		case schema.FaultBitFlip:
+			spec.Addr = t.Phys[rng.Intn(len(t.Phys))]
+			spec.Bit = uint(rng.Intn(8))
+		case schema.FaultDataFlip:
+			spec.Addr = t.Data[rng.Intn(len(t.Data))]
+			spec.Bit = uint(rng.Intn(8))
+		case schema.FaultPtrWrite:
+			spec.Addr = target()
+			spec.Val = uint64(rng.Int63())&^7 | 0x10000 // plausible but wild pointer
+		case schema.FaultStoreDrop:
+			spec.Count = uint64(1 + rng.Intn(4))
+		case schema.FaultPTEKey, schema.FaultTLBKey:
+			spec.Addr = t.Keyed[rng.Intn(len(t.Keyed))]
+			spec.Key = uint16(rng.Intn(int(isa.MaxKey))) // may collide; collisions are part of the space
+		case schema.FaultPTEPerm:
+			spec.Addr = t.Keyed[rng.Intn(len(t.Keyed))]
+		case schema.FaultCacheLoss:
+			spec.Addr = target()
+		case schema.FaultSpuriousTrap:
+			// position only
+		}
+		plan.Faults = append(plan.Faults, spec)
+	}
+	sort.SliceStable(plan.Faults, func(i, j int) bool {
+		return plan.Faults[i].At < plan.Faults[j].At
+	})
+	return plan, nil
+}
+
+// PageOf returns the page-aligned base of a virtual address —
+// convenience for callers aiming page-granular faults.
+func PageOf(va uint64) uint64 { return va &^ uint64(mem.PageSize-1) }
+
+// Run attaches an engine for plan, runs the process to completion (or
+// error), and returns the run result plus the fault trace. It is the
+// one-call form used by the service and the CLIs.
+func Run(sys *kernel.System, p *kernel.Process, plan schema.FaultPlan) (kernel.RunResult, schema.FaultTrace, error) {
+	eng, err := Attach(sys, p, plan)
+	if err != nil {
+		return kernel.RunResult{}, schema.FaultTrace{}, err
+	}
+	defer eng.Detach()
+	res, err := sys.Run(p)
+	return res, eng.Trace(), err
+}

@@ -216,9 +216,10 @@ type RunResult struct {
 	FaultWantKey    uint16
 	FaultGotKey     uint16
 
-	// Audit carries the ROLoad violation records collected during this
-	// run (at most one today, since the first violation is fatal; the
-	// slice form keeps the contract stable if faults become resumable).
+	// Audit carries the audit records collected during this run: every
+	// injected fault (kind schema.AuditInjected) and any detected
+	// ROLoad violation, in order. Partial results (step limit,
+	// cancellation) carry the records accumulated so far.
 	Audit []obs.AuditRecord
 
 	Cycles  uint64
@@ -250,6 +251,15 @@ type Process struct {
 
 	stdout bytes.Buffer
 
+	// syscalls counts ecalls serviced across every RunContext slice of
+	// this process, so step-limited, cancelled and resumed runs report
+	// a correct cumulative count.
+	syscalls uint64
+	// auditStart is the system audit-log length when this process was
+	// spawned; records from index auditStart on belong to this run and
+	// are carried in every RunResult (including partial snapshots).
+	auditStart int
+
 	finished bool
 	result   RunResult
 }
@@ -263,6 +273,10 @@ func (p *Process) notePages(n uint64) {
 
 // Image returns the loaded image.
 func (p *Process) Image() *asm.Image { return p.image }
+
+// Mapper exposes the process page-table editor — kernel-privilege
+// access for the fault-injection engine (PTE corruption) and tests.
+func (p *Process) Mapper() *mmu.Mapper { return p.mapper }
 
 // Sym resolves a symbol address in the loaded image.
 func (p *Process) Sym(name string) (uint64, bool) { return p.image.Symbol(name) }

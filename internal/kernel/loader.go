@@ -47,10 +47,11 @@ func (s *System) Spawn(img *asm.Image) (*Process, error) {
 		return nil, err
 	}
 	p := &Process{
-		sys:      s,
-		mapper:   mapper,
-		image:    img,
-		mmapNext: mmapBaseVA,
+		sys:        s,
+		mapper:     mapper,
+		image:      img,
+		mmapNext:   mmapBaseVA,
+		auditStart: s.audit.Len(),
 	}
 
 	var maxVA uint64
@@ -159,28 +160,30 @@ func (s *System) RunContext(ctx context.Context, p *Process) (RunResult, error) 
 	if ctx.Done() != nil {
 		stop = func() bool { return ctx.Err() != nil }
 	}
-	var syscalls uint64
 	deadline := s.cpu.Instret + max
 	for s.cpu.Instret < deadline {
 		trap := s.cpu.RunInterruptible(deadline-s.cpu.Instret, stride, stop)
 		if trap == nil {
 			if err := ctx.Err(); err != nil {
-				return s.partial(p, syscalls), &CanceledError{Cause: err}
+				return s.partial(p), &CanceledError{Cause: err}
 			}
 			break // budget exhausted
 		}
 		switch trap.Kind {
 		case cpu.TrapECall:
-			syscalls++
+			p.syscalls++
 			if s.probe != nil {
 				s.probe.Event(obs.Event{Kind: obs.KindSyscall, PC: trap.PC,
 					Num: s.cpu.Regs[isa.A7], Cycle: s.cpu.Cycles})
 			}
 			done, res := s.syscall(p)
 			if done {
-				res.SyscallCnt = syscalls
 				return s.finish(p, res), nil
 			}
+		case cpu.TrapSpurious:
+			// An injected asynchronous trap: the kernel services and
+			// dismisses it (the trap cost was charged by the core) and
+			// execution resumes at the interrupted instruction.
 		case cpu.TrapPageFault:
 			if s.probe != nil {
 				s.probe.Event(obs.Event{Kind: obs.KindPageFault, PC: trap.PC,
@@ -207,34 +210,27 @@ func (s *System) RunContext(ctx context.Context, p *Process) (RunResult, error) 
 					Signal:      SIGSEGV.String(),
 				}
 				s.audit.Record(rec)
-				res.Audit = append(res.Audit, rec)
 			}
-			res.SyscallCnt = syscalls
 			return s.finish(p, res), nil
 		case cpu.TrapIllegalInst:
-			res := RunResult{Signal: SIGILL, FaultPC: trap.PC, FaultVA: trap.PC}
-			res.SyscallCnt = syscalls
-			return s.finish(p, res), nil
+			return s.finish(p, RunResult{Signal: SIGILL, FaultPC: trap.PC, FaultVA: trap.PC}), nil
 		case cpu.TrapEBreak:
-			res := RunResult{Signal: SIGTRAP, FaultPC: trap.PC, FaultVA: trap.PC}
-			res.SyscallCnt = syscalls
-			return s.finish(p, res), nil
+			return s.finish(p, RunResult{Signal: SIGTRAP, FaultPC: trap.PC, FaultVA: trap.PC}), nil
 		case cpu.TrapMisaligned:
-			res := RunResult{Signal: SIGSEGV, FaultPC: trap.PC, FaultVA: trap.PC}
-			res.SyscallCnt = syscalls
-			return s.finish(p, res), nil
+			return s.finish(p, RunResult{Signal: SIGSEGV, FaultPC: trap.PC, FaultVA: trap.PC}), nil
 		default:
 			return RunResult{}, fmt.Errorf("kernel: unexpected trap %v", trap)
 		}
 	}
-	return s.partial(p, syscalls), &StepLimitError{Limit: max, Instret: s.cpu.Instret}
+	return s.partial(p), &StepLimitError{Limit: max, Instret: s.cpu.Instret}
 }
 
-// partial snapshots an unfinished run — the counters and output
-// accumulated when a budget ran out or a context fired. Unlike finish
-// it does not mark the process finished.
-func (s *System) partial(p *Process, syscalls uint64) RunResult {
-	res := RunResult{SyscallCnt: syscalls}
+// partial snapshots an unfinished run — the counters, output and audit
+// records accumulated when a budget ran out or a context fired. Unlike
+// finish it does not mark the process finished.
+func (s *System) partial(p *Process) RunResult {
+	var res RunResult
+	res.SyscallCnt = p.syscalls
 	res.Cycles = s.cpu.Cycles
 	res.Instret = s.cpu.Instret
 	res.MemPeakKiB = p.peakPages * mem.PageSize / 1024
@@ -242,7 +238,19 @@ func (s *System) partial(p *Process, syscalls uint64) RunResult {
 	res.CPUStats = s.cpu.Stats()
 	res.IMMU, res.DMMU = s.cpu.MMUStats()
 	res.IC, res.DC = s.cpu.CacheStats()
+	res.Audit = p.runAudit()
 	return res
+}
+
+// runAudit returns a copy of the audit records logged since this
+// process was spawned — injected faults and detected violations, in
+// order.
+func (p *Process) runAudit() []obs.AuditRecord {
+	recs := p.sys.audit.Records()
+	if p.auditStart >= len(recs) {
+		return nil
+	}
+	return append([]obs.AuditRecord(nil), recs[p.auditStart:]...)
 }
 
 // codeSymTable symbolizes against the image's executable sections only
@@ -271,6 +279,7 @@ func (s *System) finish(p *Process, res RunResult) RunResult {
 		s.probe.Event(obs.Event{Kind: obs.KindSignal, PC: res.FaultPC,
 			VA: res.FaultVA, Num: uint64(res.Signal), Cycle: s.cpu.Cycles})
 	}
+	res.SyscallCnt = p.syscalls
 	res.Cycles = s.cpu.Cycles
 	res.Instret = s.cpu.Instret
 	res.MemPeakKiB = p.peakPages * mem.PageSize / 1024
@@ -278,6 +287,7 @@ func (s *System) finish(p *Process, res RunResult) RunResult {
 	res.CPUStats = s.cpu.Stats()
 	res.IMMU, res.DMMU = s.cpu.MMUStats()
 	res.IC, res.DC = s.cpu.CacheStats()
+	res.Audit = p.runAudit()
 	p.finished = true
 	p.result = res
 	return res

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"roload/internal/asm"
+	"roload/internal/cpu"
+	"roload/internal/mem"
+	"roload/internal/mmu"
+	"roload/internal/obs"
+	"roload/internal/schema"
+)
+
+// machineState is the JSON body of a roload-checkpoint/v1 document: the
+// complete simulated machine. Host-only acceleration state (predecode
+// cache, MMU L0 mirror, last-page/last-line pointers) is deliberately
+// absent — by the fast-path invariant it never changes simulated
+// observables, so restored machines rebuild it lazily and still replay
+// bit-identically.
+type machineState struct {
+	FrameNext uint64          `json:"frame_next"`
+	Pages     []mem.PageImage `json:"pages"`
+	CPU       cpu.State       `json:"cpu"`
+	Proc      procState       `json:"proc"`
+}
+
+// procState is the kernel-side process bookkeeping.
+type procState struct {
+	Brk         uint64            `json:"brk"`
+	BrkStart    uint64            `json:"brk_start"`
+	MmapNext    uint64            `json:"mmap_next"`
+	StackLow    uint64            `json:"stack_low"`
+	StackHigh   uint64            `json:"stack_high"`
+	MappedPages uint64            `json:"mapped_pages"`
+	PeakPages   uint64            `json:"peak_pages"`
+	Stdout      []byte            `json:"stdout,omitempty"`
+	Syscalls    uint64            `json:"syscalls"`
+	MapperRoot  uint64            `json:"mapper_root"`
+	Audit       []obs.AuditRecord `json:"audit,omitempty"`
+}
+
+// imageDigest fingerprints a loaded image so a checkpoint can only be
+// resumed against the binary that produced it. The digest covers the
+// sections in slice order (name, layout, permissions, key, contents),
+// the entry point, and the symbol table in sorted order.
+func imageDigest(img *asm.Image) string {
+	h := sha256.New()
+	for _, sec := range img.Sections {
+		fmt.Fprintf(h, "section %s va=%#x size=%#x perm=%d key=%d\n", sec.Name, sec.VA, sec.Size, sec.Perm, sec.Key)
+		h.Write(sec.Data)
+	}
+	fmt.Fprintf(h, "entry %#x\n", img.Entry)
+	names := make([]string, 0, len(img.Symbols))
+	for name := range img.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "sym %s=%#x\n", name, img.Symbols[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Snapshot captures the complete simulated machine — physical memory,
+// core (registers, counters, TLBs, caches) and process bookkeeping —
+// as a versioned checkpoint document. A process restored from the
+// checkpoint replays bit-identically to one that was never
+// interrupted.
+func Snapshot(s *System, p *Process) (schema.Checkpoint, error) {
+	if p.finished {
+		return schema.Checkpoint{}, fmt.Errorf("kernel: snapshot of a finished process")
+	}
+	ms := machineState{
+		FrameNext: s.frameNext,
+		Pages:     s.phys.SnapshotPages(),
+		CPU:       s.cpu.State(),
+		Proc: procState{
+			Brk:         p.brk,
+			BrkStart:    p.brkStart,
+			MmapNext:    p.mmapNext,
+			StackLow:    p.stackLow,
+			StackHigh:   p.stackHigh,
+			MappedPages: p.mappedPages,
+			PeakPages:   p.peakPages,
+			Stdout:      append([]byte(nil), p.stdout.Bytes()...),
+			Syscalls:    p.syscalls,
+			MapperRoot:  p.mapper.Root(),
+			Audit:       p.runAudit(),
+		},
+	}
+	raw, err := json.Marshal(ms)
+	if err != nil {
+		return schema.Checkpoint{}, fmt.Errorf("kernel: encoding checkpoint: %w", err)
+	}
+	return schema.Checkpoint{
+		Schema:          schema.CheckpointV1,
+		ProcessorROLoad: s.cfg.ProcessorROLoad,
+		KernelROLoad:    s.cfg.KernelROLoad,
+		MemBytes:        s.cfg.MemBytes,
+		ImageSHA256:     imageDigest(p.image),
+		Instret:         s.cpu.Instret,
+		State:           raw,
+	}, nil
+}
+
+// Restore boots a fresh machine from a checkpoint taken by Snapshot.
+// cfg supplies the run policy (MaxSteps, CancelEvery, CPU overrides);
+// its system-variant flags must match the checkpointed machine, and img
+// must be the exact image the checkpoint was taken from (verified by
+// digest). The returned process continues from the captured instruction
+// with bit-identical observables.
+func Restore(cfg Config, img *asm.Image, ck schema.Checkpoint) (*System, *Process, error) {
+	if ck.Schema != schema.CheckpointV1 {
+		return nil, nil, fmt.Errorf("kernel: unsupported checkpoint schema %q", ck.Schema)
+	}
+	if cfg.ProcessorROLoad != ck.ProcessorROLoad || cfg.KernelROLoad != ck.KernelROLoad {
+		return nil, nil, fmt.Errorf("kernel: checkpoint is for processor=%v kernel=%v, config wants processor=%v kernel=%v",
+			ck.ProcessorROLoad, ck.KernelROLoad, cfg.ProcessorROLoad, cfg.KernelROLoad)
+	}
+	if got := imageDigest(img); got != ck.ImageSHA256 {
+		return nil, nil, fmt.Errorf("kernel: image digest %s does not match checkpoint digest %s", got, ck.ImageSHA256)
+	}
+	var ms machineState
+	if err := json.Unmarshal(ck.State, &ms); err != nil {
+		return nil, nil, fmt.Errorf("kernel: decoding checkpoint: %w", err)
+	}
+	cfg.MemBytes = ck.MemBytes
+	s := NewSystem(cfg)
+	if err := s.phys.RestorePages(ms.Pages); err != nil {
+		return nil, nil, err
+	}
+	s.frameNext = ms.FrameNext
+	if err := s.cpu.SetState(ms.CPU); err != nil {
+		return nil, nil, err
+	}
+	for _, rec := range ms.Proc.Audit {
+		s.audit.Record(rec)
+	}
+	p := &Process{
+		sys:         s,
+		mapper:      mmu.ResumeMapper(s.phys, s, ms.Proc.MapperRoot),
+		image:       img,
+		brk:         ms.Proc.Brk,
+		brkStart:    ms.Proc.BrkStart,
+		mmapNext:    ms.Proc.MmapNext,
+		stackLow:    ms.Proc.StackLow,
+		stackHigh:   ms.Proc.StackHigh,
+		mappedPages: ms.Proc.MappedPages,
+		peakPages:   ms.Proc.PeakPages,
+		syscalls:    ms.Proc.Syscalls,
+	}
+	p.stdout.Write(ms.Proc.Stdout)
+	return s, p, nil
+}

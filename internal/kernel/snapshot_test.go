@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"roload/internal/schema"
+)
+
+// checkpointSrc is a hardened workload with enough moving parts to make
+// a sloppy checkpoint visible: keyed indirect calls (TLB key state),
+// per-iteration stores (dirty data pages), per-iteration writes
+// (stdout and syscall counters) and a data-dependent exit code.
+const checkpointSrc = `
+_start:
+	li s0, 0          # i
+	li s2, 0          # acc
+loop:
+	la a0, gfpt
+	ld.ro a1, (a0), 77
+	mv a0, s0
+	jalr a1           # a0 = 2*i + 3 via protected pointer
+	add s2, s2, a0
+	la t1, counter
+	ld t2, (t1)
+	add t2, t2, a0
+	sd t2, (t1)
+	li a0, 1
+	la a1, msg
+	li a2, 1
+	li a7, 64
+	ecall
+	addi s0, s0, 1
+	li t0, 2000
+	blt s0, t0, loop
+	la t1, counter
+	ld a0, (t1)
+	add a0, a0, s2
+	andi a0, a0, 127
+	li a7, 93
+	ecall
+step:
+	slli a0, a0, 1
+	addi a0, a0, 3
+	ret
+	.rodata
+msg: .asciz "x"
+	.data
+counter: .quad 0
+	.section .rodata.key.77
+gfpt: .quad step
+`
+
+// runChunked drives p in MaxSteps-sized slices until it finishes,
+// calling hook after every step-limited slice. hook may replace the
+// machine (crash + restore); it returns the system and process to
+// continue with.
+func runChunked(t *testing.T, sys *System, p *Process,
+	hook func(chunk int, sys *System, p *Process) (*System, *Process)) RunResult {
+	t.Helper()
+	for chunk := 1; ; chunk++ {
+		res, err := sys.RunContext(context.Background(), p)
+		if err == nil {
+			return res
+		}
+		var limit *StepLimitError
+		if !errors.As(err, &limit) {
+			t.Fatal(err)
+		}
+		if chunk > 1000 {
+			t.Fatal("workload never finished")
+		}
+		sys, p = hook(chunk, sys, p)
+	}
+}
+
+// TestCheckpointCrashConsistency is the crash-consistency property:
+// checkpoint every N instructions, kill the machine at a seeded later
+// point (losing the progress since the last checkpoint), restore, and
+// finish. Every observable of the resumed run must be bit-identical to
+// an uninterrupted run of the same workload.
+func TestCheckpointCrashConsistency(t *testing.T) {
+	img := mustImage(t, checkpointSrc)
+
+	sysU := NewSystem(FullSystem())
+	pU, err := sysU.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sysU.Run(pU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Exited {
+		t.Fatalf("uninterrupted run did not exit: %+v", want)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	ckAt := 2 + rng.Intn(6)          // chunk after which the last checkpoint lands
+	killAt := ckAt + 1 + rng.Intn(3) // chunk after which the machine dies
+
+	cfg := FullSystem()
+	cfg.MaxSteps = 1500
+	sys := NewSystem(cfg)
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckBytes []byte
+	killed := false
+	got := runChunked(t, sys, p, func(chunk int, sys *System, p *Process) (*System, *Process) {
+		if chunk == ckAt {
+			ck, err := Snapshot(sys, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckBytes, err = json.Marshal(ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if chunk == killAt {
+			killed = true
+			// The crash: the live machine is discarded along with
+			// everything it did since the checkpoint.
+			var ck schema.Checkpoint
+			if err := json.Unmarshal(ckBytes, &ck); err != nil {
+				t.Fatal(err)
+			}
+			nsys, np, err := Restore(cfg, img, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nsys, np
+		}
+		return sys, p
+	})
+	if !killed {
+		t.Fatalf("workload finished before the kill point (ckAt=%d killAt=%d)", ckAt, killAt)
+	}
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("resumed run differs from uninterrupted run:\nwant %+v\ngot  %+v", want, got)
+	}
+	wj, err := json.Marshal(want.Snapshot("full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got.Snapshot("full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, gj) {
+		t.Errorf("metrics documents differ:\nwant %s\ngot  %s", wj, gj)
+	}
+}
+
+// TestCheckpointDeterministic: two machines running the same workload
+// to the same instruction produce byte-identical checkpoint documents.
+func TestCheckpointDeterministic(t *testing.T) {
+	img := mustImage(t, checkpointSrc)
+	snap := func() []byte {
+		cfg := FullSystem()
+		cfg.MaxSteps = 4096
+		sys := NewSystem(cfg)
+		p, err := sys.Spawn(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sys.Run(p)
+		var limit *StepLimitError
+		if !errors.As(err, &limit) {
+			t.Fatalf("err = %v, want *StepLimitError", err)
+		}
+		ck, err := Snapshot(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := snap(), snap()
+	if !bytes.Equal(a, b) {
+		t.Error("identical runs produced different checkpoint bytes")
+	}
+}
+
+// TestRestoreRejectsMismatch: a checkpoint only resumes against the
+// binary and system variant it was taken from.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	img := mustImage(t, checkpointSrc)
+	cfg := FullSystem()
+	cfg.MaxSteps = 2048
+	sys := NewSystem(cfg)
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(p); err == nil {
+		t.Fatal("workload finished before a checkpoint could be taken")
+	}
+	ck, err := Snapshot(sys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := mustImage(t, exitSrc)
+	if _, _, err := Restore(cfg, other, ck); err == nil {
+		t.Error("Restore accepted a different image")
+	}
+	if _, _, err := Restore(BaselineSystem(), img, ck); err == nil {
+		t.Error("Restore accepted a mismatched system variant")
+	}
+	bad := ck
+	bad.Schema = "roload-fault/v1"
+	if _, _, err := Restore(cfg, img, bad); err == nil {
+		t.Error("Restore accepted a wrong schema identifier")
+	}
+}

@@ -197,6 +197,27 @@ func (p *Physical) WriteUint(addr uint64, v uint64, n int) error {
 	return p.Write(addr, buf[:n])
 }
 
+// FlipBit inverts bit (0-7) of the physical byte at addr — the
+// fault-injection hook for DRAM-style corruption. It goes through the
+// normal write path, so the page's write generation bumps and cached
+// derived views (predecode pages) revalidate exactly as they would for
+// a store. It returns the byte values before and after the flip.
+func (p *Physical) FlipBit(addr uint64, bit uint) (before, after byte, err error) {
+	if err := p.check(addr, 1); err != nil {
+		return 0, 0, err
+	}
+	v, err := p.ReadUint(addr, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	before = byte(v)
+	after = before ^ 1<<(bit&7)
+	if err := p.WriteUint(addr, uint64(after), 1); err != nil {
+		return 0, 0, err
+	}
+	return before, after, nil
+}
+
 // ZeroPage clears the page containing addr.
 func (p *Physical) ZeroPage(addr uint64) error {
 	if err := p.check(addr&^uint64(PageSize-1), PageSize); err != nil {

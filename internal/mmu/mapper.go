@@ -30,6 +30,13 @@ func NewMapper(phys *mem.Physical, alloc FrameAllocator) (*Mapper, error) {
 	return &Mapper{phys: phys, alloc: alloc, root: root}, nil
 }
 
+// ResumeMapper rebuilds a Mapper over page tables that already exist
+// in physical memory (a restored checkpoint): root is the physical
+// address of the level-2 table captured by Mapper.Root.
+func ResumeMapper(phys *mem.Physical, alloc FrameAllocator, root uint64) *Mapper {
+	return &Mapper{phys: phys, alloc: alloc, root: root}
+}
+
 // Root returns the physical address of the root table, suitable for
 // MMU.SetRoot.
 func (m *Mapper) Root() uint64 { return m.root }

@@ -216,6 +216,51 @@ func (m *MMU) FlushPage(va uint64) {
 	m.clearL0()
 }
 
+// CorruptTLB applies fn to the live TLB entry covering va, if any, and
+// reports whether one was found — the fault-injection hook for
+// TLB-state corruption (a bit flip in the translation array, not the
+// page tables). It preserves the PR 2 fast-path invariant by clearing
+// the L0 mirror: every valid L0 slot must mirror a translation as the
+// TLB currently holds it, so after an in-place TLB mutation the mirror
+// is rebuilt lazily from the corrupted entry.
+func (m *MMU) CorruptTLB(va uint64, fn func(*TLBEntry)) bool {
+	hit := m.tlb.Update(va, fn)
+	if hit {
+		m.clearL0()
+	}
+	return hit
+}
+
+// State is the checkpointable translation state: the root, the
+// statistics, and the exact TLB contents (entries plus round-robin
+// cursor). The L0 mirror is deliberately absent — it is a host-side
+// cache rebuilt lazily, bit-identical by the fast-path invariant.
+type State struct {
+	Root    uint64     `json:"root"`
+	Stats   Stats      `json:"stats"`
+	TLB     []TLBEntry `json:"tlb"`
+	TLBNext int        `json:"tlb_next"`
+}
+
+// State captures the MMU for a checkpoint.
+func (m *MMU) State() State {
+	entries, next := m.tlb.Entries()
+	return State{Root: m.root, Stats: m.stats, TLB: entries, TLBNext: next}
+}
+
+// SetState restores a checkpointed MMU state. Unlike SetRoot it does
+// not flush: the TLB contents are restored exactly, so hit/miss
+// sequences after a resume replay bit-identically.
+func (m *MMU) SetState(s State) error {
+	if err := m.tlb.SetEntries(s.TLB, s.TLBNext); err != nil {
+		return err
+	}
+	m.root = s.Root
+	m.stats = s.Stats
+	m.clearL0()
+	return nil
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (m *MMU) Stats() Stats { return m.stats }
 

@@ -1,5 +1,7 @@
 package mmu
 
+import "fmt"
+
 // TLBEntry caches one leaf translation. Following the paper's Rocket
 // changes, each TLB entry carries the page key alongside the usual
 // permission bits so that the ROLoad check needs no extra memory
@@ -57,6 +59,46 @@ func (t *TLB) Insert(e TLBEntry) {
 	}
 	t.entries[t.next] = e
 	t.next = (t.next + 1) % len(t.entries)
+}
+
+// Update applies fn to the valid entry covering va, if any, and
+// reports whether one was found. It is the mutation hook the
+// fault-injection layer uses to corrupt a cached translation in place;
+// the owning MMU must clear its L0 mirror afterwards (see
+// MMU.CorruptTLB).
+func (t *TLB) Update(va uint64, fn func(*TLBEntry)) bool {
+	vpn := va >> 12
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == vpn {
+			fn(&t.entries[i])
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns a copy of the entry array (valid and invalid slots,
+// in slot order) together with the round-robin cursor — the exact
+// replacement state a checkpoint must capture for bit-identical
+// resumes.
+func (t *TLB) Entries() ([]TLBEntry, int) {
+	out := make([]TLBEntry, len(t.entries))
+	copy(out, t.entries)
+	return out, t.next
+}
+
+// SetEntries restores the entry array and round-robin cursor captured
+// by Entries. The slice length must match the TLB size.
+func (t *TLB) SetEntries(entries []TLBEntry, next int) error {
+	if len(entries) != len(t.entries) {
+		return fmt.Errorf("mmu: restoring %d TLB entries into a %d-entry TLB", len(entries), len(t.entries))
+	}
+	if next < 0 || next >= len(t.entries) {
+		return fmt.Errorf("mmu: TLB cursor %d out of range", next)
+	}
+	copy(t.entries, entries)
+	t.next = next
+	return nil
 }
 
 // Flush invalidates every entry.

@@ -1,0 +1,132 @@
+package schema
+
+// The fault-injection documents (`roload-fault/v1`): the *plan* that
+// tells the engine in internal/fault what to corrupt and when, and the
+// *trace* of faults that actually fired. Both are part of one document
+// family because a trace is only meaningful next to the plan (and
+// seed) that produced it: identical plan in ⇒ byte-identical trace
+// out, which is the reproducibility contract the chaos tooling and the
+// determinism tests rely on.
+//
+// The checkpoint document (`roload-checkpoint/v1`) frames a serialized
+// machine snapshot written by `roload-run -checkpoint-every` and read
+// by `-resume`. The machine state itself is an opaque payload owned by
+// internal/kernel; the frame pins the system configuration and the
+// image hash so a resume against the wrong binary or system fails
+// loudly instead of diverging silently.
+
+import "encoding/json"
+
+// Fault kinds understood by the injection engine. Each names the layer
+// it corrupts and the effect; the set mirrors the engine's hook points
+// in mem, mmu, cache and cpu.
+const (
+	// FaultBitFlip flips bit Bit of the physical byte at Addr
+	// (DRAM-style corruption, bypasses the MMU entirely).
+	FaultBitFlip = "bit-flip"
+	// FaultDataFlip flips bit Bit of the byte at virtual address Addr
+	// with kernel privilege (page permissions do not stop it).
+	FaultDataFlip = "data-flip"
+	// FaultPtrWrite overwrites the 8-byte word at virtual address Addr
+	// with Val — the injected form of the classic pointer-hijack write.
+	FaultPtrWrite = "ptr-write"
+	// FaultStoreDrop silently discards the next Count stores executed
+	// by the core (cycle and statistics accounting still happens, the
+	// memory effect is lost).
+	FaultStoreDrop = "store-drop"
+	// FaultPTEKey rewrites the ROLoad key field of the leaf PTE
+	// covering Addr to Key, then flushes that page's TLB entries so
+	// the corruption becomes architecturally visible.
+	FaultPTEKey = "pte-key"
+	// FaultPTEPerm sets the writable bit on the leaf PTE covering Addr
+	// (turning a keyed read-only page into a writable one), then
+	// flushes that page's TLB entries.
+	FaultPTEPerm = "pte-perm"
+	// FaultTLBKey corrupts the key of the live D-TLB entry covering
+	// Addr to Key without touching the PTE (a no-op if the entry is
+	// not currently cached).
+	FaultTLBKey = "tlb-key"
+	// FaultCacheLoss drops the D-cache line covering Addr (dirty-line
+	// loss; the model is write-through so only timing is perturbed).
+	FaultCacheLoss = "cache-loss"
+	// FaultSpuriousTrap raises one spurious trap before the next
+	// instruction executes (a timer-interrupt-like perturbation).
+	FaultSpuriousTrap = "spurious-trap"
+)
+
+// FaultSpec is one planned fault. At is the retire count (instret) at
+// which it fires: the engine applies the fault immediately before the
+// first instruction executed at or after that count, which makes the
+// firing point exact and replayable.
+type FaultSpec struct {
+	Kind string `json:"kind"`
+	At   uint64 `json:"at"`
+	// Addr is the target address: physical for bit-flip, virtual for
+	// every other addressed kind.
+	Addr uint64 `json:"addr,omitempty"`
+	// Bit selects the bit (0-7) flipped by bit-flip / data-flip.
+	Bit uint `json:"bit,omitempty"`
+	// Key is the corrupted key installed by pte-key / tlb-key.
+	Key uint16 `json:"key,omitempty"`
+	// Count is the number of stores dropped by store-drop (0 = 1).
+	Count uint64 `json:"count,omitempty"`
+	// Val is the word written by ptr-write.
+	Val uint64 `json:"val,omitempty"`
+}
+
+// FaultPlan is the roload-fault/v1 plan document. Faults are applied
+// in slice order; the engine requires non-decreasing At values so the
+// document reads in execution order. Seed records the generator seed
+// when the plan was derived rather than hand-written (0 = hand-written)
+// — it is what the chaos tools print so any verdict is reproducible
+// from one flag.
+type FaultPlan struct {
+	Schema string      `json:"schema"` // FaultV1
+	Seed   uint64      `json:"seed,omitempty"`
+	Faults []FaultSpec `json:"faults"`
+}
+
+// FaultEvent is one fault that actually fired: the spec that triggered
+// it plus the machine position (retire count, cycle) and the concrete
+// effect. Effect is a stable human-readable description ("key 5->961",
+// "no-op: page not in TLB") that doubles as the byte-for-byte
+// determinism witness.
+type FaultEvent struct {
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"`
+	Instret uint64 `json:"instret"`
+	Cycle   uint64 `json:"cycle"`
+	Addr    uint64 `json:"addr,omitempty"`
+	Effect  string `json:"effect"`
+}
+
+// FaultTrace is the roload-fault/v1 trace document: every fault the
+// engine fired, in order. Identical plan (and guest) in ⇒ identical
+// trace bytes out.
+type FaultTrace struct {
+	Schema string       `json:"schema"` // FaultV1
+	Seed   uint64       `json:"seed,omitempty"`
+	Events []FaultEvent `json:"events"`
+}
+
+// Checkpoint is the roload-checkpoint/v1 frame around one machine
+// snapshot. State is owned by internal/kernel (it serializes the full
+// architectural and micro-architectural state: registers, counters,
+// physical pages, TLB and cache contents, process bookkeeping); the
+// frame carries everything needed to validate a resume.
+type Checkpoint struct {
+	Schema string `json:"schema"` // CheckpointV1
+	// System is the kernel configuration the snapshot was taken under.
+	ProcessorROLoad bool   `json:"processor_roload"`
+	KernelROLoad    bool   `json:"kernel_roload"`
+	MemBytes        uint64 `json:"mem_bytes"`
+	// ImageSHA256 is the hex digest of the loaded image; Restore
+	// refuses a checkpoint whose digest does not match the image it is
+	// given.
+	ImageSHA256 string `json:"image_sha256"`
+	// Instret is the retire count at the snapshot (convenience for
+	// humans and tools picking the latest checkpoint).
+	Instret uint64 `json:"instret"`
+	// State is the kernel-owned machine state document.
+	State json.RawMessage `json:"state"`
+}

@@ -1,0 +1,85 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEnvelopeDecode throws arbitrary bytes at the Envelope decode
+// path (the exact path every roload-serve client response and every
+// on-disk document takes). Properties: decoding never panics, and any
+// envelope that opens successfully re-wraps into one that opens again
+// with an equivalent payload — the decode/encode loop is stable.
+func FuzzEnvelopeDecode(f *testing.F) {
+	good, _ := Wrap(ServeV1, map[string]any{"status": "ok", "workers": 4})
+	goodRaw, _ := json.Marshal(good)
+	seeds := [][]byte{
+		goodRaw,
+		[]byte(`{"schema":"roload-serve/v1","version":1,"payload":{}}`),
+		[]byte(`{"schema":"roload-fault/v1","version":1,"payload":{"seed":7,"events":[]}}`),
+		[]byte(`{"schema":"bogus","version":0,"payload":null}`),
+		[]byte(`{"schema":"roload-serve/v1","version":2,"payload":{}}`),
+		[]byte(`{}`),
+		[]byte(`[]`),
+		[]byte(`{"schema":"roload-serve/v1","payload":"not an object"}`),
+		[]byte("\x00\x01\x02"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return
+		}
+		var payload map[string]json.RawMessage
+		if err := env.Open(env.Schema, &payload); err != nil {
+			return // malformed ids and payloads must error, not panic
+		}
+		// Round-trip: re-wrapping the opened payload yields an envelope
+		// that opens to the same document.
+		again, err := Wrap(env.Schema, payload)
+		if err != nil {
+			t.Fatalf("re-wrapping an opened payload failed: %v", err)
+		}
+		var payload2 map[string]json.RawMessage
+		if err := again.Open(env.Schema, &payload2); err != nil {
+			t.Fatalf("re-wrapped envelope does not open: %v", err)
+		}
+		if len(payload) != len(payload2) {
+			t.Fatalf("round-trip changed payload keys: %d != %d", len(payload), len(payload2))
+		}
+		for k, v := range payload {
+			v2, ok := payload2[k]
+			if !ok {
+				t.Fatalf("round-trip lost key %q", k)
+			}
+			if !jsonEqual(v, v2) {
+				t.Fatalf("round-trip changed %q: %s != %s", k, v, v2)
+			}
+		}
+	})
+}
+
+// jsonEqual compares two raw JSON values structurally (key order and
+// whitespace insensitive).
+func jsonEqual(a, b json.RawMessage) bool {
+	var ca, cb bytes.Buffer
+	if err := json.Compact(&ca, a); err != nil {
+		return false
+	}
+	if err := json.Compact(&cb, b); err != nil {
+		return false
+	}
+	if bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		return true
+	}
+	var va, vb any
+	if json.Unmarshal(a, &va) != nil || json.Unmarshal(b, &vb) != nil {
+		return false
+	}
+	ra, err1 := json.Marshal(va)
+	rb, err2 := json.Marshal(vb)
+	return err1 == nil && err2 == nil && bytes.Equal(ra, rb)
+}

@@ -43,12 +43,30 @@ type CacheCounters struct {
 	MissRate float64 `json:"miss_rate"`
 }
 
+// Audit record kinds. The zero value ("", rendered as a ROLoad
+// violation) keeps the pre-existing wire format byte-identical; the
+// injected kind tags records appended by the fault-injection engine so
+// one log carries both detections and the corruptions that caused
+// them.
+const (
+	// AuditViolation marks a detected ROLoad key-check violation (the
+	// default; serialized as an absent "kind" field for wire
+	// stability).
+	AuditViolation = ""
+	// AuditInjected marks a fault injected by internal/fault.
+	AuditInjected = "fault-inject"
+)
+
 // AuditRecord is the forensic record of one ROLoad key-check
 // violation, captured by the kernel's fault path (paper Section III-B:
 // the kernel distinguishes ROLoad faults from benign page faults).
 // It turns an attack's SIGSEGV into evidence: which instruction, which
 // address, which key it demanded and which key the page carried.
+// Records with Kind == AuditInjected instead describe a fault the
+// injection engine applied (FaultKind and Detail carry the specifics),
+// so the audit log pairs every detection with its cause.
 type AuditRecord struct {
+	Kind    string `json:"kind,omitempty"` // "" (violation) or AuditInjected
 	Cycle   uint64 `json:"cycle"`
 	Instret uint64 `json:"instret"`
 	PC      uint64 `json:"pc"`
@@ -61,10 +79,19 @@ type AuditRecord struct {
 	NotReadOnly bool   `json:"not_read_only"`
 	Unmapped    bool   `json:"unmapped"`
 	Signal      string `json:"signal,omitempty"` // delivered signal
+	// FaultKind and Detail describe an injected fault (Kind ==
+	// AuditInjected): the roload-fault/v1 fault kind and its concrete
+	// effect.
+	FaultKind string `json:"fault_kind,omitempty"`
+	Detail    string `json:"detail,omitempty"`
 }
 
 // String renders one audit line.
 func (r AuditRecord) String() string {
+	if r.Kind == AuditInjected {
+		return fmt.Sprintf("FAULT-INJECT %s va=%#x %s [cycle=%d instret=%d]",
+			r.FaultKind, r.VA, r.Detail, r.Cycle, r.Instret)
+	}
 	where := fmt.Sprintf("pc=%#x", r.PC)
 	if r.Func != "" {
 		where = fmt.Sprintf("pc=%#x (%s)", r.PC, r.Func)

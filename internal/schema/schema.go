@@ -1,8 +1,10 @@
 // Package schema is the single home of every versioned JSON document
 // this repository speaks: the benchmark report (`roload-bench/v1`),
 // the unified metrics snapshot (`roload-metrics/v1`), the host
-// throughput document (`roload-hostbench/v1`), and the request and
-// response types of the roload-serve HTTP API (`roload-serve/v1`).
+// throughput document (`roload-hostbench/v1`), the request and
+// response types of the roload-serve HTTP API (`roload-serve/v1`),
+// the fault-injection plan and trace (`roload-fault/v1`), and the
+// checkpoint frame written by roload-run (`roload-checkpoint/v1`).
 //
 // Each document family is identified by a "name/vN" schema id. The
 // legacy documents (bench, metrics, hostbench) are flat — they carry
@@ -28,10 +30,12 @@ import (
 
 // Schema ids of every document family, in "name/vN" form.
 const (
-	BenchV1     = "roload-bench/v1"
-	MetricsV1   = "roload-metrics/v1"
-	HostBenchV1 = "roload-hostbench/v1"
-	ServeV1     = "roload-serve/v1"
+	BenchV1      = "roload-bench/v1"
+	MetricsV1    = "roload-metrics/v1"
+	HostBenchV1  = "roload-hostbench/v1"
+	ServeV1      = "roload-serve/v1"
+	FaultV1      = "roload-fault/v1"
+	CheckpointV1 = "roload-checkpoint/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

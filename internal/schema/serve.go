@@ -32,6 +32,12 @@ type RunRequest struct {
 	// that exceeds it is cancelled and answered with 504 and a partial
 	// metrics snapshot.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FaultCount > 0 injects that many seeded faults (roload-fault/v1,
+	// generated from FaultSeed against the image's keyed and writable
+	// sections) into the run and returns the fault trace. Only honoured
+	// when the server runs with -chaos; rejected otherwise.
+	FaultCount int    `json:"fault_count,omitempty"`
+	FaultSeed  uint64 `json:"fault_seed,omitempty"`
 }
 
 // RunResponse is the payload of a successful POST /v1/run. Stdout,
@@ -54,6 +60,9 @@ type RunResponse struct {
 	AuditText []string `json:"audit_text,omitempty"`
 	// Metrics is the unified roload-metrics/v1 snapshot of the run.
 	Metrics *Snapshot `json:"metrics"`
+	// FaultTrace is the roload-fault/v1 trace of every injected fault,
+	// present only for chaos runs (RunRequest.FaultCount > 0).
+	FaultTrace *FaultTrace `json:"fault_trace,omitempty"`
 }
 
 // CompileRequest is the body of POST /v1/compile: MiniC in, hardened
@@ -125,23 +134,52 @@ type ExperimentResponse struct {
 	Data  any    `json:"data"`
 }
 
+// ChaosRequest is the body of POST /v1/chaos (only routed when the
+// server runs with -chaos). The posted values replace the armed state
+// wholesale, so posting the zero body disarms everything.
+type ChaosRequest struct {
+	Schema string `json:"schema,omitempty"`
+	// LatencyMS delays every subsequent run by this much (0 = none).
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+	// PanicNext makes the next N run requests panic inside the worker;
+	// the recovery middleware answers each with a structured 500.
+	PanicNext int `json:"panic_next,omitempty"`
+	// ErrorNext makes the next N run requests fail with a structured
+	// 500 of kind "chaos" without running anything.
+	ErrorNext int `json:"error_next,omitempty"`
+}
+
+// ChaosResponse reports the armed chaos state (POST and GET /v1/chaos).
+type ChaosResponse struct {
+	Armed     bool  `json:"armed"`
+	LatencyMS int64 `json:"latency_ms"`
+	PanicNext int   `json:"panic_next"`
+	ErrorNext int   `json:"error_next"`
+}
+
 // ErrorResponse is the payload of every non-2xx serve response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure: "validation", "compile", "timeout",
-	// "steplimit", "busy", "draining", "internal" or "not_found".
+	// "steplimit", "busy", "draining", "internal", "not_found", "panic"
+	// (a worker panic caught by the recovery middleware) or "chaos" (an
+	// armed chaos error).
 	Kind string `json:"kind"`
 	// Metrics carries the partial snapshot of a run that was cancelled
-	// mid-flight (504) or exhausted its instruction budget.
+	// mid-flight (504) or exhausted its instruction budget, including
+	// the fault-audit entries accumulated up to the interruption.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
 
 // HealthResponse is the payload of GET /healthz.
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" or "draining"
+	Status   string `json:"status"` // "ok", "degraded" or "draining"
 	Workers  int    `json:"workers"`
 	InFlight int    `json:"in_flight"`
 	Queued   int    `json:"queued"`
+	// RetryAfterSec mirrors the Retry-After header of a degraded
+	// response: how long clients should back off before retrying.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // EndpointMetrics counts one endpoint's requests by outcome.

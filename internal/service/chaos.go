@@ -1,0 +1,166 @@
+// The chaos surface of roload-serve: an arming endpoint for injectable
+// latency, worker panics and synthetic errors, plus the seeded
+// fault-injection run path behind RunRequest.FaultCount. Everything
+// here is gated behind Config.Chaos — a production server without the
+// flag routes none of it and rejects fault-injection requests — and is
+// what the resilience tests (panic recovery, graceful drain under
+// panic, degraded health) drive.
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"roload/internal/asm"
+	"roload/internal/core"
+	"roload/internal/fault"
+	"roload/internal/kernel"
+	"roload/internal/schema"
+)
+
+// chaosState is the armed chaos configuration. POST /v1/chaos replaces
+// it wholesale; the run handler consumes panic/error tokens one per
+// request.
+type chaosState struct {
+	mu        sync.Mutex
+	latency   time.Duration
+	panicNext int
+	errorNext int
+}
+
+func (c *chaosState) arm(req schema.ChaosRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latency = time.Duration(req.LatencyMS) * time.Millisecond
+	c.panicNext = req.PanicNext
+	c.errorNext = req.ErrorNext
+}
+
+// takeRun consumes the chaos decision for one run request: the armed
+// latency plus at most one panic or error token.
+func (c *chaosState) takeRun() (delay time.Duration, doPanic, doError bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delay = c.latency
+	if c.panicNext > 0 {
+		c.panicNext--
+		return delay, true, false
+	}
+	if c.errorNext > 0 {
+		c.errorNext--
+		return delay, false, true
+	}
+	return delay, false, false
+}
+
+func (c *chaosState) armed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latency > 0 || c.panicNext > 0 || c.errorNext > 0
+}
+
+func (c *chaosState) snapshot() schema.ChaosResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return schema.ChaosResponse{
+		Armed:     c.latency > 0 || c.panicNext > 0 || c.errorNext > 0,
+		LatencyMS: int64(c.latency / time.Millisecond),
+		PanicNext: c.panicNext,
+		ErrorNext: c.errorNext,
+	}
+}
+
+func (s *Server) handleChaosSet(w http.ResponseWriter, r *http.Request) {
+	var req schema.ChaosRequest
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if apiErr := checkSchema(req.Schema); apiErr != nil {
+		apiErr.write(w)
+		return
+	}
+	if req.LatencyMS < 0 || req.PanicNext < 0 || req.ErrorNext < 0 {
+		validationError("chaos values must be non-negative").write(w)
+		return
+	}
+	s.chaos.arm(req)
+	writeEnvelope(w, http.StatusOK, s.chaos.snapshot())
+}
+
+func (s *Server) handleChaosGet(w http.ResponseWriter, r *http.Request) {
+	writeEnvelope(w, http.StatusOK, s.chaos.snapshot())
+}
+
+// degraded reports whether the service should advertise itself as
+// degraded: chaos is armed, or a worker panic was recovered within the
+// configured window. The returned retry hint is seconds until the
+// degradation is expected to clear (chaos arming has no natural expiry,
+// so it advertises the full window).
+func (s *Server) degraded() (bool, int) {
+	window := s.cfg.DegradedWindow
+	if s.cfg.Chaos && s.chaos.armed() {
+		return true, int((window + time.Second - 1) / time.Second)
+	}
+	if last := s.lastPanic.Load(); last != 0 {
+		left := window - time.Since(time.Unix(0, last))
+		if left > 0 {
+			secs := int((left + time.Second - 1) / time.Second)
+			return true, secs
+		}
+	}
+	return false, 0
+}
+
+// chaosError is the structured 500 answered for an armed error token.
+func chaosError() *apiError {
+	return &apiError{http.StatusInternalServerError, schema.ErrorResponse{
+		Error: "chaos: injected error", Kind: "chaos"}}
+}
+
+// runFaulted executes one run with count seeded faults injected. The
+// fault window is sized by a clean profiling run (same image, same
+// system), so the generated plan — and therefore the whole faulted run
+// — is a pure function of (image, system, seed, count) and reproduces
+// byte-for-byte. The partial results of interrupted faulted runs carry
+// the injected-fault audit entries accumulated so far.
+func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, seed uint64, count, maxSteps, memBytes uint64) (kernel.RunResult, *schema.FaultTrace, error) {
+	clean, _, err := core.RunWith(ctx, img, sysKind, core.RunOptions{
+		MaxSteps: maxSteps,
+		MemBytes: memBytes,
+	})
+	if err != nil {
+		// A budget-bound guest still gets its faults: the window is the
+		// budget itself, and the interrupted faulted run's 422 partial
+		// carries the injected-fault audit entries. Anything else
+		// (cancellation, spawn failure) surfaces as-is.
+		var limit *kernel.StepLimitError
+		if !errors.As(err, &limit) {
+			return clean, nil, err
+		}
+	}
+	plan, err := fault.Generate(seed, int(count), fault.TargetsFromImage(img, clean.Instret))
+	if err != nil {
+		return kernel.RunResult{}, nil, err
+	}
+
+	cfg := sysKind.Config()
+	cfg.MaxSteps = maxSteps
+	cfg.MemBytes = memBytes
+	machine := kernel.NewSystem(cfg)
+	p, err := machine.Spawn(img)
+	if err != nil {
+		return kernel.RunResult{}, nil, err
+	}
+	eng, err := fault.Attach(machine, p, plan)
+	if err != nil {
+		return kernel.RunResult{}, nil, err
+	}
+	defer eng.Detach()
+	res, err := machine.RunContext(ctx, p)
+	trace := eng.Trace()
+	return res, &trace, err
+}

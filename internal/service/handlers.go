@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"roload/internal/asm"
 	"roload/internal/attack"
@@ -85,6 +87,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if apiErr == nil && req.MemBytes > s.cfg.MaxMemBytes {
 		apiErr = validationError(fmt.Sprintf("mem_bytes %d exceeds the server cap %d", req.MemBytes, s.cfg.MaxMemBytes))
 	}
+	if apiErr == nil && req.FaultCount < 0 {
+		apiErr = validationError("fault_count must be non-negative")
+	}
+	if apiErr == nil && req.FaultCount > 0 && !s.cfg.Chaos {
+		apiErr = validationError("fault injection requires a server started with -chaos")
+	}
 	if apiErr != nil {
 		apiErr.write(w)
 		return
@@ -95,6 +103,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+
+	if s.cfg.Chaos {
+		delay, doPanic, doError := s.chaos.takeRun()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+			}
+		}
+		if doPanic {
+			panic("chaos: injected worker panic")
+		}
+		if doError {
+			chaosError().write(w)
+			return
+		}
+	}
 
 	var img *asm.Image
 	var err error
@@ -121,10 +146,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
-	res, _, err := core.RunWith(ctx, img, sys, core.RunOptions{
-		MaxSteps: maxSteps,
-		MemBytes: req.MemBytes,
-	})
+	var res kernel.RunResult
+	var trace *schema.FaultTrace
+	if req.FaultCount > 0 {
+		res, trace, err = runFaulted(ctx, img, sys, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
+	} else {
+		res, _, err = core.RunWith(ctx, img, sys, core.RunOptions{
+			MaxSteps: maxSteps,
+			MemBytes: req.MemBytes,
+		})
+	}
 	if err != nil {
 		runError(err, res, sys).write(w)
 		return
@@ -146,6 +177,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range res.Audit {
 		resp.AuditText = append(resp.AuditText, rec.String())
 	}
+	resp.FaultTrace = trace
 	writeEnvelope(w, http.StatusOK, resp)
 }
 
@@ -327,6 +359,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queued:   int(s.queued.Load()),
 	}
 	status := http.StatusOK
+	if bad, retry := s.degraded(); bad {
+		resp.Status = "degraded"
+		resp.RetryAfterSec = retry
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		status = http.StatusServiceUnavailable
+	}
 	if s.draining.Load() {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable

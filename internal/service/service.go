@@ -26,9 +26,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +63,13 @@ type Config struct {
 	// Grace is how long draining waits for in-flight runs before
 	// cancelling them (0 = 5s).
 	Grace time.Duration
+	// Chaos enables the fault-injection surface: the /v1/chaos arming
+	// endpoint and RunRequest.FaultCount. Off by default — chaos is a
+	// testing facility, not a tenant-facing feature.
+	Chaos bool
+	// DegradedWindow is how long /healthz reports "degraded" (503 with
+	// Retry-After) after a recovered worker panic (0 = 15s).
+	DegradedWindow time.Duration
 	// Root is the repository root, read by the table1 experiment
 	// (0 = ".").
 	Root string
@@ -94,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.Grace <= 0 {
 		c.Grace = 5 * time.Second
 	}
+	if c.DegradedWindow <= 0 {
+		c.DegradedWindow = 15 * time.Second
+	}
 	if c.Root == "" {
 		c.Root = "."
 	}
@@ -126,6 +138,12 @@ type Server struct {
 	queued    atomic.Int64
 
 	reqSeq atomic.Uint64
+
+	// lastPanic is the UnixNano stamp of the most recent recovered
+	// handler panic; /healthz reports degraded until DegradedWindow
+	// has passed.
+	lastPanic atomic.Int64
+	chaos     chaosState
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointCounters
@@ -164,6 +182,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/experiments/{id}", s.logged("experiment", s.handleExperiment))
 	mux.HandleFunc("GET /healthz", s.logged("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.logged("metrics", s.handleMetrics))
+	if s.cfg.Chaos {
+		mux.HandleFunc("POST /v1/chaos", s.logged("chaos", s.handleChaosSet))
+		mux.HandleFunc("GET /v1/chaos", s.logged("chaos", s.handleChaosGet))
+	}
 	return mux
 }
 
@@ -258,25 +280,57 @@ func (s *Server) counters(name string) *endpointCounters {
 	return c
 }
 
-// statusWriter captures the response status for logging and counters.
+// statusWriter captures the response status for logging and counters,
+// and whether anything was written yet (so the panic-recovery path
+// knows it may still answer with a structured 500).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// logged wraps a handler with per-request structured logging and
-// endpoint counters.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// logged wraps a handler with per-request structured logging, endpoint
+// counters, and panic recovery: a panicking handler answers a
+// structured 500 of kind "panic" (when the response has not started)
+// and the service keeps serving; /healthz reports degraded for the
+// configured window afterwards.
 func (s *Server) logged(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		id := s.reqSeq.Add(1)
 		start := time.Now()
-		h(sw, r)
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				s.lastPanic.Store(time.Now().UnixNano())
+				s.cfg.Logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.Uint64("req_id", id),
+					slog.String("endpoint", name),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if !sw.wrote {
+					(&apiError{http.StatusInternalServerError, schema.ErrorResponse{
+						Error: fmt.Sprintf("handler panic: %v", rec), Kind: "panic",
+					}}).write(sw)
+				}
+			}()
+			h(sw, r)
+		}()
 		c := s.counters(name)
 		c.requests.Add(1)
 		switch {

@@ -515,3 +515,178 @@ func TestServiceRace(t *testing.T) {
 		t.Fatalf("go test -race on the service: %v\n%s", err, s)
 	}
 }
+
+// TestChaosMatrixRace re-runs the pointee-integrity chaos matrix under
+// the race detector: the fault engine mutates MMU, cache and memory
+// state from injection hooks while the core executes, and that
+// interleaving must be provably race-clean. Skips gracefully where
+// -race is unsupported.
+func TestChaosMatrixRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "-run", "TestChaosMatrix", "roload/internal/fault")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		s := string(out)
+		if strings.Contains(s, "-race is only supported on") ||
+			strings.Contains(s, "-race requires cgo") ||
+			strings.Contains(s, "cgo is disabled") ||
+			strings.Contains(s, "C compiler") {
+			t.Skipf("race detector unavailable here:\n%s", s)
+		}
+		t.Fatalf("go test -race on the chaos matrix: %v\n%s", err, s)
+	}
+}
+
+// TestFuzzSmoke gives each native fuzz target a short budget so the
+// corpus-free properties (assembler never panics on hostile text,
+// envelope decode/encode loop is stable) run on every CI pass, not
+// only when someone invokes go test -fuzz by hand.
+func TestFuzzSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	targets := []struct{ name, pkg string }{
+		{"FuzzAssembleRoundTrip", "roload/internal/asm"},
+		{"FuzzEnvelopeDecode", "roload/internal/schema"},
+	}
+	for _, tg := range targets {
+		t.Run(tg.name, func(t *testing.T) {
+			cmd := exec.Command("go", "test",
+				"-fuzz="+tg.name, "-fuzztime=5s", "-run=^$", tg.pkg)
+			cmd.Env = os.Environ()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("fuzz smoke %s: %v\n%s", tg.name, err, out)
+			}
+		})
+	}
+}
+
+// TestCLICheckpointResume drives the kill-and-resume workflow through
+// the real binaries: run with -checkpoint-every, then resume from the
+// written roload-checkpoint/v1 document. The resumed run's stdout,
+// exit status and -metrics document must be byte-identical to the
+// uninterrupted run — the crash-consistency claim at the CLI surface.
+func TestCLICheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "loop.mc")
+	prog := `
+func main() int {
+	var i int = 0;
+	var acc int = 0;
+	while (i < 30000) {
+		acc = acc + i;
+		i = i + 1;
+	}
+	print_int(acc);
+	return 0;
+}
+`
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := filepath.Join(bin, "roload-run")
+
+	// Uninterrupted reference run.
+	refMetrics := filepath.Join(dir, "ref.json")
+	refOut, err := exec.Command(run, "-metrics", refMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Checkpointed run: the stride guarantees several checkpoints.
+	ck := filepath.Join(dir, "ck.json")
+	ckMetrics := filepath.Join(dir, "ck-run.json")
+	ckOut, err := exec.Command(run,
+		"-checkpoint", ck, "-checkpoint-every", "40000",
+		"-metrics", ckMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if string(ckOut) != string(refOut) {
+		t.Errorf("checkpointed stdout %q != reference %q", ckOut, refOut)
+	}
+	assertSameFile(t, refMetrics, ckMetrics, "checkpointed-run metrics")
+
+	// The checkpoint file must be a valid roload-checkpoint/v1 doc.
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Instret uint64 `json:"instret"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("checkpoint is not JSON: %v", err)
+	}
+	if doc.Schema != schema.CheckpointV1 || doc.Instret == 0 {
+		t.Fatalf("checkpoint doc = %+v", doc)
+	}
+
+	// Resume from the last checkpoint (simulating a crash after it was
+	// written): observables must match the uninterrupted run exactly.
+	resMetrics := filepath.Join(dir, "resume.json")
+	resOut, err := exec.Command(run, "-resume", ck, "-metrics", resMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if string(resOut) != string(refOut) {
+		t.Errorf("resumed stdout %q != reference %q", resOut, refOut)
+	}
+	assertSameFile(t, refMetrics, resMetrics, "resumed-run metrics")
+
+	// Resuming against a different image must be refused.
+	other := filepath.Join(dir, "other.mc")
+	if err := os.WriteFile(other, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Command(run, "-resume", ck, other).Output(); err == nil {
+		t.Error("resume with a different program was not rejected")
+	}
+}
+
+// assertSameFile compares two files byte-for-byte.
+func assertSameFile(t *testing.T, a, b, what string) {
+	t.Helper()
+	ra, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, rb) {
+		t.Errorf("%s differs:\n%s\n----\n%s", what, ra, rb)
+	}
+}
+
+// TestCLIChaosMatrix runs roload-attack -chaos end-to-end: the matrix
+// must pass (exit 0), and the rendering must name the fault-plan seed
+// so any verdict is reproducible from the printed report alone.
+func TestCLIChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	out, err := exec.Command(filepath.Join(bin, "roload-attack"), "-chaos", "-seed", "11").Output()
+	if err != nil {
+		t.Fatalf("roload-attack -chaos: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "seed 11") {
+		t.Errorf("chaos report does not name the seed:\n%s", s)
+	}
+	for _, want := range []string{"hijacked-silent", "caught-roload", "fptr-call", "vtable-call"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, s)
+		}
+	}
+}
