@@ -9,6 +9,7 @@
 //	roload-run -checkpoint ck.json -checkpoint-every 100000 prog.mc
 //	roload-run -resume ck.json prog.mc
 //	roload-run -fault-seed 7 -fault-count 5 -fault-trace - prog.mc
+//	roload-run -redundant 3 -heal -fault-seed 7 -fault-count 2 -heal-report - prog.mc
 //
 // -sys is an alias of -system. Unknown -system/-harden values exit 2
 // naming the known values (the shared internal/cli contract of every
@@ -17,12 +18,23 @@
 //
 // Checkpointing slices the run into -checkpoint-every-sized chunks and
 // atomically rewrites the roload-checkpoint/v1 document at each
-// boundary; -resume restarts from the last checkpoint (the program
-// argument must rebuild the same image — the checkpoint's digest is
-// verified) and replays bit-identically. -fault-count injects seeded
-// roload-fault/v1 faults; the plan is a pure function of (image,
-// system, seed, count), so re-running with the same seed reproduces
-// the fault trace byte-for-byte.
+// boundary (fsynced, so a checkpoint that exists is durable); -resume
+// restarts from the last checkpoint (the program argument must rebuild
+// the same image — the checkpoint's digest is verified, and a
+// mismatched checkpoint exits 2 naming both digests) and replays
+// bit-identically. -fault-count injects seeded roload-fault/v1 faults;
+// the plan is a pure function of (image, system, seed, count), so
+// re-running with the same seed reproduces the fault trace
+// byte-for-byte.
+//
+// -redundant K runs the image on K replicas under the self-healing
+// supervisor: state digests are cross-checked every -sync-every
+// retired instructions, divergent replicas are outvoted and (with
+// -heal) rolled back to the last agreed checkpoint and replayed.
+// Seeded faults then go into replica -fault-replica only, and the
+// supervised outcome — stdout, exit status, metrics — is byte-
+// identical to a fault-free run. -heal-report writes the
+// roload-heal/v1 document.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"roload/internal/asm"
@@ -43,6 +56,7 @@ import (
 	"roload/internal/fault"
 	"roload/internal/kernel"
 	"roload/internal/obs"
+	"roload/internal/redundant"
 	"roload/internal/schema"
 )
 
@@ -67,6 +81,11 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for -fault-count's roload-fault/v1 plan")
 	faultCount := flag.Int("fault-count", 0, "inject this many seeded faults into the run")
 	faultTracePath := flag.String("fault-trace", "", "write the roload-fault/v1 trace (JSON) to this path (- for stdout)")
+	redundantK := flag.Int("redundant", 0, "run on this many replicas (odd, >= 3) under the self-healing supervisor")
+	heal := flag.Bool("heal", false, "heal outvoted replicas by rollback-replay (requires -redundant; default: quarantine)")
+	syncEvery := flag.Uint64("sync-every", 0, "supervisor cross-check stride in retired instructions (0 = default)")
+	faultReplica := flag.Int("fault-replica", 0, "replica seeded faults are injected into (requires -redundant)")
+	healReportPath := flag.String("heal-report", "", "write the roload-heal/v1 report (JSON) to this path (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
@@ -83,6 +102,28 @@ func main() {
 	if *faultCount < 0 {
 		fmt.Fprintln(os.Stderr, "roload-run: -fault-count must be non-negative")
 		os.Exit(2)
+	}
+	if *redundantK == 0 && (*heal || *syncEvery != 0 || *faultReplica != 0 || *healReportPath != "") {
+		fmt.Fprintln(os.Stderr, "roload-run: -heal, -sync-every, -fault-replica and -heal-report require -redundant")
+		os.Exit(2)
+	}
+	if *redundantK != 0 {
+		if *redundantK < 3 || *redundantK%2 == 0 {
+			fmt.Fprintln(os.Stderr, "roload-run: -redundant must be odd and >= 3")
+			os.Exit(2)
+		}
+		if *ckPath != "" || *resumePath != "" {
+			fmt.Fprintln(os.Stderr, "roload-run: -redundant cannot be combined with -checkpoint or -resume (the supervisor owns the checkpoints)")
+			os.Exit(2)
+		}
+		if *tracePath != "" || *profilePath != "" || *foldedPath != "" {
+			fmt.Fprintln(os.Stderr, "roload-run: -redundant cannot be combined with probe outputs (-trace, -profile, -folded)")
+			os.Exit(2)
+		}
+		if *faultReplica < 0 || *faultReplica >= *redundantK {
+			fmt.Fprintf(os.Stderr, "roload-run: -fault-replica %d out of range [0,%d)\n", *faultReplica, *redundantK)
+			os.Exit(2)
+		}
 	}
 	sys := systemFlag.Kind
 	srcBytes, err := os.ReadFile(flag.Arg(0))
@@ -135,7 +176,19 @@ func main() {
 	}
 
 	var res kernel.RunResult
-	if *ckEvery > 0 || *resumePath != "" || *faultCount > 0 {
+	if *redundantK > 0 {
+		res = runRedundant(img, sys, redOptions{
+			replicas:     *redundantK,
+			syncEvery:    *syncEvery,
+			heal:         *heal,
+			maxSteps:     *maxSteps,
+			faultSeed:    *faultSeed,
+			faultCount:   *faultCount,
+			faultReplica: *faultReplica,
+			reportPath:   *healReportPath,
+			tracePath:    *faultTracePath,
+		})
+	} else if *ckEvery > 0 || *resumePath != "" || *faultCount > 0 {
 		res = runAdvanced(img, sys, obs.Combine(probes...), advOptions{
 			maxSteps:   *maxSteps,
 			ckPath:     *ckPath,
@@ -213,6 +266,62 @@ func main() {
 	os.Exit(128 + int(res.Signal))
 }
 
+// redOptions parameterize the supervised redundant-execution path.
+type redOptions struct {
+	replicas     int
+	syncEvery    uint64
+	heal         bool
+	maxSteps     uint64
+	faultSeed    uint64
+	faultCount   int
+	faultReplica int
+	reportPath   string
+	tracePath    string
+}
+
+// runRedundant executes the image on K replicas under the self-healing
+// supervisor, narrating divergences and heals on stderr and writing
+// the roload-heal/v1 report (and fault trace) where asked.
+func runRedundant(img *asm.Image, sys core.SystemKind, opt redOptions) kernel.RunResult {
+	var plan *schema.FaultPlan
+	if opt.faultCount > 0 {
+		p, err := redundant.Plan(context.Background(), img, sys, opt.faultSeed, opt.faultCount, opt.maxSteps, 0)
+		if err != nil {
+			fatal(err)
+		}
+		plan = &p
+	}
+	out, err := redundant.Run(context.Background(), img, sys, redundant.Options{
+		Replicas:     opt.replicas,
+		SyncEvery:    opt.syncEvery,
+		Heal:         opt.heal,
+		MaxSteps:     opt.maxSteps,
+		Fault:        plan,
+		FaultReplica: opt.faultReplica,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "roload-run: "+format+"\n", args...)
+		},
+	})
+	if opt.reportPath != "" {
+		writeOutput(opt.reportPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out.Report)
+		})
+	}
+	if out.Trace != nil && opt.tracePath != "" {
+		writeOutput(opt.tracePath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out.Trace)
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return out.Run
+}
+
 // advOptions parameterize the direct-kernel driving path used when
 // checkpointing, resuming, or injecting faults.
 type advOptions struct {
@@ -253,6 +362,14 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 			fatal(fmt.Errorf("decoding checkpoint %s: %w", opt.resume, jerr))
 		}
 		machine, p, err = kernel.Restore(cfg, img, ck)
+		var mismatch *kernel.CheckpointMismatchError
+		if errors.As(err, &mismatch) {
+			// A mismatched checkpoint is a usage error — the caller named
+			// the wrong checkpoint or the wrong program; the message
+			// carries both sides of the disagreement (e.g. both digests).
+			fmt.Fprintln(os.Stderr, "roload-run:", err)
+			os.Exit(2)
+		}
 	} else {
 		machine = kernel.NewSystem(cfg)
 		p, err = machine.Spawn(img)
@@ -312,8 +429,10 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 }
 
 // writeCheckpoint snapshots the machine and atomically replaces the
-// checkpoint file (write to a temp name, then rename), so a kill while
-// checkpointing never leaves a torn document behind.
+// checkpoint file: write to a temp name, fsync the file, rename, fsync
+// the parent directory. A kill while checkpointing never leaves a torn
+// document behind, and a checkpoint that exists after a power cut is
+// durable — not just sitting in the page cache.
 func writeCheckpoint(machine *kernel.System, p *kernel.Process, path string) {
 	ck, err := kernel.Snapshot(machine, p)
 	if err != nil {
@@ -324,11 +443,28 @@ func writeCheckpoint(machine *kernel.System, p *kernel.Process, path string) {
 		fatal(err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		fatal(err)
+	}
+	// The rename itself must survive a crash: fsync the directory entry.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync() //nolint:errcheck // best effort: some filesystems reject directory fsync
+		dir.Close()
 	}
 }
 

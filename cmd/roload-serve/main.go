@@ -49,6 +49,7 @@ func main() {
 	defTimeout := flag.Duration("timeout", 30*time.Second, "default per-request run deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied deadlines")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period before in-flight runs are cancelled")
+	drainTimeout := flag.Duration("drain-timeout", 0, "hard cap on the whole drain (grace + response flush); 0 = grace+5s")
 	chaos := flag.Bool("chaos", false, "enable the chaos surface: POST /v1/chaos and RunRequest fault injection")
 	degradedWindow := flag.Duration("degraded-window", 15*time.Second, "how long /healthz reports degraded after a recovered panic")
 	root := flag.String("root", ".", "repository root (table1 experiment)")
@@ -90,12 +91,19 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process immediately
-	logger.Info("draining", slog.Duration("grace", *grace))
+	total := *drainTimeout
+	if total <= 0 {
+		total = *grace + 5*time.Second
+	}
+	logger.Info("draining", slog.Duration("grace", *grace), slog.Duration("drain_timeout", total))
 	srv.StartDrain()
 
 	// Give in-flight requests the grace period plus a margin to flush
-	// their (possibly 504) responses, then close whatever remains.
-	shCtx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+	// their (possibly 504) responses, then close whatever remains. Runs
+	// still alive at the drain deadline — including supervised
+	// redundant runs — are cancelled on the CanceledError path and
+	// answer 504 with a partial snapshot before the server closes.
+	shCtx, cancel := context.WithTimeout(context.Background(), total)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		logger.Warn("forced close", slog.String("err", err.Error()))

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Client calls refused locally because
+// the circuit breaker is open (or a half-open probe is already in
+// flight). Callers back off without touching the server at all.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig parameterizes the circuit breaker. The zero value is
+// usable.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that
+	// opens the circuit (0 = 5).
+	FailureThreshold int
+	// OpenFor is how long the circuit stays open before a half-open
+	// probe is allowed through (0 = 5s).
+	OpenFor time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is a consecutive-failure circuit breaker with half-open
+// probing: closed → (threshold failures) → open → (OpenFor elapses,
+// one probe allowed) → half-open → closed on probe success, back to
+// open on probe failure. The clock is injected so the transitions are
+// unit-testable without sleeping.
+type breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time
+
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow asks whether a request may be sent. In the open state it
+// transitions to half-open once OpenFor has elapsed and admits exactly
+// one probe; everything else is refused with ErrCircuitOpen.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// report feeds the outcome of an admitted request back. Conclusive
+// responses (any response the client will not retry) count as success;
+// transport errors and retryable statuses count as failure.
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.failures = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	default:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// currentState reports the state name (for tests and metrics).
+func (b *breaker) currentState() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

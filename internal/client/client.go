@@ -1,0 +1,358 @@
+// Package client is the resilient Go client of the roload-serve API:
+// exponential backoff with full jitter, per-attempt timeouts, hedged
+// requests, a consecutive-failure circuit breaker with half-open
+// probing, and automatic idempotency keys so every retry and hedge of
+// one logical request is deduplicated server-side — the combination
+// that makes "retry until 2xx" safe against injected latency, errors
+// and worker panics.
+//
+// The retry loop treats transport errors and 429/5xx statuses as
+// retryable (honouring Retry-After when the server names a backoff)
+// and everything else as conclusive. Hedging launches one duplicate
+// request after HedgeDelay of silence; whichever answer arrives first
+// wins and the straggler is cancelled. Both legs carry the same
+// idempotency key, so the server still executes the body exactly once.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// Config parameterizes a Client. The zero value (plus BaseURL) is
+// usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport (nil = a dedicated http.Client; the
+	// per-attempt timeout comes from AttemptTimeout, not the client).
+	HTTPClient *http.Client
+	// MaxAttempts bounds the retry loop per logical request (0 = 4).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// attempts: the pre-jitter delay is min(BaseBackoff << attempt,
+	// MaxBackoff), and full jitter picks uniformly in (0, delay]
+	// (0 = 100ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout caps one attempt's wall clock, hedge included
+	// (0 = 10s).
+	AttemptTimeout time.Duration
+	// HedgeDelay launches a duplicate request when an attempt has been
+	// silent this long; first answer wins (0 = hedging off).
+	HedgeDelay time.Duration
+	// Breaker parameterizes the circuit breaker.
+	Breaker BreakerConfig
+
+	// JitterSeed makes the backoff jitter deterministic for tests
+	// (0 = seeded from crypto/rand).
+	JitterSeed int64
+	// Now and Sleep are test seams for the breaker clock and the
+	// backoff wait (nil = time.Now and a context-aware timer sleep).
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return c
+}
+
+// APIError is a conclusive non-2xx answer from the server, decoded
+// from the roload-serve/v1 error payload.
+type APIError struct {
+	Status        int
+	Kind          string
+	Message       string
+	RetryAfterSec int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d (%s): %s", e.Status, e.Kind, e.Message)
+}
+
+// retryable reports whether a status is worth retrying: throttling,
+// shedding, and every 5xx (including injected chaos errors and
+// recovered panics, which re-execute server-side because the
+// idempotency cache never stores them).
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// RunResult is one successful logical run request.
+type RunResult struct {
+	Response schema.RunResponse
+	// Replayed is set when the server answered from its idempotency
+	// cache (an earlier attempt's execution) rather than running again.
+	Replayed bool
+	// Attempts is the number of attempts made (1 = first try worked);
+	// Hedged counts duplicate requests launched by the hedging timer.
+	Attempts int
+	Hedged   int
+}
+
+// Client is a resilient roload-serve API client. Safe for concurrent
+// use.
+type Client struct {
+	cfg     Config
+	breaker *breaker
+
+	keyPrefix string
+	keySeq    atomic.Uint64
+
+	mu  sync.Mutex
+	rng *mrand.Rand
+}
+
+// New builds a Client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	var prefix [8]byte
+	rand.Read(prefix[:]) //nolint:errcheck // crypto/rand.Read cannot fail
+	if seed == 0 {
+		var b [8]byte
+		rand.Read(b[:]) //nolint:errcheck
+		for _, x := range b {
+			seed = seed<<8 | int64(x)
+		}
+	}
+	return &Client{
+		cfg:       cfg,
+		breaker:   newBreaker(cfg.Breaker, cfg.Now),
+		keyPrefix: hex.EncodeToString(prefix[:]),
+		rng:       mrand.New(mrand.NewSource(seed)),
+	}
+}
+
+// BreakerState reports the circuit breaker's state ("closed", "open",
+// "half-open") for tests and metrics.
+func (c *Client) BreakerState() string { return c.breaker.currentState() }
+
+// nextKey mints the idempotency key for one logical request: a
+// client-unique prefix plus a sequence number. Every retry and hedge
+// of the request reuses it, which is what lets the server deduplicate.
+func (c *Client) nextKey() string {
+	return fmt.Sprintf("%s-%d", c.keyPrefix, c.keySeq.Add(1))
+}
+
+// backoff computes the post-attempt delay: exponential with full
+// jitter, floored by the server's Retry-After when one was given.
+func (c *Client) backoff(attempt, retryAfterSec int) time.Duration {
+	d := c.cfg.BaseBackoff << attempt
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d = time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.mu.Unlock()
+	if ra := time.Duration(retryAfterSec) * time.Second; ra > d {
+		d = ra
+	}
+	return d
+}
+
+// Run executes one logical run request with retries, hedging and
+// idempotency. It returns the first conclusive answer: a RunResult for
+// 2xx, an *APIError for a non-retryable error status, ErrCircuitOpen
+// when the breaker refuses, or the last transport/retryable failure
+// when the attempt budget runs out.
+func (c *Client) Run(ctx context.Context, req schema.RunRequest) (*RunResult, error) {
+	key := c.nextKey()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hedged := 0
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			return nil, err
+		}
+		reply, err := c.attempt(ctx, key, body, &hedged)
+		if err == nil && !retryable(reply.status) {
+			c.breaker.report(true)
+			return c.conclude(reply, attempt+1, hedged)
+		}
+		c.breaker.report(false)
+		retryAfter := 0
+		if err != nil {
+			lastErr = err
+		} else {
+			apiErr := reply.apiError()
+			lastErr = apiErr
+			retryAfter = apiErr.RetryAfterSec
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt+1 == c.cfg.MaxAttempts {
+			break
+		}
+		if err := c.cfg.Sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// conclude decodes a conclusive reply into the caller's result.
+func (c *Client) conclude(reply *httpReply, attempts, hedged int) (*RunResult, error) {
+	if reply.status != http.StatusOK {
+		return nil, reply.apiError()
+	}
+	var resp schema.RunResponse
+	if err := reply.env.Open(schema.ServeV1, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding run response: %w", err)
+	}
+	return &RunResult{
+		Response: resp,
+		Replayed: reply.replayed,
+		Attempts: attempts,
+		Hedged:   hedged,
+	}, nil
+}
+
+// httpReply is one attempt's decoded HTTP answer.
+type httpReply struct {
+	status   int
+	env      schema.Envelope
+	replayed bool
+	retryHdr string
+}
+
+func (r *httpReply) apiError() *APIError {
+	var e schema.ErrorResponse
+	if err := r.env.Open(schema.ServeV1, &e); err != nil {
+		e = schema.ErrorResponse{Error: fmt.Sprintf("undecodable %d response", r.status), Kind: "internal"}
+	}
+	if e.RetryAfterSec == 0 && r.retryHdr != "" {
+		if n, err := strconv.Atoi(r.retryHdr); err == nil {
+			e.RetryAfterSec = n
+		}
+	}
+	return &APIError{Status: r.status, Kind: e.Kind, Message: e.Error, RetryAfterSec: e.RetryAfterSec}
+}
+
+// attempt performs one (possibly hedged) attempt under the per-attempt
+// timeout. With hedging enabled, a duplicate request is launched after
+// HedgeDelay of silence; the first leg to answer wins and the other is
+// cancelled. Both legs carry the same idempotency key.
+func (c *Client) attempt(ctx context.Context, key string, body []byte, hedged *int) (*httpReply, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	if c.cfg.HedgeDelay <= 0 {
+		return c.do(actx, key, body)
+	}
+
+	type legResult struct {
+		reply *httpReply
+		err   error
+	}
+	// Buffered to the maximum number of legs: a losing leg's send never
+	// blocks, so no goroutine outlives the attempt.
+	results := make(chan legResult, 2)
+	launch := func() {
+		go func() {
+			reply, err := c.do(actx, key, body)
+			results <- legResult{reply, err}
+		}()
+	}
+	launch()
+	legs, answered := 1, 0
+	hedgeTimer := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			answered++
+			if r.err == nil {
+				cancel() // the straggler (if any) is abandoned
+				return r.reply, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if answered == legs {
+				return nil, firstErr
+			}
+		case <-hedgeTimer.C:
+			if legs == 1 {
+				legs++
+				*hedged++
+				launch()
+			}
+		}
+	}
+}
+
+// do performs one HTTP exchange.
+func (c *Client) do(ctx context.Context, key string, body []byte) (*httpReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	reply := &httpReply{
+		status:   resp.StatusCode,
+		replayed: resp.Header.Get("Idempotency-Replayed") == "true",
+		retryHdr: resp.Header.Get("Retry-After"),
+	}
+	if err := json.Unmarshal(data, &reply.env); err != nil {
+		return nil, fmt.Errorf("client: undecodable %d response body: %w", resp.StatusCode, err)
+	}
+	return reply, nil
+}

@@ -1,0 +1,381 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+	"roload/internal/service"
+)
+
+const helloProg = `
+func main() int {
+	print_int(6 * 7);
+	return 0;
+}
+`
+
+// fakeClock is an injectable, manually advanced clock for breaker
+// tests: no transition ever needs a real sleep.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// noSleep replaces the backoff wait so retry tests don't burn wall
+// clock; cancellation is still honored.
+func noSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+func TestBreakerTransitions(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: 5 * time.Second}, clk.now)
+
+	if got := b.currentState(); got != "closed" {
+		t.Fatalf("initial state = %q, want closed", got)
+	}
+	// Failures below the threshold keep the circuit closed, and one
+	// success resets the streak.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("allow #%d: %v", i, err)
+		}
+		b.report(false)
+	}
+	b.report(true)
+	b.report(false)
+	b.report(false)
+	if got := b.currentState(); got != "closed" {
+		t.Fatalf("state after reset + 2 failures = %q, want closed", got)
+	}
+
+	// The third consecutive failure opens the circuit.
+	b.report(false)
+	if got := b.currentState(); got != "open" {
+		t.Fatalf("state after threshold failures = %q, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow while open = %v, want ErrCircuitOpen", err)
+	}
+
+	// After OpenFor elapses exactly one half-open probe is admitted;
+	// concurrent callers are still refused.
+	clk.advance(5 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe admission: %v", err)
+	}
+	if got := b.currentState(); got != "half-open" {
+		t.Fatalf("state during probe = %q, want half-open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second caller during probe = %v, want ErrCircuitOpen", err)
+	}
+
+	// A failed probe reopens the circuit and restarts the OpenFor clock.
+	b.report(false)
+	if got := b.currentState(); got != "open" {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow right after failed probe = %v, want ErrCircuitOpen", err)
+	}
+
+	// A successful probe closes the circuit again.
+	clk.advance(5 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe admission: %v", err)
+	}
+	b.report(true)
+	if got := b.currentState(); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("allow after recovery: %v", err)
+	}
+}
+
+func TestBackoffBoundsAndRetryAfter(t *testing.T) {
+	c := New(Config{
+		BaseURL:     "http://unused",
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		JitterSeed:  1,
+	})
+	for attempt := 0; attempt < 6; attempt++ {
+		d := c.backoff(attempt, 0)
+		limit := c.cfg.BaseBackoff << attempt
+		if limit > c.cfg.MaxBackoff {
+			limit = c.cfg.MaxBackoff
+		}
+		if d <= 0 || d > limit {
+			t.Fatalf("backoff(%d) = %v, want in (0, %v]", attempt, d, limit)
+		}
+	}
+	// A server Retry-After floors the jittered delay.
+	if d := c.backoff(0, 3); d < 3*time.Second {
+		t.Fatalf("backoff with Retry-After 3s = %v, want >= 3s", d)
+	}
+}
+
+// okEnvelope answers a minimal valid roload-serve/v1 run response.
+func okEnvelope(w http.ResponseWriter, stdout string) {
+	env, err := schema.Wrap(schema.ServeV1, schema.RunResponse{Stdout: stdout, Exited: true})
+	if err != nil {
+		panic(err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(env) //nolint:errcheck
+}
+
+// TestHedgedRequestWinsAndCancelsStraggler pins the hedging contract:
+// when the first leg stalls, the hedge leg launched after HedgeDelay
+// answers, the stalled leg is cancelled, and no goroutine is leaked.
+func TestHedgedRequestWinsAndCancelsStraggler(t *testing.T) {
+	var requests atomic.Int64
+	firstCanceled := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) == 1 {
+			// Stall the first leg until the client abandons it. The body
+			// must be drained first: the net/http server only watches for
+			// client disconnects (and cancels r.Context()) once the
+			// request body has been consumed.
+			io.ReadAll(r.Body) //nolint:errcheck
+			<-r.Context().Done()
+			close(firstCanceled)
+			return
+		}
+		okEnvelope(w, "hedged")
+	}))
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	c := New(Config{
+		BaseURL:        ts.URL,
+		HedgeDelay:     20 * time.Millisecond,
+		AttemptTimeout: 5 * time.Second,
+	})
+	res, err := c.Run(context.Background(), schema.RunRequest{Schema: schema.ServeV1, Source: helloProg})
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+	if res.Response.Stdout != "hedged" {
+		t.Fatalf("stdout = %q, want the hedge leg's answer", res.Response.Stdout)
+	}
+	if res.Attempts != 1 || res.Hedged != 1 {
+		t.Fatalf("attempts = %d, hedged = %d, want 1 and 1", res.Attempts, res.Hedged)
+	}
+	select {
+	case <-firstCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled first leg was never cancelled")
+	}
+	// The losing leg's goroutine must drain; poll because its exit
+	// races with the handler return above. A small tolerance absorbs
+	// the HTTP keep-alive goroutines the transport is allowed to keep.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// --- integration against the real chaos-enabled service ---
+
+func newServiceClient(t *testing.T, svcCfg service.Config, cliCfg Config) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := service.NewServer(svcCfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	cliCfg.BaseURL = ts.URL
+	return ts, New(cliCfg)
+}
+
+func postJSON(t *testing.T, url string, body any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+}
+
+func serveMetrics(t *testing.T, baseURL string) schema.ServeMetrics {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env schema.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	var m schema.ServeMetrics
+	if err := env.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClientRetriesThroughChaosErrors drives the full loop: two armed
+// chaos 500s burn two attempts, the third succeeds, and the server's
+// idempotency cache shows each failed attempt re-executed (aborted
+// entries are never replayed) while the final success is stored.
+func TestClientRetriesThroughChaosErrors(t *testing.T) {
+	ts, c := newServiceClient(t,
+		service.Config{Chaos: true},
+		Config{MaxAttempts: 4, Sleep: noSleep})
+	postJSON(t, ts.URL+"/v1/chaos", schema.ChaosRequest{Schema: schema.ServeV1, ErrorNext: 2})
+
+	res, err := c.Run(context.Background(), schema.RunRequest{Schema: schema.ServeV1, Source: helloProg})
+	if err != nil {
+		t.Fatalf("run through chaos: %v", err)
+	}
+	if res.Response.Stdout != "42\n" {
+		t.Fatalf("stdout = %q, want \"42\\n\"", res.Response.Stdout)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two chaos errors, one success)", res.Attempts)
+	}
+	if res.Replayed {
+		t.Fatal("final attempt was a replay; chaos errors must not be cached")
+	}
+	m := serveMetrics(t, ts.URL)
+	if m.Idempotency.Misses != 3 || m.Idempotency.Hits != 0 {
+		t.Fatalf("idempotency misses/hits = %d/%d, want 3/0 (every retry re-executed)",
+			m.Idempotency.Misses, m.Idempotency.Hits)
+	}
+	if got := c.BreakerState(); got != "closed" {
+		t.Fatalf("breaker = %q after recovery, want closed", got)
+	}
+}
+
+// TestClientBreakerOpensAndRecovers proves the breaker against the
+// real service: consecutive chaos failures trip it (subsequent calls
+// fail fast without touching the server), and after OpenFor the
+// half-open probe closes it again.
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	ts, c := newServiceClient(t,
+		service.Config{Chaos: true},
+		Config{
+			MaxAttempts: 1,
+			Sleep:       noSleep,
+			Now:         clk.now,
+			Breaker:     BreakerConfig{FailureThreshold: 2, OpenFor: 5 * time.Second},
+		})
+	postJSON(t, ts.URL+"/v1/chaos", schema.ChaosRequest{Schema: schema.ServeV1, ErrorNext: 2})
+	req := schema.RunRequest{Schema: schema.ServeV1, Source: helloProg}
+
+	for i := 0; i < 2; i++ {
+		var apiErr *APIError
+		if _, err := c.Run(context.Background(), req); !errors.As(err, &apiErr) || apiErr.Status != 500 {
+			t.Fatalf("chaos run #%d: %v, want a 500 APIError", i, err)
+		}
+	}
+	if got := c.BreakerState(); got != "open" {
+		t.Fatalf("breaker = %q after 2 consecutive failures, want open", got)
+	}
+	runsBefore := serveMetrics(t, ts.URL).Idempotency.Misses
+	if _, err := c.Run(context.Background(), req); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("run while open = %v, want ErrCircuitOpen", err)
+	}
+	if runsAfter := serveMetrics(t, ts.URL).Idempotency.Misses; runsAfter != runsBefore {
+		t.Fatalf("open breaker still reached the server: misses %d -> %d", runsBefore, runsAfter)
+	}
+
+	clk.advance(5 * time.Second)
+	res, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if res.Response.Stdout != "42\n" {
+		t.Fatalf("probe stdout = %q, want \"42\\n\"", res.Response.Stdout)
+	}
+	if got := c.BreakerState(); got != "closed" {
+		t.Fatalf("breaker = %q after successful probe, want closed", got)
+	}
+}
+
+// TestClientExactlyOnceUnderLatencyAndHedging arms chaos latency above
+// the hedge delay so every logical request hedges, then proves the
+// server executed each logical request exactly once: idempotency
+// misses == logical requests, every duplicate leg deduplicated.
+func TestClientExactlyOnceUnderLatencyAndHedging(t *testing.T) {
+	const logical = 4
+	ts, c := newServiceClient(t,
+		service.Config{Chaos: true, Workers: 2},
+		Config{
+			HedgeDelay:     20 * time.Millisecond,
+			AttemptTimeout: 30 * time.Second,
+			Sleep:          noSleep,
+		})
+	postJSON(t, ts.URL+"/v1/chaos", schema.ChaosRequest{Schema: schema.ServeV1, LatencyMS: 150})
+
+	var wg sync.WaitGroup
+	results := make([]*RunResult, logical)
+	errs := make([]error, logical)
+	for i := 0; i < logical; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Run(context.Background(),
+				schema.RunRequest{Schema: schema.ServeV1, Source: helloProg})
+		}(i)
+	}
+	wg.Wait()
+
+	hedges := 0
+	for i := 0; i < logical; i++ {
+		if errs[i] != nil {
+			t.Fatalf("logical run %d: %v", i, errs[i])
+		}
+		if results[i].Response.Stdout != "42\n" {
+			t.Fatalf("logical run %d stdout = %q", i, results[i].Response.Stdout)
+		}
+		hedges += results[i].Hedged
+	}
+	if hedges == 0 {
+		t.Fatal("latency above HedgeDelay launched no hedges; the test proved nothing")
+	}
+	m := serveMetrics(t, ts.URL)
+	if m.Idempotency.Misses != logical {
+		t.Fatalf("idempotency misses = %d, want %d (exactly one execution per logical request)",
+			m.Idempotency.Misses, logical)
+	}
+}

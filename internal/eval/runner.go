@@ -195,7 +195,16 @@ func (r *Runner) measureCell(ctx context.Context, src string, h core.Hardening, 
 // serial execution would have surfaced first — so the outcome is
 // deterministic regardless of completion order.
 func (r *Runner) forEach(n int, fn func(int) error) error {
-	workers := r.parallel
+	return ForEach(r.parallel, n, fn)
+}
+
+// ForEach runs fn(0..n-1) across at most workers goroutines. All
+// indices run even if some fail; the returned error is the lowest-index
+// failure — the one serial execution would have surfaced first — so the
+// outcome is deterministic regardless of completion order. It is the
+// worker pool behind Runner and the replica driver of the redundant
+// supervisor.
+func ForEach(workers, n int, fn func(int) error) error {
 	if workers > n {
 		workers = n
 	}

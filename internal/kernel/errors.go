@@ -34,3 +34,28 @@ func (e *CanceledError) Error() string {
 }
 
 func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// CheckpointMismatchError reports that Restore refused a checkpoint
+// because its frame does not match what the caller supplied: the
+// schema version, the system-variant flags, or the image digest. It is
+// a typed error so roload-run -resume can exit 2 (a usage error — the
+// caller named the wrong checkpoint or the wrong program) instead of 1,
+// while still printing both sides of the disagreement.
+type CheckpointMismatchError struct {
+	// Field names what disagreed: "schema", "system" or "image".
+	Field string
+	// Got is the value derived from the caller's arguments; Want is the
+	// value recorded in the checkpoint frame.
+	Got, Want string
+}
+
+func (e *CheckpointMismatchError) Error() string {
+	switch e.Field {
+	case "schema":
+		return fmt.Sprintf("kernel: unsupported checkpoint schema %s (this build reads %s)", e.Want, e.Got)
+	case "image":
+		return fmt.Sprintf("kernel: image digest %s does not match checkpoint digest %s", e.Got, e.Want)
+	default:
+		return fmt.Sprintf("kernel: checkpoint %s mismatch: have %s, checkpoint wants %s", e.Field, e.Got, e.Want)
+	}
+}

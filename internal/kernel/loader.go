@@ -142,13 +142,42 @@ func (s *System) Run(p *Process) (RunResult, error) {
 // and counters so far) so callers can report progress; the process is
 // not marked finished and the machine remains resumable.
 func (s *System) RunContext(ctx context.Context, p *Process) (RunResult, error) {
-	if p.finished {
-		return p.result, nil
-	}
 	max := s.cfg.MaxSteps
 	if max == 0 {
 		max = 1 << 40
 	}
+	return s.runTo(ctx, p, s.cpu.Instret+max, max)
+}
+
+// RunUntil executes the process until it exits, is killed, or the
+// retire count reaches target (an absolute instret value — unlike
+// Config.MaxSteps, which is relative to the current position). It is
+// the sync-point primitive of the redundant-execution supervisor:
+// driving K replicas to the same absolute retire count lines their
+// machines up for a digest cross-check, and replaying a restored
+// replica to the supervisor's current sync point is a single call
+// whatever instret the rollback landed on. Reaching target returns a
+// partial RunResult and a *StepLimitError; context semantics are
+// RunContext's. A target at or below the current retire count returns
+// immediately.
+func (s *System) RunUntil(ctx context.Context, p *Process, target uint64) (RunResult, error) {
+	if p.finished {
+		return p.result, nil
+	}
+	if target <= s.cpu.Instret {
+		return s.partial(p), &StepLimitError{Limit: 0, Instret: s.cpu.Instret}
+	}
+	return s.runTo(ctx, p, target, target-s.cpu.Instret)
+}
+
+// runTo is the shared body of RunContext and RunUntil: execute until
+// the process terminates, ctx fires, or instret reaches deadline
+// (limit is the budget reported by the StepLimitError).
+func (s *System) runTo(ctx context.Context, p *Process, deadline, limit uint64) (RunResult, error) {
+	if p.finished {
+		return p.result, nil
+	}
+	max := limit
 	stride := s.cfg.CancelEvery
 	if stride == 0 {
 		stride = DefaultCancelEvery
@@ -160,7 +189,6 @@ func (s *System) RunContext(ctx context.Context, p *Process) (RunResult, error) 
 	if ctx.Done() != nil {
 		stop = func() bool { return ctx.Err() != nil }
 	}
-	deadline := s.cpu.Instret + max
 	for s.cpu.Instret < deadline {
 		trap := s.cpu.RunInterruptible(deadline-s.cpu.Instret, stride, stop)
 		if trap == nil {

@@ -115,14 +115,17 @@ func Snapshot(s *System, p *Process) (schema.Checkpoint, error) {
 // with bit-identical observables.
 func Restore(cfg Config, img *asm.Image, ck schema.Checkpoint) (*System, *Process, error) {
 	if ck.Schema != schema.CheckpointV1 {
-		return nil, nil, fmt.Errorf("kernel: unsupported checkpoint schema %q", ck.Schema)
+		return nil, nil, &CheckpointMismatchError{Field: "schema", Got: schema.CheckpointV1, Want: ck.Schema}
 	}
 	if cfg.ProcessorROLoad != ck.ProcessorROLoad || cfg.KernelROLoad != ck.KernelROLoad {
-		return nil, nil, fmt.Errorf("kernel: checkpoint is for processor=%v kernel=%v, config wants processor=%v kernel=%v",
-			ck.ProcessorROLoad, ck.KernelROLoad, cfg.ProcessorROLoad, cfg.KernelROLoad)
+		return nil, nil, &CheckpointMismatchError{
+			Field: "system",
+			Got:   fmt.Sprintf("processor=%v kernel=%v", cfg.ProcessorROLoad, cfg.KernelROLoad),
+			Want:  fmt.Sprintf("processor=%v kernel=%v", ck.ProcessorROLoad, ck.KernelROLoad),
+		}
 	}
 	if got := imageDigest(img); got != ck.ImageSHA256 {
-		return nil, nil, fmt.Errorf("kernel: image digest %s does not match checkpoint digest %s", got, ck.ImageSHA256)
+		return nil, nil, &CheckpointMismatchError{Field: "image", Got: got, Want: ck.ImageSHA256}
 	}
 	var ms machineState
 	if err := json.Unmarshal(ck.State, &ms); err != nil {

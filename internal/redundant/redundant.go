@@ -1,0 +1,464 @@
+// Package redundant implements the self-healing redundant-execution
+// supervisor: the same image runs on K independent simulated machines
+// in lockstep, the supervisor cross-checks their state digests at
+// configurable retire-count sync points, majority-votes whenever the
+// replicas disagree, quarantines the outvoted machines, and — when
+// healing is enabled — restores each loser from the last agreed
+// checkpoint and replays it forward until it rejoins the majority.
+//
+// The cross-check primitive is the roload-checkpoint/v1 machine digest
+// (schema.Checkpoint.StateDigest): it covers every byte of physical
+// memory, the core's architectural and counter state, the process
+// bookkeeping and the audit log, so any perturbation — a flipped bit,
+// a skewed cycle count, even a fault-injection audit record for a
+// fault that was architecturally a no-op — diverges the digest at the
+// next sync point. Because the simulator is deterministic, correct
+// replicas agree bit-for-bit at every sync point, a replay from an
+// agreed checkpoint recovers exactly, and the supervised run's outcome
+// is byte-identical to a fault-free run: the whole roload-heal/v1
+// report is a pure function of (image, system, fault plan, options).
+package redundant
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"roload/internal/asm"
+	"roload/internal/core"
+	"roload/internal/eval"
+	"roload/internal/fault"
+	"roload/internal/kernel"
+	"roload/internal/schema"
+)
+
+// DefaultSyncEvery is the default cross-check stride in retired
+// instructions. At the simulator's throughput a sync point costs one
+// machine snapshot per replica, so the stride trades detection latency
+// against snapshot overhead.
+const DefaultSyncEvery = 100_000
+
+// Options configures one supervised run.
+type Options struct {
+	// Replicas is K, the number of independent machines (odd, >= 3).
+	Replicas int
+	// SyncEvery is the cross-check stride in retired instructions
+	// (0 = DefaultSyncEvery).
+	SyncEvery uint64
+	// Heal enables rollback-replay of outvoted replicas; without it
+	// losers are quarantined and the run continues on the survivors.
+	Heal bool
+	// MaxSteps bounds the supervised run (0 = the kernel default); when
+	// the budget is exhausted with the majority still running the
+	// supervisor returns kernel.StepLimitError with the agreed partial.
+	MaxSteps uint64
+	// MemBytes is the guest physical memory size (0 = kernel default).
+	MemBytes uint64
+	// CancelEvery is the cooperative-cancellation stride (0 = default).
+	CancelEvery uint64
+	// Fault, when non-nil, is the roload-fault/v1 plan injected into
+	// replica FaultReplica (and only that replica) — the adversary the
+	// supervisor is expected to mask.
+	Fault        *schema.FaultPlan
+	FaultReplica int
+	// Workers bounds the goroutines driving replicas (0 = Replicas).
+	Workers int
+	// Log, when non-nil, receives human-readable narration of every
+	// divergence, heal and quarantine (one line per event).
+	Log func(format string, args ...any)
+}
+
+// Result is the outcome of a supervised run: the majority-agreed
+// RunResult (byte-identical to an unsupervised fault-free run), the
+// roload-heal/v1 report, and — when a fault plan was injected — the
+// trace of faults that fired before the faulted replica was healed or
+// quarantined.
+type Result struct {
+	Run    kernel.RunResult
+	Report schema.HealReport
+	Trace  *schema.FaultTrace
+}
+
+// DivergedError reports that a sync point ended without any digest
+// reaching a strict majority of the live replicas — an unrecoverable
+// split the supervisor refuses to paper over.
+type DivergedError struct {
+	// SyncInstret is the sync point at which the quorum was lost.
+	SyncInstret uint64
+	// Live is the number of replicas that voted.
+	Live int
+}
+
+func (e *DivergedError) Error() string {
+	return fmt.Sprintf("redundant: no digest quorum among %d live replicas at instret %d", e.Live, e.SyncInstret)
+}
+
+// Plan derives the deterministic fault plan for a supervised run: a
+// clean profiling run (same image, same system) sizes the fault window,
+// then the seeded generator targets the image's keyed and writable
+// sections. Identical (image, system, seed, count) in ⇒ identical plan
+// out, which is what makes a whole supervised-heal transcript
+// reproducible from one seed.
+func Plan(ctx context.Context, img *asm.Image, sys core.SystemKind, seed uint64, count int, maxSteps, memBytes uint64) (schema.FaultPlan, error) {
+	clean, _, err := core.RunWith(ctx, img, sys, core.RunOptions{
+		MaxSteps: maxSteps,
+		MemBytes: memBytes,
+	})
+	if err != nil {
+		var limit *kernel.StepLimitError
+		if !errors.As(err, &limit) {
+			return schema.FaultPlan{}, err
+		}
+	}
+	return fault.Generate(seed, count, fault.TargetsFromImage(img, clean.Instret))
+}
+
+// replica is one supervised machine and its latest sync-point state.
+type replica struct {
+	index int
+	sys   *kernel.System
+	p     *kernel.Process
+	eng   *fault.Engine
+
+	res      kernel.RunResult
+	err      error
+	finished bool
+	// quarantined marks a replica voted out and not healed; it stops
+	// executing and no longer votes.
+	quarantined bool
+
+	// digest is the replica's fingerprint at the current sync point: a
+	// checkpoint state digest while running, an outcome digest once the
+	// guest terminated. ck is the checkpoint behind a state digest.
+	digest string
+	ck     schema.Checkpoint
+}
+
+// outcomeDigest fingerprints a finished replica: the SHA-256 of its
+// complete RunResult (exit status, stdout, audit log, every counter).
+// Deterministic replicas that terminated identically hash identically.
+func outcomeDigest(res kernel.RunResult) string {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		// RunResult is a plain struct of exported scalar/slice fields;
+		// encoding cannot fail.
+		panic(fmt.Sprintf("redundant: encoding run result: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Run executes img on sys under the supervisor. The returned Result
+// carries the majority-agreed outcome; the error mirrors kernel run
+// errors (CanceledError and StepLimitError propagate with the agreed
+// partial result) plus DivergedError when the vote loses its quorum.
+func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options) (Result, error) {
+	k := opts.Replicas
+	if k < 3 || k%2 == 0 {
+		return Result{}, fmt.Errorf("redundant: replicas must be odd and >= 3 (got %d)", k)
+	}
+	if opts.Fault != nil && (opts.FaultReplica < 0 || opts.FaultReplica >= k) {
+		return Result{}, fmt.Errorf("redundant: fault replica %d out of range [0,%d)", opts.FaultReplica, k)
+	}
+	syncEvery := opts.SyncEvery
+	if syncEvery == 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	budget := opts.MaxSteps
+	if budget == 0 {
+		budget = 1 << 40
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = k
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	cfg := sys.Config()
+	cfg.MemBytes = opts.MemBytes
+	cfg.CancelEvery = opts.CancelEvery
+
+	sup := &supervisor{cfg: cfg, img: img, reps: make([]*replica, k)}
+	for i := range sup.reps {
+		machine := kernel.NewSystem(cfg)
+		p, err := machine.Spawn(img)
+		if err != nil {
+			return Result{}, err
+		}
+		r := &replica{index: i, sys: machine, p: p}
+		if opts.Fault != nil && i == opts.FaultReplica {
+			eng, err := fault.Attach(machine, p, *opts.Fault)
+			if err != nil {
+				return Result{}, err
+			}
+			r.eng = eng
+		}
+		sup.reps[i] = r
+	}
+
+	report := schema.HealReport{
+		Schema:    schema.HealV1,
+		Replicas:  k,
+		SyncEvery: syncEvery,
+	}
+	if opts.Fault != nil {
+		report.Seed = opts.Fault.Seed
+		report.FaultReplica = opts.FaultReplica
+		report.Injected = len(opts.Fault.Faults)
+	}
+	sup.report = &report
+
+	// The agreed genesis checkpoint: every replica spawns identically,
+	// so replica 0's snapshot stands for all of them.
+	lastAgreed, err := kernel.Snapshot(sup.reps[0].sys, sup.reps[0].p)
+	if err != nil {
+		return Result{}, err
+	}
+	sup.lastAgreed = lastAgreed
+
+	finish := func(r *replica, err error) (Result, error) {
+		res := Result{Run: r.res, Report: report}
+		for _, rep := range sup.reps {
+			if rep.eng != nil {
+				trace := rep.eng.Trace()
+				res.Trace = &trace
+			}
+		}
+		return res, err
+	}
+
+	target := syncEvery
+	for {
+		if target > budget {
+			target = budget
+		}
+		if err := sup.drive(ctx, workers, target); err != nil {
+			return finish(sup.live()[0], err)
+		}
+		if r, cerr := sup.canceled(); cerr != nil {
+			return finish(r, cerr)
+		}
+
+		live := sup.live()
+		majority, losers := vote(live)
+		if len(losers) > 0 {
+			div := schema.HealDivergence{SyncInstret: target, Majority: majority}
+			for i, r := range sup.reps {
+				if r.quarantined {
+					continue
+				}
+				div.Digests = append(div.Digests, schema.ReplicaDigest{
+					Replica: i, Digest: r.digest, Finished: r.finished,
+				})
+			}
+			for _, i := range losers {
+				div.Losers = append(div.Losers, i)
+			}
+			report.Divergences = append(report.Divergences, div)
+			logf("redundant: divergence at instret %d: replicas %v outvoted (%d live)", target, losers, len(live))
+			if majority == "" {
+				report.Agreed = false
+				return finish(live[0], &DivergedError{SyncInstret: target, Live: len(live)})
+			}
+			for _, i := range losers {
+				r := sup.reps[i]
+				if !opts.Heal {
+					r.quarantined = true
+					report.Quarantined = append(report.Quarantined, i)
+					logf("redundant: replica %d quarantined (healing disabled)", i)
+					continue
+				}
+				recovered, err := sup.heal(ctx, i, target, majority)
+				if err != nil {
+					var canceled *kernel.CanceledError
+					if errors.As(err, &canceled) {
+						return finish(r, err)
+					}
+					return finish(r, fmt.Errorf("redundant: healing replica %d: %w", i, err))
+				}
+				report.Heals = append(report.Heals, schema.HealAction{
+					Replica:         i,
+					SyncInstret:     target,
+					RollbackInstret: sup.lastAgreed.Instret,
+					Recovered:       recovered,
+				})
+				if recovered {
+					logf("redundant: replica %d healed: rolled back to instret %d, replayed to %d, digest rejoined majority",
+						i, sup.lastAgreed.Instret, target)
+				} else {
+					r.quarantined = true
+					report.Quarantined = append(report.Quarantined, i)
+					logf("redundant: replica %d failed to recover after rollback to instret %d; quarantined", i, sup.lastAgreed.Instret)
+				}
+			}
+			live = sup.live()
+		}
+		report.SyncChecked++
+
+		winner := live[0]
+		if winner.finished {
+			report.FinalDigest = winner.digest
+			report.Agreed = true
+			return finish(winner, nil)
+		}
+		if target >= budget {
+			report.FinalDigest = winner.digest
+			return finish(winner, &kernel.StepLimitError{Limit: budget, Instret: winner.res.Instret})
+		}
+		sup.lastAgreed = winner.ck
+		target += syncEvery
+	}
+}
+
+// supervisor is the shared state of one Run invocation.
+type supervisor struct {
+	cfg        kernel.Config
+	img        *asm.Image
+	reps       []*replica
+	lastAgreed schema.Checkpoint
+	report     *schema.HealReport
+}
+
+// drive advances every live replica to the absolute retire count target
+// and recomputes its sync-point digest, in parallel across the worker
+// pool. A replica that reaches the sync point parks with a state
+// digest; one whose guest terminated parks with an outcome digest.
+func (sup *supervisor) drive(ctx context.Context, workers int, target uint64) error {
+	return eval.ForEach(workers, len(sup.reps), func(i int) error {
+		r := sup.reps[i]
+		if r.quarantined {
+			return nil
+		}
+		res, err := r.sys.RunUntil(ctx, r.p, target)
+		r.res, r.err = res, err
+		r.finished = err == nil
+		if err != nil {
+			var limit *kernel.StepLimitError
+			if !errors.As(err, &limit) {
+				// Cancellation (or any non-sync-point error): leave the
+				// digest stale; the caller inspects r.err.
+				return nil
+			}
+			r.err = nil // a step-limit return from RunUntil is the sync point, not a failure
+		}
+		return r.computeDigest()
+	})
+}
+
+// computeDigest refreshes the replica's sync-point fingerprint.
+func (r *replica) computeDigest() error {
+	if r.finished {
+		r.digest = outcomeDigest(r.res)
+		r.ck = schema.Checkpoint{}
+		return nil
+	}
+	ck, err := kernel.Snapshot(r.sys, r.p)
+	if err != nil {
+		return err
+	}
+	r.ck = ck
+	r.digest = ck.StateDigest()
+	return nil
+}
+
+// canceled surfaces a context cancellation observed by any live replica.
+func (sup *supervisor) canceled() (*replica, error) {
+	for _, r := range sup.reps {
+		if r.quarantined {
+			continue
+		}
+		var cerr *kernel.CanceledError
+		if errors.As(r.err, &cerr) {
+			return r, r.err
+		}
+	}
+	return nil, nil
+}
+
+// live returns the replicas still voting, in index order.
+func (sup *supervisor) live() []*replica {
+	var out []*replica
+	for _, r := range sup.reps {
+		if !r.quarantined {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// vote counts the live replicas' digests. majority is the digest held
+// by a strict majority ("" when no digest clears the bar); losers are
+// the indices (into the full replica slice) of live replicas whose
+// digest differs from the majority.
+func vote(live []*replica) (majority string, losers []int) {
+	counts := make(map[string]int)
+	for _, r := range live {
+		counts[r.digest]++
+	}
+	for digest, n := range counts {
+		if 2*n > len(live) {
+			majority = digest
+			break
+		}
+	}
+	if majority == "" {
+		return "", nil
+	}
+	return majority, loserIndices(live, majority)
+}
+
+// loserIndices maps the live replicas disagreeing with the majority
+// back to their indices in the supervisor's replica slice.
+func loserIndices(live []*replica, majority string) []int {
+	var out []int
+	for _, r := range live {
+		if r.digest != majority {
+			out = append(out, r.index)
+		}
+	}
+	return out
+}
+
+// heal restores the outvoted replica from the last agreed checkpoint
+// and replays it forward to the divergent sync point. The fault engine
+// is deliberately not reattached: the replay is a clean deterministic
+// re-execution, so in this simulator a transient fault always heals.
+// It reports whether the replayed digest rejoined the majority.
+func (sup *supervisor) heal(ctx context.Context, i int, target uint64, majority string) (bool, error) {
+	r := sup.reps[i]
+	machine, p, err := kernel.Restore(sup.cfg, sup.img, sup.lastAgreed)
+	if err != nil {
+		return false, err
+	}
+	res, rerr := machine.RunUntil(ctx, p, target)
+	if rerr != nil {
+		// A step-limit return is the sync point (still running); anything
+		// else — cancellation, internal failure — aborts the heal.
+		var limit *kernel.StepLimitError
+		if !errors.As(rerr, &limit) {
+			r.err = rerr
+			return false, rerr
+		}
+	}
+	healed := &replica{index: i, sys: machine, p: p, res: res, finished: rerr == nil}
+	if err := healed.computeDigest(); err != nil {
+		return false, err
+	}
+	if healed.digest != majority {
+		return false, nil
+	}
+	// Rejoin: the healed machine replaces the corrupted one. The old
+	// fault engine (if any) stays referenced for its trace but its
+	// machine is discarded, so no further planned faults can fire.
+	r.sys, r.p = machine, p
+	r.res, r.err = healed.res, nil
+	r.finished = healed.finished
+	r.digest, r.ck = healed.digest, healed.ck
+	return true, nil
+}

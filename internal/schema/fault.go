@@ -15,7 +15,11 @@ package schema
 // image hash so a resume against the wrong binary or system fails
 // loudly instead of diverging silently.
 
-import "encoding/json"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
 
 // Fault kinds understood by the injection engine. Each names the layer
 // it corrupts and the effect; the set mirrors the engine's hook points
@@ -129,4 +133,20 @@ type Checkpoint struct {
 	Instret uint64 `json:"instret"`
 	// State is the kernel-owned machine state document.
 	State json.RawMessage `json:"state"`
+}
+
+// StateDigest fingerprints the checkpointed machine: the SHA-256 over
+// the image digest and the serialized machine state. Two machines that
+// loaded the same image and executed identically have identical
+// digests — the cross-check primitive of the redundant-execution
+// supervisor. (The state bytes already cover memory pages, core
+// counters, process bookkeeping and the audit log, so any divergence —
+// a corrupted byte, a skewed cycle count, even a fault-injection audit
+// record — changes the digest.)
+func (c Checkpoint) StateDigest() string {
+	h := sha256.New()
+	h.Write([]byte(c.ImageSHA256))
+	h.Write([]byte{0})
+	h.Write(c.State)
+	return hex.EncodeToString(h.Sum(nil))
 }

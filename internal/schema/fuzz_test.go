@@ -62,6 +62,73 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	})
 }
 
+// FuzzCheckpointDecode throws arbitrary bytes at the checkpoint
+// decode path — the exact path roload-run -resume and the redundant
+// supervisor take when they read a roload-checkpoint/v1 document.
+// Properties: decoding never panics, StateDigest is total (any decoded
+// document fingerprints without panicking, including nil/garbage
+// State), and the decode/encode loop is stable — a re-marshaled
+// checkpoint decodes to the same digest, so the digest two replicas
+// compare is a function of the document alone, not of its framing.
+func FuzzCheckpointDecode(f *testing.F) {
+	good, _ := json.Marshal(Checkpoint{
+		Schema:          CheckpointV1,
+		ProcessorROLoad: true,
+		KernelROLoad:    true,
+		MemBytes:        1 << 20,
+		ImageSHA256:     "aa11",
+		Instret:         40000,
+		State:           json.RawMessage(`{"pc":4096,"pages":[]}`),
+	})
+	seeds := [][]byte{
+		good,
+		[]byte(`{"schema":"roload-checkpoint/v1","instret":0,"state":null}`),
+		[]byte(`{"schema":"roload-checkpoint/v1","state":{"deep":{"nesting":[1,2,3]}}}`),
+		[]byte(`{"schema":"roload-bench/v1"}`),
+		[]byte(`{"instret":18446744073709551615}`),
+		[]byte(`{"mem_bytes":-1}`),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte("\xff\xfe{"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ck Checkpoint
+		if err := json.Unmarshal(data, &ck); err != nil {
+			return // malformed documents must error, not panic
+		}
+		// StateDigest is total: any decoded document fingerprints.
+		if d := ck.StateDigest(); len(d) != 64 {
+			t.Fatalf("StateDigest = %q, want 64 hex chars", d)
+		}
+		// One encode pass normalizes the document (an absent state
+		// becomes an explicit null); from there the decode/encode loop
+		// must be digest-stable.
+		raw, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded checkpoint failed: %v", err)
+		}
+		var second Checkpoint
+		if err := json.Unmarshal(raw, &second); err != nil {
+			t.Fatalf("normalized checkpoint does not decode: %v", err)
+		}
+		d1 := second.StateDigest()
+		raw2, err := json.Marshal(second)
+		if err != nil {
+			t.Fatalf("re-encoding the normalized checkpoint failed: %v", err)
+		}
+		var third Checkpoint
+		if err := json.Unmarshal(raw2, &third); err != nil {
+			t.Fatalf("second-generation checkpoint does not decode: %v", err)
+		}
+		if d2 := third.StateDigest(); d2 != d1 {
+			t.Fatalf("digest unstable across decode/encode loop: %s != %s", d1, d2)
+		}
+	})
+}
+
 // jsonEqual compares two raw JSON values structurally (key order and
 // whitespace insensitive).
 func jsonEqual(a, b json.RawMessage) bool {

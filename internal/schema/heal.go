@@ -1,0 +1,85 @@
+package schema
+
+// The self-healing report (`roload-heal/v1`): the machine-readable
+// account of one supervised redundant execution. The supervisor in
+// internal/redundant runs the same image on K independent replicas,
+// cross-checks their machine digests at every sync point, majority-
+// votes on divergence, and heals losers by rolling them back to the
+// last agreed checkpoint and replaying. The report names every sync
+// point at which replicas disagreed, how the vote went, and every
+// rollback performed — so a healed run leaves the same calibre of
+// forensic trail a blocked attack does. Like the fault documents it
+// is deterministic: the same (image, system, fault seed, options)
+// reproduce the report byte-for-byte.
+
+// (The HealV1 schema id lives with the other ids in schema.go.)
+
+// ReplicaDigest is one replica's state fingerprint at a sync point:
+// the SHA-256 of its roload-checkpoint/v1 machine state (memory,
+// core counters, process bookkeeping and audit log in one hash), or —
+// for a replica whose guest already terminated — of its final outcome
+// (metrics snapshot, stdout and exit status).
+type ReplicaDigest struct {
+	Replica int    `json:"replica"`
+	Digest  string `json:"digest"`
+	// Finished marks a replica whose guest terminated at or before the
+	// sync point (its digest is an outcome digest, not a state digest).
+	Finished bool `json:"finished,omitempty"`
+}
+
+// HealDivergence records one sync point at which the replicas did not
+// all agree: every replica's digest, the majority digest (empty when
+// no digest reached a strict majority — an unrecoverable split), and
+// the replicas voted out.
+type HealDivergence struct {
+	// SyncInstret is the absolute retire count of the sync point.
+	SyncInstret uint64          `json:"sync_instret"`
+	Digests     []ReplicaDigest `json:"digests"`
+	Majority    string          `json:"majority,omitempty"`
+	Losers      []int           `json:"losers"`
+}
+
+// HealAction records one rollback-replay: the quarantined replica was
+// restored from the last agreed checkpoint (taken at RollbackInstret)
+// and replayed forward to the divergent sync point.
+type HealAction struct {
+	Replica int `json:"replica"`
+	// SyncInstret is the sync point at which the divergence was caught.
+	SyncInstret uint64 `json:"sync_instret"`
+	// RollbackInstret is the retire count of the restored checkpoint.
+	RollbackInstret uint64 `json:"rollback_instret"`
+	// Recovered reports whether the replayed replica's digest matched
+	// the majority afterwards. In this deterministic simulator a replay
+	// without the fault engine always recovers; false means the
+	// divergence was not transient and the replica stays quarantined.
+	Recovered bool `json:"recovered"`
+}
+
+// HealReport is the roload-heal/v1 document.
+type HealReport struct {
+	Schema string `json:"schema"` // HealV1
+	// Replicas is K, the number of independent machines supervised.
+	Replicas int `json:"replicas"`
+	// SyncEvery is the cross-check stride in retired instructions.
+	SyncEvery uint64 `json:"sync_every"`
+	// Seed is the roload-fault/v1 plan seed when the run had seeded
+	// faults injected (the reproducibility handle; 0 = no injection).
+	Seed uint64 `json:"seed,omitempty"`
+	// FaultReplica is the replica the fault plan was injected into
+	// (meaningful when Seed or Injected is set).
+	FaultReplica int `json:"fault_replica,omitempty"`
+	// Injected is the number of planned faults given to FaultReplica.
+	Injected int `json:"injected,omitempty"`
+	// SyncChecked counts the sync points cross-checked (including the
+	// final outcome vote).
+	SyncChecked int              `json:"sync_checked"`
+	Divergences []HealDivergence `json:"divergences,omitempty"`
+	Heals       []HealAction     `json:"heals,omitempty"`
+	// Quarantined lists replicas voted out and never healed (heal
+	// disabled, or a replay that failed to recover).
+	Quarantined []int `json:"quarantined,omitempty"`
+	// FinalDigest is the outcome digest the surviving replicas agreed
+	// on; Agreed is false when the run ended without a quorum.
+	FinalDigest string `json:"final_digest,omitempty"`
+	Agreed      bool   `json:"agreed"`
+}

@@ -36,6 +36,7 @@ const (
 	ServeV1      = "roload-serve/v1"
 	FaultV1      = "roload-fault/v1"
 	CheckpointV1 = "roload-checkpoint/v1"
+	HealV1       = "roload-heal/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

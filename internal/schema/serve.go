@@ -38,6 +38,26 @@ type RunRequest struct {
 	// when the server runs with -chaos; rejected otherwise.
 	FaultCount int    `json:"fault_count,omitempty"`
 	FaultSeed  uint64 `json:"fault_seed,omitempty"`
+	// Redundant > 1 executes the run on that many replicas under the
+	// self-healing supervisor (odd, >= 3) and answers only with the
+	// majority-agreed outcome; the response carries the roload-heal/v1
+	// report. When faults are injected (FaultCount > 0) they go into
+	// replica FaultReplica only, so the supervisor masks them.
+	Redundant int `json:"redundant,omitempty"`
+	// Heal enables rollback-replay of outvoted replicas (default with
+	// Redundant: quarantine only).
+	Heal bool `json:"heal,omitempty"`
+	// SyncEvery is the cross-check stride in retired instructions
+	// (0 = the supervisor default).
+	SyncEvery uint64 `json:"sync_every,omitempty"`
+	// FaultReplica selects the replica seeded faults are injected into
+	// (0-based; must be < Redundant).
+	FaultReplica int `json:"fault_replica,omitempty"`
+	// Priority is "" / "normal" (default) or "low". Low-priority
+	// requests are shed with 429 + Retry-After once the queue passes
+	// the server's soft threshold, so interactive traffic keeps its
+	// headroom.
+	Priority string `json:"priority,omitempty"`
 }
 
 // RunResponse is the payload of a successful POST /v1/run. Stdout,
@@ -63,6 +83,9 @@ type RunResponse struct {
 	// FaultTrace is the roload-fault/v1 trace of every injected fault,
 	// present only for chaos runs (RunRequest.FaultCount > 0).
 	FaultTrace *FaultTrace `json:"fault_trace,omitempty"`
+	// Heal is the roload-heal/v1 report of a supervised redundant run
+	// (RunRequest.Redundant > 1).
+	Heal *HealReport `json:"heal,omitempty"`
 }
 
 // CompileRequest is the body of POST /v1/compile: MiniC in, hardened
@@ -162,13 +185,17 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure: "validation", "compile", "timeout",
 	// "steplimit", "busy", "draining", "internal", "not_found", "panic"
-	// (a worker panic caught by the recovery middleware) or "chaos" (an
-	// armed chaos error).
+	// (a worker panic caught by the recovery middleware), "chaos" (an
+	// armed chaos error), "overload" (a low-priority request shed with
+	// 429 + Retry-After) or "diverged" (a redundant run that ended
+	// without a digest quorum).
 	Kind string `json:"kind"`
 	// Metrics carries the partial snapshot of a run that was cancelled
 	// mid-flight (504) or exhausted its instruction budget, including
 	// the fault-audit entries accumulated up to the interruption.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+	// RetryAfterSec mirrors the Retry-After header on 429/503 answers.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // HealthResponse is the payload of GET /healthz.
@@ -201,6 +228,12 @@ type ServeMetrics struct {
 	Endpoints   map[string]EndpointMetrics `json:"endpoints"`
 	ImageCache  CacheMetrics               `json:"image_cache"`
 	Experiments CacheMetrics               `json:"experiment_cache"`
+	// Idempotency counts the idempotency-key response cache: Hits are
+	// replayed responses (the request body was NOT re-executed), Misses
+	// are first executions under a key.
+	Idempotency CacheMetrics `json:"idempotency_cache"`
+	// Shed counts low-priority requests answered 429 under load.
+	Shed uint64 `json:"shed"`
 }
 
 // CacheMetrics describes one memoizing cache's effectiveness.

@@ -22,8 +22,13 @@ import (
 	"roload/internal/core"
 	"roload/internal/eval"
 	"roload/internal/kernel"
+	"roload/internal/redundant"
 	"roload/internal/schema"
 )
+
+// maxReplicas caps RunRequest.Redundant: each replica is a full
+// simulated machine, so the cap bounds one request's cost multiplier.
+const maxReplicas = 7
 
 // snapshot packages a run result as a schema-tagged metrics document
 // (the same document roload-run -metrics writes).
@@ -93,11 +98,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if apiErr == nil && req.FaultCount > 0 && !s.cfg.Chaos {
 		apiErr = validationError("fault injection requires a server started with -chaos")
 	}
+	if apiErr == nil && req.Priority != "" && req.Priority != "normal" && req.Priority != "low" {
+		apiErr = validationError(fmt.Sprintf("unknown priority %q (known: normal, low)", req.Priority))
+	}
+	if apiErr == nil && req.Redundant != 0 {
+		switch {
+		case req.Redundant < 3 || req.Redundant%2 == 0:
+			apiErr = validationError("redundant must be odd and >= 3")
+		case req.Redundant > maxReplicas:
+			apiErr = validationError(fmt.Sprintf("redundant %d exceeds the server cap %d", req.Redundant, maxReplicas))
+		case req.FaultReplica < 0 || req.FaultReplica >= req.Redundant:
+			apiErr = validationError(fmt.Sprintf("fault_replica %d out of range [0,%d)", req.FaultReplica, req.Redundant))
+		}
+	}
+	if apiErr == nil && req.Redundant == 0 && (req.Heal || req.SyncEvery != 0 || req.FaultReplica != 0) {
+		apiErr = validationError("heal, sync_every and fault_replica require redundant")
+	}
 	if apiErr != nil {
 		apiErr.write(w)
 		return
 	}
 
+	if req.Priority == "low" {
+		if apiErr := s.shedLowPriority(); apiErr != nil {
+			apiErr.write(w)
+			return
+		}
+	}
 	if apiErr := s.acquire(r.Context()); apiErr != nil {
 		apiErr.write(w)
 		return
@@ -148,15 +175,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var res kernel.RunResult
 	var trace *schema.FaultTrace
-	if req.FaultCount > 0 {
+	var heal *schema.HealReport
+	switch {
+	case req.Redundant > 0:
+		var plan *schema.FaultPlan
+		if req.FaultCount > 0 {
+			p, perr := redundant.Plan(ctx, img, sys, req.FaultSeed, req.FaultCount, maxSteps, req.MemBytes)
+			if perr != nil {
+				runError(perr, res, sys).write(w)
+				return
+			}
+			plan = &p
+		}
+		var out redundant.Result
+		out, err = redundant.Run(ctx, img, sys, redundant.Options{
+			Replicas:     req.Redundant,
+			SyncEvery:    req.SyncEvery,
+			Heal:         req.Heal,
+			MaxSteps:     maxSteps,
+			MemBytes:     req.MemBytes,
+			Fault:        plan,
+			FaultReplica: req.FaultReplica,
+		})
+		res, trace, heal = out.Run, out.Trace, &out.Report
+	case req.FaultCount > 0:
 		res, trace, err = runFaulted(ctx, img, sys, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
-	} else {
+	default:
 		res, _, err = core.RunWith(ctx, img, sys, core.RunOptions{
 			MaxSteps: maxSteps,
 			MemBytes: req.MemBytes,
 		})
 	}
 	if err != nil {
+		var split *redundant.DivergedError
+		if errors.As(err, &split) {
+			(&apiError{http.StatusConflict, schema.ErrorResponse{
+				Error: err.Error(), Kind: "diverged", Metrics: snapshot(res, sys)}}).write(w)
+			return
+		}
 		runError(err, res, sys).write(w)
 		return
 	}
@@ -178,6 +234,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		resp.AuditText = append(resp.AuditText, rec.String())
 	}
 	resp.FaultTrace = trace
+	resp.Heal = heal
 	writeEnvelope(w, http.StatusOK, resp)
 }
 
@@ -386,6 +443,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Misses:  stats.ImageMisses,
 		},
 		Experiments: s.experiments.metrics(),
+		Idempotency: s.idem.metrics(),
+		Shed:        s.shed.Load(),
 	}
 	s.mu.Lock()
 	for name, c := range s.endpoints {

@@ -1,0 +1,148 @@
+// Idempotency keys for the run endpoint: a client that retries a
+// request (backoff, hedging, reconnect) sends the same Idempotency-Key
+// header, and the server guarantees the body is executed at most once.
+// The first request under a key is the leader and executes normally;
+// concurrent duplicates park until the leader's response is stored and
+// then replay it byte-for-byte (marked with an Idempotency-Replayed
+// header). Only conclusive responses are stored: a 5xx, a shed 429/503
+// or a worker panic aborts the entry so the client's retry re-executes
+// instead of replaying the failure forever — that is what makes
+// "retry until 2xx" safe against a chaos-injected error or panic.
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/schema"
+)
+
+// idemEntry is one key's lifecycle. done is closed exactly once, when
+// the leader either stored a conclusive response (stored=true) or
+// aborted (stored=false, and the entry has been removed from the map
+// so the next attempt leads again).
+type idemEntry struct {
+	done   chan struct{}
+	stored bool
+	status int
+	body   []byte
+	ctype  string
+}
+
+// idemCache is the per-server idempotency store. Entries live for the
+// server's lifetime: the service is a test/evaluation deployment and
+// the bounded body cap keeps entries small; a production deployment
+// would add TTL eviction here.
+type idemCache struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+func newIdemCache() *idemCache {
+	return &idemCache{entries: make(map[string]*idemEntry)}
+}
+
+func (c *idemCache) metrics() schema.CacheMetrics {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return schema.CacheMetrics{
+		Entries: uint64(n),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+	}
+}
+
+// idemWriter records the response while streaming it to the client.
+type idemWriter struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (w *idemWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *idemWriter) Write(b []byte) (int, error) {
+	w.body.Write(b)
+	return w.ResponseWriter.Write(b)
+}
+
+// retryableStatus reports whether a response status is one a resilient
+// client retries — exactly the statuses the cache must not pin.
+func retryableStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// wrap adds idempotency-key handling around a handler. Requests
+// without the header pass straight through.
+func (c *idemCache) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			h(w, r)
+			return
+		}
+		for {
+			c.mu.Lock()
+			e := c.entries[key]
+			if e == nil {
+				// Lead: execute and (maybe) store.
+				e = &idemEntry{done: make(chan struct{})}
+				c.entries[key] = e
+				c.mu.Unlock()
+				c.misses.Add(1)
+				c.lead(e, key, h, w, r)
+				return
+			}
+			c.mu.Unlock()
+
+			// Follow: wait for the leader's verdict.
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				timeoutError(r.Context().Err(), nil).write(w)
+				return
+			}
+			if e.stored {
+				c.hits.Add(1)
+				w.Header().Set("Content-Type", e.ctype)
+				w.Header().Set("Idempotency-Replayed", "true")
+				w.WriteHeader(e.status)
+				w.Write(e.body) //nolint:errcheck // client gone: nothing to report to
+				return
+			}
+			// The leader aborted (5xx, shed, panic): this retry races to
+			// lead the next execution.
+		}
+	}
+}
+
+// lead runs the handler as the key's leader. A conclusive response is
+// published for replay; a retryable one — or a panic, which propagates
+// to the recovery middleware after the abort — unpublishes the key.
+func (c *idemCache) lead(e *idemEntry, key string, h http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	iw := &idemWriter{ResponseWriter: w, status: http.StatusOK}
+	finished := false
+	defer func() {
+		c.mu.Lock()
+		if finished && !retryableStatus(iw.status) {
+			e.stored = true
+			e.status = iw.status
+			e.body = append([]byte(nil), iw.body.Bytes()...)
+			e.ctype = iw.Header().Get("Content-Type")
+		} else {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	h(iw, r)
+	finished = true
+}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,11 @@ type Server struct {
 	endpoints map[string]*endpointCounters
 
 	experiments expCache
+
+	// idem is the idempotency-key response store of the run endpoint;
+	// shed counts low-priority requests answered 429 under load.
+	idem *idemCache
+	shed atomic.Uint64
 }
 
 type endpointCounters struct {
@@ -167,6 +173,7 @@ func NewServer(cfg Config) *Server {
 		slots:      make(chan struct{}, cfg.Workers),
 		queue:      make(chan struct{}, cfg.Workers+cfg.Queue),
 		endpoints:  make(map[string]*endpointCounters),
+		idem:       newIdemCache(),
 	}
 	s.experiments.entries = make(map[expKey]*expEntry)
 	return s
@@ -175,7 +182,7 @@ func NewServer(cfg Config) *Server {
 // Handler returns the service's routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.logged("run", s.handleRun))
+	mux.HandleFunc("POST /v1/run", s.logged("run", s.idem.wrap(s.handleRun)))
 	mux.HandleFunc("POST /v1/compile", s.logged("compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/attack", s.logged("attack", s.handleAttack))
 	mux.HandleFunc("GET /v1/experiments", s.logged("experiments", s.handleExperimentList))
@@ -380,6 +387,9 @@ type apiError struct {
 }
 
 func (e *apiError) write(w http.ResponseWriter) {
+	if e.body.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.body.RetryAfterSec))
+	}
 	writeEnvelope(w, e.status, e.body)
 }
 
@@ -403,6 +413,31 @@ func errBusy() *apiError {
 func errDraining() *apiError {
 	return &apiError{http.StatusServiceUnavailable, schema.ErrorResponse{
 		Error: "server is draining", Kind: "draining"}}
+}
+
+// errOverload is the 429 answered to a low-priority request shed by
+// admission control before it enters the queue.
+func errOverload(retrySec int) *apiError {
+	return &apiError{http.StatusTooManyRequests, schema.ErrorResponse{
+		Error: "low-priority request shed under load, retry later",
+		Kind:  "overload", RetryAfterSec: retrySec}}
+}
+
+// shedLowPriority implements priority-aware admission control: once
+// the wait queue passes half its capacity, low-priority requests are
+// shed with 429 + Retry-After so interactive traffic keeps the
+// remaining headroom. Default-priority requests are never shed here —
+// they keep the legacy 503-busy behaviour at a full queue.
+func (s *Server) shedLowPriority() *apiError {
+	threshold := s.cfg.Queue / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+	if int(s.queued.Load()) >= threshold {
+		s.shed.Add(1)
+		return errOverload(2)
+	}
+	return nil
 }
 
 // timeoutError is a 504 carrying the partial snapshot of the cancelled

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -540,6 +541,28 @@ func TestChaosMatrixRace(t *testing.T) {
 	}
 }
 
+// TestClientRace re-runs the resilient-client tests (circuit breaker,
+// hedged requests, concurrent exactly-once delivery) under the race
+// detector, like TestServiceRace does for the HTTP service.
+func TestClientRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "roload/internal/client")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		s := string(out)
+		if strings.Contains(s, "-race is only supported on") ||
+			strings.Contains(s, "-race requires cgo") ||
+			strings.Contains(s, "cgo is disabled") ||
+			strings.Contains(s, "C compiler") {
+			t.Skipf("race detector unavailable here:\n%s", s)
+		}
+		t.Fatalf("go test -race on the client: %v\n%s", err, s)
+	}
+}
+
 // TestFuzzSmoke gives each native fuzz target a short budget so the
 // corpus-free properties (assembler never panics on hostile text,
 // envelope decode/encode loop is stable) run on every CI pass, not
@@ -551,6 +574,7 @@ func TestFuzzSmoke(t *testing.T) {
 	targets := []struct{ name, pkg string }{
 		{"FuzzAssembleRoundTrip", "roload/internal/asm"},
 		{"FuzzEnvelopeDecode", "roload/internal/schema"},
+		{"FuzzCheckpointDecode", "roload/internal/schema"},
 	}
 	for _, tg := range targets {
 		t.Run(tg.name, func(t *testing.T) {
@@ -649,6 +673,171 @@ func main() int {
 	}
 	if _, err := exec.Command(run, "-resume", ck, other).Output(); err == nil {
 		t.Error("resume with a different program was not rejected")
+	}
+}
+
+// TestCLIResumeMismatchExit2 pins the usage-error contract of -resume:
+// resuming a checkpoint against a different program must exit 2 (not
+// the generic 1) and the diagnostic must name both image digests, so
+// the operator can see which of the two arguments is the wrong one.
+func TestCLIResumeMismatchExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "loop.mc")
+	if err := os.WriteFile(src, []byte(loopToolProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "other.mc")
+	if err := os.WriteFile(other, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := filepath.Join(bin, "roload-run")
+
+	ck := filepath.Join(dir, "ck.json")
+	if _, err := exec.Command(run, "-checkpoint", ck, "-checkpoint-every", "10000", src).Output(); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ImageSHA256 string `json:"image_sha256"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(run, "-resume", ck, other)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("resume with a different program: err = %v, want an exit error", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("resume mismatch exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "does not match checkpoint digest") {
+		t.Errorf("stderr does not explain the mismatch: %s", msg)
+	}
+	if !strings.Contains(msg, doc.ImageSHA256) {
+		t.Errorf("stderr does not name the checkpoint digest %s: %s", doc.ImageSHA256, msg)
+	}
+	digests := regexp.MustCompile(`[0-9a-f]{64}`).FindAllString(msg, -1)
+	distinct := map[string]bool{}
+	for _, d := range digests {
+		distinct[d] = true
+	}
+	if len(distinct) != 2 {
+		t.Errorf("stderr names %d distinct digests, want both sides: %s", len(distinct), msg)
+	}
+}
+
+// loopToolProg is the deterministic multi-sync-point workload the
+// supervisor tests drive: long enough that a 20k cross-check stride
+// yields several sync points, with a data-dependent final print so any
+// surviving corruption changes the observable output.
+const loopToolProg = `
+func main() int {
+	var i int = 0;
+	var acc int = 0;
+	while (i < 30000) {
+		acc = acc + i;
+		i = i + 1;
+	}
+	print_int(acc);
+	return 0;
+}
+`
+
+// TestCLIHealMatrix drives roload-run -redundant 3 -heal across three
+// fault seeds: every supervised run must (a) produce stdout and a
+// metrics document byte-identical to the fault-free solo run — the
+// self-healing claim at the CLI surface, (b) emit a valid
+// roload-heal/v1 report that agreed after healing (no quarantine), and
+// (c) reproduce the report byte-for-byte when re-run with the same
+// seed.
+func TestCLIHealMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "loop.mc")
+	if err := os.WriteFile(src, []byte(loopToolProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := filepath.Join(bin, "roload-run")
+
+	// Fault-free solo reference.
+	refMetrics := filepath.Join(dir, "ref-metrics.json")
+	refOut, err := exec.Command(run, "-harden", "icall", "-metrics", refMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	for _, seed := range []string{"3", "7", "11"} {
+		t.Run("seed-"+seed, func(t *testing.T) {
+			healPath := filepath.Join(dir, "heal-"+seed+".json")
+			m := filepath.Join(dir, "metrics-"+seed+".json")
+			args := []string{"-harden", "icall",
+				"-redundant", "3", "-heal", "-sync-every", "20000",
+				"-fault-count", "2", "-fault-seed", seed, "-fault-replica", "1",
+				"-heal-report", healPath, "-metrics", m, src}
+			out, err := exec.Command(run, args...).Output()
+			if err != nil {
+				t.Fatalf("supervised run: %v", err)
+			}
+			if string(out) != string(refOut) {
+				t.Errorf("supervised stdout %q != fault-free %q", out, refOut)
+			}
+			assertSameFile(t, refMetrics, m, "supervised-run metrics")
+
+			raw, err := os.ReadFile(healPath)
+			if err != nil {
+				t.Fatalf("no heal report written: %v", err)
+			}
+			var rep schema.HealReport
+			if err := json.Unmarshal(raw, &rep); err != nil {
+				t.Fatalf("heal report is not JSON: %v", err)
+			}
+			if rep.Schema != schema.HealV1 {
+				t.Errorf("heal report schema = %q, want %q", rep.Schema, schema.HealV1)
+			}
+			if !rep.Agreed {
+				t.Error("supervised run did not end in agreement")
+			}
+			if len(rep.Divergences) == 0 || len(rep.Heals) == 0 {
+				t.Errorf("seed %s fired no divergence/heal (divergences %d, heals %d): the matrix proved nothing",
+					seed, len(rep.Divergences), len(rep.Heals))
+			}
+			for _, h := range rep.Heals {
+				if h.Replica != 1 || !h.Recovered {
+					t.Errorf("heal action %+v, want replica 1 recovered", h)
+				}
+			}
+			if len(rep.Quarantined) != 0 {
+				t.Errorf("healing run quarantined replicas %v", rep.Quarantined)
+			}
+
+			// Same seed, same report: the whole supervised run is a pure
+			// function of its inputs.
+			healPath2 := filepath.Join(dir, "heal-"+seed+"-again.json")
+			args2 := []string{"-harden", "icall",
+				"-redundant", "3", "-heal", "-sync-every", "20000",
+				"-fault-count", "2", "-fault-seed", seed, "-fault-replica", "1",
+				"-heal-report", healPath2, src}
+			if _, err := exec.Command(run, args2...).Output(); err != nil {
+				t.Fatalf("repeat supervised run: %v", err)
+			}
+			assertSameFile(t, healPath, healPath2, "heal report reproducibility")
+		})
 	}
 }
 
