@@ -5,7 +5,7 @@
 //
 //	roload-bench [-scale ref|test] [-parallel N] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|retguard|security]
 //	roload-bench -json bench.json [-scale ref|test] [-parallel N]
-//	roload-bench -hostbench BENCH_host.json [-scale ref|test]
+//	roload-bench -hostbench BENCH_host.json [-history BENCH_history.json] [-scale ref|test]
 //
 // With no -only flag every experiment runs in paper order; an unknown
 // -only value is an error (exit 2). With -json the harness instead
@@ -14,7 +14,10 @@
 // experiment, combining -json with -only is rejected. With -hostbench
 // the harness measures host-side simulation throughput (interpreter vs
 // fast-path engine, in simulated MIPS) and writes that document
-// instead.
+// instead; adding -history also appends the measurement — stamped with
+// the git revision and wall-clock time — to an append-only
+// roload-hostbench-history/v1 file, the performance trajectory that
+// makes simulator regressions visible across commits.
 //
 // Experiment cells run on a worker pool (-parallel, default
 // GOMAXPROCS) over memoized, compile-once measurements; output is
@@ -28,6 +31,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"roload/internal/attack"
 	"roload/internal/cli"
@@ -43,6 +47,7 @@ func main() {
 	root := flag.String("root", ".", "repository root (for Table I line counting)")
 	jsonPath := flag.String("json", "", "write all experiments as one JSON report to this path (- for stdout)")
 	hostBench := flag.String("hostbench", "", "measure host simulation throughput and write a roload-hostbench/v1 document to this path (- for stdout)")
+	history := flag.String("history", "", "with -hostbench: also append the measurement (plus git revision and timestamp) to this roload-hostbench-history/v1 file")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = GOMAXPROCS)")
 	noFast := flag.Bool("nofastpath", false, "disable the simulator's host-side fast paths (bit-identical results, slower; for A/B debugging)")
 	flag.Parse()
@@ -72,6 +77,11 @@ func main() {
 	runner := eval.NewRunner(*parallel)
 	runner.NoFastPath = *noFast
 
+	if *history != "" && *hostBench == "" {
+		fmt.Fprintln(os.Stderr, "roload-bench: -history only makes sense with -hostbench")
+		os.Exit(2)
+	}
+
 	if *hostBench != "" {
 		doc, err := eval.MeasureHostBench(ctx, scale)
 		if err != nil {
@@ -79,6 +89,14 @@ func main() {
 			os.Exit(1)
 		}
 		writeTo(*hostBench, doc.WriteJSON)
+		if *history != "" {
+			h, err := eval.AppendHostBenchHistory(*history, doc, eval.GitRevision(*root), time.Now())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+				os.Exit(1)
+			}
+			writeTo(*history, h.WriteJSON)
+		}
 		return
 	}
 

@@ -14,9 +14,15 @@
 //	POST /v1/attack            mount the security matrix (or a slice)
 //	GET  /v1/experiments       list experiment ids and scales
 //	POST /v1/experiments/{id}  run one DESIGN.md §4 experiment
+//	GET  /v1/runs/{id}/events  live run events (Server-Sent Events)
+//	GET  /v1/runs/{id}/trace   roload-trace/v1 span document of a run
 //	GET  /healthz              liveness (503 while draining or degraded)
-//	GET  /metrics              service counters (JSON)
+//	GET  /metrics              service counters, latency histograms (JSON)
 //	POST /v1/chaos             arm latency/panic/error injection (-chaos only)
+//
+// Every run gets a run id (minted, or supplied via the Roload-Trace
+// request header) echoed in the Roload-Trace response header; the
+// structured log lines of a request all carry it.
 //
 // SIGINT/SIGTERM starts a graceful drain: new work is rejected, in-
 // flight runs get -grace to finish, then they are cancelled and

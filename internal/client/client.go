@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // Config parameterizes a Client. The zero value (plus BaseURL) is
@@ -131,6 +132,13 @@ type RunResult struct {
 	// Hedged counts duplicate requests launched by the hedging timer.
 	Attempts int
 	Hedged   int
+	// RunID is the logical run's id, shared with the server (the
+	// Roload-Trace header): the handle for Stream and FetchTrace.
+	RunID string
+	// Trace is the client-side roload-trace/v1 span document of this
+	// run — the "run" root span and one "attempt" span per try. Merge
+	// it with FetchTrace's server document for the end-to-end tree.
+	Trace schema.TraceDoc
 }
 
 // Client is a resilient roload-serve API client. Safe for concurrent
@@ -144,6 +152,12 @@ type Client struct {
 
 	mu  sync.Mutex
 	rng *mrand.Rand
+
+	// attemptUS and runUS are the client-side latency distributions:
+	// one observation per HTTP attempt, and one per concluded logical
+	// run (retries, backoff and hedging included).
+	attemptUS telemetry.Histogram
+	runUS     telemetry.Histogram
 }
 
 // New builds a Client for the server at cfg.BaseURL.
@@ -200,21 +214,52 @@ func (c *Client) backoff(attempt, retryAfterSec int) time.Duration {
 // when the breaker refuses, or the last transport/retryable failure
 // when the attempt budget runs out.
 func (c *Client) Run(ctx context.Context, req schema.RunRequest) (*RunResult, error) {
+	return c.RunWithID(ctx, telemetry.NewRunID(), req)
+}
+
+// RunWithID is Run under a caller-chosen run id, which lets the caller
+// Stream the run's live events before posting it. Every retry and hedge
+// reuses the id (the server deduplicates execution by idempotency key
+// and ignores event publication for an already-finished run), so the
+// stream sees exactly one run's worth of events.
+func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequest) (*RunResult, error) {
 	key := c.nextKey()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	tr := telemetry.NewTrace(runID, "c")
+	root := tr.Start("run", "")
+	defer root.End()
 	hedged := 0
 	var lastErr error
+	runStart := time.Now()
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := c.breaker.allow(); err != nil {
 			return nil, err
 		}
-		reply, err := c.attempt(ctx, key, body, &hedged)
+		aSpan := root.Child("attempt")
+		aSpan.SetAttrUint("attempt", uint64(attempt+1))
+		aStart := time.Now()
+		reply, err := c.attempt(ctx, key, runID, aSpan.ID(), body, &hedged)
+		c.attemptUS.Observe(uint64(time.Since(aStart).Microseconds()))
+		if err != nil {
+			aSpan.SetAttr("error", err.Error())
+		} else {
+			aSpan.SetAttrUint("status", uint64(reply.status))
+		}
+		aSpan.End()
 		if err == nil && !retryable(reply.status) {
 			c.breaker.report(true)
-			return c.conclude(reply, attempt+1, hedged)
+			c.runUS.Observe(uint64(time.Since(runStart).Microseconds()))
+			root.SetAttrUint("attempts", uint64(attempt+1))
+			root.End()
+			res, cerr := c.conclude(reply, attempt+1, hedged)
+			if res != nil {
+				res.RunID = runID
+				res.Trace = tr.Doc()
+			}
+			return res, cerr
 		}
 		c.breaker.report(false)
 		retryAfter := 0
@@ -280,11 +325,11 @@ func (r *httpReply) apiError() *APIError {
 // timeout. With hedging enabled, a duplicate request is launched after
 // HedgeDelay of silence; the first leg to answer wins and the other is
 // cancelled. Both legs carry the same idempotency key.
-func (c *Client) attempt(ctx context.Context, key string, body []byte, hedged *int) (*httpReply, error) {
+func (c *Client) attempt(ctx context.Context, key, runID, parentSpan string, body []byte, hedged *int) (*httpReply, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	if c.cfg.HedgeDelay <= 0 {
-		return c.do(actx, key, body)
+		return c.do(actx, key, runID, parentSpan, body)
 	}
 
 	type legResult struct {
@@ -296,7 +341,7 @@ func (c *Client) attempt(ctx context.Context, key string, body []byte, hedged *i
 	results := make(chan legResult, 2)
 	launch := func() {
 		go func() {
-			reply, err := c.do(actx, key, body)
+			reply, err := c.do(actx, key, runID, parentSpan, body)
 			results <- legResult{reply, err}
 		}()
 	}
@@ -329,14 +374,19 @@ func (c *Client) attempt(ctx context.Context, key string, body []byte, hedged *i
 	}
 }
 
-// do performs one HTTP exchange.
-func (c *Client) do(ctx context.Context, key string, body []byte) (*httpReply, error) {
+// do performs one HTTP exchange. The Roload-Trace header carries the
+// logical run's id so the server adopts it instead of minting one, and
+// Roload-Trace-Parent names the client's attempt span so the merged
+// trace links the server's request span under this attempt.
+func (c *Client) do(ctx context.Context, key, runID, parentSpan string, body []byte) (*httpReply, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/run", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Idempotency-Key", key)
+	req.Header.Set("Roload-Trace", runID)
+	req.Header.Set("Roload-Trace-Parent", parentSpan)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,141 @@
+// The telemetry side of the client: the live run-event stream reader
+// (Server-Sent Events from GET /v1/runs/{id}/events), the server trace
+// fetcher, and the client-side latency metrics snapshot. Together with
+// RunWithID this is the subscribe-then-post pattern: mint a run id,
+// open the stream, post the run under the same id, and watch progress
+// ticks, audit records and checkpoints arrive while it executes.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"roload/internal/schema"
+	"roload/internal/telemetry"
+)
+
+// NewRunID mints a run id suitable for RunWithID/Stream.
+func NewRunID() string { return telemetry.NewRunID() }
+
+// Metrics is a point-in-time snapshot of the client's own latency
+// distributions (microseconds).
+type Metrics struct {
+	// AttemptLatencyUS has one observation per HTTP attempt (hedged
+	// legs count as one attempt: the observation is first-answer time).
+	AttemptLatencyUS schema.Histogram `json:"attempt_latency_us"`
+	// RunLatencyUS has one observation per concluded logical run,
+	// retries and backoff sleeps included.
+	RunLatencyUS schema.Histogram `json:"run_latency_us"`
+}
+
+// Metrics snapshots the client-side latency histograms.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		AttemptLatencyUS: c.attemptUS.Snapshot(),
+		RunLatencyUS:     c.runUS.Snapshot(),
+	}
+}
+
+// Stream subscribes to a run's live event stream. It returns a channel
+// that delivers events in publication order and closes when the stream
+// ends — normally with a terminal "result" event, or early on server
+// drain or context cancellation. Cancel ctx to disconnect; the reader
+// goroutine exits and the channel closes.
+//
+// Subscribing before the run is posted (RunWithID with the same id)
+// guarantees no events are missed; subscribing mid-run replays the
+// broker's bounded history first.
+func (c *Client) Stream(ctx context.Context, runID string) (<-chan schema.RunEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.cfg.BaseURL+"/v1/runs/"+runID+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var env schema.Envelope
+		if jerr := json.Unmarshal(data, &env); jerr == nil {
+			reply := &httpReply{status: resp.StatusCode, env: env}
+			return nil, reply.apiError()
+		}
+		return nil, fmt.Errorf("client: event stream for %s answered %d", runID, resp.StatusCode)
+	}
+	ch := make(chan schema.RunEvent, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var data strings.Builder
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if data.Len() == 0 {
+					continue
+				}
+				var ev schema.RunEvent
+				if err := json.Unmarshal([]byte(data.String()), &ev); err == nil {
+					select {
+					case ch <- ev:
+					case <-ctx.Done():
+						return
+					}
+				}
+				data.Reset()
+			case strings.HasPrefix(line, "data: "):
+				data.WriteString(strings.TrimPrefix(line, "data: "))
+			}
+			// "id:" and "event:" lines carry nothing the decoded
+			// RunEvent (Seq, Kind) does not already repeat.
+		}
+	}()
+	return ch, nil
+}
+
+// FetchTrace retrieves the server-side roload-trace/v1 span document
+// of a finished run, ready to merge with RunResult.Trace via
+// telemetry.Merge.
+func (c *Client) FetchTrace(ctx context.Context, runID string) (schema.TraceDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.cfg.BaseURL+"/v1/runs/"+runID+"/trace", nil)
+	if err != nil {
+		return schema.TraceDoc{}, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return schema.TraceDoc{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return schema.TraceDoc{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env schema.Envelope
+		if jerr := json.Unmarshal(data, &env); jerr == nil {
+			reply := &httpReply{status: resp.StatusCode, env: env}
+			return schema.TraceDoc{}, reply.apiError()
+		}
+		return schema.TraceDoc{}, fmt.Errorf("client: trace for %s answered %d", runID, resp.StatusCode)
+	}
+	var doc schema.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return schema.TraceDoc{}, fmt.Errorf("client: decoding trace document: %w", err)
+	}
+	if err := doc.Validate(); err != nil {
+		return schema.TraceDoc{}, fmt.Errorf("client: invalid trace document: %w", err)
+	}
+	return doc, nil
+}

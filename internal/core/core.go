@@ -15,6 +15,8 @@ import (
 	"roload/internal/isa"
 	"roload/internal/kernel"
 	"roload/internal/obs"
+	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // SystemKind selects one of the paper's three evaluation systems.
@@ -180,21 +182,44 @@ type RunOptions struct {
 // the step budget runs out it is a *kernel.StepLimitError. Completed
 // runs are bit-identical whatever the context — cancellation can only
 // truncate a run, never change its observables.
+//
+// The context may also carry live telemetry: with a telemetry.Trace
+// the run is wrapped in an "execute" span, and with a telemetry.Sink
+// the run streams progress ticks (one per cancellation stride) and
+// audit records as they are logged. Both are host-side observers only
+// and cost nothing when absent.
 func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
 	cfg := sys.Config()
 	cfg.MaxSteps = opts.MaxSteps
 	cfg.MemBytes = opts.MemBytes
 	cfg.CancelEvery = opts.CancelEvery
 	cfg.CPU.NoFastPath = opts.NoFastPath
+	sink := telemetry.SinkFromContext(ctx)
+	if sink != nil {
+		cfg.Progress = func(instret, cycles uint64) {
+			sink(schema.RunEvent{Kind: schema.EventProgress, Instret: instret, Cycles: cycles})
+		}
+	}
+	_, span := telemetry.StartSpan(ctx, "execute")
+	defer span.End()
+	span.SetAttr("system", sys.String())
 	machine := kernel.NewSystem(cfg)
 	if opts.Probe != nil {
 		machine.SetProbe(opts.Probe)
+	}
+	if sink != nil {
+		machine.Audit().SetSink(func(rec obs.AuditRecord) {
+			sink(schema.RunEvent{Kind: schema.EventAudit, Instret: rec.Instret,
+				Cycles: rec.Cycle, Audit: &rec})
+		})
 	}
 	p, err := machine.Spawn(img)
 	if err != nil {
 		return kernel.RunResult{}, nil, err
 	}
 	res, err := machine.RunContext(ctx, p)
+	span.SetAttrUint("instret", res.Instret)
+	span.SetAttrUint("cycles", res.Cycles)
 	return res, p, err
 }
 

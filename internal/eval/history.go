@@ -1,0 +1,77 @@
+// The hostbench performance trajectory: an append-only history of
+// `roload-bench -hostbench` measurements (roload-hostbench-history/v1)
+// so simulator throughput changes are visible commit-over-commit in
+// review, instead of each run silently overwriting the previous
+// BENCH_host.json snapshot.
+package eval
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// LoadHostBenchHistory reads the history document at path. A missing
+// file is not an error: it returns a fresh, empty history, which is
+// what lets the first -history run bootstrap the file.
+func LoadHostBenchHistory(path string) (*schema.HostBenchHistory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &schema.HostBenchHistory{Schema: schema.HostBenchHistoryV1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eval: reading hostbench history: %w", err)
+	}
+	var h schema.HostBenchHistory
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("eval: decoding hostbench history %s: %w", path, err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", path, err)
+	}
+	return &h, nil
+}
+
+// AppendHostBenchHistory loads the history at path, appends one entry
+// recording doc at (revision, now), and returns the grown history —
+// the caller decides where to write it. The entry embeds the full
+// per-benchmark measurement, so the trajectory of any one workload can
+// be recovered from the history alone.
+func AppendHostBenchHistory(path string, doc *HostBench, revision string, now time.Time) (*schema.HostBenchHistory, error) {
+	h, err := LoadHostBenchHistory(path)
+	if err != nil {
+		return nil, err
+	}
+	h.Entries = append(h.Entries, schema.HostBenchHistoryEntry{
+		Revision:   revision,
+		Time:       now.UTC().Format(time.RFC3339),
+		Scale:      doc.Scale,
+		GoMaxProcs: doc.GoMaxProcs,
+		Entries:    doc.Entries,
+		Total:      doc.Total,
+	})
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// GitRevision reports the repository revision of root, best-effort: a
+// tree without git metadata (or without the git binary) yields "",
+// which the history schema records as an entry with no revision.
+func GitRevision(root string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

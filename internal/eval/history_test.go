@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+)
+
+func historyDoc() *HostBench {
+	return &HostBench{
+		Schema:     HostBenchSchema,
+		Scale:      "test",
+		GoMaxProcs: 1,
+		Entries: []HostBenchEntry{{
+			Benchmark: "401.bzip2", Instructions: 1000,
+			InterpNS: 2000, FastNS: 1000,
+			InterpMIPS: 0.5, FastMIPS: 1.0, Speedup: 2.0,
+		}},
+		Total: HostBenchEntry{
+			Benchmark: "total", Instructions: 1000,
+			InterpNS: 2000, FastNS: 1000,
+			InterpMIPS: 0.5, FastMIPS: 1.0, Speedup: 2.0,
+		},
+	}
+}
+
+// TestHostBenchHistoryAppend: a missing file bootstraps an empty
+// history, and successive appends grow it one stamped entry at a time.
+func TestHostBenchHistoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	h, err := AppendHostBenchHistory(path, historyDoc(), "abc1234", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(h.Entries))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	h, err = AppendHostBenchHistory(path, historyDoc(), "def5678", t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 2 {
+		t.Fatalf("after second append: entries = %d, want 2", len(h.Entries))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != schema.HostBenchHistoryV1 {
+		t.Errorf("schema = %q", h.Schema)
+	}
+	if h.Entries[0].Revision != "abc1234" || h.Entries[1].Revision != "def5678" {
+		t.Errorf("revisions = %q, %q", h.Entries[0].Revision, h.Entries[1].Revision)
+	}
+	if h.Entries[0].Time != "2026-08-08T12:00:00Z" {
+		t.Errorf("timestamp = %q", h.Entries[0].Time)
+	}
+	if h.Entries[1].Total.Instructions != 1000 {
+		t.Errorf("entry total = %+v", h.Entries[1].Total)
+	}
+}
+
+// TestHostBenchHistoryRejectsCorrupt: an undecodable or mis-tagged
+// history file is an error, not a silent restart of the trajectory.
+func TestHostBenchHistoryRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHostBenchHistory(path); err == nil {
+		t.Error("corrupt history loaded without error")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"wrong/v1","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHostBenchHistory(path); err == nil {
+		t.Error("mis-tagged history loaded without error")
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// (0 = DefaultCancelEvery). The stride changes host latency only —
 	// simulated observables are bit-identical for any stride.
 	CancelEvery uint64
+	// Progress, when non-nil, is called with the current retire and
+	// cycle counts at every CancelEvery stride boundary — the live
+	// progress-tick source for streamed telemetry. It piggybacks on the
+	// cancellation poll, so like the poll it changes host-side behaviour
+	// only: simulated observables are bit-identical with or without it.
+	// Called from the run-driving goroutine; must not block.
+	Progress func(instret, cycles uint64)
 }
 
 // DefaultCancelEvery is the default RunContext cancellation stride. At

@@ -183,11 +183,24 @@ func (s *System) runTo(ctx context.Context, p *Process, deadline, limit uint64) 
 		stride = DefaultCancelEvery
 	}
 	// A context that can never be cancelled (context.Background and
-	// friends) needs no polling at all: the core runs full budget
-	// slices exactly like the pre-context kernel did.
+	// friends) and no progress hook need no polling at all: the core
+	// runs full budget slices exactly like the pre-context kernel did.
+	// The progress hook shares the cancellation poll so telemetry adds
+	// no second stride mechanism to the core.
 	var stop func() bool
-	if ctx.Done() != nil {
+	switch {
+	case ctx.Done() != nil && s.cfg.Progress != nil:
+		stop = func() bool {
+			s.cfg.Progress(s.cpu.Instret, s.cpu.Cycles)
+			return ctx.Err() != nil
+		}
+	case ctx.Done() != nil:
 		stop = func() bool { return ctx.Err() != nil }
+	case s.cfg.Progress != nil:
+		stop = func() bool {
+			s.cfg.Progress(s.cpu.Instret, s.cpu.Cycles)
+			return false
+		}
 	}
 	for s.cpu.Instret < deadline {
 		trap := s.cpu.RunInterruptible(deadline-s.cpu.Instret, stride, stop)

@@ -20,10 +20,22 @@ type AuditRecord = schema.AuditRecord
 // than a bare exit status.
 type Audit struct {
 	recs []AuditRecord
+	sink func(AuditRecord)
 }
 
-// Record appends one violation.
-func (a *Audit) Record(r AuditRecord) { a.recs = append(a.recs, r) }
+// Record appends one violation and forwards it to the sink, if any.
+func (a *Audit) Record(r AuditRecord) {
+	a.recs = append(a.recs, r)
+	if a.sink != nil {
+		a.sink(r)
+	}
+}
+
+// SetSink registers a callback invoked on every Record — the live-audit
+// tap for streamed telemetry. Records are delivered in append order
+// from the recording goroutine; the sink must not block. Pass nil to
+// detach; a log with no sink behaves exactly as before.
+func (a *Audit) SetSink(fn func(AuditRecord)) { a.sink = fn }
 
 // Records returns the violations recorded so far.
 func (a *Audit) Records() []AuditRecord {

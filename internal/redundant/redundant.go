@@ -33,6 +33,7 @@ import (
 	"roload/internal/fault"
 	"roload/internal/kernel"
 	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // DefaultSyncEvery is the default cross-check stride in retired
@@ -135,6 +136,13 @@ type replica struct {
 	// guest terminated. ck is the checkpoint behind a state digest.
 	digest string
 	ck     schema.Checkpoint
+
+	// published counts the replica's audit records already streamed to
+	// the telemetry sink, so each drive emits only the fresh ones. The
+	// replicas execute concurrently, so events are never published from
+	// inside a drive — the supervisor streams them between drives, which
+	// keeps one run's events in retire-count order.
+	published int
 }
 
 // outcomeDigest fingerprints a finished replica: the SHA-256 of its
@@ -180,6 +188,18 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 		logf = func(string, ...any) {}
 	}
 
+	// Live telemetry: one "execute" span covers the supervised run, and
+	// the sink (if any) streams audit, checkpoint, vote, heal and
+	// progress events. Replicas execute concurrently inside drive, so
+	// only the supervisor publishes — between drives, single-threaded —
+	// keeping the run's event stream in retire-count order.
+	sink := telemetry.SinkFromContext(ctx)
+	_, span := telemetry.StartSpan(ctx, "execute")
+	defer span.End()
+	span.SetAttr("mode", "redundant")
+	span.SetAttrUint("replicas", uint64(k))
+	span.SetAttrUint("sync_every", syncEvery)
+
 	cfg := sys.Config()
 	cfg.MemBytes = opts.MemBytes
 	cfg.CancelEvery = opts.CancelEvery
@@ -216,7 +236,9 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 
 	// The agreed genesis checkpoint: every replica spawns identically,
 	// so replica 0's snapshot stands for all of them.
+	_, ckSpan := telemetry.StartSpan(ctx, "checkpoint")
 	lastAgreed, err := kernel.Snapshot(sup.reps[0].sys, sup.reps[0].p)
+	ckSpan.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -244,10 +266,18 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 		if r, cerr := sup.canceled(); cerr != nil {
 			return finish(r, cerr)
 		}
+		sup.streamAudits(sink)
 
 		live := sup.live()
 		majority, losers := vote(live)
 		if len(losers) > 0 {
+			_, voteSpan := telemetry.StartSpan(ctx, "vote")
+			voteSpan.SetAttrUint("sync_instret", target)
+			voteSpan.SetAttrUint("losers", uint64(len(losers)))
+			if sink != nil {
+				sink(schema.RunEvent{Kind: schema.EventVote, Instret: target,
+					Digest: majority, Losers: append([]int(nil), losers...)})
+			}
 			div := schema.HealDivergence{SyncInstret: target, Majority: majority}
 			for i, r := range sup.reps {
 				if r.quarantined {
@@ -264,6 +294,7 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 			logf("redundant: divergence at instret %d: replicas %v outvoted (%d live)", target, losers, len(live))
 			if majority == "" {
 				report.Agreed = false
+				voteSpan.End()
 				return finish(live[0], &DivergedError{SyncInstret: target, Live: len(live)})
 			}
 			for _, i := range losers {
@@ -274,13 +305,22 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 					logf("redundant: replica %d quarantined (healing disabled)", i)
 					continue
 				}
+				_, healSpan := telemetry.StartSpan(ctx, "heal")
+				healSpan.SetAttrUint("replica", uint64(i))
+				healSpan.SetAttrUint("rollback_instret", sup.lastAgreed.Instret)
 				recovered, err := sup.heal(ctx, i, target, majority)
+				healSpan.End()
 				if err != nil {
+					voteSpan.End()
 					var canceled *kernel.CanceledError
 					if errors.As(err, &canceled) {
 						return finish(r, err)
 					}
 					return finish(r, fmt.Errorf("redundant: healing replica %d: %w", i, err))
+				}
+				if sink != nil {
+					sink(schema.RunEvent{Kind: schema.EventHeal, Instret: target,
+						Replica: i, Recovered: recovered})
 				}
 				report.Heals = append(report.Heals, schema.HealAction{
 					Replica:         i,
@@ -297,11 +337,20 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 					logf("redundant: replica %d failed to recover after rollback to instret %d; quarantined", i, sup.lastAgreed.Instret)
 				}
 			}
+			voteSpan.End()
 			live = sup.live()
 		}
 		report.SyncChecked++
 
 		winner := live[0]
+		if sink != nil {
+			sink(schema.RunEvent{Kind: schema.EventCheckpoint,
+				Instret: winner.res.Instret, Cycles: winner.res.Cycles, Digest: winner.digest})
+			if !winner.finished {
+				sink(schema.RunEvent{Kind: schema.EventProgress,
+					Instret: winner.res.Instret, Cycles: winner.res.Cycles})
+			}
+		}
 		if winner.finished {
 			report.FinalDigest = winner.digest
 			report.Agreed = true
@@ -349,6 +398,32 @@ func (sup *supervisor) drive(ctx context.Context, workers int, target uint64) er
 		}
 		return r.computeDigest()
 	})
+}
+
+// streamAudits publishes each replica's audit records logged since the
+// previous sync point. Called by the supervisor between drives (never
+// concurrently with them), so one run's audit events interleave with
+// its checkpoint/vote/heal events in retire-count order. A heal
+// replaces a replica's machine with a clean replay whose audit log no
+// longer contains the already-streamed fault records; the published
+// cursor just clamps down, nothing is re-streamed.
+func (sup *supervisor) streamAudits(sink telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	for _, r := range sup.reps {
+		recs := r.res.Audit
+		if r.published > len(recs) {
+			r.published = len(recs)
+			continue
+		}
+		for _, rec := range recs[r.published:] {
+			rec := rec
+			sink(schema.RunEvent{Kind: schema.EventAudit, Instret: rec.Instret,
+				Cycles: rec.Cycle, Replica: r.index, Audit: &rec})
+		}
+		r.published = len(recs)
+	}
 }
 
 // computeDigest refreshes the replica's sync-point fingerprint.

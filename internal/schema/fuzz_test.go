@@ -129,6 +129,71 @@ func FuzzCheckpointDecode(f *testing.F) {
 	})
 }
 
+// FuzzTraceDecode throws arbitrary bytes at the roload-trace/v1
+// decode path — the path the client takes when it fetches a server
+// trace to merge with its own. Properties: decoding never panics,
+// Validate is total (any decoded document validates or errors, never
+// panics), and a document that validates survives the decode/encode
+// loop with its span set intact — merging is a concatenation of spans,
+// so the spans themselves must be framing-stable.
+func FuzzTraceDecode(f *testing.F) {
+	good, _ := json.Marshal(TraceDoc{
+		Schema: TraceV1,
+		RunID:  "run-1-aabb",
+		Spans: []Span{
+			{ID: "c1", Name: "run", StartUS: 1000, DurUS: 500},
+			{ID: "c2", Parent: "c1", Name: "attempt", StartUS: 1100, DurUS: 300,
+				Attrs: map[string]string{"status": "200"}},
+			{ID: "s1", Parent: "c2", Name: "request", StartUS: 1150, DurUS: 200},
+		},
+	})
+	seeds := [][]byte{
+		good,
+		[]byte(`{"schema":"roload-trace/v1","run_id":"r","spans":[]}`),
+		[]byte(`{"schema":"roload-trace/v1","run_id":"r","spans":[{"id":"a","name":"x","start_us":0,"dur_us":-5}]}`),
+		[]byte(`{"schema":"roload-trace/v1","run_id":"","spans":null}`),
+		[]byte(`{"schema":"roload-trace/v1","run_id":"r","spans":[{"id":"a","name":"x"},{"id":"a","name":"y"}]}`),
+		[]byte(`{"schema":"roload-bench/v1","run_id":"r"}`),
+		[]byte(`{"spans":[{"parent":"ghost"}]}`),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte("\x7b\xff"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc TraceDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return // malformed documents must error, not panic
+		}
+		if err := doc.Validate(); err != nil {
+			return // invalid documents must error, not panic
+		}
+		raw, err := json.Marshal(&doc)
+		if err != nil {
+			t.Fatalf("re-encoding a valid trace failed: %v", err)
+		}
+		var again TraceDoc
+		if err := json.Unmarshal(raw, &again); err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("re-encoded trace does not validate: %v", err)
+		}
+		if len(again.Spans) != len(doc.Spans) {
+			t.Fatalf("round-trip changed span count: %d != %d", len(again.Spans), len(doc.Spans))
+		}
+		for i, s := range doc.Spans {
+			a := again.Spans[i]
+			if a.ID != s.ID || a.Parent != s.Parent || a.Name != s.Name ||
+				a.StartUS != s.StartUS || a.DurUS != s.DurUS {
+				t.Fatalf("round-trip changed span %d: %+v != %+v", i, a, s)
+			}
+		}
+	})
+}
+
 // jsonEqual compares two raw JSON values structurally (key order and
 // whitespace insensitive).
 func jsonEqual(a, b json.RawMessage) bool {

@@ -2,6 +2,7 @@ package schema
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -32,6 +33,57 @@ type HostBench struct {
 
 // WriteJSON writes the document as indented JSON.
 func (h *HostBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}
+
+// The host throughput history (`roload-hostbench-history/v1`): an
+// append-only trajectory of hostbench measurements, one entry per
+// `roload-bench -hostbench -history` invocation, so simulator
+// performance regressions are visible in review rather than silently
+// overwriting the previous BENCH_host.json snapshot.
+
+// HostBenchHistoryEntry is one recorded measurement: the git revision
+// and wall-clock time it was taken at, plus the full per-benchmark
+// MIPS document of that run.
+type HostBenchHistoryEntry struct {
+	// Revision is the repository revision measured ("" when the tree
+	// has no git metadata — the measurement is still recorded).
+	Revision string `json:"revision,omitempty"`
+	// Time is the measurement's wall-clock stamp, RFC 3339.
+	Time       string           `json:"time"`
+	Scale      string           `json:"scale"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	Entries    []HostBenchEntry `json:"entries"`
+	Total      HostBenchEntry   `json:"total"`
+}
+
+// HostBenchHistory is the whole history document.
+type HostBenchHistory struct {
+	Schema  string                  `json:"schema"`
+	Entries []HostBenchHistoryEntry `json:"entries"`
+}
+
+// Validate checks the history's schema tag and that every entry
+// carries a timestamp and at least one benchmark.
+func (h *HostBenchHistory) Validate() error {
+	if h.Schema != HostBenchHistoryV1 {
+		return fmt.Errorf("schema: history document carries %q, want %q", h.Schema, HostBenchHistoryV1)
+	}
+	for i, e := range h.Entries {
+		if e.Time == "" {
+			return fmt.Errorf("schema: history entry %d has no timestamp", i)
+		}
+		if len(e.Entries) == 0 {
+			return fmt.Errorf("schema: history entry %d has no benchmarks", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the history as indented JSON.
+func (h *HostBenchHistory) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(h)

@@ -30,13 +30,15 @@ import (
 
 // Schema ids of every document family, in "name/vN" form.
 const (
-	BenchV1      = "roload-bench/v1"
-	MetricsV1    = "roload-metrics/v1"
-	HostBenchV1  = "roload-hostbench/v1"
-	ServeV1      = "roload-serve/v1"
-	FaultV1      = "roload-fault/v1"
-	CheckpointV1 = "roload-checkpoint/v1"
-	HealV1       = "roload-heal/v1"
+	BenchV1            = "roload-bench/v1"
+	MetricsV1          = "roload-metrics/v1"
+	HostBenchV1        = "roload-hostbench/v1"
+	HostBenchHistoryV1 = "roload-hostbench-history/v1"
+	ServeV1            = "roload-serve/v1"
+	FaultV1            = "roload-fault/v1"
+	CheckpointV1       = "roload-checkpoint/v1"
+	HealV1             = "roload-heal/v1"
+	TraceV1            = "roload-trace/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

@@ -196,6 +196,10 @@ type ErrorResponse struct {
 	Metrics *Snapshot `json:"metrics,omitempty"`
 	// RetryAfterSec mirrors the Retry-After header on 429/503 answers.
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// RunID echoes the run id of a failed run request (minted by the
+	// server or supplied via the Roload-Trace header), so a client can
+	// correlate a 5xx with the server's structured logs and trace.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // HealthResponse is the payload of GET /healthz.
@@ -234,6 +238,60 @@ type ServeMetrics struct {
 	Idempotency CacheMetrics `json:"idempotency_cache"`
 	// Shed counts low-priority requests answered 429 under load.
 	Shed uint64 `json:"shed"`
+	// UptimeSec and QueueDepth are point-in-time gauges: seconds since
+	// the server was built, and requests currently waiting for a worker
+	// slot (QueueCap is the configured bound).
+	UptimeSec  float64 `json:"uptime_sec"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	// QueueWaitUS and RunDurationUS are log-bucketed latency histograms
+	// (microseconds): time spent waiting for a worker slot, and the
+	// wall clock of the execution phase of run requests.
+	QueueWaitUS   Histogram `json:"queue_wait_us"`
+	RunDurationUS Histogram `json:"run_duration_us"`
+	// EndpointLatencyUS histograms whole-request latency per endpoint.
+	EndpointLatencyUS map[string]Histogram `json:"endpoint_latency_us,omitempty"`
+	// KeyChecks aggregates run outcomes per hardening mode: how many
+	// runs executed under each scheme and how many ended in a ROLoad
+	// key-check violation.
+	KeyChecks map[string]KeyCheckStats `json:"key_checks,omitempty"`
+	// Streams counts the live-event broker's activity.
+	Streams StreamMetrics `json:"streams"`
+}
+
+// KeyCheckStats is the per-hardening-mode key-check fault rate: Rate
+// is Violations/Runs (0 when no runs).
+type KeyCheckStats struct {
+	Runs       uint64  `json:"runs"`
+	Violations uint64  `json:"violations"`
+	Rate       float64 `json:"rate"`
+}
+
+// StreamMetrics counts the live run-event broker's activity.
+type StreamMetrics struct {
+	// Subscribers is the number of currently attached event streams.
+	Subscribers int `json:"subscribers"`
+	// Published counts events fanned out since boot; Dropped counts
+	// events discarded because a subscriber was too slow.
+	Published uint64 `json:"published"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// HistogramBucket is one log-spaced bucket: Count observations with
+// value <= LE (upper bounds are successive powers of two).
+type HistogramBucket struct {
+	LE    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Histogram is a log-bucketed distribution snapshot. Only non-empty
+// buckets are carried.
+type Histogram struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Min     uint64            `json:"min,omitempty"`
+	Max     uint64            `json:"max,omitempty"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
 // CacheMetrics describes one memoizing cache's effectiveness.

@@ -1,0 +1,131 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The span-trace document (`roload-trace/v1`): the end-to-end timing
+// tree of one logical run, linking the client's retry attempts to the
+// server's request handling and on down to the simulator phases
+// (queue-wait, compile, execute, checkpoint, vote, heal). Spans from
+// different processes — the client trace and the server trace — merge
+// into one document under the shared run id; internal/telemetry
+// produces, merges and exports these documents.
+
+// Span is one timed operation in a trace. IDs are unique within one
+// producer (the producer's prefix keeps client and server spans from
+// colliding after a merge); Parent links the tree, and a parent id may
+// refer to a span produced by the other side (the server's request
+// span is parented under the client's attempt span).
+type Span struct {
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartUS is the span's wall-clock start in microseconds since the
+	// Unix epoch; DurUS is its duration in microseconds.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+	// Attrs carries span-scoped key/value detail (instret counts,
+	// replica indices, HTTP statuses).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceDoc is the whole document: every span recorded for one run id.
+type TraceDoc struct {
+	Schema string `json:"schema"`
+	RunID  string `json:"run_id"`
+	Spans  []Span `json:"spans"`
+}
+
+// Validate checks the document's schema tag and span-tree integrity:
+// ids must be present and unique, and every parent reference must
+// either resolve within the document or be explicitly dangling (a
+// cross-process parent, allowed only before a merge).
+func (d *TraceDoc) Validate() error {
+	if d.Schema != TraceV1 {
+		return fmt.Errorf("schema: trace document carries %q, want %q", d.Schema, TraceV1)
+	}
+	if d.RunID == "" {
+		return fmt.Errorf("schema: trace document has no run id")
+	}
+	seen := make(map[string]bool, len(d.Spans))
+	for i, s := range d.Spans {
+		if s.ID == "" {
+			return fmt.Errorf("schema: span %d has no id", i)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("schema: duplicate span id %q", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Name == "" {
+			return fmt.Errorf("schema: span %q has no name", s.ID)
+		}
+		if s.DurUS < 0 {
+			return fmt.Errorf("schema: span %q has negative duration", s.ID)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the document as indented JSON.
+func (d *TraceDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Run-event kinds streamed by GET /v1/runs/{id}/events. Every event
+// carries the retire count it is anchored to, so a consumer can order
+// a stream by simulated time regardless of host scheduling.
+const (
+	// EventProgress is a liveness tick: the run has retired Instret
+	// instructions so far.
+	EventProgress = "progress"
+	// EventAudit carries one ROLoad fault-audit record (an injected
+	// fault or a detected key-check violation) as it is logged.
+	EventAudit = "audit"
+	// EventCheckpoint marks a redundant-run sync point: every live
+	// replica reached Instret and the agreed digest was captured.
+	EventCheckpoint = "checkpoint"
+	// EventVote reports a divergence vote: the majority digest and the
+	// outvoted replicas at a sync point.
+	EventVote = "vote"
+	// EventHeal reports one rollback-replay of an outvoted replica.
+	EventHeal = "heal"
+	// EventResult is the terminal event: Result carries the exact
+	// response envelope of the synchronous POST /v1/run answer.
+	EventResult = "result"
+)
+
+// RunEvent is one streamed event of a live run. Seq is the broker's
+// per-run sequence number (monotone from 1); consumers detect gaps —
+// events dropped on a slow subscriber — by watching it skip.
+type RunEvent struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Instret uint64 `json:"instret"`
+	Cycles  uint64 `json:"cycles,omitempty"`
+	// Replica is the replica index an audit/heal event belongs to
+	// (redundant runs; -1 when not applicable).
+	Replica int `json:"replica,omitempty"`
+	// Audit is the fault-audit record of an EventAudit.
+	Audit *AuditRecord `json:"audit,omitempty"`
+	// Digest is the agreed (checkpoint) or majority (vote) digest.
+	Digest string `json:"digest,omitempty"`
+	// Losers lists the outvoted replicas of an EventVote.
+	Losers []int `json:"losers,omitempty"`
+	// Recovered reports whether an EventHeal's replay rejoined the
+	// majority.
+	Recovered bool `json:"recovered,omitempty"`
+	// Result is the verbatim response envelope of an EventResult,
+	// byte-identical to the synchronous HTTP response body. It is a
+	// string, not a json.RawMessage, deliberately: Marshal compacts a
+	// RawMessage, which would destroy the byte-for-byte identity with
+	// the indented synchronous answer.
+	Result string `json:"result,omitempty"`
+	// Status is the HTTP status the synchronous answer carried
+	// (EventResult only).
+	Status int `json:"status,omitempty"`
+}

@@ -19,6 +19,7 @@ import (
 	"roload/internal/fault"
 	"roload/internal/kernel"
 	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // chaosState is the armed chaos configuration. POST /v1/chaos replaces
@@ -128,7 +129,10 @@ func chaosError() *apiError {
 // byte-for-byte. The partial results of interrupted faulted runs carry
 // the injected-fault audit entries accumulated so far.
 func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, seed uint64, count, maxSteps, memBytes uint64) (kernel.RunResult, *schema.FaultTrace, error) {
-	clean, _, err := core.RunWith(ctx, img, sysKind, core.RunOptions{
+	// The profiling run gets the event sink stripped: its retire counts
+	// would interleave out of order with the faulted run's stream. Its
+	// spans still record (under the request span) as a "execute" child.
+	clean, _, err := core.RunWith(telemetry.WithSink(ctx, nil), img, sysKind, core.RunOptions{
 		MaxSteps: maxSteps,
 		MemBytes: memBytes,
 	})
@@ -150,7 +154,26 @@ func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, se
 	cfg := sysKind.Config()
 	cfg.MaxSteps = maxSteps
 	cfg.MemBytes = memBytes
+	// The faulted run streams live: progress ticks piggyback on the
+	// cancellation stride and audit records (injected faults, detected
+	// violations) publish as they are logged — all from this goroutine,
+	// so the stream stays in retire-count order.
+	sink := telemetry.SinkFromContext(ctx)
+	if sink != nil {
+		cfg.Progress = func(instret, cycles uint64) {
+			sink(schema.RunEvent{Kind: schema.EventProgress, Instret: instret, Cycles: cycles})
+		}
+	}
+	_, span := telemetry.StartSpan(ctx, "execute")
+	defer span.End()
+	span.SetAttr("mode", "faulted")
 	machine := kernel.NewSystem(cfg)
+	if sink != nil {
+		machine.Audit().SetSink(func(rec schema.AuditRecord) {
+			sink(schema.RunEvent{Kind: schema.EventAudit, Instret: rec.Instret,
+				Cycles: rec.Cycle, Audit: &rec})
+		})
+	}
 	p, err := machine.Spawn(img)
 	if err != nil {
 		return kernel.RunResult{}, nil, err
@@ -161,6 +184,7 @@ func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, se
 	}
 	defer eng.Detach()
 	res, err := machine.RunContext(ctx, p)
+	span.SetAttrUint("instret", res.Instret)
 	trace := eng.Trace()
 	return res, &trace, err
 }

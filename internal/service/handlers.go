@@ -24,6 +24,7 @@ import (
 	"roload/internal/kernel"
 	"roload/internal/redundant"
 	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // maxReplicas caps RunRequest.Redundant: each replica is a full
@@ -55,9 +56,56 @@ func runError(err error, res kernel.RunResult, sys core.SystemKind) *apiError {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	// Run identity comes first — before decoding, so even a malformed
+	// request terminates the event stream a client may already be
+	// subscribed to. A valid Roload-Trace header names the run (that is
+	// how a streaming client subscribes before posting); otherwise the
+	// server mints the id. The id travels back in the Roload-Trace
+	// response header, never in a success body, so responses stay
+	// byte-identical to the CLI tools' output.
+	runID := r.Header.Get("Roload-Trace")
+	if !telemetry.ValidRunID(runID) {
+		runID = telemetry.NewRunID()
+	}
+	runInfoFrom(r.Context()).set(runID)
+	trace := telemetry.NewTrace(runID, "s")
+	reqSpan := trace.Start("request", r.Header.Get("Roload-Trace-Parent"))
+	reqSpan.SetAttr("endpoint", "run")
+	sink := s.broker.Sink(runID)
+
+	// finishRun seals the run's telemetry: the request span ends, the
+	// span document lands in the trace registry, and the terminal event
+	// — carrying the exact response bytes — closes the event stream.
+	finishRun := func(status int, body []byte) {
+		reqSpan.SetAttrUint("status", uint64(status))
+		reqSpan.End()
+		s.traces.put(runID, trace.Doc())
+		s.broker.Finish(runID, schema.RunEvent{
+			Kind: schema.EventResult, Status: status, Result: string(body)})
+		s.runLog(r.Context(), "run finished", runID, "status", status)
+	}
+	// fail answers an error envelope (stamped with the run id — error
+	// bodies have no CLI twin, so inline identity is free) and seals
+	// the run.
+	fail := func(apiErr *apiError) {
+		apiErr.body.RunID = runID
+		body, err := renderEnvelope(apiErr.body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			finishRun(http.StatusInternalServerError, nil)
+			return
+		}
+		if apiErr.body.RetryAfterSec > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(apiErr.body.RetryAfterSec))
+		}
+		w.Header().Set("Roload-Trace", runID)
+		writeRendered(w, apiErr.status, body)
+		finishRun(apiErr.status, body)
+	}
+
 	var req schema.RunRequest
 	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
-		apiErr.write(w)
+		fail(apiErr)
 		return
 	}
 	apiErr := checkSchema(req.Schema)
@@ -115,21 +163,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		apiErr = validationError("heal, sync_every and fault_replica require redundant")
 	}
 	if apiErr != nil {
-		apiErr.write(w)
+		fail(apiErr)
 		return
 	}
+	s.runLog(r.Context(), "run accepted", runID,
+		"system", sys.String(), "harden", h.String(), "redundant", req.Redundant)
 
 	if req.Priority == "low" {
 		if apiErr := s.shedLowPriority(); apiErr != nil {
-			apiErr.write(w)
+			s.runLog(r.Context(), "run shed", runID, "kind", apiErr.body.Kind)
+			fail(apiErr)
 			return
 		}
 	}
-	if apiErr := s.acquire(r.Context()); apiErr != nil {
-		apiErr.write(w)
+	s.runLog(r.Context(), "run queued", runID, "queued", s.queued.Load())
+	qSpan := reqSpan.Child("queue-wait")
+	qStart := time.Now()
+	acqErr := s.acquire(r.Context())
+	qSpan.End()
+	s.queueWaitUS.Observe(uint64(time.Since(qStart).Microseconds()))
+	if acqErr != nil {
+		s.runLog(r.Context(), "run shed", runID, "kind", acqErr.body.Kind)
+		fail(acqErr)
 		return
 	}
 	defer s.release()
+	s.runLog(r.Context(), "run started", runID)
 
 	if s.cfg.Chaos {
 		delay, doPanic, doError := s.chaos.takeRun()
@@ -143,11 +202,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			panic("chaos: injected worker panic")
 		}
 		if doError {
-			chaosError().write(w)
+			fail(chaosError())
 			return
 		}
 	}
 
+	cSpan := reqSpan.Child("compile")
 	var img *asm.Image
 	var err error
 	switch {
@@ -166,29 +226,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// source, same scheme) compile once and share the image.
 		img, err = s.runner.Image(req.Source, h)
 	}
+	cSpan.End()
 	if err != nil {
-		compileError(err).write(w)
+		fail(compileError(err))
 		return
 	}
 
 	ctx, cancel := s.runCtx(r, req.TimeoutMS)
 	defer cancel()
+	// The execution context carries the trace (execute/checkpoint/vote/
+	// heal spans parent under the request span) and the event sink. The
+	// fault-plan profiling run gets the sink stripped: its retire counts
+	// would interleave out of order with the real run's stream.
+	ctx = telemetry.WithTrace(ctx, trace)
+	ctx = telemetry.WithSpan(ctx, reqSpan)
+	execCtx := telemetry.WithSink(ctx, sink)
 	var res kernel.RunResult
-	var trace *schema.FaultTrace
+	var ftrace *schema.FaultTrace
 	var heal *schema.HealReport
+	runStart := time.Now()
 	switch {
 	case req.Redundant > 0:
 		var plan *schema.FaultPlan
 		if req.FaultCount > 0 {
 			p, perr := redundant.Plan(ctx, img, sys, req.FaultSeed, req.FaultCount, maxSteps, req.MemBytes)
 			if perr != nil {
-				runError(perr, res, sys).write(w)
+				fail(runError(perr, res, sys))
 				return
 			}
 			plan = &p
 		}
 		var out redundant.Result
-		out, err = redundant.Run(ctx, img, sys, redundant.Options{
+		out, err = redundant.Run(execCtx, img, sys, redundant.Options{
 			Replicas:     req.Redundant,
 			SyncEvery:    req.SyncEvery,
 			Heal:         req.Heal,
@@ -197,25 +266,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Fault:        plan,
 			FaultReplica: req.FaultReplica,
 		})
-		res, trace, heal = out.Run, out.Trace, &out.Report
+		res, ftrace, heal = out.Run, out.Trace, &out.Report
 	case req.FaultCount > 0:
-		res, trace, err = runFaulted(ctx, img, sys, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
+		res, ftrace, err = runFaulted(execCtx, img, sys, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
 	default:
-		res, _, err = core.RunWith(ctx, img, sys, core.RunOptions{
+		res, _, err = core.RunWith(execCtx, img, sys, core.RunOptions{
 			MaxSteps: maxSteps,
 			MemBytes: req.MemBytes,
 		})
 	}
+	s.runDurationUS.Observe(uint64(time.Since(runStart).Microseconds()))
 	if err != nil {
 		var split *redundant.DivergedError
 		if errors.As(err, &split) {
-			(&apiError{http.StatusConflict, schema.ErrorResponse{
-				Error: err.Error(), Kind: "diverged", Metrics: snapshot(res, sys)}}).write(w)
+			fail(&apiError{http.StatusConflict, schema.ErrorResponse{
+				Error: err.Error(), Kind: "diverged", Metrics: snapshot(res, sys)}})
 			return
 		}
-		runError(err, res, sys).write(w)
+		fail(runError(err, res, sys))
 		return
 	}
+	s.noteKeyCheck(h.String(), res.ROLoadViolation)
 
 	resp := schema.RunResponse{
 		Stdout:          string(res.Stdout),
@@ -233,9 +304,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range res.Audit {
 		resp.AuditText = append(resp.AuditText, rec.String())
 	}
-	resp.FaultTrace = trace
+	resp.FaultTrace = ftrace
 	resp.Heal = heal
-	writeEnvelope(w, http.StatusOK, resp)
+	body, rerr := renderEnvelope(resp)
+	if rerr != nil {
+		http.Error(w, rerr.Error(), http.StatusInternalServerError)
+		finishRun(http.StatusInternalServerError, nil)
+		return
+	}
+	w.Header().Set("Roload-Trace", runID)
+	writeRendered(w, http.StatusOK, body)
+	finishRun(http.StatusOK, body)
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -442,9 +521,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Hits:    stats.ImageHits,
 			Misses:  stats.ImageMisses,
 		},
-		Experiments: s.experiments.metrics(),
-		Idempotency: s.idem.metrics(),
-		Shed:        s.shed.Load(),
+		Experiments:   s.experiments.metrics(),
+		Idempotency:   s.idem.metrics(),
+		Shed:          s.shed.Load(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		QueueDepth:    int(s.queued.Load()),
+		QueueCap:      s.cfg.Workers + s.cfg.Queue,
+		QueueWaitUS:   s.queueWaitUS.Snapshot(),
+		RunDurationUS: s.runDurationUS.Snapshot(),
+		Streams:       s.broker.Metrics(),
 	}
 	s.mu.Lock()
 	for name, c := range s.endpoints {
@@ -455,6 +540,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Errors5x: c.errors5x.Load(),
 			Timeouts: c.timeouts.Load(),
 		}
+		if c.latencyUS.Count() > 0 {
+			if resp.EndpointLatencyUS == nil {
+				resp.EndpointLatencyUS = make(map[string]schema.Histogram)
+			}
+			resp.EndpointLatencyUS[name] = c.latencyUS.Snapshot()
+		}
+	}
+	for mode, c := range s.keyChecks {
+		if resp.KeyChecks == nil {
+			resp.KeyChecks = make(map[string]schema.KeyCheckStats)
+		}
+		st := schema.KeyCheckStats{Runs: c.runs, Violations: c.violations}
+		if c.runs > 0 {
+			st.Rate = float64(c.violations) / float64(c.runs)
+		}
+		resp.KeyChecks[mode] = st
 	}
 	s.mu.Unlock()
 	writeEnvelope(w, http.StatusOK, resp)

@@ -38,6 +38,7 @@ import (
 
 	"roload/internal/eval"
 	"roload/internal/schema"
+	"roload/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -148,6 +149,9 @@ type Server struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointCounters
+	// keyChecks tracks per-hardening-mode run/violation counts (guarded
+	// by mu; see noteKeyCheck).
+	keyChecks map[string]*keyCheckCounters
 
 	experiments expCache
 
@@ -155,10 +159,26 @@ type Server struct {
 	// shed counts low-priority requests answered 429 under load.
 	idem *idemCache
 	shed atomic.Uint64
+
+	// start stamps process start for the /metrics uptime gauge.
+	start time.Time
+
+	// broker fans live run events out to GET /v1/runs/{id}/events
+	// subscribers; traces retains completed runs' span documents for
+	// GET /v1/runs/{id}/trace. Both close/bound with the server.
+	broker *telemetry.Broker
+	traces *traceStore
+
+	// queueWaitUS and runDurationUS are the run endpoint's latency
+	// distributions (microseconds); per-endpoint histograms live in
+	// endpointCounters.
+	queueWaitUS   telemetry.Histogram
+	runDurationUS telemetry.Histogram
 }
 
 type endpointCounters struct {
 	requests, ok, errors4x, errors5x, timeouts atomic.Uint64
+	latencyUS                                  telemetry.Histogram
 }
 
 // NewServer builds a Server with cfg's defaults applied.
@@ -174,8 +194,15 @@ func NewServer(cfg Config) *Server {
 		queue:      make(chan struct{}, cfg.Workers+cfg.Queue),
 		endpoints:  make(map[string]*endpointCounters),
 		idem:       newIdemCache(),
+		start:      time.Now(),
+		broker:     telemetry.NewBroker(0, 0),
+		traces:     newTraceStore(0),
 	}
 	s.experiments.entries = make(map[expKey]*expEntry)
+	// When the drain grace expires (or Close fires) the broker shuts
+	// down, ending every event stream — otherwise http.Server.Shutdown
+	// would deadlock waiting on SSE handlers that are waiting on events.
+	context.AfterFunc(base, s.broker.Close)
 	return s
 }
 
@@ -187,6 +214,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/attack", s.logged("attack", s.handleAttack))
 	mux.HandleFunc("GET /v1/experiments", s.logged("experiments", s.handleExperimentList))
 	mux.HandleFunc("POST /v1/experiments/{id}", s.logged("experiment", s.handleExperiment))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.logged("events", s.handleEvents))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.logged("trace", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.logged("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.logged("metrics", s.handleMetrics))
 	if s.cfg.Chaos {
@@ -307,6 +336,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so SSE streaming works
+// through the logging middleware.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // logged wraps a handler with per-request structured logging, endpoint
 // counters, and panic recovery: a panicking handler answers a
 // structured 500 of kind "panic" (when the response has not started)
@@ -317,6 +354,11 @@ func (s *Server) logged(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		id := s.reqSeq.Add(1)
 		start := time.Now()
+		// The runInfo holder lets the handler attach its run id after
+		// validation, so the final request line — and a panic report —
+		// carries it even though the middleware ran first.
+		ri := &runInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), runInfoKey{}, ri))
 		func() {
 			defer func() {
 				rec := recover()
@@ -327,19 +369,23 @@ func (s *Server) logged(name string, h http.HandlerFunc) http.HandlerFunc {
 				s.cfg.Logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
 					slog.Uint64("req_id", id),
 					slog.String("endpoint", name),
+					slog.String("run_id", ri.get()),
 					slog.String("panic", fmt.Sprint(rec)),
 					slog.String("stack", string(debug.Stack())),
 				)
 				if !sw.wrote {
 					(&apiError{http.StatusInternalServerError, schema.ErrorResponse{
 						Error: fmt.Sprintf("handler panic: %v", rec), Kind: "panic",
+						RunID: ri.get(),
 					}}).write(sw)
 				}
 			}()
 			h(sw, r)
 		}()
+		elapsed := time.Since(start)
 		c := s.counters(name)
 		c.requests.Add(1)
+		c.latencyUS.Observe(uint64(elapsed.Microseconds()))
 		switch {
 		case sw.status < 400:
 			c.ok.Add(1)
@@ -354,11 +400,12 @@ func (s *Server) logged(name string, h http.HandlerFunc) http.HandlerFunc {
 		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.Uint64("req_id", id),
 			slog.String("endpoint", name),
+			slog.String("run_id", ri.get()),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("remote", r.RemoteAddr),
 			slog.Int("status", sw.status),
-			slog.Duration("dur", time.Since(start)),
+			slog.Duration("dur", elapsed),
 		)
 	}
 }

@@ -1,0 +1,587 @@
+// Live-telemetry tests: the SSE run-event stream (mid-run delivery,
+// ordering, disconnect/drain/cancellation lifecycles), the trace
+// endpoint, and the end-to-end client→server→simulator span tree. The
+// byte-identity contract is load-bearing throughout: the terminal
+// stream event must carry exactly the bytes the synchronous POST
+// answered.
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"roload/internal/client"
+	"roload/internal/schema"
+	"roload/internal/telemetry"
+)
+
+// telemetryProg retires a few million instructions so the run is long
+// enough for progress ticks (every kernel cancellation stride) to
+// stream out while the POST is still executing.
+const telemetryProg = `
+func main() int {
+	var i int = 0;
+	var acc int = 0;
+	while (i < 300000) {
+		acc = acc + i;
+		i = i + 1;
+	}
+	print_int(acc);
+	return 0;
+}
+`
+
+type postOutcome struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// postTraced posts one run request under a caller-chosen run id and
+// reports the raw response. Safe to call from a goroutine (no t).
+func postTraced(url, runID string, req schema.RunRequest) postOutcome {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return postOutcome{err: err}
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/run", strings.NewReader(string(raw)))
+	if err != nil {
+		return postOutcome{err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Roload-Trace", runID)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return postOutcome{err: err}
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		buf.WriteString(sc.Text())
+		buf.WriteString("\n")
+	}
+	return postOutcome{status: resp.StatusCode, header: resp.Header, body: []byte(buf.String())}
+}
+
+// collectEvents drains an event channel with a deadline, so a broken
+// stream fails the test instead of hanging it.
+func collectEvents(t *testing.T, ch <-chan schema.RunEvent, deadline time.Duration, onEvent func(schema.RunEvent)) []schema.RunEvent {
+	t.Helper()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	var events []schema.RunEvent
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return events
+			}
+			events = append(events, ev)
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		case <-timer.C:
+			t.Fatalf("event stream did not close within %v (%d events so far)", deadline, len(events))
+		}
+	}
+}
+
+// TestServeEventsMidRunChaos is the streaming acceptance test: on a
+// long seeded chaos run, the subscriber receives progress ticks and
+// injected-fault audit records while the synchronous POST is still in
+// flight, events arrive in publication order with non-decreasing
+// retire counts, and the terminal result event carries byte-for-byte
+// the body the POST answered — which is itself byte-identical to a
+// second synchronous run of the same seed.
+func TestServeEventsMidRunChaos(t *testing.T) {
+	_, url := quietServer(t, Config{Workers: 2})
+	runID := telemetry.NewRunID()
+	req := schema.RunRequest{
+		Source: telemetryProg, System: "full", Harden: "icall",
+		FaultCount: 3, FaultSeed: 7,
+	}
+
+	cli := client.New(client.Config{BaseURL: url})
+	events, err := cli.Stream(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	postDone := make(chan struct{})
+	outcome := make(chan postOutcome, 1)
+	go func() {
+		out := postTraced(url, runID, req)
+		close(postDone)
+		outcome <- out
+	}()
+
+	inFlight := func() bool {
+		select {
+		case <-postDone:
+			return false
+		default:
+			return true
+		}
+	}
+	progressMidRun, auditMidRun := 0, 0
+	var lastSeq, lastInstret uint64
+	all := collectEvents(t, events, 30*time.Second, func(ev schema.RunEvent) {
+		if ev.Seq <= lastSeq {
+			t.Errorf("sequence went %d -> %d", lastSeq, ev.Seq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case schema.EventProgress, schema.EventAudit:
+			if ev.Instret < lastInstret {
+				t.Errorf("%s event went backwards: instret %d after %d", ev.Kind, ev.Instret, lastInstret)
+			}
+			lastInstret = ev.Instret
+			if ev.Kind == schema.EventProgress && inFlight() {
+				progressMidRun++
+			}
+			if ev.Kind == schema.EventAudit && inFlight() {
+				auditMidRun++
+			}
+		}
+	})
+	out := <-outcome
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.status != http.StatusOK {
+		t.Fatalf("run status = %d: %s", out.status, out.body)
+	}
+	if got := out.header.Get("Roload-Trace"); got != runID {
+		t.Errorf("Roload-Trace response header = %q, want %q", got, runID)
+	}
+	if progressMidRun == 0 {
+		t.Error("no progress event arrived while the run was still executing")
+	}
+	if auditMidRun == 0 {
+		t.Error("no audit event arrived while the run was still executing")
+	}
+	if len(all) == 0 {
+		t.Fatal("no events at all")
+	}
+	final := all[len(all)-1]
+	if final.Kind != schema.EventResult || final.Status != http.StatusOK {
+		t.Fatalf("terminal event = %+v", final)
+	}
+	for _, ev := range all[:len(all)-1] {
+		if ev.Kind == schema.EventResult {
+			t.Error("result event arrived before the end of the stream")
+		}
+	}
+	if final.Result != string(out.body) {
+		t.Errorf("terminal event body diverges from the POST response:\nevent: %d bytes\npost:  %d bytes", len(final.Result), len(out.body))
+	}
+
+	// Same seed, fresh run id: the synchronous response must be
+	// byte-identical (the run id travels in the header, not the body).
+	again := postTraced(url, telemetry.NewRunID(), req)
+	if again.err != nil || again.status != http.StatusOK {
+		t.Fatalf("second run: status %d err %v", again.status, again.err)
+	}
+	if string(again.body) != final.Result {
+		t.Error("same-seed synchronous rerun differs from the streamed result event")
+	}
+}
+
+// TestServeEventsWireFormat reads the raw SSE bytes: each frame is an
+// id line carrying the broker sequence, an event line carrying the
+// kind, and a data line carrying the JSON record.
+func TestServeEventsWireFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	runID := telemetry.NewRunID()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+runID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	if out := postTraced(ts.URL, runID, schema.RunRequest{Source: helloProg}); out.err != nil || out.status != http.StatusOK {
+		t.Fatalf("run: status %d err %v", out.status, out.err)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	var idLine, eventLine, dataLine string
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "id: "):
+			idLine = l
+		case strings.HasPrefix(l, "event: "):
+			eventLine = l
+		case strings.HasPrefix(l, "data: "):
+			dataLine = l
+		}
+	}
+	if idLine == "" || eventLine == "" || dataLine == "" {
+		t.Fatalf("stream lacks id/event/data lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if eventLine != "event: result" {
+		t.Errorf("terminal frame event line = %q", eventLine)
+	}
+	var ev schema.RunEvent
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(dataLine, "data: ")), &ev); err != nil {
+		t.Fatalf("undecodable data line %q: %v", dataLine, err)
+	}
+	if ev.Kind != schema.EventResult || ev.Status != http.StatusOK {
+		t.Errorf("decoded terminal event = %+v", ev)
+	}
+}
+
+// TestServeEventsClientDisconnect: cancelling the subscriber releases
+// the handler and the broker subscription without leaking goroutines.
+func TestServeEventsClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cli := client.New(client.Config{BaseURL: ts.URL})
+	events, err := cli.Stream(ctx, telemetry.NewRunID())
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if n := srv.broker.Metrics().Subscribers; n != 1 {
+		t.Fatalf("subscribers = %d, want 1", n)
+	}
+	cancel()
+	collectEvents(t, events, 5*time.Second, nil)
+
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if srv.broker.Metrics().Subscribers == 0 && runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after disconnect: %d subscribers, goroutines %d -> %d",
+				srv.broker.Metrics().Subscribers, before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeEventsDrainClosesStreams: shutting the server down closes
+// every open event stream instead of leaving drain hanging on them.
+func TestServeEventsDrainClosesStreams(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	cli := client.New(client.Config{BaseURL: ts.URL})
+	events, err := cli.Stream(context.Background(), telemetry.NewRunID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	start := time.Now()
+	collectEvents(t, events, 5*time.Second, nil)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("stream took %v to close after server shutdown", elapsed)
+	}
+}
+
+// TestServeEventsRunCancelled: a run that dies on its deadline still
+// terminates its stream, with a result event carrying the 504 error
+// envelope — which names the run id inline.
+func TestServeEventsRunCancelled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	runID := telemetry.NewRunID()
+	cli := client.New(client.Config{BaseURL: ts.URL})
+	events, err := cli.Stream(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := postTraced(ts.URL, runID, schema.RunRequest{Source: spinProg, TimeoutMS: 100})
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", out.status)
+	}
+	all := collectEvents(t, events, 10*time.Second, nil)
+	if len(all) == 0 {
+		t.Fatal("no events")
+	}
+	final := all[len(all)-1]
+	if final.Kind != schema.EventResult || final.Status != http.StatusGatewayTimeout {
+		t.Fatalf("terminal event = %+v", final)
+	}
+	if final.Result != string(out.body) {
+		t.Error("terminal event body diverges from the 504 response")
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal([]byte(final.Result), &env); err != nil {
+		t.Fatal(err)
+	}
+	e := openError(t, env)
+	if e.RunID != runID {
+		t.Errorf("error envelope run_id = %q, want %q", e.RunID, runID)
+	}
+}
+
+// TestServeEventsInvalidRunID: a malformed id is a 400, not a stream.
+func TestServeEventsInvalidRunID(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/runs/" + strings.Repeat("x", 65) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeTraceEndpoint: a completed run's span document is served,
+// validates, and carries the expected request→stage tree parented
+// under the caller-supplied client span.
+func TestServeTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	runID := telemetry.NewRunID()
+
+	raw, _ := json.Marshal(schema.RunRequest{Source: helloProg})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", strings.NewReader(string(raw)))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Roload-Trace", runID)
+	hreq.Header.Set("Roload-Trace-Parent", "c42")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+
+	cli := client.New(client.Config{BaseURL: ts.URL})
+	doc, err := cli.FetchTrace(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RunID != runID {
+		t.Errorf("trace run id = %q", doc.RunID)
+	}
+	byName := make(map[string]schema.Span)
+	for _, s := range doc.Spans {
+		byName[s.Name] = s
+	}
+	for _, want := range []string{"request", "queue-wait", "compile", "execute"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace lacks a %q span (spans: %v)", want, spanNames(doc.Spans))
+		}
+	}
+	if req := byName["request"]; req.Parent != "c42" {
+		t.Errorf("request span parent = %q, want the client span id", req.Parent)
+	}
+	for _, name := range []string{"queue-wait", "compile", "execute"} {
+		if s, ok := byName[name]; ok && s.Parent != byName["request"].ID {
+			t.Errorf("%s span parent = %q, want request span %q", name, s.Parent, byName["request"].ID)
+		}
+	}
+
+	if _, err := cli.FetchTrace(context.Background(), telemetry.NewRunID()); err == nil {
+		t.Error("unknown run id served a trace")
+	}
+}
+
+func spanNames(spans []schema.Span) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// TestServeClientE2ETrace is the end-to-end acceptance path: the
+// resilient client mints the run id, streams the run's events while it
+// executes, and afterwards merges its own span document with the
+// server's into one tree — client attempt → server request → execute —
+// under a single run id.
+func TestServeClientE2ETrace(t *testing.T) {
+	_, url := quietServer(t, Config{Workers: 2})
+	// The chaos run simulates millions of instructions twice (profiling
+	// + faulted); under -race that outlives the default attempt timeout.
+	cli := client.New(client.Config{BaseURL: url, AttemptTimeout: 2 * time.Minute})
+	runID := client.NewRunID()
+
+	events, err := cli.Stream(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.RunWithID(context.Background(), runID, schema.RunRequest{
+		Source: telemetryProg, System: "full", Harden: "icall",
+		FaultCount: 2, FaultSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunID != runID || res.Trace.RunID != runID {
+		t.Fatalf("result run id = %q / trace %q, want %q", res.RunID, res.Trace.RunID, runID)
+	}
+
+	var lastInstret uint64
+	all := collectEvents(t, events, 30*time.Second, func(ev schema.RunEvent) {
+		if ev.Kind == schema.EventProgress || ev.Kind == schema.EventAudit {
+			if ev.Instret < lastInstret {
+				t.Errorf("event retire counts went backwards: %d after %d", ev.Instret, lastInstret)
+			}
+			lastInstret = ev.Instret
+		}
+	})
+	if len(all) == 0 || all[len(all)-1].Kind != schema.EventResult {
+		t.Fatalf("stream did not end in a result event (%d events)", len(all))
+	}
+
+	serverDoc, err := cli.FetchTrace(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := telemetry.Merge(res.Trace, serverDoc)
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if merged.RunID != runID {
+		t.Errorf("merged run id = %q", merged.RunID)
+	}
+	byID := make(map[string]schema.Span)
+	var root, attempt, request, execute schema.Span
+	for _, s := range merged.Spans {
+		byID[s.ID] = s
+		switch s.Name {
+		case "run":
+			root = s
+		case "attempt":
+			attempt = s
+		case "request":
+			request = s
+		case "execute":
+			execute = s
+		}
+	}
+	if root.ID == "" || attempt.ID == "" || request.ID == "" || execute.ID == "" {
+		t.Fatalf("merged tree lacks run/attempt/request/execute spans: %v", spanNames(merged.Spans))
+	}
+	if root.Parent != "" {
+		t.Errorf("client run span has parent %q", root.Parent)
+	}
+	if attempt.Parent != root.ID {
+		t.Errorf("attempt parent = %q, want %q", attempt.Parent, root.ID)
+	}
+	if request.Parent != attempt.ID {
+		t.Errorf("request parent = %q, want attempt %q — the cross-wire edge is broken", request.Parent, attempt.ID)
+	}
+	if execute.Parent != request.ID {
+		t.Errorf("execute parent = %q, want request %q", execute.Parent, request.ID)
+	}
+	// Every non-root span's parent resolves inside the merged document.
+	for _, s := range merged.Spans {
+		if s.Parent == "" {
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Errorf("span %s (%s) has dangling parent %q", s.ID, s.Name, s.Parent)
+		}
+	}
+
+	m := cli.Metrics()
+	if m.AttemptLatencyUS.Count == 0 || m.RunLatencyUS.Count == 0 {
+		t.Errorf("client histograms empty: %+v", m)
+	}
+}
+
+// TestServeRedundantTraceSpans: a supervised faulted run's server
+// trace records the checkpoint/vote/heal machinery as spans.
+func TestServeRedundantTraceSpans(t *testing.T) {
+	_, url := quietServer(t, Config{Workers: 2})
+	runID := telemetry.NewRunID()
+	out := postTraced(url, runID, schema.RunRequest{
+		Source: loopProg, Harden: "icall",
+		Redundant: 3, Heal: true, SyncEvery: 20_000,
+		FaultCount: 2, FaultSeed: 7, FaultReplica: 1,
+	})
+	if out.err != nil || out.status != http.StatusOK {
+		t.Fatalf("run: status %d err %v", out.status, out.err)
+	}
+	cli := client.New(client.Config{BaseURL: url})
+	doc, err := cli.FetchTrace(context.Background(), runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, s := range doc.Spans {
+		counts[s.Name]++
+	}
+	for _, want := range []string{"execute", "checkpoint", "vote", "heal"} {
+		if counts[want] == 0 {
+			t.Errorf("redundant trace lacks %q spans (got %v)", want, counts)
+		}
+	}
+}
+
+// TestServeMetricsTelemetry: /metrics carries the new gauges — uptime,
+// queue depth, latency histograms, per-mode key-check rates and stream
+// counters — and answers with an explicit content type.
+func TestServeMetricsTelemetry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if out := postTraced(ts.URL, telemetry.NewRunID(), schema.RunRequest{Source: helloProg, Harden: "icall"}); out.status != http.StatusOK {
+		t.Fatalf("run status = %d", out.status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	var env schema.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	var m schema.ServeMetrics
+	if err := env.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.UptimeSec <= 0 {
+		t.Errorf("uptime = %v", m.UptimeSec)
+	}
+	if m.QueueCap <= 0 {
+		t.Errorf("queue cap = %d", m.QueueCap)
+	}
+	if m.RunDurationUS.Count == 0 || m.QueueWaitUS.Count == 0 {
+		t.Errorf("latency histograms empty: run %d queue %d", m.RunDurationUS.Count, m.QueueWaitUS.Count)
+	}
+	kc, ok := m.KeyChecks["ICall"]
+	if !ok || kc.Runs == 0 {
+		t.Errorf("key-check counters = %+v", m.KeyChecks)
+	}
+	if lat, ok := m.EndpointLatencyUS["run"]; !ok || lat.Count == 0 {
+		t.Errorf("per-endpoint latency = %+v", m.EndpointLatencyUS)
+	}
+}

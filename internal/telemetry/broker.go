@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/schema"
+)
+
+// Broker is the bounded fan-out hub behind GET /v1/runs/{id}/events:
+// run executions publish events under their run id, any number of
+// subscribers receive them, and every bound is explicit — a per-run
+// history ring replays recent events to late subscribers, a slow
+// subscriber's overflow is dropped and counted (never blocking the
+// publisher, which is on the simulation path), and Close tears every
+// stream down so draining servers release their handlers.
+//
+// Subscribing to a run the broker has not seen yet is allowed and
+// expected: a streaming client opens the event stream before posting
+// the run (it minted the run id), so the stream must exist first.
+type Broker struct {
+	historyCap int
+	subBuf     int
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	runs   map[string]*runStream
+	subs   int
+	// finished is the FIFO of completed run ids still retained for
+	// late-subscriber history replay; beyond retainCap the oldest is
+	// evicted so the broker's memory is bounded by
+	// retainCap*historyCap events.
+	finished []string
+}
+
+// retainCap bounds how many finished runs keep their history around.
+const retainCap = 256
+
+// runStream is one run id's event history and live subscriber set.
+type runStream struct {
+	seq     uint64
+	history []schema.RunEvent // ring of the last historyCap events
+	start   int               // index of the oldest history entry
+	done    bool
+	subs    map[*Subscriber]struct{}
+}
+
+// Subscriber is one attached event stream. Receive from C; the channel
+// closes when the run finishes, the subscriber is cancelled, or the
+// broker shuts down.
+type Subscriber struct {
+	// C delivers the run's events: first the buffered history, then
+	// live events as they are published.
+	C <-chan schema.RunEvent
+
+	ch      chan schema.RunEvent
+	dropped atomic.Uint64
+	closed  bool // guarded by the broker mutex
+}
+
+// Dropped reports how many events this subscriber lost to a full
+// buffer.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// DefaultHistory and DefaultSubBuffer bound each run's replayable past
+// and each subscriber's in-flight window.
+const (
+	DefaultHistory   = 256
+	DefaultSubBuffer = 64
+)
+
+// NewBroker builds a broker (historyCap/subBuf <= 0 select defaults).
+func NewBroker(historyCap, subBuf int) *Broker {
+	if historyCap <= 0 {
+		historyCap = DefaultHistory
+	}
+	if subBuf <= 0 {
+		subBuf = DefaultSubBuffer
+	}
+	return &Broker{
+		historyCap: historyCap,
+		subBuf:     subBuf,
+		runs:       make(map[string]*runStream),
+	}
+}
+
+func (b *Broker) stream(runID string) *runStream {
+	st := b.runs[runID]
+	if st == nil {
+		st = &runStream{subs: make(map[*Subscriber]struct{})}
+		b.runs[runID] = st
+	}
+	return st
+}
+
+// Publish fans ev out to the run's subscribers and appends it to the
+// run's history. The broker assigns the per-run sequence number; a
+// full subscriber buffer drops the event for that subscriber (counted
+// on both the subscriber and the broker). Publishing to a finished run
+// or a closed broker is a no-op.
+func (b *Broker) Publish(runID string, ev schema.RunEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	st := b.stream(runID)
+	if st.done {
+		return
+	}
+	st.seq++
+	ev.Seq = st.seq
+	b.published.Add(1)
+	if len(st.history) < b.historyCap {
+		st.history = append(st.history, ev)
+	} else {
+		st.history[st.start] = ev
+		st.start = (st.start + 1) % b.historyCap
+	}
+	for sub := range st.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Finish publishes the terminal event and closes the run's stream:
+// every subscriber's channel is closed once it has drained, and late
+// subscribers replay the retained history and see an immediately
+// closed channel.
+func (b *Broker) Finish(runID string, ev schema.RunEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	st := b.stream(runID)
+	if st.done {
+		return
+	}
+	st.seq++
+	ev.Seq = st.seq
+	b.published.Add(1)
+	if len(st.history) < b.historyCap {
+		st.history = append(st.history, ev)
+	} else {
+		st.history[st.start] = ev
+		st.start = (st.start + 1) % b.historyCap
+	}
+	st.done = true
+	for sub := range st.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+		b.closeSub(st, sub)
+	}
+	b.finished = append(b.finished, runID)
+	if len(b.finished) > retainCap {
+		delete(b.runs, b.finished[0])
+		b.finished = b.finished[1:]
+	}
+}
+
+// Subscribe attaches a new stream to runID, creating the run entry if
+// the run has not started yet. The subscriber's buffer always holds
+// the full history replay, so only live events can be dropped. On a
+// closed broker (or a finished run) the returned channel delivers any
+// retained history and is already closed.
+func (b *Broker) Subscribe(runID string) *Subscriber {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub := &Subscriber{ch: make(chan schema.RunEvent, b.historyCap+b.subBuf)}
+	sub.C = sub.ch
+	if b.closed {
+		close(sub.ch)
+		sub.closed = true
+		return sub
+	}
+	st := b.stream(runID)
+	for i := 0; i < len(st.history); i++ {
+		sub.ch <- st.history[(st.start+i)%len(st.history)]
+	}
+	if st.done {
+		close(sub.ch)
+		sub.closed = true
+		return sub
+	}
+	st.subs[sub] = struct{}{}
+	b.subs++
+	return sub
+}
+
+// Unsubscribe detaches sub from runID and closes its channel. Safe to
+// call after the stream already ended.
+func (b *Broker) Unsubscribe(runID string, sub *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.runs[runID]; st != nil {
+		b.closeSub(st, sub)
+	} else if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+}
+
+// closeSub removes sub from st and closes its channel exactly once.
+// Caller holds the broker mutex.
+func (b *Broker) closeSub(st *runStream, sub *Subscriber) {
+	if _, ok := st.subs[sub]; ok {
+		delete(st.subs, sub)
+		b.subs--
+	}
+	if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+}
+
+// Sink returns a Sink publishing to runID — the adapter handed to
+// core.RunWith / redundant.Run through the context.
+func (b *Broker) Sink(runID string) Sink {
+	return func(ev schema.RunEvent) { b.Publish(runID, ev) }
+}
+
+// Close shuts the broker down: every subscriber channel closes, and
+// all further Publish/Finish calls become no-ops. Subscribe after
+// Close returns an already-closed subscriber, so draining servers
+// cannot accumulate stuck streams.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, st := range b.runs {
+		for sub := range st.subs {
+			b.closeSub(st, sub)
+		}
+	}
+}
+
+// Metrics snapshots the broker's counters.
+func (b *Broker) Metrics() schema.StreamMetrics {
+	b.mu.Lock()
+	subs := b.subs
+	b.mu.Unlock()
+	return schema.StreamMetrics{
+		Subscribers: subs,
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+	}
+}

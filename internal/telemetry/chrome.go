@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"roload/internal/schema"
+)
+
+// chromeSpan is one Chrome trace-event entry ("JSON Array Format" with
+// the traceEvents envelope) — the same format obs.Ring.WriteChromeTrace
+// emits for the cycle-domain machine trace, so a span document and a
+// machine trace can be merged into one Perfetto view by concatenating
+// their traceEvents arrays (README shows the jq one-liner). Spans are
+// complete ("X") slices in wall-clock microseconds; each producer
+// prefix ("c", "s") gets its own pid so client and server rows stack
+// separately.
+type chromeSpan struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   int64             `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeSpan      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteChromeTrace exports a roload-trace/v1 document as Chrome
+// trace-event JSON loadable by Perfetto. Span depth maps to tid so
+// nested spans render stacked; timestamps are wall-clock microseconds
+// relative to the earliest span, keeping the time axis readable.
+func WriteChromeTrace(w io.Writer, doc schema.TraceDoc) error {
+	var t0 int64
+	for i, s := range doc.Spans {
+		if i == 0 || s.StartUS < t0 {
+			t0 = s.StartUS
+		}
+	}
+	depth := make(map[string]int, len(doc.Spans))
+	byID := make(map[string]schema.Span, len(doc.Spans))
+	for _, s := range doc.Spans {
+		byID[s.ID] = s
+	}
+	var depthOf func(id string) int
+	depthOf = func(id string) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		s, ok := byID[id]
+		d := 0
+		if ok && s.Parent != "" {
+			if _, up := byID[s.Parent]; up {
+				d = depthOf(s.Parent) + 1
+			}
+		}
+		depth[id] = d
+		return d
+	}
+	pidOf := func(id string) int {
+		// Producer prefix: the leading non-digit run of the span id.
+		for i := 0; i < len(id); i++ {
+			if id[i] >= '0' && id[i] <= '9' {
+				if i > 0 && id[0] == 's' {
+					return 2
+				}
+				return 1
+			}
+		}
+		return 1
+	}
+	out := chromeDoc{
+		TraceEvents:     make([]chromeSpan, 0, len(doc.Spans)),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"tool":      "roload telemetry",
+			"run_id":    doc.RunID,
+			"time_unit": "1 ts = 1 host microsecond",
+		},
+	}
+	for _, s := range doc.Spans {
+		args := map[string]string{"span_id": s.ID}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeSpan{
+			Name: s.Name, Cat: "span", Phase: "X",
+			TS: s.StartUS - t0, Dur: s.DurUS,
+			PID: pidOf(s.ID), TID: depthOf(s.ID),
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(&out)
+}

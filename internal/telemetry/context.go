@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"context"
+
+	"roload/internal/schema"
+)
+
+// Sink receives run events as they happen. Sinks are called from the
+// goroutine driving the run (or, for redundant runs, from the
+// supervisor between drives), so events for one run arrive in
+// retire-count order; a sink must not block.
+type Sink func(schema.RunEvent)
+
+type traceKey struct{}
+type spanKey struct{}
+type sinkKey struct{}
+
+// WithTrace returns a context carrying the trace. A nil trace is
+// stored as-is: FromContext then returns nil and every span operation
+// downstream is a no-op.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. A context that
+// never saw WithTrace costs one Value lookup and no allocation.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithSpan returns a context carrying the current parent span, so a
+// callee can parent its own spans without threading span handles
+// through every signature.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name under the context's current span
+// (or as a root span if there is none) and returns the derived context
+// carrying it. With no trace in ctx it returns (ctx, nil) — the nil
+// span is inert, so callers always defer span.End().
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	var s *Span
+	if parent := SpanFromContext(ctx); parent != nil {
+		s = parent.Child(name)
+	} else {
+		s = t.Start(name, "")
+	}
+	return WithSpan(ctx, s), s
+}
+
+// WithSink returns a context carrying the run-event sink.
+func WithSink(ctx context.Context, sink Sink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, sink)
+}
+
+// SinkFromContext returns the context's sink, or nil.
+func SinkFromContext(ctx context.Context) Sink {
+	s, _ := ctx.Value(sinkKey{}).(Sink)
+	return s
+}

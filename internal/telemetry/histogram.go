@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"roload/internal/schema"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i counts
+// observations v with v <= 2^i (the last bucket is unbounded). 64
+// buckets cover every uint64, so Observe never clamps.
+const histBuckets = 64
+
+// Histogram is a log-bucketed, lock-free distribution recorder:
+// Observe is a few atomic adds, so it can sit on request paths without
+// a mutex. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // offset by +1 so 0 means "no observation"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps v to its bucket: the smallest i with v <= 2^i,
+// clamped into the last (unbounded) bucket for v > 2^62.
+func bucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(v - 1)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot renders the histogram as its schema document, carrying only
+// the non-empty buckets.
+func (h *Histogram) Snapshot() schema.Histogram {
+	out := schema.Histogram{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m > 0 {
+		out.Min = m - 1
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := ^uint64(0)
+		if i < 63 {
+			le = uint64(1) << i
+		}
+		out.Buckets = append(out.Buckets, schema.HistogramBucket{LE: le, Count: n})
+	}
+	return out
+}

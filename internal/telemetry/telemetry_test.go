@@ -1,0 +1,442 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// fakeClock yields deterministic, strictly increasing microsecond
+// timestamps so span documents are reproducible in tests.
+func fakeClock() func() time.Time {
+	base := time.Unix(1_700_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * 10 * time.Microsecond)
+	}
+}
+
+func TestRunIDMintAndValidate(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == b {
+		t.Fatalf("two minted run ids collide: %q", a)
+	}
+	if !ValidRunID(a) || !ValidRunID(b) {
+		t.Fatalf("minted ids must be valid: %q %q", a, b)
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "has space", "semi;colon", "new\nline", "slash/y"} {
+		if ValidRunID(bad) {
+			t.Errorf("ValidRunID(%q) = true, want false", bad)
+		}
+	}
+	for _, good := range []string{"run-1", "A.b_c-9", strings.Repeat("x", 64)} {
+		if !ValidRunID(good) {
+			t.Errorf("ValidRunID(%q) = false, want true", good)
+		}
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("run-test", "s")
+	tr.SetClock(fakeClock())
+	root := tr.Start("request", "c7")
+	child := root.Child("execute")
+	child.SetAttr("mode", "Full")
+	child.SetAttrUint("instret", 12345)
+	child.End()
+	child.End() // idempotent: must not double-record
+	root.End()
+
+	doc := tr.Doc()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (double End must not duplicate)", len(doc.Spans))
+	}
+	// Sorted by start time: root first.
+	if doc.Spans[0].Name != "request" || doc.Spans[0].Parent != "c7" {
+		t.Fatalf("root span wrong: %+v", doc.Spans[0])
+	}
+	if doc.Spans[1].Parent != doc.Spans[0].ID {
+		t.Fatalf("child parent = %q, want %q", doc.Spans[1].Parent, doc.Spans[0].ID)
+	}
+	if doc.Spans[1].Attrs["mode"] != "Full" || doc.Spans[1].Attrs["instret"] != "12345" {
+		t.Fatalf("child attrs wrong: %v", doc.Spans[1].Attrs)
+	}
+	if doc.Spans[0].DurUS <= 0 {
+		t.Fatalf("root duration = %d, want > 0", doc.Spans[0].DurUS)
+	}
+}
+
+func TestTraceDocDeterministic(t *testing.T) {
+	build := func() schema.TraceDoc {
+		tr := NewTrace("run-det", "s")
+		tr.SetClock(fakeClock())
+		a := tr.Start("a", "")
+		b := a.Child("b")
+		b.End()
+		a.End()
+		return tr.Doc()
+	}
+	d1, d2 := build(), build()
+	j1, _ := json.Marshal(d1)
+	j2, _ := json.Marshal(d2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("trace doc not deterministic:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestMergeClientServerDocs(t *testing.T) {
+	ct := NewTrace("run-m", "c")
+	ct.SetClock(fakeClock())
+	attempt := ct.Start("attempt", "")
+	attempt.End()
+
+	st := NewTrace("run-m", "s")
+	st.SetClock(fakeClock())
+	req := st.Start("request", attempt.ID())
+	exec := req.Child("execute")
+	exec.End()
+	req.End()
+
+	other := NewTrace("run-other", "s")
+	other.SetClock(fakeClock())
+	other.Start("noise", "").End()
+
+	merged := Merge(ct.Doc(), st.Doc(), other.Doc())
+	if merged.RunID != "run-m" {
+		t.Fatalf("merged run id = %q", merged.RunID)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged doc invalid: %v", err)
+	}
+	if len(merged.Spans) != 3 {
+		t.Fatalf("merged spans = %d, want 3 (other run id skipped)", len(merged.Spans))
+	}
+	byID := map[string]schema.Span{}
+	for _, s := range merged.Spans {
+		byID[s.ID] = s
+	}
+	// The cross-process edge resolves: server request → client attempt.
+	reqSpan, ok := byID[req.ID()]
+	if !ok || reqSpan.Parent != attempt.ID() {
+		t.Fatalf("server request span does not parent under client attempt: %+v", reqSpan)
+	}
+	if byID[exec.ID()].Parent != req.ID() {
+		t.Fatalf("execute span does not parent under request")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTrace("run-chrome", "s")
+	tr.SetClock(fakeClock())
+	root := tr.Start("request", "")
+	child := root.Child("execute")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Doc()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    int64  `json:"ts"`
+			Dur   int64  `json:"dur"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	if out.OtherData["run_id"] != "run-chrome" {
+		t.Fatalf("otherData run_id = %q", out.OtherData["run_id"])
+	}
+	var rootTID, childTID = -1, -1
+	for _, ev := range out.TraceEvents {
+		if ev.Phase != "X" {
+			t.Fatalf("phase = %q, want X", ev.Phase)
+		}
+		if ev.TS < 0 {
+			t.Fatalf("negative normalised ts %d", ev.TS)
+		}
+		switch ev.Name {
+		case "request":
+			rootTID = ev.TID
+		case "execute":
+			childTID = ev.TID
+		}
+	}
+	if rootTID != 0 || childTID != 1 {
+		t.Fatalf("span depth→tid mapping wrong: root=%d child=%d", rootTID, childTID)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTrace("run-ctx", "s")
+	tr.SetClock(fakeClock())
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	ctx, root := StartSpan(ctx, "request")
+	if root == nil {
+		t.Fatal("StartSpan returned nil span with a live trace")
+	}
+	_, child := StartSpan(ctx, "execute")
+	child.End()
+	root.End()
+	doc := tr.Doc()
+	if len(doc.Spans) != 2 || doc.Spans[1].Parent != doc.Spans[0].ID {
+		t.Fatalf("context spans not parented: %+v", doc.Spans)
+	}
+
+	// Without a trace: nil span, unchanged behaviour.
+	ctx2, sp := StartSpan(context.Background(), "nothing")
+	if sp != nil {
+		t.Fatal("StartSpan without trace must return nil span")
+	}
+	sp.End() // must not panic
+	if SpanFromContext(ctx2) != nil {
+		t.Fatal("no span expected")
+	}
+
+	var got []schema.RunEvent
+	ctx3 := WithSink(context.Background(), func(ev schema.RunEvent) { got = append(got, ev) })
+	SinkFromContext(ctx3)(schema.RunEvent{Kind: schema.EventProgress, Instret: 7})
+	if len(got) != 1 || got[0].Instret != 7 {
+		t.Fatalf("sink not delivered: %+v", got)
+	}
+	if SinkFromContext(context.Background()) != nil {
+		t.Fatal("sink on empty context must be nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if snap := h.Snapshot(); snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("empty snapshot wrong: %+v", snap)
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 6 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Min != 0 || snap.Max != 1<<40 {
+		t.Fatalf("min/max = %d/%d", snap.Min, snap.Max)
+	}
+	if snap.Sum != 0+1+2+3+1000+1<<40 {
+		t.Fatalf("sum = %d", snap.Sum)
+	}
+	want := map[uint64]uint64{1: 2, 2: 1, 4: 1, 1024: 1, 1 << 40: 1}
+	got := map[uint64]uint64{}
+	for _, b := range snap.Buckets {
+		got[b.LE] = b.Count
+	}
+	for le, n := range want {
+		if got[le] != n {
+			t.Fatalf("bucket le=%d count=%d want %d (all: %v)", le, got[le], n, got)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}, {^uint64(0), 63}}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBrokerPublishSubscribeReplay(t *testing.T) {
+	b := NewBroker(4, 4)
+	// Subscribe before any publish: pre-registration is allowed.
+	early := b.Subscribe("run-1")
+	b.Publish("run-1", schema.RunEvent{Kind: schema.EventProgress, Instret: 100})
+	b.Publish("run-1", schema.RunEvent{Kind: schema.EventAudit, Instret: 150})
+
+	ev := <-early.C
+	if ev.Seq != 1 || ev.Kind != schema.EventProgress {
+		t.Fatalf("first event wrong: %+v", ev)
+	}
+	ev = <-early.C
+	if ev.Seq != 2 || ev.Kind != schema.EventAudit {
+		t.Fatalf("second event wrong: %+v", ev)
+	}
+
+	// A late subscriber replays the history.
+	late := b.Subscribe("run-1")
+	ev = <-late.C
+	if ev.Seq != 1 {
+		t.Fatalf("late subscriber did not replay from start: %+v", ev)
+	}
+
+	b.Finish("run-1", schema.RunEvent{Kind: schema.EventResult})
+	ev = <-early.C // skip seq 2 replay position: early already consumed 1,2 → next is terminal
+	if ev.Kind != schema.EventResult || ev.Seq != 3 {
+		t.Fatalf("terminal event wrong: %+v", ev)
+	}
+	if _, ok := <-early.C; ok {
+		t.Fatal("channel must close after terminal event")
+	}
+
+	// Subscribing after Finish: full history replay, already closed.
+	post := b.Subscribe("run-1")
+	var kinds []string
+	for ev := range post.C {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 3 || kinds[2] != schema.EventResult {
+		t.Fatalf("post-finish replay wrong: %v", kinds)
+	}
+
+	m := b.Metrics()
+	if m.Published != 3 {
+		t.Fatalf("published = %d, want 3", m.Published)
+	}
+}
+
+func TestBrokerHistoryRingWraps(t *testing.T) {
+	b := NewBroker(2, 2)
+	for i := 1; i <= 5; i++ {
+		b.Publish("run-w", schema.RunEvent{Kind: schema.EventProgress, Instret: uint64(i)})
+	}
+	sub := b.Subscribe("run-w")
+	ev := <-sub.C
+	if ev.Seq != 4 || ev.Instret != 4 {
+		t.Fatalf("oldest replayed event = %+v, want seq 4", ev)
+	}
+	ev = <-sub.C
+	if ev.Seq != 5 {
+		t.Fatalf("second replayed event = %+v, want seq 5", ev)
+	}
+}
+
+func TestBrokerDropsOnSlowConsumer(t *testing.T) {
+	b := NewBroker(2, 1)
+	sub := b.Subscribe("run-s") // buffer = historyCap+subBuf = 3
+	for i := 0; i < 10; i++ {
+		b.Publish("run-s", schema.RunEvent{Kind: schema.EventProgress, Instret: uint64(i)})
+	}
+	if sub.Dropped() != 7 {
+		t.Fatalf("subscriber dropped = %d, want 7", sub.Dropped())
+	}
+	if m := b.Metrics(); m.Dropped != 7 || m.Published != 10 {
+		t.Fatalf("broker metrics = %+v", m)
+	}
+	// The publisher never blocked, and the events that did land are in
+	// order.
+	prev := int64(-1)
+	for i := 0; i < 3; i++ {
+		ev := <-sub.C
+		if int64(ev.Seq) <= prev {
+			t.Fatalf("out of order: %d after %d", ev.Seq, prev)
+		}
+		prev = int64(ev.Seq)
+	}
+}
+
+func TestBrokerUnsubscribe(t *testing.T) {
+	b := NewBroker(4, 4)
+	sub := b.Subscribe("run-u")
+	b.Unsubscribe("run-u", sub)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("unsubscribed channel must be closed")
+	}
+	// Double-unsubscribe and publish-after-unsubscribe must be safe.
+	b.Unsubscribe("run-u", sub)
+	b.Publish("run-u", schema.RunEvent{Kind: schema.EventProgress})
+	if m := b.Metrics(); m.Subscribers != 0 {
+		t.Fatalf("subscribers = %d, want 0", m.Subscribers)
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker(4, 4)
+	sub := b.Subscribe("run-c")
+	b.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("Close must close subscriber channels")
+	}
+	// Everything after Close is inert.
+	b.Publish("run-c", schema.RunEvent{Kind: schema.EventProgress})
+	b.Finish("run-c", schema.RunEvent{Kind: schema.EventResult})
+	post := b.Subscribe("run-c")
+	if _, ok := <-post.C; ok {
+		t.Fatal("Subscribe after Close must return a closed channel")
+	}
+	b.Close() // idempotent
+}
+
+func TestBrokerRetentionBounded(t *testing.T) {
+	b := NewBroker(1, 1)
+	for i := 0; i < retainCap+10; i++ {
+		id := "run-" + strconv.Itoa(i)
+		b.Publish(id, schema.RunEvent{Kind: schema.EventProgress})
+		b.Finish(id, schema.RunEvent{Kind: schema.EventResult})
+	}
+	b.mu.Lock()
+	n := len(b.runs)
+	b.mu.Unlock()
+	if n > retainCap {
+		t.Fatalf("retained %d finished runs, cap is %d", n, retainCap)
+	}
+}
+
+func TestBrokerSinkAdapter(t *testing.T) {
+	b := NewBroker(4, 4)
+	sub := b.Subscribe("run-sink")
+	sink := b.Sink("run-sink")
+	sink(schema.RunEvent{Kind: schema.EventCheckpoint, Instret: 42})
+	ev := <-sub.C
+	if ev.Kind != schema.EventCheckpoint || ev.Instret != 42 {
+		t.Fatalf("sink event wrong: %+v", ev)
+	}
+}
+
+// Telemetry disabled must cost zero allocations on the hot path: these
+// are the span/streaming analogues of the obs alloc-parity benchmarks.
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	var nilTrace *Trace
+	var nilSpan *Span
+	ctx := context.Background()
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"nil-trace Start", func() { _ = nilTrace.Start("x", "") }},
+		{"nil-trace RunID", func() { _ = nilTrace.RunID() }},
+		{"nil-span Child", func() { _ = nilSpan.Child("x") }},
+		{"nil-span SetAttr", func() { nilSpan.SetAttr("k", "v") }},
+		{"nil-span End", func() { nilSpan.End() }},
+		{"nil-span ID", func() { _ = nilSpan.ID() }},
+		{"FromContext plain ctx", func() { _ = FromContext(ctx) }},
+		{"SpanFromContext plain ctx", func() { _ = SpanFromContext(ctx) }},
+		{"SinkFromContext plain ctx", func() { _ = SinkFromContext(ctx) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, n)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the live-observability spine of the ROLoad
+// service stack: span-based request tracing (roload-trace/v1), a
+// bounded fan-out broker for streaming run events, and log-bucketed
+// latency histograms. It builds on internal/obs — obs watches one
+// simulated machine from the inside; telemetry watches the system of
+// machines, services and clients from the outside — and, like obs, it
+// is strictly pay-for-what-you-use: a nil *Trace, a nil Sink and an
+// absent context value cost one branch and zero allocations, so the
+// simulator hot path is unchanged when telemetry is off.
+//
+// The span producers on both sides of the wire share one run id: the
+// client mints it (or the server does, for bare HTTP callers), sends
+// it in the Roload-Trace header, and parents the server's request span
+// under its attempt span via Roload-Trace-Parent. Merge folds the two
+// documents into one tree.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// NewRunID mints a globally unique run id: URL- and header-safe, no
+// coordination required between minting parties (client and server).
+func NewRunID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand.Read cannot fail
+	return "run-" + hex.EncodeToString(b[:])
+}
+
+// ValidRunID reports whether an externally supplied run id (the
+// Roload-Trace request header) is acceptable: non-empty, bounded, and
+// limited to URL- and log-safe characters.
+func ValidRunID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Trace records the spans of one run on one side of the wire. A nil
+// *Trace is a valid, fully inert trace: every method is a no-op and
+// Start returns a nil *Span whose methods are no-ops too — callers
+// never branch on whether tracing is enabled. Safe for concurrent use.
+type Trace struct {
+	runID  string
+	prefix string
+	now    func() time.Time
+
+	seq   atomic.Uint64
+	mu    sync.Mutex
+	spans []schema.Span
+}
+
+// NewTrace builds a trace for runID. prefix namespaces span ids (by
+// convention "c" on the client, "s" on the server) so the two sides'
+// spans never collide when their documents merge.
+func NewTrace(runID, prefix string) *Trace {
+	return &Trace{runID: runID, prefix: prefix, now: time.Now}
+}
+
+// SetClock overrides the trace's wall clock (tests).
+func (t *Trace) SetClock(now func() time.Time) {
+	if t != nil {
+		t.now = now
+	}
+}
+
+// RunID returns the trace's run id ("" on a nil trace).
+func (t *Trace) RunID() string {
+	if t == nil {
+		return ""
+	}
+	return t.runID
+}
+
+// Span is one in-flight timed operation. A nil *Span is inert.
+type Span struct {
+	t      *Trace
+	id     string
+	parent string
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+	ended  bool
+}
+
+// Start opens a root-level span (parented under parentID, which may
+// name a span owned by the other side of the wire, or be "").
+func (t *Trace) Start(name, parentID string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:      t,
+		id:     fmt.Sprintf("%s%d", t.prefix, t.seq.Add(1)),
+		parent: parentID,
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// Child opens a span parented under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.Start(name, s.id)
+}
+
+// ID returns the span id ("" on a nil span) — sent in the
+// Roload-Trace-Parent header to parent the peer's spans.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr attaches one key/value to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetAttrUint is SetAttr for counter values.
+func (s *Span) SetAttrUint(key string, value uint64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// End closes the span and records it in the trace. Ending a span twice
+// records it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	dur := end.Sub(s.start).Microseconds()
+	if dur < 0 {
+		dur = 0
+	}
+	rec := schema.Span{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   dur,
+		Attrs:   attrs,
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, rec)
+	s.t.mu.Unlock()
+}
+
+// Doc snapshots the trace as a roload-trace/v1 document, spans ordered
+// by start time (id as tiebreaker, so the document is deterministic
+// for a deterministic span set). A nil trace yields the zero document.
+func (t *Trace) Doc() schema.TraceDoc {
+	if t == nil {
+		return schema.TraceDoc{}
+	}
+	t.mu.Lock()
+	spans := append([]schema.Span(nil), t.spans...)
+	t.mu.Unlock()
+	sortSpans(spans)
+	return schema.TraceDoc{Schema: schema.TraceV1, RunID: t.runID, Spans: spans}
+}
+
+func sortSpans(spans []schema.Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUS != spans[j].StartUS {
+			return spans[i].StartUS < spans[j].StartUS
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}
+
+// Merge folds trace documents for the same run into one: the span sets
+// concatenate (cross-document parent references — the client attempt →
+// server request edge — resolve once both sides are present) and the
+// result is ordered like Doc. Documents for other run ids are skipped;
+// the run id of the merge is the first non-empty one.
+func Merge(docs ...schema.TraceDoc) schema.TraceDoc {
+	out := schema.TraceDoc{Schema: schema.TraceV1}
+	for _, d := range docs {
+		if d.RunID == "" {
+			continue
+		}
+		if out.RunID == "" {
+			out.RunID = d.RunID
+		}
+		if d.RunID != out.RunID {
+			continue
+		}
+		out.Spans = append(out.Spans, d.Spans...)
+	}
+	sortSpans(out.Spans)
+	return out
+}

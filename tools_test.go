@@ -575,6 +575,7 @@ func TestFuzzSmoke(t *testing.T) {
 		{"FuzzAssembleRoundTrip", "roload/internal/asm"},
 		{"FuzzEnvelopeDecode", "roload/internal/schema"},
 		{"FuzzCheckpointDecode", "roload/internal/schema"},
+		{"FuzzTraceDecode", "roload/internal/schema"},
 	}
 	for _, tg := range targets {
 		t.Run(tg.name, func(t *testing.T) {
@@ -876,6 +877,91 @@ func TestCLIChaosMatrix(t *testing.T) {
 	for _, want := range []string{"hijacked-silent", "caught-roload", "fptr-call", "vtable-call"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("chaos report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTraceSchemaValidates drives one traced run through the in-process
+// service and checks the GET /v1/runs/{id}/trace body against the
+// roload-trace/v1 schema: tagged, run-id stamped, and every span
+// well-formed with resolvable parents.
+func TestTraceSchemaValidates(t *testing.T) {
+	srv := service.NewServer(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer srv.Close()
+	defer ts.Close()
+
+	const runID = "run-tools-trace-check"
+	raw, _ := json.Marshal(schema.RunRequest{Source: smokeProg})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Roload-Trace", runID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Roload-Trace"); got != runID {
+		t.Errorf("Roload-Trace echo = %q, want %q", got, runID)
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/runs/" + runID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	data, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", tresp.StatusCode, data)
+	}
+	var doc schema.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace body does not decode: %v", err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Errorf("trace document invalid: %v", err)
+	}
+	if doc.Schema != schema.TraceV1 {
+		t.Errorf("trace schema tag = %q, want %q", doc.Schema, schema.TraceV1)
+	}
+	if doc.RunID != runID {
+		t.Errorf("trace run id = %q", doc.RunID)
+	}
+	if len(doc.Spans) == 0 {
+		t.Error("trace has no spans")
+	}
+}
+
+// TestHostBenchHistoryValidates checks the committed BENCH_history.json
+// against the roload-hostbench-history/v1 schema — the perf-trajectory
+// file `roload-bench -hostbench -history` appends to.
+func TestHostBenchHistoryValidates(t *testing.T) {
+	data, err := os.ReadFile("BENCH_history.json")
+	if err != nil {
+		t.Fatalf("BENCH_history.json missing (regenerate with roload-bench -hostbench BENCH_host.json -history BENCH_history.json -scale test): %v", err)
+	}
+	var h schema.HostBenchHistory
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("BENCH_history.json does not decode: %v", err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("BENCH_history.json invalid: %v", err)
+	}
+	if len(h.Entries) == 0 {
+		t.Error("history has no entries")
+	}
+	for i, e := range h.Entries {
+		if e.Total.Instructions == 0 || e.Total.FastMIPS <= 0 {
+			t.Errorf("entry %d total looks unmeasured: %+v", i, e.Total)
 		}
 	}
 }
