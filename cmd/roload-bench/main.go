@@ -5,19 +5,22 @@
 //
 //	roload-bench [-scale ref|test] [-parallel N] [-only table1|table2|table3|sysoverhead|fig3|fig4|fig5|retguard|security]
 //	roload-bench -json bench.json [-scale ref|test] [-parallel N]
-//	roload-bench -hostbench BENCH_host.json [-history BENCH_history.json] [-scale ref|test]
+//	roload-bench -hostbench BENCH_host.json [-history BENCH_history.json] [-check] [-scale ref|test]
 //
 // With no -only flag every experiment runs in paper order; an unknown
 // -only value is an error (exit 2). With -json the harness instead
 // emits one machine-readable document (schema roload-bench/v1)
 // covering every experiment — since the document always carries every
 // experiment, combining -json with -only is rejected. With -hostbench
-// the harness measures host-side simulation throughput (interpreter vs
-// fast-path engine, in simulated MIPS) and writes that document
-// instead; adding -history also appends the measurement — stamped with
-// the git revision and wall-clock time — to an append-only
-// roload-hostbench-history/v1 file, the performance trajectory that
-// makes simulator regressions visible across commits.
+// the harness measures host-side simulation throughput (interpreter,
+// fast path, and block engine, in simulated MIPS) and writes that
+// document instead; adding -history also appends the measurement —
+// stamped with the git revision and wall-clock time — to an
+// append-only roload-hostbench-history/v1 file, the performance
+// trajectory that makes simulator regressions visible across commits.
+// With -check the run additionally fails (exit 1, after recording the
+// measurement) when the fast or blocks total MIPS dropped more than
+// -check-tolerance percent below the last same-scale history entry.
 //
 // Experiment cells run on a worker pool (-parallel, default
 // GOMAXPROCS) over memoized, compile-once measurements; output is
@@ -48,6 +51,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write all experiments as one JSON report to this path (- for stdout)")
 	hostBench := flag.String("hostbench", "", "measure host simulation throughput and write a roload-hostbench/v1 document to this path (- for stdout)")
 	history := flag.String("history", "", "with -hostbench: also append the measurement (plus git revision and timestamp) to this roload-hostbench-history/v1 file")
+	check := flag.Bool("check", false, "with -hostbench -history: exit non-zero if fast or blocks total MIPS regressed more than -check-tolerance vs the last same-scale history entry")
+	checkTolerance := flag.Float64("check-tolerance", 10, "allowed total-MIPS drop in percent before -check fails")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = GOMAXPROCS)")
 	noFast := flag.Bool("nofastpath", false, "disable the simulator's host-side fast paths (bit-identical results, slower; for A/B debugging)")
 	flag.Parse()
@@ -81,12 +86,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "roload-bench: -history only makes sense with -hostbench")
 		os.Exit(2)
 	}
+	if *check && *history == "" {
+		fmt.Fprintln(os.Stderr, "roload-bench: -check only makes sense with -hostbench -history")
+		os.Exit(2)
+	}
 
 	if *hostBench != "" {
 		doc, err := eval.MeasureHostBench(ctx, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
 			os.Exit(1)
+		}
+		// The regression gate compares against the history as it was
+		// before this measurement; the measurement is appended either
+		// way, so a failing run is still recorded in the trajectory.
+		var regress error
+		if *check {
+			prev, err := eval.LoadHostBenchHistory(*history)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roload-bench: %v\n", err)
+				os.Exit(1)
+			}
+			regress = eval.CheckHostBenchRegression(prev, doc, *checkTolerance)
 		}
 		writeTo(*hostBench, doc.WriteJSON)
 		if *history != "" {
@@ -96,6 +117,10 @@ func main() {
 				os.Exit(1)
 			}
 			writeTo(*history, h.WriteJSON)
+		}
+		if regress != nil {
+			fmt.Fprintf(os.Stderr, "roload-bench: %v\n", regress)
+			os.Exit(1)
 		}
 		return
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	roload-run [-system full|proc|baseline] [-harden scheme] [-stats] prog.mc
+//	roload-run [-system full|proc|baseline] [-harden scheme] [-engine blocks|fast|interp] [-stats] prog.mc
 //	roload-run -asm prog.s
 //	roload-run -trace out.json -profile - -metrics run.json prog.mc
 //	roload-run -checkpoint ck.json -checkpoint-every 100000 prog.mc
@@ -11,7 +11,11 @@
 //	roload-run -fault-seed 7 -fault-count 5 -fault-trace - prog.mc
 //	roload-run -redundant 3 -heal -fault-seed 7 -fault-count 2 -heal-report - prog.mc
 //
-// -sys is an alias of -system. Unknown -system/-harden values exit 2
+// -engine selects the execution engine (default blocks); all three
+// engines produce bit-identical simulated results and differ only in
+// host speed.
+//
+// -sys is an alias of -system. Unknown -system/-harden/-engine values exit 2
 // naming the known values (the shared internal/cli contract of every
 // tool). Exit status mirrors the simulated process: its exit code, or
 // 128 + signal when it was killed.
@@ -66,6 +70,8 @@ func main() {
 	flag.Var(&systemFlag, "sys", "alias of -system")
 	hardenFlag := cli.HardenFlag{Scheme: core.HardenNone}
 	flag.Var(&hardenFlag, "harden", "hardening scheme: none, vcall, vtint, icall, cfi, retguard, full")
+	engineFlag := cli.EngineFlag{Engine: core.EngineBlocks}
+	flag.Var(&engineFlag, "engine", "execution engine: blocks, fast, or interp (bit-identical simulated results; host speed only)")
 	isAsm := flag.Bool("asm", false, "input is assembly, not MiniC")
 	optimize := flag.Bool("O", false, "run the peephole optimizer before hardening")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
@@ -178,6 +184,7 @@ func main() {
 	var res kernel.RunResult
 	if *redundantK > 0 {
 		res = runRedundant(img, sys, redOptions{
+			engine:       engineFlag.Engine,
 			replicas:     *redundantK,
 			syncEvery:    *syncEvery,
 			heal:         *heal,
@@ -190,6 +197,7 @@ func main() {
 		})
 	} else if *ckEvery > 0 || *resumePath != "" || *faultCount > 0 {
 		res = runAdvanced(img, sys, obs.Combine(probes...), advOptions{
+			engine:     engineFlag.Engine,
 			maxSteps:   *maxSteps,
 			ckPath:     *ckPath,
 			ckEvery:    *ckEvery,
@@ -200,10 +208,10 @@ func main() {
 		})
 	} else {
 		var err error
-		res, _, err = core.RunWith(context.Background(), img, sys, core.RunOptions{
+		res, _, err = core.RunWith(context.Background(), img, sys, engineFlag.Engine.Options(core.RunOptions{
 			MaxSteps: *maxSteps,
 			Probe:    obs.Combine(probes...),
-		})
+		}))
 		if err != nil {
 			fatal(err)
 		}
@@ -268,6 +276,7 @@ func main() {
 
 // redOptions parameterize the supervised redundant-execution path.
 type redOptions struct {
+	engine       core.Engine
 	replicas     int
 	syncEvery    uint64
 	heal         bool
@@ -291,7 +300,12 @@ func runRedundant(img *asm.Image, sys core.SystemKind, opt redOptions) kernel.Ru
 		}
 		plan = &p
 	}
+	engines := make([]core.Engine, opt.replicas)
+	for i := range engines {
+		engines[i] = opt.engine
+	}
 	out, err := redundant.Run(context.Background(), img, sys, redundant.Options{
+		Engines:      engines,
 		Replicas:     opt.replicas,
 		SyncEvery:    opt.syncEvery,
 		Heal:         opt.heal,
@@ -325,6 +339,7 @@ func runRedundant(img *asm.Image, sys core.SystemKind, opt redOptions) kernel.Ru
 // advOptions parameterize the direct-kernel driving path used when
 // checkpointing, resuming, or injecting faults.
 type advOptions struct {
+	engine     core.Engine
 	maxSteps   uint64
 	ckPath     string
 	ckEvery    uint64
@@ -342,6 +357,9 @@ type advOptions struct {
 // bit-identical to one uninterrupted run.
 func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOptions) kernel.RunResult {
 	cfg := sys.Config()
+	eo := opt.engine.Options(core.RunOptions{})
+	cfg.CPU.NoFastPath = eo.NoFastPath
+	cfg.CPU.NoBlocks = eo.NoBlocks
 	switch {
 	case opt.ckEvery > 0:
 		cfg.MaxSteps = opt.ckEvery

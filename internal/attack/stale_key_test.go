@@ -69,7 +69,7 @@ bad:
 	ecall
 `
 
-func runStaleKey(t *testing.T, noFastPath bool) kernel.RunResult {
+func runStaleKey(t *testing.T, noFastPath, noBlocks bool) kernel.RunResult {
 	t.Helper()
 	img, err := asm.Assemble(staleKeyProg, asm.DefaultOptions())
 	if err != nil {
@@ -78,6 +78,7 @@ func runStaleKey(t *testing.T, noFastPath bool) kernel.RunResult {
 	cfg := kernel.FullSystem()
 	cfg.MaxSteps = 1_000_000
 	cfg.CPU.NoFastPath = noFastPath
+	cfg.CPU.NoBlocks = noBlocks
 	sys := kernel.NewSystem(cfg)
 	p, err := sys.Spawn(img)
 	if err != nil {
@@ -94,30 +95,48 @@ func runStaleKey(t *testing.T, noFastPath bool) kernel.RunResult {
 // security guard: after mprotect changes a page's key, an ld.ro with
 // the revoked key must die with a ROLoad violation even though the
 // page's old translation was hot in the TLB, the inline translation
-// cache and the predecode cache — and the outcome (and cycle count)
-// must be identical with the fast paths disabled.
+// cache, the predecode cache — and, on the block engine, even though
+// the warm loop's translated block has the revoked key pre-bound in a
+// closure (mprotect keeps the frame, so the block's physical-page
+// write generation is still valid and the stale block is genuinely
+// re-entered). The outcome and cycle count must be identical on all
+// three engines.
 func TestStaleTranslationCannotBypassRekey(t *testing.T) {
-	fast := runStaleKey(t, false)
-	if fast.Exited {
-		if fast.Code == 66 {
-			t.Fatal("stale cached translation let a revoked-key ld.ro succeed")
+	engines := []struct {
+		name                 string
+		noFastPath, noBlocks bool
+	}{
+		{"blocks", false, false},
+		{"fast", false, true},
+		{"interp", true, true},
+	}
+	var first kernel.RunResult
+	for i, eng := range engines {
+		res := runStaleKey(t, eng.noFastPath, eng.noBlocks)
+		if res.Exited {
+			if res.Code == 66 {
+				t.Fatalf("%s: stale cached translation let a revoked-key ld.ro succeed", eng.name)
+			}
+			t.Fatalf("%s: victim exited with %d before mounting the stale access", eng.name, res.Code)
 		}
-		t.Fatalf("victim exited with %d before mounting the stale access", fast.Code)
-	}
-	if fast.Signal != kernel.SIGSEGV || !fast.ROLoadViolation {
-		t.Fatalf("revoked-key ld.ro died with %v (roload=%v), want SIGSEGV ROLoad violation",
-			fast.Signal, fast.ROLoadViolation)
-	}
-	if fast.FaultWantKey != 111 || fast.FaultGotKey != 222 {
-		t.Errorf("fault keys want=%d got=%d, expected want=111 got=222",
-			fast.FaultWantKey, fast.FaultGotKey)
-	}
-
-	interp := runStaleKey(t, true)
-	if interp.Signal != fast.Signal || interp.ROLoadViolation != fast.ROLoadViolation ||
-		interp.Cycles != fast.Cycles || interp.Instret != fast.Instret {
-		t.Errorf("fast/interp diverge: fast={sig:%v ro:%v cyc:%d inst:%d} interp={sig:%v ro:%v cyc:%d inst:%d}",
-			fast.Signal, fast.ROLoadViolation, fast.Cycles, fast.Instret,
-			interp.Signal, interp.ROLoadViolation, interp.Cycles, interp.Instret)
+		if res.Signal != kernel.SIGSEGV || !res.ROLoadViolation {
+			t.Fatalf("%s: revoked-key ld.ro died with %v (roload=%v), want SIGSEGV ROLoad violation",
+				eng.name, res.Signal, res.ROLoadViolation)
+		}
+		if res.FaultWantKey != 111 || res.FaultGotKey != 222 {
+			t.Errorf("%s: fault keys want=%d got=%d, expected want=111 got=222",
+				eng.name, res.FaultWantKey, res.FaultGotKey)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Signal != first.Signal || res.ROLoadViolation != first.ROLoadViolation ||
+			res.Cycles != first.Cycles || res.Instret != first.Instret {
+			t.Errorf("%s/%s diverge: %s={sig:%v ro:%v cyc:%d inst:%d} %s={sig:%v ro:%v cyc:%d inst:%d}",
+				engines[0].name, eng.name,
+				engines[0].name, first.Signal, first.ROLoadViolation, first.Cycles, first.Instret,
+				eng.name, res.Signal, res.ROLoadViolation, res.Cycles, res.Instret)
+		}
 	}
 }

@@ -1,0 +1,233 @@
+package block
+
+import (
+	"testing"
+
+	"roload/internal/isa"
+	"roload/internal/mem"
+)
+
+// encode assembles one instruction word via the isa encoder.
+func encode(t *testing.T, in isa.Inst) uint32 {
+	t.Helper()
+	raw, err := isa.Encode(in)
+	if err != nil {
+		t.Fatalf("encode %v: %v", in, err)
+	}
+	return raw
+}
+
+// plant writes 4-byte instruction words contiguously at pa.
+func plant(t *testing.T, phys *mem.Physical, pa uint64, words ...uint32) {
+	t.Helper()
+	for i, w := range words {
+		if err := phys.WriteUint(pa+uint64(4*i), uint64(w), 4); err != nil {
+			t.Fatalf("write word %d: %v", i, err)
+		}
+	}
+}
+
+func addi(t *testing.T) uint32 {
+	return encode(t, isa.Inst{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 1})
+}
+
+func TestTranslateTerminator(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x1000
+	plant(t, phys, pa,
+		addi(t),
+		addi(t),
+		encode(t, isa.Inst{Op: isa.BEQ, Rs1: isa.A0, Rs2: isa.Zero, Imm: 8}),
+	)
+	b := Translate(phys, pa, pa, 64, true)
+	if b.Kind != KindBlock {
+		t.Fatalf("kind = %v, want KindBlock", b.Kind)
+	}
+	if len(b.Insts) != 3 {
+		t.Fatalf("got %d insts, want 3 (block must stop at the branch)", len(b.Insts))
+	}
+	term, ok := b.Terminator()
+	if !ok || term.Class != ClassBranch {
+		t.Errorf("terminator = %+v ok=%v, want a ClassBranch terminator", term, ok)
+	}
+	if b.EndOff != 12 {
+		t.Errorf("EndOff = %d, want 12", b.EndOff)
+	}
+	if b.Counts.Branches != 1 {
+		t.Errorf("Branches = %d, want 1", b.Counts.Branches)
+	}
+	if !b.Ref.Valid() {
+		t.Error("fresh block's Ref must be valid")
+	}
+}
+
+func TestTranslateUnblockableStarts(t *testing.T) {
+	ldro := func(t *testing.T) uint32 {
+		return encode(t, isa.Inst{Op: isa.LDRO, Rd: isa.A0, Rs1: isa.A1, Key: 7})
+	}
+	cases := []struct {
+		name      string
+		raw       uint32
+		roload    bool
+		wantOp    isa.Op
+		wantFirst bool
+	}{
+		{"ecall", encode(t, isa.Inst{Op: isa.ECALL}), true, isa.ECALL, true},
+		{"invalid", 0xFFFFFFFF, true, isa.OpInvalid, true},
+		{"roload-disabled", ldro(t), false, isa.OpInvalid, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			phys := mem.NewPhysical(1 << 20)
+			const pa = 0x2000
+			plant(t, phys, pa, c.raw)
+			b := Translate(phys, pa, pa, 64, c.roload)
+			if b.Kind != KindUnblockable {
+				t.Fatalf("kind = %v, want KindUnblockable", b.Kind)
+			}
+			if c.wantFirst && b.First.Op != c.wantOp {
+				t.Errorf("First.Op = %v, want %v", b.First.Op, c.wantOp)
+			}
+		})
+	}
+	// With the extension enabled the same ld.ro is a perfectly good
+	// block instruction.
+	phys := mem.NewPhysical(1 << 20)
+	plant(t, phys, 0x2000, ldro(t))
+	b := Translate(phys, 0x2000, 0x2000, 64, true)
+	if b.Kind != KindBlock || len(b.Insts) != 1 || b.Insts[0].Class != ClassROLoad {
+		t.Errorf("enabled ld.ro: %+v, want one ClassROLoad inst", b)
+	}
+}
+
+func TestTranslateStopsBeforeUnblockable(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x3000
+	plant(t, phys, pa, addi(t), encode(t, isa.Inst{Op: isa.ECALL}))
+	b := Translate(phys, pa, pa, 64, true)
+	if b.Kind != KindBlock || len(b.Insts) != 1 || b.EndOff != 4 {
+		t.Fatalf("block = %+v, want 1 inst ending at off 4 (ecall excluded)", b)
+	}
+	if _, ok := b.Terminator(); ok {
+		t.Error("a block cut before an unblockable has no terminator")
+	}
+}
+
+func TestTranslatePageBoundaryCut(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	pa := uint64(0x2000) - 8 // room for exactly two 4-byte insts
+	plant(t, phys, pa, addi(t), addi(t), addi(t), addi(t))
+	b := Translate(phys, pa, pa, 64, true)
+	if b.Kind != KindBlock || len(b.Insts) != 2 {
+		t.Fatalf("block = %+v, want exactly 2 insts (cut at the page edge)", b)
+	}
+	if pa+uint64(b.EndOff) != 0x2000 {
+		t.Errorf("fall-through = %#x, want the next page start %#x", pa+uint64(b.EndOff), 0x2000)
+	}
+}
+
+func TestTranslateStraddle(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	pa := uint64(0x2000) - 2 // a 4-byte parcel straddling the page end
+	plant(t, phys, pa, addi(t))
+	b := Translate(phys, pa, pa, 64, true)
+	if b.Kind != KindSlowFetch {
+		t.Fatalf("kind = %v, want KindSlowFetch for a straddling start", b.Kind)
+	}
+
+	// Straddle later in the block: the block simply ends before it.
+	pa = uint64(0x2000) - 6
+	plant(t, phys, pa, addi(t), addi(t))
+	b = Translate(phys, pa, pa, 64, true)
+	if b.Kind != KindBlock || len(b.Insts) != 1 || b.EndOff != 4 {
+		t.Errorf("block = %+v, want 1 inst ending before the straddler", b)
+	}
+}
+
+func TestTranslateMaxInsts(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x4000 // page-aligned: room for 1024 4-byte insts
+	words := make([]uint32, MaxInsts+32)
+	for i := range words {
+		words[i] = addi(t)
+	}
+	plant(t, phys, pa, words...)
+	b := Translate(phys, pa, pa, 64, true)
+	if len(b.Insts) != MaxInsts {
+		t.Errorf("got %d insts, want the %d cap", len(b.Insts), MaxInsts)
+	}
+	if _, ok := b.Terminator(); ok {
+		t.Error("a capped block has no terminator")
+	}
+}
+
+func TestTranslateCounts(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x5000
+	plant(t, phys, pa,
+		encode(t, isa.Inst{Op: isa.LD, Rd: isa.A0, Rs1: isa.A1}),
+		encode(t, isa.Inst{Op: isa.LDRO, Rd: isa.A0, Rs1: isa.A1, Key: 3}),
+		encode(t, isa.Inst{Op: isa.SD, Rs2: isa.A0, Rs1: isa.A1}),
+		encode(t, isa.Inst{Op: isa.MUL, Rd: isa.A0, Rs1: isa.A0, Rs2: isa.A1}),
+		encode(t, isa.Inst{Op: isa.DIV, Rd: isa.A0, Rs1: isa.A0, Rs2: isa.A1}),
+		encode(t, isa.Inst{Op: isa.JAL, Rd: isa.Zero, Imm: 8}),
+	)
+	b := Translate(phys, pa, pa, 64, true)
+	want := Counts{Loads: 2, Stores: 1, ROLoads: 1, MulDiv: 2, Muls: 1, Divs: 1, Jumps: 1}
+	if b.Counts != want {
+		t.Errorf("Counts = %+v, want %+v", b.Counts, want)
+	}
+	if len(b.Insts) != 6 {
+		t.Errorf("got %d insts, want 6", len(b.Insts))
+	}
+}
+
+func TestLineLeaderMarking(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x6000 // aligned to any line size
+	plant(t, phys, pa, addi(t), addi(t), addi(t), addi(t))
+	b := Translate(phys, pa, pa, 8, true) // 8-byte lines: two insts per line
+	wantLeaders := []bool{true, false, true, false}
+	for i, in := range b.Insts {
+		if in.LineLeader != wantLeaders[i] {
+			t.Errorf("inst %d LineLeader = %v, want %v", i, in.LineLeader, wantLeaders[i])
+		}
+	}
+}
+
+func TestTranslateOffsetsMixedWidth(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x7000
+	// c.nop (2 bytes) then a 4-byte addi: offsets 0 and 2.
+	if err := phys.WriteUint(pa, 0x0001, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.WriteUint(pa+2, uint64(addi(t)), 4); err != nil {
+		t.Fatal(err)
+	}
+	b := Translate(phys, pa, pa, 64, true)
+	if len(b.Insts) < 2 {
+		t.Fatalf("got %d insts, want at least 2", len(b.Insts))
+	}
+	if b.Insts[0].Off != 0 || b.Insts[1].Off != 2 {
+		t.Errorf("offsets = %d,%d, want 0,2", b.Insts[0].Off, b.Insts[1].Off)
+	}
+}
+
+func TestRefInvalidatedByWrite(t *testing.T) {
+	phys := mem.NewPhysical(1 << 20)
+	const pa = 0x8000
+	plant(t, phys, pa, addi(t), addi(t))
+	b := Translate(phys, pa, pa, 64, true)
+	if !b.Ref.Valid() {
+		t.Fatal("fresh Ref invalid")
+	}
+	// Any write to the backing page revokes the translation — even one
+	// beyond the block's own bytes (page granularity, like predecode).
+	if err := phys.WriteUint(pa+512, 0xAB, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Ref.Valid() {
+		t.Error("Ref still valid after a write to the backing page")
+	}
+}

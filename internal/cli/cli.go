@@ -80,6 +80,32 @@ func HardeningName(h core.Hardening) string {
 	}
 }
 
+// ParseEngine maps an -engine flag value to its execution Engine.
+func ParseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "blocks":
+		return core.EngineBlocks, nil
+	case "fast":
+		return core.EngineFast, nil
+	case "interp":
+		return core.EngineInterp, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (known: blocks, fast, interp)", name)
+}
+
+// EngineName is the flag spelling of an execution engine (the inverse
+// of ParseEngine).
+func EngineName(e core.Engine) string {
+	switch e {
+	case core.EngineFast:
+		return "fast"
+	case core.EngineInterp:
+		return "interp"
+	default:
+		return "blocks"
+	}
+}
+
 // ParseScale maps a -scale flag value to its workload Scale.
 func ParseScale(name string) (eval.Scale, error) {
 	return eval.ParseScale(name)
@@ -120,6 +146,20 @@ func (f *HardenFlag) Set(s string) error {
 		return err
 	}
 	f.Scheme = h
+	return nil
+}
+
+// EngineFlag is a flag.Value selecting an execution engine.
+type EngineFlag struct{ Engine core.Engine }
+
+func (f *EngineFlag) String() string { return EngineName(f.Engine) }
+
+func (f *EngineFlag) Set(s string) error {
+	e, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	f.Engine = e
 	return nil
 }
 

@@ -170,9 +170,51 @@ type RunOptions struct {
 	// nothing on the hot path.
 	Probe obs.Probe
 	// NoFastPath disables the simulator's host-side fast paths
-	// (predecode and inline translation caches). Simulated results are
-	// bit-identical either way; see cpu.Config.NoFastPath.
+	// (predecode and inline translation caches; implies NoBlocks).
+	// Simulated results are bit-identical either way; see
+	// cpu.Config.NoFastPath.
 	NoFastPath bool
+	// NoBlocks disables the block-compiling engine, leaving the
+	// per-instruction fast path. Simulated results are bit-identical
+	// either way; see cpu.Config.NoBlocks.
+	NoBlocks bool
+}
+
+// Engine names one of the simulator's execution engines. All three
+// produce bit-identical simulated observables; they differ only in
+// host speed.
+type Engine int
+
+const (
+	// EngineBlocks is the block-compiling engine (the default):
+	// translated superblocks of pre-bound closures with direct
+	// chaining.
+	EngineBlocks Engine = iota
+	// EngineFast is the per-instruction fast path (predecode and
+	// inline translation caches).
+	EngineFast
+	// EngineInterp is the plain interpreter.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineInterp:
+		return "interp"
+	case EngineBlocks:
+		return "blocks"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Options returns a copy of opts with the engine-selection fields set
+// for e.
+func (e Engine) Options(opts RunOptions) RunOptions {
+	opts.NoFastPath = e == EngineInterp
+	opts.NoBlocks = e != EngineBlocks
+	return opts
 }
 
 // RunWith executes an image on the selected system. The context
@@ -194,6 +236,7 @@ func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOption
 	cfg.MemBytes = opts.MemBytes
 	cfg.CancelEvery = opts.CancelEvery
 	cfg.CPU.NoFastPath = opts.NoFastPath
+	cfg.CPU.NoBlocks = opts.NoBlocks
 	sink := telemetry.SinkFromContext(ctx)
 	if sink != nil {
 		cfg.Progress = func(instret, cycles uint64) {

@@ -5,16 +5,28 @@ import "roload/internal/isa"
 func sext32(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
 
 func (c *CPU) execALU(in isa.Inst) {
-	a := c.reg(in.Rs1)
-	b := c.reg(in.Rs2)
-	imm := uint64(in.Imm)
-	var v uint64
-
+	v := aluCompute(in.Op, c.reg(in.Rs1), c.reg(in.Rs2), uint64(in.Imm))
 	switch in.Op {
+	case isa.MUL, isa.MULH, isa.MULHU, isa.MULHSU, isa.MULW:
+		c.Cycles += c.cfg.Cost.Mul
+		c.stats.MulDiv++
+	case isa.DIV, isa.DIVU, isa.REM, isa.REMU, isa.DIVW, isa.DIVUW, isa.REMW, isa.REMUW:
+		c.Cycles += c.cfg.Cost.Div
+		c.stats.MulDiv++
+	}
+	c.setReg(in.Rd, v)
+}
+
+// aluCompute is the pure value function of every ALU opcode, shared
+// between the interpreter (execALU, which adds the multiply/divide
+// charges) and the block engine (which folds those charges statically).
+func aluCompute(op isa.Op, a, b, imm uint64) uint64 {
+	var v uint64
+	switch op {
 	case isa.ADDI:
 		v = a + imm
 	case isa.SLTI:
-		if int64(a) < in.Imm {
+		if int64(a) < int64(imm) {
 			v = 1
 		}
 	case isa.SLTIU:
@@ -79,58 +91,32 @@ func (c *CPU) execALU(in isa.Inst) {
 
 	case isa.MUL:
 		v = a * b
-		c.Cycles += c.cfg.Cost.Mul
-		c.stats.MulDiv++
 	case isa.MULH:
 		v = mulh(int64(a), int64(b))
-		c.Cycles += c.cfg.Cost.Mul
-		c.stats.MulDiv++
 	case isa.MULHU:
 		v = mulhu(a, b)
-		c.Cycles += c.cfg.Cost.Mul
-		c.stats.MulDiv++
 	case isa.MULHSU:
 		v = mulhsu(int64(a), b)
-		c.Cycles += c.cfg.Cost.Mul
-		c.stats.MulDiv++
 	case isa.DIV:
 		v = div(int64(a), int64(b))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.DIVU:
 		v = divu(a, b)
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.REM:
 		v = rem(int64(a), int64(b))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.REMU:
 		v = remu(a, b)
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.MULW:
 		v = sext32(uint64(uint32(a) * uint32(b)))
-		c.Cycles += c.cfg.Cost.Mul
-		c.stats.MulDiv++
 	case isa.DIVW:
 		v = sext32(uint64(uint32(divw(int32(uint32(a)), int32(uint32(b))))))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.DIVUW:
 		v = sext32(uint64(divuw(uint32(a), uint32(b))))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.REMW:
 		v = sext32(uint64(uint32(remw(int32(uint32(a)), int32(uint32(b))))))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	case isa.REMUW:
 		v = sext32(uint64(remuw(uint32(a), uint32(b))))
-		c.Cycles += c.cfg.Cost.Div
-		c.stats.MulDiv++
 	}
-	c.setReg(in.Rd, v)
+	return v
 }
 
 // mulh returns the high 64 bits of the signed 128-bit product.

@@ -121,7 +121,17 @@ type Config struct {
 	// behaviour — cycles, stats, traps, memory contents — is
 	// bit-identical either way; the flag exists so tests can prove
 	// that and so anomalies can be bisected to a fast path.
+	// NoFastPath also implies NoBlocks: the block engine builds on the
+	// same host-only machinery.
 	NoFastPath bool
+
+	// NoBlocks disables the block-compiling execution engine while
+	// keeping the per-instruction fast paths (the "fast" engine
+	// ablation). Like NoFastPath it changes host time only; every
+	// simulated observable is bit-identical. The three engine settings
+	// are: NoFastPath=true → interp, NoBlocks=true → fast,
+	// both false → blocks.
+	NoBlocks bool
 
 	ITLBEntries int
 	DTLBEntries int
@@ -186,6 +196,18 @@ type CPU struct {
 	predecode  map[uint64]*pageCode
 	lastCodePN uint64
 	lastCode   *pageCode
+
+	// Block engine state (see blocks.go): translated-superblock cache
+	// keyed by virtual start address, each entry revalidated against
+	// the backing physical page's write generation (mem.PageRef) and
+	// against a fresh I-side translation on every entry, exactly like
+	// the predecode cache plus a physical-address match. Dropped on
+	// SetPageTableRoot and SetState (checkpoint restore); rebuilt
+	// lazily. blkNext/blkTrap are per-block-execution scratch.
+	useBlocks bool
+	blocks    map[uint64]*compiledBlock
+	blkNext   uint64
+	blkTrap   *Trap
 
 	// Tracer, when non-nil, observes every fetched-and-decoded
 	// instruction before it executes (so instructions that subsequently
@@ -253,8 +275,12 @@ func New(phys *mem.Physical, cfg Config) *CPU {
 		dcache:  cache.New(cfg.DCache),
 		useFast: !cfg.NoFastPath,
 	}
+	c.useBlocks = c.useFast && !cfg.NoBlocks
 	if c.useFast {
 		c.predecode = make(map[uint64]*pageCode)
+	}
+	if c.useBlocks {
+		c.blocks = make(map[uint64]*compiledBlock)
 	}
 	return c
 }
@@ -271,11 +297,13 @@ func (c *CPU) SetPageTableRoot(root uint64) {
 	c.dcache.Flush()
 	// The predecode cache is keyed by physical page, so it would stay
 	// correct across an address-space switch; drop it anyway so a new
-	// image never sees stale host state.
+	// image never sees stale host state. The block cache is keyed by
+	// virtual address, so it must go.
 	if c.useFast {
 		c.predecode = make(map[uint64]*pageCode)
 		c.lastCode = nil
 	}
+	c.dropBlocks()
 }
 
 // FlushTLBPage invalidates both TLBs' entries for va (sfence.vma addr).
@@ -386,6 +414,7 @@ func (c *CPU) SetState(s State) error {
 		c.predecode = make(map[uint64]*pageCode)
 		c.lastCode = nil
 	}
+	c.dropBlocks()
 	return nil
 }
 
@@ -672,6 +701,15 @@ func (c *CPU) Step() *Trap {
 		}
 		return trap
 	}
+	return c.execFetched(pc, in, cyc0)
+}
+
+// execFetched is the back half of Step: decode-complete execution of
+// one instruction whose fetch (translation, I-cache access and their
+// cycle charges) has already happened. Split out so the block engine
+// can finish a single instruction after its entry translation when the
+// instruction turns out not to be block-compilable.
+func (c *CPU) execFetched(pc uint64, in isa.Inst, cyc0 uint64) *Trap {
 	if in.Op == isa.OpInvalid || (in.Op.IsROLoad() && !c.cfg.ROLoadEnabled) {
 		c.stats.Traps++
 		c.Cycles += c.cfg.Cost.Trap
@@ -848,10 +886,8 @@ func (c *CPU) RunInterruptible(maxInstructions, pollEvery uint64, stop func() bo
 				next = n
 			}
 		}
-		for c.Instret < next {
-			if trap := c.Step(); trap != nil {
-				return trap
-			}
+		if trap := c.runSlice(next); trap != nil {
+			return trap
 		}
 		if stop != nil && c.Instret < end && stop() {
 			return nil

@@ -24,7 +24,7 @@ type capture struct {
 	memSum   uint64
 }
 
-func runCell(t *testing.T, source string, h core.Hardening, sys core.SystemKind, noFast bool) capture {
+func runCell(t *testing.T, source string, h core.Hardening, sys core.SystemKind, eng core.Engine) capture {
 	t.Helper()
 	img, _, err := core.Build(source, h)
 	if err != nil {
@@ -32,7 +32,9 @@ func runCell(t *testing.T, source string, h core.Hardening, sys core.SystemKind,
 	}
 	cfg := sys.Config()
 	cfg.MaxSteps = maxSteps
-	cfg.CPU.NoFastPath = noFast
+	eo := eng.Options(core.RunOptions{})
+	cfg.CPU.NoFastPath = eo.NoFastPath
+	cfg.CPU.NoBlocks = eo.NoBlocks
 	machine := kernel.NewSystem(cfg)
 	p, err := machine.Spawn(img)
 	if err != nil {
@@ -62,12 +64,13 @@ func runCell(t *testing.T, source string, h core.Hardening, sys core.SystemKind,
 	return capture{res: res, snapJSON: buf.String(), memSum: sum.Sum64()}
 }
 
-// TestFastPathEquivalence proves the fast-path engine's hard
-// invariant: with fast paths on vs off, every test-scale workload
-// under every hardening scheme produces bit-identical cycles,
-// statistics, MMU and cache counters, metrics snapshot, program
-// output, and final physical memory contents. Runs that die with a
-// signal (hardened binaries on the wrong system) must match too.
+// TestFastPathEquivalence proves the execution engines' hard
+// invariant: interpreter, per-instruction fast path and block engine
+// produce, for every test-scale workload under every hardening
+// scheme, bit-identical cycles, statistics, MMU and cache counters,
+// metrics snapshot, program output, and final physical memory
+// contents. Runs that die with a signal (hardened binaries on the
+// wrong system) must match too.
 func TestFastPathEquivalence(t *testing.T) {
 	type cell struct {
 		name string
@@ -75,59 +78,60 @@ func TestFastPathEquivalence(t *testing.T) {
 		h    core.Hardening
 		sys  core.SystemKind
 	}
+	// The full cross product: every workload × hardening × system cell
+	// runs on all three engines, including the trap paths of hardened
+	// binaries on systems that lack ld.ro support (SIGILL / SIGSEGV
+	// deaths) — exactly the matrix the differential race check in
+	// tools_test.go replays under the race detector.
+	systems := []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull}
 	var cells []cell
 	for _, w := range spec.Workloads() {
 		for _, h := range []core.Hardening{core.HardenNone, core.HardenICall, core.HardenCFI, core.HardenRetGuard} {
-			cells = append(cells, cell{
-				name: fmt.Sprintf("%s/%v", w.Name, h),
-				src:  w.TestSource(), h: h, sys: core.SysFull,
-			})
+			for _, sys := range systems {
+				cells = append(cells, cell{
+					name: fmt.Sprintf("%s/%v/%v", w.Name, h, sys),
+					src:  w.TestSource(), h: h, sys: sys,
+				})
+			}
 		}
 	}
 	for _, w := range spec.CXX() {
 		for _, h := range []core.Hardening{core.HardenVCall, core.HardenVTint, core.HardenFull} {
-			cells = append(cells, cell{
-				name: fmt.Sprintf("%s/%v", w.Name, h),
-				src:  w.TestSource(), h: h, sys: core.SysFull,
-			})
+			for _, sys := range systems {
+				cells = append(cells, cell{
+					name: fmt.Sprintf("%s/%v/%v", w.Name, h, sys),
+					src:  w.TestSource(), h: h, sys: sys,
+				})
+			}
 		}
 	}
-	// System sweep, including the trap paths of hardened binaries on
-	// systems that lack ld.ro support (SIGILL / SIGSEGV deaths).
-	w0 := spec.Workloads()[0]
-	for _, sys := range []core.SystemKind{core.SysBaseline, core.SysProcessorOnly, core.SysFull} {
-		cells = append(cells, cell{
-			name: fmt.Sprintf("%s/none/%v", w0.Name, sys),
-			src:  w0.TestSource(), h: core.HardenNone, sys: sys,
-		})
-		cells = append(cells, cell{
-			name: fmt.Sprintf("%s/ICall/%v", w0.Name, sys),
-			src:  w0.TestSource(), h: core.HardenICall, sys: sys,
-		})
-	}
 	if testing.Short() {
-		cells = cells[:4]
+		// One workload's full hardening × system slab keeps every
+		// engine code path (clean exits, SIGILL, SIGSEGV) in play.
+		cells = cells[:12]
 	}
 
 	for _, c := range cells {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			fast := runCell(t, c.src, c.h, c.sys, false)
-			slow := runCell(t, c.src, c.h, c.sys, true)
-			if fast.res.Cycles != slow.res.Cycles {
-				t.Errorf("cycles: fast %d, interp %d", fast.res.Cycles, slow.res.Cycles)
-			}
-			if fast.res.Instret != slow.res.Instret {
-				t.Errorf("instret: fast %d, interp %d", fast.res.Instret, slow.res.Instret)
-			}
-			if !reflect.DeepEqual(fast.res, slow.res) {
-				t.Errorf("run results differ:\nfast:   %+v\ninterp: %+v", fast.res, slow.res)
-			}
-			if fast.snapJSON != slow.snapJSON {
-				t.Errorf("metrics snapshots differ:\nfast:   %s\ninterp: %s", fast.snapJSON, slow.snapJSON)
-			}
-			if fast.memSum != slow.memSum {
-				t.Errorf("final memory contents differ (digest %#x vs %#x)", fast.memSum, slow.memSum)
+			interp := runCell(t, c.src, c.h, c.sys, core.EngineInterp)
+			for _, eng := range []core.Engine{core.EngineFast, core.EngineBlocks} {
+				got := runCell(t, c.src, c.h, c.sys, eng)
+				if got.res.Cycles != interp.res.Cycles {
+					t.Errorf("cycles: %v %d, interp %d", eng, got.res.Cycles, interp.res.Cycles)
+				}
+				if got.res.Instret != interp.res.Instret {
+					t.Errorf("instret: %v %d, interp %d", eng, got.res.Instret, interp.res.Instret)
+				}
+				if !reflect.DeepEqual(got.res, interp.res) {
+					t.Errorf("run results differ:\n%v:     %+v\ninterp: %+v", eng, got.res, interp.res)
+				}
+				if got.snapJSON != interp.snapJSON {
+					t.Errorf("metrics snapshots differ:\n%v:     %s\ninterp: %s", eng, got.snapJSON, interp.snapJSON)
+				}
+				if got.memSum != interp.memSum {
+					t.Errorf("final memory contents differ (%v digest %#x, interp %#x)", eng, got.memSum, interp.memSum)
+				}
 			}
 		})
 	}

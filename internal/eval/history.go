@@ -63,6 +63,69 @@ func AppendHostBenchHistory(path string, doc *HostBench, revision string, now ti
 	return h, nil
 }
 
+// RegressionError reports that a measurement fell more than the
+// tolerance below the recorded trajectory.
+type RegressionError struct {
+	// Engine is the regressed engine's flag spelling ("fast" or
+	// "blocks"); Benchmark is always "total" — the gate compares whole
+	// suites, not individual workloads, which jitter more.
+	Engine   string
+	LastMIPS float64
+	NowMIPS  float64
+	// DropPct is the observed drop, TolerancePct the allowed one.
+	DropPct      float64
+	TolerancePct float64
+}
+
+func (e *RegressionError) Error() string {
+	return fmt.Sprintf("eval: %s engine regressed %.1f%% (total %.2f MIPS, history %.2f, tolerance %.0f%%)",
+		e.Engine, e.DropPct, e.NowMIPS, e.LastMIPS, e.TolerancePct)
+}
+
+// CheckHostBenchRegression compares doc's total throughput against the
+// most recent same-scale history entry, engine by engine, and returns
+// a *RegressionError for the worst engine whose total MIPS dropped
+// more than tolerancePct. An empty history, no same-scale entry, or an
+// entry predating an engine (zero MIPS) passes: the gate only ever
+// compares measurements of the same thing. Host timing jitters, hence
+// the tolerance — the gate catches structural slowdowns, not noise.
+func CheckHostBenchRegression(h *schema.HostBenchHistory, doc *HostBench, tolerancePct float64) error {
+	var last *schema.HostBenchHistoryEntry
+	for i := len(h.Entries) - 1; i >= 0; i-- {
+		if h.Entries[i].Scale == doc.Scale {
+			last = &h.Entries[i]
+			break
+		}
+	}
+	if last == nil {
+		return nil
+	}
+	var worst *RegressionError
+	for _, eng := range []struct {
+		name    string
+		was, is float64
+	}{
+		{"fast", last.Total.FastMIPS, doc.Total.FastMIPS},
+		{"blocks", last.Total.BlocksMIPS, doc.Total.BlocksMIPS},
+	} {
+		if eng.was <= 0 {
+			continue
+		}
+		drop := 100 * (eng.was - eng.is) / eng.was
+		if drop <= tolerancePct {
+			continue
+		}
+		if worst == nil || drop > worst.DropPct {
+			worst = &RegressionError{Engine: eng.name, LastMIPS: eng.was,
+				NowMIPS: eng.is, DropPct: drop, TolerancePct: tolerancePct}
+		}
+	}
+	if worst != nil {
+		return worst
+	}
+	return nil
+}
+
 // GitRevision reports the repository revision of root, best-effort: a
 // tree without git metadata (or without the git binary) yields "",
 // which the history schema records as an entry with no revision.

@@ -1,10 +1,10 @@
 // Host-side throughput measurement: how fast the *host* simulates,
 // reported as simulated instructions per host second (MIPS), for the
-// plain interpreter versus the fast-path engine. This measures wall
-// clock on the machine running the harness — it says nothing about
-// the simulated results, which are bit-identical on both engines (the
-// measurement asserts that as it goes). The document types live in
-// internal/schema.
+// plain interpreter, the per-instruction fast path, and the
+// block-compiling engine. This measures wall clock on the machine
+// running the harness — it says nothing about the simulated results,
+// which are bit-identical on every engine (the measurement asserts
+// that as it goes). The document types live in internal/schema.
 package eval
 
 import (
@@ -22,7 +22,7 @@ import (
 const HostBenchSchema = schema.HostBenchV1
 
 type (
-	// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
+	// HostBenchEntry is one workload's per-engine timing.
 	HostBenchEntry = schema.HostBenchEntry
 	// HostBench is the whole document.
 	HostBench = schema.HostBench
@@ -36,7 +36,8 @@ func mips(instructions uint64, d time.Duration) float64 {
 }
 
 // MeasureHostBench times every workload at the given scale, unhardened
-// on the fully modified system, once per engine. It fails if the two
+// on the fully modified system, once per engine (interpreter,
+// per-instruction fast path, block engine). It fails if any two
 // engines disagree on cycles or retired instructions — the wall-clock
 // comparison is only meaningful under the bit-identical invariant.
 // Cancellation aborts mid-workload with the kernel's cancel error.
@@ -51,45 +52,56 @@ func MeasureHostBench(ctx context.Context, s Scale) (*HostBench, error) {
 		if err != nil {
 			return nil, fmt.Errorf("eval: hostbench %s: %w", w.Name, err)
 		}
-		t0 := time.Now()
-		slow, err := core.MeasureImage(ctx, img, core.HardenNone, core.SysFull,
-			core.RunOptions{MaxSteps: maxSteps, NoFastPath: true})
-		interpNS := time.Since(t0)
-		if err != nil {
-			return nil, fmt.Errorf("eval: hostbench %s (interp): %w", w.Name, err)
+		var timings [3]time.Duration
+		var results [3]core.Measurement
+		for i, eng := range []core.Engine{core.EngineInterp, core.EngineFast, core.EngineBlocks} {
+			t0 := time.Now()
+			m, err := core.MeasureImage(ctx, img, core.HardenNone, core.SysFull,
+				eng.Options(core.RunOptions{MaxSteps: maxSteps}))
+			timings[i] = time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("eval: hostbench %s (%v): %w", w.Name, eng, err)
+			}
+			results[i] = m
+			if i > 0 && (results[0].Result.Cycles != m.Result.Cycles || results[0].Result.Instret != m.Result.Instret) {
+				return nil, fmt.Errorf("eval: hostbench %s: engines disagree (interp %d cycles / %d inst, %v %d cycles / %d inst)",
+					w.Name, results[0].Result.Cycles, results[0].Result.Instret,
+					eng, m.Result.Cycles, m.Result.Instret)
+			}
 		}
-		t0 = time.Now()
-		fast, err := core.MeasureImage(ctx, img, core.HardenNone, core.SysFull,
-			core.RunOptions{MaxSteps: maxSteps})
-		fastNS := time.Since(t0)
-		if err != nil {
-			return nil, fmt.Errorf("eval: hostbench %s (fast): %w", w.Name, err)
-		}
-		if slow.Result.Cycles != fast.Result.Cycles || slow.Result.Instret != fast.Result.Instret {
-			return nil, fmt.Errorf("eval: hostbench %s: engines disagree (interp %d cycles / %d inst, fast %d cycles / %d inst)",
-				w.Name, slow.Result.Cycles, slow.Result.Instret, fast.Result.Cycles, fast.Result.Instret)
-		}
+		interpNS, fastNS, blocksNS := timings[0], timings[1], timings[2]
+		instret := results[0].Result.Instret
 		e := HostBenchEntry{
 			Benchmark:    w.Name,
-			Instructions: fast.Result.Instret,
+			Instructions: instret,
 			InterpNS:     interpNS.Nanoseconds(),
 			FastNS:       fastNS.Nanoseconds(),
-			InterpMIPS:   mips(fast.Result.Instret, interpNS),
-			FastMIPS:     mips(fast.Result.Instret, fastNS),
+			BlocksNS:     blocksNS.Nanoseconds(),
+			InterpMIPS:   mips(instret, interpNS),
+			FastMIPS:     mips(instret, fastNS),
+			BlocksMIPS:   mips(instret, blocksNS),
 		}
 		if fastNS > 0 {
 			e.Speedup = float64(interpNS) / float64(fastNS)
+		}
+		if blocksNS > 0 {
+			e.BlocksSpeedup = float64(fastNS) / float64(blocksNS)
 		}
 		doc.Entries = append(doc.Entries, e)
 		doc.Total.Instructions += e.Instructions
 		doc.Total.InterpNS += e.InterpNS
 		doc.Total.FastNS += e.FastNS
+		doc.Total.BlocksNS += e.BlocksNS
 	}
 	doc.Total.Benchmark = "total"
 	doc.Total.InterpMIPS = mips(doc.Total.Instructions, time.Duration(doc.Total.InterpNS))
 	doc.Total.FastMIPS = mips(doc.Total.Instructions, time.Duration(doc.Total.FastNS))
+	doc.Total.BlocksMIPS = mips(doc.Total.Instructions, time.Duration(doc.Total.BlocksNS))
 	if doc.Total.FastNS > 0 {
 		doc.Total.Speedup = float64(doc.Total.InterpNS) / float64(doc.Total.FastNS)
+	}
+	if doc.Total.BlocksNS > 0 {
+		doc.Total.BlocksSpeedup = float64(doc.Total.FastNS) / float64(doc.Total.BlocksNS)
 	}
 	return doc, nil
 }

@@ -11,7 +11,7 @@ import (
 
 func TestHostBenchDocument(t *testing.T) {
 	if testing.Short() {
-		t.Skip("times every workload on both engines")
+		t.Skip("times every workload on all three engines")
 	}
 	doc, err := MeasureHostBench(context.Background(), ScaleTest)
 	if err != nil {
@@ -28,16 +28,22 @@ func TestHostBenchDocument(t *testing.T) {
 	}
 	var instSum uint64
 	for _, e := range doc.Entries {
-		if e.Instructions == 0 || e.InterpNS <= 0 || e.FastNS <= 0 {
+		if e.Instructions == 0 || e.InterpNS <= 0 || e.FastNS <= 0 || e.BlocksNS <= 0 {
 			t.Errorf("degenerate entry %+v", e)
 		}
-		if e.InterpMIPS <= 0 || e.FastMIPS <= 0 {
+		if e.InterpMIPS <= 0 || e.FastMIPS <= 0 || e.BlocksMIPS <= 0 {
 			t.Errorf("entry %s missing MIPS: %+v", e.Benchmark, e)
+		}
+		if e.BlocksSpeedup <= 0 {
+			t.Errorf("entry %s missing blocks speedup: %+v", e.Benchmark, e)
 		}
 		instSum += e.Instructions
 	}
 	if doc.Total.Benchmark != "total" || doc.Total.Instructions != instSum {
 		t.Errorf("total row %+v inconsistent with entries (inst sum %d)", doc.Total, instSum)
+	}
+	if doc.Total.BlocksMIPS <= 0 || doc.Total.BlocksSpeedup <= 0 {
+		t.Errorf("total row missing blocks measurement: %+v", doc.Total)
 	}
 
 	var buf bytes.Buffer

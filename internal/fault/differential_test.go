@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"roload/internal/core"
+	"roload/internal/kernel"
+	"roload/internal/schema"
+)
+
+// chaosCell runs one seeded chaos-matrix cell — the fptr-call workload
+// hardened with ICall, hijack-slot fault battery — on one engine, and
+// returns the fault-free reference, the faulted result, and the
+// verdict. It mirrors runSchemeCells but pins the engine choice.
+func chaosCell(t *testing.T, noFastPath, noBlocks bool) (ref, res kernel.RunResult, verdict string) {
+	t.Helper()
+	w := Workloads()[0]
+	img, err := buildVictim(w, core.HardenICall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig()
+	cfg.CPU.NoFastPath = noFastPath
+	cfg.CPU.NoBlocks = noBlocks
+
+	boot := func() (*kernel.System, *kernel.Process, *uint64) {
+		sys := kernel.NewSystem(cfg)
+		p, err := sys.Spawn(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atk := new(uint64)
+		sys.SetAttackHook(func(*kernel.Process) error {
+			*atk = sys.CPU().Instret
+			return nil
+		})
+		return sys, p, atk
+	}
+
+	sys, p, atk := boot()
+	ref, err = sys.RunContext(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *atk == 0 {
+		t.Fatal("victim never reached attack_point()")
+	}
+	hijack, err := w.Hijack(p, *atk+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsys, fp, _ := boot()
+	eng, err := Attach(fsys, fp, schema.FaultPlan{Schema: schema.FaultV1, Faults: hijack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = fsys.RunContext(context.Background(), fp)
+	eng.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, _ = classifyCell(ref, res)
+	return ref, res, verdict
+}
+
+// TestEngineDifferentialChaosCell runs one seeded chaos-matrix cell on
+// all three execution engines and diffs every observable. The faulted
+// leg also pins the engine gating: an attached injector must force the
+// per-instruction path, and the run's cycles, fault trace, and verdict
+// must come out identical regardless of which engine the configuration
+// asks for.
+func TestEngineDifferentialChaosCell(t *testing.T) {
+	type leg struct {
+		name                 string
+		noFastPath, noBlocks bool
+	}
+	legs := []leg{
+		{"blocks", false, false},
+		{"fast", false, true},
+		{"interp", true, true},
+	}
+	ref0, res0, verdict0 := chaosCell(t, legs[0].noFastPath, legs[0].noBlocks)
+	if verdict0 != VerdictCaught {
+		t.Fatalf("hardened hijack-slot cell = %s, want %s", verdict0, VerdictCaught)
+	}
+	for _, l := range legs[1:] {
+		ref, res, verdict := chaosCell(t, l.noFastPath, l.noBlocks)
+		if !reflect.DeepEqual(ref, ref0) {
+			t.Errorf("%s reference run differs from blocks:\n%s: %+v\nblocks: %+v", l.name, l.name, ref, ref0)
+		}
+		if !reflect.DeepEqual(res, res0) {
+			t.Errorf("%s faulted run differs from blocks:\n%s: %+v\nblocks: %+v", l.name, l.name, res, res0)
+		}
+		if verdict != verdict0 {
+			t.Errorf("%s verdict %s != blocks verdict %s", l.name, verdict, verdict0)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"roload/internal/asm"
+	"roload/internal/cpu"
+)
+
+// fuzzBlockWords caps how much raw code one fuzz case plants: enough
+// for several translated blocks (and a mid-page straddle), small
+// enough to keep each execution fast.
+const fuzzBlockWords = 64
+
+// buildFuzzProgram embeds raw bytes as executable words between the
+// entry point and a clean exit stub, via the real assembler. Arbitrary
+// words are fine: undecodable ones trap (SIGILL), wild branches fault
+// or spin into the step limit — every outcome is a legal observable,
+// it just has to be the SAME observable on every engine.
+func buildFuzzProgram(raw []byte) (*asm.Image, error) {
+	n := len(raw) / 4
+	if n == 0 {
+		return nil, fmt.Errorf("no full words")
+	}
+	if n > fuzzBlockWords {
+		n = fuzzBlockWords
+	}
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t.word 0x%08x\n", binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	b.WriteString("\tli a0, 0\n\tli a7, 93\n\tecall\n")
+	return asm.Assemble(b.String(), asm.DefaultOptions())
+}
+
+// FuzzBlockTranslate feeds raw instruction sequences through the
+// assembler and runs them on all three execution engines: the block
+// engine's observables (run result, architectural state, statistics,
+// MMU and cache counters) must be bit-identical to the interpreter's,
+// whatever garbage the decoder meets — illegal encodings, compressed
+// parcels, branches into the middle of other instructions, stores over
+// the block's own code, or runs that never terminate (step limit).
+func FuzzBlockTranslate(f *testing.F) {
+	word := func(ws ...uint32) []byte {
+		out := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint32(out[4*i:], w)
+		}
+		return out
+	}
+	f.Add(word(0x00B00513, 0x00008067))             // li a0, 11; ret
+	f.Add(word(0xFFFFFFFF, 0x00000000))             // illegal then zero halves
+	f.Add(word(0x00B00513, 0xFE000EE3))             // addi; branch back to start
+	f.Add(word(0x02C5C533, 0x02C58533, 0x0000006F)) // div, mul, jal 0 (spin)
+	f.Add(word(0x00A5A023, 0x0005A503))             // store then load
+	f.Add([]byte{0x01, 0x00, 0x13, 0x05, 0xB0, 0x00, 0x82, 0x80})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		img, err := buildFuzzProgram(raw)
+		if err != nil {
+			t.Skip()
+		}
+
+		type outcome struct {
+			res    RunResult
+			errMsg string
+			state  cpu.State
+		}
+		run := func(noFastPath, noBlocks bool) outcome {
+			cfg := FullSystem()
+			cfg.MaxSteps = 20_000
+			cfg.CPU.NoFastPath = noFastPath
+			cfg.CPU.NoBlocks = noBlocks
+			sys := NewSystem(cfg)
+			p, err := sys.Spawn(img)
+			if err != nil {
+				t.Skip() // image rejected identically regardless of engine
+			}
+			res, err := sys.Run(p)
+			o := outcome{res: res, state: sys.CPU().State()}
+			if err != nil {
+				o.errMsg = err.Error()
+			}
+			return o
+		}
+
+		interp := run(true, true)
+		for _, eng := range []struct {
+			name                 string
+			noFastPath, noBlocks bool
+		}{
+			{"blocks", false, false},
+			{"fast", false, true},
+		} {
+			got := run(eng.noFastPath, eng.noBlocks)
+			if got.errMsg != interp.errMsg {
+				t.Fatalf("%s error %q, interp %q", eng.name, got.errMsg, interp.errMsg)
+			}
+			if !reflect.DeepEqual(got.res, interp.res) {
+				t.Fatalf("%s result differs:\n%s: %+v\ninterp: %+v", eng.name, eng.name, got.res, interp.res)
+			}
+			if !reflect.DeepEqual(got.state, interp.state) {
+				t.Fatalf("%s architectural state differs:\n%s: %+v\ninterp: %+v", eng.name, eng.name, got.state, interp.state)
+			}
+		}
+	})
+}

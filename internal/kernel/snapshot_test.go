@@ -160,6 +160,63 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 	}
 }
 
+// TestRestoreResumesMidBlock: a checkpoint whose step limit lands in
+// the middle of the hot loop body — mid-way through what the block
+// engine translated as one superblock — must resume bit-identically.
+// The restored machine starts with cold predecode and block caches
+// (Restore → SetState drops both) and retranslates a block that
+// begins at the mid-body PC, a block entry the original run never
+// had; its accounting must still match the uninterrupted run exactly.
+func TestRestoreResumesMidBlock(t *testing.T) {
+	img := mustImage(t, checkpointSrc)
+
+	sysU := NewSystem(FullSystem())
+	pU, err := sysU.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sysU.Run(pU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Exited {
+		t.Fatalf("uninterrupted run did not exit: %+v", want)
+	}
+
+	// A prime step budget: after the short prologue, every slice
+	// boundary wanders through the loop body instead of landing on the
+	// back edge, so the checkpoint PC sits inside the hot block.
+	cfg := FullSystem()
+	cfg.MaxSteps = 997
+	sys := NewSystem(cfg)
+	p, err := sys.Spawn(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(p)
+	var limit *StepLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+	ck, err := Snapshot(sys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := FullSystem()
+	rcfg.MaxSteps = cfg.MaxSteps
+	rsys, rp, err := Restore(rcfg, img, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runChunked(t, rsys, rp, func(chunk int, sys *System, p *Process) (*System, *Process) {
+		return sys, p
+	})
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("mid-block resume differs from uninterrupted run:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
 // TestCheckpointDeterministic: two machines running the same workload
 // to the same instruction produce byte-identical checkpoint documents.
 func TestCheckpointDeterministic(t *testing.T) {

@@ -345,6 +345,17 @@ func (m *MMU) Translate(va uint64, at Access, key uint16) (pa uint64, tlbMiss bo
 	return e.PPN<<mem.PageShift | va&(mem.PageSize-1), !hit, nil
 }
 
+// BumpTLBHits credits n TLB hits without performing lookups — the
+// block engine's folded fetch accounting. A translated block never
+// crosses a page, so after the block-entry Translate has hit or
+// installed the entry, every remaining fetch in the block is a
+// guaranteed TLB hit whose only simulated effect is this counter (the
+// permission check cannot newly fail mid-block: nothing between two
+// instructions of one block can change the page tables or the TLB).
+// Calling it in any other situation would break the fast-path
+// invariant.
+func (m *MMU) BumpTLBHits(n uint64) { m.stats.TLBHits += n }
+
 // check implements the permission control logic. The conventional
 // check and the ROLoad check are evaluated independently and combined,
 // matching the parallel AND structure described in Section II-E.

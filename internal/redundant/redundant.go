@@ -65,6 +65,14 @@ type Options struct {
 	// supervisor is expected to mask.
 	Fault        *schema.FaultPlan
 	FaultReplica int
+	// Engines optionally assigns replica i the execution engine
+	// Engines[i] (missing entries use the default, the block engine).
+	// All engines are bit-identical by invariant, so a mixed-engine
+	// fleet must still vote unanimously — which makes the supervisor
+	// itself a cross-engine equivalence check. A healed replica
+	// replays on the default engine regardless: rejoining the
+	// majority digest demonstrates the same invariant.
+	Engines []core.Engine
 	// Workers bounds the goroutines driving replicas (0 = Replicas).
 	Workers int
 	// Log, when non-nil, receives human-readable narration of every
@@ -206,7 +214,13 @@ func Run(ctx context.Context, img *asm.Image, sys core.SystemKind, opts Options)
 
 	sup := &supervisor{cfg: cfg, img: img, reps: make([]*replica, k)}
 	for i := range sup.reps {
-		machine := kernel.NewSystem(cfg)
+		rcfg := cfg
+		if i < len(opts.Engines) {
+			eo := opts.Engines[i].Options(core.RunOptions{})
+			rcfg.CPU.NoFastPath = eo.NoFastPath
+			rcfg.CPU.NoBlocks = eo.NoBlocks
+		}
+		machine := kernel.NewSystem(rcfg)
 		p, err := machine.Spawn(img)
 		if err != nil {
 			return Result{}, err

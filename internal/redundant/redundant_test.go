@@ -91,6 +91,38 @@ func TestSupervisedMatchesSolo(t *testing.T) {
 	}
 }
 
+// TestMixedEngineFleetVotes runs one replica on each execution engine
+// — blocks, fast, interp — under one supervisor. The vote is over
+// simulated observables (memory digest, CPU state) at every sync
+// point, so a unanimous agreed outcome here is a continuous
+// cross-engine differential check: any engine diverging by a single
+// bit would surface as a divergence report.
+func TestMixedEngineFleetVotes(t *testing.T) {
+	img := build(t, loopProg, core.HardenNone)
+	ref, _, err := core.RunWith(context.Background(), img, core.SysFull, core.RunOptions{})
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	res, err := Run(context.Background(), img, core.SysFull, Options{
+		Replicas:  3,
+		SyncEvery: testSyncEvery,
+		Engines:   []core.Engine{core.EngineBlocks, core.EngineFast, core.EngineInterp},
+	})
+	if err != nil {
+		t.Fatalf("mixed-engine run: %v", err)
+	}
+	if got, want := mustJSON(t, res.Run), mustJSON(t, ref); got != want {
+		t.Errorf("mixed-engine result differs from solo run:\n got %s\nwant %s", got, want)
+	}
+	r := res.Report
+	if !r.Agreed || len(r.Divergences) != 0 || len(r.Heals) != 0 || len(r.Quarantined) != 0 {
+		t.Errorf("mixed-engine fleet did not vote unanimously: %s", mustJSON(t, r))
+	}
+	if r.SyncChecked < 2 {
+		t.Errorf("SyncChecked = %d, want >= 2 (stride %d should split the run)", r.SyncChecked, testSyncEvery)
+	}
+}
+
 // healRun executes the seeded-fault heal scenario: one replica of
 // three gets the fault plan, healing is on.
 func healRun(t *testing.T, img *asm.Image, seed uint64, heal bool) (Result, error) {

@@ -8,18 +8,25 @@ import (
 
 // The host throughput document (`roload-hostbench/v1`): how fast the
 // *host* simulates, in simulated instructions per host second (MIPS),
-// for the plain interpreter versus the fast-path engine. Produced by
-// `roload-bench -hostbench` (internal/eval measures it).
+// for the plain interpreter, the per-instruction fast path, and the
+// block-compiling engine. Produced by `roload-bench -hostbench`
+// (internal/eval measures it).
 
-// HostBenchEntry is one workload's interpreter-vs-fast-path timing.
+// HostBenchEntry is one workload's per-engine timing. Speedup is
+// fast/interp; BlocksSpeedup is blocks/fast (the block engine's gain
+// over the engine it replaced as the default). The blocks_* fields
+// are zero in documents measured before the block engine existed.
 type HostBenchEntry struct {
-	Benchmark    string  `json:"benchmark"`
-	Instructions uint64  `json:"instructions"`
-	InterpNS     int64   `json:"interp_ns"`
-	FastNS       int64   `json:"fast_ns"`
-	InterpMIPS   float64 `json:"interp_mips"`
-	FastMIPS     float64 `json:"fast_mips"`
-	Speedup      float64 `json:"speedup"`
+	Benchmark     string  `json:"benchmark"`
+	Instructions  uint64  `json:"instructions"`
+	InterpNS      int64   `json:"interp_ns"`
+	FastNS        int64   `json:"fast_ns"`
+	BlocksNS      int64   `json:"blocks_ns,omitempty"`
+	InterpMIPS    float64 `json:"interp_mips"`
+	FastMIPS      float64 `json:"fast_mips"`
+	BlocksMIPS    float64 `json:"blocks_mips,omitempty"`
+	Speedup       float64 `json:"speedup"`
+	BlocksSpeedup float64 `json:"blocks_speedup,omitempty"`
 }
 
 // HostBench is the whole document.

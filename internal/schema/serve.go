@@ -21,6 +21,11 @@ type RunRequest struct {
 	Harden string `json:"harden,omitempty"`
 	// Optimize runs the peephole optimizer before hardening.
 	Optimize bool `json:"optimize,omitempty"`
+	// Engine selects the execution engine: blocks (default), fast or
+	// interp. All engines produce bit-identical simulated results —
+	// the choice trades server-side wall clock only. Unknown values
+	// are rejected with 422 naming the known ones.
+	Engine string `json:"engine,omitempty"`
 	// MaxSteps bounds the run (0 = the server's per-run default; values
 	// above the server's cap are rejected).
 	MaxSteps uint64 `json:"max_steps,omitempty"`
@@ -255,6 +260,9 @@ type ServeMetrics struct {
 	// runs executed under each scheme and how many ended in a ROLoad
 	// key-check violation.
 	KeyChecks map[string]KeyCheckStats `json:"key_checks,omitempty"`
+	// EngineRuns counts executed run requests per execution engine
+	// (flag spellings: blocks, fast, interp).
+	EngineRuns map[string]uint64 `json:"engine_runs,omitempty"`
 	// Streams counts the live-event broker's activity.
 	Streams StreamMetrics `json:"streams"`
 }

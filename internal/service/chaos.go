@@ -128,14 +128,14 @@ func chaosError() *apiError {
 // — is a pure function of (image, system, seed, count) and reproduces
 // byte-for-byte. The partial results of interrupted faulted runs carry
 // the injected-fault audit entries accumulated so far.
-func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, seed uint64, count, maxSteps, memBytes uint64) (kernel.RunResult, *schema.FaultTrace, error) {
+func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, engine core.Engine, seed uint64, count, maxSteps, memBytes uint64) (kernel.RunResult, *schema.FaultTrace, error) {
 	// The profiling run gets the event sink stripped: its retire counts
 	// would interleave out of order with the faulted run's stream. Its
 	// spans still record (under the request span) as a "execute" child.
-	clean, _, err := core.RunWith(telemetry.WithSink(ctx, nil), img, sysKind, core.RunOptions{
+	clean, _, err := core.RunWith(telemetry.WithSink(ctx, nil), img, sysKind, engine.Options(core.RunOptions{
 		MaxSteps: maxSteps,
 		MemBytes: memBytes,
-	})
+	}))
 	if err != nil {
 		// A budget-bound guest still gets its faults: the window is the
 		// budget itself, and the interrupted faulted run's 422 partial
@@ -154,6 +154,9 @@ func runFaulted(ctx context.Context, img *asm.Image, sysKind core.SystemKind, se
 	cfg := sysKind.Config()
 	cfg.MaxSteps = maxSteps
 	cfg.MemBytes = memBytes
+	eo := engine.Options(core.RunOptions{})
+	cfg.CPU.NoFastPath = eo.NoFastPath
+	cfg.CPU.NoBlocks = eo.NoBlocks
 	// The faulted run streams live: progress ticks piggyback on the
 	// cancellation stride and audit records (injected faults, detected
 	// violations) publish as they are logged — all from this goroutine,

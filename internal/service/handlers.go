@@ -129,6 +129,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if apiErr == nil && req.Asm && (h != core.HardenNone || req.Optimize) {
 		apiErr = validationError("asm input cannot be combined with harden or optimize")
 	}
+	engine := core.EngineBlocks
+	if apiErr == nil && req.Engine != "" {
+		var err error
+		if engine, err = cli.ParseEngine(req.Engine); err != nil {
+			// Engine is pure host-side tuning, so a bad value is a
+			// semantic error (422), not a malformed request.
+			apiErr = &apiError{http.StatusUnprocessableEntity,
+				schema.ErrorResponse{Error: err.Error(), Kind: "validation"}}
+		}
+	}
 	maxSteps := s.cfg.MaxSteps
 	if apiErr == nil && req.MaxSteps != 0 {
 		if req.MaxSteps > s.cfg.MaxSteps {
@@ -245,6 +255,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var ftrace *schema.FaultTrace
 	var heal *schema.HealReport
 	runStart := time.Now()
+	s.noteEngineRun(cli.EngineName(engine))
 	switch {
 	case req.Redundant > 0:
 		var plan *schema.FaultPlan
@@ -256,8 +267,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			plan = &p
 		}
+		engines := make([]core.Engine, req.Redundant)
+		for i := range engines {
+			engines[i] = engine
+		}
 		var out redundant.Result
 		out, err = redundant.Run(execCtx, img, sys, redundant.Options{
+			Engines:      engines,
 			Replicas:     req.Redundant,
 			SyncEvery:    req.SyncEvery,
 			Heal:         req.Heal,
@@ -268,12 +284,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 		res, ftrace, heal = out.Run, out.Trace, &out.Report
 	case req.FaultCount > 0:
-		res, ftrace, err = runFaulted(execCtx, img, sys, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
+		res, ftrace, err = runFaulted(execCtx, img, sys, engine, req.FaultSeed, uint64(req.FaultCount), maxSteps, req.MemBytes)
 	default:
-		res, _, err = core.RunWith(execCtx, img, sys, core.RunOptions{
+		res, _, err = core.RunWith(execCtx, img, sys, engine.Options(core.RunOptions{
 			MaxSteps: maxSteps,
 			MemBytes: req.MemBytes,
-		})
+		}))
 	}
 	s.runDurationUS.Observe(uint64(time.Since(runStart).Microseconds()))
 	if err != nil {
@@ -546,6 +562,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.EndpointLatencyUS[name] = c.latencyUS.Snapshot()
 		}
+	}
+	for eng, n := range s.engineRuns {
+		if resp.EngineRuns == nil {
+			resp.EngineRuns = make(map[string]uint64)
+		}
+		resp.EngineRuns[eng] = n
 	}
 	for mode, c := range s.keyChecks {
 		if resp.KeyChecks == nil {

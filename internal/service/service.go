@@ -150,8 +150,10 @@ type Server struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointCounters
 	// keyChecks tracks per-hardening-mode run/violation counts (guarded
-	// by mu; see noteKeyCheck).
-	keyChecks map[string]*keyCheckCounters
+	// by mu; see noteKeyCheck). engineRuns counts executed run requests
+	// per execution engine (also guarded by mu).
+	keyChecks  map[string]*keyCheckCounters
+	engineRuns map[string]uint64
 
 	experiments expCache
 

@@ -158,6 +158,71 @@ func TestServeRunValidation(t *testing.T) {
 	}
 }
 
+// TestServeRunEngine covers the run request's engine selector: every
+// known engine executes with bit-identical simulated observables, an
+// unknown engine is rejected with 422 naming the known values, and
+// /metrics counts executed runs per engine.
+func TestServeRunEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	runWith := func(engine string) schema.RunResponse {
+		t.Helper()
+		status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+			Source: helloProg, System: "full", Harden: "icall", Engine: engine,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("engine %q: status = %d", engine, status)
+		}
+		var run schema.RunResponse
+		if err := env.Open(schema.ServeV1, &run); err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+
+	base := runWith("") // default: blocks
+	for _, engine := range []string{"blocks", "fast", "interp"} {
+		run := runWith(engine)
+		if run.Stdout != base.Stdout || run.ExitCode != base.ExitCode {
+			t.Errorf("engine %q diverges: %+v vs default %+v", engine, run, base)
+		}
+		if run.Metrics.Cycles != base.Metrics.Cycles || run.Metrics.Instret != base.Metrics.Instret {
+			t.Errorf("engine %q cycles/instret %d/%d != default %d/%d", engine,
+				run.Metrics.Cycles, run.Metrics.Instret, base.Metrics.Cycles, base.Metrics.Instret)
+		}
+	}
+
+	// An unknown engine is a semantic error in an otherwise well-formed
+	// request: 422, naming the known values.
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: helloProg, Engine: "turbo",
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown engine: status = %d, want 422", status)
+	}
+	e := openError(t, env)
+	if e.Kind != "validation" || !strings.Contains(e.Error, "known: blocks, fast, interp") {
+		t.Errorf("unknown engine error = %+v, want validation naming known engines", e)
+	}
+
+	// The per-engine run counters: default + explicit blocks = 2, one
+	// each for fast and interp; the rejected request counts nowhere.
+	mstatus, menv := get(t, ts.URL+"/metrics")
+	if mstatus != http.StatusOK {
+		t.Fatalf("/metrics status = %d", mstatus)
+	}
+	var m schema.ServeMetrics
+	if err := menv.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"blocks": 2, "fast": 1, "interp": 1}
+	for eng, n := range want {
+		if m.EngineRuns[eng] != n {
+			t.Errorf("engine_runs[%s] = %d, want %d (all: %v)", eng, m.EngineRuns[eng], n, m.EngineRuns)
+		}
+	}
+}
+
 // TestServeRunDeadline: a 100ms request deadline on a non-terminating
 // program answers 504 promptly with a partial metrics snapshot.
 func TestServeRunDeadline(t *testing.T) {

@@ -119,6 +119,17 @@ func (s *Server) noteKeyCheck(mode string, violated bool) {
 	}
 }
 
+// noteEngineRun counts one executed run request against its engine —
+// the /metrics gauge of how much traffic each engine carries.
+func (s *Server) noteEngineRun(engine string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engineRuns == nil {
+		s.engineRuns = make(map[string]uint64)
+	}
+	s.engineRuns[engine]++
+}
+
 // renderEnvelope marshals a roload-serve/v1 envelope exactly as
 // writeEnvelope would stream it, so one rendering can be both written
 // to the synchronous response and embedded verbatim in the terminal

@@ -563,6 +563,134 @@ func TestClientRace(t *testing.T) {
 	}
 }
 
+// TestEngineDifferentialRace re-runs the cross-engine differential
+// tests — the workload × hardening × system equivalence matrix (short
+// slab) and the seeded chaos-matrix cell — under the race detector.
+// The block engine shares translated blocks, page refs and chain links
+// with the predecode machinery; this proves the three-engine
+// differential itself is race-clean, not just quiet on one schedule.
+func TestEngineDifferentialRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	runs := []struct{ sel, pkg []string }{
+		// -short trims the equivalence matrix to one workload's full
+		// hardening × system slab: every engine code path (clean exit,
+		// SIGILL, SIGSEGV) stays in play at race-detector speed.
+		{[]string{"-short", "-run", "TestFastPathEquivalence"}, []string{"roload/internal/eval"}},
+		{[]string{"-run", "TestEngineDifferentialChaosCell"}, []string{"roload/internal/fault"}},
+	}
+	for _, r := range runs {
+		args := append([]string{"test", "-race", "-count=1"}, r.sel...)
+		cmd := exec.Command("go", append(args, r.pkg...)...)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			s := string(out)
+			if strings.Contains(s, "-race is only supported on") ||
+				strings.Contains(s, "-race requires cgo") ||
+				strings.Contains(s, "cgo is disabled") ||
+				strings.Contains(s, "C compiler") {
+				t.Skipf("race detector unavailable here:\n%s", s)
+			}
+			t.Fatalf("go test -race on %v: %v\n%s", r.pkg, err, s)
+		}
+	}
+}
+
+// TestCLIBenchCheck drives the perf-regression gate end to end:
+// -check without -history is a usage error, a history whose last
+// same-scale entry carries inflated MIPS makes the run exit 1 naming
+// the regressed engine (while still appending the measurement to the
+// trajectory), and a re-run against the now-honest history passes.
+func TestCLIBenchCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "roload-bench")
+	if msg, err := exec.Command("go", "build", "-o", bench, "./cmd/roload-bench").CombinedOutput(); err != nil {
+		t.Fatalf("building roload-bench: %v\n%s", err, msg)
+	}
+
+	// Usage error: the gate needs a trajectory to compare against.
+	var stderr bytes.Buffer
+	cmd := exec.Command(bench, "-hostbench", "-", "-check", "-scale", "test")
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("-check without -history: err = %v, want exit 2 (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-check only makes sense") {
+		t.Errorf("usage stderr = %q", stderr.String())
+	}
+
+	// A last entry with impossible throughput: any real measurement is
+	// a >10% regression against it.
+	histPath := filepath.Join(dir, "history.json")
+	inflated := schema.HostBenchHistory{
+		Schema: schema.HostBenchHistoryV1,
+		Entries: []schema.HostBenchHistoryEntry{{
+			Time:  "2026-01-01T00:00:00Z",
+			Scale: "test",
+			Entries: []schema.HostBenchEntry{{
+				Benchmark: "x", Instructions: 1, InterpNS: 1, FastNS: 1, BlocksNS: 1,
+				InterpMIPS: 1, FastMIPS: 1, BlocksMIPS: 1, Speedup: 1, BlocksSpeedup: 1,
+			}},
+			Total: schema.HostBenchEntry{
+				Benchmark: "total", Instructions: 1, InterpNS: 1, FastNS: 1, BlocksNS: 1,
+				InterpMIPS: 1e9, FastMIPS: 1e9, BlocksMIPS: 1e9, Speedup: 1, BlocksSpeedup: 1,
+			},
+		}},
+	}
+	f, err := os.Create(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inflated.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	stderr.Reset()
+	cmd = exec.Command(bench, "-hostbench", filepath.Join(dir, "host.json"),
+		"-history", histPath, "-check", "-scale", "test")
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("inflated history: err = %v, want exit 1 (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regressed") {
+		t.Errorf("regression stderr = %q, want it to name the regression", stderr.String())
+	}
+
+	// The failing measurement must still have been recorded.
+	raw, err := os.ReadFile(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h schema.HostBenchHistory
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 2 {
+		t.Fatalf("history has %d entries after the failing run, want 2", len(h.Entries))
+	}
+	if h.Entries[1].Total.BlocksMIPS <= 0 {
+		t.Errorf("appended measurement has no blocks MIPS: %+v", h.Entries[1].Total)
+	}
+
+	// Against its own just-recorded measurement (with a generous
+	// tolerance absorbing host jitter) the gate passes.
+	stderr.Reset()
+	cmd = exec.Command(bench, "-hostbench", "-",
+		"-history", histPath, "-check", "-check-tolerance", "75", "-scale", "test")
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Errorf("honest history: %v, want exit 0 (stderr: %s)", err, stderr.String())
+	}
+}
+
 // TestFuzzSmoke gives each native fuzz target a short budget so the
 // corpus-free properties (assembler never panics on hostile text,
 // envelope decode/encode loop is stable) run on every CI pass, not
@@ -576,6 +704,7 @@ func TestFuzzSmoke(t *testing.T) {
 		{"FuzzEnvelopeDecode", "roload/internal/schema"},
 		{"FuzzCheckpointDecode", "roload/internal/schema"},
 		{"FuzzTraceDecode", "roload/internal/schema"},
+		{"FuzzBlockTranslate", "roload/internal/kernel"},
 	}
 	for _, tg := range targets {
 		t.Run(tg.name, func(t *testing.T) {
@@ -962,6 +1091,45 @@ func TestHostBenchHistoryValidates(t *testing.T) {
 	for i, e := range h.Entries {
 		if e.Total.Instructions == 0 || e.Total.FastMIPS <= 0 {
 			t.Errorf("entry %d total looks unmeasured: %+v", i, e.Total)
+		}
+	}
+	// The newest entry postdates the block engine: its blocks_* fields
+	// must be measured, and the committed trajectory must document the
+	// block engine beating the fast path (the engine's reason to exist).
+	last := h.Entries[len(h.Entries)-1]
+	if last.Total.BlocksNS <= 0 || last.Total.BlocksMIPS <= 0 {
+		t.Errorf("newest entry has no blocks measurement: %+v", last.Total)
+	}
+	if last.Total.BlocksSpeedup < 2 {
+		t.Errorf("newest entry blocks_speedup = %.2f, want >= 2 over the fast path", last.Total.BlocksSpeedup)
+	}
+	for _, e := range last.Entries {
+		if e.BlocksNS <= 0 || e.BlocksMIPS <= 0 || e.BlocksSpeedup <= 0 {
+			t.Errorf("newest entry benchmark %s missing blocks_* fields: %+v", e.Benchmark, e)
+		}
+	}
+}
+
+// TestHostBenchSnapshotValidates checks the committed BENCH_host.json
+// snapshot carries all three engines' measurements.
+func TestHostBenchSnapshotValidates(t *testing.T) {
+	data, err := os.ReadFile("BENCH_host.json")
+	if err != nil {
+		t.Fatalf("BENCH_host.json missing (regenerate with roload-bench -hostbench BENCH_host.json -scale test): %v", err)
+	}
+	var doc schema.HostBench
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_host.json does not decode: %v", err)
+	}
+	if doc.Schema != "roload-hostbench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Entries) == 0 {
+		t.Fatal("snapshot has no benchmarks")
+	}
+	for _, e := range append(doc.Entries, doc.Total) {
+		if e.InterpMIPS <= 0 || e.FastMIPS <= 0 || e.BlocksMIPS <= 0 {
+			t.Errorf("benchmark %s missing an engine measurement: %+v", e.Benchmark, e)
 		}
 	}
 }
