@@ -8,6 +8,8 @@
 //	roload-run -trace out.json -profile - -metrics run.json prog.mc
 //	roload-run -checkpoint ck.json -checkpoint-every 100000 prog.mc
 //	roload-run -resume ck.json prog.mc
+//	roload-run -store DIR -checkpoint store:// -checkpoint-every 100000 prog.mc
+//	roload-run -store DIR -resume store://<digest> prog.mc
 //	roload-run -fault-seed 7 -fault-count 5 -fault-trace - prog.mc
 //	roload-run -redundant 3 -heal -fault-seed 7 -fault-count 2 -heal-report - prog.mc
 //
@@ -62,6 +64,7 @@ import (
 	"roload/internal/obs"
 	"roload/internal/redundant"
 	"roload/internal/schema"
+	"roload/internal/store"
 )
 
 func main() {
@@ -92,6 +95,7 @@ func main() {
 	syncEvery := flag.Uint64("sync-every", 0, "supervisor cross-check stride in retired instructions (0 = default)")
 	faultReplica := flag.Int("fault-replica", 0, "replica seeded faults are injected into (requires -redundant)")
 	healReportPath := flag.String("heal-report", "", "write the roload-heal/v1 report (JSON) to this path (- for stdout)")
+	storeDir := flag.String("store", "", "artifact store directory: enables store:// checkpoint sources and sinks")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: roload-run [-system s] [-harden h] [-asm] [-stats] prog")
@@ -100,6 +104,20 @@ func main() {
 	if (*ckPath != "") != (*ckEvery > 0) {
 		fmt.Fprintln(os.Stderr, "roload-run: -checkpoint and -checkpoint-every must be used together")
 		os.Exit(2)
+	}
+	// store:// spellings name artifacts in a -store directory: a
+	// checkpoint sink (-checkpoint store://, keyed by state digest) or a
+	// resume source (-resume store://<digest>). Either requires -store.
+	if (strings.HasPrefix(*ckPath, "store://") || strings.HasPrefix(*resumePath, "store://")) && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "roload-run: store:// checkpoint sources and sinks require -store")
+		os.Exit(2)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var serr error
+		if st, serr = store.Open(*storeDir); serr != nil {
+			fatal(serr)
+		}
 	}
 	if *resumePath != "" && *faultCount > 0 {
 		fmt.Fprintln(os.Stderr, "roload-run: -fault-count cannot be combined with -resume (a resumed run replays the original)")
@@ -205,6 +223,7 @@ func main() {
 			faultSeed:  *faultSeed,
 			faultCount: *faultCount,
 			tracePath:  *faultTracePath,
+			st:         st,
 		})
 	} else {
 		var err error
@@ -347,6 +366,9 @@ type advOptions struct {
 	faultSeed  uint64
 	faultCount int
 	tracePath  string
+	// st is the artifact store behind store:// checkpoint sources and
+	// sinks (nil without -store).
+	st *store.Store
 }
 
 // runAdvanced drives the kernel directly: it restores or spawns the
@@ -371,9 +393,17 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 	var p *kernel.Process
 	var err error
 	if opt.resume != "" {
-		raw, rerr := os.ReadFile(opt.resume)
-		if rerr != nil {
-			fatal(rerr)
+		var raw []byte
+		if digest, ok := strings.CutPrefix(opt.resume, "store://"); ok {
+			var gerr error
+			if raw, gerr = opt.st.Get(schema.CheckpointV1, digest); gerr != nil {
+				fatal(fmt.Errorf("checkpoint store://%s: %w", digest, gerr))
+			}
+		} else {
+			var rerr error
+			if raw, rerr = os.ReadFile(opt.resume); rerr != nil {
+				fatal(rerr)
+			}
 		}
 		var ck schema.Checkpoint
 		if jerr := json.Unmarshal(raw, &ck); jerr != nil {
@@ -420,6 +450,7 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 	}
 
 	var res kernel.RunResult
+	var prevDigest string
 	for {
 		res, err = machine.RunContext(context.Background(), p)
 		if err == nil {
@@ -432,7 +463,11 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 		if opt.maxSteps > 0 && res.Instret >= opt.maxSteps {
 			fatal(err)
 		}
-		writeCheckpoint(machine, p, opt.ckPath)
+		if strings.HasPrefix(opt.ckPath, "store://") {
+			prevDigest = writeStoreCheckpoint(opt.st, machine, p, prevDigest)
+		} else {
+			writeCheckpoint(machine, p, opt.ckPath)
+		}
 	}
 
 	if eng != nil && opt.tracePath != "" {
@@ -444,6 +479,35 @@ func runAdvanced(img *asm.Image, sys core.SystemKind, probe obs.Probe, opt advOp
 		})
 	}
 	return res
+}
+
+// writeStoreCheckpoint snapshots the machine into the artifact store,
+// keyed by state digest. The newest checkpoint stays pinned (and the
+// previous one is released) so GC always keeps the run's most recent
+// resume point, and each boundary prints the "store://<digest>" name
+// -resume takes. Durability comes from the store's fsync-per-append
+// contract — no temp-file dance needed.
+func writeStoreCheckpoint(st *store.Store, machine *kernel.System, p *kernel.Process, prev string) string {
+	ck, err := kernel.Snapshot(machine, p)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		fatal(err)
+	}
+	digest := ck.StateDigest()
+	if _, err := st.Put(schema.CheckpointV1, digest, raw); err != nil {
+		fatal(err)
+	}
+	if err := st.Pin(digest); err != nil {
+		fatal(err)
+	}
+	if prev != "" {
+		st.Unpin(prev) //nolint:errcheck // best effort: over-pinning is safe
+	}
+	fmt.Fprintf(os.Stderr, "roload-run: checkpoint store://%s\n", digest)
+	return digest
 }
 
 // writeCheckpoint snapshots the machine and atomically replaces the

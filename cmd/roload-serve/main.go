@@ -10,6 +10,11 @@
 // Endpoints:
 //
 //	POST /v1/run               compile/harden/execute a guest program
+//	POST /v1/runs              same, resource-oriented: 201 + Location
+//	GET  /v1/runs/{id}         stored result of a completed run
+//	POST /v1/batch             many runs against one compiled image
+//	POST /v1/images            compile once into the artifact store (-store)
+//	GET  /v1/images/{digest}   stored roload-image/v1 document (-store)
 //	POST /v1/compile           MiniC in, hardened assembly out
 //	POST /v1/attack            mount the security matrix (or a slice)
 //	GET  /v1/experiments       list experiment ids and scales
@@ -59,10 +64,12 @@ func main() {
 	chaos := flag.Bool("chaos", false, "enable the chaos surface: POST /v1/chaos and RunRequest fault injection")
 	degradedWindow := flag.Duration("degraded-window", 15*time.Second, "how long /healthz reports degraded after a recovered panic")
 	root := flag.String("root", ".", "repository root (table1 experiment)")
+	storeDir := flag.String("store", "", "artifact store directory: persist images, checkpoints and reports across restarts")
+	maxBatch := flag.Int("max-batch", 0, "cap on runs per POST /v1/batch (0 = 64)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := service.NewServer(service.Config{
+	srv, err := service.NewServer(service.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		MaxBodyBytes:   *maxBody,
@@ -74,8 +81,14 @@ func main() {
 		Chaos:          *chaos,
 		DegradedWindow: *degradedWindow,
 		Root:           *root,
+		StoreDir:       *storeDir,
+		MaxBatchRuns:   *maxBatch,
 		Logger:         logger,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roload-serve: %v\n", err)
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -223,11 +223,31 @@ func (c *Client) Run(ctx context.Context, req schema.RunRequest) (*RunResult, er
 // and ignores event publication for an already-finished run), so the
 // stream sees exactly one run's worth of events.
 func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequest) (*RunResult, error) {
-	key := c.nextKey()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	reply, attempts, hedged, doc, err := c.execute(ctx, runID, http.MethodPost, "/v1/run", body)
+	if err != nil {
+		return nil, err
+	}
+	res, cerr := c.conclude(reply, attempts, hedged)
+	if res != nil {
+		res.RunID = runID
+		res.Trace = doc
+	}
+	return res, cerr
+}
+
+// execute drives the generic resilient exchange every endpoint method
+// shares: the breaker gate, per-attempt spans under a client trace,
+// hedging, exponential backoff with full jitter and Retry-After
+// floors — all attempts under one idempotency key so the server
+// executes the body at most once. It returns the first conclusive
+// reply with the attempt/hedge counts and the client-side trace
+// document, or the last failure when the attempt budget runs out.
+func (c *Client) execute(ctx context.Context, runID, method, path string, body []byte) (*httpReply, int, int, schema.TraceDoc, error) {
+	key := c.nextKey()
 	tr := telemetry.NewTrace(runID, "c")
 	root := tr.Start("run", "")
 	defer root.End()
@@ -236,12 +256,12 @@ func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequ
 	runStart := time.Now()
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := c.breaker.allow(); err != nil {
-			return nil, err
+			return nil, 0, hedged, schema.TraceDoc{}, err
 		}
 		aSpan := root.Child("attempt")
 		aSpan.SetAttrUint("attempt", uint64(attempt+1))
 		aStart := time.Now()
-		reply, err := c.attempt(ctx, key, runID, aSpan.ID(), body, &hedged)
+		reply, err := c.attempt(ctx, key, runID, aSpan.ID(), method, path, body, &hedged)
 		c.attemptUS.Observe(uint64(time.Since(aStart).Microseconds()))
 		if err != nil {
 			aSpan.SetAttr("error", err.Error())
@@ -254,12 +274,7 @@ func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequ
 			c.runUS.Observe(uint64(time.Since(runStart).Microseconds()))
 			root.SetAttrUint("attempts", uint64(attempt+1))
 			root.End()
-			res, cerr := c.conclude(reply, attempt+1, hedged)
-			if res != nil {
-				res.RunID = runID
-				res.Trace = tr.Doc()
-			}
-			return res, cerr
+			return reply, attempt + 1, hedged, tr.Doc(), nil
 		}
 		c.breaker.report(false)
 		retryAfter := 0
@@ -271,16 +286,16 @@ func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequ
 			retryAfter = apiErr.RetryAfterSec
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, 0, hedged, schema.TraceDoc{}, ctx.Err()
 		}
 		if attempt+1 == c.cfg.MaxAttempts {
 			break
 		}
 		if err := c.cfg.Sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
-			return nil, err
+			return nil, 0, hedged, schema.TraceDoc{}, err
 		}
 	}
-	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+	return nil, 0, hedged, schema.TraceDoc{}, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // conclude decodes a conclusive reply into the caller's result.
@@ -300,10 +315,13 @@ func (c *Client) conclude(reply *httpReply, attempts, hedged int) (*RunResult, e
 	}, nil
 }
 
-// httpReply is one attempt's decoded HTTP answer.
+// httpReply is one attempt's decoded HTTP answer. raw keeps the exact
+// body bytes for endpoints whose success answer is a bare artifact
+// document rather than a roload-serve/v1 envelope (GET /v1/images).
 type httpReply struct {
 	status   int
 	env      schema.Envelope
+	raw      []byte
 	replayed bool
 	retryHdr string
 }
@@ -325,11 +343,11 @@ func (r *httpReply) apiError() *APIError {
 // timeout. With hedging enabled, a duplicate request is launched after
 // HedgeDelay of silence; the first leg to answer wins and the other is
 // cancelled. Both legs carry the same idempotency key.
-func (c *Client) attempt(ctx context.Context, key, runID, parentSpan string, body []byte, hedged *int) (*httpReply, error) {
+func (c *Client) attempt(ctx context.Context, key, runID, parentSpan, method, path string, body []byte, hedged *int) (*httpReply, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	if c.cfg.HedgeDelay <= 0 {
-		return c.do(actx, key, runID, parentSpan, body)
+		return c.do(actx, key, runID, parentSpan, method, path, body)
 	}
 
 	type legResult struct {
@@ -341,7 +359,7 @@ func (c *Client) attempt(ctx context.Context, key, runID, parentSpan string, bod
 	results := make(chan legResult, 2)
 	launch := func() {
 		go func() {
-			reply, err := c.do(actx, key, runID, parentSpan, body)
+			reply, err := c.do(actx, key, runID, parentSpan, method, path, body)
 			results <- legResult{reply, err}
 		}()
 	}
@@ -378,8 +396,8 @@ func (c *Client) attempt(ctx context.Context, key, runID, parentSpan string, bod
 // logical run's id so the server adopts it instead of minting one, and
 // Roload-Trace-Parent names the client's attempt span so the merged
 // trace links the server's request span under this attempt.
-func (c *Client) do(ctx context.Context, key, runID, parentSpan string, body []byte) (*httpReply, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/run", bytes.NewReader(body))
+func (c *Client) do(ctx context.Context, key, runID, parentSpan, method, path string, body []byte) (*httpReply, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +416,7 @@ func (c *Client) do(ctx context.Context, key, runID, parentSpan string, body []b
 	}
 	reply := &httpReply{
 		status:   resp.StatusCode,
+		raw:      data,
 		replayed: resp.Header.Get("Idempotency-Replayed") == "true",
 		retryHdr: resp.Header.Get("Retry-After"),
 	}

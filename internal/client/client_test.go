@@ -207,7 +207,10 @@ func TestHedgedRequestWinsAndCancelsStraggler(t *testing.T) {
 
 func newServiceClient(t *testing.T, svcCfg service.Config, cliCfg Config) (*httptest.Server, *Client) {
 	t.Helper()
-	srv := service.NewServer(svcCfg)
+	srv, err := service.NewServer(svcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,181 @@
+// Tests for the client's batch and artifact-store surface: Batch
+// (byte-identical per-run bodies, idempotent replay through the
+// standard retry machinery), StreamBatch (per-run lifecycle events
+// under the batch id), and PutImage/GetImage against a store-backed
+// service.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+	"roload/internal/service"
+	"roload/internal/telemetry"
+)
+
+// TestClientBatch runs one batch through the client against a real
+// service: the report validates, per-run bodies match individual Run
+// results byte-for-byte, and replaying the same batch id with an
+// idempotent POST answers the cached report without re-executing.
+func TestClientBatch(t *testing.T) {
+	_, c := newServiceClient(t, service.Config{Workers: 4}, Config{})
+	req := schema.BatchRequest{
+		Source: helloProg,
+		Runs:   []schema.BatchRunSpec{{System: "full"}, {System: "baseline"}},
+	}
+	res, err := c.Batch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed || res.BatchID == "" {
+		t.Errorf("batch result = %+v", res)
+	}
+	if res.Report.Compiles != 1 {
+		t.Errorf("cold batch Compiles = %d, want 1", res.Report.Compiles)
+	}
+	if len(res.Report.Runs) != 2 {
+		t.Fatalf("report runs = %d", len(res.Report.Runs))
+	}
+	for i, out := range res.Report.Runs {
+		if out.Status != http.StatusOK {
+			t.Fatalf("run %d status = %d:\n%s", i, out.Status, out.Body)
+		}
+		// The per-run body is a full roload-serve/v1 envelope holding the
+		// exact document an individual Run would have answered.
+		var env schema.Envelope
+		if err := json.Unmarshal([]byte(out.Body), &env); err != nil {
+			t.Fatalf("run %d body is not an envelope: %v", i, err)
+		}
+		var batched schema.RunResponse
+		if err := env.Open(schema.ServeV1, &batched); err != nil {
+			t.Fatal(err)
+		}
+		run, rerr := c.Run(context.Background(), schema.RunRequest{
+			Source: helloProg, System: req.Runs[i].System,
+		})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !reflect.DeepEqual(batched, run.Response) {
+			t.Errorf("run %d batch response diverges from the individual Run response\nbatch:      %+v\nindividual: %+v",
+				i, batched, run.Response)
+		}
+	}
+
+	// A second identical batch hits the warm image cache (zero
+	// compiles) and, being deterministic, reproduces every per-run body.
+	again, err := c.Batch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Report.Compiles != 0 {
+		t.Errorf("warm batch Compiles = %d, want 0", again.Report.Compiles)
+	}
+	for i := range again.Report.Runs {
+		if again.Report.Runs[i].Body != res.Report.Runs[i].Body {
+			t.Errorf("warm batch run %d body diverges from the cold batch", i)
+		}
+	}
+}
+
+// TestClientStreamBatch subscribes before posting and checks the
+// per-run lifecycle arrives under the batch id: run-start and
+// run-result events stamped with each run's 1-based index, then the
+// terminal batch result closing the stream.
+func TestClientStreamBatch(t *testing.T) {
+	_, c := newServiceClient(t, service.Config{Workers: 2}, Config{})
+	batchID := telemetry.NewRunID()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	events, err := c.StreamBatch(ctx, batchID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.BatchWithID(ctx, batchID, schema.BatchRequest{
+		Source: helloProg,
+		Runs:   []schema.BatchRunSpec{{}, {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starts, results := map[int]bool{}, map[int]bool{}
+	sawTerminal := false
+	for ev := range events {
+		switch ev.Kind {
+		case schema.EventRunStart:
+			starts[ev.Run] = true
+		case schema.EventRunResult:
+			results[ev.Run] = true
+		case schema.EventResult:
+			sawTerminal = ev.Run == 0 && ev.Status == http.StatusOK
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		if !starts[i] || !results[i] {
+			t.Errorf("run %d lifecycle incomplete: start=%v result=%v", i, starts[i], results[i])
+		}
+	}
+	if !sawTerminal {
+		t.Error("stream did not end with the batch's own result event")
+	}
+	if res.Report.Compiles != 1 {
+		t.Errorf("Compiles = %d", res.Report.Compiles)
+	}
+}
+
+// TestClientImageStore drives PutImage/GetImage against a store-backed
+// service: first put stores, second reuses, GetImage answers the bare
+// document, and a digest-addressed batch compiles nothing.
+func TestClientImageStore(t *testing.T) {
+	_, c := newServiceClient(t, service.Config{Workers: 2, StoreDir: t.TempDir()}, Config{})
+	ctx := context.Background()
+
+	img, err := c.PutImage(ctx, schema.ImageRequest{Source: helloProg, Harden: "icall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Digest == "" || img.Reused {
+		t.Fatalf("first put = %+v", img)
+	}
+	again, err := c.PutImage(ctx, schema.ImageRequest{Source: helloProg, Harden: "icall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != img.Digest || !again.Reused {
+		t.Errorf("second put = %+v", again)
+	}
+
+	doc, err := c.GetImage(ctx, img.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != schema.ImageV1 || doc.Digest != img.Digest {
+		t.Errorf("image doc schema=%q digest=%q", doc.Schema, doc.Digest)
+	}
+
+	res, err := c.Batch(ctx, schema.BatchRequest{
+		ImageDigest: img.Digest,
+		Runs:        []schema.BatchRunSpec{{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Compiles != 0 || res.Report.ImageDigest != img.Digest {
+		t.Errorf("digest batch report = %+v", res.Report)
+	}
+	if res.Report.Runs[0].Status != http.StatusOK {
+		t.Errorf("digest run status = %d", res.Report.Runs[0].Status)
+	}
+
+	if _, err := c.GetImage(ctx, strings.Repeat("0", 64)); err == nil {
+		t.Error("GetImage of an unknown digest did not fail")
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -178,6 +179,20 @@ type RunOptions struct {
 	// per-instruction fast path. Simulated results are bit-identical
 	// either way; see cpu.Config.NoBlocks.
 	NoBlocks bool
+	// CheckpointEvery > 0 slices the run into chunks of that many
+	// retired instructions and calls Checkpoint at each boundary —
+	// exactly the roload-run -checkpoint-every drive, so the chunked
+	// run's simulated observables are bit-identical to an uninterrupted
+	// one. MaxSteps is then enforced at chunk granularity.
+	CheckpointEvery uint64
+	// Checkpoint receives the roload-checkpoint/v1 snapshot at each
+	// CheckpointEvery boundary. Returning an error aborts the run.
+	Checkpoint func(schema.Checkpoint) error
+	// Resume restores the machine from a checkpoint instead of spawning
+	// fresh; img must be the exact image the checkpoint was taken from
+	// (a mismatch returns *kernel.CheckpointMismatchError naming both
+	// digests).
+	Resume *schema.Checkpoint
 }
 
 // Engine names one of the simulator's execution engines. All three
@@ -233,6 +248,11 @@ func (e Engine) Options(opts RunOptions) RunOptions {
 func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOptions) (kernel.RunResult, *kernel.Process, error) {
 	cfg := sys.Config()
 	cfg.MaxSteps = opts.MaxSteps
+	if opts.CheckpointEvery > 0 {
+		// The chunked drive: the kernel stops at every checkpoint
+		// boundary and the loop below enforces the real budget.
+		cfg.MaxSteps = opts.CheckpointEvery
+	}
 	cfg.MemBytes = opts.MemBytes
 	cfg.CancelEvery = opts.CancelEvery
 	cfg.CPU.NoFastPath = opts.NoFastPath
@@ -246,7 +266,20 @@ func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOption
 	_, span := telemetry.StartSpan(ctx, "execute")
 	defer span.End()
 	span.SetAttr("system", sys.String())
-	machine := kernel.NewSystem(cfg)
+	var machine *kernel.System
+	var p *kernel.Process
+	var err error
+	if opts.Resume != nil {
+		machine, p, err = kernel.Restore(cfg, img, *opts.Resume)
+		if err != nil {
+			return kernel.RunResult{}, nil, err
+		}
+	} else {
+		machine = kernel.NewSystem(cfg)
+		if p, err = machine.Spawn(img); err != nil {
+			return kernel.RunResult{}, nil, err
+		}
+	}
 	if opts.Probe != nil {
 		machine.SetProbe(opts.Probe)
 	}
@@ -256,11 +289,30 @@ func RunWith(ctx context.Context, img *asm.Image, sys SystemKind, opts RunOption
 				Cycles: rec.Cycle, Audit: &rec})
 		})
 	}
-	p, err := machine.Spawn(img)
-	if err != nil {
-		return kernel.RunResult{}, nil, err
-	}
 	res, err := machine.RunContext(ctx, p)
+	// The checkpoint chunk loop, mirroring roload-run's: every
+	// StepLimitError at a boundary snapshots and continues, until the
+	// guest exits or the real MaxSteps budget (cumulative Instret) is
+	// spent — then the StepLimitError surfaces to the caller as usual.
+	for err != nil && opts.CheckpointEvery > 0 {
+		var limit *kernel.StepLimitError
+		if !errors.As(err, &limit) {
+			break
+		}
+		if opts.MaxSteps > 0 && res.Instret >= opts.MaxSteps {
+			break
+		}
+		if opts.Checkpoint != nil {
+			ck, snapErr := kernel.Snapshot(machine, p)
+			if snapErr != nil {
+				return res, p, snapErr
+			}
+			if cbErr := opts.Checkpoint(ck); cbErr != nil {
+				return res, p, cbErr
+			}
+		}
+		res, err = machine.RunContext(ctx, p)
+	}
 	span.SetAttrUint("instret", res.Instret)
 	span.SetAttrUint("cycles", res.Cycles)
 	return res, p, err

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"roload/internal/asm"
+	"roload/internal/kernel"
+	"roload/internal/schema"
+)
+
+// The roload-image/v1 codec: the bridge between the assembler's
+// in-memory image and the artifact store's serialized document. It
+// lives here (not in internal/schema, which is dependency-free) because
+// it needs both the asm types and the kernel's image digest.
+
+// EncodeImage serializes a linked image as a roload-image/v1 document,
+// stamped with the kernel image digest — the key the artifact store
+// files it under and the digest its checkpoints pin.
+func EncodeImage(img *asm.Image) schema.ImageDoc {
+	doc := schema.ImageDoc{
+		Schema:  schema.ImageV1,
+		Digest:  kernel.ImageDigest(img),
+		Entry:   img.Entry,
+		Symbols: img.Symbols,
+	}
+	for _, sec := range img.Sections {
+		doc.Sections = append(doc.Sections, schema.ImageSection{
+			Name: sec.Name,
+			VA:   sec.VA,
+			Size: sec.Size,
+			Perm: uint8(sec.Perm),
+			Key:  sec.Key,
+			Data: sec.Data,
+		})
+	}
+	return doc
+}
+
+// DecodeImage rebuilds a loadable image from a roload-image/v1
+// document. It runs the document's structural validation, the asm
+// image's loadability validation, and — when the document carries a
+// digest — recomputes the kernel image digest and refuses a mismatch,
+// so a corrupted or mislabeled store entry can never be executed under
+// the wrong name.
+func DecodeImage(doc schema.ImageDoc) (*asm.Image, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	img := &asm.Image{Entry: doc.Entry}
+	if len(doc.Symbols) > 0 {
+		img.Symbols = make(map[string]uint64, len(doc.Symbols))
+		for name, va := range doc.Symbols {
+			img.Symbols[name] = va
+		}
+	}
+	for _, sec := range doc.Sections {
+		img.Sections = append(img.Sections, asm.Section{
+			Name: sec.Name,
+			VA:   sec.VA,
+			Size: sec.Size,
+			Perm: asm.Perm(sec.Perm),
+			Key:  sec.Key,
+			Data: append([]byte(nil), sec.Data...),
+		})
+	}
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("core: decoded image is not loadable: %w", err)
+	}
+	if doc.Digest != "" {
+		if got := kernel.ImageDigest(img); got != doc.Digest {
+			return nil, fmt.Errorf("core: image digest mismatch: document says %s, contents hash to %s",
+				doc.Digest, got)
+		}
+	}
+	return img, nil
+}

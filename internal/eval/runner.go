@@ -111,6 +111,15 @@ func (r *Runner) Stats() RunnerStats {
 // deterministic, so it deliberately takes no context: once started it
 // always completes and the cache entry is always reusable.
 func (r *Runner) Image(src string, h core.Hardening) (*asm.Image, error) {
+	img, _, err := r.CachedImage(src, h)
+	return img, err
+}
+
+// CachedImage is Image plus the cache verdict: hit reports whether the
+// image was already compiled (true) or this call compiled it (false).
+// The HTTP service's batch endpoint uses the verdict to prove its
+// compile-exactly-once contract.
+func (r *Runner) CachedImage(src string, h core.Hardening) (img *asm.Image, hit bool, err error) {
 	r.mu.Lock()
 	e, ok := r.images[imageKey{src, h}]
 	if !ok {
@@ -126,7 +135,7 @@ func (r *Runner) Image(src string, h core.Hardening) (*asm.Image, error) {
 	e.once.Do(func() {
 		e.img, _, e.err = core.Build(src, h)
 	})
-	return e.img, e.err
+	return e.img, ok, e.err
 }
 
 // ctxErr reports whether err stems from context cancellation or an

@@ -43,11 +43,14 @@ type procState struct {
 	Audit       []obs.AuditRecord `json:"audit,omitempty"`
 }
 
-// imageDigest fingerprints a loaded image so a checkpoint can only be
+// ImageDigest fingerprints a loaded image so a checkpoint can only be
 // resumed against the binary that produced it. The digest covers the
 // sections in slice order (name, layout, permissions, key, contents),
-// the entry point, and the symbol table in sorted order.
-func imageDigest(img *asm.Image) string {
+// the entry point, and the symbol table in sorted order. It is also
+// the key compiled images are stored under in the artifact store
+// (roload-image/v1), so images, their checkpoints and resume requests
+// all name the same artifact.
+func ImageDigest(img *asm.Image) string {
 	h := sha256.New()
 	for _, sec := range img.Sections {
 		fmt.Fprintf(h, "section %s va=%#x size=%#x perm=%d key=%d\n", sec.Name, sec.VA, sec.Size, sec.Perm, sec.Key)
@@ -101,7 +104,7 @@ func Snapshot(s *System, p *Process) (schema.Checkpoint, error) {
 		ProcessorROLoad: s.cfg.ProcessorROLoad,
 		KernelROLoad:    s.cfg.KernelROLoad,
 		MemBytes:        s.cfg.MemBytes,
-		ImageSHA256:     imageDigest(p.image),
+		ImageSHA256:     ImageDigest(p.image),
 		Instret:         s.cpu.Instret,
 		State:           raw,
 	}, nil
@@ -124,7 +127,7 @@ func Restore(cfg Config, img *asm.Image, ck schema.Checkpoint) (*System, *Proces
 			Want:  fmt.Sprintf("processor=%v kernel=%v", ck.ProcessorROLoad, ck.KernelROLoad),
 		}
 	}
-	if got := imageDigest(img); got != ck.ImageSHA256 {
+	if got := ImageDigest(img); got != ck.ImageSHA256 {
 		return nil, nil, &CheckpointMismatchError{Field: "image", Got: got, Want: ck.ImageSHA256}
 	}
 	var ms machineState

@@ -1,0 +1,112 @@
+package schema
+
+import "fmt"
+
+// The batch-execution documents (`roload-batch/v1`): the request body
+// of POST /v1/batch — many run specs against one compiled image — and
+// the report it answers with. The contract that makes batching safe to
+// adopt incrementally: every per-run body in the report is
+// byte-identical to the response of the equivalent individual POST
+// /v1/run call, because the service executes and renders both through
+// the same path. The batch amortizes exactly two things — one compile
+// (or one store fetch) shared by every run, and one HTTP round trip.
+
+// BatchRequest is the body of POST /v1/batch. The compile group
+// (Source/Asm/Harden/Optimize, or ImageDigest for a stored image) is
+// shared by every run; Runs carries the per-run execution options.
+type BatchRequest struct {
+	Schema string `json:"schema,omitempty"`
+	// Source is MiniC source (or assembly when Asm is set), compiled
+	// once for the whole batch. Mutually exclusive with ImageDigest.
+	Source   string `json:"source,omitempty"`
+	Asm      bool   `json:"asm,omitempty"`
+	Harden   string `json:"harden,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+	// ImageDigest names a precompiled image in the server's artifact
+	// store (see POST /v1/images) instead of source; the batch then
+	// compiles nothing at all.
+	ImageDigest string `json:"image_digest,omitempty"`
+	// Runs are the per-run specs, executed across the server's worker
+	// pool. At least one; the server caps the count.
+	Runs []BatchRunSpec `json:"runs"`
+	// TimeoutMS bounds the whole batch's wall clock (0 = the server
+	// default); runs still executing at the deadline answer their usual
+	// 504 partial bodies inside the report.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is the admission-control class of the whole batch
+	// ("" / "normal" / "low", the POST /v1/run semantics).
+	Priority string `json:"priority,omitempty"`
+}
+
+// BatchRunSpec is one run of a batch: exactly the execution options of
+// RunRequest, minus the compile group (shared) and the wall-clock
+// budget (the batch owns one deadline).
+type BatchRunSpec struct {
+	System       string `json:"system,omitempty"`
+	Engine       string `json:"engine,omitempty"`
+	MaxSteps     uint64 `json:"max_steps,omitempty"`
+	MemBytes     uint64 `json:"mem_bytes,omitempty"`
+	FaultCount   int    `json:"fault_count,omitempty"`
+	FaultSeed    uint64 `json:"fault_seed,omitempty"`
+	Redundant    int    `json:"redundant,omitempty"`
+	Heal         bool   `json:"heal,omitempty"`
+	SyncEvery    uint64 `json:"sync_every,omitempty"`
+	FaultReplica int    `json:"fault_replica,omitempty"`
+}
+
+// BatchRunOutcome is one run's result inside a batch report. Body is
+// the exact rendered roload-serve/v1 envelope the equivalent
+// individual POST /v1/run would have answered (success or error), and
+// Status its HTTP status. It is a string, not a json.RawMessage,
+// deliberately: Marshal compacts a RawMessage, which would destroy the
+// byte-for-byte identity with the individual response (the same rule
+// RunEvent.Result follows).
+type BatchRunOutcome struct {
+	Index int `json:"index"`
+	// RunID is the per-run id ("<batch id>.<index+1>"); the stored
+	// result is fetchable at GET /v1/runs/{run_id} and the run's events
+	// carry it as RunEvent.Run.
+	RunID  string `json:"run_id"`
+	Status int    `json:"status"`
+	Body   string `json:"body"`
+}
+
+// BatchReport is the roload-batch/v1 document answered by POST
+// /v1/batch (wrapped, like every serve response, in the roload-serve/v1
+// envelope) and persisted in the artifact store when one is configured.
+type BatchReport struct {
+	Schema string `json:"schema"` // BatchV1
+	// BatchID is the batch-scoped run id (minted, or the Roload-Trace
+	// request header): the handle for the live event stream.
+	BatchID string `json:"batch_id"`
+	// ImageDigest fingerprints the one image every run executed.
+	ImageDigest string `json:"image_digest"`
+	// Compiles counts source compilations the batch performed: 1 for a
+	// cold source batch, 0 when the image cache or the artifact store
+	// already held the image. Never more — that is the amortization
+	// contract.
+	Compiles int               `json:"compiles"`
+	Runs     []BatchRunOutcome `json:"runs"`
+}
+
+// Validate checks the report's schema tag and per-run integrity.
+func (r *BatchReport) Validate() error {
+	if r.Schema != BatchV1 {
+		return fmt.Errorf("schema: batch report carries %q, want %q", r.Schema, BatchV1)
+	}
+	if r.BatchID == "" {
+		return fmt.Errorf("schema: batch report has no batch id")
+	}
+	for i, run := range r.Runs {
+		if run.Index != i {
+			return fmt.Errorf("schema: batch run %d carries index %d", i, run.Index)
+		}
+		if run.RunID == "" {
+			return fmt.Errorf("schema: batch run %d has no run id", i)
+		}
+		if run.Status == 0 {
+			return fmt.Errorf("schema: batch run %d has no status", i)
+		}
+	}
+	return nil
+}

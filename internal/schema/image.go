@@ -1,0 +1,67 @@
+package schema
+
+import "fmt"
+
+// The compiled-image document (`roload-image/v1`): the serialized form
+// of one linked, loadable guest image, the unit the content-addressed
+// artifact store keys by digest and the POST /v1/images endpoint
+// persists. The digest is the kernel's image fingerprint (the same one
+// roload-checkpoint/v1 pins in ImageSHA256), so a stored image, the
+// checkpoints taken from it, and a resume request all name the same
+// artifact.
+//
+// The document is a faithful mirror of the assembler's in-memory image
+// (internal/asm): sections with their layout, permissions, ROLoad page
+// keys and initialized contents, the entry point, and the symbol
+// table. Conversion to and from the asm type lives in internal/core
+// (EncodeImage / DecodeImage) so this package stays dependency-free.
+
+// ImageSection is one loadable region of a stored image. Data carries
+// the initialized prefix (base64 on the wire); Size includes the zero
+// fill, so len(Data) <= Size.
+type ImageSection struct {
+	Name string `json:"name"`
+	VA   uint64 `json:"va"`
+	Size uint64 `json:"size"`
+	// Perm is the section permission bit set (read=1, write=2, exec=4,
+	// matching internal/asm.Perm).
+	Perm uint8 `json:"perm"`
+	// Key is the ROLoad page key (0 = untyped).
+	Key  uint16 `json:"key,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// ImageDoc is the roload-image/v1 document.
+type ImageDoc struct {
+	Schema string `json:"schema"` // ImageV1
+	// Digest is the kernel image digest the document was stored under
+	// (advisory: loaders recompute it from the decoded image and refuse
+	// a mismatch).
+	Digest   string            `json:"digest,omitempty"`
+	Entry    uint64            `json:"entry"`
+	Sections []ImageSection    `json:"sections"`
+	Symbols  map[string]uint64 `json:"symbols,omitempty"`
+}
+
+// Validate checks the document's schema tag and structural sanity. The
+// full loadability invariants (page alignment, no W+X, keys only on
+// read-only pages) are the asm image's own Validate, run after
+// decoding; this guards the wire frame.
+func (d *ImageDoc) Validate() error {
+	if d.Schema != ImageV1 {
+		return fmt.Errorf("schema: image document carries %q, want %q", d.Schema, ImageV1)
+	}
+	if len(d.Sections) == 0 {
+		return fmt.Errorf("schema: image document has no sections")
+	}
+	for i, sec := range d.Sections {
+		if sec.Name == "" {
+			return fmt.Errorf("schema: image section %d has no name", i)
+		}
+		if uint64(len(sec.Data)) > sec.Size {
+			return fmt.Errorf("schema: image section %q carries %d data bytes but declares size %d",
+				sec.Name, len(sec.Data), sec.Size)
+		}
+	}
+	return nil
+}

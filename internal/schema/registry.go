@@ -1,0 +1,144 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The versioned-kind registry: the single list of every document
+// family this repository speaks. Each kind registers its schema id, a
+// factory for its decoded form, and a minimal seed document; DecodeAny
+// then dispatches any byte stream — flat document or Envelope — to the
+// right type and its Validate method. New kinds get envelope
+// validation, /v1 error handling and FuzzEnvelopeDecode coverage by
+// registering here instead of being hand-listed in switch cases.
+
+// Kind describes one registered document family.
+type Kind struct {
+	// ID is the schema id ("name/vN").
+	ID string
+	// New allocates the decoded form (a pointer, so Validate methods
+	// with pointer receivers are found). Families that carry multiple
+	// payload shapes under one id (the serve API, the fault plan/trace
+	// pair) register a generic map factory.
+	New func() any
+	// Seed is a minimal valid document in the family's wire form (flat
+	// or enveloped), used to seed fuzzing and registry self-tests.
+	Seed string
+}
+
+var kinds = map[string]Kind{}
+
+// Register adds a kind to the registry. It panics on a malformed id,
+// a missing factory or a duplicate registration — all programmer
+// errors caught at init time.
+func Register(k Kind) {
+	if _, _, err := ParseID(k.ID); err != nil {
+		panic(fmt.Sprintf("schema: registering kind with malformed id: %v", err))
+	}
+	if k.New == nil {
+		panic(fmt.Sprintf("schema: registering kind %q without a factory", k.ID))
+	}
+	if _, dup := kinds[k.ID]; dup {
+		panic(fmt.Sprintf("schema: kind %q registered twice", k.ID))
+	}
+	kinds[k.ID] = k
+}
+
+// Kinds returns every registered kind, sorted by id.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the kind registered under id.
+func Lookup(id string) (Kind, bool) {
+	k, ok := kinds[id]
+	return k, ok
+}
+
+// validator is implemented by decoded forms that carry their own
+// structural invariants.
+type validator interface{ Validate() error }
+
+// DecodeAny decodes a document of any registered kind. It accepts both
+// wire forms — a flat document carrying its id in a top-level "schema"
+// field, and the shared Envelope ({schema, version, payload}), told
+// apart by the presence of a "payload" key — decodes into the kind's
+// registered type, and runs its Validate method when it has one. It
+// returns the schema id and the decoded document.
+func DecodeAny(data []byte) (string, any, error) {
+	var probe struct {
+		Schema  string          `json:"schema"`
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", nil, fmt.Errorf("schema: decoding document: %w", err)
+	}
+	if probe.Schema == "" {
+		return "", nil, fmt.Errorf("schema: document carries no schema id")
+	}
+	k, ok := Lookup(probe.Schema)
+	if !ok {
+		return "", nil, fmt.Errorf("schema: unregistered kind %q", probe.Schema)
+	}
+	doc := k.New()
+	if probe.Payload != nil {
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return "", nil, fmt.Errorf("schema: decoding %s envelope: %w", k.ID, err)
+		}
+		if err := env.Open(k.ID, doc); err != nil {
+			return "", nil, err
+		}
+	} else if err := json.Unmarshal(data, doc); err != nil {
+		return "", nil, fmt.Errorf("schema: decoding %s document: %w", k.ID, err)
+	}
+	if v, ok := doc.(validator); ok {
+		if err := v.Validate(); err != nil {
+			return "", nil, err
+		}
+	}
+	return k.ID, doc, nil
+}
+
+// genericDoc is the decoded form of families that carry multiple
+// payload shapes under one schema id.
+type genericDoc = map[string]json.RawMessage
+
+func init() {
+	Register(Kind{ID: BenchV1, New: func() any { return new(BenchReport) },
+		Seed: `{"schema":"roload-bench/v1","scale":"test","table1":[{"component":"c","language":"go","lines":1}],` +
+			`"table2":["x"],"table3":{"core_base_lut":1},"sysoverhead":[{"benchmark":"b"}],` +
+			`"fig3":[{"benchmark":"b","scheme":"s"}],"fig4":[{"benchmark":"b","scheme":"s"}],` +
+			`"fig5":[{"benchmark":"b","scheme":"s"}],"retguard":[{"benchmark":"b","scheme":"s"}],` +
+			`"security":[{"scenario":"sc","scheme":"s","outcome":"ok"}]}`})
+	Register(Kind{ID: MetricsV1, New: func() any { return new(Snapshot) },
+		Seed: `{"schema":"roload-metrics/v1","instret":1,"cycles":2}`})
+	Register(Kind{ID: HostBenchV1, New: func() any { return new(HostBench) },
+		Seed: `{"schema":"roload-hostbench/v1","scale":"test","entries":[]}`})
+	Register(Kind{ID: HostBenchHistoryV1, New: func() any { return new(HostBenchHistory) },
+		Seed: `{"schema":"roload-hostbench-history/v1","entries":[]}`})
+	// The serve API carries many request/response payloads under one
+	// id; a generic map accepts them all.
+	Register(Kind{ID: ServeV1, New: func() any { return new(genericDoc) },
+		Seed: `{"schema":"roload-serve/v1","version":1,"payload":{"status":"ok"}}`})
+	// roload-fault/v1 names both the plan and the trace.
+	Register(Kind{ID: FaultV1, New: func() any { return new(genericDoc) },
+		Seed: `{"schema":"roload-fault/v1","seed":7,"events":[]}`})
+	Register(Kind{ID: CheckpointV1, New: func() any { return new(Checkpoint) },
+		Seed: `{"schema":"roload-checkpoint/v1","instret":0,"state":null}`})
+	Register(Kind{ID: HealV1, New: func() any { return new(HealReport) },
+		Seed: `{"schema":"roload-heal/v1","replicas":3,"sync_every":1000}`})
+	Register(Kind{ID: TraceV1, New: func() any { return new(TraceDoc) },
+		Seed: `{"schema":"roload-trace/v1","run_id":"r","spans":[{"id":"a","name":"run","start_us":0,"dur_us":1}]}`})
+	Register(Kind{ID: ImageV1, New: func() any { return new(ImageDoc) },
+		Seed: `{"schema":"roload-image/v1","entry":4096,"sections":[{"name":".text","va":4096,"size":4096,"perm":5}]}`})
+	Register(Kind{ID: BatchV1, New: func() any { return new(BatchReport) },
+		Seed: `{"schema":"roload-batch/v1","batch_id":"b","image_digest":"d","compiles":1,"runs":[{"index":0,"run_id":"b.1","status":200,"body":"{}"}]}`})
+}

@@ -1,0 +1,110 @@
+package schema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversEveryID checks the registry against the id const
+// block: every declared schema id is registered, and every registered
+// kind's Seed decodes cleanly through DecodeAny to its own id. This is
+// the test that fails when someone adds a "roload-*/v1" id without
+// registering it.
+func TestRegistryCoversEveryID(t *testing.T) {
+	ids := []string{
+		BenchV1, MetricsV1, HostBenchV1, HostBenchHistoryV1, ServeV1,
+		FaultV1, CheckpointV1, HealV1, TraceV1, ImageV1, BatchV1,
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("schema id %q is declared but not registered", id)
+		}
+	}
+	if got, want := len(Kinds()), len(ids); got != want {
+		t.Errorf("registry holds %d kinds, the id block declares %d", got, want)
+	}
+	for _, k := range Kinds() {
+		id, doc, err := DecodeAny([]byte(k.Seed))
+		if err != nil {
+			t.Errorf("seed of %s does not decode: %v", k.ID, err)
+			continue
+		}
+		if id != k.ID {
+			t.Errorf("seed of %s decoded as %s", k.ID, id)
+		}
+		if doc == nil {
+			t.Errorf("seed of %s decoded to nil", k.ID)
+		}
+	}
+}
+
+// TestDecodeAnyDispatch exercises both wire forms and the error
+// paths: flat documents, enveloped documents, validation failures,
+// unknown and missing ids.
+func TestDecodeAnyDispatch(t *testing.T) {
+	// Flat form: the trace seed carries its id in the schema field.
+	id, doc, err := DecodeAny([]byte(`{"schema":"roload-trace/v1","run_id":"r","spans":[]}`))
+	if err != nil || id != TraceV1 {
+		t.Fatalf("flat trace: id=%q err=%v", id, err)
+	}
+	if _, ok := doc.(*TraceDoc); !ok {
+		t.Fatalf("flat trace decoded to %T, want *TraceDoc", doc)
+	}
+
+	// Envelope form: the same document wrapped.
+	env, err := Wrap(TraceV1, &TraceDoc{Schema: TraceV1, RunID: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(env)
+	id, doc, err = DecodeAny(raw)
+	if err != nil || id != TraceV1 {
+		t.Fatalf("enveloped trace: id=%q err=%v", id, err)
+	}
+	if td := doc.(*TraceDoc); td.RunID != "r" {
+		t.Fatalf("enveloped trace lost its run id: %+v", td)
+	}
+
+	// A kind with a Validate method rejects invalid documents even when
+	// the JSON itself is well-formed.
+	if _, _, err := DecodeAny([]byte(`{"schema":"roload-trace/v1","run_id":"","spans":[]}`)); err == nil {
+		t.Fatal("invalid trace document decoded without error")
+	}
+	if _, _, err := DecodeAny([]byte(`{"schema":"roload-batch/v1","batch_id":"b","runs":[{"index":1,"run_id":"x","status":200}]}`)); err == nil {
+		t.Fatal("batch report with misnumbered runs decoded without error")
+	}
+
+	// Unknown and missing ids error with the id named.
+	if _, _, err := DecodeAny([]byte(`{"schema":"roload-nope/v1"}`)); err == nil || !strings.Contains(err.Error(), "roload-nope/v1") {
+		t.Fatalf("unregistered kind: err=%v", err)
+	}
+	if _, _, err := DecodeAny([]byte(`{"x":1}`)); err == nil {
+		t.Fatal("document without a schema id decoded")
+	}
+	if _, _, err := DecodeAny([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON decoded")
+	}
+}
+
+// TestRegisterPanics checks the programmer-error guards.
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+	}{
+		{"malformed id", Kind{ID: "no-version", New: func() any { return new(struct{}) }}},
+		{"nil factory", Kind{ID: "x/v1"}},
+		{"duplicate", Kind{ID: TraceV1, New: func() any { return new(TraceDoc) }}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%s) did not panic", tc.name)
+				}
+			}()
+			Register(tc.kind)
+		})
+	}
+}

@@ -28,7 +28,10 @@ import (
 	"strings"
 )
 
-// Schema ids of every document family, in "name/vN" form.
+// Schema ids of every document family, in "name/vN" form. Every id
+// listed here is also registered in the kind registry (registry.go),
+// which is what gives new families envelope validation and fuzz
+// coverage without hand-listed switch cases.
 const (
 	BenchV1            = "roload-bench/v1"
 	MetricsV1          = "roload-metrics/v1"
@@ -39,6 +42,8 @@ const (
 	CheckpointV1       = "roload-checkpoint/v1"
 	HealV1             = "roload-heal/v1"
 	TraceV1            = "roload-trace/v1"
+	ImageV1            = "roload-image/v1"
+	BatchV1            = "roload-batch/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

@@ -63,6 +63,22 @@ type RunRequest struct {
 	// the server's soft threshold, so interactive traffic keeps its
 	// headroom.
 	Priority string `json:"priority,omitempty"`
+	// ImageDigest executes a precompiled image from the server's
+	// artifact store (POST /v1/images) instead of compiling Source.
+	// Requires -store; mutually exclusive with Source/Asm/Harden/
+	// Optimize.
+	ImageDigest string `json:"image_digest,omitempty"`
+	// CheckpointEvery > 0 snapshots the run into the artifact store
+	// every that many retired instructions (roload-checkpoint/v1, keyed
+	// by state digest); the digests come back in RunResponse.Checkpoints
+	// (or ErrorResponse.Checkpoints on a 422 step-limit partial).
+	// Requires -store; rejected together with Redundant.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	// Resume restarts the run from a stored checkpoint, named as
+	// "store://<digest>". Requires -store; rejected together with
+	// Redundant and FaultCount. An image mismatch answers 409 kind
+	// "mismatch" naming both digests.
+	Resume string `json:"resume,omitempty"`
 }
 
 // RunResponse is the payload of a successful POST /v1/run. Stdout,
@@ -91,6 +107,10 @@ type RunResponse struct {
 	// Heal is the roload-heal/v1 report of a supervised redundant run
 	// (RunRequest.Redundant > 1).
 	Heal *HealReport `json:"heal,omitempty"`
+	// Checkpoints lists the store digests of the checkpoints taken
+	// during the run (RunRequest.CheckpointEvery > 0), in retire order;
+	// each is resumable as "store://<digest>".
+	Checkpoints []string `json:"checkpoints,omitempty"`
 }
 
 // CompileRequest is the body of POST /v1/compile: MiniC in, hardened
@@ -192,8 +212,10 @@ type ErrorResponse struct {
 	// "steplimit", "busy", "draining", "internal", "not_found", "panic"
 	// (a worker panic caught by the recovery middleware), "chaos" (an
 	// armed chaos error), "overload" (a low-priority request shed with
-	// 429 + Retry-After) or "diverged" (a redundant run that ended
-	// without a digest quorum).
+	// 429 + Retry-After), "diverged" (a redundant run that ended
+	// without a digest quorum) or "mismatch" (a resume whose stored
+	// checkpoint pins a different image digest, answered 409 naming
+	// both digests).
 	Kind string `json:"kind"`
 	// Metrics carries the partial snapshot of a run that was cancelled
 	// mid-flight (504) or exhausted its instruction budget, including
@@ -205,6 +227,33 @@ type ErrorResponse struct {
 	// server or supplied via the Roload-Trace header), so a client can
 	// correlate a 5xx with the server's structured logs and trace.
 	RunID string `json:"run_id,omitempty"`
+	// Checkpoints lists the checkpoint digests stored before the run
+	// was interrupted (422 step-limit partials of a CheckpointEvery
+	// run), so the client can resume from the last one.
+	Checkpoints []string `json:"checkpoints,omitempty"`
+}
+
+// ImageRequest is the body of POST /v1/images: compile (or assemble)
+// once and persist the image in the artifact store; the response names
+// the digest that RunRequest.ImageDigest and BatchRequest.ImageDigest
+// then execute without recompiling. Only routed when the server runs
+// with -store.
+type ImageRequest struct {
+	Schema   string `json:"schema,omitempty"`
+	Source   string `json:"source"`
+	Asm      bool   `json:"asm,omitempty"`
+	Harden   string `json:"harden,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+}
+
+// ImageResponse answers POST /v1/images.
+type ImageResponse struct {
+	// Digest is the kernel image digest the roload-image/v1 document is
+	// stored (and pinned) under.
+	Digest string `json:"digest"`
+	// Reused reports that the store already held the digest — nothing
+	// was written.
+	Reused bool `json:"reused"`
 }
 
 // HealthResponse is the payload of GET /healthz.
@@ -265,6 +314,25 @@ type ServeMetrics struct {
 	EngineRuns map[string]uint64 `json:"engine_runs,omitempty"`
 	// Streams counts the live-event broker's activity.
 	Streams StreamMetrics `json:"streams"`
+	// Store describes the artifact store, present only when the server
+	// runs with -store.
+	Store *StoreMetrics `json:"store,omitempty"`
+}
+
+// StoreMetrics describes the artifact store (-store): entry and pin
+// counts by document kind plus log-level counters.
+type StoreMetrics struct {
+	// Entries counts live (non-deleted) records per schema kind.
+	Entries map[string]int `json:"entries,omitempty"`
+	// Pinned counts digests with a positive refcount.
+	Pinned int `json:"pinned"`
+	// Puts/Gets count store operations since boot; Recovered counts
+	// torn-tail bytes truncated by the last reopen scan.
+	Puts      uint64 `json:"puts"`
+	Gets      uint64 `json:"gets"`
+	Recovered int64  `json:"recovered_bytes,omitempty"`
+	// LogBytes is the current size of the append log.
+	LogBytes int64 `json:"log_bytes"`
 }
 
 // KeyCheckStats is the per-hardening-mode key-check fault rate: Rate

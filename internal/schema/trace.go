@@ -97,6 +97,15 @@ const (
 	// EventResult is the terminal event: Result carries the exact
 	// response envelope of the synchronous POST /v1/run answer.
 	EventResult = "result"
+	// EventRunStart marks one run of a batch starting (Run carries its
+	// 1-based index); streamed under the batch-scoped run id.
+	EventRunStart = "run-start"
+	// EventRunResult is one batch run's terminal event: Result and
+	// Status carry exactly what EventResult would for the equivalent
+	// individual run, plus the Run index. The batch itself still ends
+	// with a single EventResult carrying the roload-batch/v1 report
+	// envelope.
+	EventRunResult = "run-result"
 )
 
 // RunEvent is one streamed event of a live run. Seq is the broker's
@@ -128,4 +137,7 @@ type RunEvent struct {
 	// Status is the HTTP status the synchronous answer carried
 	// (EventResult only).
 	Status int `json:"status,omitempty"`
+	// Run is the 1-based batch run index the event belongs to (events
+	// streamed under a batch-scoped id; 0 = the batch itself).
+	Run int `json:"run,omitempty"`
 }

@@ -1,0 +1,609 @@
+// Tests for the batch-execution surface and the artifact store behind
+// it: POST /v1/batch (one compile, many runs, per-run bodies
+// byte-identical to individual POST /v1/run responses), the
+// resource-oriented POST /v1/runs + GET /v1/runs/{id} routes, the
+// /v1/images store surface, store-backed checkpoint/resume, and the
+// restart contract (-store survives a server death).
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"roload/internal/schema"
+	"roload/internal/telemetry"
+)
+
+// postRaw posts JSON with optional headers and returns the raw reply.
+func postRaw(t *testing.T, url string, body any, headers map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func openBatch(t *testing.T, data []byte) schema.BatchReport {
+	t.Helper()
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("undecodable batch body %q: %v", data, err)
+	}
+	var report schema.BatchReport
+	if err := env.Open(schema.ServeV1, &report); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// TestServeBatchByteIdentity is the batch acceptance test: a cold
+// batch compiles exactly once (Compiles == 1), every per-run body is
+// byte-for-byte the response the equivalent individual POST /v1/run
+// answers, each stored per-run result replays at GET /v1/runs/{id},
+// and a second identical batch hits the image cache (Compiles == 0).
+func TestServeBatchByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, Chaos: true})
+	runs := []schema.BatchRunSpec{
+		{System: "full"},
+		{System: "baseline"},
+		{FaultCount: 2, FaultSeed: 7, System: "full"},
+	}
+	status, _, data := postRaw(t, ts.URL+"/v1/batch", schema.BatchRequest{
+		Source: loopProg, Harden: "icall", Runs: runs,
+	}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", status, data)
+	}
+	report := openBatch(t, data)
+	if report.Compiles != 1 {
+		t.Errorf("cold batch Compiles = %d, want 1", report.Compiles)
+	}
+	if report.ImageDigest == "" {
+		t.Error("batch report has no image digest")
+	}
+	if len(report.Runs) != len(runs) {
+		t.Fatalf("report has %d runs, want %d", len(report.Runs), len(runs))
+	}
+	for i, out := range report.Runs {
+		if want := report.BatchID + "." + strconv.Itoa(i+1); out.RunID != want {
+			t.Errorf("run %d id = %q, want %q", i, out.RunID, want)
+		}
+		if out.Status != http.StatusOK {
+			t.Errorf("run %d status = %d\n%s", i, out.Status, out.Body)
+		}
+		// The same spec as one individual request must answer the same
+		// bytes (seeded chaos runs are deterministic).
+		istatus, _, ibody := postRaw(t, ts.URL+"/v1/run", schema.RunRequest{
+			Source: loopProg, Harden: "icall",
+			System: runs[i].System, FaultCount: runs[i].FaultCount, FaultSeed: runs[i].FaultSeed,
+		}, nil)
+		if istatus != out.Status {
+			t.Errorf("run %d: individual status %d != batch status %d", i, istatus, out.Status)
+		}
+		if string(ibody) != out.Body {
+			t.Errorf("run %d body diverges from the individual response\nbatch:      %s\nindividual: %s", i, out.Body, ibody)
+		}
+		// The stored per-run result replays.
+		rstatus, rbody := getRaw(t, ts.URL+"/v1/runs/"+out.RunID)
+		if rstatus != out.Status || string(rbody) != out.Body {
+			t.Errorf("run %d replay: status %d, body match %v", i, rstatus, string(rbody) == out.Body)
+		}
+	}
+
+	// Second identical batch: the image cache already holds the image.
+	status, _, data = postRaw(t, ts.URL+"/v1/batch", schema.BatchRequest{
+		Source: loopProg, Harden: "icall", Runs: runs,
+	}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("warm batch status = %d", status)
+	}
+	if report := openBatch(t, data); report.Compiles != 0 {
+		t.Errorf("warm batch Compiles = %d, want 0", report.Compiles)
+	}
+}
+
+// TestServeBatchValidation pins the batch-specific 422s: an empty run
+// list, the server cap, a bad per-run spec (prefixed with its index),
+// and image_digest without a store. Every error envelope carries a
+// run id and a kind.
+func TestServeBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBatchRuns: 2})
+	cases := []struct {
+		name string
+		req  schema.BatchRequest
+		msg  string
+	}{
+		{"empty", schema.BatchRequest{Source: helloProg}, "runs must name at least one run"},
+		{"cap", schema.BatchRequest{Source: helloProg, Runs: make([]schema.BatchRunSpec, 3)},
+			"batch of 3 runs exceeds the server cap 2"},
+		{"bad-run", schema.BatchRequest{Source: helloProg, Runs: []schema.BatchRunSpec{
+			{}, {System: "nope"}}}, "run 1: "},
+		{"store-less-digest", schema.BatchRequest{
+			ImageDigest: "deadbeef", Runs: []schema.BatchRunSpec{{}}},
+			"image_digest requires a server started with -store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, data := postRaw(t, ts.URL+"/v1/batch", tc.req, nil)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d: %s", status, data)
+			}
+			var env schema.Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatal(err)
+			}
+			e := openError(t, env)
+			if !strings.Contains(e.Error, tc.msg) {
+				t.Errorf("error %q does not contain %q", e.Error, tc.msg)
+			}
+			if e.RunID == "" || e.Kind == "" {
+				t.Errorf("error envelope lacks run_id/kind: %+v", e)
+			}
+		})
+	}
+}
+
+// TestServeBatchEvents subscribes to the batch-scoped event stream and
+// checks the per-run lifecycle: every run emits a run-start and a
+// run-result stamped with its 1-based index, the run-result payloads
+// carry exactly the per-run bodies of the report, and the terminal
+// batch result closes the stream with the report envelope itself.
+func TestServeBatchEvents(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	batchID := telemetry.NewRunID()
+
+	sreq, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+batchID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	status, header, data := postRaw(t, ts.URL+"/v1/batch", schema.BatchRequest{
+		Source: loopProg,
+		Runs:   []schema.BatchRunSpec{{System: "full"}, {System: "baseline"}},
+	}, map[string]string{"Roload-Trace": batchID})
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", status, data)
+	}
+	if got := header.Get("Roload-Trace"); got != batchID {
+		t.Errorf("Roload-Trace response header = %q, want %q", got, batchID)
+	}
+	report := openBatch(t, data)
+	if report.BatchID != batchID {
+		t.Errorf("report batch id = %q, want %q", report.BatchID, batchID)
+	}
+
+	starts := map[int]bool{}
+	results := map[int]string{}
+	var terminal *schema.RunEvent
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev schema.RunEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("undecodable event %q: %v", line, err)
+		}
+		switch ev.Kind {
+		case schema.EventRunStart:
+			starts[ev.Run] = true
+		case schema.EventRunResult:
+			results[ev.Run] = ev.Result
+		case schema.EventResult:
+			cp := ev
+			terminal = &cp
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		if !starts[i] {
+			t.Errorf("no run-start event for run %d", i)
+		}
+		if results[i] != report.Runs[i-1].Body {
+			t.Errorf("run %d result event body diverges from the report", i)
+		}
+	}
+	if terminal == nil {
+		t.Fatal("no terminal result event")
+	}
+	if terminal.Run != 0 || terminal.Status != http.StatusOK || terminal.Result != string(data) {
+		t.Errorf("terminal event run=%d status=%d, body match %v",
+			terminal.Run, terminal.Status, terminal.Result == string(data))
+	}
+}
+
+// TestServeRunsResource pins the resource-oriented route contract:
+// POST /v1/runs answers 201 with a Location header and a body
+// byte-identical to the POST /v1/run alias, GET at the Location
+// replays the stored result as 200, and a miss is a 404 whose error
+// envelope carries the run id and a kind.
+func TestServeRunsResource(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := schema.RunRequest{Source: helloProg, Harden: "icall"}
+
+	cstatus, cheader, cbody := postRaw(t, ts.URL+"/v1/runs", req, nil)
+	if cstatus != http.StatusCreated {
+		t.Fatalf("POST /v1/runs status = %d: %s", cstatus, cbody)
+	}
+	loc := cheader.Get("Location")
+	id := cheader.Get("Roload-Trace")
+	if loc != "/v1/runs/"+id {
+		t.Errorf("Location = %q, want %q", loc, "/v1/runs/"+id)
+	}
+
+	astatus, _, abody := postRaw(t, ts.URL+"/v1/run", req, nil)
+	if astatus != http.StatusOK {
+		t.Fatalf("POST /v1/run status = %d", astatus)
+	}
+	if string(abody) != string(cbody) {
+		t.Errorf("compatibility alias body diverges\n/v1/runs: %s\n/v1/run:  %s", cbody, abody)
+	}
+
+	gstatus, gbody := getRaw(t, ts.URL+loc)
+	if gstatus != http.StatusOK {
+		t.Errorf("GET %s status = %d, want 200", loc, gstatus)
+	}
+	if string(gbody) != string(cbody) {
+		t.Errorf("replayed body diverges from the created one")
+	}
+
+	mstatus, mbody := getRaw(t, ts.URL+"/v1/runs/no-such-run")
+	if mstatus != http.StatusNotFound {
+		t.Fatalf("miss status = %d", mstatus)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(mbody, &env); err != nil {
+		t.Fatal(err)
+	}
+	e := openError(t, env)
+	if e.RunID != "no-such-run" || e.Kind == "" {
+		t.Errorf("miss envelope run_id=%q kind=%q, want the requested id and a kind", e.RunID, e.Kind)
+	}
+
+	if istatus, _ := getRaw(t, ts.URL+"/v1/runs/"+strings.Repeat("x", 65)); istatus != http.StatusBadRequest {
+		t.Errorf("invalid id status = %d, want 400", istatus)
+	}
+}
+
+// TestServeImageStore drives the /v1/images surface: 201 + digest on
+// first store, 200 + reused on the second, the bare roload-image/v1
+// document at GET, digest-addressed execution (run and batch, zero
+// compiles), a clean 404 for an unknown digest, and absent routes on
+// a store-less server.
+func TestServeImageStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	status, header, data := postRaw(t, ts.URL+"/v1/images", schema.ImageRequest{
+		Source: helloProg, Harden: "icall",
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("first put status = %d: %s", status, data)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var img schema.ImageResponse
+	if err := env.Open(schema.ServeV1, &img); err != nil {
+		t.Fatal(err)
+	}
+	if img.Digest == "" || img.Reused {
+		t.Fatalf("first put = %+v", img)
+	}
+	if loc := header.Get("Location"); loc != "/v1/images/"+img.Digest {
+		t.Errorf("Location = %q", loc)
+	}
+
+	status, _, data = postRaw(t, ts.URL+"/v1/images", schema.ImageRequest{
+		Source: helloProg, Harden: "icall",
+	}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("second put status = %d", status)
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var again schema.ImageResponse
+	if err := env.Open(schema.ServeV1, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != img.Digest || !again.Reused {
+		t.Errorf("second put = %+v", again)
+	}
+
+	// The stored artifact is the bare roload-image/v1 document.
+	gstatus, gbody := getRaw(t, ts.URL+"/v1/images/"+img.Digest)
+	if gstatus != http.StatusOK {
+		t.Fatalf("image get status = %d", gstatus)
+	}
+	id, doc, err := schema.DecodeAny(gbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idoc, ok := doc.(*schema.ImageDoc)
+	if !ok || id != schema.ImageV1 || idoc.Digest != img.Digest {
+		t.Fatalf("image document = %s %T", id, doc)
+	}
+
+	// Digest-addressed execution answers the same observables as the
+	// source-addressed run.
+	sstatus, senv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{Source: helloProg, Harden: "icall"})
+	dstatus, denv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{ImageDigest: img.Digest})
+	if sstatus != http.StatusOK || dstatus != http.StatusOK {
+		t.Fatalf("source run %d, digest run %d", sstatus, dstatus)
+	}
+	srun, drun := openRun(t, senv), openRun(t, denv)
+	if drun.Stdout != srun.Stdout || drun.ExitStatus != srun.ExitStatus {
+		t.Errorf("digest run %+v diverges from source run %+v", drun, srun)
+	}
+
+	// A digest-addressed batch compiles nothing at all.
+	bstatus, _, bdata := postRaw(t, ts.URL+"/v1/batch", schema.BatchRequest{
+		ImageDigest: img.Digest,
+		Runs:        []schema.BatchRunSpec{{}, {System: "baseline"}},
+	}, nil)
+	if bstatus != http.StatusOK {
+		t.Fatalf("digest batch status = %d: %s", bstatus, bdata)
+	}
+	report := openBatch(t, bdata)
+	if report.Compiles != 0 {
+		t.Errorf("digest batch Compiles = %d, want 0", report.Compiles)
+	}
+	if report.ImageDigest != img.Digest {
+		t.Errorf("digest batch image = %q, want %q", report.ImageDigest, img.Digest)
+	}
+
+	// Unknown digest: a 404 that names the digest.
+	mstatus, menv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{ImageDigest: "feedface"})
+	if mstatus != http.StatusNotFound {
+		t.Fatalf("unknown digest status = %d", mstatus)
+	}
+	if e := openError(t, menv); !strings.Contains(e.Error, "feedface") || e.Kind == "" {
+		t.Errorf("unknown digest error = %+v", e)
+	}
+
+	// Without -store the image routes do not exist.
+	_, plain := newTestServer(t, Config{Workers: 1})
+	pstatus, _, _ := postRaw(t, plain.URL+"/v1/images", schema.ImageRequest{Source: helloProg}, nil)
+	if pstatus != http.StatusNotFound {
+		t.Errorf("store-less POST /v1/images status = %d, want 404", pstatus)
+	}
+}
+
+// TestServeStoreCheckpointResume drives the store-backed
+// checkpoint/resume loop entirely over HTTP: a step-limited run
+// persists checkpoints and reports them in its 422 partial, resuming
+// from the last digest completes the program with the uninterrupted
+// run's exact observables, and resuming against a different image is
+// a 409 mismatch.
+func TestServeStoreCheckpointResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	rstatus, renv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{Source: loopProg})
+	if rstatus != http.StatusOK {
+		t.Fatalf("reference run status = %d", rstatus)
+	}
+	ref := openRun(t, renv)
+
+	status, env, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, MaxSteps: 200_000, CheckpointEvery: 80_000,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("interrupted run status = %d", status)
+	}
+	e := openError(t, env)
+	if e.Kind != "steplimit" {
+		t.Fatalf("interrupted run kind = %q", e.Kind)
+	}
+	if len(e.Checkpoints) == 0 {
+		t.Fatal("step-limit partial carries no checkpoints")
+	}
+	last := e.Checkpoints[len(e.Checkpoints)-1]
+
+	cstatus, cenv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, Resume: "store://" + last,
+	})
+	if cstatus != http.StatusOK {
+		raw, _ := json.Marshal(cenv)
+		t.Fatalf("resumed run status = %d: %s", cstatus, raw)
+	}
+	res := openRun(t, cenv)
+	if res.Stdout != ref.Stdout || res.ExitStatus != ref.ExitStatus {
+		t.Errorf("resumed run diverges: stdout %q vs %q", res.Stdout, ref.Stdout)
+	}
+	if res.Metrics == nil || ref.Metrics == nil || res.Metrics.Instret != ref.Metrics.Instret {
+		t.Errorf("resumed metrics diverge from the uninterrupted run")
+	}
+
+	// Resume against a different program: 409 mismatch naming digests.
+	mstatus, menv, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: helloProg, Resume: "store://" + last,
+	})
+	if mstatus != http.StatusConflict {
+		t.Fatalf("mismatched resume status = %d", mstatus)
+	}
+	if e := openError(t, menv); e.Kind != "mismatch" {
+		t.Errorf("mismatched resume kind = %q", e.Kind)
+	}
+
+	// An unknown checkpoint digest is a 404.
+	ustatus, _, _ := post(t, ts.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, Resume: "store://" + strings.Repeat("0", 64),
+	})
+	if ustatus != http.StatusNotFound {
+		t.Errorf("unknown checkpoint status = %d", ustatus)
+	}
+
+	// checkpoint_every against a store-less server is a clean 422.
+	_, plain := newTestServer(t, Config{Workers: 1})
+	pstatus, penv, _ := post(t, plain.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, CheckpointEvery: 1000,
+	})
+	if pstatus != http.StatusBadRequest {
+		t.Fatalf("store-less checkpoint status = %d", pstatus)
+	}
+	if e := openError(t, penv); !strings.Contains(e.Error, "-store") {
+		t.Errorf("store-less checkpoint error = %q", e.Error)
+	}
+}
+
+// TestServeStoreRestart is the persistence acceptance test: images,
+// checkpoints and heal reports stored by one server are served by a
+// fresh server opened on the same directory — digest-addressed runs
+// still execute, the checkpoint still resumes, and the heal report is
+// still accounted for in the store metrics.
+func TestServeStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, err := NewServer(Config{Workers: 2, Chaos: true, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	// Persist an image, checkpoints, and a heal report.
+	status, _, data := postRaw(t, ts1.URL+"/v1/images", schema.ImageRequest{Source: helloProg, Harden: "icall"}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("image put status = %d: %s", status, data)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var img schema.ImageResponse
+	if err := env.Open(schema.ServeV1, &img); err != nil {
+		t.Fatal(err)
+	}
+
+	status, env, _ = post(t, ts1.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, MaxSteps: 200_000, CheckpointEvery: 80_000,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("interrupted run status = %d", status)
+	}
+	cks := openError(t, env).Checkpoints
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints persisted")
+	}
+
+	status, env, _ = post(t, ts1.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, Harden: "icall",
+		Redundant: 3, Heal: true, SyncEvery: 20_000,
+		FaultCount: 2, FaultSeed: 7, FaultReplica: 1,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("heal run status = %d", status)
+	}
+	if openRun(t, env).Heal == nil {
+		t.Fatal("heal run carries no report")
+	}
+
+	rstatus, renv, _ := post(t, ts1.URL+"/v1/run", schema.RunRequest{Source: loopProg})
+	if rstatus != http.StatusOK {
+		t.Fatal("reference run failed")
+	}
+	ref := openRun(t, renv)
+
+	ts1.Close()
+	srv1.Close()
+
+	// A fresh server on the same directory serves all of it.
+	srv2, err := NewServer(Config{Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatalf("reopening the store: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+
+	dstatus, denv, _ := post(t, ts2.URL+"/v1/run", schema.RunRequest{ImageDigest: img.Digest})
+	if dstatus != http.StatusOK {
+		raw, _ := json.Marshal(denv)
+		t.Fatalf("digest run after restart: status %d: %s", dstatus, raw)
+	}
+	if run := openRun(t, denv); strings.TrimSpace(run.Stdout) != "42" {
+		t.Errorf("digest run stdout = %q", run.Stdout)
+	}
+
+	cstatus, cenv, _ := post(t, ts2.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, Resume: "store://" + cks[len(cks)-1],
+	})
+	if cstatus != http.StatusOK {
+		raw, _ := json.Marshal(cenv)
+		t.Fatalf("resume after restart: status %d: %s", cstatus, raw)
+	}
+	if res := openRun(t, cenv); res.Stdout != ref.Stdout || res.ExitStatus != ref.ExitStatus {
+		t.Errorf("resumed run after restart diverges from the uninterrupted run")
+	}
+
+	mstatus, menv := get(t, ts2.URL+"/metrics")
+	if mstatus != http.StatusOK {
+		t.Fatalf("metrics status = %d", mstatus)
+	}
+	var metrics schema.ServeMetrics
+	if err := menv.Open(schema.ServeV1, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Store == nil {
+		t.Fatal("metrics carry no store section")
+	}
+	if metrics.Store.Entries[schema.ImageV1] < 1 {
+		t.Errorf("store entries after restart = %+v, want the image", metrics.Store.Entries)
+	}
+	if metrics.Store.Entries[schema.CheckpointV1] < 1 {
+		t.Errorf("store entries after restart = %+v, want checkpoints", metrics.Store.Entries)
+	}
+	if metrics.Store.Entries[schema.HealV1] < 1 {
+		t.Errorf("store entries after restart = %+v, want the heal report", metrics.Store.Entries)
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"roload/internal/eval"
 	"roload/internal/schema"
+	"roload/internal/store"
 	"roload/internal/telemetry"
 )
 
@@ -75,6 +76,14 @@ type Config struct {
 	// Root is the repository root, read by the table1 experiment
 	// (0 = ".").
 	Root string
+	// StoreDir enables the persistent artifact store: compiled images,
+	// checkpoints, heal and batch reports survive restarts in this
+	// directory, and the store-backed surface (POST /v1/images,
+	// RunRequest.ImageDigest/CheckpointEvery/Resume) is routed. Empty =
+	// no store.
+	StoreDir string
+	// MaxBatchRuns caps BatchRequest.Runs (0 = 64).
+	MaxBatchRuns int
 	// Logger receives one structured record per request (nil = slog
 	// default logger).
 	Logger *slog.Logger
@@ -110,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Root == "" {
 		c.Root = "."
+	}
+	if c.MaxBatchRuns <= 0 {
+		c.MaxBatchRuns = 64
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -171,6 +183,12 @@ type Server struct {
 	broker *telemetry.Broker
 	traces *traceStore
 
+	// results retains the rendered response of recently completed runs
+	// for GET /v1/runs/{id}; store is the persistent artifact store
+	// (nil without Config.StoreDir).
+	results *resultStore
+	store   *store.Store
+
 	// queueWaitUS and runDurationUS are the run endpoint's latency
 	// distributions (microseconds); per-endpoint histograms live in
 	// endpointCounters.
@@ -183,9 +201,19 @@ type endpointCounters struct {
 	latencyUS                                  telemetry.Histogram
 }
 
-// NewServer builds a Server with cfg's defaults applied.
-func NewServer(cfg Config) *Server {
+// NewServer builds a Server with cfg's defaults applied. With
+// Config.StoreDir set it opens (recovering, if the last process died
+// mid-append) the persistent artifact store; an unopenable store is
+// the only construction failure.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, fmt.Errorf("opening artifact store: %w", err)
+		}
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -199,19 +227,24 @@ func NewServer(cfg Config) *Server {
 		start:      time.Now(),
 		broker:     telemetry.NewBroker(0, 0),
 		traces:     newTraceStore(0),
+		results:    newResultStore(0),
+		store:      st,
 	}
 	s.experiments.entries = make(map[expKey]*expEntry)
 	// When the drain grace expires (or Close fires) the broker shuts
 	// down, ending every event stream — otherwise http.Server.Shutdown
 	// would deadlock waiting on SSE handlers that are waiting on events.
 	context.AfterFunc(base, s.broker.Close)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.logged("run", s.idem.wrap(s.handleRun)))
+	mux.HandleFunc("POST /v1/runs", s.logged("runs", s.idem.wrap(s.handleRunCreate)))
+	mux.HandleFunc("GET /v1/runs/{id}", s.logged("run-result", s.handleRunGet))
+	mux.HandleFunc("POST /v1/batch", s.logged("batch", s.idem.wrap(s.handleBatch)))
 	mux.HandleFunc("POST /v1/compile", s.logged("compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/attack", s.logged("attack", s.handleAttack))
 	mux.HandleFunc("GET /v1/experiments", s.logged("experiments", s.handleExperimentList))
@@ -223,6 +256,10 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Chaos {
 		mux.HandleFunc("POST /v1/chaos", s.logged("chaos", s.handleChaosSet))
 		mux.HandleFunc("GET /v1/chaos", s.logged("chaos", s.handleChaosGet))
+	}
+	if s.store != nil {
+		mux.HandleFunc("POST /v1/images", s.logged("images", s.handleImagePut))
+		mux.HandleFunc("GET /v1/images/{digest}", s.logged("image", s.handleImageGet))
 	}
 	return mux
 }
@@ -248,6 +285,9 @@ func (s *Server) StartDrain() {
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.cancelRuns()
+	if s.store != nil {
+		s.store.Close() //nolint:errcheck // shutdown path: nowhere to report
+	}
 }
 
 // Draining reports whether StartDrain has been called.

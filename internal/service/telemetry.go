@@ -96,6 +96,50 @@ func (ts *traceStore) get(runID string) (schema.TraceDoc, bool) {
 	return doc, ok
 }
 
+// storedResult is one completed run's rendered answer: the HTTP status
+// and the exact response bytes, so GET /v1/runs/{id} replays what the
+// synchronous caller saw, byte for byte.
+type storedResult struct {
+	status int
+	body   []byte
+}
+
+// resultStore retains recently completed runs' rendered responses for
+// GET /v1/runs/{id}, bounded FIFO like the trace registry.
+type resultStore struct {
+	mu    sync.Mutex
+	cap   int
+	res   map[string]storedResult
+	order []string
+}
+
+func newResultStore(cap int) *resultStore {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &resultStore{cap: cap, res: make(map[string]storedResult)}
+}
+
+func (rs *resultStore) put(runID string, status int, body []byte) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.res[runID]; !ok {
+		rs.order = append(rs.order, runID)
+		if len(rs.order) > rs.cap {
+			delete(rs.res, rs.order[0])
+			rs.order = rs.order[1:]
+		}
+	}
+	rs.res[runID] = storedResult{status: status, body: body}
+}
+
+func (rs *resultStore) get(runID string) (storedResult, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r, ok := rs.res[runID]
+	return r, ok
+}
+
 // keyCheckCounters tracks per-hardening-mode run and ROLoad-violation
 // counts — the live key-check fault-rate gauge of /metrics.
 type keyCheckCounters struct {

@@ -1,0 +1,480 @@
+// Package store is the digest-keyed, append-only, crash-consistent
+// artifact store behind `roload-serve -store` and `roload-run -store`:
+// compiled images (roload-image/v1), checkpoints
+// (roload-checkpoint/v1) and heal/batch reports survive the process
+// that produced them, so a batch can execute a precompiled image
+// without recompiling and a crashed fleet can resume and heal from its
+// last stored state.
+//
+// The on-disk format is a single append-only log (store.log) of framed
+// records. Each frame is an 8-byte header — payload length and
+// CRC32-IEEE of the payload, both little-endian uint32 — followed by
+// the JSON payload. Every append is fsync'd before it is acknowledged,
+// so an acknowledged Put survives a crash; a crash mid-append leaves a
+// torn tail that the reopen scan detects (short header, absurd length,
+// checksum or JSON mismatch), truncates away, and fsyncs — dropping
+// only the unacknowledged suffix, never an acknowledged record.
+//
+// Records are keyed by (kind, digest) and idempotent: re-putting an
+// existing key writes nothing. Digests carry reference counts via pin
+// and unpin records; GC compacts the log, dropping every record whose
+// digest has a zero refcount. Pinned digests are never collected.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/schema"
+)
+
+// logName is the append log's file name inside the store directory.
+const logName = "store.log"
+
+// headerSize is the frame header: uint32 LE payload length + uint32 LE
+// CRC32-IEEE of the payload.
+const headerSize = 8
+
+// maxPayload bounds a single record (a defense against a corrupt
+// length field mapping the whole file into one bogus frame).
+const maxPayload = 1 << 30
+
+// ErrNotFound reports a (kind, digest) the store does not hold.
+var ErrNotFound = errors.New("store: not found")
+
+// record is the JSON payload of one log frame.
+type record struct {
+	// Op is "put" (a new artifact), "pin" or "unpin" (refcount
+	// deltas).
+	Op string `json:"op"`
+	// Kind is the artifact's schema id ("roload-image/v1", ...); put
+	// records only.
+	Kind string `json:"kind,omitempty"`
+	// Digest keys the artifact (puts) or the refcount (pins).
+	Digest string `json:"digest"`
+	// Body is the artifact document; put records only.
+	Body json.RawMessage `json:"body,omitempty"`
+	// Count is the refcount delta of a pin/unpin record (compaction
+	// writes one net pin per digest).
+	Count int `json:"count,omitempty"`
+}
+
+// entry locates one live record in the log: the payload's offset and
+// length. Bodies are not held in memory — Get re-reads and re-parses
+// the frame.
+type entry struct {
+	off int64
+	n   int
+}
+
+// Store is an open artifact store. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	index   map[string]entry // (kind \x00 digest) -> payload location
+	pins    map[string]int   // digest -> refcount
+	closed  bool
+	recover int64 // torn-tail bytes truncated by the last open
+
+	puts atomic.Uint64
+	gets atomic.Uint64
+}
+
+// key builds the index key of a (kind, digest) pair.
+func key(kind, digest string) string { return kind + "\x00" + digest }
+
+// Open opens (creating if needed) the store rooted at dir and replays
+// the log, truncating any torn tail left by a crash mid-append.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening log: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		f:     f,
+		index: make(map[string]entry),
+		pins:  make(map[string]int),
+	}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan replays the log into the in-memory index and truncates the
+// first torn frame (and everything after it).
+func (s *Store) scan() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat log: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	for off < size {
+		rec, n, ok := s.readFrame(off, size)
+		if !ok {
+			// Torn tail: everything from off on is an unacknowledged
+			// partial append. Drop it.
+			if err := s.f.Truncate(off); err != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", err)
+			}
+			if err := s.f.Sync(); err != nil {
+				return fmt.Errorf("store: syncing truncated log: %w", err)
+			}
+			s.recover = size - off
+			size = off
+			break
+		}
+		s.apply(rec, off+headerSize, n)
+		off += headerSize + int64(n)
+	}
+	s.size = size
+	return nil
+}
+
+// readFrame reads and validates one frame at off. ok=false means the
+// frame is torn or corrupt (the caller truncates there).
+func (s *Store) readFrame(off, size int64) (record, int, bool) {
+	if size-off < headerSize {
+		return record{}, 0, false
+	}
+	var hdr [headerSize]byte
+	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+		return record{}, 0, false
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxPayload || int64(n) > size-off-headerSize {
+		return record{}, 0, false
+	}
+	payload := make([]byte, n)
+	if _, err := s.f.ReadAt(payload, off+headerSize); err != nil {
+		return record{}, 0, false
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return record{}, 0, false
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return record{}, 0, false
+	}
+	return rec, int(n), true
+}
+
+// apply folds one valid record into the index.
+func (s *Store) apply(rec record, payloadOff int64, n int) {
+	switch rec.Op {
+	case "put":
+		if rec.Kind == "" || rec.Digest == "" {
+			return
+		}
+		k := key(rec.Kind, rec.Digest)
+		if _, dup := s.index[k]; dup {
+			return // first write wins; content is digest-addressed
+		}
+		s.index[k] = entry{off: payloadOff, n: n}
+	case "pin":
+		c := rec.Count
+		if c == 0 {
+			c = 1
+		}
+		s.pins[rec.Digest] += c
+	case "unpin":
+		c := rec.Count
+		if c == 0 {
+			c = 1
+		}
+		if s.pins[rec.Digest] -= c; s.pins[rec.Digest] <= 0 {
+			delete(s.pins, rec.Digest)
+		}
+	}
+}
+
+// append frames, writes and fsyncs one record. Caller holds mu.
+func (s *Store) append(rec record) error {
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing log: %w", err)
+	}
+	s.apply(rec, s.size+headerSize, len(payload))
+	s.size += int64(len(frame))
+	return nil
+}
+
+// Put stores body under (kind, digest). It is idempotent: if the key
+// already exists nothing is written and added is false. body must be
+// valid JSON (the store holds documents, not blobs).
+func (s *Store) Put(kind, digest string, body []byte) (added bool, err error) {
+	if kind == "" || digest == "" || strings.ContainsRune(kind, 0) {
+		return false, fmt.Errorf("store: put needs a kind and a digest")
+	}
+	if !json.Valid(body) {
+		return false, fmt.Errorf("store: put body for %s %s is not JSON", kind, digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key(kind, digest)]; ok {
+		return false, nil
+	}
+	if err := s.append(record{Op: "put", Kind: kind, Digest: digest, Body: body}); err != nil {
+		return false, err
+	}
+	s.puts.Add(1)
+	return true, nil
+}
+
+// Get returns the stored body of (kind, digest), or ErrNotFound.
+func (s *Store) Get(kind, digest string) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.index[key(kind, digest)]
+	f := s.f
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: %s %s: %w", kind, digest, ErrNotFound)
+	}
+	payload := make([]byte, e.n)
+	if _, err := f.ReadAt(payload, e.off); err != nil {
+		return nil, fmt.Errorf("store: reading %s %s: %w", kind, digest, err)
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("store: decoding %s %s: %w", kind, digest, err)
+	}
+	s.gets.Add(1)
+	return rec.Body, nil
+}
+
+// Has reports whether (kind, digest) is stored.
+func (s *Store) Has(kind, digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key(kind, digest)]
+	return ok
+}
+
+// Pin increments digest's refcount. Pinned digests survive GC.
+func (s *Store) Pin(digest string) error {
+	if digest == "" {
+		return fmt.Errorf("store: pin needs a digest")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "pin", Digest: digest})
+}
+
+// Unpin decrements digest's refcount (floored at zero).
+func (s *Store) Unpin(digest string) error {
+	if digest == "" {
+		return fmt.Errorf("store: unpin needs a digest")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "unpin", Digest: digest})
+}
+
+// Pins returns digest's current refcount.
+func (s *Store) Pins(digest string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pins[digest]
+}
+
+// GC compacts the log, dropping every record whose digest has a zero
+// refcount, and returns how many artifacts it removed. The compaction
+// is crash-consistent: the new log is written aside, fsync'd, and
+// renamed over the old one (directory fsync'd), so a crash at any
+// point leaves either the old complete log or the new one.
+func (s *Store) GC() (removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("store: closed")
+	}
+
+	// Collect the survivors in deterministic (sorted key) order.
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmpPath := filepath.Join(s.dir, logName+".gc")
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: creating compaction log: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+
+	writeFrame := func(rec record) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err = tmp.Write(payload)
+		return err
+	}
+
+	for _, k := range keys {
+		kind, digest, _ := strings.Cut(k, "\x00")
+		if s.pins[digest] <= 0 {
+			removed++
+			continue
+		}
+		e := s.index[k]
+		payload := make([]byte, e.n)
+		if _, err := s.f.ReadAt(payload, e.off); err != nil {
+			return 0, fmt.Errorf("store: reading %s %s during gc: %w", kind, digest, err)
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return 0, fmt.Errorf("store: decoding %s %s during gc: %w", kind, digest, err)
+		}
+		if err := writeFrame(rec); err != nil {
+			return 0, fmt.Errorf("store: writing compaction log: %w", err)
+		}
+	}
+	digests := make([]string, 0, len(s.pins))
+	for d := range s.pins {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	for _, d := range digests {
+		if err := writeFrame(record{Op: "pin", Digest: d, Count: s.pins[d]}); err != nil {
+			return 0, fmt.Errorf("store: writing compaction pins: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("store: syncing compaction log: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return 0, fmt.Errorf("store: closing compaction log: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+		return 0, fmt.Errorf("store: installing compacted log: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+
+	// Swap to the compacted log and rebuild the index offsets.
+	old := s.f
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: reopening compacted log: %w", err)
+	}
+	old.Close()
+	s.f = f
+	s.index = make(map[string]entry)
+	s.pins = make(map[string]int)
+	s.recover = 0
+	if err := s.scan(); err != nil {
+		return 0, err
+	}
+	return removed, nil
+}
+
+// Metrics snapshots the store for /metrics.
+func (s *Store) Metrics() schema.StoreMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := schema.StoreMetrics{
+		Pinned:    len(s.pins),
+		Puts:      s.puts.Load(),
+		Gets:      s.gets.Load(),
+		Recovered: s.recover,
+		LogBytes:  s.size,
+	}
+	if len(s.index) > 0 {
+		m.Entries = make(map[string]int)
+		for k := range s.index {
+			kind, _, _ := strings.Cut(k, "\x00")
+			m.Entries[kind]++
+		}
+	}
+	return m
+}
+
+// Len returns the number of stored artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Close releases the log file. Further operations error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Digest fingerprints arbitrary bytes as lowercase hex SHA-256 — the
+// key for content-addressed artifacts that have no externally defined
+// digest (heal and batch reports).
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,323 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"roload/internal/schema"
+)
+
+func body(i int) []byte {
+	return []byte(fmt.Sprintf(`{"schema":"roload-heal/v1","replicas":%d}`, i))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	added, err := s.Put(schema.HealV1, "d1", body(3))
+	if err != nil || !added {
+		t.Fatalf("first put: added=%v err=%v", added, err)
+	}
+	// Idempotent: same key writes nothing, first body wins.
+	added, err = s.Put(schema.HealV1, "d1", body(99))
+	if err != nil || added {
+		t.Fatalf("duplicate put: added=%v err=%v", added, err)
+	}
+	got, err := s.Get(schema.HealV1, "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body(3)) {
+		t.Fatalf("get returned %s, want %s", got, body(3))
+	}
+	// Same digest under a different kind is a distinct artifact.
+	if s.Has(schema.CheckpointV1, "d1") {
+		t.Fatal("digest leaked across kinds")
+	}
+	if _, err := s.Get(schema.HealV1, "missing"); err == nil {
+		t.Fatal("get of a missing digest succeeded")
+	}
+	if _, err := s.Put("", "d", body(0)); err == nil {
+		t.Fatal("put without a kind succeeded")
+	}
+	if _, err := s.Put(schema.HealV1, "d2", []byte("not json")); err == nil {
+		t.Fatal("put of non-JSON succeeded")
+	}
+}
+
+func TestReopenReplaysEverything(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Put(schema.HealV1, fmt.Sprintf("d%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Pin("d7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("d7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unpin("d7"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 20 {
+		t.Fatalf("reopen holds %d artifacts, want 20", s2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		got, err := s2.Get(schema.HealV1, fmt.Sprintf("d%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body(i)) {
+			t.Fatalf("artifact %d changed across reopen: %s", i, got)
+		}
+	}
+	if n := s2.Pins("d7"); n != 1 {
+		t.Fatalf("pin refcount %d after reopen, want 1 (2 pins - 1 unpin)", n)
+	}
+}
+
+// TestCrashConsistency is the satellite: kill mid-append at a random
+// offset, reopen, and verify the scan recovers everything before the
+// torn frame and drops only the torn tail. Every truncation point in
+// the file — mid-header, mid-payload, frame boundary — is a valid
+// crash, so we sweep random offsets with a fixed seed.
+func TestCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var bounds []int64 // log size after each acknowledged put
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(schema.HealV1, fmt.Sprintf("d%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+		s.mu.Lock()
+		bounds = append(bounds, s.size)
+		s.mu.Unlock()
+	}
+	s.Close()
+	full, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != bounds[n-1] {
+		t.Fatalf("log is %d bytes, bookkeeping says %d", len(full), bounds[n-1])
+	}
+
+	// acknowledged(cut) = how many puts completed (fsync returned)
+	// strictly before a crash that left cut bytes on disk.
+	acknowledged := func(cut int64) int {
+		k := 0
+		for k < n && bounds[k] <= cut {
+			k++
+		}
+		return k
+	}
+
+	rng := rand.New(rand.NewSource(8)) // fixed seed: reproducible sweep
+	for trial := 0; trial < 64; trial++ {
+		cut := int64(rng.Intn(len(full) + 1))
+		crashDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crashDir, logName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(crashDir)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen failed: %v", cut, err)
+		}
+		want := acknowledged(cut)
+		if re.Len() != want {
+			t.Fatalf("cut=%d: recovered %d artifacts, want %d", cut, re.Len(), want)
+		}
+		// Everything acknowledged before the crash survives intact.
+		for i := 0; i < want; i++ {
+			got, err := re.Get(schema.HealV1, fmt.Sprintf("d%d", i))
+			if err != nil {
+				t.Fatalf("cut=%d: artifact %d lost: %v", cut, i, err)
+			}
+			if !bytes.Equal(got, body(i)) {
+				t.Fatalf("cut=%d: artifact %d corrupted: %s", cut, i, got)
+			}
+		}
+		// The truncation is durable and exact: the log now ends at the
+		// last complete frame.
+		info, err := os.Stat(filepath.Join(crashDir, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSize := int64(0)
+		if want > 0 {
+			wantSize = bounds[want-1]
+		}
+		if info.Size() != wantSize {
+			t.Fatalf("cut=%d: log is %d bytes after recovery, want %d", cut, info.Size(), wantSize)
+		}
+		// The store keeps working after recovery.
+		if _, err := re.Put(schema.HealV1, "post-crash", body(1000)); err != nil {
+			t.Fatalf("cut=%d: post-recovery put failed: %v", cut, err)
+		}
+		re.Close()
+	}
+}
+
+// TestGCNeverCollectsPinned is the other half of the satellite: GC
+// drops exactly the unpinned artifacts, never a pinned one, and the
+// compacted log replays identically after reopen.
+func TestGCNeverCollectsPinned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(schema.CheckpointV1, fmt.Sprintf("d%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin the even digests; d0 twice (a second reference).
+	for i := 0; i < n; i += 2 {
+		if err := s.Pin(fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Pin("d0"); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != n/2 {
+		t.Fatalf("gc removed %d artifacts, want %d", removed, n/2)
+	}
+	for i := 0; i < n; i++ {
+		digest := fmt.Sprintf("d%d", i)
+		if i%2 == 0 {
+			got, err := s.Get(schema.CheckpointV1, digest)
+			if err != nil {
+				t.Fatalf("gc collected pinned %s: %v", digest, err)
+			}
+			if !bytes.Equal(got, body(i)) {
+				t.Fatalf("gc corrupted pinned %s: %s", digest, got)
+			}
+		} else if s.Has(schema.CheckpointV1, digest) {
+			t.Fatalf("gc kept unpinned %s", digest)
+		}
+	}
+	if n := s.Pins("d0"); n != 2 {
+		t.Fatalf("d0 refcount %d after gc, want 2", n)
+	}
+
+	// Unpinning down to zero makes it collectable; one reference left
+	// still protects it.
+	if err := s.Unpin("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s.GC(); err != nil || removed != 0 {
+		t.Fatalf("gc with one d0 reference left: removed=%d err=%v", removed, err)
+	}
+	if !s.Has(schema.CheckpointV1, "d0") {
+		t.Fatal("gc collected d0 while one pin remained")
+	}
+	if err := s.Unpin("d0"); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s.GC(); err != nil || removed != 1 {
+		t.Fatalf("gc after final unpin: removed=%d err=%v", removed, err)
+	}
+
+	// The compacted log replays to the same state.
+	s.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 2; i < n; i += 2 {
+		if _, err := re.Get(schema.CheckpointV1, fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatalf("pinned d%d lost across gc+reopen: %v", i, err)
+		}
+	}
+	if re.Len() != n/2-1 {
+		t.Fatalf("reopen after gc holds %d artifacts, want %d", re.Len(), n/2-1)
+	}
+	m := re.Metrics()
+	if m.Entries[schema.CheckpointV1] != n/2-1 || m.Pinned != n/2-1 {
+		t.Fatalf("metrics after gc+reopen: %+v", m)
+	}
+}
+
+// TestConcurrentPutsAndGets exercises the store under the race
+// detector: concurrent puts, gets, pins and one GC.
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				digest := fmt.Sprintf("g%dd%d", g, i)
+				if _, err := s.Put(schema.HealV1, digest, body(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Pin(digest); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(schema.HealV1, digest); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if removed, err := s.GC(); err != nil || removed != 0 {
+		t.Fatalf("gc over fully pinned store: removed=%d err=%v", removed, err)
+	}
+	if s.Len() != 8*16 {
+		t.Fatalf("store holds %d artifacts, want %d", s.Len(), 8*16)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	d := Digest([]byte("roload"))
+	if len(d) != 64 {
+		t.Fatalf("Digest returned %q, want 64 hex chars", d)
+	}
+	if d == Digest([]byte("roload2")) {
+		t.Fatal("distinct inputs collided")
+	}
+}

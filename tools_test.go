@@ -397,7 +397,10 @@ func TestServiceMatchesCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := service.NewServer(service.Config{Workers: 2})
+	srv, err := service.NewServer(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer srv.Close()
 	defer ts.Close()
@@ -705,6 +708,7 @@ func TestFuzzSmoke(t *testing.T) {
 		{"FuzzCheckpointDecode", "roload/internal/schema"},
 		{"FuzzTraceDecode", "roload/internal/schema"},
 		{"FuzzBlockTranslate", "roload/internal/kernel"},
+		{"FuzzStoreDecode", "roload/internal/store"},
 	}
 	for _, tg := range targets {
 		t.Run(tg.name, func(t *testing.T) {
@@ -886,6 +890,87 @@ func main() int {
 }
 `
 
+// TestCLIStoreCheckpointResume drives the store-backed checkpoint
+// workflow through the real binary: -store DIR -checkpoint store://
+// persists digest-keyed checkpoints (announcing each on stderr as
+// "store://<digest>"), and -resume store://<digest> completes the
+// program with the uninterrupted run's exact stdout and metrics. A
+// store:// spelling without -store is a usage error (exit 2).
+func TestCLIStoreCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "loop.mc")
+	if err := os.WriteFile(src, []byte(loopToolProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := filepath.Join(bin, "roload-run")
+	storeDir := filepath.Join(dir, "artifacts")
+
+	refMetrics := filepath.Join(dir, "ref.json")
+	refOut, err := exec.Command(run, "-metrics", refMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	ckMetrics := filepath.Join(dir, "ck-run.json")
+	cmd := exec.Command(run, "-store", storeDir,
+		"-checkpoint", "store://", "-checkpoint-every", "40000",
+		"-metrics", ckMetrics, src)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	ckOut, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("checkpointed run: %v\n%s", err, stderr.String())
+	}
+	if string(ckOut) != string(refOut) {
+		t.Errorf("checkpointed stdout %q != reference %q", ckOut, refOut)
+	}
+	assertSameFile(t, refMetrics, ckMetrics, "checkpointed-run metrics")
+
+	digests := regexp.MustCompile(`store://([0-9a-f]{64})`).FindAllStringSubmatch(stderr.String(), -1)
+	if len(digests) < 2 {
+		t.Fatalf("expected several checkpoint announcements, got:\n%s", stderr.String())
+	}
+	last := digests[len(digests)-1][1]
+
+	resMetrics := filepath.Join(dir, "resume.json")
+	resOut, err := exec.Command(run, "-store", storeDir,
+		"-resume", "store://"+last, "-metrics", resMetrics, src).Output()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if string(resOut) != string(refOut) {
+		t.Errorf("resumed stdout %q != reference %q", resOut, refOut)
+	}
+	assertSameFile(t, refMetrics, resMetrics, "resumed-run metrics")
+
+	// store:// without -store: usage error, exit 2.
+	err = exec.Command(run, "-resume", "store://"+last, src).Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("store:// resume without -store: err = %v, want exit 2", err)
+	}
+
+	// Resuming a stored checkpoint against a different program keeps
+	// the mismatch contract: exit 2, both digests named.
+	other := filepath.Join(dir, "other.mc")
+	if err := os.WriteFile(other, []byte(smokeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mcmd := exec.Command(run, "-store", storeDir, "-resume", "store://"+last, other)
+	var mErr bytes.Buffer
+	mcmd.Stderr = &mErr
+	err = mcmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("mismatched store resume: err = %v, want exit 2\n%s", err, mErr.String())
+	}
+	if !strings.Contains(mErr.String(), "does not match checkpoint digest") {
+		t.Errorf("mismatch stderr does not explain itself: %s", mErr.String())
+	}
+}
+
 // TestCLIHealMatrix drives roload-run -redundant 3 -heal across three
 // fault seeds: every supervised run must (a) produce stdout and a
 // metrics document byte-identical to the fault-free solo run — the
@@ -1015,7 +1100,10 @@ func TestCLIChaosMatrix(t *testing.T) {
 // roload-trace/v1 schema: tagged, run-id stamped, and every span
 // well-formed with resolvable parents.
 func TestTraceSchemaValidates(t *testing.T) {
-	srv := service.NewServer(service.Config{Workers: 1})
+	srv, err := service.NewServer(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer srv.Close()
 	defer ts.Close()
@@ -1067,6 +1155,79 @@ func TestTraceSchemaValidates(t *testing.T) {
 	}
 	if len(doc.Spans) == 0 {
 		t.Error("trace has no spans")
+	}
+}
+
+// TestBatchSchemaValidates pins the roload-batch/v1 document contract
+// end to end: a real batch's report validates, round-trips through the
+// versioned-schema registry (DecodeAny re-yields a *schema.BatchReport
+// under the right id), and every per-run body is itself a decodable
+// roload-serve/v1 envelope.
+func TestBatchSchemaValidates(t *testing.T) {
+	srv, err := service.NewServer(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer srv.Close()
+	defer ts.Close()
+
+	raw, _ := json.Marshal(schema.BatchRequest{
+		Source: smokeProg,
+		Runs:   []schema.BatchRunSpec{{}, {System: "baseline"}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, data)
+	}
+
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("batch body is not an envelope: %v", err)
+	}
+	var report schema.BatchReport
+	if err := env.Open(schema.ServeV1, &report); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Errorf("batch report invalid: %v", err)
+	}
+	if report.Compiles != 1 {
+		t.Errorf("cold batch Compiles = %d, want 1", report.Compiles)
+	}
+
+	// The bare document (the shape the artifact store persists) decodes
+	// through the registry to the right type.
+	bare, err := json.Marshal(&report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, doc, err := schema.DecodeAny(bare)
+	if err != nil {
+		t.Fatalf("registry does not decode the batch report: %v", err)
+	}
+	if _, ok := doc.(*schema.BatchReport); !ok || id != schema.BatchV1 {
+		t.Errorf("registry decoded %q %T, want %q *schema.BatchReport", id, doc, schema.BatchV1)
+	}
+
+	// Each per-run body is a complete serve envelope.
+	for i, run := range report.Runs {
+		var renv schema.Envelope
+		if err := json.Unmarshal([]byte(run.Body), &renv); err != nil {
+			t.Errorf("run %d body is not an envelope: %v", i, err)
+			continue
+		}
+		if renv.Schema != schema.ServeV1 {
+			t.Errorf("run %d body schema = %q", i, renv.Schema)
+		}
 	}
 }
 
