@@ -1,0 +1,142 @@
+// Command roload-gateway is the health-aware sharding front tier of a
+// roload-serve fleet: it consistent-hashes requests onto backends by
+// image digest (or the compile group when no digest is named), proxies
+// the /v1 surface including the live event stream, fails over onto the
+// hash ring's next backend when one is lost, and optionally mirrors a
+// fraction of traffic to a canary whose answers are diffed, never
+// served.
+//
+// Usage:
+//
+//	roload-gateway -backends http://h1:8081,http://h2:8082 [-addr :8080]
+//	roload-gateway -config gateway.json
+//
+// Endpoints (proxied):
+//
+//	POST /v1/run               routed by compile group / image digest
+//	POST /v1/runs              same, resource-oriented
+//	GET  /v1/runs/{id}         the run's owning backend, 404 fall-through
+//	POST /v1/batch             routed by the batch's shared compile group
+//	POST /v1/images            routed by compile group; digest recorded
+//	GET  /v1/images/{digest}   digest-routed, 404 fall-through
+//	GET  /v1/runs/{id}/events  SSE relay with reconnect-on-failover
+//	GET  /v1/runs/{id}/trace   the run's owning backend
+//
+// Endpoints (the gateway's own):
+//
+//	GET  /healthz              200 while ≥1 backend admitted, else 503
+//	GET  /metrics              backend states, failover/mirror counters
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
+// proxied work is rejected, in-flight requests and canary replays get
+// -drain-timeout to finish. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"roload/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated roload-serve roots to shard across")
+	configPath := flag.String("config", "", "JSON gateway config file (overrides the flag-built config)")
+	canary := flag.String("canary", "", "shadow-traffic target; mirrored answers are diffed, never served")
+	mirrorFraction := flag.Float64("mirror-fraction", 0, "fraction of successful run/batch traffic mirrored to -canary [0,1]")
+	vnodes := flag.Int("vnodes", 0, "ring points per backend (0 = 64)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-probe period")
+	ejectAfter := flag.Int("eject-after", 0, "consecutive failures before a backend is ejected (0 = 3)")
+	halfOpenAfter := flag.Duration("half-open-after", 0, "cooldown before an ejected backend is re-probed (0 = 5x probe interval)")
+	readmitAfter := flag.Int("readmit-after", 0, "consecutive clean probes before re-admission (0 = 2)")
+	attempts := flag.Int("attempts", 0, "attempts per backend before failing over (0 = 2)")
+	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "wall-clock cap per backend attempt")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "cap on the graceful drain")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	var cfg gateway.Config
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-gateway: %v\n", err)
+			os.Exit(1)
+		}
+		cfg, err = gateway.DecodeConfig(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roload-gateway: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				cfg.Backends = append(cfg.Backends, b)
+			}
+		}
+		cfg.Canary = *canary
+		cfg.MirrorFraction = *mirrorFraction
+		cfg.VNodes = *vnodes
+		cfg.ProbeIntervalMS = probeInterval.Milliseconds()
+		cfg.EjectAfter = *ejectAfter
+		cfg.HalfOpenAfterMS = halfOpenAfter.Milliseconds()
+		cfg.ReadmitAfter = *readmitAfter
+		cfg.AttemptsPerBackend = *attempts
+		cfg.AttemptTimeoutMS = attemptTimeout.Milliseconds()
+		cfg.MaxBodyBytes = *maxBody
+	}
+	cfg.Logger = logger
+
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roload-gateway: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", slog.String("addr", *addr), slog.Int("backends", len(cfg.Backends)))
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "roload-gateway: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+	logger.Info("draining", slog.Duration("drain_timeout", *drainTimeout))
+	gw.StartDrain()
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Warn("forced close", slog.String("err", err.Error()))
+		httpSrv.Close()
+	}
+	gw.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "roload-gateway: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}

@@ -1,0 +1,351 @@
+// Command roload-loadgen replays synthetic run/batch traffic against a
+// roload-serve backend or a roload-gateway fleet and writes a
+// versioned roload-loadgen/v1 report: request/latency accounting,
+// shed/retry/replay counters, and per-spec response digests. The
+// report is the measured form of the fleet-robustness claim — a chaos
+// run (kill a backend mid-load) must end with errors == 0, retries > 0
+// recording the failover, and every spec digest equal to the
+// single-backend baseline's.
+//
+// Usage:
+//
+//	roload-loadgen -url http://gateway:8080 -requests 200 -concurrency 8
+//	roload-loadgen -url http://gateway:8080 -mode open -rate 50 -duration 10s
+//
+// Modes:
+//
+//	closed  -concurrency workers issue back-to-back requests until
+//	        -requests (or -duration) is exhausted: throughput probes.
+//	open    requests arrive at -rate per second regardless of how many
+//	        are outstanding, until -duration: latency-under-load probes.
+//
+// Each logical request drives the resilient client (retries, optional
+// hedging, idempotency keys), so the report's error count reflects what
+// an end client actually loses, not what individual attempts lose.
+// Every spec's successful responses are diffed against the first one
+// observed — any divergence counts as a mismatch, because execution is
+// deterministic and same-spec responses must be byte-identical.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roload/internal/client"
+	"roload/internal/schema"
+)
+
+// workload is the fixed spec set cycled deterministically across
+// requests: distinct programs with distinct outputs, so a shard-level
+// mixup (one spec's answer served for another) always surfaces as a
+// mismatch.
+var workload = []struct {
+	name   string
+	source string
+}{
+	{"arith", "func main() int {\n\tprint_int(6 * 7);\n\treturn 0;\n}\n"},
+	{"loop", "func main() int {\n\tvar i int = 0;\n\tvar sum int = 0;\n\twhile (i < 100) { sum = sum + i; i = i + 1; }\n\tprint_int(sum);\n\treturn 0;\n}\n"},
+	{"branch", "func main() int {\n\tvar x int = 41;\n\tif (x > 40) { x = x + 1; } else { x = 0; }\n\tprint_int(x);\n\treturn 2;\n}\n"},
+}
+
+// specState is one spec's accounting: request count, the canonical
+// success body, and its digest.
+type specState struct {
+	mu        sync.Mutex
+	requests  uint64
+	canonical []byte
+	digest    string
+}
+
+// accounting is the shared counter set every worker feeds.
+type accounting struct {
+	sent, ok, errors atomic.Uint64
+	retries, hedged  atomic.Uint64
+	replayed         atomic.Uint64
+	shed429, shed503 atomic.Uint64
+	mismatches       atomic.Uint64
+	mu               sync.Mutex
+	statusCounts     map[string]uint64
+	specs            []*specState
+	harden           string
+	batch            int
+	c                *client.Client
+}
+
+func main() {
+	url := flag.String("url", "", "target root: a roload-serve backend or a roload-gateway")
+	mode := flag.String("mode", "closed", "closed (fixed workers) or open (fixed arrival rate)")
+	concurrency := flag.Int("concurrency", 4, "closed-loop worker count")
+	rate := flag.Float64("rate", 20, "open-loop arrival rate (requests/second)")
+	requests := flag.Uint64("requests", 100, "closed-loop total logical requests (0 = run until -duration)")
+	duration := flag.Duration("duration", 0, "wall-clock budget (open loop requires it; closed loop optional)")
+	batch := flag.Int("batch", 0, "send POST /v1/batch with this many runs per request instead of POST /v1/run")
+	harden := flag.String("harden", "", "hardening scheme applied to every spec")
+	maxAttempts := flag.Int("max-attempts", 4, "client retry budget per logical request")
+	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "wall-clock cap per attempt")
+	hedge := flag.Duration("hedge", 0, "hedge delay (0 = hedging off)")
+	out := flag.String("out", "-", "report destination (- = stdout)")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "roload-loadgen: -url is required")
+		os.Exit(2)
+	}
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(os.Stderr, "roload-loadgen: -mode %q is neither closed nor open\n", *mode)
+		os.Exit(2)
+	}
+	if *mode == "open" && *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "roload-loadgen: -mode open requires -duration")
+		os.Exit(2)
+	}
+
+	acc := &accounting{
+		statusCounts: make(map[string]uint64),
+		specs:        make([]*specState, len(workload)),
+		harden:       *harden,
+		batch:        *batch,
+		c: client.New(client.Config{
+			BaseURL:        *url,
+			MaxAttempts:    *maxAttempts,
+			AttemptTimeout: *attemptTimeout,
+			HedgeDelay:     *hedge,
+		}),
+	}
+	for i := range acc.specs {
+		acc.specs[i] = &specState{}
+	}
+
+	ctx := context.Background()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	if *mode == "closed" {
+		runClosed(ctx, acc, *concurrency, *requests)
+	} else {
+		runOpen(ctx, acc, *rate)
+	}
+	elapsed := time.Since(start)
+
+	report := acc.report(*url, *mode, *concurrency, *rate, elapsed)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roload-loadgen: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data) //nolint:errcheck
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "roload-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if report.Errors > 0 || report.Mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClosed drives workers back-to-back requests until the request
+// budget (or ctx) is exhausted.
+func runClosed(ctx context.Context, acc *accounting, workers int, total uint64) {
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				n := next.Add(1)
+				if total > 0 && n > total {
+					return
+				}
+				acc.issue(ctx, n-1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen issues requests on a fixed schedule regardless of how many
+// are outstanding, until ctx expires.
+func runOpen(ctx context.Context, acc *accounting, rate float64) {
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var wg sync.WaitGroup
+	var n uint64
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-t.C:
+			idx := n
+			n++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// The request itself runs without the arrival deadline:
+				// requests admitted before the window closed still conclude.
+				acc.issue(context.Background(), idx)
+			}()
+		}
+	}
+}
+
+// issue performs one logical request: spec selection, the resilient
+// exchange, and accounting.
+func (a *accounting) issue(ctx context.Context, n uint64) {
+	specIdx := int(n % uint64(len(workload)))
+	spec := a.specs[specIdx]
+	spec.mu.Lock()
+	spec.requests++
+	spec.mu.Unlock()
+
+	path := "/v1/run"
+	var body []byte
+	var err error
+	if a.batch > 0 {
+		path = "/v1/batch"
+		body, err = json.Marshal(schema.BatchRequest{
+			Source: workload[specIdx].source,
+			Harden: a.harden,
+			Runs:   make([]schema.BatchRunSpec, a.batch),
+		})
+	} else {
+		body, err = json.Marshal(schema.RunRequest{
+			Source: workload[specIdx].source,
+			Harden: a.harden,
+		})
+	}
+	if err != nil {
+		panic(err) // static request shapes: cannot fail
+	}
+
+	a.sent.Add(1)
+	reply, err := a.c.Exchange(ctx, "", client.NewRunID(), http.MethodPost, path, body)
+	if err != nil {
+		a.errors.Add(1)
+		a.note("transport_error")
+		return
+	}
+	a.note(strconv.Itoa(reply.Status))
+	a.retries.Add(uint64(reply.Attempts - 1))
+	a.hedged.Add(uint64(reply.Hedged))
+	if reply.Replayed {
+		a.replayed.Add(1)
+	}
+	// A gateway reports its own backend attempts; anything beyond the
+	// client-visible count is failover the end client never saw fail.
+	if ga, aerr := strconv.Atoi(reply.Header.Get("Roload-Gateway-Attempts")); aerr == nil && ga > reply.Attempts {
+		a.retries.Add(uint64(ga - reply.Attempts))
+	}
+	switch {
+	case reply.Status < 300:
+		a.ok.Add(1)
+		a.checkBytes(spec, reply.Body)
+	case reply.Status == http.StatusTooManyRequests:
+		a.errors.Add(1)
+		a.shed429.Add(1)
+	case reply.Status == http.StatusServiceUnavailable:
+		a.errors.Add(1)
+		a.shed503.Add(1)
+	default:
+		a.errors.Add(1)
+	}
+}
+
+// checkBytes diffs a success body against the spec's canonical one.
+// Batch responses embed minted ids and the backend's compile counter,
+// so only run responses are diffable.
+func (a *accounting) checkBytes(spec *specState, body []byte) {
+	if a.batch > 0 {
+		return
+	}
+	spec.mu.Lock()
+	defer spec.mu.Unlock()
+	if spec.canonical == nil {
+		spec.canonical = append([]byte(nil), body...)
+		sum := sha256.Sum256(body)
+		spec.digest = hex.EncodeToString(sum[:])
+		return
+	}
+	if len(body) != len(spec.canonical) || string(body) != string(spec.canonical) {
+		a.mismatches.Add(1)
+	}
+}
+
+func (a *accounting) note(status string) {
+	a.mu.Lock()
+	a.statusCounts[status]++
+	a.mu.Unlock()
+}
+
+// report assembles the roload-loadgen/v1 document.
+func (a *accounting) report(url, mode string, concurrency int, rate float64, elapsed time.Duration) *schema.LoadgenReport {
+	m := a.c.Metrics()
+	r := &schema.LoadgenReport{
+		Schema:           schema.LoadgenV1,
+		BaseURL:          url,
+		Mode:             mode,
+		Batch:            a.batch,
+		Sent:             a.sent.Load(),
+		OK:               a.ok.Load(),
+		Errors:           a.errors.Load(),
+		Retries:          a.retries.Load(),
+		Hedged:           a.hedged.Load(),
+		Replayed:         a.replayed.Load(),
+		Shed429:          a.shed429.Load(),
+		Shed503:          a.shed503.Load(),
+		Mismatches:       a.mismatches.Load(),
+		ElapsedSec:       elapsed.Seconds(),
+		RunLatencyUS:     m.RunLatencyUS,
+		AttemptLatencyUS: m.AttemptLatencyUS,
+	}
+	if mode == "closed" {
+		r.Concurrency = concurrency
+	} else {
+		r.RateRPS = rate
+	}
+	if r.ElapsedSec > 0 {
+		r.ThroughputRPS = float64(r.OK) / r.ElapsedSec
+	}
+	a.mu.Lock()
+	if len(a.statusCounts) > 0 {
+		r.StatusCounts = make(map[string]uint64, len(a.statusCounts))
+		for k, v := range a.statusCounts {
+			r.StatusCounts[k] = v
+		}
+	}
+	a.mu.Unlock()
+	for i, s := range a.specs {
+		s.mu.Lock()
+		r.Specs = append(r.Specs, schema.LoadgenSpec{
+			Name:     workload[i].name,
+			Requests: s.requests,
+			Digest:   s.digest,
+		})
+		s.mu.Unlock()
+	}
+	return r
+}

@@ -227,7 +227,7 @@ func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequ
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	reply, attempts, hedged, doc, err := c.execute(ctx, runID, http.MethodPost, "/v1/run", body)
+	reply, attempts, hedged, doc, err := c.execute(ctx, c.nextKey(), runID, http.MethodPost, "/v1/run", body)
 	if err != nil {
 		return nil, err
 	}
@@ -246,8 +246,7 @@ func (c *Client) RunWithID(ctx context.Context, runID string, req schema.RunRequ
 // executes the body at most once. It returns the first conclusive
 // reply with the attempt/hedge counts and the client-side trace
 // document, or the last failure when the attempt budget runs out.
-func (c *Client) execute(ctx context.Context, runID, method, path string, body []byte) (*httpReply, int, int, schema.TraceDoc, error) {
-	key := c.nextKey()
+func (c *Client) execute(ctx context.Context, key, runID, method, path string, body []byte) (*httpReply, int, int, schema.TraceDoc, error) {
 	tr := telemetry.NewTrace(runID, "c")
 	root := tr.Start("run", "")
 	defer root.End()
@@ -315,6 +314,56 @@ func (c *Client) conclude(reply *httpReply, attempts, hedged int) (*RunResult, e
 	}, nil
 }
 
+// Reply is one conclusive raw HTTP exchange: the status, the exact
+// body bytes, and the winning attempt's response headers. It is the
+// currency of Exchange, the proxy-grade entry point — nothing is
+// re-encoded, so a proxy forwarding Body preserves byte-identity with
+// the origin's answer.
+type Reply struct {
+	Status int
+	Body   []byte
+	Header http.Header
+	// Replayed is set when the server answered from its idempotency
+	// cache rather than executing again.
+	Replayed bool
+	// Attempts counts tries made (1 = first try worked); Hedged counts
+	// duplicate requests launched by the hedging timer.
+	Attempts int
+	Hedged   int
+}
+
+// Exchange performs one logical request under a caller-supplied
+// idempotency key, with the full resilience machinery of this client:
+// breaker gate, per-attempt timeouts, hedging, exponential backoff
+// with jitter and Retry-After floors. Because the key is the caller's,
+// a fleet front tier can pin one key to a whole failover chain — every
+// attempt, on every backend tried, names the same key, which is what
+// scopes "at most one execution per conclusive response" across
+// backend moves.
+//
+// Any conclusive answer — 2xx or a non-retryable error status — comes
+// back as a *Reply with a nil error; retryable statuses (429/5xx) are
+// retried here and, when the attempt budget runs out, surface as an
+// error (so the caller can fail over). ErrCircuitOpen reports a
+// refusing breaker without touching the wire.
+func (c *Client) Exchange(ctx context.Context, key, runID, method, path string, body []byte) (*Reply, error) {
+	if key == "" {
+		key = c.nextKey()
+	}
+	reply, attempts, hedged, _, err := c.execute(ctx, key, runID, method, path, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Reply{
+		Status:   reply.status,
+		Body:     reply.raw,
+		Header:   reply.header,
+		Replayed: reply.replayed,
+		Attempts: attempts,
+		Hedged:   hedged,
+	}, nil
+}
+
 // httpReply is one attempt's decoded HTTP answer. raw keeps the exact
 // body bytes for endpoints whose success answer is a bare artifact
 // document rather than a roload-serve/v1 envelope (GET /v1/images).
@@ -322,6 +371,7 @@ type httpReply struct {
 	status   int
 	env      schema.Envelope
 	raw      []byte
+	header   http.Header
 	replayed bool
 	retryHdr string
 }
@@ -417,6 +467,7 @@ func (c *Client) do(ctx context.Context, key, runID, parentSpan, method, path st
 	reply := &httpReply{
 		status:   resp.StatusCode,
 		raw:      data,
+		header:   resp.Header,
 		replayed: resp.Header.Get("Idempotency-Replayed") == "true",
 		retryHdr: resp.Header.Get("Retry-After"),
 	}

@@ -47,7 +47,7 @@ func (c *Client) BatchWithID(ctx context.Context, batchID string, req schema.Bat
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding batch request: %w", err)
 	}
-	reply, attempts, hedged, doc, err := c.execute(ctx, batchID, http.MethodPost, "/v1/batch", body)
+	reply, attempts, hedged, doc, err := c.execute(ctx, c.nextKey(), batchID, http.MethodPost, "/v1/batch", body)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func (c *Client) PutImage(ctx context.Context, req schema.ImageRequest) (*ImageR
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding image request: %w", err)
 	}
-	reply, attempts, hedged, _, err := c.execute(ctx, telemetry.NewRunID(), http.MethodPost, "/v1/images", body)
+	reply, attempts, hedged, _, err := c.execute(ctx, c.nextKey(), telemetry.NewRunID(), http.MethodPost, "/v1/images", body)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func (c *Client) PutImage(ctx context.Context, req schema.ImageRequest) (*ImageR
 // body is the bare artifact (not a serve envelope), ready for
 // core.DecodeImage or roload-run.
 func (c *Client) GetImage(ctx context.Context, digest string) (schema.ImageDoc, error) {
-	reply, _, _, _, err := c.execute(ctx, telemetry.NewRunID(), http.MethodGet, "/v1/images/"+digest, nil)
+	reply, _, _, _, err := c.execute(ctx, c.nextKey(), telemetry.NewRunID(), http.MethodGet, "/v1/images/"+digest, nil)
 	if err != nil {
 		return schema.ImageDoc{}, err
 	}

@@ -1,0 +1,126 @@
+package gateway
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Backends: []string{"http://a"}}.withDefaults()
+	if c.VNodes != 64 || c.ProbeIntervalMS != 1000 || c.ProbeTimeoutMS != 1000 ||
+		c.EjectAfter != 3 || c.HalfOpenAfterMS != 5000 || c.ReadmitAfter != 2 ||
+		c.AttemptsPerBackend != 2 || c.AttemptTimeoutMS != 30_000 || c.MaxBodyBytes != 1<<20 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	// The probe timeout tracks the interval but is capped at 2s.
+	long := Config{Backends: []string{"http://a"}, ProbeIntervalMS: 10_000}.withDefaults()
+	if long.ProbeTimeoutMS != 2000 {
+		t.Errorf("probe timeout for 10s interval = %d, want 2000", long.ProbeTimeoutMS)
+	}
+	if long.HalfOpenAfterMS != 50_000 {
+		t.Errorf("half-open cooldown = %d, want 5x interval", long.HalfOpenAfterMS)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := func(c Config) Config { return c }
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{"valid", ok(Config{Backends: []string{"http://a:1", "https://b:2/"}}), ""},
+		{"valid-canary", Config{Backends: []string{"http://a:1"}, Canary: "http://c:3", MirrorFraction: 0.5}, ""},
+		{"no-backends", Config{}, "no backends"},
+		{"dup-backend", Config{Backends: []string{"http://a:1", "http://a:1"}}, "listed twice"},
+		{"bad-scheme", Config{Backends: []string{"ftp://a:1"}}, "http or https"},
+		{"no-host", Config{Backends: []string{"http://"}}, "no host"},
+		{"has-path", Config{Backends: []string{"http://a:1/v1"}}, "bare root"},
+		{"has-query", Config{Backends: []string{"http://a:1?x=1"}}, "bare root"},
+		{"has-userinfo", Config{Backends: []string{"http://u:p@a:1"}}, "bare root"},
+		{"canary-is-backend", Config{Backends: []string{"http://a:1"}, Canary: "http://a:1"}, "also a backend"},
+		{"canary-bad", Config{Backends: []string{"http://a:1"}, Canary: ":nope"}, "canary"},
+		{"fraction-high", Config{Backends: []string{"http://a:1"}, Canary: "http://c:3", MirrorFraction: 1.5}, "outside [0,1]"},
+		{"fraction-low", Config{Backends: []string{"http://a:1"}, MirrorFraction: -0.1}, "outside [0,1]"},
+		{"fraction-no-canary", Config{Backends: []string{"http://a:1"}, MirrorFraction: 0.5}, "needs a canary"},
+		{"negative-knob", Config{Backends: []string{"http://a:1"}, EjectAfter: -1}, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeConfigStrict(t *testing.T) {
+	good := `{"backends": ["http://a:1", "http://b:2"], "vnodes": 16}`
+	cfg, err := DecodeConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if len(cfg.Backends) != 2 || cfg.VNodes != 16 {
+		t.Errorf("decoded %+v", cfg)
+	}
+	for name, raw := range map[string]string{
+		"unknown-field": `{"backends": ["http://a:1"], "bakcends": []}`,
+		"trailing-data": `{"backends": ["http://a:1"]} {"more": 1}`,
+		"not-json":      `backends: [http://a:1]`,
+		"invalid":       `{"backends": []}`,
+	} {
+		if _, err := DecodeConfig([]byte(raw)); err == nil {
+			t.Errorf("%s: DecodeConfig accepted %q", name, raw)
+		}
+	}
+}
+
+// FuzzGatewayConfigDecode: any input DecodeConfig accepts must pass
+// Validate and survive a marshal/decode round trip unchanged in its
+// JSON-visible fields — the gateway can always re-emit its own config.
+func FuzzGatewayConfigDecode(f *testing.F) {
+	f.Add([]byte(`{"backends": ["http://a:1", "http://b:2"]}`))
+	f.Add([]byte(`{"backends": ["http://a:1"], "canary": "http://c:3", "mirror_fraction": 0.25}`))
+	f.Add([]byte(`{"backends": ["http://a:1"], "vnodes": 7, "probe_interval_ms": 50, "eject_after": 1}`))
+	f.Add([]byte(`{"backends": ["http://a:1"], "unknown": true}`))
+	f.Add([]byte(`{"backends": ["http://a:1"]} trailing`))
+	f.Add([]byte(`{"backends": ["http://a:1"], "mirror_fraction": 0.5}`))
+	f.Add([]byte(`{"backends": ["ftp://a:1"]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("DecodeConfig accepted a config Validate rejects: %v\ninput: %q", verr, data)
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("re-encoding decoded config: %v", err)
+		}
+		again, err := DecodeConfig(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nencoded: %s", err, out)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("round trip not fixed:\n%s\n%s", out, out2)
+		}
+		// Defaults must keep a decodable config usable end to end.
+		if derr := cfg.withDefaults().Validate(); derr != nil {
+			t.Fatalf("withDefaults broke a valid config: %v", derr)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// healthzModes a fake backend can answer with.
+const (
+	modeOK        = "ok"         // 200, clean body
+	modeQueueFull = "queue-full" // 200 but queue at capacity
+	modeStoreErr  = "store-err"  // 200 but store reports an error
+	modeDegraded  = "degraded"   // 503 with a degraded envelope
+	modeDraining  = "draining"   // 503 with a draining envelope
+	modePlain500  = "plain-500"  // 500, no envelope: a broken backend
+)
+
+// fakeHealthz is an httptest backend whose /healthz answer is switched
+// per test step.
+type fakeHealthz struct {
+	mu   sync.Mutex
+	mode string
+	ts   *httptest.Server
+}
+
+func newFakeHealthz(t *testing.T) *fakeHealthz {
+	t.Helper()
+	f := &fakeHealthz{mode: modeOK}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		mode := f.mode
+		f.mu.Unlock()
+		body := schema.HealthResponse{Status: "ok", QueueCap: 8}
+		status := http.StatusOK
+		switch mode {
+		case modeQueueFull:
+			body.QueueDepth = 8
+		case modeStoreErr:
+			body.Store = "error: checksum mismatch"
+		case modeDegraded:
+			body.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		case modeDraining:
+			body.Status = "draining"
+			status = http.StatusServiceUnavailable
+		case modePlain500:
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		env, err := schema.Wrap(schema.ServeV1, body)
+		if err != nil {
+			t.Errorf("wrap: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(env) //nolint:errcheck
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeHealthz) set(mode string) {
+	f.mu.Lock()
+	f.mode = mode
+	f.mu.Unlock()
+}
+
+// fakeClock is the injectable prober clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestProber builds a prober over one fake backend with a fake
+// clock, probing only when the test says so.
+func newTestProber(t *testing.T, f *fakeHealthz) (*prober, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg := Config{
+		Backends:        []string{f.ts.URL},
+		EjectAfter:      3,
+		ReadmitAfter:    2,
+		HalfOpenAfterMS: 5000,
+		Now:             clock.now,
+	}.withDefaults()
+	cfg.Now = clock.now
+	return newProber(cfg, nil, []string{f.ts.URL}, nil), clock
+}
+
+// TestProberStateMachine walks the full lifecycle with manual probes:
+// healthy → degraded → healthy → ejected → (cooldown skip) →
+// half-open → re-admitted.
+func TestProberStateMachine(t *testing.T) {
+	f := newFakeHealthz(t)
+	p, clock := newTestProber(t, f)
+	b := f.ts.URL
+	ctx := context.Background()
+
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("initial state = %s", got)
+	}
+
+	// Degradation variants: each 200-with-bad-body or 503-with-envelope
+	// answer degrades without ejecting.
+	for _, mode := range []string{modeQueueFull, modeStoreErr, modeDegraded, modeDraining} {
+		f.set(mode)
+		p.probe(ctx, b)
+		if got := p.stateOf(b); got != stateDegraded {
+			t.Fatalf("after %s probe: state = %s, want degraded", mode, got)
+		}
+		f.set(modeOK)
+		p.probe(ctx, b)
+		if got := p.stateOf(b); got != stateHealthy {
+			t.Fatalf("after recovery from %s: state = %s, want healthy", mode, got)
+		}
+	}
+
+	// Three consecutive hard failures eject; two must not.
+	f.set(modePlain500)
+	p.probe(ctx, b)
+	p.probe(ctx, b)
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("two failures already changed state to %s", got)
+	}
+	p.probe(ctx, b)
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("three failures: state = %s, want ejected", got)
+	}
+
+	// Inside the cooldown the backend is not probed at all.
+	before := p.backends[b].probes
+	clock.advance(4999 * time.Millisecond)
+	p.probe(ctx, b)
+	if got := p.backends[b].probes; got != before {
+		t.Fatalf("cooldown probe ran: probes %d → %d", before, got)
+	}
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("cooldown: state = %s, want ejected", got)
+	}
+
+	// Past the cooldown the backend goes half-open and is probed; one
+	// clean probe is not enough to re-admit.
+	f.set(modeOK)
+	clock.advance(2 * time.Millisecond)
+	p.probe(ctx, b)
+	if got := p.stateOf(b); got != stateHalfOpen {
+		t.Fatalf("after cooldown: state = %s, want half-open", got)
+	}
+	// A degraded answer while half-open holds position without progress.
+	f.set(modeDegraded)
+	p.probe(ctx, b)
+	if got := p.stateOf(b); got != stateHalfOpen {
+		t.Fatalf("degraded half-open probe: state = %s, want half-open", got)
+	}
+	// Two consecutive clean probes re-admit.
+	f.set(modeOK)
+	p.probe(ctx, b)
+	p.probe(ctx, b)
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("after clean half-open probes: state = %s, want healthy", got)
+	}
+
+	h := p.backends[b]
+	h.mu.Lock()
+	ej, re := h.ejections, h.readmissions
+	h.mu.Unlock()
+	if ej != 1 || re != 1 {
+		t.Errorf("ejections = %d, readmissions = %d, want 1/1", ej, re)
+	}
+}
+
+// TestProberHalfOpenReejects: a half-open backend that fails one probe
+// is re-ejected instantly, no threshold.
+func TestProberHalfOpenReejects(t *testing.T) {
+	f := newFakeHealthz(t)
+	p, clock := newTestProber(t, f)
+	b := f.ts.URL
+	ctx := context.Background()
+
+	f.set(modePlain500)
+	for i := 0; i < 3; i++ {
+		p.probe(ctx, b)
+	}
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("state = %s, want ejected", got)
+	}
+	clock.advance(6 * time.Second)
+	p.probe(ctx, b) // half-open transition + failed probe
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("half-open failure: state = %s, want ejected again", got)
+	}
+	// And the re-ejection restarted the cooldown from the fake now.
+	beforeProbes := p.backends[b].probes
+	clock.advance(time.Second)
+	p.probe(ctx, b)
+	if got := p.backends[b].probes; got != beforeProbes {
+		t.Fatal("re-ejected backend was probed inside its fresh cooldown")
+	}
+}
+
+// TestProxyFeed: transport-level proxy failures eject like probe
+// failures; HTTP-level exhaustion only counts; success clears the
+// streak.
+func TestProxyFeed(t *testing.T) {
+	f := newFakeHealthz(t)
+	p, _ := newTestProber(t, f)
+	b := f.ts.URL
+	errBoom := errors.New("connection refused")
+
+	// Non-transport failures never eject, however many.
+	for i := 0; i < 10; i++ {
+		p.noteProxyFailure(b, errBoom, false)
+	}
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("non-transport failures changed state to %s", got)
+	}
+
+	// Two transport failures then a success: streak cleared.
+	p.noteProxyFailure(b, errBoom, true)
+	p.noteProxyFailure(b, errBoom, true)
+	p.noteProxySuccess(b)
+	p.noteProxyFailure(b, errBoom, true)
+	p.noteProxyFailure(b, errBoom, true)
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("cleared streak still ejected: %s", got)
+	}
+	// The third consecutive transport failure ejects.
+	p.noteProxyFailure(b, errBoom, true)
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("state = %s, want ejected", got)
+	}
+	// Unknown backends are ignored, not a panic.
+	p.noteProxyFailure("http://nowhere", errBoom, true)
+	p.noteProxySuccess("http://nowhere")
+}
+
+// TestProberSplit: the serving order is healthy-first then degraded,
+// ring order preserved within each class; ejected and half-open
+// backends are skipped.
+func TestProberSplit(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	cfg := Config{Backends: backends}.withDefaults()
+	p := newProber(cfg, nil, backends, nil)
+	p.backends["http://a"].state = stateDegraded
+	p.backends["http://b"].state = stateEjected
+	p.backends["http://d"].state = stateHalfOpen
+
+	got := p.split(backends)
+	want := []string{"http://c", "http://a"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split = %v, want %v", got, want)
+		}
+	}
+	if p.admitted("http://b") || p.admitted("http://d") {
+		t.Error("ejected/half-open backend reported admitted")
+	}
+	if !p.admitted("http://a") || !p.admitted("http://c") {
+		t.Error("healthy/degraded backend reported not admitted")
+	}
+}

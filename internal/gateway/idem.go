@@ -1,0 +1,172 @@
+// The gateway-level idempotency pin. Backend idempotency caches are
+// per-backend: a client that retries a request after its first backend
+// was ejected would land the same Idempotency-Key on a different
+// backend, whose cache has never seen it, and execute again. The
+// gateway closes that hole by pinning every conclusive response it
+// serves under the client's key: a retry of a concluded request is
+// replayed from the gateway without touching any backend, whichever
+// backends have come or gone in between. Re-execution remains possible
+// only for requests that never received a conclusive response — and
+// execution is deterministic, so even that re-execution reproduces the
+// same bytes. That pair is the fleet's exactly-once boundary (DESIGN
+// §3).
+package gateway
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"roload/internal/schema"
+)
+
+// pinEntry is one key's lifecycle: done closes when the leader either
+// pinned a conclusive response (stored=true) or gave up (stored=false,
+// entry removed, next retry leads again).
+type pinEntry struct {
+	done   chan struct{}
+	stored bool
+	status int
+	body   []byte
+	header http.Header
+}
+
+// pinCache is the gateway's bounded idempotency store. Unlike the
+// backend cache it evicts FIFO: the gateway fronts long-lived fleets,
+// so unbounded growth is not an option. An evicted key degrades
+// gracefully — the retry re-executes, deterministically.
+type pinCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*pinEntry
+	order   []string
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+func newPinCache(cap int) *pinCache {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &pinCache{cap: cap, entries: make(map[string]*pinEntry)}
+}
+
+func (c *pinCache) metrics() schema.CacheMetrics {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return schema.CacheMetrics{
+		Entries: uint64(n),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+	}
+}
+
+// pinWriter records the response while streaming it to the client.
+type pinWriter struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (w *pinWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *pinWriter) Write(b []byte) (int, error) {
+	w.body.Write(b)
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap adds the pin around a handler. Requests without an
+// Idempotency-Key pass straight through — the gateway then mints a
+// chain key per request (proxy.go), which still dedups the failover
+// chain but not client retries.
+func (c *pinCache) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			h(w, r)
+			return
+		}
+		for {
+			c.mu.Lock()
+			e := c.entries[key]
+			if e == nil {
+				e = &pinEntry{done: make(chan struct{})}
+				c.entries[key] = e
+				c.order = append(c.order, key)
+				for len(c.order) > c.cap {
+					delete(c.entries, c.order[0])
+					c.order = c.order[1:]
+				}
+				c.mu.Unlock()
+				c.misses.Add(1)
+				c.lead(e, key, h, w, r)
+				return
+			}
+			c.mu.Unlock()
+
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				return
+			}
+			if e.stored {
+				c.hits.Add(1)
+				for k, vs := range e.header {
+					w.Header()[k] = vs
+				}
+				w.Header().Set("Idempotency-Replayed", "true")
+				w.WriteHeader(e.status)
+				w.Write(e.body) //nolint:errcheck // client gone: nothing to report to
+				return
+			}
+			// The leader concluded nothing pinnable; race to lead again.
+		}
+	}
+}
+
+// lead runs the handler as the key's leader and pins a conclusive
+// response. The retryable statuses a resilient client retries are the
+// statuses that must not pin — exactly the backend-cache rule.
+func (c *pinCache) lead(e *pinEntry, key string, h http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	pw := &pinWriter{ResponseWriter: w, status: http.StatusOK}
+	finished := false
+	defer func() {
+		c.mu.Lock()
+		// The entry may already have been evicted by cap pressure while
+		// the leader ran; only publish if the key still maps to e.
+		if c.entries[key] == e && finished && !retryableStatus(pw.status) {
+			e.stored = true
+			e.status = pw.status
+			e.body = append([]byte(nil), pw.body.Bytes()...)
+			e.header = make(http.Header, 3)
+			for _, k := range []string{"Content-Type", "Roload-Trace", "Roload-Gateway-Backend"} {
+				if v := pw.Header().Get(k); v != "" {
+					e.header.Set(k, v)
+				}
+			}
+		} else if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	h(pw, r)
+	finished = true
+}
+
+// retryableStatus reports whether a status is one a resilient client
+// retries — the statuses the pin must not store.
+func retryableStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}

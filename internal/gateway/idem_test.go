@@ -1,0 +1,162 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// countingHandler answers with a fixed status and a body naming the
+// execution number — replays must serve execution 1's body verbatim.
+func countingHandler(status *int, execs *int, mu *sync.Mutex) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		*execs++
+		n := *execs
+		st := *status
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Roload-Gateway-Backend", "http://exec-"+strconv.Itoa(n))
+		w.WriteHeader(st)
+		w.Write([]byte(`{"execution":` + strconv.Itoa(n) + `}`)) //nolint:errcheck
+	}
+}
+
+func do(t *testing.T, h http.HandlerFunc, key string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	return rec
+}
+
+func TestPinCacheReplay(t *testing.T) {
+	var mu sync.Mutex
+	execs, status := 0, http.StatusOK
+	c := newPinCache(0)
+	h := c.wrap(countingHandler(&status, &execs, &mu))
+
+	first := do(t, h, "k1")
+	if first.Body.String() != `{"execution":1}` {
+		t.Fatalf("first body = %s", first.Body.String())
+	}
+	if first.Header().Get("Idempotency-Replayed") != "" {
+		t.Error("first response marked replayed")
+	}
+	second := do(t, h, "k1")
+	if execs != 1 {
+		t.Fatalf("handler executed %d times for one key", execs)
+	}
+	if second.Body.String() != first.Body.String() {
+		t.Errorf("replay body = %s", second.Body.String())
+	}
+	if second.Header().Get("Idempotency-Replayed") != "true" {
+		t.Error("replay not marked")
+	}
+	if second.Header().Get("Roload-Gateway-Backend") != "http://exec-1" {
+		t.Errorf("replay backend header = %q", second.Header().Get("Roload-Gateway-Backend"))
+	}
+
+	// A different key executes again; keyless always executes.
+	do(t, h, "k2")
+	do(t, h, "")
+	do(t, h, "")
+	if execs != 4 {
+		t.Errorf("executions = %d, want 4", execs)
+	}
+
+	m := c.metrics()
+	if m.Hits != 1 || m.Entries != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestPinCacheRetryableNotPinned: statuses a resilient client retries
+// (5xx, 429) must not pin — the retry deserves a fresh execution.
+func TestPinCacheRetryableNotPinned(t *testing.T) {
+	var mu sync.Mutex
+	execs, status := 0, http.StatusServiceUnavailable
+	c := newPinCache(0)
+	h := c.wrap(countingHandler(&status, &execs, &mu))
+
+	do(t, h, "k")
+	do(t, h, "k")
+	if execs != 2 {
+		t.Fatalf("503 was pinned: %d executions", execs)
+	}
+	// Once a conclusive answer lands it pins.
+	mu.Lock()
+	status = http.StatusOK
+	mu.Unlock()
+	do(t, h, "k")
+	rec := do(t, h, "k")
+	if execs != 3 {
+		t.Errorf("executions = %d, want 3", execs)
+	}
+	if rec.Header().Get("Idempotency-Replayed") != "true" {
+		t.Error("conclusive answer did not pin")
+	}
+	// 4xx (non-retryable) pins too: a validation error is conclusive.
+	mu.Lock()
+	status = http.StatusBadRequest
+	mu.Unlock()
+	do(t, h, "k400")
+	do(t, h, "k400")
+	if execs != 4 {
+		t.Errorf("400 did not pin: %d executions", execs)
+	}
+}
+
+// TestPinCacheEviction: FIFO cap pressure evicts oldest keys; an
+// evicted key re-executes instead of failing.
+func TestPinCacheEviction(t *testing.T) {
+	var mu sync.Mutex
+	execs, status := 0, http.StatusOK
+	c := newPinCache(2)
+	h := c.wrap(countingHandler(&status, &execs, &mu))
+
+	do(t, h, "a")
+	do(t, h, "b")
+	do(t, h, "c") // evicts a
+	do(t, h, "a")
+	if execs != 4 {
+		t.Errorf("executions = %d, want 4 (evicted key re-led)", execs)
+	}
+	if m := c.metrics(); m.Entries != 2 {
+		t.Errorf("entries = %d, want cap 2", m.Entries)
+	}
+}
+
+// TestPinCacheConcurrentFollowers: N concurrent requests under one key
+// execute exactly once; every follower gets the leader's bytes.
+func TestPinCacheConcurrentFollowers(t *testing.T) {
+	var mu sync.Mutex
+	execs, status := 0, http.StatusOK
+	c := newPinCache(0)
+	h := c.wrap(countingHandler(&status, &execs, &mu))
+
+	const n = 16
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i] = do(t, h, "shared").Body.String()
+		}(i)
+	}
+	wg.Wait()
+	if execs != 1 {
+		t.Fatalf("handler executed %d times under one key", execs)
+	}
+	for i, b := range bodies {
+		if b != `{"execution":1}` {
+			t.Errorf("request %d got %s", i, b)
+		}
+	}
+}

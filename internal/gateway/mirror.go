@@ -1,0 +1,167 @@
+// Shadow traffic: a configurable fraction of successfully served
+// run/batch requests is replayed against the canary backend and the
+// canary's answer is diffed against the bytes the client was served.
+// The canary never serves — a diff is a metric, not a response — which
+// is what makes it safe to point at a build under test. Because
+// execution is deterministic, any diff is signal: a canary that
+// diverges byte-wise from the fleet has changed observable behaviour.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// mirrorJob is one sampled request: the method/path/body that was
+// served and the exact bytes the client received.
+type mirrorJob struct {
+	endpoint string
+	method   string
+	path     string
+	body     []byte
+	status   int
+	served   []byte
+}
+
+// mirror owns the canary leg. Sampling is deterministic — request n is
+// mirrored iff floor(n*fraction) increments — so two identical runs of
+// a workload mirror exactly the same requests.
+type mirror struct {
+	canary   string
+	fraction float64
+	client   *http.Client
+	baseCtx  context.Context
+
+	mu      sync.Mutex
+	n       uint64 // eligible requests seen
+	picked  uint64 // floor(n*fraction) so far
+	lastDif string
+
+	wg       sync.WaitGroup
+	mirrored atomic.Uint64
+	diffs    atomic.Uint64
+	errors   atomic.Uint64
+}
+
+func newMirror(cfg Config, transport http.RoundTripper, baseCtx context.Context) *mirror {
+	if cfg.Canary == "" || cfg.MirrorFraction <= 0 {
+		return nil
+	}
+	return &mirror{
+		canary:   cfg.Canary,
+		fraction: cfg.MirrorFraction,
+		client: &http.Client{
+			Transport: transport,
+			Timeout:   time.Duration(cfg.AttemptTimeoutMS) * time.Millisecond,
+		},
+		baseCtx: baseCtx,
+	}
+}
+
+// offer samples one eligible request and, when picked, replays it
+// against the canary asynchronously. The served bytes are already with
+// the client; nothing here can affect them.
+func (m *mirror) offer(job mirrorJob) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.n++
+	want := uint64(float64(m.n) * m.fraction)
+	pick := want > m.picked
+	if pick {
+		m.picked = want
+	}
+	m.mu.Unlock()
+	if !pick || m.baseCtx.Err() != nil {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.replay(job)
+	}()
+}
+
+// replay posts the job to the canary and diffs the answer.
+func (m *mirror) replay(job mirrorJob) {
+	m.mirrored.Add(1)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, job.method, m.canary+job.path, bytes.NewReader(job.body))
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client.Do(req)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	answer, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	switch {
+	case resp.StatusCode != job.status:
+		m.noteDiff(fmt.Sprintf("%s: canary answered %d, fleet served %d", job.endpoint, resp.StatusCode, job.status))
+	case !bytes.Equal(answer, job.served):
+		m.noteDiff(fmt.Sprintf("%s: bodies diverge at byte %d (canary %dB, fleet %dB)",
+			job.endpoint, firstDiff(answer, job.served), len(answer), len(job.served)))
+	}
+}
+
+func (m *mirror) noteDiff(detail string) {
+	m.diffs.Add(1)
+	m.mu.Lock()
+	m.lastDif = detail
+	m.mu.Unlock()
+}
+
+// firstDiff is the offset of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// drain waits for in-flight canary replays to finish.
+func (m *mirror) drain() {
+	if m == nil {
+		return
+	}
+	m.wg.Wait()
+}
+
+func (m *mirror) snapshot() schema.GatewayMirror {
+	if m == nil {
+		return schema.GatewayMirror{}
+	}
+	m.mu.Lock()
+	last := m.lastDif
+	m.mu.Unlock()
+	return schema.GatewayMirror{
+		Mirrored: m.mirrored.Load(),
+		Diffs:    m.diffs.Load(),
+		Errors:   m.errors.Load(),
+		LastDiff: last,
+	}
+}

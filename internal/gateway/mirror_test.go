@@ -1,0 +1,70 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMirrorSampling: the pick schedule is floor(n*fraction), so two
+// identical workloads mirror exactly the same request indices.
+func TestMirrorSampling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // picks are computed, replays suppressed
+
+	for _, tc := range []struct {
+		fraction float64
+		offers   int
+		want     uint64
+	}{
+		{0.3, 10, 3},
+		{0.5, 10, 5},
+		{1.0, 7, 7},
+		{0.01, 99, 0},
+		{0.01, 100, 1},
+	} {
+		m := &mirror{canary: "http://c", fraction: tc.fraction, baseCtx: ctx}
+		for i := 0; i < tc.offers; i++ {
+			m.offer(mirrorJob{})
+		}
+		if m.picked != tc.want {
+			t.Errorf("fraction %v over %d offers picked %d, want %d",
+				tc.fraction, tc.offers, m.picked, tc.want)
+		}
+	}
+}
+
+// TestMirrorNil: mirroring off (no canary or zero fraction) yields a
+// nil mirror whose methods are all safe no-ops.
+func TestMirrorNil(t *testing.T) {
+	for _, cfg := range []Config{
+		{Backends: []string{"http://a"}},
+		{Backends: []string{"http://a"}, Canary: "http://c"},
+	} {
+		m := newMirror(cfg.withDefaults(), nil, context.Background())
+		if m != nil {
+			t.Fatalf("newMirror(%+v) != nil", cfg)
+		}
+		m.offer(mirrorJob{})
+		m.drain()
+		if snap := m.snapshot(); snap.Mirrored != 0 || snap.Diffs != 0 {
+			t.Errorf("nil mirror snapshot = %+v", snap)
+		}
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abc", "abd", 2},
+		{"abc", "abc", 3},
+		{"abc", "ab", 2},
+		{"", "x", 0},
+	}
+	for _, tc := range cases {
+		if got := firstDiff([]byte(tc.a), []byte(tc.b)); got != tc.want {
+			t.Errorf("firstDiff(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

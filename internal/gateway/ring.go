@@ -1,0 +1,85 @@
+// The consistent-hash ring: the deterministic shard function from
+// request key (image digest or compile-group hash) to backend
+// preference order. Membership is the full configured backend set —
+// health never changes the ring, only which entries of the preference
+// order the proxy is willing to use. That is what makes re-sharding
+// on ejection deterministic and minimal: keys owned by a lost backend
+// move to the next backend on the ring, every other key stays put,
+// and re-admission restores exactly the original split.
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit ring and
+// the index of the backend that owns it.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ring is an immutable consistent-hash ring over a fixed backend set.
+type ring struct {
+	backends []string
+	points   []ringPoint
+}
+
+// ringHash maps a label to its ring position: the first 8 bytes of
+// its SHA-256, a stable, well-mixed placement that two gateways with
+// the same config reproduce exactly.
+func ringHash(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring with vnodes points per backend.
+func newRing(backends []string, vnodes int) *ring {
+	r := &ring{
+		backends: append([]string(nil), backends...),
+		points:   make([]ringPoint, 0, len(backends)*vnodes),
+	}
+	for i, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    ringHash(fmt.Sprintf("%s#%d", b, v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.backend < b.backend
+	})
+	return r
+}
+
+// order returns every backend in preference order for key: the owner
+// (first point clockwise of the key's position), then each distinct
+// backend encountered continuing clockwise. The full order — rather
+// than just the owner — is what the failover loop walks when backends
+// are ejected, so "next on the ring" is the same backend every
+// gateway and every retry computes.
+func (r *ring) order(key string) []string {
+	if len(r.backends) == 0 {
+		return nil
+	}
+	h := ringHash("key:" + key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.backends))
+	seen := make(map[int]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(out) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, r.backends[p.backend])
+		}
+	}
+	return out
+}

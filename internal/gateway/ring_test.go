@@ -1,0 +1,125 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+)
+
+var threeBackends = []string{
+	"http://10.0.0.1:8081",
+	"http://10.0.0.2:8081",
+	"http://10.0.0.3:8081",
+}
+
+// testKeys is a deterministic key population for distribution and
+// re-sharding checks.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = shardKey("", strings.Repeat("x", i%7)+string(rune('a'+i%26)), i%2 == 0, "icall", i%3 == 0)
+	}
+	return keys
+}
+
+// TestRingDeterministic: two rings built from the same config agree on
+// the full preference order of every key — the property that lets any
+// gateway (or a restarted one) compute the same placement.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(threeBackends, 64)
+	b := newRing(threeBackends, 64)
+	for _, key := range testKeys(500) {
+		oa, ob := a.order(key), b.order(key)
+		if len(oa) != len(threeBackends) || len(ob) != len(threeBackends) {
+			t.Fatalf("order(%q) lengths %d/%d, want %d", key, len(oa), len(ob), len(threeBackends))
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("order(%q) diverges at %d: %v vs %v", key, i, oa, ob)
+			}
+		}
+		seen := map[string]bool{}
+		for _, backend := range oa {
+			if seen[backend] {
+				t.Fatalf("order(%q) repeats %s: %v", key, backend, oa)
+			}
+			seen[backend] = true
+		}
+	}
+}
+
+// TestRingResharding: ejecting one backend moves exactly the keys it
+// owned — every other key keeps its owner, and the moved keys land on
+// their second ring preference. That is the deterministic minimal
+// re-sharding claim.
+func TestRingResharding(t *testing.T) {
+	r := newRing(threeBackends, 64)
+	lost := threeBackends[1]
+	moved := 0
+	for _, key := range testKeys(1000) {
+		order := r.order(key)
+		// The serving order with `lost` ejected is the same preference
+		// list with that backend skipped.
+		var without []string
+		for _, b := range order {
+			if b != lost {
+				without = append(without, b)
+			}
+		}
+		if order[0] != lost {
+			if without[0] != order[0] {
+				t.Fatalf("key %q moved although its owner %s survived", key, order[0])
+			}
+			continue
+		}
+		moved++
+		if without[0] != order[1] {
+			t.Fatalf("key %q owned by the lost backend moved to %s, want second preference %s",
+				key, without[0], order[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the ejected backend; distribution is broken")
+	}
+}
+
+// TestRingBalance: with 64 vnodes per backend no backend owns a wildly
+// skewed share. The hash is fixed, so this is a deterministic check,
+// not a statistical one.
+func TestRingBalance(t *testing.T) {
+	r := newRing(threeBackends, 64)
+	owners := map[string]int{}
+	keys := testKeys(1000)
+	for _, key := range keys {
+		owners[r.order(key)[0]]++
+	}
+	for _, b := range threeBackends {
+		share := float64(owners[b]) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("backend %s owns %.0f%% of keys: %v", b, share*100, owners)
+		}
+	}
+}
+
+// TestShardKey: digest routing wins, and every compile-group field is
+// load-bearing in the key.
+func TestShardKey(t *testing.T) {
+	if got := shardKey("sha256:abc", "src", false, "", false); got != "sha256:abc" {
+		t.Errorf("digest key = %q", got)
+	}
+	base := shardKey("", "src", false, "icall", false)
+	for name, other := range map[string]string{
+		"source":   shardKey("", "src2", false, "icall", false),
+		"asm":      shardKey("", "src", true, "icall", false),
+		"harden":   shardKey("", "src", false, "full", false),
+		"optimize": shardKey("", "src", false, "icall", true),
+	} {
+		if other == base {
+			t.Errorf("flipping %s does not change the shard key", name)
+		}
+	}
+	// The separator matters: ("ab","c") and ("a","bc")-style collisions
+	// across the source/harden boundary must not fold together.
+	if shardKey("", "a", false, "bc", false) == shardKey("", "ab", false, "c", false) {
+		t.Error("source/harden boundary folds")
+	}
+}

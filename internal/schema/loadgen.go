@@ -1,0 +1,94 @@
+package schema
+
+import "fmt"
+
+// The load-generation report (`roload-loadgen/v1`): what
+// cmd/roload-loadgen writes after replaying synthetic run/batch
+// traffic against a roload-serve backend or a roload-gateway fleet.
+// The report is the measured form of the fleet-robustness claim: a
+// chaos run (kill a backend mid-load) must end with Errors == 0,
+// Retries > 0 recording the failover, and every spec's response
+// digest equal to the single-backend baseline's.
+
+// LoadgenReport is the versioned output of one roload-loadgen run.
+type LoadgenReport struct {
+	Schema string `json:"schema"`
+	// BaseURL is the target root (a backend or a gateway).
+	BaseURL string `json:"base_url"`
+	// Mode is "closed" (fixed worker count, back-to-back requests) or
+	// "open" (fixed arrival rate, unbounded outstanding requests).
+	Mode string `json:"mode"`
+	// Concurrency is the closed-loop worker count; RateRPS the
+	// open-loop arrival rate.
+	Concurrency int     `json:"concurrency,omitempty"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+	// Batch > 0 means each logical request was a POST /v1/batch of
+	// that many runs instead of a single POST /v1/run.
+	Batch int `json:"batch,omitempty"`
+	// Sent counts logical requests issued; every one concludes as OK
+	// (2xx) or Errors (conclusive non-2xx, exhausted retries, or a
+	// transport failure), so Sent == OK + Errors.
+	Sent   uint64 `json:"sent"`
+	OK     uint64 `json:"ok"`
+	Errors uint64 `json:"errors"`
+	// Retries counts attempts beyond each request's first (the measured
+	// trace of failovers and backend loss); Hedged counts hedge legs;
+	// Replayed counts responses served from an idempotency cache.
+	Retries  uint64 `json:"retries"`
+	Hedged   uint64 `json:"hedged,omitempty"`
+	Replayed uint64 `json:"replayed,omitempty"`
+	// Shed429 and Shed503 count conclusive shed answers (429 overload,
+	// 503 busy/draining) that survived the retry budget; transient
+	// sheds that a retry recovered land in Retries instead.
+	Shed429 uint64 `json:"shed_429"`
+	Shed503 uint64 `json:"shed_503"`
+	// StatusCounts tallies every conclusive HTTP status seen.
+	StatusCounts map[string]uint64 `json:"status_counts,omitempty"`
+	// Mismatches counts responses whose body differed from the first
+	// response observed for the same spec — the self-consistency half
+	// of the byte-identity claim (cross-target identity is checked by
+	// comparing Specs digests between two reports).
+	Mismatches uint64 `json:"mismatches"`
+	// ElapsedSec is the measured wall clock; ThroughputRPS is
+	// OK/ElapsedSec.
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// RunLatencyUS distributes end-to-end logical-request latency
+	// (retries and backoff included); AttemptLatencyUS per-attempt
+	// latency.
+	RunLatencyUS     Histogram `json:"run_latency_us"`
+	AttemptLatencyUS Histogram `json:"attempt_latency_us"`
+	// Specs records, per distinct request spec, how many requests used
+	// it and the SHA-256 of its canonical (first-observed) success
+	// body. Two reports over the same spec set are byte-identical
+	// deployments iff their digests match pairwise.
+	Specs []LoadgenSpec `json:"specs"`
+}
+
+// LoadgenSpec is one distinct request spec's identity line.
+type LoadgenSpec struct {
+	Name     string `json:"name"`
+	Requests uint64 `json:"requests"`
+	// Digest is the hex SHA-256 of the spec's canonical success body
+	// ("" when the spec never saw a success).
+	Digest string `json:"digest,omitempty"`
+}
+
+// Validate checks the report's structural invariants.
+func (r *LoadgenReport) Validate() error {
+	if r.Schema != LoadgenV1 {
+		return fmt.Errorf("loadgen report schema %q, want %q", r.Schema, LoadgenV1)
+	}
+	if r.Mode != "open" && r.Mode != "closed" {
+		return fmt.Errorf("loadgen report mode %q, want open or closed", r.Mode)
+	}
+	if r.Sent != r.OK+r.Errors {
+		return fmt.Errorf("loadgen report sent %d != ok %d + errors %d", r.Sent, r.OK, r.Errors)
+	}
+	for i, sp := range r.Specs {
+		if sp.Name == "" {
+			return fmt.Errorf("loadgen report spec %d has no name", i)
+		}
+	}
+	return nil
+}

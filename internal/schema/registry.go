@@ -141,4 +141,9 @@ func init() {
 		Seed: `{"schema":"roload-image/v1","entry":4096,"sections":[{"name":".text","va":4096,"size":4096,"perm":5}]}`})
 	Register(Kind{ID: BatchV1, New: func() any { return new(BatchReport) },
 		Seed: `{"schema":"roload-batch/v1","batch_id":"b","image_digest":"d","compiles":1,"runs":[{"index":0,"run_id":"b.1","status":200,"body":"{}"}]}`})
+	Register(Kind{ID: LoadgenV1, New: func() any { return new(LoadgenReport) },
+		Seed: `{"schema":"roload-loadgen/v1","base_url":"http://h","mode":"closed","concurrency":1,` +
+			`"sent":2,"ok":1,"errors":1,"retries":1,"shed_429":0,"shed_503":0,"mismatches":0,` +
+			`"elapsed_sec":0.1,"throughput_rps":10,"run_latency_us":{"count":1,"sum":5},` +
+			`"attempt_latency_us":{"count":2,"sum":9},"specs":[{"name":"s0","requests":2,"digest":"ab12"}]}`})
 }

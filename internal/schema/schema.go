@@ -44,6 +44,7 @@ const (
 	TraceV1            = "roload-trace/v1"
 	ImageV1            = "roload-image/v1"
 	BatchV1            = "roload-batch/v1"
+	LoadgenV1          = "roload-loadgen/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

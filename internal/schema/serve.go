@@ -256,12 +256,28 @@ type ImageResponse struct {
 	Reused bool `json:"reused"`
 }
 
-// HealthResponse is the payload of GET /healthz.
+// HealthResponse is the payload of GET /healthz. The status code
+// keeps the bare liveness contract (200 ok, 503 degraded/draining);
+// the body adds the load and attachment detail a fleet front tier
+// needs to tell "alive but loaded" from "alive and idle" — the
+// roload-gateway degrades a backend on QueueDepth vs QueueCap, not
+// just on the status code.
 type HealthResponse struct {
 	Status   string `json:"status"` // "ok", "degraded" or "draining"
 	Workers  int    `json:"workers"`
 	InFlight int    `json:"in_flight"`
 	Queued   int    `json:"queued"`
+	// QueueDepth repeats Queued under its gauge name; QueueCap is the
+	// configured bound — depth at cap means the next request sheds.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Store is the artifact-store attachment state: "none" (started
+	// without -store), "attached", or "error: <detail>" when the store
+	// has failed to persist an append.
+	Store string `json:"store"`
+	// ChaosArmed reports an armed chaos configuration (latency, panic
+	// or error injection) on a -chaos server.
+	ChaosArmed bool `json:"chaos_armed,omitempty"`
 	// RetryAfterSec mirrors the Retry-After header of a degraded
 	// response: how long clients should back off before retrying.
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`

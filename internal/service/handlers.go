@@ -1027,11 +1027,22 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued := int(s.queued.Load())
 	resp := schema.HealthResponse{
-		Status:   "ok",
-		Workers:  s.cfg.Workers,
-		InFlight: int(s.inFlight.Load()),
-		Queued:   int(s.queued.Load()),
+		Status:     "ok",
+		Workers:    s.cfg.Workers,
+		InFlight:   int(s.inFlight.Load()),
+		Queued:     queued,
+		QueueDepth: queued,
+		QueueCap:   s.cfg.Workers + s.cfg.Queue,
+		Store:      "none",
+		ChaosArmed: s.cfg.Chaos && s.chaos.armed(),
+	}
+	if s.store != nil {
+		resp.Store = "attached"
+		if err := s.store.Err(); err != nil {
+			resp.Store = "error: " + err.Error()
+		}
 	}
 	status := http.StatusOK
 	if bad, retry := s.degraded(); bad {

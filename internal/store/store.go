@@ -93,6 +93,12 @@ type Store struct {
 
 	puts atomic.Uint64
 	gets atomic.Uint64
+
+	// lastErr retains the most recent append/sync failure (an *error),
+	// the store's health signal: a store that cannot persist is
+	// attached-but-broken, which /healthz surfaces so a fleet front
+	// tier can route around the backend.
+	lastErr atomic.Value
 }
 
 // key builds the index key of a (kind, digest) pair.
@@ -224,13 +230,27 @@ func (s *Store) append(rec record) error {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[headerSize:], payload)
 	if _, err := s.f.WriteAt(frame, s.size); err != nil {
-		return fmt.Errorf("store: appending record: %w", err)
+		err = fmt.Errorf("store: appending record: %w", err)
+		s.lastErr.Store(&err)
+		return err
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: syncing log: %w", err)
+		err = fmt.Errorf("store: syncing log: %w", err)
+		s.lastErr.Store(&err)
+		return err
 	}
 	s.apply(rec, s.size+headerSize, len(payload))
 	s.size += int64(len(frame))
+	return nil
+}
+
+// Err reports the most recent append/sync failure, or nil for a
+// healthy store. It never resets: a store that has failed to persist
+// once cannot promise durability for what it acknowledged since.
+func (s *Store) Err() error {
+	if e, ok := s.lastErr.Load().(*error); ok {
+		return *e
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"roload/internal/schema"
 	"roload/internal/service"
@@ -21,7 +23,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"roload-cc", "roload-run", "roload-attack", "roload-serve"} {
+	for _, tool := range []string{"roload-cc", "roload-run", "roload-attack", "roload-serve", "roload-gateway", "roload-loadgen"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Env = os.Environ()
@@ -709,6 +711,7 @@ func TestFuzzSmoke(t *testing.T) {
 		{"FuzzTraceDecode", "roload/internal/schema"},
 		{"FuzzBlockTranslate", "roload/internal/kernel"},
 		{"FuzzStoreDecode", "roload/internal/store"},
+		{"FuzzGatewayConfigDecode", "roload/internal/gateway"},
 	}
 	for _, tg := range targets {
 		t.Run(tg.name, func(t *testing.T) {
@@ -1229,6 +1232,220 @@ func TestBatchSchemaValidates(t *testing.T) {
 			t.Errorf("run %d body schema = %q", i, renv.Schema)
 		}
 	}
+}
+
+// TestGatewayRace re-runs the gateway tests (health state machine,
+// failover proxy, idempotency pin, SSE relay, goroutine-leak checks)
+// under the race detector, like TestServiceRace does for the service.
+func TestGatewayRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns toolchain")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "roload/internal/gateway")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		s := string(out)
+		if strings.Contains(s, "-race is only supported on") ||
+			strings.Contains(s, "-race requires cgo") ||
+			strings.Contains(s, "cgo is disabled") ||
+			strings.Contains(s, "C compiler") {
+			t.Skipf("race detector unavailable here:\n%s", s)
+		}
+		t.Fatalf("go test -race on the gateway: %v\n%s", err, s)
+	}
+}
+
+// TestCLIGatewayChaos is the fleet-robustness claim end to end with
+// the real binaries: a roload-gateway fronting two roload-serve
+// backends takes roload-loadgen traffic while one backend is killed
+// with SIGKILL mid-load. The load generator must finish with zero
+// failed requests and zero byte mismatches, its report must record the
+// failover (retries > 0), every spec digest must equal the
+// single-backend baseline's — the client could not tell a backend died
+// — and the report must decode through the versioned-schema registry.
+func TestCLIGatewayChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	startTool := func(name string, args ...string) (*exec.Cmd, *bytes.Buffer) {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var logs bytes.Buffer
+		cmd.Stdout = &logs
+		cmd.Stderr = &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		return cmd, &logs
+	}
+	waitReady := func(root string, logs *bytes.Buffer) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(root + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never became healthy:\n%s", root, logs.String())
+	}
+	readReport := func(path string) *schema.LoadgenReport {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("no loadgen report: %v", err)
+		}
+		id, doc, err := schema.DecodeAny(raw)
+		if err != nil {
+			t.Fatalf("report does not decode through the registry: %v", err)
+		}
+		rep, ok := doc.(*schema.LoadgenReport)
+		if !ok || id != schema.LoadgenV1 {
+			t.Fatalf("registry decoded %q %T, want %q *schema.LoadgenReport", id, doc, schema.LoadgenV1)
+		}
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("report invalid: %v", err)
+		}
+		return rep
+	}
+
+	addr1, addr2, addrGW := freePort(), freePort(), freePort()
+	u1, u2, gw := "http://"+addr1, "http://"+addr2, "http://"+addrGW
+
+	s1, logs1 := startTool("roload-serve", "-addr", addr1, "-workers", "2")
+	s2, logs2 := startTool("roload-serve", "-addr", addr2, "-workers", "2")
+	serves := map[string]*exec.Cmd{u1: s1, u2: s2}
+	waitReady(u1, logs1)
+	waitReady(u2, logs2)
+	_, gwLogs := startTool("roload-gateway",
+		"-addr", addrGW, "-backends", u1+","+u2, "-probe-interval", "100ms")
+	waitReady(gw, gwLogs)
+
+	loadgen := filepath.Join(bin, "roload-loadgen")
+
+	// Single-backend baseline: the reference spec digests.
+	basePath := filepath.Join(dir, "baseline.json")
+	if out, err := exec.Command(loadgen, "-url", u1, "-requests", "30",
+		"-concurrency", "4", "-harden", "icall", "-out", basePath).CombinedOutput(); err != nil {
+		t.Fatalf("baseline loadgen: %v\n%s", err, out)
+	}
+	baseline := readReport(basePath)
+	if baseline.Errors != 0 || baseline.OK != baseline.Sent {
+		t.Fatalf("baseline not clean: %+v", baseline)
+	}
+	baseDigest := map[string]string{}
+	for _, s := range baseline.Specs {
+		if s.Digest == "" {
+			t.Fatalf("baseline spec %s has no digest", s.Name)
+		}
+		baseDigest[s.Name] = s.Digest
+	}
+
+	// Warm-up through the gateway, then pick the victim: a backend that
+	// demonstrably owns live traffic, so killing it must force failover.
+	warmPath := filepath.Join(dir, "warmup.json")
+	if out, err := exec.Command(loadgen, "-url", gw, "-requests", "12",
+		"-concurrency", "3", "-harden", "icall", "-out", warmPath).CombinedOutput(); err != nil {
+		t.Fatalf("warmup loadgen: %v\n%s", err, out)
+	}
+	var env schema.Envelope
+	var gwMetrics schema.GatewayMetrics
+	resp, err := http.Get(gw + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := env.Open(schema.ServeV1, &gwMetrics); err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for _, b := range []string{u1, u2} {
+		if gwMetrics.Backends[b].Proxied > 0 &&
+			(victim == "" || gwMetrics.Backends[b].Proxied > gwMetrics.Backends[victim].Proxied) {
+			victim = b
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no backend proxied warmup traffic: %+v", gwMetrics.Backends)
+	}
+
+	// Chaos run: open-loop load for 3s, SIGKILL the victim 1s in.
+	chaosPath := filepath.Join(dir, "chaos.json")
+	chaos := exec.Command(loadgen, "-url", gw, "-mode", "open", "-rate", "100",
+		"-duration", "3s", "-harden", "icall", "-out", chaosPath)
+	var chaosLogs bytes.Buffer
+	chaos.Stdout = &chaosLogs
+	chaos.Stderr = &chaosLogs
+	if err := chaos.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second)
+	if err := serves[victim].Process.Kill(); err != nil {
+		t.Fatalf("killing %s: %v", victim, err)
+	}
+	if err := chaos.Wait(); err != nil {
+		t.Fatalf("loadgen saw client-visible failures: %v\n%s\ngateway:\n%s",
+			err, chaosLogs.String(), gwLogs.String())
+	}
+
+	report := readReport(chaosPath)
+	if report.Sent == 0 || report.Errors != 0 || report.Mismatches != 0 || report.OK != report.Sent {
+		t.Fatalf("chaos report not clean: sent %d ok %d errors %d mismatches %d",
+			report.Sent, report.OK, report.Errors, report.Mismatches)
+	}
+	if report.Retries == 0 {
+		t.Error("chaos report records no retries: the failover left no trace")
+	}
+	for _, s := range report.Specs {
+		if s.Digest != baseDigest[s.Name] {
+			t.Errorf("spec %s digest %s != baseline %s: failover changed observable bytes",
+				s.Name, s.Digest, baseDigest[s.Name])
+		}
+	}
+
+	// The gateway survived the loss: still healthy, failover recorded,
+	// the victim ejected.
+	resp, err = http.Get(gw + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = schema.Envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := env.Open(schema.ServeV1, &gwMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if gwMetrics.Failovers == 0 {
+		t.Error("gateway metrics record no failovers")
+	}
+	if s := gwMetrics.Backends[victim].State; s != "ejected" && s != "half-open" {
+		t.Errorf("victim state = %q, want ejected (or half-open re-probing)", s)
+	}
+	waitReady(gw, gwLogs)
 }
 
 // TestHostBenchHistoryValidates checks the committed BENCH_history.json
