@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -504,6 +505,130 @@ func TestGatewaySSEFailover(t *testing.T) {
 	g.Close()
 	tr.CloseIdleConnections()
 	checkGoroutines(t, before)
+}
+
+// TestGatewayClientCancelNotPinnedNotFailure: a client that hangs up
+// while the gateway is proxying must not (a) pin the never-written
+// default empty 200 under its Idempotency-Key — the retry must
+// re-execute and get the real answer — or (b) count as backend
+// transport failure evidence and eject the healthy backend its own
+// cancellation interrupted.
+func TestGatewayClientCancelNotPinnedNotFailure(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	started := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			// Drain the body so the server's background read can detect
+			// the connection close and cancel r.Context().
+			io.Copy(io.Discard, r.Body) //nolint:errcheck
+			close(started)
+			<-r.Context().Done() // hold the first exchange until its client vanishes
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	}))
+	t.Cleanup(backend.Close)
+	g, ts, _ := newTestGateway(t, Config{
+		Backends:           []string{backend.URL},
+		AttemptsPerBackend: 1,
+		EjectAfter:         1,
+	})
+
+	body := mustRunBody(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "canceled-mid-proxy")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req) //nolint:bodyclose // errors out on cancel
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request unexpectedly concluded")
+	}
+
+	// The retry re-executes (no empty-200 replay) and succeeds.
+	status, hdr, got := postRaw(t, ts.URL+"/v1/run", body,
+		map[string]string{"Idempotency-Key": "canceled-mid-proxy"})
+	if status != http.StatusOK {
+		t.Fatalf("retry status = %d: %s", status, got)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Errorf("retry body = %q, want the backend's real answer", got)
+	}
+	if hdr.Get("Idempotency-Replayed") == "true" {
+		t.Error("retry replayed the canceled attempt instead of re-executing")
+	}
+	mu.Lock()
+	n := calls
+	mu.Unlock()
+	if n != 2 {
+		t.Errorf("backend executions = %d, want 2 (canceled + retry)", n)
+	}
+
+	// The cancellation was not booked as backend evidence: with
+	// EjectAfter 1, any misclassification would have ejected it.
+	if got := g.prober.stateOf(backend.URL); got != stateHealthy {
+		t.Errorf("client cancel ejected a healthy backend: state = %s", got)
+	}
+	h := g.prober.backends[backend.URL]
+	h.mu.Lock()
+	failures, streak := h.failures, h.consecFails
+	h.mu.Unlock()
+	if failures != 0 || streak != 0 {
+		t.Errorf("client cancel recorded as backend failure: failures=%d consecFails=%d", failures, streak)
+	}
+}
+
+// TestGatewayInconclusiveNotFound: when some backends answer 404 but
+// another is unreachable, the 404 is not conclusive — the resource may
+// live on the backend that is down — so the gateway answers a
+// retryable 503 instead of a (pinnable) verbatim 404.
+func TestGatewayInconclusiveNotFound(t *testing.T) {
+	b1 := newBackend(t, service.Config{Workers: 1, StoreDir: t.TempDir()})
+	deadSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := deadSrv.URL
+	deadSrv.Close()
+	_, ts, _ := newTestGateway(t, Config{
+		Backends:           []string{b1.URL, dead},
+		AttemptsPerBackend: 1,
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/images/sha256:0000000000000000000000000000000000000000000000000000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("inconclusive 404 served as %d, want 503", resp.StatusCode)
+	}
+	var env schema.Envelope
+	var apiErr schema.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Open(schema.ServeV1, &apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Kind != "no_backend" {
+		t.Errorf("error kind = %q, want no_backend", apiErr.Kind)
+	}
 }
 
 // TestGatewayNoBackend: with every backend ejected the gateway answers

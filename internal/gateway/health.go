@@ -196,6 +196,14 @@ func (p *prober) noteProbe(backend string, verdict probeVerdict, body *schema.He
 	}
 	switch verdict {
 	case probeOK:
+		if h.state == stateEjected {
+			// Ejected concurrently — a passive proxy transport failure
+			// can land between this probe's state check and now. Ignore
+			// the success: re-admission only goes through half-open, and
+			// the streak that ejected the backend stays intact for the
+			// cooldown's consecutive-failures bookkeeping.
+			return
+		}
 		h.consecFails = 0
 		h.lastErr = ""
 		switch h.state {

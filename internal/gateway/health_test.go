@@ -254,6 +254,49 @@ func TestProxyFeed(t *testing.T) {
 	p.noteProxySuccess("http://nowhere")
 }
 
+// TestProbeSuccessOnEjectedIgnored: a probe that started while the
+// backend was alive can deliver its success after passive proxy
+// failures ejected it. The stray success must not weaken the ejection:
+// state stays ejected, the failure streak survives, and re-admission
+// still goes through the cooldown and half-open.
+func TestProbeSuccessOnEjectedIgnored(t *testing.T) {
+	f := newFakeHealthz(t)
+	p, clock := newTestProber(t, f)
+	b := f.ts.URL
+	errBoom := errors.New("connection refused")
+
+	for i := 0; i < 3; i++ {
+		p.noteProxyFailure(b, errBoom, true)
+	}
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("state = %s, want ejected", got)
+	}
+
+	p.noteProbe(b, probeOK, nil, "")
+	if got := p.stateOf(b); got != stateEjected {
+		t.Fatalf("stray probe success revived ejected backend: %s", got)
+	}
+	h := p.backends[b]
+	h.mu.Lock()
+	fails := h.consecFails
+	h.mu.Unlock()
+	if fails == 0 {
+		t.Error("stray probe success reset the ejection's failure streak")
+	}
+
+	// The normal path is untouched: past the cooldown the backend goes
+	// half-open and clean probes re-admit it.
+	clock.advance(6 * time.Second)
+	p.probe(context.Background(), b)
+	if got := p.stateOf(b); got != stateHalfOpen {
+		t.Fatalf("after cooldown: state = %s, want half-open", got)
+	}
+	p.probe(context.Background(), b)
+	if got := p.stateOf(b); got != stateHealthy {
+		t.Fatalf("after clean half-open probes: state = %s, want healthy", got)
+	}
+}
+
 // TestProberSplit: the serving order is healthy-first then degraded,
 // ring order preserved within each class; ejected and half-open
 // backends are skipped.

@@ -64,18 +64,24 @@ func (c *pinCache) metrics() schema.CacheMetrics {
 }
 
 // pinWriter records the response while streaming it to the client.
+// wrote distinguishes a real answer from a handler that bailed without
+// writing (client gone mid-proxy): only a written response may pin —
+// the zero-value 200/empty-body default is not a conclusive answer.
 type pinWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 	body   bytes.Buffer
 }
 
 func (w *pinWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *pinWriter) Write(b []byte) (int, error) {
+	w.wrote = true
 	w.body.Write(b)
 	return w.ResponseWriter.Write(b)
 }
@@ -138,8 +144,11 @@ func (c *pinCache) lead(e *pinEntry, key string, h http.HandlerFunc, w http.Resp
 	defer func() {
 		c.mu.Lock()
 		// The entry may already have been evicted by cap pressure while
-		// the leader ran; only publish if the key still maps to e.
-		if c.entries[key] == e && finished && !retryableStatus(pw.status) {
+		// the leader ran; only publish if the key still maps to e. A
+		// handler that wrote nothing (the proxy saw the client vanish)
+		// concluded nothing — pinning its default empty 200 would replay
+		// a wrong success to every future retry.
+		if c.entries[key] == e && finished && pw.wrote && !retryableStatus(pw.status) {
 			e.stored = true
 			e.status = pw.status
 			e.body = append([]byte(nil), pw.body.Bytes()...)

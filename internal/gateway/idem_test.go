@@ -112,6 +112,50 @@ func TestPinCacheRetryableNotPinned(t *testing.T) {
 	}
 }
 
+// TestPinCacheUnwrittenNotPinned: a leader whose handler wrote nothing
+// (the proxy saw the client vanish mid-exchange) concluded nothing —
+// the default empty 200 must not pin, and the retry must re-execute
+// and get the real answer, not a replayed empty body.
+func TestPinCacheUnwrittenNotPinned(t *testing.T) {
+	var mu sync.Mutex
+	execs := 0
+	c := newPinCache(0)
+	h := c.wrap(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		execs++
+		n := execs
+		mu.Unlock()
+		if n == 1 {
+			return // client gone: the proxy answered nothing
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"execution":` + strconv.Itoa(n) + `}`)) //nolint:errcheck
+	})
+
+	first := do(t, h, "gone")
+	if first.Body.Len() != 0 {
+		t.Fatalf("first (unwritten) response has body %q", first.Body.String())
+	}
+	second := do(t, h, "gone")
+	if execs != 2 {
+		t.Fatalf("unwritten response was pinned: retry did not re-execute (execs = %d)", execs)
+	}
+	if second.Header().Get("Idempotency-Replayed") == "true" {
+		t.Error("re-execution marked as replay")
+	}
+	if second.Body.String() != `{"execution":2}` {
+		t.Errorf("retry body = %q, want the real answer", second.Body.String())
+	}
+	// The written 200 pins as usual.
+	third := do(t, h, "gone")
+	if execs != 2 {
+		t.Errorf("written 200 did not pin: execs = %d", execs)
+	}
+	if third.Header().Get("Idempotency-Replayed") != "true" || third.Body.String() != second.Body.String() {
+		t.Errorf("replay = %q (replayed=%q)", third.Body.String(), third.Header().Get("Idempotency-Replayed"))
+	}
+}
+
 // TestPinCacheEviction: FIFO cap pressure evicts oldest keys; an
 // evicted key re-executes instead of failing.
 func TestPinCacheEviction(t *testing.T) {

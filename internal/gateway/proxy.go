@@ -135,6 +135,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 	}
 
 	var lastNotFound *client.Reply
+	var notFoundBackend string
 	var lastErr error
 	tried := 0
 	for _, backend := range order {
@@ -150,6 +151,13 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 		}
 		reply, err := g.clients[backend].Exchange(r.Context(), chain, op.runID, op.method, op.path, op.body)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client hung up mid-exchange: the error reflects our
+				// own canceled context, not backend health — it must not
+				// advance the ejection streak, and there is nobody left
+				// to fail over for.
+				return
+			}
 			g.noteProxyError(backend, err)
 			lastErr = err
 			continue
@@ -160,6 +168,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 		}
 		if op.retryNotFound && reply.Status == http.StatusNotFound {
 			lastNotFound = reply
+			notFoundBackend = backend
 			continue
 		}
 		if op.onSuccess != nil {
@@ -169,9 +178,20 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 		return
 	}
 	if lastNotFound != nil {
-		// Every backend answered 404: the resource genuinely is not in
-		// the fleet. Serve the last backend's answer verbatim.
-		g.writeReply(w, order[len(order)-1], tried, lastNotFound)
+		if lastErr == nil {
+			// Every backend answered 404: the resource genuinely is not
+			// in the fleet. Serve the answering backend's reply verbatim.
+			g.writeReply(w, notFoundBackend, tried, lastNotFound)
+			return
+		}
+		// Some backends answered 404 but at least one failed outright:
+		// the resource may live on the unreachable backend, so the 404
+		// is not conclusive (and, being retryable, a 503 is never pinned
+		// by idem.go). Ask the client to retry once the fleet recovers.
+		g.cfg.Logger.Error("gateway: inconclusive 404",
+			"endpoint", op.endpoint, "tried", tried, "err", lastErr)
+		gwError(w, http.StatusServiceUnavailable, "no_backend",
+			fmt.Sprintf("not found on the reachable backends, but a backend failed (%v); retry", lastErr))
 		return
 	}
 	g.cfg.Logger.Error("gateway: every backend failed",
