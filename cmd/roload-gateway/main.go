@@ -62,6 +62,7 @@ func main() {
 	attempts := flag.Int("attempts", 0, "attempts per backend before failing over (0 = 2)")
 	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "wall-clock cap per backend attempt")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	replicas := flag.Int("replicas", 0, "artifact copies kept across the fleet: ring owner + R-1 successors (0 = 2; 1 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "cap on the graceful drain")
 	flag.Parse()
 
@@ -95,6 +96,7 @@ func main() {
 		cfg.AttemptsPerBackend = *attempts
 		cfg.AttemptTimeoutMS = attemptTimeout.Milliseconds()
 		cfg.MaxBodyBytes = *maxBody
+		cfg.Replicas = *replicas
 	}
 	cfg.Logger = logger
 

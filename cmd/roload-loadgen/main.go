@@ -94,8 +94,18 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 4, "client retry budget per logical request")
 	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "wall-clock cap per attempt")
 	hedge := flag.Duration("hedge", 0, "hedge delay (0 = hedging off)")
+	soak := flag.Duration("soak", 0, "soak mode: sustain load for this long (overrides -duration, lifts -requests)")
+	sloP50 := flag.Duration("slo-p50", 0, "fail (exit 1) when median logical-request latency exceeds this (0 = ungated)")
+	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 1) when p99 logical-request latency exceeds this (0 = ungated)")
 	out := flag.String("out", "-", "report destination (- = stdout)")
 	flag.Parse()
+
+	if *soak > 0 {
+		// A soak is a duration-bounded sustained run: the wall clock,
+		// not a request budget, decides when it ends.
+		*duration = *soak
+		*requests = 0
+	}
 
 	if *url == "" {
 		fmt.Fprintln(os.Stderr, "roload-loadgen: -url is required")
@@ -142,6 +152,9 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := acc.report(*url, *mode, *concurrency, *rate, elapsed)
+	if *sloP50 > 0 || *sloP99 > 0 {
+		report.SLO = gateSLO(report.RunLatencyUS, *sloP50, *sloP99)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "roload-loadgen: encoding report: %v\n", err)
@@ -157,6 +170,29 @@ func main() {
 	if report.Errors > 0 || report.Mismatches > 0 {
 		os.Exit(1)
 	}
+	if report.SLO != nil && len(report.SLO.Breached) > 0 {
+		fmt.Fprintf(os.Stderr, "roload-loadgen: SLO breached: %v (p50=%dus p99=%dus)\n",
+			report.SLO.Breached, report.SLO.P50US, report.SLO.P99US)
+		os.Exit(1)
+	}
+}
+
+// gateSLO measures the run-latency quantiles against the configured
+// targets and records which ones missed. A target of 0 is ungated.
+func gateSLO(h schema.Histogram, p50, p99 time.Duration) *schema.LoadgenSLO {
+	slo := &schema.LoadgenSLO{
+		P50US:       h.Quantile(0.5),
+		P99US:       h.Quantile(0.99),
+		TargetP50US: uint64(p50.Microseconds()),
+		TargetP99US: uint64(p99.Microseconds()),
+	}
+	if slo.TargetP50US > 0 && slo.P50US > slo.TargetP50US {
+		slo.Breached = append(slo.Breached, "p50")
+	}
+	if slo.TargetP99US > 0 && slo.P99US > slo.TargetP99US {
+		slo.Breached = append(slo.Breached, "p99")
+	}
+	return slo
 }
 
 // runClosed drives workers back-to-back requests until the request
@@ -176,7 +212,10 @@ func runClosed(ctx context.Context, acc *accounting, workers int, total uint64) 
 				if total > 0 && n > total {
 					return
 				}
-				acc.issue(ctx, n-1)
+				// Like the open loop: the deadline gates admission, not
+				// requests already in flight — a soak ending mid-request
+				// must not count that request as an error.
+				acc.issue(context.Background(), n-1)
 			}
 		}()
 	}

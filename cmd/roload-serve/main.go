@@ -66,24 +66,32 @@ func main() {
 	root := flag.String("root", ".", "repository root (table1 experiment)")
 	storeDir := flag.String("store", "", "artifact store directory: persist images, checkpoints and reports across restarts")
 	maxBatch := flag.Int("max-batch", 0, "cap on runs per POST /v1/batch (0 = 64)")
+	gcInterval := flag.Duration("store-gc-interval", 0, "store GC policy period: unpin by age/size then compact (0 = off)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "unpin artifacts whose latest pin is older than this (0 = no age policy)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "unpin oldest-first until the compacted store log fits (0 = no size policy)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "cap on one artifact push/fetch against a fleet peer (0 = 2s)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv, err := service.NewServer(service.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		MaxBodyBytes:   *maxBody,
-		MaxSteps:       *maxSteps,
-		MaxMemBytes:    *maxMem,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		Grace:          *grace,
-		Chaos:          *chaos,
-		DegradedWindow: *degradedWindow,
-		Root:           *root,
-		StoreDir:       *storeDir,
-		MaxBatchRuns:   *maxBatch,
-		Logger:         logger,
+		Workers:         *workers,
+		Queue:           *queue,
+		MaxBodyBytes:    *maxBody,
+		MaxSteps:        *maxSteps,
+		MaxMemBytes:     *maxMem,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		Grace:           *grace,
+		Chaos:           *chaos,
+		DegradedWindow:  *degradedWindow,
+		Root:            *root,
+		StoreDir:        *storeDir,
+		MaxBatchRuns:    *maxBatch,
+		StoreGCInterval: *gcInterval,
+		StoreMaxAge:     *storeMaxAge,
+		StoreMaxBytes:   *storeMaxBytes,
+		PeerTimeout:     *peerTimeout,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "roload-serve: %v\n", err)

@@ -101,6 +101,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// extraHeaderKey carries caller-supplied headers through the context
+// into every attempt of an Exchange — the seam a front tier uses for
+// per-backend routing hints (e.g. Roload-Store-Peers) that differ
+// between failover targets of one logical request.
+type extraHeaderKey struct{}
+
+// WithHeaders returns a context under which every request attempt
+// also sends the given headers (overriding same-named defaults).
+func WithHeaders(ctx context.Context, h http.Header) context.Context {
+	return context.WithValue(ctx, extraHeaderKey{}, h)
+}
+
 // APIError is a conclusive non-2xx answer from the server, decoded
 // from the roload-serve/v1 error payload.
 type APIError struct {
@@ -455,6 +467,14 @@ func (c *Client) do(ctx context.Context, key, runID, parentSpan, method, path st
 	req.Header.Set("Idempotency-Key", key)
 	req.Header.Set("Roload-Trace", runID)
 	req.Header.Set("Roload-Trace-Parent", parentSpan)
+	if extra, ok := ctx.Value(extraHeaderKey{}).(http.Header); ok {
+		for k, vs := range extra {
+			req.Header.Del(k)
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err

@@ -141,3 +141,46 @@ func (c *Client) GetImage(ctx context.Context, digest string) (schema.ImageDoc, 
 	}
 	return *img, nil
 }
+
+// GetArtifact fetches one stored artifact by kind family name
+// ("roload-checkpoint") and digest from the generalized store surface
+// (GET /v1/store/{kind}/{digest}). The bytes are the bare artifact,
+// verified against the digest before they are returned.
+func (c *Client) GetArtifact(ctx context.Context, kindName, digest string) ([]byte, error) {
+	k, ok := schema.KindByName(kindName)
+	if !ok {
+		return nil, fmt.Errorf("client: unknown artifact kind %q", kindName)
+	}
+	reply, _, _, _, err := c.execute(ctx, c.nextKey(), telemetry.NewRunID(),
+		http.MethodGet, "/v1/store/"+kindName+"/"+digest, nil)
+	if err != nil {
+		return nil, err
+	}
+	if reply.status != http.StatusOK {
+		return nil, reply.apiError()
+	}
+	if err := schema.VerifyArtifact(k.ID, digest, reply.raw); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return reply.raw, nil
+}
+
+// PutArtifact stores one artifact body under kind family name and
+// digest (PUT /v1/store/{kind}/{digest}); the server re-verifies the
+// digest before accepting. added reports whether the put wrote
+// anything (false: the store already held the key).
+func (c *Client) PutArtifact(ctx context.Context, kindName, digest string, body []byte) (added bool, err error) {
+	reply, _, _, _, err := c.execute(ctx, c.nextKey(), telemetry.NewRunID(),
+		http.MethodPut, "/v1/store/"+kindName+"/"+digest, body)
+	if err != nil {
+		return false, err
+	}
+	if reply.status != http.StatusOK && reply.status != http.StatusCreated {
+		return false, reply.apiError()
+	}
+	var resp schema.StorePutResponse
+	if err := reply.env.Open(schema.ServeV1, &resp); err != nil {
+		return false, fmt.Errorf("client: decoding store put response: %w", err)
+	}
+	return resp.Added, nil
+}

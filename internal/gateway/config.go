@@ -72,6 +72,12 @@ type Config struct {
 	AttemptTimeoutMS int64 `json:"attempt_timeout_ms,omitempty"`
 	// MaxBodyBytes caps proxied request bodies (0 = 1 MiB).
 	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+	// Replicas is the artifact copy count R (0 = 2, clamped to the
+	// backend count): every artifact put is write-through-replicated to
+	// the digest's ring owner plus R−1 successors, and backends push
+	// the artifacts they mint (checkpoints, run results) to the same
+	// set. 1 disables replication (single copy).
+	Replicas int `json:"replicas,omitempty"`
 
 	// Logger receives structured gateway logs (nil = slog default).
 	Logger *slog.Logger `json:"-"`
@@ -112,6 +118,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if n := len(c.Backends); n > 0 && c.Replicas > n {
+		c.Replicas = n
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -168,6 +180,7 @@ func (c Config) Validate() error {
 		{"attempts_per_backend", int64(c.AttemptsPerBackend)},
 		{"attempt_timeout_ms", c.AttemptTimeoutMS},
 		{"max_body_bytes", c.MaxBodyBytes},
+		{"replicas", int64(c.Replicas)},
 	} {
 		if n.v < 0 {
 			return fmt.Errorf("gateway: %s must be non-negative", n.name)

@@ -56,6 +56,18 @@ type Gateway struct {
 	failovers atomic.Uint64
 	noBackend atomic.Uint64
 	proxyUS   telemetry.Histogram
+
+	// The replication machinery (replicator.go): a bounded job queue,
+	// one worker, a plain transport leg for artifact pushes, and the
+	// lag/repair counters behind /metrics replication.
+	replCh          chan replJob
+	replDone        chan struct{}
+	replHTTP        *http.Client
+	replEnqueued    atomic.Uint64
+	replReplicated  atomic.Uint64
+	replFailed      atomic.Uint64
+	replDropped     atomic.Uint64
+	replReadRepairs atomic.Uint64
 }
 
 type endpointCounters struct {
@@ -88,6 +100,9 @@ func New(cfg Config) (*Gateway, error) {
 		start:     time.Now(),
 		keyPrefix: "gw-" + hex.EncodeToString(prefix[:]),
 		endpoints: make(map[string]*endpointCounters),
+		replCh:    make(chan replJob, 256),
+		replDone:  make(chan struct{}),
+		replHTTP:  &http.Client{Transport: cfg.Transport},
 	}
 	for _, b := range cfg.Backends {
 		g.clients[b] = client.New(client.Config{
@@ -110,6 +125,7 @@ func New(cfg Config) (*Gateway, error) {
 		defer close(g.probeDone)
 		g.prober.run(base)
 	}()
+	go g.replicateLoop()
 	return g, nil
 }
 
@@ -123,6 +139,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", g.logged("batch", g.idem.wrap(g.handleBatch)))
 	mux.HandleFunc("POST /v1/images", g.logged("images", g.idem.wrap(g.handleImagePut)))
 	mux.HandleFunc("GET /v1/images/{digest}", g.logged("image", g.handleImageGet))
+	mux.HandleFunc("GET /v1/store/{kind}/{digest}", g.logged("store-get", g.handleStoreGet))
+	mux.HandleFunc("PUT /v1/store/{kind}/{digest}", g.logged("store-put", g.handleStorePut))
 	mux.HandleFunc("GET /v1/runs/{id}/events", g.logged("events", g.handleEvents))
 	mux.HandleFunc("GET /v1/runs/{id}/trace", g.logged("trace", g.handleTrace))
 	mux.HandleFunc("GET /healthz", g.logged("healthz", g.handleHealthz))
@@ -145,6 +163,7 @@ func (g *Gateway) Close() {
 	g.draining.Store(true)
 	g.cancel()
 	<-g.probeDone
+	<-g.replDone
 	g.mirror.drain()
 }
 
@@ -214,6 +233,11 @@ func (g *Gateway) handleRun(path string) http.HandlerFunc {
 			body:     body,
 			runID:    runIDFor(r),
 			affinity: affinity,
+			// The run's artifacts (checkpoints, heal reports) replicate
+			// to the shard key's ring successors, named per attempt in
+			// Roload-Store-Peers — so a later resume through this
+			// gateway finds a copy even after the serving backend dies.
+			storePeers: g.replicaTargets(key),
 			// A digest-routed run may land on a backend whose store never
 			// saw the image; the owning backend is elsewhere on the ring.
 			retryNotFound: req.ImageDigest != "",
@@ -255,6 +279,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		runID:         runIDFor(r),
 		affinity:      affinity,
 		retryNotFound: req.ImageDigest != "",
+		storePeers:    g.replicaTargets(key),
 		// Batch reports embed the minted batch id and the backend's
 		// compile counter, so their bytes are not comparable across
 		// deployments: the mirror diffs run traffic only.
@@ -278,10 +303,11 @@ func (g *Gateway) handleImagePut(w http.ResponseWriter, r *http.Request) {
 	}
 	key := shardKey("", req.Source, req.Asm, req.Harden, req.Optimize)
 	g.proxy(w, r, key, proxyOp{
-		endpoint: "images",
-		method:   http.MethodPost,
-		path:     "/v1/images",
-		body:     body,
+		endpoint:   "images",
+		method:     http.MethodPost,
+		path:       "/v1/images",
+		body:       body,
+		storePeers: g.replicaTargets(key),
 		onSuccess: func(backend string, reply *client.Reply) {
 			if reply.Status >= 300 {
 				return
@@ -306,6 +332,71 @@ func (g *Gateway) handleImageGet(w http.ResponseWriter, r *http.Request) {
 		path:          "/v1/images/" + digest,
 		affinity:      affinity,
 		retryNotFound: true,
+	})
+}
+
+// handleStoreGet proxies GET /v1/store/{kind}/{digest}: digest-routed
+// with 404 fall-through. When the artifact is found only after one or
+// more backends answered 404, the replica-set members that missed are
+// read-repaired from the reply — the anti-entropy half of the
+// replication contract.
+func (g *Gateway) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	kind, digest := r.PathValue("kind"), r.PathValue("digest")
+	affinity, _ := g.digests.get(digest)
+	g.proxy(w, r, digest, proxyOp{
+		endpoint:      "store-get",
+		method:        http.MethodGet,
+		path:          "/v1/store/" + kind + "/" + digest,
+		affinity:      affinity,
+		retryNotFound: true,
+		onRepair: func(missed []string, reply *client.Reply) {
+			var targets []string
+			for _, t := range g.replicaTargets(digest) {
+				for _, m := range missed {
+					if t == m {
+						targets = append(targets, t)
+						break
+					}
+				}
+			}
+			g.enqueueReplication(replJob{kindName: kind, digest: digest,
+				body: reply.Body, targets: targets, repair: true})
+		},
+	})
+}
+
+// handleStorePut proxies PUT /v1/store/{kind}/{digest} to the digest's
+// ring owner (the backend re-verifies the body against the digest
+// before storing) and write-through-replicates the bytes to the
+// owner's R−1 admitted successors.
+func (g *Gateway) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	if g.rejectDraining(w) {
+		return
+	}
+	kind, digest := r.PathValue("kind"), r.PathValue("digest")
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	g.proxy(w, r, digest, proxyOp{
+		endpoint: "store-put",
+		method:   http.MethodPut,
+		path:     "/v1/store/" + kind + "/" + digest,
+		body:     body,
+		onSuccess: func(backend string, reply *client.Reply) {
+			if reply.Status >= 300 {
+				return
+			}
+			g.digests.put(digest, backend)
+			var rest []string
+			for _, t := range g.replicaTargets(digest) {
+				if t != backend {
+					rest = append(rest, t)
+				}
+			}
+			g.enqueueReplication(replJob{kindName: kind, digest: digest,
+				body: body, targets: rest})
+		},
 	})
 }
 
@@ -383,13 +474,22 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return ""
 	}
 	resp := schema.GatewayMetrics{
-		Backends:       g.prober.snapshot(breakerOf),
-		Endpoints:      g.endpointSnapshot(),
-		Retries:        g.retries.Load(),
-		Failovers:      g.failovers.Load(),
-		NoBackend:      g.noBackend.Load(),
-		Idempotency:    g.idem.metrics(),
-		Mirror:         g.mirror.snapshot(),
+		Backends:    g.prober.snapshot(breakerOf),
+		Endpoints:   g.endpointSnapshot(),
+		Retries:     g.retries.Load(),
+		Failovers:   g.failovers.Load(),
+		NoBackend:   g.noBackend.Load(),
+		Idempotency: g.idem.metrics(),
+		Mirror:      g.mirror.snapshot(),
+		Replication: schema.GatewayReplication{
+			Replicas:    g.cfg.Replicas,
+			Enqueued:    g.replEnqueued.Load(),
+			Replicated:  g.replReplicated.Load(),
+			Failed:      g.replFailed.Load(),
+			Dropped:     g.replDropped.Load(),
+			ReadRepairs: g.replReadRepairs.Load(),
+			QueueDepth:  len(g.replCh),
+		},
 		ProxyLatencyUS: g.proxyUS.Snapshot(),
 		UptimeSec:      time.Since(g.start).Seconds(),
 		Draining:       g.draining.Load(),

@@ -95,9 +95,18 @@ type proxyOp struct {
 	// retryNotFound treats a 404 as "try the next backend": the
 	// resource may live on another shard (digest or run-id routed GETs).
 	retryNotFound bool
+	// storePeers is the request's artifact replica set; each attempt
+	// forwards it (minus the backend being attempted) in the
+	// Roload-Store-Peers header, steering the backend's artifact pushes
+	// and peer fetches.
+	storePeers []string
 	// onSuccess observes the conclusive reply and the backend that
 	// served it before it is written out.
 	onSuccess func(backend string, reply *client.Reply)
+	// onRepair observes a conclusive success that was preceded by 404s:
+	// missed lists the backends that answered 404 before reply was
+	// served (the read-repair trigger).
+	onRepair func(missed []string, reply *client.Reply)
 }
 
 // proxy drives one request through the failover loop and writes the
@@ -136,6 +145,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 
 	var lastNotFound *client.Reply
 	var notFoundBackend string
+	var notFoundBackends []string
 	var lastErr error
 	tried := 0
 	for _, backend := range order {
@@ -149,7 +159,11 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 		if op.runID != "" {
 			g.runs.put(op.runID, backend)
 		}
-		reply, err := g.clients[backend].Exchange(r.Context(), chain, op.runID, op.method, op.path, op.body)
+		ctx := r.Context()
+		if peers := peersExcluding(op.storePeers, backend); peers != "" {
+			ctx = client.WithHeaders(ctx, http.Header{storePeersHeader: {peers}})
+		}
+		reply, err := g.clients[backend].Exchange(ctx, chain, op.runID, op.method, op.path, op.body)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The client hung up mid-exchange: the error reflects our
@@ -169,10 +183,14 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key string, op p
 		if op.retryNotFound && reply.Status == http.StatusNotFound {
 			lastNotFound = reply
 			notFoundBackend = backend
+			notFoundBackends = append(notFoundBackends, backend)
 			continue
 		}
 		if op.onSuccess != nil {
 			op.onSuccess(backend, reply)
+		}
+		if op.onRepair != nil && reply.Status < 300 && len(notFoundBackends) > 0 {
+			op.onRepair(notFoundBackends, reply)
 		}
 		g.writeReply(w, backend, tried, reply)
 		return

@@ -1,0 +1,144 @@
+// The gateway's artifact-replication machinery. Two mechanisms keep
+// R copies of every artifact alive across the fleet:
+//
+//   - Write-through replication: a direct artifact put (PUT /v1/store,
+//     proxied to the digest's ring owner) enqueues async copies to the
+//     owner's R−1 admitted successors; artifacts a backend mints
+//     itself (checkpoints, run results, reports) are pushed by that
+//     backend synchronously, steered by the Roload-Store-Peers header
+//     the proxy loop computes from the same ring.
+//
+//   - Read-repair: a store GET that had to fall through past one or
+//     more 404s before finding the digest enqueues the reply's bytes
+//     back to the replica-set members that missed.
+//
+// The queue is bounded and lossy by design — a dropped copy job only
+// lowers redundancy (counted, visible in /metrics replication.dropped);
+// the primary write already landed. Receiving backends re-verify every
+// body against its digest before storing, so the gateway never needs
+// to be trusted with artifact integrity.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// storePeersHeader names the replica peers of a proxied request: the
+// digest ring targets minus the backend being attempted. Mirrors the
+// service-side constant.
+const storePeersHeader = "Roload-Store-Peers"
+
+// replJob is one artifact fan-out: push body to every target.
+type replJob struct {
+	kindName string // URL family name ("roload-image")
+	digest   string
+	body     []byte
+	targets  []string
+	repair   bool // read-repair (counted separately)
+}
+
+// replicaTargets returns key's replica set: the first Replicas
+// admitted backends in ring order. Deterministic given the same ring
+// and health view, which is what lets the proxy loop, the write-through
+// fan-out and the backends' own pushes all agree on where copies live.
+func (g *Gateway) replicaTargets(key string) []string {
+	out := make([]string, 0, g.cfg.Replicas)
+	for _, b := range g.ring.order(key) {
+		if !g.prober.admitted(b) {
+			continue
+		}
+		out = append(out, b)
+		if len(out) == g.cfg.Replicas {
+			break
+		}
+	}
+	return out
+}
+
+// peersExcluding renders the replica set minus one backend as the
+// Roload-Store-Peers header value ("" when nobody is left).
+func peersExcluding(targets []string, backend string) string {
+	var kept []string
+	for _, t := range targets {
+		if t != backend {
+			kept = append(kept, t)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// enqueueReplication offers one copy job to the background replicator.
+// A full queue drops the job (counted): replication lag must never
+// back-pressure the serving path.
+func (g *Gateway) enqueueReplication(job replJob) {
+	if len(job.targets) == 0 || len(job.body) == 0 {
+		return
+	}
+	select {
+	case g.replCh <- job:
+		g.replEnqueued.Add(1)
+		if job.repair {
+			g.replReadRepairs.Add(1)
+		}
+	default:
+		g.replDropped.Add(1)
+		g.cfg.Logger.Warn("gateway: replication queue full, copy dropped",
+			"kind", job.kindName, "digest", job.digest)
+	}
+}
+
+// replicateLoop is the single replication worker: it drains the queue,
+// pushing each job's bytes to its targets. It exits when the gateway
+// closes; jobs still queued at that point are abandoned (the process
+// is going away — redundancy is restored by read-repair later).
+func (g *Gateway) replicateLoop() {
+	defer close(g.replDone)
+	for {
+		select {
+		case <-g.baseCtx.Done():
+			return
+		case job := <-g.replCh:
+			for _, target := range job.targets {
+				if err := g.pushArtifact(target, job); err != nil {
+					g.replFailed.Add(1)
+					g.cfg.Logger.Warn("gateway: replication push failed",
+						"backend", target, "kind", job.kindName,
+						"digest", job.digest, "err", err)
+					continue
+				}
+				g.replReplicated.Add(1)
+			}
+		}
+	}
+}
+
+// pushArtifact PUTs one artifact body to a backend's store surface.
+// The request carries no peers header — a replication push must never
+// cascade into further pushes.
+func (g *Gateway) pushArtifact(target string, job replJob) error {
+	ctx, cancel := context.WithTimeout(g.baseCtx,
+		time.Duration(g.cfg.AttemptTimeoutMS)*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		target+"/v1/store/"+job.kindName+"/"+job.digest, bytes.NewReader(job.body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.replHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication target answered %d", resp.StatusCode)
+	}
+	return nil
+}

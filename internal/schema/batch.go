@@ -52,6 +52,12 @@ type BatchRunSpec struct {
 	Heal         bool   `json:"heal,omitempty"`
 	SyncEvery    uint64 `json:"sync_every,omitempty"`
 	FaultReplica int    `json:"fault_replica,omitempty"`
+	// CheckpointEvery and Resume are the store-backed knobs of
+	// RunRequest: periodic checkpoints, and resuming from a stored
+	// checkpoint ("store://<digest>"). Both require a server with
+	// -store.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	Resume          string `json:"resume,omitempty"`
 }
 
 // BatchRunOutcome is one run's result inside a batch report. Body is
@@ -69,6 +75,11 @@ type BatchRunOutcome struct {
 	RunID  string `json:"run_id"`
 	Status int    `json:"status"`
 	Body   string `json:"body"`
+	// Skipped reports that the run was not re-executed: a stored
+	// roload-runresult/v1 artifact from an earlier POST of the same
+	// batch id already held this exact run's outcome, and Status/Body
+	// replay it byte-identically.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // BatchReport is the roload-batch/v1 document answered by POST
@@ -87,6 +98,10 @@ type BatchReport struct {
 	// contract.
 	Compiles int               `json:"compiles"`
 	Runs     []BatchRunOutcome `json:"runs"`
+	// Skipped counts the runs replayed from stored results instead of
+	// re-executed (the resumable-batch contract: re-POSTing a batch id
+	// never re-executes a run whose result the store already holds).
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // Validate checks the report's schema tag and per-run integrity.

@@ -57,6 +57,30 @@ type GatewayMirror struct {
 	LastDiff string `json:"last_diff,omitempty"`
 }
 
+// GatewayReplication counts the gateway's artifact-replication
+// machinery: every artifact put is write-through-replicated to the
+// ring owner plus R−1 successors, and a read served by a non-owner
+// repairs the copies that answered 404.
+type GatewayReplication struct {
+	// Replicas is the configured copy count R.
+	Replicas int `json:"replicas"`
+	// Enqueued counts replication jobs accepted; Replicated counts
+	// per-peer copies that landed; Failed counts per-peer copies that
+	// did not (the local/primary write already succeeded); Dropped
+	// counts jobs discarded because the queue was full.
+	Enqueued   uint64 `json:"enqueued"`
+	Replicated uint64 `json:"replicated"`
+	Failed     uint64 `json:"failed,omitempty"`
+	Dropped    uint64 `json:"dropped,omitempty"`
+	// ReadRepairs counts read-repair jobs: a store GET that had to
+	// fall through past a 404 before finding the digest, repairing the
+	// missing copies from the reply.
+	ReadRepairs uint64 `json:"read_repairs,omitempty"`
+	// QueueDepth is the replication backlog right now — the lag gauge:
+	// jobs accepted but not yet pushed to their peers.
+	QueueDepth int `json:"queue_depth"`
+}
+
 // GatewayMetrics is the gateway's /metrics payload.
 type GatewayMetrics struct {
 	// Backends maps backend URL (canary included) to its counters.
@@ -76,6 +100,10 @@ type GatewayMetrics struct {
 	Idempotency CacheMetrics `json:"idempotency_cache"`
 	// Mirror is the shadow-traffic accounting (zero without a canary).
 	Mirror GatewayMirror `json:"mirror"`
+	// Replication is the artifact-replication accounting: the
+	// write-through fan-out and read-repair machinery behind
+	// /v1/store.
+	Replication GatewayReplication `json:"replication"`
 	// ProxyLatencyUS distributes whole-proxy latency (all backends
 	// tried, microseconds).
 	ProxyLatencyUS Histogram `json:"proxy_latency_us"`

@@ -63,6 +63,22 @@ type LoadgenReport struct {
 	// body. Two reports over the same spec set are byte-identical
 	// deployments iff their digests match pairwise.
 	Specs []LoadgenSpec `json:"specs"`
+	// SLO is present when the run was gated on latency targets
+	// (-slo-p50/-slo-p99); a non-empty Breached list fails the run.
+	SLO *LoadgenSLO `json:"slo,omitempty"`
+}
+
+// LoadgenSLO records the latency-SLO gate of one loadgen run: the
+// measured quantiles of RunLatencyUS against the configured targets.
+// Breached names every quantile that missed ("p50", "p99"); the
+// process exits non-zero when it is non-empty.
+type LoadgenSLO struct {
+	P50US uint64 `json:"p50_us"`
+	P99US uint64 `json:"p99_us"`
+	// TargetP50US/TargetP99US echo the gate flags (0 = ungated).
+	TargetP50US uint64   `json:"target_p50_us,omitempty"`
+	TargetP99US uint64   `json:"target_p99_us,omitempty"`
+	Breached    []string `json:"breached,omitempty"`
 }
 
 // LoadgenSpec is one distinct request spec's identity line.
@@ -88,6 +104,13 @@ func (r *LoadgenReport) Validate() error {
 	for i, sp := range r.Specs {
 		if sp.Name == "" {
 			return fmt.Errorf("loadgen report spec %d has no name", i)
+		}
+	}
+	if r.SLO != nil {
+		for _, b := range r.SLO.Breached {
+			if b != "p50" && b != "p99" {
+				return fmt.Errorf("loadgen report names unknown SLO quantile %q", b)
+			}
 		}
 	}
 	return nil

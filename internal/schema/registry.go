@@ -146,4 +146,7 @@ func init() {
 			`"sent":2,"ok":1,"errors":1,"retries":1,"shed_429":0,"shed_503":0,"mismatches":0,` +
 			`"elapsed_sec":0.1,"throughput_rps":10,"run_latency_us":{"count":1,"sum":5},` +
 			`"attempt_latency_us":{"count":2,"sum":9},"specs":[{"name":"s0","requests":2,"digest":"ab12"}]}`})
+	Register(Kind{ID: RunResultV1, New: func() any { return new(RunResultDoc) },
+		Seed: `{"schema":"roload-runresult/v1","batch_id":"b","index":0,"run_id":"b.1",` +
+			`"image_digest":"d","spec":"{}","status":200,"body":"{}"}`})
 }

@@ -15,7 +15,7 @@ func TestRegistryCoversEveryID(t *testing.T) {
 	ids := []string{
 		BenchV1, MetricsV1, HostBenchV1, HostBenchHistoryV1, ServeV1,
 		FaultV1, CheckpointV1, HealV1, TraceV1, ImageV1, BatchV1,
-		LoadgenV1,
+		LoadgenV1, RunResultV1,
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

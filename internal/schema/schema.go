@@ -45,6 +45,7 @@ const (
 	ImageV1            = "roload-image/v1"
 	BatchV1            = "roload-batch/v1"
 	LoadgenV1          = "roload-loadgen/v1"
+	RunResultV1        = "roload-runresult/v1"
 )
 
 // ParseID splits a schema id of the form "name/vN" into its family

@@ -333,6 +333,25 @@ type ServeMetrics struct {
 	// Store describes the artifact store, present only when the server
 	// runs with -store.
 	Store *StoreMetrics `json:"store,omitempty"`
+	// Replication counts the backend's part in fleet-wide artifact
+	// replication (peer pushes and fetches), present once any occurred.
+	Replication *StoreReplication `json:"replication,omitempty"`
+}
+
+// StoreReplication counts one backend's artifact replication traffic:
+// pushes of locally written artifacts to the peer set the gateway
+// forwarded (Roload-Store-Peers), and fetches of artifacts this
+// backend was asked about but did not hold.
+type StoreReplication struct {
+	// Pushes counts artifacts successfully replicated to a peer;
+	// PushFailures counts per-peer push attempts that failed (the
+	// local write already succeeded — replication is best-effort).
+	Pushes       uint64 `json:"pushes"`
+	PushFailures uint64 `json:"push_failures,omitempty"`
+	// PeerFetches counts lookups sent to peers on a local store miss;
+	// PeerFetchHits counts the ones that recovered the artifact.
+	PeerFetches   uint64 `json:"peer_fetches,omitempty"`
+	PeerFetchHits uint64 `json:"peer_fetch_hits,omitempty"`
 }
 
 // StoreMetrics describes the artifact store (-store): entry and pin
@@ -349,6 +368,23 @@ type StoreMetrics struct {
 	Recovered int64  `json:"recovered_bytes,omitempty"`
 	// LogBytes is the current size of the append log.
 	LogBytes int64 `json:"log_bytes"`
+	// GC reports the periodic GC policy daemon (-store-gc-interval),
+	// present once it has run at least once.
+	GC *StoreGCMetrics `json:"gc,omitempty"`
+}
+
+// StoreGCMetrics is the `gc` section of StoreMetrics: the cumulative
+// work of the age/size policy daemon.
+type StoreGCMetrics struct {
+	// Runs counts policy passes; Unpinned and Removed the digests aged
+	// or sized out and the artifacts compacted away across all passes.
+	Runs     uint64 `json:"runs"`
+	Unpinned uint64 `json:"unpinned"`
+	Removed  uint64 `json:"removed"`
+	// LastUnix stamps the most recent pass; LastError carries its
+	// failure, "" for a clean pass.
+	LastUnix  int64  `json:"last_unix,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // KeyCheckStats is the per-hardening-mode key-check fault rate: Rate
@@ -384,6 +420,40 @@ type Histogram struct {
 	Min     uint64            `json:"min,omitempty"`
 	Max     uint64            `json:"max,omitempty"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a log-bucketed
+// histogram: the upper bound of the first bucket whose cumulative
+// count reaches q·Count, clamped into [Min, Max] so the power-of-two
+// bucket bound never overstates an observed maximum. An empty
+// histogram estimates 0.
+func (h Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	est := h.Max
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			est = b.LE
+			break
+		}
+	}
+	if h.Max > 0 && est > h.Max {
+		est = h.Max
+	}
+	if est < h.Min {
+		est = h.Min
+	}
+	return est
 }
 
 // CacheMetrics describes one memoizing cache's effectiveness.

@@ -1,0 +1,190 @@
+package schema
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// The fleet store wire surface: the generalized artifact endpoints
+// (`GET/PUT /v1/store/{kind}/{digest}`) that replication, read-repair
+// and cross-backend resume speak, and the `roload-runresult/v1`
+// document that makes batches resumable. Kinds appear in URLs by
+// family name ("roload-image", not "roload-image/v1" — no slash to
+// escape); KindByName maps the path segment back to the registered
+// id. Every artifact exchanged across the fleet is re-verified
+// against its digest on arrival (VerifyArtifact), so a corrupt or
+// misdirected replica is rejected at the boundary instead of poisoning
+// a peer's store.
+
+// RunResultDoc is the roload-runresult/v1 document: one conclusive
+// per-run outcome of a batch, persisted so that re-POSTing the same
+// batch id skips runs whose results already exist. The document is
+// name-addressed: its store digest is KeyDigest(), derived from the
+// run's identity (batch id, index, image, spec) rather than its
+// content, which is what lets a retried batch find the result without
+// knowing it.
+type RunResultDoc struct {
+	Schema  string `json:"schema"` // RunResultV1
+	BatchID string `json:"batch_id"`
+	Index   int    `json:"index"`
+	// RunID is the per-run id ("<batch id>.<index+1>").
+	RunID string `json:"run_id"`
+	// ImageDigest fingerprints the image the run executed; a re-POST
+	// that compiles to a different image must not reuse the result.
+	ImageDigest string `json:"image_digest"`
+	// Spec is the canonical JSON encoding of the run's BatchRunSpec —
+	// part of the address, so a changed spec re-executes.
+	Spec string `json:"spec"`
+	// Status and Body mirror BatchRunOutcome: the HTTP status and the
+	// exact rendered roload-serve/v1 envelope of the original run.
+	Status int    `json:"status"`
+	Body   string `json:"body"`
+}
+
+// Validate checks the document's schema tag and structural sanity.
+func (d *RunResultDoc) Validate() error {
+	if d.Schema != RunResultV1 {
+		return fmt.Errorf("schema: run result carries %q, want %q", d.Schema, RunResultV1)
+	}
+	if d.BatchID == "" {
+		return fmt.Errorf("schema: run result has no batch id")
+	}
+	if d.RunID == "" {
+		return fmt.Errorf("schema: run result has no run id")
+	}
+	if d.Index < 0 {
+		return fmt.Errorf("schema: run result has negative index %d", d.Index)
+	}
+	if d.Status == 0 {
+		return fmt.Errorf("schema: run result has no status")
+	}
+	return nil
+}
+
+// KeyDigest is the document's store address: SHA-256 over the run's
+// identity (batch id, index, image digest, canonical spec). Status and
+// body are deliberately excluded — the address must be computable
+// before the run executes.
+func (d *RunResultDoc) KeyDigest() string {
+	h := sha256.New()
+	h.Write([]byte("roload-runresult"))
+	h.Write([]byte{0})
+	h.Write([]byte(d.BatchID))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(d.Index)))
+	h.Write([]byte{0})
+	h.Write([]byte(d.ImageDigest))
+	h.Write([]byte{0})
+	h.Write([]byte(d.Spec))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StorePutResponse is the roload-serve/v1 payload answering
+// PUT /v1/store/{kind}/{digest}.
+type StorePutResponse struct {
+	Kind   string `json:"kind"`
+	Digest string `json:"digest"`
+	// Added reports whether the put wrote anything (false: the store
+	// already held the key — the idempotent-replica case).
+	Added bool `json:"added"`
+}
+
+// KindByName resolves a URL path segment ("roload-image") to the
+// registered kind with that family name, preferring the highest
+// version when several are registered.
+func KindByName(name string) (Kind, bool) {
+	var best Kind
+	bestV := 0
+	for _, k := range Kinds() {
+		n, v, err := ParseID(k.ID)
+		if err != nil || n != name {
+			continue
+		}
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best, bestV > 0
+}
+
+// KindName returns the family-name half of a schema id — the form a
+// kind takes in a /v1/store URL ("roload-image/v1" → "roload-image").
+func KindName(id string) string {
+	n, _, err := ParseID(id)
+	if err != nil {
+		return id
+	}
+	return n
+}
+
+// VerifyArtifact re-derives the digest an artifact body must be
+// stored under and rejects a mismatch — the integrity gate every
+// replicated or peer-fetched artifact passes before it may enter a
+// store. Kinds with an intrinsic digest verify against it: a
+// checkpoint's state digest, an image document's recorded kernel
+// digest, a run result's identity key. Everything else is
+// content-addressed: SHA-256 of the canonical (compact) JSON encoding
+// — NOT the raw bytes, because the store compacts bodies on append,
+// so the compact form is what a GET serves back and what a fetching
+// peer re-verifies. An address derived from whitespace-padded bytes
+// could never round-trip.
+func VerifyArtifact(kind, digest string, body []byte) error {
+	mismatch := func(got string) error {
+		return fmt.Errorf("schema: %s artifact digest mismatch: body derives %s, addressed as %s",
+			kind, got, digest)
+	}
+	switch kind {
+	case CheckpointV1:
+		var ck Checkpoint
+		if err := json.Unmarshal(body, &ck); err != nil {
+			return fmt.Errorf("schema: decoding %s artifact: %w", kind, err)
+		}
+		if got := ck.StateDigest(); got != digest {
+			return mismatch(got)
+		}
+	case ImageV1:
+		var doc ImageDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("schema: decoding %s artifact: %w", kind, err)
+		}
+		if err := doc.Validate(); err != nil {
+			return err
+		}
+		if doc.Digest != digest {
+			return mismatch(doc.Digest)
+		}
+	case RunResultV1:
+		var doc RunResultDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("schema: decoding %s artifact: %w", kind, err)
+		}
+		if err := doc.Validate(); err != nil {
+			return err
+		}
+		if got := doc.KeyDigest(); got != digest {
+			return mismatch(got)
+		}
+	default:
+		sum := sha256.Sum256(CanonicalBytes(body))
+		if got := hex.EncodeToString(sum[:]); got != digest {
+			return mismatch(got)
+		}
+	}
+	return nil
+}
+
+// CanonicalBytes returns the compact JSON encoding of body when body
+// is valid JSON, and body unchanged otherwise (non-JSON can never
+// enter a store, so its digest definition is moot — raw bytes keep
+// verification total).
+func CanonicalBytes(body []byte) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, body); err != nil {
+		return body
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,442 @@
+// Tests for the durable-fleet-state surface: the generalized
+// GET/PUT /v1/store/{kind}/{digest} API, write-through replication to
+// peers named by the Roload-Store-Peers header, peer fetch on a local
+// miss (cross-backend checkpoint resume), resumable batches keyed by
+// batch id, and the GC policy daemon.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// putRaw PUTs one artifact body and returns status + response bytes.
+func putRaw(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, buf.Bytes()
+}
+
+// storeImage compiles helloProg into the server's store and returns
+// the image digest.
+func storeImage(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	status, _, data := postRaw(t, ts.URL+"/v1/images", schema.ImageRequest{
+		Source: helloProg, Harden: "icall",
+	}, nil)
+	if status != http.StatusCreated && status != http.StatusOK {
+		t.Fatalf("image put status = %d: %s", status, data)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var img schema.ImageResponse
+	if err := env.Open(schema.ServeV1, &img); err != nil {
+		t.Fatal(err)
+	}
+	return img.Digest
+}
+
+// serveMetrics fetches and decodes /metrics.
+func serveMetrics(t *testing.T, ts *httptest.Server) schema.ServeMetrics {
+	t.Helper()
+	status, env := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	var m schema.ServeMetrics
+	if err := env.Open(schema.ServeV1, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestServeStoreSurface drives GET/PUT /v1/store/{kind}/{digest}: the
+// image alias is byte-identical to /v1/images, a PUT round-trips an
+// artifact into a second fleet member (201 then 200 reused), the
+// transplanted image is executable by digest, and corrupt or
+// misdirected bodies are rejected at the boundary.
+func TestServeStoreSurface(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	digest := storeImage(t, tsA)
+
+	// The store surface serves the exact bytes of the images surface.
+	istatus, ibody := getRaw(t, tsA.URL+"/v1/images/"+digest)
+	sstatus, sbody := getRaw(t, tsA.URL+"/v1/store/roload-image/"+digest)
+	if istatus != http.StatusOK || sstatus != http.StatusOK {
+		t.Fatalf("image get %d, store get %d", istatus, sstatus)
+	}
+	if !bytes.Equal(ibody, sbody) {
+		t.Fatalf("store surface diverges from the images surface:\n%s\nvs\n%s", sbody, ibody)
+	}
+
+	// Unknown kind and unknown digest are clean 404s.
+	if status, _ := getRaw(t, tsA.URL+"/v1/store/no-such-kind/"+digest); status != http.StatusNotFound {
+		t.Errorf("unknown kind status = %d, want 404", status)
+	}
+	if status, _ := getRaw(t, tsA.URL+"/v1/store/roload-image/"+strings.Repeat("0", 64)); status != http.StatusNotFound {
+		t.Errorf("unknown digest status = %d, want 404", status)
+	}
+
+	// PUT transplants the artifact into a second, empty fleet member.
+	_, tsB := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	status, data := putRaw(t, tsB.URL+"/v1/store/roload-image/"+digest, sbody)
+	if status != http.StatusCreated {
+		t.Fatalf("first put status = %d: %s", status, data)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var put schema.StorePutResponse
+	if err := env.Open(schema.ServeV1, &put); err != nil {
+		t.Fatal(err)
+	}
+	if !put.Added || put.Digest != digest {
+		t.Errorf("first put = %+v", put)
+	}
+	if status, _ = putRaw(t, tsB.URL+"/v1/store/roload-image/"+digest, sbody); status != http.StatusOK {
+		t.Errorf("second put status = %d, want 200 (reused)", status)
+	}
+
+	// The transplanted image executes by digest, byte-for-byte the same
+	// answer as on the origin backend.
+	astatus, aenv, _ := post(t, tsA.URL+"/v1/run", schema.RunRequest{ImageDigest: digest})
+	bstatus, benv, _ := post(t, tsB.URL+"/v1/run", schema.RunRequest{ImageDigest: digest})
+	if astatus != http.StatusOK || bstatus != http.StatusOK {
+		t.Fatalf("origin run %d, transplant run %d", astatus, bstatus)
+	}
+	if a, b := openRun(t, aenv), openRun(t, benv); a.Stdout != b.Stdout || a.ExitStatus != b.ExitStatus {
+		t.Errorf("transplanted image diverges: %+v vs %+v", b, a)
+	}
+
+	// A body that does not derive its claimed digest is rejected: wrong
+	// address first, then corrupted bytes under the right address.
+	if status, _ = putRaw(t, tsB.URL+"/v1/store/roload-image/"+strings.Repeat("f", 64), sbody); status != http.StatusBadRequest {
+		t.Errorf("misdirected put status = %d, want 400", status)
+	}
+	corrupt := bytes.Replace(sbody, []byte(`"digest"`), []byte(`"digset"`), 1)
+	if status, _ = putRaw(t, tsB.URL+"/v1/store/roload-image/"+digest, corrupt); status != http.StatusBadRequest {
+		t.Errorf("corrupt put status = %d, want 400", status)
+	}
+	if status, _ = putRaw(t, tsB.URL+"/v1/store/no-such-kind/"+digest, sbody); status != http.StatusBadRequest {
+		t.Errorf("unknown-kind put status = %d, want 400", status)
+	}
+
+	// Without -store the surface does not exist.
+	_, plain := newTestServer(t, Config{Workers: 1})
+	if status, _ := getRaw(t, plain.URL+"/v1/store/roload-image/"+digest); status != http.StatusNotFound {
+		t.Errorf("store-less GET /v1/store status = %d, want 404", status)
+	}
+}
+
+// TestServePeerFetchResume is the cross-backend resume contract: a
+// checkpoint written on backend A resumes on backend B — which never
+// saw the run — because B fetches the missing artifacts from the peers
+// named in the Roload-Store-Peers header, and the resumed observables
+// are identical to the uninterrupted run's.
+func TestServePeerFetchResume(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	_, tsB := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	rstatus, renv, _ := post(t, tsA.URL+"/v1/run", schema.RunRequest{Source: loopProg})
+	if rstatus != http.StatusOK {
+		t.Fatalf("reference run status = %d", rstatus)
+	}
+	ref := openRun(t, renv)
+
+	status, env, _ := post(t, tsA.URL+"/v1/run", schema.RunRequest{
+		Source: loopProg, MaxSteps: 200_000, CheckpointEvery: 80_000,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("interrupted run status = %d", status)
+	}
+	e := openError(t, env)
+	if len(e.Checkpoints) == 0 {
+		t.Fatal("step-limit partial carries no checkpoints")
+	}
+	last := e.Checkpoints[len(e.Checkpoints)-1]
+
+	// Resume on B without naming A as a peer: B has never seen the
+	// checkpoint, so this is a 404.
+	resume := schema.RunRequest{Source: loopProg, Resume: "store://" + last}
+	if mstatus, _, _ := postRaw(t, tsB.URL+"/v1/run", resume, nil); mstatus != http.StatusNotFound {
+		t.Fatalf("peer-less resume status = %d, want 404", mstatus)
+	}
+
+	// With the header, B fetches the checkpoint from A and completes
+	// the program with the uninterrupted run's exact observables.
+	cstatus, _, cdata := postRaw(t, tsB.URL+"/v1/run", resume,
+		map[string]string{"Roload-Store-Peers": tsA.URL})
+	if cstatus != http.StatusOK {
+		t.Fatalf("cross-backend resume status = %d: %s", cstatus, cdata)
+	}
+	var cenv schema.Envelope
+	if err := json.Unmarshal(cdata, &cenv); err != nil {
+		t.Fatal(err)
+	}
+	res := openRun(t, cenv)
+	if res.Stdout != ref.Stdout || res.ExitStatus != ref.ExitStatus {
+		t.Errorf("cross-backend resume diverges: stdout %q vs %q", res.Stdout, ref.Stdout)
+	}
+	if res.Metrics == nil || ref.Metrics == nil || res.Metrics.Instret != ref.Metrics.Instret {
+		t.Errorf("cross-backend resume metrics diverge from the uninterrupted run")
+	}
+
+	// The fetch is visible in B's replication metrics, and the
+	// checkpoint now lives in B's own store (read-through repair): the
+	// same resume works with A gone.
+	m := serveMetrics(t, tsB)
+	if m.Replication == nil || m.Replication.PeerFetchHits == 0 {
+		t.Errorf("replication metrics after peer fetch = %+v", m.Replication)
+	}
+	tsA.Close()
+	if rstatus, _, _ := postRaw(t, tsB.URL+"/v1/run", resume, nil); rstatus != http.StatusOK {
+		t.Errorf("repaired resume after peer loss status = %d, want 200", rstatus)
+	}
+}
+
+// TestServeImagePutReplication: a POST /v1/images carrying a
+// Roload-Store-Peers header write-through-replicates the image to the
+// named peers synchronously — by the time the put answers, the peer
+// serves the digest from its own store.
+func TestServeImagePutReplication(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	_, tsB := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	status, _, data := postRaw(t, tsA.URL+"/v1/images", schema.ImageRequest{
+		Source: helloProg, Harden: "icall",
+	}, map[string]string{"Roload-Store-Peers": tsB.URL})
+	if status != http.StatusCreated {
+		t.Fatalf("image put status = %d: %s", status, data)
+	}
+	var env schema.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var img schema.ImageResponse
+	if err := env.Open(schema.ServeV1, &img); err != nil {
+		t.Fatal(err)
+	}
+
+	_, abody := getRaw(t, tsA.URL+"/v1/store/roload-image/"+img.Digest)
+	bstatus, bbody := getRaw(t, tsB.URL+"/v1/store/roload-image/"+img.Digest)
+	if bstatus != http.StatusOK {
+		t.Fatalf("replica get status = %d, want 200", bstatus)
+	}
+	if !bytes.Equal(abody, bbody) {
+		t.Errorf("replica bytes diverge from the original")
+	}
+	if m := serveMetrics(t, tsA); m.Replication == nil || m.Replication.Pushes == 0 {
+		t.Errorf("origin replication metrics = %+v, want pushes > 0", m.Replication)
+	}
+}
+
+// TestServeResumableBatch: re-POSTing a batch id replays completed runs
+// from their stored roload-runresult/v1 artifacts — byte-identical
+// bodies, Skipped set per run and summed in the report, zero compiles —
+// while failed runs and changed specs re-execute.
+func TestServeResumableBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	hdr := map[string]string{"Roload-Trace": "durable-batch-1"}
+
+	req := schema.BatchRequest{
+		Source: loopProg, Harden: "icall",
+		Runs: []schema.BatchRunSpec{
+			{},
+			{System: "baseline"},
+			{MaxSteps: 100}, // step-limit 422: never persisted, always re-executes
+		},
+	}
+	status, _, data := postRaw(t, ts.URL+"/v1/batch", req, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("first batch status = %d: %s", status, data)
+	}
+	first := openBatch(t, data)
+	if first.BatchID != "durable-batch-1" || first.Skipped != 0 || first.Compiles != 1 {
+		t.Fatalf("first batch = id %q skipped %d compiles %d", first.BatchID, first.Skipped, first.Compiles)
+	}
+	if first.Runs[2].Status != http.StatusUnprocessableEntity {
+		t.Fatalf("run 3 status = %d, want 422", first.Runs[2].Status)
+	}
+
+	// The re-POST replays runs 1-2 and re-executes the failed run 3.
+	status, _, data = postRaw(t, ts.URL+"/v1/batch", req, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("second batch status = %d: %s", status, data)
+	}
+	second := openBatch(t, data)
+	if second.Skipped != 2 || second.Compiles != 0 {
+		t.Errorf("second batch skipped %d compiles %d, want 2 and 0", second.Skipped, second.Compiles)
+	}
+	for i := 0; i < 2; i++ {
+		if !second.Runs[i].Skipped {
+			t.Errorf("run %d not skipped on re-POST", i+1)
+		}
+		if second.Runs[i].Body != first.Runs[i].Body {
+			t.Errorf("run %d replay diverges:\n%s\nvs\n%s", i+1, second.Runs[i].Body, first.Runs[i].Body)
+		}
+	}
+	if second.Runs[2].Skipped {
+		t.Errorf("failed run replayed; errors must re-execute")
+	}
+
+	// A changed spec changes the address: only the untouched runs skip.
+	req.Runs[1].System = "full"
+	status, _, data = postRaw(t, ts.URL+"/v1/batch", req, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("changed-spec batch status = %d: %s", status, data)
+	}
+	changed := openBatch(t, data)
+	if changed.Skipped != 1 || changed.Runs[1].Skipped {
+		t.Errorf("changed-spec batch skipped %d (run 2 skipped=%v), want 1 and false",
+			changed.Skipped, changed.Runs[1].Skipped)
+	}
+
+	// A different batch id shares nothing.
+	status, _, data = postRaw(t, ts.URL+"/v1/batch", req,
+		map[string]string{"Roload-Trace": "durable-batch-2"})
+	if status != http.StatusOK {
+		t.Fatalf("fresh-id batch status = %d: %s", status, data)
+	}
+	if fresh := openBatch(t, data); fresh.Skipped != 0 {
+		t.Errorf("fresh batch id skipped %d runs, want 0", fresh.Skipped)
+	}
+}
+
+// TestServeResumableBatchCrossBackend: batch results written on A (and
+// replicated to B via the peers header) let a re-POST of the same batch
+// id on B skip every completed run without A. This is the service-level
+// half of the kill -9 story the gateway E2E drives end to end.
+func TestServeResumableBatchCrossBackend(t *testing.T) {
+	srvA, err := NewServer(Config{Workers: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	_, tsB := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	req := schema.BatchRequest{
+		Source: loopProg, Harden: "icall",
+		Runs: []schema.BatchRunSpec{{}, {System: "baseline"}},
+	}
+	hdrA := map[string]string{"Roload-Trace": "durable-xb-1", "Roload-Store-Peers": tsB.URL}
+	status, _, data := postRaw(t, tsA.URL+"/v1/batch", req, hdrA)
+	if status != http.StatusOK {
+		t.Fatalf("batch on A status = %d: %s", status, data)
+	}
+	first := openBatch(t, data)
+
+	// A is gone; B replays the whole batch from the replicated results.
+	tsA.Close()
+	srvA.Close()
+	status, _, data = postRaw(t, tsB.URL+"/v1/batch", req,
+		map[string]string{"Roload-Trace": "durable-xb-1"})
+	if status != http.StatusOK {
+		t.Fatalf("batch on B status = %d: %s", status, data)
+	}
+	second := openBatch(t, data)
+	if second.Skipped != len(req.Runs) {
+		t.Fatalf("batch on B skipped %d of %d", second.Skipped, len(req.Runs))
+	}
+	for i := range first.Runs {
+		if second.Runs[i].Body != first.Runs[i].Body {
+			t.Errorf("run %d replay on B diverges from A's original", i+1)
+		}
+	}
+}
+
+// TestServeGCDaemon: -store-gc-interval with an aggressive age policy
+// unpins and compacts in the background, and the work shows up in the
+// metrics gc section.
+func TestServeGCDaemon(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, StoreDir: t.TempDir(),
+		StoreGCInterval: 10 * time.Millisecond,
+		StoreMaxAge:     time.Nanosecond,
+	})
+	storeImage(t, ts)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := serveMetrics(t, ts)
+		if m.Store != nil && m.Store.GC != nil && m.Store.GC.Runs > 0 && m.Store.GC.Unpinned > 0 {
+			if m.Store.Pinned != 0 {
+				t.Errorf("pinned = %d after age-out, want 0", m.Store.Pinned)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GC daemon never reported work: %+v", m.Store)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeStorePaddedBodyRoundTrips: the store compacts JSON bodies
+// on append, so content addresses for extrinsic kinds are defined
+// over the canonical (compact) encoding. A whitespace-padded PUT
+// addressed by its compact form must land, serve back as the compact
+// bytes, and re-verify against its own address — the property that
+// keeps peer fetch and read-repair sound for bodies the fleet did not
+// mint itself. An address derived from the padded bytes can never
+// round-trip and is rejected at the boundary.
+func TestServeStorePaddedBodyRoundTrips(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, StoreDir: t.TempDir()})
+
+	padded := []byte("{\"schema\": \"roload-batch/v1\",  \"batch_id\": \"pad\",\n\"runs\": []}")
+	canon := schema.CanonicalBytes(padded)
+	if bytes.Equal(padded, canon) {
+		t.Fatal("test body must not already be compact")
+	}
+	sum := sha256.Sum256(canon)
+	digest := hex.EncodeToString(sum[:])
+
+	status, data := putRaw(t, ts.URL+"/v1/store/roload-batch/"+digest, padded)
+	if status != http.StatusCreated {
+		t.Fatalf("canonical-addressed put status = %d: %s", status, data)
+	}
+	gstatus, got := getRaw(t, ts.URL+"/v1/store/roload-batch/"+digest)
+	if gstatus != http.StatusOK {
+		t.Fatalf("get status = %d", gstatus)
+	}
+	if !bytes.Equal(got, canon) {
+		t.Errorf("served %q, want the canonical bytes %q", got, canon)
+	}
+	kind, ok := schema.KindByName("roload-batch")
+	if !ok {
+		t.Fatal("roload-batch kind unregistered")
+	}
+	if err := schema.VerifyArtifact(kind.ID, digest, got); err != nil {
+		t.Errorf("served bytes fail re-verification against their address: %v", err)
+	}
+
+	rawSum := sha256.Sum256(padded)
+	rawDigest := hex.EncodeToString(rawSum[:])
+	if rawDigest != digest {
+		if status, _ := putRaw(t, ts.URL+"/v1/store/roload-batch/"+rawDigest, padded); status != http.StatusBadRequest {
+			t.Errorf("raw-byte-addressed padded put status = %d, want 400", status)
+		}
+	}
+}

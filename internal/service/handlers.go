@@ -72,6 +72,10 @@ type runSpec struct {
 	// resume is the stored checkpoint digest of a "store://<digest>"
 	// resume ("" = fresh run).
 	resume string
+	// peers are the replica peers the gateway named for this request
+	// (Roload-Store-Peers): where artifact writes push to, and where a
+	// local store miss fetches from.
+	peers []string
 }
 
 // parseRunSpec validates one run request. The checks run in a fixed
@@ -187,7 +191,7 @@ func (s *Server) buildImage(spec runSpec) (img *asm.Image, compiled bool, apiErr
 	req := spec.req
 	switch {
 	case req.ImageDigest != "":
-		raw, err := s.store.Get(schema.ImageV1, req.ImageDigest)
+		raw, err := s.storeGetOrFetch(s.baseCtx, spec.peers, schema.ImageV1, req.ImageDigest)
 		if err != nil {
 			return nil, false, notFoundError(fmt.Sprintf("image %s is not in the store", req.ImageDigest))
 		}
@@ -234,7 +238,11 @@ func (s *Server) buildImage(spec runSpec) (img *asm.Image, compiled bool, apiErr
 // of the run), records the digest, and streams a checkpoint event.
 func (s *Server) storeRunOptions(ctx context.Context, opts core.RunOptions, spec runSpec, cks *[]string) (core.RunOptions, *apiError) {
 	if spec.resume != "" {
-		raw, err := s.store.Get(schema.CheckpointV1, spec.resume)
+		// The local store first, then the gateway-named replica peers: a
+		// resume that lands on a backend that never saw the checkpoint
+		// (its owner was killed) pulls the bytes — digest-verified — from
+		// a surviving replica.
+		raw, err := s.storeGetOrFetch(ctx, spec.peers, schema.CheckpointV1, spec.resume)
 		if err != nil {
 			return opts, notFoundError(fmt.Sprintf("checkpoint %s is not in the store", spec.resume))
 		}
@@ -265,6 +273,10 @@ func (s *Server) storeRunOptions(ctx context.Context, opts core.RunOptions, spec
 			}
 			prev = digest
 			*cks = append(*cks, digest)
+			// Write-through replication: the checkpoint is only durable
+			// against the loss of this backend once the replica peers
+			// hold it too.
+			s.replicateToPeers(spec.peers, schema.CheckpointV1, digest, raw)
 			if sink != nil {
 				sink(schema.RunEvent{Kind: schema.EventCheckpoint, Instret: ck.Instret, Digest: digest})
 			}
@@ -376,9 +388,13 @@ func (s *Server) executeSpec(ctx context.Context, img *asm.Image, spec runSpec) 
 	resp.Checkpoints = cks
 	if heal != nil && s.store != nil {
 		// Persist the heal report (best effort: the run already
-		// succeeded) so it survives a restart.
+		// succeeded) so it survives a restart, and replicate it so it
+		// survives this backend.
 		if raw, merr := json.Marshal(heal); merr == nil {
-			s.store.Put(schema.HealV1, store.Digest(raw), raw) //nolint:errcheck
+			digest := store.Digest(raw)
+			if _, perr := s.store.Put(schema.HealV1, digest, raw); perr == nil {
+				s.replicateToPeers(spec.peers, schema.HealV1, digest, raw)
+			}
 		}
 	}
 	return resp, nil
@@ -464,6 +480,7 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, endpoint strin
 		fail(apiErr)
 		return
 	}
+	spec.peers = parsePeers(r.Header.Get(storePeersHeader))
 	s.runLog(r.Context(), "run accepted", runID,
 		"system", spec.sys.String(), "harden", spec.h.String(), "redundant", req.Redundant)
 
@@ -648,6 +665,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			FaultCount: rs.FaultCount, FaultSeed: rs.FaultSeed,
 			Redundant: rs.Redundant, Heal: rs.Heal,
 			SyncEvery: rs.SyncEvery, FaultReplica: rs.FaultReplica,
+			CheckpointEvery: rs.CheckpointEvery, Resume: rs.Resume,
 			TimeoutMS: req.TimeoutMS, Priority: req.Priority,
 		})
 		if apiErr != nil {
@@ -656,6 +674,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		specs[i] = spec
+	}
+	peers := parsePeers(r.Header.Get(storePeersHeader))
+	for i := range specs {
+		specs[i].peers = peers
 	}
 	s.runLog(r.Context(), "batch accepted", batchID, "runs", len(specs))
 
@@ -716,6 +738,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	ctx = telemetry.WithTrace(ctx, trace)
 
+	// Resumable batches: a run's identity (batch id, index, image, spec)
+	// addresses its stored roload-runresult/v1 artifact. A prior POST of
+	// the same batch id that completed a run left that artifact behind —
+	// here and/or on the replica peers — so this POST replays it
+	// byte-identically instead of re-executing. The skeletons double as
+	// the addresses fresh results are persisted under.
+	prior := make([]*schema.RunResultDoc, len(specs))
+	skel := make([]*schema.RunResultDoc, len(specs))
+	if s.store != nil {
+		for i := range specs {
+			canon, merr := json.Marshal(req.Runs[i])
+			if merr != nil {
+				continue
+			}
+			skel[i] = &schema.RunResultDoc{
+				Schema: schema.RunResultV1, BatchID: batchID, Index: i,
+				RunID:       fmt.Sprintf("%s.%d", batchID, i+1),
+				ImageDigest: imageDigest, Spec: string(canon),
+			}
+			key := skel[i].KeyDigest()
+			raw, gerr := s.storeGetOrFetch(ctx, peers, schema.RunResultV1, key)
+			if gerr != nil {
+				continue
+			}
+			var doc schema.RunResultDoc
+			if json.Unmarshal(raw, &doc) == nil && doc.Validate() == nil && doc.KeyDigest() == key {
+				prior[i] = &doc
+			}
+		}
+	}
+
 	// Fan the runs out across the worker pool. Every run gets its own
 	// child span, a batch-scoped run id ("<batch>.<n>"), and a sink
 	// that stamps its 1-based index into each event.
@@ -729,6 +782,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			sink(ev)
 		})
 		runSink(schema.RunEvent{Kind: schema.EventRunStart})
+		if doc := prior[i]; doc != nil {
+			// Replay, don't re-execute: the stored result carries the
+			// exact rendered body of the original run, so the outcome —
+			// and the event stream's terminal event — is byte-identical.
+			runSpan.SetAttr("skipped", "true")
+			runSpan.SetAttrUint("status", uint64(doc.Status))
+			runSpan.End()
+			runSink(schema.RunEvent{Kind: schema.EventRunResult, Status: doc.Status, Result: doc.Body})
+			s.results.put(runID, doc.Status, []byte(doc.Body))
+			outcomes[i] = schema.BatchRunOutcome{
+				Index: i, RunID: runID, Status: doc.Status, Body: doc.Body, Skipped: true}
+			return nil
+		}
 		execCtx := telemetry.WithSink(telemetry.WithSpan(ctx, runSpan), runSink)
 		status := http.StatusOK
 		var body []byte
@@ -745,21 +811,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		runSink(schema.RunEvent{Kind: schema.EventRunResult, Status: status, Result: string(body)})
 		s.results.put(runID, status, body)
 		outcomes[i] = schema.BatchRunOutcome{Index: i, RunID: runID, Status: status, Body: string(body)}
+		// Persist conclusive successes as roload-runresult/v1 artifacts
+		// (and replicate them): the next POST of this batch id skips
+		// this run. Errors stay unpersisted — they should re-execute.
+		if skel[i] != nil && status < 300 {
+			doc := *skel[i]
+			doc.Status, doc.Body = status, string(body)
+			if raw, merr := json.Marshal(&doc); merr == nil {
+				s.putReplicated(specs[i].peers, schema.RunResultV1, doc.KeyDigest(), raw) //nolint:errcheck // best effort: the run already answered
+			}
+		}
 		return nil
 	})
 
+	skipped := 0
+	for i := range outcomes {
+		if outcomes[i].Skipped {
+			skipped++
+		}
+	}
 	report := schema.BatchReport{
 		Schema:      schema.BatchV1,
 		BatchID:     batchID,
 		ImageDigest: imageDigest,
 		Compiles:    compiles,
 		Runs:        outcomes,
+		Skipped:     skipped,
 	}
 	if s.store != nil {
 		// Persist the report (best effort: the runs already completed)
-		// so it survives a restart.
+		// so it survives a restart, and replicate it across the fleet.
 		if raw, merr := json.Marshal(&report); merr == nil {
-			s.store.Put(schema.BatchV1, store.Digest(raw), raw) //nolint:errcheck
+			s.putReplicated(peers, schema.BatchV1, store.Digest(raw), raw) //nolint:errcheck
 		}
 	}
 	body, rerr := renderEnvelope(report)
@@ -832,6 +915,7 @@ func (s *Server) handleImagePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.replicateToPeers(parsePeers(r.Header.Get(storePeersHeader)), schema.ImageV1, doc.Digest, raw)
 	w.Header().Set("Location", "/v1/images/"+doc.Digest)
 	status := http.StatusCreated
 	if !added {
@@ -1084,6 +1168,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		m := s.store.Metrics()
 		resp.Store = &m
+		resp.Replication = s.replicationMetrics()
 	}
 	s.mu.Lock()
 	for name, c := range s.endpoints {

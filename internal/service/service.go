@@ -84,6 +84,18 @@ type Config struct {
 	StoreDir string
 	// MaxBatchRuns caps BatchRequest.Runs (0 = 64).
 	MaxBatchRuns int
+	// StoreGCInterval > 0 runs the store GC policy daemon on that
+	// period: age/size-based unpinning (StoreMaxAge, StoreMaxBytes)
+	// followed by a compaction. Requires StoreDir.
+	StoreGCInterval time.Duration
+	// StoreMaxAge unpins digests whose latest pin is older (0 = no age
+	// policy); StoreMaxBytes unpins oldest-first until the compacted
+	// log fits (0 = no size policy).
+	StoreMaxAge   time.Duration
+	StoreMaxBytes int64
+	// PeerTimeout bounds one artifact push or fetch against a fleet
+	// peer (0 = 2s).
+	PeerTimeout time.Duration
 	// Logger receives one structured record per request (nil = slog
 	// default logger).
 	Logger *slog.Logger
@@ -122,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchRuns <= 0 {
 		c.MaxBatchRuns = 64
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -189,6 +204,18 @@ type Server struct {
 	results *resultStore
 	store   *store.Store
 
+	// peerHTTP carries artifact pushes and fetches between fleet
+	// peers; the repl* counters are the store-replication accounting
+	// surfaced under /metrics.
+	peerHTTP      *http.Client
+	replPushes    atomic.Uint64
+	replPushFail  atomic.Uint64
+	replFetches   atomic.Uint64
+	replFetchHits atomic.Uint64
+
+	// gcWG tracks the store GC policy daemon so Close can wait for it.
+	gcWG sync.WaitGroup
+
 	// queueWaitUS and runDurationUS are the run endpoint's latency
 	// distributions (microseconds); per-endpoint histograms live in
 	// endpointCounters.
@@ -229,13 +256,44 @@ func NewServer(cfg Config) (*Server, error) {
 		traces:     newTraceStore(0),
 		results:    newResultStore(0),
 		store:      st,
+		peerHTTP:   &http.Client{Timeout: cfg.PeerTimeout},
 	}
 	s.experiments.entries = make(map[expKey]*expEntry)
 	// When the drain grace expires (or Close fires) the broker shuts
 	// down, ending every event stream — otherwise http.Server.Shutdown
 	// would deadlock waiting on SSE handlers that are waiting on events.
 	context.AfterFunc(base, s.broker.Close)
+	if st != nil && cfg.StoreGCInterval > 0 {
+		s.gcWG.Add(1)
+		go s.gcLoop()
+	}
 	return s, nil
+}
+
+// gcLoop is the store GC policy daemon: every StoreGCInterval it
+// applies the age/size unpinning policy and compacts the log. It stops
+// when the base context is cancelled (drain grace expiry or Close).
+func (s *Server) gcLoop() {
+	defer s.gcWG.Done()
+	t := time.NewTicker(s.cfg.StoreGCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			unpinned, removed, err := s.store.EnforcePolicy(s.cfg.StoreMaxAge, s.cfg.StoreMaxBytes)
+			if err != nil {
+				s.cfg.Logger.LogAttrs(s.baseCtx, slog.LevelWarn, "store gc",
+					slog.String("err", err.Error()))
+				continue
+			}
+			if unpinned > 0 || removed > 0 {
+				s.cfg.Logger.LogAttrs(s.baseCtx, slog.LevelInfo, "store gc",
+					slog.Int("unpinned", unpinned), slog.Int("removed", removed))
+			}
+		}
+	}
 }
 
 // Handler returns the service's routed HTTP handler.
@@ -260,6 +318,8 @@ func (s *Server) Handler() http.Handler {
 	if s.store != nil {
 		mux.HandleFunc("POST /v1/images", s.logged("images", s.handleImagePut))
 		mux.HandleFunc("GET /v1/images/{digest}", s.logged("image", s.handleImageGet))
+		mux.HandleFunc("GET /v1/store/{kind}/{digest}", s.logged("store-get", s.handleStoreGet))
+		mux.HandleFunc("PUT /v1/store/{kind}/{digest}", s.logged("store-put", s.handleStorePut))
 	}
 	return mux
 }
@@ -285,6 +345,7 @@ func (s *Server) StartDrain() {
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.cancelRuns()
+	s.gcWG.Wait()
 	if s.store != nil {
 		s.store.Close() //nolint:errcheck // shutdown path: nowhere to report
 	}

@@ -1,0 +1,439 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"roload/internal/schema"
+)
+
+// snapshotState captures everything observable about a store: every
+// (kind, digest) -> body plus the pin map. Used to prove crash points
+// land on exactly one of two legal states, never a mix.
+func snapshotState(t *testing.T, s *Store) (map[string][]byte, map[string]int) {
+	t.Helper()
+	docs := make(map[string][]byte)
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	pins := make(map[string]int, len(s.pins))
+	for d, c := range s.pins {
+		pins[d] = c
+	}
+	s.mu.Unlock()
+	for _, k := range keys {
+		kind, digest, _ := cutKey(k)
+		b, err := s.Get(kind, digest)
+		if err != nil {
+			t.Fatalf("snapshot get %s %s: %v", kind, digest, err)
+		}
+		docs[k] = b
+	}
+	return docs, pins
+}
+
+func cutKey(k string) (kind, digest string, ok bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+func sameState(aDocs map[string][]byte, aPins map[string]int, bDocs map[string][]byte, bPins map[string]int) bool {
+	if len(aDocs) != len(bDocs) || len(aPins) != len(bPins) {
+		return false
+	}
+	for k, v := range aDocs {
+		if !bytes.Equal(bDocs[k], v) {
+			return false
+		}
+	}
+	for d, c := range aPins {
+		if bPins[d] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultShortWrite arms a short write mid-stream: the torn append
+// must fail loudly, leave the in-memory store consistent (the old
+// contents still served), and a reopen must truncate the torn tail
+// without losing any acknowledged record.
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(schema.HealV1, "d1", body(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailWrites(true)
+	if _, err := s.Put(schema.HealV1, "d2", body(2)); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("torn put error = %v, want io.ErrShortWrite", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("store health did not latch the append failure")
+	}
+	// The acknowledged record still serves, the torn one does not.
+	if got, err := s.Get(schema.HealV1, "d1"); err != nil || !bytes.Equal(got, body(1)) {
+		t.Fatalf("d1 after torn append: %s, %v", got, err)
+	}
+	if s.Has(schema.HealV1, "d2") {
+		t.Fatal("torn put is visible")
+	}
+	s.Close()
+
+	// Reopen on the real filesystem: the half-written frame is a torn
+	// tail, truncated away.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, err := s2.Get(schema.HealV1, "d1"); err != nil || !bytes.Equal(got, body(1)) {
+		t.Fatalf("d1 after reopen: %s, %v", got, err)
+	}
+	if s2.Has(schema.HealV1, "d2") {
+		t.Fatal("torn put survived reopen")
+	}
+	if s2.Metrics().Recovered == 0 {
+		t.Fatal("reopen did not report the truncated torn tail")
+	}
+}
+
+// TestFaultSyncError proves an fsync failure fails the put and latches
+// the store's health signal — the /healthz "error: ..." state a fleet
+// front tier routes around.
+func TestFaultSyncError(t *testing.T) {
+	ffs := NewFaultFS()
+	s, err := OpenFS(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ffs.FailSync(true)
+	if _, err := s.Put(schema.HealV1, "d1", body(1)); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("put under failed fsync: %v, want ErrInjectedSync", err)
+	}
+	if err := s.Err(); err == nil || !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("health signal = %v, want the injected fsync failure", err)
+	}
+	// The health signal is sticky: even after the disk recovers, the
+	// store keeps reporting that it once failed to persist.
+	ffs.FailSync(false)
+	if _, err := s.Put(schema.HealV1, "d2", body(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() == nil {
+		t.Fatal("health signal reset after recovery")
+	}
+}
+
+// TestFaultENOSPC fills the disk: the put errors with ENOSPC, and the
+// partial frame the full disk absorbed is truncated at reopen.
+func TestFaultENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(schema.HealV1, "d1", body(1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetQuota(10)
+	if _, err := s.Put(schema.HealV1, "d2", body(2)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("put on a full disk: %v, want ENOSPC", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Has(schema.HealV1, "d1") || s2.Has(schema.HealV1, "d2") {
+		t.Fatalf("reopen after ENOSPC: d1=%v d2=%v, want true/false",
+			s2.Has(schema.HealV1, "d1"), s2.Has(schema.HealV1, "d2"))
+	}
+}
+
+// TestBitFlipCaughtOnGet flips one bit of a stored record's payload on
+// disk: Get must answer ErrCorrupt, never the corrupt bytes — the
+// content re-verification half of the durability story.
+func TestBitFlipCaughtOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Put(schema.HealV1, "d1", body(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	e := s.index[key(schema.HealV1, "d1")]
+	s.mu.Unlock()
+	// Flip a bit in the middle of the payload.
+	if err := FlipBit(filepath.Join(dir, logName), e.off+int64(e.n)/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(schema.HealV1, "d1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("get of a bit-flipped record: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCrashDuringGC kills the compaction between the survivor rewrite
+// and the rename (armed rename failure — the new log is fully written
+// aside, the install never happens). Reopening must land on exactly
+// the pre-GC state; completing the rename by hand must land on exactly
+// the post-GC state. Never a mix.
+func TestCrashDuringGC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	s, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d := fmt.Sprintf("d%d", i)
+		if _, err := s.Put(schema.HealV1, d, body(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := s.Pin(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	preDocs, prePins := snapshotState(t, s)
+
+	ffs.FailRename(true)
+	if _, err := s.GC(); !errors.Is(err, ErrInjectedRename) {
+		t.Fatalf("gc with failed rename: %v, want ErrInjectedRename", err)
+	}
+	s.Close()
+
+	// The compaction log was fully written and fsync'd but never
+	// installed — the on-disk picture of a crash at that exact point.
+	tmpPath := filepath.Join(dir, logName+".gc")
+	if _, err := os.Stat(tmpPath); err != nil {
+		t.Fatalf("no compaction log on disk after the crash point: %v", err)
+	}
+
+	// Crash before rename: reopen must see exactly the pre-GC state
+	// (and clean up the stray compaction log).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, pins := snapshotState(t, s2)
+	if !sameState(docs, pins, preDocs, prePins) {
+		t.Fatalf("reopen before rename: state is neither pre-GC nor post-GC\n got docs=%d pins=%v\nwant docs=%d pins=%v",
+			len(docs), pins, len(preDocs), prePins)
+	}
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatalf("stray compaction log survived reopen: %v", err)
+	}
+	// GC completes cleanly now: the post-GC state drops the unpinned
+	// half and nothing else.
+	removed, err := s2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 {
+		t.Fatalf("gc removed %d, want 4", removed)
+	}
+	postDocs, postPins := snapshotState(t, s2)
+	s2.Close()
+
+	// Re-create the crash, then complete the rename by hand: crash
+	// after rename. Reopen must see exactly the post-GC state.
+	s3, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d := fmt.Sprintf("d%d", i)
+		if _, err := s3.Put(schema.HealV1, d, body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s3.GC(); !errors.Is(err, ErrInjectedRename) {
+		t.Fatalf("second armed gc: %v", err)
+	}
+	s3.Close()
+	if err := os.Rename(tmpPath, filepath.Join(dir, logName)); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	docs4, pins4 := snapshotState(t, s4)
+	if !sameState(docs4, pins4, postDocs, postPins) {
+		t.Fatalf("reopen after completed rename: not the post-GC state\n got docs=%d pins=%v\nwant docs=%d pins=%v",
+			len(docs4), pins4, len(postDocs), postPins)
+	}
+}
+
+// TestConcurrentPutGetGC races puts, gets, pins and compactions. Run
+// under -race this is the regression test for the Get-vs-GC file swap:
+// Get must read under the store lock, because GC closes the old log
+// file after installing the compacted one.
+func TestConcurrentPutGetGC(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers, readers, rounds = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				d := fmt.Sprintf("w%d-%d", w, i)
+				// Pin before put, so a concurrent GC can never collect
+				// the artifact in the gap between the two appends.
+				if i%2 == 0 {
+					if err := s.Pin(d); err != nil {
+						t.Errorf("pin %s: %v", d, err)
+						return
+					}
+				}
+				if _, err := s.Put(schema.HealV1, d, body(i)); err != nil {
+					t.Errorf("put %s: %v", d, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				d := fmt.Sprintf("w%d-%d", r%writers, i)
+				got, err := s.Get(schema.HealV1, d)
+				if err != nil {
+					if errors.Is(err, ErrNotFound) {
+						continue // not written yet, or collected
+					}
+					t.Errorf("get %s: %v", d, err)
+					return
+				}
+				if !bytes.Equal(got, body(i)) {
+					t.Errorf("get %s returned %s, want %s", d, got, body(i))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := s.GC(); err != nil {
+				t.Errorf("gc: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every pinned artifact must still be readable.
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < rounds; i += 2 {
+			d := fmt.Sprintf("w%d-%d", w, i)
+			if got, err := s.Get(schema.HealV1, d); err != nil || !bytes.Equal(got, body(i)) {
+				t.Fatalf("pinned %s after final gc: %s, %v", d, got, err)
+			}
+		}
+	}
+}
+
+// TestEnforcePolicy exercises the GC policy daemon's primitive: age
+// unpinning drops pins older than the cutoff, size unpinning drops the
+// oldest pins until the log fits, and the gc metrics section reports
+// the work.
+func TestEnforcePolicy(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	clock := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return clock }
+
+	for i := 0; i < 6; i++ {
+		d := fmt.Sprintf("d%d", i)
+		if _, err := s.Put(schema.HealV1, d, body(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Pin(d); err != nil {
+			t.Fatal(err)
+		}
+		clock = clock.Add(time.Hour)
+	}
+
+	// Age policy: everything pinned more than 3h ago (d0..d2) ages out.
+	unpinned, removed, err := s.EnforcePolicy(3*time.Hour+time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpinned != 3 || removed != 3 {
+		t.Fatalf("age policy unpinned=%d removed=%d, want 3/3", unpinned, removed)
+	}
+	for i := 0; i < 3; i++ {
+		if s.Has(schema.HealV1, fmt.Sprintf("d%d", i)) {
+			t.Fatalf("aged-out d%d survived", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if !s.Has(schema.HealV1, fmt.Sprintf("d%d", i)) {
+			t.Fatalf("fresh d%d was collected", i)
+		}
+	}
+
+	// Size policy: squeeze until at most one artifact's worth of log
+	// remains; the oldest pins go first.
+	unpinned, _, err = s.EnforcePolicy(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpinned == 0 {
+		t.Fatal("size policy unpinned nothing")
+	}
+	if s.Has(schema.HealV1, "d3") {
+		t.Fatal("size policy kept the oldest pin while over budget")
+	}
+
+	m := s.Metrics()
+	if m.GC == nil || m.GC.Runs != 2 || m.GC.Unpinned == 0 {
+		t.Fatalf("gc metrics = %+v, want 2 runs with unpins", m.GC)
+	}
+}

@@ -1,0 +1,183 @@
+// FaultFS: the injectable failing filesystem behind the store's
+// disk-fault tests. Every fault a real disk throws at an append log
+// can be armed programmatically — a short write that persists only a
+// prefix of the frame, an fsync that reports failure after the page
+// cache accepted the bytes, a full disk (ENOSPC), a crash between a
+// GC rewrite and its rename (armed rename failure) — and the tests
+// then prove the store detects or recovers, never serving corrupt or
+// half-written state. Bit rot is simulated directly on the underlying
+// file with FlipBit; the store's per-frame CRC catches it on Get.
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Injected fault sentinels.
+var (
+	// ErrInjectedSync is returned by an armed fsync failure.
+	ErrInjectedSync = errors.New("faultfs: injected fsync failure")
+	// ErrInjectedRename is returned by an armed rename failure — the
+	// "crash between compaction rewrite and rename" point.
+	ErrInjectedRename = errors.New("faultfs: injected rename failure")
+)
+
+// FaultFS wraps a real FS with armable faults. The zero value is not
+// usable; construct with NewFaultFS. All methods are safe for
+// concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// quota, when >= 0, is the number of payload bytes still writable
+	// before writes fail with ENOSPC.
+	quota int64
+	// shortWrites, when armed, makes every WriteAt persist only half
+	// its buffer and return io.ErrShortWrite — the torn-append case.
+	shortWrites bool
+	failSync    bool
+	failRename  bool
+}
+
+// NewFaultFS builds a fault-injecting wrapper over the real
+// filesystem with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{inner: OS(), quota: -1}
+}
+
+// SetQuota arms ENOSPC after n more written bytes (n < 0 disarms).
+func (f *FaultFS) SetQuota(n int64) { f.mu.Lock(); f.quota = n; f.mu.Unlock() }
+
+// FailWrites arms short writes: each WriteAt persists half its buffer
+// then reports io.ErrShortWrite.
+func (f *FaultFS) FailWrites(on bool) { f.mu.Lock(); f.shortWrites = on; f.mu.Unlock() }
+
+// FailSync makes every Sync (file or directory) fail.
+func (f *FaultFS) FailSync(on bool) { f.mu.Lock(); f.failSync = on; f.mu.Unlock() }
+
+// FailRename makes every Rename fail — the disk state is then exactly
+// a crash between the compaction rewrite and its atomic install.
+func (f *FaultFS) FailRename(on bool) { f.mu.Lock(); f.failRename = on; f.mu.Unlock() }
+
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedRename
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	fail := f.failSync
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// admitWrite charges n bytes against the quota and reports how many
+// may be written (full n, a short prefix, or an ENOSPC error).
+func (f *FaultFS) admitWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shortWrites {
+		return n / 2, io.ErrShortWrite
+	}
+	if f.quota < 0 {
+		return n, nil
+	}
+	if int64(n) > f.quota {
+		allowed := int(f.quota)
+		f.quota = 0
+		return allowed, syscall.ENOSPC
+	}
+	f.quota -= int64(n)
+	return n, nil
+}
+
+// faultFile applies the parent's armed faults to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	allowed, ferr := f.fs.admitWrite(len(p))
+	if ferr != nil {
+		// Persist the admitted prefix first: a torn write leaves real
+		// bytes behind, which is exactly what reopen must cope with.
+		if allowed > 0 {
+			f.inner.WriteAt(p[:allowed], off) //nolint:errcheck // the injected error wins
+		}
+		return allowed, ferr
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allowed, ferr := f.fs.admitWrite(len(p))
+	if ferr != nil {
+		if allowed > 0 {
+			f.inner.Write(p[:allowed]) //nolint:errcheck // the injected error wins
+		}
+		return allowed, ferr
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.failSync
+	f.fs.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+
+// FlipBit flips the lowest bit of the byte at off in the named file —
+// simulated bit rot for the CRC-detection tests.
+func FlipBit(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	_, err = f.WriteAt(b[:], off)
+	return err
+}

@@ -1,0 +1,62 @@
+// The filesystem seam. The store performs every disk operation
+// through the FS interface so tests can inject the failures real
+// disks produce — short writes, fsync errors, ENOSPC, crashes between
+// a compaction rewrite and its rename — without root, loop devices,
+// or flaky timing. Production uses OS(), a trivial passthrough to the
+// os package.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store needs.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface the store runs on.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a rename within it is durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the passthrough FS used outside tests.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,10 +1,10 @@
 // Package store is the digest-keyed, append-only, crash-consistent
 // artifact store behind `roload-serve -store` and `roload-run -store`:
 // compiled images (roload-image/v1), checkpoints
-// (roload-checkpoint/v1) and heal/batch reports survive the process
-// that produced them, so a batch can execute a precompiled image
-// without recompiling and a crashed fleet can resume and heal from its
-// last stored state.
+// (roload-checkpoint/v1), heal/batch reports and per-run batch results
+// survive the process that produced them, so a batch can execute a
+// precompiled image without recompiling and a crashed fleet can resume
+// and heal from its last stored state.
 //
 // The on-disk format is a single append-only log (store.log) of framed
 // records. Each frame is an 8-byte header — payload length and
@@ -13,12 +13,20 @@
 // so an acknowledged Put survives a crash; a crash mid-append leaves a
 // torn tail that the reopen scan detects (short header, absurd length,
 // checksum or JSON mismatch), truncates away, and fsyncs — dropping
-// only the unacknowledged suffix, never an acknowledged record.
+// only the unacknowledged suffix, never an acknowledged record. Get
+// re-reads the frame from disk and re-verifies its CRC, so bit rot is
+// detected rather than served.
 //
 // Records are keyed by (kind, digest) and idempotent: re-putting an
 // existing key writes nothing. Digests carry reference counts via pin
 // and unpin records; GC compacts the log, dropping every record whose
-// digest has a zero refcount. Pinned digests are never collected.
+// digest has a zero refcount. Pinned digests are never collected;
+// EnforcePolicy is the age/size policy layer that unpins cold digests
+// before compacting.
+//
+// All disk I/O goes through the FS seam (fs.go); FaultFS (faultfs.go)
+// is the test-side implementation that injects short writes, fsync
+// errors, ENOSPC and crash-at-rename.
 package store
 
 import (
@@ -35,6 +43,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roload/internal/schema"
 )
@@ -53,6 +62,11 @@ const maxPayload = 1 << 30
 // ErrNotFound reports a (kind, digest) the store does not hold.
 var ErrNotFound = errors.New("store: not found")
 
+// ErrCorrupt reports a stored frame whose on-disk bytes no longer
+// match the CRC recorded when it was appended — bit rot, a misdirected
+// write, or silent media failure. The store never serves such bytes.
+var ErrCorrupt = errors.New("store: corrupt record")
+
 // record is the JSON payload of one log frame.
 type record struct {
 	// Op is "put" (a new artifact), "pin" or "unpin" (refcount
@@ -68,28 +82,45 @@ type record struct {
 	// Count is the refcount delta of a pin/unpin record (compaction
 	// writes one net pin per digest).
 	Count int `json:"count,omitempty"`
+	// T stamps pin records (unix seconds) so the GC policy can unpin
+	// by age. Older logs without the field decode to 0 — always
+	// eligible.
+	T int64 `json:"t,omitempty"`
 }
 
-// entry locates one live record in the log: the payload's offset and
-// length. Bodies are not held in memory — Get re-reads and re-parses
-// the frame.
+// entry locates one live record in the log: the payload's offset,
+// length, and the CRC its frame was written with. Bodies are not held
+// in memory — Get re-reads the frame and re-verifies the CRC.
 type entry struct {
 	off int64
 	n   int
+	sum uint32
 }
 
 // Store is an open artifact store. All methods are safe for concurrent
 // use.
 type Store struct {
 	dir string
+	fs  FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	size    int64
 	index   map[string]entry // (kind \x00 digest) -> payload location
 	pins    map[string]int   // digest -> refcount
+	pinT    map[string]int64 // digest -> latest pin time (unix seconds)
 	closed  bool
 	recover int64 // torn-tail bytes truncated by the last open
+
+	// now is the policy clock (pin stamps, age cutoffs); a test seam.
+	now func() time.Time
+
+	// GC policy counters, guarded by mu.
+	polRuns     uint64
+	polUnpinned uint64
+	polRemoved  uint64
+	polLastUnix int64
+	polLastErr  string
 
 	puts atomic.Uint64
 	gets atomic.Uint64
@@ -104,21 +135,31 @@ type Store struct {
 // key builds the index key of a (kind, digest) pair.
 func key(kind, digest string) string { return kind + "\x00" + digest }
 
-// Open opens (creating if needed) the store rooted at dir and replays
-// the log, truncating any torn tail left by a crash mid-append.
-func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// Open opens (creating if needed) the store rooted at dir on the real
+// filesystem and replays the log, truncating any torn tail left by a
+// crash mid-append.
+func Open(dir string) (*Store, error) { return OpenFS(dir, OS()) }
+
+// OpenFS is Open on an explicit filesystem — the fault-injection seam.
+func OpenFS(dir string, fsys FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	// A stray compaction log is a GC that crashed before its rename —
+	// the install never happened, so the bytes are garbage.
+	fsys.Remove(filepath.Join(dir, logName+".gc")) //nolint:errcheck // best effort
+	f, err := fsys.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening log: %w", err)
 	}
 	s := &Store{
 		dir:   dir,
+		fs:    fsys,
 		f:     f,
 		index: make(map[string]entry),
 		pins:  make(map[string]int),
+		pinT:  make(map[string]int64),
+		now:   time.Now,
 	}
 	if err := s.scan(); err != nil {
 		f.Close()
@@ -137,7 +178,7 @@ func (s *Store) scan() error {
 	size := info.Size()
 	var off int64
 	for off < size {
-		rec, n, ok := s.readFrame(off, size)
+		rec, n, sum, ok := s.readFrame(off, size)
 		if !ok {
 			// Torn tail: everything from off on is an unacknowledged
 			// partial append. Drop it.
@@ -151,7 +192,7 @@ func (s *Store) scan() error {
 			size = off
 			break
 		}
-		s.apply(rec, off+headerSize, n)
+		s.apply(rec, off+headerSize, n, sum)
 		off += headerSize + int64(n)
 	}
 	s.size = size
@@ -160,35 +201,35 @@ func (s *Store) scan() error {
 
 // readFrame reads and validates one frame at off. ok=false means the
 // frame is torn or corrupt (the caller truncates there).
-func (s *Store) readFrame(off, size int64) (record, int, bool) {
+func (s *Store) readFrame(off, size int64) (record, int, uint32, bool) {
 	if size-off < headerSize {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
 	var hdr [headerSize]byte
 	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if n == 0 || n > maxPayload || int64(n) > size-off-headerSize {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
 	payload := make([]byte, n)
 	if _, err := s.f.ReadAt(payload, off+headerSize); err != nil {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
 	var rec record
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return record{}, 0, false
+		return record{}, 0, 0, false
 	}
-	return rec, int(n), true
+	return rec, int(n), sum, true
 }
 
 // apply folds one valid record into the index.
-func (s *Store) apply(rec record, payloadOff int64, n int) {
+func (s *Store) apply(rec record, payloadOff int64, n int, sum uint32) {
 	switch rec.Op {
 	case "put":
 		if rec.Kind == "" || rec.Digest == "" {
@@ -198,13 +239,16 @@ func (s *Store) apply(rec record, payloadOff int64, n int) {
 		if _, dup := s.index[k]; dup {
 			return // first write wins; content is digest-addressed
 		}
-		s.index[k] = entry{off: payloadOff, n: n}
+		s.index[k] = entry{off: payloadOff, n: n, sum: sum}
 	case "pin":
 		c := rec.Count
 		if c == 0 {
 			c = 1
 		}
 		s.pins[rec.Digest] += c
+		if rec.T > s.pinT[rec.Digest] {
+			s.pinT[rec.Digest] = rec.T
+		}
 	case "unpin":
 		c := rec.Count
 		if c == 0 {
@@ -212,6 +256,7 @@ func (s *Store) apply(rec record, payloadOff int64, n int) {
 		}
 		if s.pins[rec.Digest] -= c; s.pins[rec.Digest] <= 0 {
 			delete(s.pins, rec.Digest)
+			delete(s.pinT, rec.Digest)
 		}
 	}
 }
@@ -226,8 +271,9 @@ func (s *Store) append(rec record) error {
 		return fmt.Errorf("store: encoding record: %w", err)
 	}
 	frame := make([]byte, headerSize+len(payload))
+	sum := crc32.ChecksumIEEE(payload)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(frame[4:8], sum)
 	copy(frame[headerSize:], payload)
 	if _, err := s.f.WriteAt(frame, s.size); err != nil {
 		err = fmt.Errorf("store: appending record: %w", err)
@@ -239,7 +285,7 @@ func (s *Store) append(rec record) error {
 		s.lastErr.Store(&err)
 		return err
 	}
-	s.apply(rec, s.size+headerSize, len(payload))
+	s.apply(rec, s.size+headerSize, len(payload), sum)
 	s.size += int64(len(frame))
 	return nil
 }
@@ -276,22 +322,32 @@ func (s *Store) Put(kind, digest string, body []byte) (added bool, err error) {
 	return true, nil
 }
 
-// Get returns the stored body of (kind, digest), or ErrNotFound.
+// Get returns the stored body of (kind, digest), or ErrNotFound. The
+// frame is re-read from disk and its CRC re-verified, so a record hit
+// by bit rot surfaces as ErrCorrupt instead of corrupt bytes. The read
+// happens under the store lock: GC swaps and closes the log file, and
+// a lock-free read could race the close.
 func (s *Store) Get(kind, digest string) ([]byte, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.index[key(kind, digest)]
-	f := s.f
-	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("store: %s %s: %w", kind, digest, ErrNotFound)
 	}
 	payload := make([]byte, e.n)
-	if _, err := f.ReadAt(payload, e.off); err != nil {
+	if _, err := s.f.ReadAt(payload, e.off); err != nil {
 		return nil, fmt.Errorf("store: reading %s %s: %w", kind, digest, err)
+	}
+	if crc32.ChecksumIEEE(payload) != e.sum {
+		return nil, fmt.Errorf("store: %s %s: %w", kind, digest, ErrCorrupt)
 	}
 	var rec record
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return nil, fmt.Errorf("store: decoding %s %s: %w", kind, digest, err)
+	}
+	if rec.Kind != kind || rec.Digest != digest {
+		return nil, fmt.Errorf("store: %s %s: frame holds %s %s: %w",
+			kind, digest, rec.Kind, rec.Digest, ErrCorrupt)
 	}
 	s.gets.Add(1)
 	return rec.Body, nil
@@ -312,7 +368,7 @@ func (s *Store) Pin(digest string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.append(record{Op: "pin", Digest: digest})
+	return s.append(record{Op: "pin", Digest: digest, T: s.now().Unix()})
 }
 
 // Unpin decrements digest's refcount (floored at zero).
@@ -340,6 +396,10 @@ func (s *Store) Pins(digest string) int {
 func (s *Store) GC() (removed int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.gcLocked()
+}
+
+func (s *Store) gcLocked() (removed int, err error) {
 	if s.closed {
 		return 0, errors.New("store: closed")
 	}
@@ -352,14 +412,14 @@ func (s *Store) GC() (removed int, err error) {
 	sort.Strings(keys)
 
 	tmpPath := filepath.Join(s.dir, logName+".gc")
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("store: creating compaction log: %w", err)
 	}
 	defer func() {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			s.fs.Remove(tmpPath) //nolint:errcheck // best effort
 		}
 	}()
 
@@ -389,6 +449,9 @@ func (s *Store) GC() (removed int, err error) {
 		if _, err := s.f.ReadAt(payload, e.off); err != nil {
 			return 0, fmt.Errorf("store: reading %s %s during gc: %w", kind, digest, err)
 		}
+		if crc32.ChecksumIEEE(payload) != e.sum {
+			return 0, fmt.Errorf("store: %s %s during gc: %w", kind, digest, ErrCorrupt)
+		}
 		var rec record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return 0, fmt.Errorf("store: decoding %s %s during gc: %w", kind, digest, err)
@@ -403,7 +466,7 @@ func (s *Store) GC() (removed int, err error) {
 	}
 	sort.Strings(digests)
 	for _, d := range digests {
-		if err := writeFrame(record{Op: "pin", Digest: d, Count: s.pins[d]}); err != nil {
+		if err := writeFrame(record{Op: "pin", Digest: d, Count: s.pins[d], T: s.pinT[d]}); err != nil {
 			return 0, fmt.Errorf("store: writing compaction pins: %w", err)
 		}
 	}
@@ -415,16 +478,16 @@ func (s *Store) GC() (removed int, err error) {
 		return 0, fmt.Errorf("store: closing compaction log: %w", err)
 	}
 	tmp = nil
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
 		return 0, fmt.Errorf("store: installing compacted log: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return 0, err
 	}
 
 	// Swap to the compacted log and rebuild the index offsets.
 	old := s.f
-	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, logName), os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("store: reopening compacted log: %w", err)
 	}
@@ -432,11 +495,86 @@ func (s *Store) GC() (removed int, err error) {
 	s.f = f
 	s.index = make(map[string]entry)
 	s.pins = make(map[string]int)
+	s.pinT = make(map[string]int64)
 	s.recover = 0
 	if err := s.scan(); err != nil {
 		return 0, err
 	}
 	return removed, nil
+}
+
+// EnforcePolicy is the GC policy pass behind `roload-serve
+// -store-gc-interval`: unpin what the policy has aged or sized out,
+// then compact. When maxAge > 0, every digest whose latest pin is
+// older than the cutoff is fully unpinned. When maxBytes > 0 and the
+// compacted log still exceeds it, the oldest-pinned digests are
+// unpinned one at a time (recompacting after each) until the log fits
+// or nothing pinned remains. Currently pinned digests are otherwise
+// never collected — the policy only ever widens eligibility by
+// unpinning first, so a plain GC() remains as conservative as ever.
+func (s *Store) EnforcePolicy(maxAge time.Duration, maxBytes int64) (unpinned, removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		s.polRuns++
+		s.polUnpinned += uint64(unpinned)
+		s.polRemoved += uint64(removed)
+		s.polLastUnix = s.now().Unix()
+		if err != nil {
+			s.polLastErr = err.Error()
+		} else {
+			s.polLastErr = ""
+		}
+	}()
+
+	if maxAge > 0 {
+		cutoff := s.now().Add(-maxAge).Unix()
+		for _, d := range s.oldestPinnedLocked() {
+			if s.pinT[d] > cutoff {
+				continue
+			}
+			if err = s.append(record{Op: "unpin", Digest: d, Count: s.pins[d]}); err != nil {
+				return unpinned, removed, err
+			}
+			unpinned++
+		}
+	}
+	n, err := s.gcLocked()
+	if err != nil {
+		return unpinned, removed, err
+	}
+	removed += n
+
+	for maxBytes > 0 && s.size > maxBytes && len(s.pins) > 0 {
+		victims := s.oldestPinnedLocked()
+		d := victims[0]
+		if err = s.append(record{Op: "unpin", Digest: d, Count: s.pins[d]}); err != nil {
+			return unpinned, removed, err
+		}
+		unpinned++
+		n, err := s.gcLocked()
+		if err != nil {
+			return unpinned, removed, err
+		}
+		removed += n
+	}
+	return unpinned, removed, nil
+}
+
+// oldestPinnedLocked returns the pinned digests ordered oldest pin
+// first (digest order breaking ties, for determinism).
+func (s *Store) oldestPinnedLocked() []string {
+	out := make([]string, 0, len(s.pins))
+	for d := range s.pins {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.pinT[out[i]] != s.pinT[out[j]] {
+			return s.pinT[out[i]] < s.pinT[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
 }
 
 // Metrics snapshots the store for /metrics.
@@ -455,6 +593,15 @@ func (s *Store) Metrics() schema.StoreMetrics {
 		for k := range s.index {
 			kind, _, _ := strings.Cut(k, "\x00")
 			m.Entries[kind]++
+		}
+	}
+	if s.polRuns > 0 {
+		m.GC = &schema.StoreGCMetrics{
+			Runs:      s.polRuns,
+			Unpinned:  s.polUnpinned,
+			Removed:   s.polRemoved,
+			LastUnix:  s.polLastUnix,
+			LastError: s.polLastErr,
 		}
 	}
 	return m
@@ -476,19 +623,6 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	return s.f.Close()
-}
-
-// syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: syncing %s: %w", dir, err)
-	}
-	return nil
 }
 
 // Digest fingerprints arbitrary bytes as lowercase hex SHA-256 — the

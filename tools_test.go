@@ -709,6 +709,7 @@ func TestFuzzSmoke(t *testing.T) {
 		{"FuzzEnvelopeDecode", "roload/internal/schema"},
 		{"FuzzCheckpointDecode", "roload/internal/schema"},
 		{"FuzzTraceDecode", "roload/internal/schema"},
+		{"FuzzArtifactVerify", "roload/internal/schema"},
 		{"FuzzBlockTranslate", "roload/internal/kernel"},
 		{"FuzzStoreDecode", "roload/internal/store"},
 		{"FuzzGatewayConfigDecode", "roload/internal/gateway"},
@@ -1446,6 +1447,334 @@ func TestCLIGatewayChaos(t *testing.T) {
 		t.Errorf("victim state = %q, want ejected (or half-open re-probing)", s)
 	}
 	waitReady(gw, gwLogs)
+}
+
+// TestCLILoadgenSLO drives the loadgen's soak and latency-gate flags:
+// a -soak run with generous SLO targets exits clean and records the
+// measured quantiles against the targets in the report's slo section;
+// an impossible p99 target names "p99" in Breached and exits 1.
+func TestCLILoadgenSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+
+	addr := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}()
+	u := "http://" + addr
+	serve := exec.Command(filepath.Join(bin, "roload-serve"), "-addr", addr, "-workers", "2")
+	var serveLogs bytes.Buffer
+	serve.Stdout, serve.Stderr = &serveLogs, &serveLogs
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		serve.Process.Kill() //nolint:errcheck
+		serve.Wait()         //nolint:errcheck
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(u + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became healthy:\n%s", serveLogs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	loadgen := filepath.Join(bin, "roload-loadgen")
+	readReport := func(path string) *schema.LoadgenReport {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("no loadgen report: %v", err)
+		}
+		id, doc, err := schema.DecodeAny(raw)
+		if err != nil {
+			t.Fatalf("report does not decode: %v", err)
+		}
+		rep, ok := doc.(*schema.LoadgenReport)
+		if !ok || id != schema.LoadgenV1 {
+			t.Fatalf("registry decoded %q %T", id, doc)
+		}
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("report invalid: %v", err)
+		}
+		return rep
+	}
+
+	// Soak with targets no real latency misses: clean exit, slo section
+	// present and unbreached.
+	okPath := filepath.Join(dir, "slo-ok.json")
+	if out, err := exec.Command(loadgen, "-url", u, "-soak", "1s", "-concurrency", "2",
+		"-slo-p50", "1m", "-slo-p99", "5m", "-out", okPath).CombinedOutput(); err != nil {
+		t.Fatalf("soak loadgen: %v\n%s", err, out)
+	}
+	ok := readReport(okPath)
+	if ok.SLO == nil || len(ok.SLO.Breached) != 0 {
+		t.Fatalf("clean soak slo = %+v", ok.SLO)
+	}
+	if ok.SLO.P50US == 0 || ok.SLO.P99US == 0 || ok.SLO.P99US < ok.SLO.P50US {
+		t.Errorf("measured quantiles implausible: %+v", ok.SLO)
+	}
+	if ok.SLO.TargetP50US != 60_000_000 || ok.SLO.TargetP99US != 300_000_000 {
+		t.Errorf("targets not echoed: %+v", ok.SLO)
+	}
+	if ok.Sent == 0 || ok.Errors != 0 {
+		t.Errorf("soak run not clean: sent %d errors %d", ok.Sent, ok.Errors)
+	}
+
+	// An impossible p99: the gate names it and the process exits 1.
+	badPath := filepath.Join(dir, "slo-bad.json")
+	var stderr bytes.Buffer
+	cmd := exec.Command(loadgen, "-url", u, "-requests", "10", "-concurrency", "2",
+		"-slo-p99", "1us", "-out", badPath)
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("impossible SLO: err = %v, want exit 1 (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "SLO breached") {
+		t.Errorf("breach stderr = %q", stderr.String())
+	}
+	bad := readReport(badPath)
+	if bad.SLO == nil || len(bad.SLO.Breached) != 1 || bad.SLO.Breached[0] != "p99" {
+		t.Fatalf("breached = %+v, want [p99]", bad.SLO)
+	}
+}
+
+// TestCLIDurableBatchChaos is the durable-fleet-state acceptance test,
+// end to end through the real binaries: a checkpointing batch runs
+// through a replicated 3-backend fleet, the backend that owns its
+// checkpoints and results is SIGKILLed, and re-driving the same batch
+// id through the gateway completes on a survivor — the interrupted run
+// resumes from its replicated checkpoint to the uninterrupted run's
+// exact observables, every finished run replays byte-identically from
+// its replicated result artifact, and no run is lost.
+func TestCLIDurableBatchChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	startTool := func(name string, args ...string) (*exec.Cmd, *bytes.Buffer) {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var logs bytes.Buffer
+		cmd.Stdout = &logs
+		cmd.Stderr = &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		return cmd, &logs
+	}
+	waitReady := func(root string, logs *bytes.Buffer) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(root + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never became healthy:\n%s", root, logs.String())
+	}
+	postJSON := func(url string, body any, header map[string]string) (int, http.Header, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, data
+	}
+	openServe := func(data []byte, out any) {
+		t.Helper()
+		var env schema.Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("undecodable body %q: %v", data, err)
+		}
+		if err := env.Open(schema.ServeV1, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const prog = "func main() int {\n\tvar i int = 0;\n\tvar sum int = 0;\n\twhile (i < 20000) { sum = sum + i; i = i + 1; }\n\tprint_int(sum);\n\treturn 0;\n}\n"
+
+	addr1, addr2, addr3, addrGW := freePort(), freePort(), freePort(), freePort()
+	u1, u2, u3, gw := "http://"+addr1, "http://"+addr2, "http://"+addr3, "http://"+addrGW
+	serves := map[string]*exec.Cmd{}
+	for u, a := range map[string]string{u1: addr1, u2: addr2, u3: addr3} {
+		cmd, logs := startTool("roload-serve",
+			"-addr", a, "-workers", "2", "-store", t.TempDir())
+		serves[u] = cmd
+		waitReady(u, logs)
+	}
+	_, gwLogs := startTool("roload-gateway", "-addr", addrGW,
+		"-backends", u1+","+u2+","+u3,
+		"-probe-interval", "100ms", "-eject-after", "1", "-replicas", "2")
+	waitReady(gw, gwLogs)
+
+	// The uninterrupted reference: what the interrupted run must
+	// reproduce after its cross-backend resume.
+	rstatus, _, rdata := postJSON(gw+"/v1/run",
+		schema.RunRequest{Source: prog, Harden: "icall"}, nil)
+	if rstatus != http.StatusOK {
+		t.Fatalf("reference run status = %d: %s", rstatus, rdata)
+	}
+	var ref schema.RunResponse
+	openServe(rdata, &ref)
+
+	// The batch: one run that checkpoints and hits its step limit, and
+	// three that complete. Its artifacts (checkpoints, run results) are
+	// write-through-replicated to the shard's ring successor as the
+	// serving backend produces them.
+	batch := schema.BatchRequest{
+		Source: prog, Harden: "icall",
+		Runs: []schema.BatchRunSpec{
+			{MaxSteps: 100_000, CheckpointEvery: 40_000},
+			{},
+			{System: "baseline"},
+			{System: "full"},
+		},
+	}
+	hdr := map[string]string{"Roload-Trace": "durable-e2e"}
+	status, bhdr, data := postJSON(gw+"/v1/batch", batch, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", status, data)
+	}
+	var first schema.BatchReport
+	openServe(data, &first)
+	if first.Runs[0].Status != http.StatusUnprocessableEntity {
+		t.Fatalf("run 1 status = %d, want 422 step-limit", first.Runs[0].Status)
+	}
+	for i := 1; i < 4; i++ {
+		if first.Runs[i].Status != http.StatusOK {
+			t.Fatalf("run %d status = %d: %s", i+1, first.Runs[i].Status, first.Runs[i].Body)
+		}
+	}
+	var partial schema.ErrorResponse
+	openServe([]byte(first.Runs[0].Body), &partial)
+	if len(partial.Checkpoints) == 0 {
+		t.Fatal("interrupted run left no checkpoints")
+	}
+	last := partial.Checkpoints[len(partial.Checkpoints)-1]
+
+	// kill -9 the backend that owns the batch's state, and wait until
+	// the gateway has ejected it.
+	victim := bhdr.Get("Roload-Gateway-Backend")
+	if serves[victim] == nil {
+		t.Fatalf("unknown serving backend %q", victim)
+	}
+	if err := serves[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	ejectDeadline := time.Now().Add(10 * time.Second)
+	for {
+		var env schema.Envelope
+		var m schema.GatewayMetrics
+		resp, err := http.Get(gw + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Open(schema.ServeV1, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Backends[victim].State == "ejected" {
+			break
+		}
+		if time.Now().After(ejectDeadline) {
+			t.Fatalf("victim never ejected: %+v\ngateway:\n%s", m.Backends, gwLogs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Re-drive the same batch id through the gateway, the interrupted
+	// run switched to resume from its last replicated checkpoint.
+	batch.Runs[0] = schema.BatchRunSpec{Resume: "store://" + last}
+	status, bhdr, data = postJSON(gw+"/v1/batch", batch, hdr)
+	if status != http.StatusOK {
+		t.Fatalf("re-driven batch status = %d: %s\ngateway:\n%s", status, data, gwLogs.String())
+	}
+	if got := bhdr.Get("Roload-Gateway-Backend"); got == victim {
+		t.Fatalf("re-driven batch reportedly served by the killed backend")
+	}
+	var second schema.BatchReport
+	openServe(data, &second)
+
+	// Zero lost runs: the resumed run completes, the finished runs
+	// replay byte-identically from their replicated artifacts.
+	if second.Skipped != 3 {
+		t.Errorf("skipped = %d, want 3", second.Skipped)
+	}
+	for i := 1; i < 4; i++ {
+		if !second.Runs[i].Skipped {
+			t.Errorf("run %d re-executed; its replicated result should have replayed", i+1)
+		}
+		if second.Runs[i].Body != first.Runs[i].Body {
+			t.Errorf("run %d replay diverges from the original bytes", i+1)
+		}
+	}
+	if second.Runs[0].Skipped || second.Runs[0].Status != http.StatusOK {
+		t.Fatalf("resumed run 1 = skipped %v status %d: %s",
+			second.Runs[0].Skipped, second.Runs[0].Status, second.Runs[0].Body)
+	}
+	var resumed schema.RunResponse
+	openServe([]byte(second.Runs[0].Body), &resumed)
+	if resumed.Stdout != ref.Stdout || resumed.ExitStatus != ref.ExitStatus {
+		t.Errorf("resumed run diverges: stdout %q vs %q", resumed.Stdout, ref.Stdout)
+	}
+	if resumed.Metrics == nil || ref.Metrics == nil || resumed.Metrics.Instret != ref.Metrics.Instret {
+		t.Errorf("resumed run's instruction count diverges from the uninterrupted run")
+	}
 }
 
 // TestHostBenchHistoryValidates checks the committed BENCH_history.json
